@@ -1,0 +1,47 @@
+//! Figures 1 & 3: the gemver kernel — original code, the statement-wise
+//! multi-dimensional affine transform of the fused program, and the
+//! fused/interchanged code (legal fusion of S1 and S2 requires
+//! interchanging one nest).
+//!
+//! ```bash
+//! cargo bench -p wf-bench --bench fig1_gemver
+//! ```
+
+use wf_bench::measure_modeled;
+use wf_benchsuite::by_name;
+use wf_cachesim::perf::MachineModel;
+use wf_codegen::{plan_from_optimized, render_plan};
+use wf_scop::pretty;
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let bench = by_name("gemver").expect("gemver in catalog");
+    let scop = &bench.scop;
+    println!("== Figure 1(a): original gemver ==\n{}", pretty::render_original(scop));
+
+    let opt = optimize(scop, Model::Wisefuse).expect("schedulable");
+    let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
+    println!("== Figure 3: statement-wise multi-dimensional affine transform ==");
+    print!("{}", opt.transformed.schedule.render(&names));
+    println!(
+        "\npartitions: {:?}   outer parallel: {}",
+        opt.transformed.partitions,
+        opt.outer_parallel()
+    );
+
+    let plan = plan_from_optimized(scop, &opt);
+    println!("\n== Figure 1(c): transformed gemver ==\n{}", render_plan(scop, &plan));
+
+    // The §5.3 observation: at reference sizes, nofuse beats the fusing
+    // models on gemver (fusion costs S1/S2 spatial locality), while icc
+    // trails because it cannot outer-parallelize S2's nest.
+    let machine = MachineModel::default();
+    println!(
+        "== gemver modeled time, N = {}, {} virtual cores ==",
+        bench.bench_params[0], machine.cores
+    );
+    for model in wf_wisefuse::Model::ALL {
+        let (_, r) = measure_modeled(&bench.scop, &bench.bench_params, model, &machine, 3);
+        println!("  {:<10} {:>10.4}s", model.name(), r.modeled_seconds);
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 5: pre-fusion schedules for swim — Algorithm 1 vs PLuTo's DFS —
+//! and the fused code each produces.
+//!
+//! ```bash
+//! cargo bench -p wf-bench --bench fig5_swim_schedule
+//! ```
+
+use wf_benchsuite::by_name;
+use wf_codegen::{plan_from_optimized, render_plan};
+use wf_deps::{analyze, tarjan};
+use wf_schedule::fusion::dfs_order;
+use wf_wisefuse::prefusion::algorithm1;
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let bench = by_name("swim").expect("swim in catalog");
+    let scop = &bench.scop;
+    let ddg = analyze(scop);
+    let sccs = tarjan(&ddg);
+    let depths: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
+
+    println!("== Figure 5(a)/(c): SCC ids under both pre-fusion schedules ==\n");
+    let wise = algorithm1(scop, &ddg, &sccs);
+    let dfs = dfs_order(&ddg, &sccs);
+    let pos_in = |order: &[usize], stmt: usize| {
+        order.iter().position(|&c| c == sccs.scc_of[stmt]).unwrap()
+    };
+    println!("{:<6} {:>4} {:>14} {:>12}", "stmt", "dim", "wisefuse[id]", "pluto[id]");
+    for (s, st) in scop.statements.iter().enumerate() {
+        println!(
+            "{:<6} {:>4} {:>14} {:>12}",
+            st.name,
+            st.depth,
+            pos_in(&wise, s),
+            pos_in(&dfs, s)
+        );
+    }
+    let switches = |order: &[usize]| {
+        order
+            .windows(2)
+            .filter(|w| sccs.dimensionality(w[0], &depths) != sccs.dimensionality(w[1], &depths))
+            .count()
+    };
+    println!(
+        "\ndimensionality switches along the order: wisefuse {}, pluto-DFS {}",
+        switches(&wise),
+        switches(&dfs)
+    );
+
+    for model in [Model::Wisefuse, Model::Smartfuse] {
+        let opt = optimize(scop, model).expect("schedulable");
+        let parts = &opt.transformed.partitions;
+        let n_parts = parts.iter().max().unwrap() + 1;
+        let mut groups: std::collections::BTreeMap<usize, Vec<&str>> = Default::default();
+        for (s, &p) in parts.iter().enumerate() {
+            groups.entry(p).or_default().push(scop.statements[s].name.as_str());
+        }
+        println!(
+            "\n== Figure 5({}): {} fused code — {} partitions, outer parallel: {} ==",
+            if model == Model::Wisefuse { 'b' } else { 'd' },
+            model.name(),
+            n_parts,
+            opt.outer_parallel(),
+        );
+        for (p, members) in &groups {
+            println!("  loop nest {p}: {members:?}");
+        }
+        let biggest = groups.values().map(Vec::len).max().unwrap();
+        println!("  largest fused nest: {biggest} statements");
+        if model == Model::Wisefuse {
+            let plan = plan_from_optimized(scop, &opt);
+            let code = render_plan(scop, &plan);
+            // Print just the head of the (long) transformed program.
+            let head: String = code.lines().take(24).collect::<Vec<_>>().join("\n");
+            println!("\n{head}\n  ...");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figures 4 & 6: the advect kernel under maximal fusion (shifted,
+//! pipelined — Fig. 4c) vs wisefuse's Algorithm 2 (S4 distributed, outer
+//! loops parallel — Fig. 6), with the statement-wise transforms and the
+//! generated codes.
+//!
+//! ```bash
+//! cargo bench -p wf-bench --bench fig6_advect
+//! ```
+
+use wf_bench::measure_modeled;
+use wf_benchsuite::by_name;
+use wf_cachesim::perf::MachineModel;
+use wf_codegen::{plan_from_optimized, render_plan};
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let bench = by_name("advect").expect("advect in catalog");
+    let scop = &bench.scop;
+    let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
+
+    for (fig, model) in [("4(c) maxfuse", Model::Maxfuse), ("6 wisefuse", Model::Wisefuse)] {
+        let opt = optimize(scop, model).expect("schedulable");
+        println!("== Figure {fig} ==");
+        print!("{}", opt.transformed.schedule.render(&names));
+        println!(
+            "partitions: {:?}   outer parallel: {}\n",
+            opt.transformed.partitions,
+            opt.outer_parallel()
+        );
+        let plan = plan_from_optimized(scop, &opt);
+        println!("{}", render_plan(scop, &plan));
+    }
+
+    // Modeled comparison at the bench size (8 virtual cores).
+    let machine = MachineModel::default();
+    println!(
+        "== advect modeled time, N = {}, {} virtual cores ==",
+        bench.bench_params[0], machine.cores
+    );
+    for model in Model::ALL {
+        let (opt, r) = measure_modeled(&bench.scop, &bench.bench_params, model, &machine, 7);
+        println!(
+            "  {:<10} {:>10.4}s   (partitions {}, outer parallel {})",
+            model.name(),
+            r.modeled_seconds,
+            opt.n_partitions(),
+            opt.outer_parallel()
+        );
+    }
+}

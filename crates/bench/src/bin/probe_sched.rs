@@ -1,0 +1,24 @@
+//! One-shot scheduling timer (development aid): prints per-model schedule
+//! times for one benchmark.
+use std::time::Instant;
+use wf_benchsuite::by_name;
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bt".into());
+    let b = by_name(&name).expect("benchmark");
+    for model in Model::ALL {
+        let t0 = Instant::now();
+        let r = optimize(&b.scop, model);
+        match r {
+            Ok(o) => println!(
+                "{name} {:<10} {:?} partitions={} outer_par={}",
+                model.name(),
+                t0.elapsed(),
+                o.n_partitions(),
+                o.outer_parallel()
+            ),
+            Err(e) => println!("{name} {:<10} FAILED after {:?}: {e}", model.name(), t0.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared helpers for the figure/table harnesses.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use wf_cachesim::perf::{model_performance, MachineModel, PerfReport};
+use wf_codegen::{plan_from_optimized, ExecPlan};
+use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_scop::Scop;
+use wf_wisefuse::{optimize, Model, Optimized};
+
+/// One benchmark × model measurement.
+pub struct Measurement {
+    /// Model measured.
+    pub model: Model,
+    /// Optimization pipeline output.
+    pub opt: Optimized,
+    /// Wall-clock of the transformed execution.
+    pub time: Duration,
+    /// Wall-clock of scheduling itself.
+    pub compile_time: Duration,
+}
+
+/// Run one benchmark under one model: schedule, plan, execute, time.
+/// Output arrays are compared against `oracle` (when provided) to keep the
+/// harness honest.
+pub fn measure(
+    scop: &Scop,
+    params: &[i128],
+    model: Model,
+    threads: usize,
+    init: &ProgramData,
+    oracle: Option<&ProgramData>,
+) -> Measurement {
+    let c0 = Instant::now();
+    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    let plan = plan_from_optimized(scop, &opt);
+    let compile_time = c0.elapsed();
+    let mut data = init.clone();
+    let t0 = Instant::now();
+    execute_plan(scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+    let time = t0.elapsed();
+    if let Some(o) = oracle {
+        assert_eq!(
+            data.max_abs_diff(o),
+            0.0,
+            "{}: {model:?} diverges from the baseline execution",
+            scop.name
+        );
+    }
+    let _ = params;
+    Measurement { model, opt, time, compile_time }
+}
+
+/// Plan + data for a model (used by harnesses that need the plan itself).
+pub fn plan_and_data(
+    scop: &Scop,
+    params: &[i128],
+    model: Model,
+    seed: u64,
+) -> (Optimized, ExecPlan, ProgramData) {
+    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    let plan = plan_from_optimized(scop, &opt);
+    let mut data = ProgramData::new(scop, params);
+    data.init_random(seed);
+    (opt, plan, data)
+}
+
+/// Geometric mean.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Number of worker threads used by the harnesses (the paper uses 8 cores).
+#[must_use]
+pub fn harness_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get()).min(8)
+}
+
+/// Schedule + plan + instrumented serial run priced on the machine model.
+/// This is what the Figure 7 harness reports: it makes both of wisefuse's
+/// objectives (reuse, coarse-grained parallelism) visible regardless of how
+/// many physical cores the benchmarking host has.
+pub fn measure_modeled(
+    scop: &Scop,
+    params: &[i128],
+    model: Model,
+    machine: &MachineModel,
+    seed: u64,
+) -> (Optimized, PerfReport) {
+    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    let plan = plan_from_optimized(scop, &opt);
+    let mut data = ProgramData::new(scop, params);
+    data.init_random(seed);
+    let report = model_performance(scop, &opt, &plan, &mut data, machine);
+    (opt, report)
+}

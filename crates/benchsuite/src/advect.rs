@@ -1,0 +1,123 @@
+//! advect (PLuTo's weather-modeling kernel, paper Figures 4 and 6).
+//!
+//! Four 2-D statements: S1–S3 compute flux-like quantities from the wind
+//! field `W` (heavy read reuse among them), S4 combines S1–S3's outputs
+//! with a **symmetric stencil** (both `-1` and `+1` offsets). Full fusion
+//! therefore requires shifting S4 and turns the fused outer loop into a
+//! forward-dependence (pipelined) loop — Figure 4(c). Wisefuse's
+//! Algorithm 2 instead distributes only S4 (Figure 6), keeping S1–S3 fused
+//! with their reuse and every outer loop parallel.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Build the advect SCoP (parameter `N` = grid size).
+#[must_use]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("advect", &["N"]);
+    b.context_ge(Aff::param(0) - 8);
+    let n = Aff::param(0);
+    let w = b.array("W", &[n.clone(), n.clone()]);
+    let h = b.array("H", &[n.clone(), n.clone()]);
+    let c1 = b.array("C1", &[n.clone(), n.clone()]);
+    let c2 = b.array("C2", &[n.clone(), n.clone()]);
+    let c3 = b.array("C3", &[n.clone(), n.clone()]);
+    let out = b.array("OUT", &[n.clone(), n]);
+    let (i, j) = (Aff::iter(0), Aff::iter(1));
+
+    // S1: C1[i][j] = W[i][j] * H[i][j]
+    b.stmt("S1", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(c1, &[i.clone(), j.clone()])
+        .read(w, &[i.clone(), j.clone()])
+        .read(h, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S2: C2[i][j] = W[i][j] + H[i][j]   (reuses W and H: input deps)
+    b.stmt("S2", 2, &[1, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(c2, &[i.clone(), j.clone()])
+        .read(w, &[i.clone(), j.clone()])
+        .read(h, &[i.clone(), j.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S3: C3[i][j] = W[i][j] - H[i][j]
+    b.stmt("S3", 2, &[2, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(c3, &[i.clone(), j.clone()])
+        .read(w, &[i.clone(), j.clone()])
+        .read(h, &[i.clone(), j.clone()])
+        .rhs(Expr::sub(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S4: OUT[i][j] = C1[i-1][j] + C1[i+1][j] + C2[i][j-1] + C2[i][j+1]
+    //                 + C3[i][j]
+    // The symmetric stencil along *both* axes means every fused hyperplane
+    // carries a forward dependence: fusion and outer parallelism conflict.
+    b.stmt("S4", 2, &[3, 0, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 2)
+        .bounds(1, Aff::konst(1), Aff::param(0) - 2)
+        .write(out, &[i.clone(), j.clone()])
+        .read(c1, &[i.clone() - 1, j.clone()])
+        .read(c1, &[i.clone() + 1, j.clone()])
+        .read(c2, &[i.clone(), j.clone() - 1])
+        .read(c2, &[i.clone(), j.clone() + 1])
+        .read(c3, &[i, j])
+        .rhs(Expr::add(
+            Expr::add(Expr::Load(0), Expr::Load(1)),
+            Expr::add(Expr::add(Expr::Load(2), Expr::Load(3)), Expr::Load(4)),
+        ))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_wisefuse::{optimize, Model};
+
+    /// The paper's headline advect result: maxfuse/smartfuse fuse all four
+    /// statements (shifted, pipelined outer loop); wisefuse distributes
+    /// exactly S4 and keeps every outer loop parallel.
+    #[test]
+    fn wisefuse_cuts_s4_and_stays_parallel() {
+        let s = build();
+        let w = optimize(&s, Model::Wisefuse).unwrap();
+        assert_eq!(
+            w.transformed.partitions[0], w.transformed.partitions[1],
+            "S1,S2 fused"
+        );
+        assert_eq!(
+            w.transformed.partitions[1], w.transformed.partitions[2],
+            "S2,S3 fused"
+        );
+        assert_ne!(
+            w.transformed.partitions[2], w.transformed.partitions[3],
+            "S4 distributed (Figure 6)"
+        );
+        assert!(w.outer_parallel(), "coarse-grained parallelism preserved");
+    }
+
+    #[test]
+    fn maxfuse_loses_outer_parallelism() {
+        let s = build();
+        let m = optimize(&s, Model::Maxfuse).unwrap();
+        assert!(
+            m.transformed.partitions.iter().all(|&p| p == 0),
+            "maxfuse fuses everything: {:?}",
+            m.transformed.partitions
+        );
+        assert!(!m.outer_parallel(), "shifted fusion pipelines the outer loop");
+    }
+
+    #[test]
+    fn smartfuse_also_fuses_maximally_here() {
+        // All four statements have dimensionality 2, so smartfuse's
+        // dimensionality cut never fires: same trap as maxfuse (paper §5.3).
+        let s = build();
+        let m = optimize(&s, Model::Smartfuse).unwrap();
+        assert!(m.transformed.partitions.iter().all(|&p| p == 0));
+        assert!(!m.outer_parallel());
+    }
+}

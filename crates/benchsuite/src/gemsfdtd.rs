@@ -1,0 +1,217 @@
+//! gemsfdtd (SPEC CPU2006): the UPMLupdateh hot region (paper Figure 8).
+//!
+//! Structural substitute: thirteen statements alternating between 3-D field
+//! updates and 2-D PML-coefficient updates exactly as the UPML update does —
+//! dims `[3,2,3, 3,2,3, 3,2,3, 2,3,2,3]` in program order. Three reuse
+//! families exist:
+//!
+//! * the B-field updates (`S1,S4,S7`) plus the diagnostic `S11` share
+//!   read-only E-field arrays (input dependences),
+//! * the coefficient updates (`S2,S5,S8`) plus `S10,S12` share `SIGMA`,
+//! * the H-field updates (`S3,S6,S9`) plus `S13` share `MU` and consume the
+//!   B fields and coefficients.
+//!
+//! Figure 8's point: wisefuse re-orders the SCCs into three same-dimension
+//! partitions with full reuse; PLuTo's DFS order interleaves the
+//! dimensionalities and shatters the program into many more partitions; icc
+//! fuses nothing.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+const C1: f64 = 0.9;
+const C2: f64 = 0.05;
+
+/// Build the gemsfdtd SCoP (parameter `N` = grid size).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("gemsfdtd", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let n = Aff::param(0);
+    let e3 = || vec![n.clone() + 1, n.clone() + 1, n.clone() + 1];
+    let d3 = || vec![n.clone(), n.clone(), n.clone()];
+    let d2 = || vec![n.clone(), n.clone()];
+
+    let ex = b.array("EX", &e3());
+    let ey = b.array("EY", &e3());
+    let ez = b.array("EZ", &e3());
+    let bx = b.array("BX", &d3());
+    let by = b.array("BY", &d3());
+    let bz = b.array("BZ", &d3());
+    let hx = b.array("HX", &d3());
+    let hy = b.array("HY", &d3());
+    let hz = b.array("HZ", &d3());
+    let mu = b.array("MU", &d3());
+    let eavg = b.array("EAVG", &d3());
+    let havg = b.array("HAVG", &d3());
+    let kx = b.array("KX", &d2());
+    let ky = b.array("KY", &d2());
+    let kz = b.array("KZ", &d2());
+    let sigma = b.array("SIGMA", &d2());
+    let psi1 = b.array("PSI1", &d2());
+    let psi2 = b.array("PSI2", &d2());
+
+    let (i, j, k) = (Aff::iter(0), Aff::iter(1), Aff::iter(2));
+    fn b3<'a>(bb: wf_scop::StmtBuilder<'a>) -> wf_scop::StmtBuilder<'a> {
+        bb.bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .bounds(2, Aff::zero(), Aff::param(0) - 1)
+    }
+    fn b2<'a>(bb: wf_scop::StmtBuilder<'a>) -> wf_scop::StmtBuilder<'a> {
+        bb.bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+    }
+
+    // Curl-style B update: BX += c2*(dEY/dz - dEZ/dy), etc.
+    let curl = |l0: usize, l1: usize, l2: usize, l3: usize| {
+        Expr::add(
+            Expr::mul(Expr::Const(C1), Expr::Load(0)),
+            Expr::mul(
+                Expr::Const(C2),
+                Expr::sub(
+                    Expr::sub(Expr::Load(l0), Expr::Load(l1)),
+                    Expr::sub(Expr::Load(l2), Expr::Load(l3)),
+                ),
+            ),
+        )
+    };
+
+    // S1 (3D): BX from EY/EZ.
+    b3(b.stmt("S1", 3, &[0, 0, 0, 0]))
+        .write(bx, &[i.clone(), j.clone(), k.clone()])
+        .read(bx, &[i.clone(), j.clone(), k.clone()])
+        .read(ey, &[i.clone(), j.clone(), k.clone() + 1])
+        .read(ey, &[i.clone(), j.clone(), k.clone()])
+        .read(ez, &[i.clone(), j.clone() + 1, k.clone()])
+        .read(ez, &[i.clone(), j.clone(), k.clone()])
+        .rhs(curl(1, 2, 3, 4))
+        .done();
+    // S2 (2D): KX coefficient refresh.
+    b2(b.stmt("S2", 2, &[1, 0, 0]))
+        .write(kx, &[i.clone(), j.clone()])
+        .read(kx, &[i.clone(), j.clone()])
+        .read(sigma, &[i.clone(), j.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S3 (3D): HX from BX and KX.
+    b3(b.stmt("S3", 3, &[2, 0, 0, 0]))
+        .write(hx, &[i.clone(), j.clone(), k.clone()])
+        .read(hx, &[i.clone(), j.clone(), k.clone()])
+        .read(mu, &[i.clone(), j.clone(), k.clone()])
+        .read(bx, &[i.clone(), j.clone(), k.clone()])
+        .read(kx, &[i.clone(), j.clone()])
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::mul(Expr::Load(2), Expr::Load(3))),
+        ))
+        .done();
+    // S4 (3D): BY from EZ/EX.
+    b3(b.stmt("S4", 3, &[3, 0, 0, 0]))
+        .write(by, &[i.clone(), j.clone(), k.clone()])
+        .read(by, &[i.clone(), j.clone(), k.clone()])
+        .read(ez, &[i.clone() + 1, j.clone(), k.clone()])
+        .read(ez, &[i.clone(), j.clone(), k.clone()])
+        .read(ex, &[i.clone(), j.clone(), k.clone() + 1])
+        .read(ex, &[i.clone(), j.clone(), k.clone()])
+        .rhs(curl(1, 2, 3, 4))
+        .done();
+    // S5 (2D): KY refresh.
+    b2(b.stmt("S5", 2, &[4, 0, 0]))
+        .write(ky, &[i.clone(), j.clone()])
+        .read(ky, &[i.clone(), j.clone()])
+        .read(sigma, &[i.clone(), j.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Const(2.0), Expr::Load(1))))
+        .done();
+    // S6 (3D): HY from BY and KY.
+    b3(b.stmt("S6", 3, &[5, 0, 0, 0]))
+        .write(hy, &[i.clone(), j.clone(), k.clone()])
+        .read(hy, &[i.clone(), j.clone(), k.clone()])
+        .read(mu, &[i.clone(), j.clone(), k.clone()])
+        .read(by, &[i.clone(), j.clone(), k.clone()])
+        .read(ky, &[i.clone(), j.clone()])
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::mul(Expr::Load(2), Expr::Load(3))),
+        ))
+        .done();
+    // S7 (3D): BZ from EX/EY.
+    b3(b.stmt("S7", 3, &[6, 0, 0, 0]))
+        .write(bz, &[i.clone(), j.clone(), k.clone()])
+        .read(bz, &[i.clone(), j.clone(), k.clone()])
+        .read(ex, &[i.clone(), j.clone() + 1, k.clone()])
+        .read(ex, &[i.clone(), j.clone(), k.clone()])
+        .read(ey, &[i.clone() + 1, j.clone(), k.clone()])
+        .read(ey, &[i.clone(), j.clone(), k.clone()])
+        .rhs(curl(1, 2, 3, 4))
+        .done();
+    // S8 (2D): KZ refresh.
+    b2(b.stmt("S8", 2, &[7, 0, 0]))
+        .write(kz, &[i.clone(), j.clone()])
+        .read(kz, &[i.clone(), j.clone()])
+        .read(sigma, &[i.clone(), j.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Const(3.0), Expr::Load(1))))
+        .done();
+    // S9 (3D): HZ from BZ and KZ.
+    b3(b.stmt("S9", 3, &[8, 0, 0, 0]))
+        .write(hz, &[i.clone(), j.clone(), k.clone()])
+        .read(hz, &[i.clone(), j.clone(), k.clone()])
+        .read(mu, &[i.clone(), j.clone(), k.clone()])
+        .read(bz, &[i.clone(), j.clone(), k.clone()])
+        .read(kz, &[i.clone(), j.clone()])
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::mul(Expr::Load(2), Expr::Load(3))),
+        ))
+        .done();
+    // S10 (2D): PML auxiliary from KX, KY.
+    b2(b.stmt("S10", 2, &[9, 0, 0]))
+        .write(psi1, &[i.clone(), j.clone()])
+        .read(kx, &[i.clone(), j.clone()])
+        .read(ky, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S11 (3D): E-field diagnostic (pure input-dependence reuse with
+    // S1/S4/S7).
+    b3(b.stmt("S11", 3, &[10, 0, 0, 0]))
+        .write(eavg, &[i.clone(), j.clone(), k.clone()])
+        .read(ex, &[i.clone(), j.clone(), k.clone()])
+        .read(ey, &[i.clone(), j.clone(), k.clone()])
+        .read(ez, &[i.clone(), j.clone(), k.clone()])
+        .rhs(Expr::mul(
+            Expr::Const(1.0 / 3.0),
+            Expr::add(Expr::add(Expr::Load(0), Expr::Load(1)), Expr::Load(2)),
+        ))
+        .done();
+    // S12 (2D): second PML auxiliary.
+    b2(b.stmt("S12", 2, &[11, 0, 0]))
+        .write(psi2, &[i.clone(), j.clone()])
+        .read(kz, &[i.clone(), j.clone()])
+        .read(sigma, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S13 (3D): H-field diagnostic, consumes S3/S6/S9.
+    b3(b.stmt("S13", 3, &[12, 0, 0, 0]))
+        .write(havg, &[i.clone(), j.clone(), k.clone()])
+        .read(hx, &[i.clone(), j.clone(), k.clone()])
+        .read(hy, &[i.clone(), j.clone(), k.clone()])
+        .read(hz, &[i, j, k])
+        .rhs(Expr::mul(
+            Expr::Const(1.0 / 3.0),
+            Expr::add(Expr::add(Expr::Load(0), Expr::Load(1)), Expr::Load(2)),
+        ))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_statements_mixed_dims() {
+        let s = build();
+        assert_eq!(s.n_statements(), 13);
+        let dims: Vec<usize> = s.statements.iter().map(|st| st.depth).collect();
+        assert_eq!(dims, vec![3, 2, 3, 3, 2, 3, 3, 2, 3, 2, 3, 2, 3]);
+    }
+}

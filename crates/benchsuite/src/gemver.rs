@@ -1,0 +1,127 @@
+//! gemver (Polybench): the paper's running example (Figures 1 and 3).
+//!
+//! ```text
+//! S1: A[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j]
+//! S2: x[i]    = x[i] + beta * A[j][i] * y[j]
+//! S3: x[i]    = x[i] + z[i]
+//! S4: w[i]    = w[i] + alpha * A[i][j] * x[j]
+//! ```
+//!
+//! Fusing S1 and S2 is illegal as written (Fig. 1b) but legal after
+//! interchanging S1's nest (Fig. 1c) — the composition a polyhedral
+//! scheduler finds in one step.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+/// Build the gemver SCoP (parameter `N`).
+#[must_use]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("gemver", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let n = Aff::param(0);
+    let a = b.array("A", &[n.clone(), n.clone()]);
+    let u1 = b.array("u1", std::slice::from_ref(&n));
+    let v1 = b.array("v1", std::slice::from_ref(&n));
+    let u2 = b.array("u2", std::slice::from_ref(&n));
+    let v2 = b.array("v2", std::slice::from_ref(&n));
+    let x = b.array("x", std::slice::from_ref(&n));
+    let y = b.array("y", std::slice::from_ref(&n));
+    let z = b.array("z", std::slice::from_ref(&n));
+    let w = b.array("w", std::slice::from_ref(&n));
+
+    let (i, j) = (Aff::iter(0), Aff::iter(1));
+    fn full<'a>(bb: wf_scop::StmtBuilder<'a>) -> wf_scop::StmtBuilder<'a> {
+        bb.bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+    }
+
+    // S1: A[i][j] += u1[i]*v1[j] + u2[i]*v2[j]
+    full(b.stmt("S1", 2, &[0, 0, 0]))
+        .write(a, &[i.clone(), j.clone()])
+        .read(a, &[i.clone(), j.clone()])
+        .read(u1, std::slice::from_ref(&i))
+        .read(v1, std::slice::from_ref(&j))
+        .read(u2, std::slice::from_ref(&i))
+        .read(v2, std::slice::from_ref(&j))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::add(
+                Expr::mul(Expr::Load(1), Expr::Load(2)),
+                Expr::mul(Expr::Load(3), Expr::Load(4)),
+            ),
+        ))
+        .done();
+    // S2: x[i] += beta * A[j][i] * y[j]
+    full(b.stmt("S2", 2, &[1, 0, 0]))
+        .write(x, std::slice::from_ref(&i))
+        .read(x, std::slice::from_ref(&i))
+        .read(a, &[j.clone(), i.clone()])
+        .read(y, std::slice::from_ref(&j))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Const(BETA), Expr::mul(Expr::Load(1), Expr::Load(2))),
+        ))
+        .done();
+    // S3: x[i] += z[i]
+    b.stmt("S3", 1, &[2, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(x, std::slice::from_ref(&i))
+        .read(x, std::slice::from_ref(&i))
+        .read(z, std::slice::from_ref(&i))
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S4: w[i] += alpha * A[i][j] * x[j]
+    full(b.stmt("S4", 2, &[3, 0, 0]))
+        .write(w, std::slice::from_ref(&i))
+        .read(w, std::slice::from_ref(&i))
+        .read(a, &[i, j.clone()])
+        .read(x, &[j])
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Const(ALPHA), Expr::mul(Expr::Load(1), Expr::Load(2))),
+        ))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_deps::{analyze, DepKind};
+    use wf_wisefuse::{optimize, Model};
+
+    #[test]
+    fn structure() {
+        let s = build();
+        assert_eq!(s.n_statements(), 4);
+        assert_eq!(s.statements[2].depth, 1, "S3 is one-dimensional");
+    }
+
+    #[test]
+    fn s1_s2_flow_through_transposed_a() {
+        let s = build();
+        let ddg = analyze(&s);
+        assert!(ddg
+            .edges
+            .iter()
+            .any(|e| e.src == 0 && e.dst == 1 && e.kind == DepKind::Flow));
+    }
+
+    /// The paper: wisefuse and smartfuse achieve identical fusion
+    /// partitionings on gemver.
+    #[test]
+    fn wisefuse_matches_smartfuse_partitioning() {
+        let s = build();
+        let w = optimize(&s, Model::Wisefuse).unwrap();
+        let f = optimize(&s, Model::Smartfuse).unwrap();
+        assert_eq!(w.transformed.partitions, f.transformed.partitions);
+        // And S1/S2 are fused (the Figure 1c result).
+        assert_eq!(
+            w.transformed.partitions[0], w.transformed.partitions[1],
+            "S1 and S2 fuse after interchange"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The ten benchmarks of the paper's evaluation (Table 2), encoded as
+//! SCoPs.
+//!
+//! The five *large* programs (gemsfdtd, swim, applu, bt, sp) are structural
+//! substitutes for the SPEC/NPB originals: each reproduces the statement
+//! count, dimensionalities, and dependence/reuse pattern the paper
+//! describes for the fusion-relevant region — which is all the fusion cost
+//! model ever sees. The five *small* programs (advect, lu, tce, gemver,
+//! wupwise's zgemm core) follow their public sources. See DESIGN.md §4 for
+//! the substitution rationale.
+
+#![allow(clippy::needless_range_loop)] // index-style is clearer for matrix/tableau code
+#![warn(missing_docs)]
+
+pub mod advect;
+pub mod gemsfdtd;
+pub mod gemver;
+pub mod lu;
+pub mod passes;
+pub mod swim;
+pub mod tce;
+pub mod wupwise;
+
+use wf_scop::Scop;
+
+/// One catalog entry.
+pub struct Benchmark {
+    /// Benchmark name (paper's spelling).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: &'static str,
+    /// The paper's Table 2 category.
+    pub category: &'static str,
+    /// Is this one of the paper's "large" programs?
+    pub large: bool,
+    /// The SCoP.
+    pub scop: Scop,
+    /// Parameter values for performance measurement (laptop-scaled).
+    pub bench_params: Vec<i128>,
+    /// Small parameter values for correctness tests.
+    pub test_params: Vec<i128>,
+}
+
+/// All ten benchmarks, in the paper's Table 2 order.
+#[must_use]
+pub fn catalog() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "gemsfdtd",
+            suite: "SPEC 2006",
+            category: "Computational Electromagnetics",
+            large: true,
+            scop: gemsfdtd::build(),
+            bench_params: vec![44],
+            test_params: vec![6],
+        },
+        Benchmark {
+            name: "swim",
+            suite: "SPEC OMP",
+            category: "Shallow Water Modeling",
+            large: true,
+            scop: swim::build(),
+            bench_params: vec![320],
+            test_params: vec![8],
+        },
+        Benchmark {
+            name: "applu",
+            suite: "SPEC OMP",
+            category: "Computational Fluid Dynamics",
+            large: true,
+            scop: passes::build_applu(),
+            bench_params: vec![44],
+            test_params: vec![6],
+        },
+        Benchmark {
+            name: "bt",
+            suite: "NPB",
+            category: "Block Tri-diagonal solver",
+            large: true,
+            scop: passes::build_bt(),
+            bench_params: vec![44],
+            test_params: vec![6],
+        },
+        Benchmark {
+            name: "sp",
+            suite: "NPB",
+            category: "Scalar Penta-diagonal solver",
+            large: true,
+            scop: passes::build_sp(),
+            bench_params: vec![44],
+            test_params: vec![6],
+        },
+        Benchmark {
+            name: "advect",
+            suite: "PLuTo",
+            category: "Weather modeling",
+            large: false,
+            scop: advect::build(),
+            bench_params: vec![400],
+            test_params: vec![10],
+        },
+        Benchmark {
+            name: "lu",
+            suite: "Polybench",
+            category: "Linear Algebra",
+            large: false,
+            scop: lu::build(),
+            bench_params: vec![128],
+            test_params: vec![8],
+        },
+        Benchmark {
+            name: "tce",
+            suite: "Polybench",
+            category: "Computational Chemistry",
+            large: false,
+            scop: tce::build(),
+            bench_params: vec![16],
+            test_params: vec![5],
+        },
+        Benchmark {
+            name: "gemver",
+            suite: "Polybench",
+            category: "Linear Algebra",
+            large: false,
+            scop: gemver::build(),
+            bench_params: vec![512],
+            test_params: vec![9],
+        },
+        Benchmark {
+            name: "wupwise",
+            suite: "SPEC OMP",
+            category: "Quantum Chromodynamics",
+            large: false,
+            scop: wupwise::build(),
+            bench_params: vec![80],
+            test_params: vec![7],
+        },
+    ]
+}
+
+/// Fetch one benchmark by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    catalog().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_valid() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 10);
+        for b in &cat {
+            assert_eq!(b.scop.validate(), Vec::<String>::new(), "{} invalid", b.name);
+            assert!(
+                b.scop.context.contains(&b.test_params),
+                "{}: test params violate context",
+                b.name
+            );
+            assert!(
+                b.scop.context.contains(&b.bench_params),
+                "{}: bench params violate context",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn large_flags_match_paper() {
+        let larges: Vec<&str> = catalog().iter().filter(|b| b.large).map(|b| b.name).collect();
+        assert_eq!(larges, vec!["gemsfdtd", "swim", "applu", "bt", "sp"]);
+    }
+
+    #[test]
+    fn swim_has_36_statements() {
+        assert_eq!(swim::build().n_statements(), 36);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("swim").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

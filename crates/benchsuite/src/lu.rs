@@ -1,0 +1,101 @@
+//! lu (Polybench): Gaussian elimination to an upper-triangular system.
+//!
+//! ```text
+//! for k:
+//!   for j in k+1..N:            S1: A[k][j] = A[k][j] / A[k][k]
+//!   for i in k+1..N:
+//!     for j in k+1..N:          S2: A[i][j] = A[i][j] - A[i][k]*A[k][j]
+//! ```
+//!
+//! Non-rectangular iteration space: the paper notes icc "adopts a
+//! conservative approach and does not achieve coarse-grained
+//! parallelization" here, while the polyhedral models do; wisefuse and
+//! smartfuse produce the same partitioning.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Build the lu SCoP (parameter `N`).
+#[must_use]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("lu", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let n = Aff::param(0);
+    let a = b.array("A", &[n.clone(), n]);
+
+    // S1 at (k, j).
+    b.stmt("S1", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::iter(0) + 1, Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(0)])
+        .rhs(Expr::div(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S2 at (k, i, j).
+    b.stmt("S2", 3, &[0, 1, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::iter(0) + 1, Aff::param(0) - 1)
+        .bounds(2, Aff::iter(0) + 1, Aff::param(0) - 1)
+        .write(a, &[Aff::iter(1), Aff::iter(2)])
+        .read(a, &[Aff::iter(1), Aff::iter(2)])
+        .read(a, &[Aff::iter(1), Aff::iter(0)])
+        .read(a, &[Aff::iter(0), Aff::iter(2)])
+        .rhs(Expr::sub(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_wisefuse::icc::is_rectangular;
+    use wf_wisefuse::{optimize, Model};
+
+    #[test]
+    fn non_rectangular_for_icc() {
+        let s = build();
+        assert!(!is_rectangular(&s, 0));
+        assert!(!is_rectangular(&s, 1));
+    }
+
+    #[test]
+    fn wisefuse_matches_smartfuse() {
+        let s = build();
+        let w = optimize(&s, Model::Wisefuse).unwrap();
+        let f = optimize(&s, Model::Smartfuse).unwrap();
+        assert_eq!(w.transformed.partitions, f.transformed.partitions);
+    }
+
+    #[test]
+    fn elimination_is_correct() {
+        // Against a directly-coded Gaussian elimination.
+        use wf_runtime::{execute_reference, ProgramData};
+        let s = build();
+        let n = 5usize;
+        let mut d = ProgramData::new(&s, &[n as i128]);
+        d.init_random(3);
+        // Strongly diagonally dominant input for numerical sanity.
+        for i in 0..n {
+            let v = d.arrays[0].get(&[i as i128, i as i128]);
+            d.arrays[0].set(&[i as i128, i as i128], v + 10.0);
+        }
+        let mut m: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| d.arrays[0].get(&[i as i128, j as i128])).collect()).collect();
+        execute_reference(&s, &mut d);
+        for k in 0..n {
+            for j in k + 1..n {
+                m[k][j] /= m[k][k];
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    m[i][j] -= m[i][k] * m[k][j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(d.arrays[0].get(&[i as i128, j as i128]), m[i][j], "({i},{j})");
+            }
+        }
+    }
+}

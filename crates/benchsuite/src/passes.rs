@@ -1,0 +1,181 @@
+//! applu / bt / sp (SPEC OMP, NPB): multi-pass 3-D solvers.
+//!
+//! All three programs sweep the grid in x-, y- and z-passes; within a pass
+//! every statement reads the same right-hand-side field (massive
+//! read-reuse, i.e. **input dependences**), and each statement consumes the
+//! corresponding output of the previous pass through a small **symmetric
+//! stencil**.
+//!
+//! This structure reproduces the paper's §5.3 findings:
+//!
+//! * *wisefuse* "fused SCCs that belonged to the same pass and thus enjoyed
+//!   excellent reuse through the input dependences" — Algorithm 1's
+//!   program-order heuristic groups passes; Algorithm 2 cuts between passes
+//!   because the symmetric stencil would otherwise forward-serialize the
+//!   outer loop;
+//! * *smartfuse* "fused statements across different passes" — the DFS order
+//!   follows the producer-consumer chains, fusing chains with shifts and
+//!   losing both pass-local reuse and outer parallelism;
+//! * *icc* keeps the original distribution (parallel but reuse-free).
+//!
+//! The three benchmarks differ in statements per pass and stencil axis —
+//! enough to vary the workload the way the suite does.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Cross-pass stencil: a single-sided (Gauss-Seidel/SSOR-style) sweep
+/// touching all three axes, with a benchmark-specific radius on the solve
+/// axis. Touching *every* axis matters: anything less leaves a
+/// communication-free hyperplane orthogonal to the stencil and cross-pass
+/// fusion would be free; with all three axes covered, every fused outer
+/// hyperplane carries a forward dependence — the fusion/parallelism
+/// conflict wisefuse's Algorithm 2 resolves by cutting between passes.
+#[derive(Clone, Copy)]
+struct Stencil {
+    /// The sweep axis of the solve (gets the radius).
+    solve_axis: usize,
+    radius: i128,
+}
+
+fn build_passes(name: &str, n_passes: usize, per_pass: usize, st: Stencil) -> Scop {
+    let mut b = ScopBuilder::new(name, &["N"]);
+    // Big enough that the stencil stays in bounds.
+    b.context_ge(Aff::param(0) - Aff::konst(2 * st.radius + 2));
+    let n = Aff::param(0);
+    let d3 = || vec![n.clone(), n.clone(), n.clone()];
+
+    // The state field U is read by every statement of every pass (like
+    // applu's `u`/`rsd`): program-wide input-dependence reuse.
+    let u_field = b.array("U", &d3());
+    // Shared per-pass RHS fields (read-only within the pass).
+    let rhs: Vec<usize> =
+        (0..n_passes).map(|p| b.array(&format!("RHS{p}"), &d3())).collect();
+    // Per-pass, per-statement outputs.
+    let out: Vec<Vec<usize>> = (0..n_passes)
+        .map(|p| {
+            (0..per_pass)
+                .map(|q| b.array(&format!("OUT{p}_{q}"), &d3()))
+                .collect()
+        })
+        .collect();
+
+    let (i, j, k) = (Aff::iter(0), Aff::iter(1), Aff::iter(2));
+    let idx = [i.clone(), j.clone(), k.clone()];
+    let offset = |axis: usize, d: i128| {
+        let mut v = idx.clone();
+        v[axis] = idx[axis].clone() + d;
+        v
+    };
+
+    let mut stmt_no = 0usize;
+    for p in 0..n_passes {
+        for q in 0..per_pass {
+            stmt_no += 1;
+            let weight = Expr::Const(0.25 + q as f64 * 0.125);
+            let mut sb = b
+                .stmt(&format!("S{stmt_no}"), 3, &[stmt_no - 1, 0, 0, 0])
+                .bounds(0, Aff::konst(st.radius), Aff::param(0) - st.radius - 1)
+                .bounds(1, Aff::konst(st.radius), Aff::param(0) - st.radius - 1)
+                .bounds(2, Aff::konst(st.radius), Aff::param(0) - st.radius - 1)
+                .write(out[p][q], &idx.clone())
+                // Pass-local reuse: everyone reads RHS_p at two offsets...
+                .read(rhs[p], &idx.clone())
+                .read(rhs[p], &offset(st.solve_axis, st.radius))
+                // ...and the global state field U (two more shared reads).
+                .read(u_field, &idx.clone())
+                .read(u_field, &offset(st.solve_axis, -st.radius));
+            let expr = if p == 0 {
+                // First pass: pure RHS + U combination.
+                Expr::mul(
+                    weight,
+                    Expr::add(
+                        Expr::add(Expr::Load(0), Expr::Load(1)),
+                        Expr::add(Expr::Load(2), Expr::Load(3)),
+                    ),
+                )
+            } else {
+                // Later passes: consume the previous pass's corresponding
+                // output through a single-sided sweep stencil (one upwind
+                // neighbor per axis; radius r on the solve axis). The
+                // upwind/downwind mix across the identity read keeps every
+                // fused hyperplane forward-carried.
+                let mut terms = Vec::new();
+                for axis in 0..3 {
+                    let r = if axis == st.solve_axis { st.radius } else { 1 };
+                    // Alternate upwind/downwind by axis so no single shift
+                    // aligns all of them (the advect trap, in 3-D).
+                    let d = if axis % 2 == 0 { -r } else { r };
+                    sb = sb.read(out[p - 1][q], &offset(axis, d));
+                    terms.push(Expr::Load(4 + axis));
+                }
+                Expr::add(
+                    Expr::mul(
+                        weight,
+                        Expr::add(
+                            Expr::add(Expr::Load(0), Expr::Load(1)),
+                            Expr::add(Expr::Load(2), Expr::Load(3)),
+                        ),
+                    ),
+                    Expr::mul(Expr::Const(1.0 / 3.0), Expr::sum(terms)),
+                )
+            };
+            sb.rhs(expr).done();
+        }
+    }
+    b.build()
+}
+
+/// applu: 3 passes × 4 statements, solve axis `k`.
+#[must_use]
+pub fn build_applu() -> Scop {
+    build_passes("applu", 3, 4, Stencil { solve_axis: 2, radius: 1 })
+}
+
+/// bt: 3 passes × 4 statements, solve axis `j` (block tri-diagonal).
+#[must_use]
+pub fn build_bt() -> Scop {
+    build_passes("bt", 3, 4, Stencil { solve_axis: 1, radius: 1 })
+}
+
+/// sp: 3 passes × 4 statements, radius-2 solve along `k` (penta-diagonal).
+#[must_use]
+pub fn build_sp() -> Scop {
+    build_passes("sp", 3, 4, Stencil { solve_axis: 2, radius: 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_deps::{analyze, tarjan};
+    use wf_wisefuse::prefusion::algorithm1;
+
+    #[test]
+    fn statement_counts() {
+        assert_eq!(build_applu().n_statements(), 12);
+        assert_eq!(build_bt().n_statements(), 12);
+        assert_eq!(build_sp().n_statements(), 12);
+    }
+
+    /// Algorithm 1 keeps passes contiguous; the DFS order interleaves them
+    /// along producer chains (the paper's smartfuse failure mode).
+    #[test]
+    fn wisefuse_groups_passes_dfs_chains_them() {
+        let s = build_applu();
+        let ddg = analyze(&s);
+        let sccs = tarjan(&ddg);
+        let wise = algorithm1(&s, &ddg, &sccs);
+        let pos = |stmt: usize, order: &[usize]| {
+            order.iter().position(|&c| c == sccs.scc_of[stmt]).unwrap()
+        };
+        // Pass 0 = statements 0..4, pass 1 = 4..8, pass 2 = 8..12.
+        for q in 0..4 {
+            assert!(pos(q, &wise) < 4, "pass-0 stmt {q} in first block");
+            assert!((4..8).contains(&pos(4 + q, &wise)), "pass-1 stmt in second block");
+        }
+        let dfs = wf_schedule::fusion::dfs_order(&ddg, &sccs);
+        // In the DFS order, some pass-1 statement appears among the first
+        // four positions (chain-following).
+        let early_pass1 = (4..8).any(|stmt| pos(stmt, &dfs) < 4);
+        assert!(early_pass1, "DFS order should interleave passes: {dfs:?}");
+    }
+}

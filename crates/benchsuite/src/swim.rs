@@ -1,0 +1,422 @@
+//! swim (SPEC OMP): shallow-water modeling, 36 statements (paper Figure 2).
+//!
+//! Structural substitute for the SPEC source, reproducing exactly the
+//! features the paper's analysis hinges on:
+//!
+//! * a first 2-D nest `S1–S3` computing mass fluxes (`CU`, `CV`) and
+//!   vorticity (`Z`) with **read-only reuse of `P`, `U`, `V`** (input
+//!   dependences — invisible to PLuTo's DDG traversal),
+//! * nine 1-D periodic-boundary statements `S4–S12`,
+//! * a second 2-D nest `S13–S18` with the dependence pairs the paper names
+//!   (`S13→S16`, `S14→S17`, `S15→S18`), where `S13/S14` depend on the
+//!   boundary statements but **`S15` and `S18` do not** — so a good
+//!   pre-fusion schedule fuses `{S1,S2,S3,S15,S18}` (Figure 5b),
+//! * nine more boundary statements `S19–S27`,
+//! * a third 2-D nest `S28–S36` (time-shifting and diagnostics).
+//!
+//! All interior statements run over `i,j ∈ 1..N` on `(N+2)²` arrays.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+const TDTS8: f64 = 0.125;
+const ALPHA: f64 = 0.3;
+
+/// Build the swim SCoP (parameter `N` = interior grid size).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("swim", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let ext = || Aff::param(0) + 2;
+    let arr2 = |b: &mut ScopBuilder, name: &str| b.array(name, &[ext(), ext()]);
+    let arr1 = |b: &mut ScopBuilder, name: &str| b.array(name, &[ext()]);
+
+    let p = arr2(&mut b, "P");
+    let u = arr2(&mut b, "U");
+    let v = arr2(&mut b, "V");
+    let cu = arr2(&mut b, "CU");
+    let cv = arr2(&mut b, "CV");
+    let z = arr2(&mut b, "Z");
+    let unew = arr2(&mut b, "UNEW");
+    let vnew = arr2(&mut b, "VNEW");
+    let pnew = arr2(&mut b, "PNEW");
+    let uold = arr2(&mut b, "UOLD");
+    let vold = arr2(&mut b, "VOLD");
+    let pold = arr2(&mut b, "POLD");
+    let uacc = arr2(&mut b, "UACC");
+    let vacc = arr2(&mut b, "VACC");
+    let pacc = arr2(&mut b, "PACC");
+    let eu = arr2(&mut b, "EU");
+    let ev = arr2(&mut b, "EV");
+    let ep = arr2(&mut b, "EP");
+    let ub = arr1(&mut b, "UB");
+    let vb = arr1(&mut b, "VB");
+    let pb = arr1(&mut b, "PB");
+    let ub2 = arr1(&mut b, "UB2");
+    let vb2 = arr1(&mut b, "VB2");
+    let pb2 = arr1(&mut b, "PB2");
+
+    let (i, j) = (Aff::iter(0), Aff::iter(1));
+    let n = || Aff::param(0);
+
+    // ---- first 2-D nest: S1, S2, S3 (calc1-like) -------------------------
+    // S1: CU[i][j] = 0.5*(P[i][j] + P[i-1][j]) * U[i][j]
+    b.stmt("S1", 2, &[0, 0, 0])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(cu, &[i.clone(), j.clone()])
+        .read(p, &[i.clone(), j.clone()])
+        .read(p, &[i.clone() - 1, j.clone()])
+        .read(u, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::mul(Expr::add(Expr::Load(0), Expr::Load(1)), Expr::Load(2)),
+        ))
+        .done();
+    // S2: CV[i][j] = 0.5*(P[i][j] + P[i][j-1]) * V[i][j]
+    b.stmt("S2", 2, &[0, 0, 1])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(cv, &[i.clone(), j.clone()])
+        .read(p, &[i.clone(), j.clone()])
+        .read(p, &[i.clone(), j.clone() - 1])
+        .read(v, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::mul(Expr::add(Expr::Load(0), Expr::Load(1)), Expr::Load(2)),
+        ))
+        .done();
+    // S3: Z[i][j] = (V[i][j] - U[i][j]) / (P[i-1][j] + P[i][j-1])
+    b.stmt("S3", 2, &[0, 0, 2])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(z, &[i.clone(), j.clone()])
+        .read(v, &[i.clone(), j.clone()])
+        .read(u, &[i.clone(), j.clone()])
+        .read(p, &[i.clone() - 1, j.clone()])
+        .read(p, &[i.clone(), j.clone() - 1])
+        .rhs(Expr::div(
+            Expr::sub(Expr::Load(0), Expr::Load(1)),
+            Expr::add(Expr::Load(2), Expr::Load(3)),
+        ))
+        .done();
+
+    // ---- periodic boundaries: S4..S12 (1-D) ------------------------------
+    let k = Aff::iter(0);
+    // S4: CU[0][k] = CU[N][k]
+    b.stmt("S4", 1, &[1, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(cu, &[Aff::zero(), k.clone()])
+        .read(cu, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S5: CV[k][0] = CV[k][N]
+    b.stmt("S5", 1, &[2, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(cv, &[k.clone(), Aff::zero()])
+        .read(cv, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S6: Z[0][k] = Z[N][k]
+    b.stmt("S6", 1, &[3, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(z, &[Aff::zero(), k.clone()])
+        .read(z, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S7: CU[k][0] = CU[k][N]
+    b.stmt("S7", 1, &[4, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(cu, &[k.clone(), Aff::zero()])
+        .read(cu, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S8: CV[0][k] = CV[N][k]
+    b.stmt("S8", 1, &[5, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(cv, &[Aff::zero(), k.clone()])
+        .read(cv, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S9: Z[k][0] = Z[k][N]
+    b.stmt("S9", 1, &[6, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(z, &[k.clone(), Aff::zero()])
+        .read(z, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    // S10..S12: edge extracts used by the next time step.
+    b.stmt("S10", 1, &[7, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(ub, std::slice::from_ref(&k))
+        .read(u, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S11", 1, &[8, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(vb, std::slice::from_ref(&k))
+        .read(v, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S12", 1, &[9, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(pb, std::slice::from_ref(&k))
+        .read(p, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+
+    // ---- second 2-D nest: S13..S18 (calc2-like) --------------------------
+    // S13: UNEW[i][j] = UOLD[i][j] + t*(CV[i][j] + CV[i-1][j]) * Z[i][j-1]
+    //       (depends on boundary statements S8 and S9)
+    b.stmt("S13", 2, &[10, 0, 0])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(unew, &[i.clone(), j.clone()])
+        .read(uold, &[i.clone(), j.clone()])
+        .read(cv, &[i.clone(), j.clone()])
+        .read(cv, &[i.clone() - 1, j.clone()])
+        .read(z, &[i.clone(), j.clone() - 1])
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(
+                Expr::Const(TDTS8),
+                Expr::mul(Expr::add(Expr::Load(1), Expr::Load(2)), Expr::Load(3)),
+            ),
+        ))
+        .done();
+    // S14: VNEW[i][j] = VOLD[i][j] - t*(CU[i][j] + CU[i][j-1]) * Z[i-1][j]
+    //       (depends on boundary statements S6 and S7)
+    b.stmt("S14", 2, &[10, 0, 1])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(vnew, &[i.clone(), j.clone()])
+        .read(vold, &[i.clone(), j.clone()])
+        .read(cu, &[i.clone(), j.clone()])
+        .read(cu, &[i.clone(), j.clone() - 1])
+        .read(z, &[i.clone() - 1, j.clone()])
+        .rhs(Expr::sub(
+            Expr::Load(0),
+            Expr::mul(
+                Expr::Const(TDTS8),
+                Expr::mul(Expr::add(Expr::Load(1), Expr::Load(2)), Expr::Load(3)),
+            ),
+        ))
+        .done();
+    // S15: PNEW[i][j] = POLD[i][j] - t*(U[i][j] + V[i][j]) * P[i][j]
+    //       (reads only P/U/V/POLD: no dependence on the boundary work)
+    b.stmt("S15", 2, &[10, 0, 2])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(pnew, &[i.clone(), j.clone()])
+        .read(pold, &[i.clone(), j.clone()])
+        .read(u, &[i.clone(), j.clone()])
+        .read(v, &[i.clone(), j.clone()])
+        .read(p, &[i.clone(), j.clone()])
+        .rhs(Expr::sub(
+            Expr::Load(0),
+            Expr::mul(
+                Expr::Const(TDTS8),
+                Expr::mul(Expr::add(Expr::Load(1), Expr::Load(2)), Expr::Load(3)),
+            ),
+        ))
+        .done();
+    // S16: UACC[i][j] = 0.5*(UNEW[i][j] + U[i][j])      (S13 -> S16)
+    b.stmt("S16", 2, &[10, 0, 3])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(uacc, &[i.clone(), j.clone()])
+        .read(unew, &[i.clone(), j.clone()])
+        .read(u, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .done();
+    // S17: VACC[i][j] = 0.5*(VNEW[i][j] + V[i][j])      (S14 -> S17)
+    b.stmt("S17", 2, &[10, 0, 4])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(vacc, &[i.clone(), j.clone()])
+        .read(vnew, &[i.clone(), j.clone()])
+        .read(v, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .done();
+    // S18: PACC[i][j] = 0.5*(PNEW[i][j] + P[i][j])      (S15 -> S18)
+    b.stmt("S18", 2, &[10, 0, 5])
+        .bounds(0, Aff::konst(1), n())
+        .bounds(1, Aff::konst(1), n())
+        .write(pacc, &[i.clone(), j.clone()])
+        .read(pnew, &[i.clone(), j.clone()])
+        .read(p, &[i.clone(), j.clone()])
+        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .done();
+
+    // ---- boundaries of the new fields: S19..S27 --------------------------
+    b.stmt("S19", 1, &[11, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(unew, &[Aff::zero(), k.clone()])
+        .read(unew, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S20", 1, &[12, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(vnew, &[k.clone(), Aff::zero()])
+        .read(vnew, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S21", 1, &[13, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(pnew, &[Aff::zero(), k.clone()])
+        .read(pnew, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S22", 1, &[14, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(unew, &[k.clone(), Aff::zero()])
+        .read(unew, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S23", 1, &[15, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(vnew, &[Aff::zero(), k.clone()])
+        .read(vnew, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S24", 1, &[16, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(pnew, &[k.clone(), Aff::zero()])
+        .read(pnew, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S25", 1, &[17, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(ub2, std::slice::from_ref(&k))
+        .read(unew, &[k.clone(), n()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S26", 1, &[18, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(vb2, std::slice::from_ref(&k))
+        .read(vnew, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S27", 1, &[19, 0])
+        .bounds(0, Aff::konst(1), n())
+        .write(pb2, std::slice::from_ref(&k))
+        .read(pnew, &[n(), k.clone()])
+        .rhs(Expr::Load(0))
+        .done();
+
+    // ---- third 2-D nest: S28..S36 (calc3-like time shift + diagnostics) --
+    let shift = |b: &mut ScopBuilder, name: &str, beta2: usize, old: usize, cur: usize, new: usize| {
+        // OLD[i][j] = CUR[i][j] + alpha*(NEW[i][j] - 2*CUR[i][j] + OLD[i][j])
+        b.stmt(name, 2, &[20, 0, beta2])
+            .bounds(0, Aff::konst(1), Aff::param(0))
+            .bounds(1, Aff::konst(1), Aff::param(0))
+            .write(old, &[Aff::iter(0), Aff::iter(1)])
+            .read(cur, &[Aff::iter(0), Aff::iter(1)])
+            .read(new, &[Aff::iter(0), Aff::iter(1)])
+            .read(old, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::add(
+                Expr::Load(0),
+                Expr::mul(
+                    Expr::Const(ALPHA),
+                    Expr::add(
+                        Expr::sub(Expr::Load(1), Expr::mul(Expr::Const(2.0), Expr::Load(0))),
+                        Expr::Load(2),
+                    ),
+                ),
+            ))
+            .done();
+    };
+    shift(&mut b, "S28", 0, uold, u, unew);
+    shift(&mut b, "S29", 1, vold, v, vnew);
+    shift(&mut b, "S30", 2, pold, p, pnew);
+    let copy = |b: &mut ScopBuilder, name: &str, beta2: usize, dst: usize, src: usize| {
+        b.stmt(name, 2, &[20, 0, beta2])
+            .bounds(0, Aff::konst(1), Aff::param(0))
+            .bounds(1, Aff::konst(1), Aff::param(0))
+            .write(dst, &[Aff::iter(0), Aff::iter(1)])
+            .read(src, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Load(0))
+            .done();
+    };
+    copy(&mut b, "S31", 3, u, unew);
+    copy(&mut b, "S32", 4, v, vnew);
+    copy(&mut b, "S33", 5, p, pnew);
+    let energy = |b: &mut ScopBuilder, name: &str, beta2: usize, dst: usize, src: usize| {
+        b.stmt(name, 2, &[20, 0, beta2])
+            .bounds(0, Aff::konst(1), Aff::param(0))
+            .bounds(1, Aff::konst(1), Aff::param(0))
+            .write(dst, &[Aff::iter(0), Aff::iter(1)])
+            .read(src, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::mul(Expr::Load(0), Expr::Load(0)))
+            .done();
+    };
+    energy(&mut b, "S34", 6, eu, unew);
+    energy(&mut b, "S35", 7, ev, vnew);
+    energy(&mut b, "S36", 8, ep, pnew);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_deps::{analyze, tarjan};
+    use wf_wisefuse::prefusion::algorithm1;
+
+    #[test]
+    fn thirty_six_statements() {
+        let s = build();
+        assert_eq!(s.n_statements(), 36);
+        let dims: Vec<usize> = s.statements.iter().map(|st| st.depth).collect();
+        assert_eq!(dims.iter().filter(|&&d| d == 2).count(), 18);
+        assert_eq!(dims.iter().filter(|&&d| d == 1).count(), 18);
+    }
+
+    /// The paper's Figure 5(b) cluster: Algorithm 1 orders
+    /// {S1, S2, S3, S15, S18} consecutively at the head of the schedule.
+    #[test]
+    fn algorithm1_builds_the_figure5_cluster() {
+        let s = build();
+        let ddg = analyze(&s);
+        let sccs = tarjan(&ddg);
+        let order = algorithm1(&s, &ddg, &sccs);
+        let pos = |stmt: usize| order.iter().position(|&c| c == sccs.scc_of[stmt]).unwrap();
+        // Statement indices: S1=0, S2=1, S3=2, S15=14, S18=17.
+        let cluster = [pos(0), pos(1), pos(2), pos(14), pos(17)];
+        let max = *cluster.iter().max().unwrap();
+        assert!(
+            max <= 4,
+            "S1,S2,S3,S15,S18 must occupy the first five positions, got {cluster:?}"
+        );
+        // S13/S16 and S14/S17 are NOT in the head cluster (they depend on
+        // the boundary statements).
+        assert!(pos(12) > 4 && pos(15) > 4, "S13/S16 blocked by precedence");
+        assert!(pos(13) > 4 && pos(16) > 4, "S14/S17 blocked by precedence");
+    }
+
+    /// PLuTo's DFS order interleaves 1-D boundary SCCs with 2-D compute
+    /// SCCs (the Figure 5c problem); Algorithm 1 does not.
+    #[test]
+    fn dfs_order_interleaves_dimensionalities() {
+        let s = build();
+        let ddg = analyze(&s);
+        let sccs = tarjan(&ddg);
+        let depths: Vec<usize> = s.statements.iter().map(|st| st.depth).collect();
+        let wise = algorithm1(&s, &ddg, &sccs);
+        let dfs = wf_schedule::fusion::dfs_order(&ddg, &sccs);
+        let switches = |order: &[usize]| {
+            order
+                .windows(2)
+                .filter(|w| {
+                    sccs.dimensionality(w[0], &depths) != sccs.dimensionality(w[1], &depths)
+                })
+                .count()
+        };
+        assert!(
+            switches(&wise) < switches(&dfs),
+            "Algorithm 1 ({}) should switch dimensionality less than DFS ({})",
+            switches(&wise),
+            switches(&dfs)
+        );
+    }
+}

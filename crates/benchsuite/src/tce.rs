@@ -1,0 +1,93 @@
+//! tce (Polybench): the 4-index integral transform core from computational
+//! quantum chemistry.
+//!
+//! Four 4-deep loop nests with substantial inter-statement reuse; each nest
+//! iterates the shared arrays in a *different loop order*, so a syntactic
+//! (icc-style) fuser finds no conformable pattern, while the polyhedral
+//! models find common hyperplanes (§5.3). We model one contraction step per
+//! nest over permuted index orders.
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Build the tce SCoP (parameter `N` = index range).
+#[must_use]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("tce", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let n = Aff::param(0);
+    let dims4 = [n.clone(), n.clone(), n.clone(), n.clone()];
+    let a = b.array("A", &dims4.clone());
+    let c = b.array("C", &dims4.clone());
+    let t1 = b.array("T1", &dims4.clone());
+    let t2 = b.array("T2", &dims4.clone());
+    let t3 = b.array("T3", &dims4.clone());
+    let t4 = b.array("T4", &dims4);
+
+    let (i0, i1, i2, i3) = (Aff::iter(0), Aff::iter(1), Aff::iter(2), Aff::iter(3));
+    fn full<'a>(bb: wf_scop::StmtBuilder<'a>) -> wf_scop::StmtBuilder<'a> {
+        bb.bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .bounds(2, Aff::zero(), Aff::param(0) - 1)
+            .bounds(3, Aff::zero(), Aff::param(0) - 1)
+    }
+
+    // S1 iterates (p,q,r,s): T1[p,q,r,s] = A[p,q,r,s] * C[p,q,r,s]
+    full(b.stmt("S1", 4, &[0, 0, 0, 0, 0]))
+        .write(t1, &[i0.clone(), i1.clone(), i2.clone(), i3.clone()])
+        .read(a, &[i0.clone(), i1.clone(), i2.clone(), i3.clone()])
+        .read(c, &[i0.clone(), i1.clone(), i2.clone(), i3.clone()])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S2's loops run in (q,p,s,r) order: T2[p,q,r,s] = T1[p,q,r,s]+A[p,q,r,s]
+    // with the statement's iterators (q,p,s,r) mapping to array indices
+    // permuted — the nest order differs from S1's.
+    full(b.stmt("S2", 4, &[1, 0, 0, 0, 0]))
+        .write(t2, &[i1.clone(), i0.clone(), i3.clone(), i2.clone()])
+        .read(t1, &[i1.clone(), i0.clone(), i3.clone(), i2.clone()])
+        .read(a, &[i1.clone(), i0.clone(), i3.clone(), i2.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S3 in (r,s,p,q) order: T3 = T2 * C.
+    full(b.stmt("S3", 4, &[2, 0, 0, 0, 0]))
+        .write(t3, &[i2.clone(), i3.clone(), i0.clone(), i1.clone()])
+        .read(t2, &[i2.clone(), i3.clone(), i0.clone(), i1.clone()])
+        .read(c, &[i2.clone(), i3.clone(), i0.clone(), i1.clone()])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Load(1)))
+        .done();
+    // S4 in (s,r,q,p) order: T4 = T3 + A.
+    full(b.stmt("S4", 4, &[3, 0, 0, 0, 0]))
+        .write(t4, &[i3.clone(), i2.clone(), i1.clone(), i0.clone()])
+        .read(t3, &[i3.clone(), i2.clone(), i1.clone(), i0.clone()])
+        .read(a, &[i3, i2, i1, i0])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_wisefuse::{optimize, Model};
+
+    #[test]
+    fn polyhedral_models_fuse_the_chain() {
+        let s = build();
+        for model in [Model::Wisefuse, Model::Smartfuse] {
+            let o = optimize(&s, model).unwrap();
+            let p = &o.transformed.partitions;
+            assert!(
+                p.iter().all(|&x| x == p[0]),
+                "{model:?} should fuse all four nests, got {p:?}"
+            );
+            assert!(o.outer_parallel());
+        }
+    }
+
+    #[test]
+    fn wisefuse_matches_smartfuse() {
+        let s = build();
+        let w = optimize(&s, Model::Wisefuse).unwrap();
+        let f = optimize(&s, Model::Smartfuse).unwrap();
+        assert_eq!(w.transformed.partitions, f.transformed.partitions);
+    }
+}

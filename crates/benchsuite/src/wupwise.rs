@@ -1,0 +1,95 @@
+//! wupwise (SPEC OMP): the zgemm core, written as SPEC writes it — an
+//! *imperfect* nest (initialization + accumulation of different
+//! dimensionality).
+//!
+//! ```text
+//! S1 (i,j):   C[i][j]  = 0
+//! S2 (i,j,k): C[i][j] += A[i][k] * B[k][j]
+//! S3 (i,j):   D[i][j]  = C[i][j] * s     (scaling epilogue)
+//! ```
+//!
+//! The paper: "wupwise consists of imperfect nests; wisefuse distributes
+//! them into different perfect loop nests so as to achieve better data
+//! reuse", and distribution additionally enables *selective*
+//! parallelization (§5.3).
+
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Build the wupwise/zgemm SCoP (parameter `N`).
+#[must_use]
+pub fn build() -> Scop {
+    let mut b = ScopBuilder::new("wupwise", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let n = Aff::param(0);
+    let a = b.array("A", &[n.clone(), n.clone()]);
+    let bb_arr = b.array("B", &[n.clone(), n.clone()]);
+    let c = b.array("C", &[n.clone(), n.clone()]);
+    let d = b.array("D", &[n.clone(), n]);
+    let (i, j, k) = (Aff::iter(0), Aff::iter(1), Aff::iter(2));
+
+    b.stmt("S1", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[i.clone(), j.clone()])
+        .rhs(Expr::Const(0.0))
+        .done();
+    b.stmt("S2", 3, &[1, 0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .bounds(2, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[i.clone(), j.clone()])
+        .read(c, &[i.clone(), j.clone()])
+        .read(a, &[i.clone(), k.clone()])
+        .read(bb_arr, &[k, j.clone()])
+        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .done();
+    b.stmt("S3", 2, &[2, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(d, &[i.clone(), j.clone()])
+        .read(c, &[i, j])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Const(0.5)))
+        .done();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_wisefuse::{optimize, Model};
+
+    #[test]
+    fn wisefuse_distributes_imperfect_nest() {
+        let s = build();
+        let w = optimize(&s, Model::Wisefuse).unwrap();
+        // Dimensionality mismatch: the 3-D accumulation sits alone.
+        assert_ne!(w.transformed.partitions[0], w.transformed.partitions[1]);
+        assert_ne!(w.transformed.partitions[1], w.transformed.partitions[2]);
+        assert!(w.outer_parallel(), "each perfect nest outer-parallelizes");
+    }
+
+    #[test]
+    fn matmul_is_correct() {
+        use wf_runtime::{execute_reference, ProgramData};
+        let s = build();
+        let n = 4usize;
+        let mut d = ProgramData::new(&s, &[n as i128]);
+        d.init_random(11);
+        let get = |t: &wf_runtime::Tensor, i: usize, j: usize| t.get(&[i as i128, j as i128]);
+        let a: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| get(&d.arrays[0], i, j)).collect()).collect();
+        let bm: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| get(&d.arrays[1], i, j)).collect()).collect();
+        execute_reference(&s, &mut d);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[i][k] * bm[k][j];
+                }
+                assert_eq!(get(&d.arrays[2], i, j), acc, "C[{i}][{j}]");
+                assert_eq!(get(&d.arrays[3], i, j), acc * 0.5, "D[{i}][{j}]");
+            }
+        }
+    }
+}

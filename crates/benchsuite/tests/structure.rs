@@ -1,0 +1,166 @@
+//! Structural assertions for every benchmark kernel: the statement counts,
+//! dimensionalities, and dependence/reuse families that the paper's
+//! analysis relies on. These pin the substitutes to the paper's
+//! descriptions — if a kernel drifts, the fusion results become
+//! meaningless, so these tests fail first.
+
+use wf_benchsuite::{by_name, catalog};
+use wf_deps::{analyze, tarjan, DepKind};
+
+#[test]
+fn gemsfdtd_reuse_families() {
+    let scop = by_name("gemsfdtd").unwrap().scop;
+    let ddg = analyze(&scop);
+    // B-field updates S1/S4/S7 (indices 0,3,6) and the diagnostic S11 (10)
+    // share E-field reads: pure input-dependence reuse, no legality edges.
+    for (a, b) in [(0usize, 3usize), (0, 6), (3, 6), (0, 10), (3, 10), (6, 10)] {
+        assert!(ddg.has_reuse(a, b), "S{}/S{} must share E-field reuse", a + 1, b + 1);
+        assert!(
+            ddg.edges_between(a, b).next().is_none(),
+            "S{}/S{} must not be legality-connected",
+            a + 1,
+            b + 1
+        );
+    }
+    // H updates consume B fields: flow S1->S3, S4->S6, S7->S9.
+    for (src, dst) in [(0usize, 2usize), (3, 5), (6, 8)] {
+        assert!(
+            ddg.edges
+                .iter()
+                .any(|e| e.src == src && e.dst == dst && e.kind == DepKind::Flow),
+            "missing flow S{}->S{}",
+            src + 1,
+            dst + 1
+        );
+    }
+    // All SCCs are singletons (no cycles in a single UPML update step).
+    assert_eq!(tarjan(&ddg).len(), scop.n_statements());
+}
+
+#[test]
+fn swim_second_nest_dependence_pairs() {
+    let scop = by_name("swim").unwrap().scop;
+    let ddg = analyze(&scop);
+    // The paper's S13->S16, S14->S17, S15->S18 pairs (0-based 12->15 etc.).
+    for (src, dst) in [(12usize, 15usize), (13, 16), (14, 17)] {
+        assert!(
+            ddg.edges
+                .iter()
+                .any(|e| e.src == src && e.dst == dst && e.kind == DepKind::Flow),
+            "missing flow S{}->S{}",
+            src + 1,
+            dst + 1
+        );
+    }
+    // S13/S14 depend on boundary statements; S15 does not.
+    let depends_on_boundary = |stmt: usize| {
+        ddg.edges.iter().any(|e| (3..12).contains(&e.src) && e.dst == stmt)
+    };
+    assert!(depends_on_boundary(12), "S13 must consume boundary output");
+    assert!(depends_on_boundary(13), "S14 must consume boundary output");
+    assert!(!depends_on_boundary(14), "S15 must not touch boundary output");
+    assert!(!depends_on_boundary(17), "S18 must not touch boundary output");
+}
+
+#[test]
+fn passes_pass_local_reuse_is_rar() {
+    for name in ["applu", "bt", "sp"] {
+        let scop = by_name(name).unwrap().scop;
+        let per_pass = scop.n_statements() / 3;
+        let ddg = analyze(&scop);
+        // Within a pass: reuse but no legality edges.
+        for q in 1..per_pass {
+            assert!(ddg.has_reuse(0, q), "{name}: pass-0 S1/S{} reuse", q + 1);
+            assert!(
+                ddg.edges_between(0, q).next().is_none(),
+                "{name}: pass-0 statements must be DDG-disconnected"
+            );
+        }
+        // Across passes: flow chains q -> q (pass p to p+1).
+        for p in 0..2 {
+            for q in 0..per_pass {
+                let (src, dst) = (p * per_pass + q, (p + 1) * per_pass + q);
+                assert!(
+                    ddg.edges
+                        .iter()
+                        .any(|e| e.src == src && e.dst == dst && e.kind == DepKind::Flow),
+                    "{name}: missing chain {src}->{dst}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn advect_consumer_has_symmetric_stencil() {
+    let scop = by_name("advect").unwrap().scop;
+    let ddg = analyze(&scop);
+    let flows: Vec<_> = ddg
+        .edges
+        .iter()
+        .filter(|e| e.kind == DepKind::Flow && e.dst == 3)
+        .collect();
+    assert!(flows.len() >= 3, "S4 must consume S1..S3 outputs: {}", flows.len());
+}
+
+#[test]
+fn tce_chain_and_permuted_orders() {
+    let scop = by_name("tce").unwrap().scop;
+    assert!(scop.statements.iter().all(|s| s.depth == 4));
+    let ddg = analyze(&scop);
+    for (src, dst) in [(0usize, 1usize), (1, 2), (2, 3)] {
+        assert!(
+            ddg.edges
+                .iter()
+                .any(|e| e.src == src && e.dst == dst && e.kind == DepKind::Flow),
+            "missing chain S{}->S{}",
+            src + 1,
+            dst + 1
+        );
+    }
+    let w1 = &scop.statements[0].write.map;
+    let w2 = &scop.statements[1].write.map;
+    assert_ne!(w1, w2, "nest orders must differ");
+}
+
+#[test]
+fn lu_has_triangular_domains() {
+    let scop = by_name("lu").unwrap().scop;
+    for s in &scop.statements {
+        let coupled = s
+            .domain
+            .constraints
+            .iter()
+            .any(|c| c.coeffs[..s.depth].iter().filter(|&&v| v != 0).count() >= 2);
+        assert!(coupled, "{}: expected iterator-coupled bounds", s.name);
+    }
+}
+
+#[test]
+fn wupwise_is_an_imperfect_nest() {
+    let scop = by_name("wupwise").unwrap().scop;
+    let dims: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
+    assert_eq!(dims, vec![2, 3, 2]);
+}
+
+#[test]
+fn every_benchmark_has_nonempty_dependences() {
+    for b in catalog() {
+        let ddg = analyze(&b.scop);
+        assert!(
+            !ddg.edges.is_empty() || !ddg.rar.is_empty(),
+            "{}: a fusion benchmark without any dependences is useless",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn gemver_statement_shapes() {
+    let scop = by_name("gemver").unwrap().scop;
+    let dims: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
+    assert_eq!(dims, vec![2, 2, 1, 2]);
+    let ddg = analyze(&scop);
+    assert!(ddg.edges.iter().any(|e| e.src == 1 && e.dst == 2));
+    assert!(ddg.edges.iter().any(|e| e.src == 2 && e.dst == 3));
+}

@@ -1,0 +1,409 @@
+//! `wfc` — command-line driver for the wisefuse polyhedral optimizer.
+//!
+//! ```text
+//! wfc list                                  # catalog of built-in benchmarks
+//! wfc show <bench>                          # original pseudo-C + DDG stats
+//! wfc opt <bench> [--model M] [--tile S]    # transform + generated code
+//! wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify]
+//! wfc compare <bench> [--threads T]         # all five models side by side
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+use wf_benchsuite::{by_name, catalog, Benchmark};
+use wf_cachesim::perf::{model_performance, MachineModel};
+use wf_cachesim::{CacheConfig, CacheSim};
+use wf_codegen::tiling::{build_tiled_plan, default_tiles};
+use wf_codegen::{plan_from_optimized, render_plan};
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_schedule::props::LoopProp;
+use wf_scop::pretty;
+use wf_wisefuse::{optimize, Model};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "export" => {
+            let Some(name) = it.next() else {
+                eprintln!("error: missing benchmark name");
+                return ExitCode::FAILURE;
+            };
+            let Some(bench) = by_name(name) else {
+                eprintln!("error: unknown benchmark '{name}'");
+                return ExitCode::FAILURE;
+            };
+            print!("{}", wf_scop::text::to_text(&bench.scop));
+            Ok(())
+        }
+        "optfile" => {
+            let Some(path) = it.next() else {
+                eprintln!("error: missing .wfs path");
+                return ExitCode::FAILURE;
+            };
+            let opts = match Opts::parse(it) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            cmd_optfile(path, &opts)
+        }
+        "show" | "opt" | "run" | "compare" | "emit" | "model" => {
+            let Some(name) = it.next() else {
+                eprintln!("error: missing benchmark name");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let Some(bench) = by_name(name) else {
+                eprintln!("error: unknown benchmark '{name}' (try `wfc list`)");
+                return ExitCode::FAILURE;
+            };
+            let opts = match Opts::parse(it) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "show" => cmd_show(&bench),
+                "opt" => cmd_opt(&bench, &opts),
+                "run" => cmd_run(&bench, &opts),
+                "emit" => cmd_emit(&bench, &opts),
+                "model" => cmd_model(&bench, &opts),
+                _ => cmd_compare(&bench, &opts),
+            }
+        }
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "wfc — wisefuse polyhedral optimizer driver
+
+USAGE:
+  wfc list
+  wfc show <bench>
+  wfc opt <bench> [--model icc|wisefuse|smartfuse|nofuse|maxfuse] [--tile S]
+  wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S]
+  wfc compare <bench> [--threads T] [--size N]
+  wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
+  wfc model <bench> [--model M] [--size N]     # machine-model breakdown
+  wfc export <bench>                           # benchmark as .wfs text
+  wfc optfile <path.wfs> [--model M]           # optimize a textual SCoP"
+    );
+}
+
+struct Opts {
+    model: Model,
+    threads: usize,
+    size: Option<i128>,
+    cache: bool,
+    verify: bool,
+    tile: Option<i128>,
+}
+
+impl Opts {
+    fn parse<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Opts, String> {
+        let mut o = Opts {
+            model: Model::Wisefuse,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()).min(8),
+            size: None,
+            cache: false,
+            verify: false,
+            tile: None,
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--model" => {
+                    let v = it.next().ok_or("--model needs a value")?;
+                    o.model = Model::ALL
+                        .into_iter()
+                        .find(|m| m.name() == v)
+                        .ok_or_else(|| format!("unknown model '{v}'"))?;
+                }
+                "--threads" => {
+                    o.threads = it
+                        .next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--size" => {
+                    o.size = Some(
+                        it.next()
+                            .ok_or("--size needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--size: {e}"))?,
+                    );
+                }
+                "--tile" => {
+                    o.tile = Some(
+                        it.next()
+                            .ok_or("--tile needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--tile: {e}"))?,
+                    );
+                }
+                "--cache" => o.cache = true,
+                "--verify" => o.verify = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:<10} {:<36} {:>7} {:>6}", "name", "suite", "category", "stmts", "large");
+    for b in catalog() {
+        println!(
+            "{:<10} {:<10} {:<36} {:>7} {:>6}",
+            b.name,
+            b.suite,
+            b.category,
+            b.scop.n_statements(),
+            b.large
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(bench: &Benchmark) -> Result<(), String> {
+    println!("== {} (original) ==\n", bench.scop.name);
+    print!("{}", pretty::render_original(&bench.scop));
+    let ddg = wf_deps::analyze(&bench.scop);
+    let sccs = wf_deps::tarjan(&ddg);
+    println!(
+        "\nstatements: {}   legality deps: {}   input deps: {}   SCCs: {}",
+        bench.scop.n_statements(),
+        ddg.edges.len(),
+        ddg.rar.len(),
+        sccs.len()
+    );
+    Ok(())
+}
+
+fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+    let t0 = Instant::now();
+    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    println!(
+        "== {} under {} (scheduled in {:.1?}) ==\n",
+        bench.scop.name,
+        opts.model.name(),
+        t0.elapsed()
+    );
+    let names: Vec<String> = bench.scop.statements.iter().map(|s| s.name.clone()).collect();
+    print!("{}", opt.transformed.schedule.render(&names));
+    println!(
+        "\npartitions: {:?}\nouter loops parallel: {}",
+        opt.transformed.partitions,
+        opt.outer_parallel()
+    );
+    let plan = match opts.tile {
+        None => plan_from_optimized(&bench.scop, &opt),
+        Some(size) => {
+            let tiles = default_tiles(&opt.transformed, size);
+            println!("tiling {} band(s) at size {size}", tiles.len());
+            let par: Vec<Vec<bool>> = opt
+                .props
+                .iter()
+                .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
+                .collect();
+            build_tiled_plan(&bench.scop, &opt.transformed, par, &tiles)
+        }
+    };
+    println!("\n== generated code ==\n{}", render_plan(&bench.scop, &plan));
+    Ok(())
+}
+
+fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+    let params = [opts.size.unwrap_or(bench.bench_params[0])];
+    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let plan = match opts.tile {
+        None => plan_from_optimized(&bench.scop, &opt),
+        Some(size) => {
+            let tiles = default_tiles(&opt.transformed, size);
+            let par: Vec<Vec<bool>> = opt
+                .props
+                .iter()
+                .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
+                .collect();
+            build_tiled_plan(&bench.scop, &opt.transformed, par, &tiles)
+        }
+    };
+    let mut data = ProgramData::new(&bench.scop, &params);
+    data.init_random(2024);
+    let oracle = if opts.verify {
+        let mut o = data.clone();
+        execute_reference(&bench.scop, &mut o);
+        Some(o)
+    } else {
+        None
+    };
+    let threads = if opts.cache { 1 } else { opts.threads };
+    let mut sim = opts
+        .cache
+        .then(|| CacheSim::new(&bench.scop, &params, &CacheConfig::xeon_e5_2650()));
+    let t0 = Instant::now();
+    execute_plan(
+        &bench.scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads },
+        sim.as_mut().map(|s| s as &mut dyn wf_runtime::AccessObserver),
+    );
+    let dt = t0.elapsed();
+    println!(
+        "{} / {} / N={} / {} thread(s): {:.1?}",
+        bench.scop.name,
+        opts.model.name(),
+        params[0],
+        threads,
+        dt
+    );
+    if let Some(sim) = sim {
+        println!(
+            "accesses: {}   L1 misses: {}   L2 misses: {}   L3 misses: {}",
+            sim.total_accesses, sim.stats[0].misses, sim.stats[1].misses, sim.stats[2].misses
+        );
+    }
+    if let Some(o) = oracle {
+        let diff = data.max_abs_diff(&o);
+        if diff != 0.0 {
+            return Err(format!("verification FAILED: max diff {diff}"));
+        }
+        println!("verified: bit-identical to original program order");
+    }
+    Ok(())
+}
+
+fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+    let params = [opts.size.unwrap_or(bench.bench_params[0])];
+    let mut init = ProgramData::new(&bench.scop, &params);
+    init.init_random(2024);
+    println!(
+        "== {} at N = {} on {} thread(s) ==\n",
+        bench.scop.name, params[0], opts.threads
+    );
+    println!(
+        "{:<10} {:>10} {:>15} {:>12} {:>12}",
+        "model", "partitions", "outer-parallel", "compile", "run"
+    );
+    for model in Model::ALL {
+        let c0 = Instant::now();
+        let opt = optimize(&bench.scop, model).map_err(|e| e.to_string())?;
+        let plan = plan_from_optimized(&bench.scop, &opt);
+        let compile = c0.elapsed();
+        let mut data = init.clone();
+        let t0 = Instant::now();
+        execute_plan(
+            &bench.scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions { threads: opts.threads },
+            None,
+        );
+        println!(
+            "{:<10} {:>10} {:>15} {:>12.1?} {:>12.1?}",
+            model.name(),
+            opt.n_partitions(),
+            opt.outer_parallel(),
+            compile,
+            t0.elapsed()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_emit(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+    let params = [opts.size.unwrap_or(bench.bench_params[0])];
+    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let plan = plan_from_optimized(&bench.scop, &opt);
+    print!("{}", wf_codegen::emit_c(&bench.scop, &opt.transformed, &plan, &params, 2024));
+    Ok(())
+}
+
+fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+    let params = [opts.size.unwrap_or(bench.bench_params[0])];
+    let machine = MachineModel { cores: opts.threads as u64, ..MachineModel::default() };
+    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let plan = plan_from_optimized(&bench.scop, &opt);
+    let mut data = ProgramData::new(&bench.scop, &params);
+    data.init_lcg(2024);
+    let r = model_performance(&bench.scop, &opt, &plan, &mut data, &machine);
+    println!(
+        "== {} / {} at N = {}, modeled on {} cores ==\n",
+        bench.scop.name,
+        opts.model.name(),
+        params[0],
+        machine.cores
+    );
+    println!(
+        "{:<5} {:>12} {:>12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>10}",
+        "part", "instances", "ops", "L1 hits", "L2 hits", "L3 hits", "mem", "cycles", "kind"
+    );
+    for (i, p) in r.partitions.iter().enumerate() {
+        println!(
+            "{:<5} {:>12} {:>12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>10?}",
+            i, p.instances, p.ops, p.hits[0], p.hits[1], p.hits[2], p.hits[3],
+            p.serial_cycles, p.kind
+        );
+    }
+    println!(
+        "\nmodeled serial: {:.4}s   modeled on {} cores: {:.4}s   (speedup {:.2}x)",
+        r.serial_seconds,
+        machine.cores,
+        r.modeled_seconds,
+        r.serial_seconds / r.modeled_seconds
+    );
+    Ok(())
+}
+
+fn cmd_optfile(path: &str, opts: &Opts) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scop = wf_scop::text::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let t0 = Instant::now();
+    let opt = optimize(&scop, opts.model).map_err(|e| e.to_string())?;
+    println!(
+        "== {} under {} (scheduled in {:.1?}) ==\n",
+        scop.name,
+        opts.model.name(),
+        t0.elapsed()
+    );
+    let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
+    print!("{}", opt.transformed.schedule.render(&names));
+    println!(
+        "\npartitions: {:?}\nouter loops parallel: {}",
+        opt.transformed.partitions,
+        opt.outer_parallel()
+    );
+    let plan = plan_from_optimized(&scop, &opt);
+    println!("\n== generated code ==\n{}", render_plan(&scop, &plan));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Code generation from affine schedules (the CLooG stand-in).
+//!
+//! Given a SCoP and a statement-wise multi-dimensional affine transform,
+//! this crate produces an [`ExecPlan`]: for every statement,
+//!
+//! * per-dimension **affine loop bounds** in schedule space, obtained by
+//!   Fourier–Motzkin projection of the transformed domain
+//!   `{ (z, i) | z = T_S(i), i ∈ D_S }` onto each loop-prefix,
+//! * an exact **inverse map** from schedule coordinates back to the original
+//!   iterators (rational inverse of a full-rank subset of the loop rows,
+//!   stored as an integer adjugate plus denominator),
+//! * **guards**: full membership validation (integrality, all schedule
+//!   equalities, domain membership) — this makes execution exact even
+//!   though FM projection is only rational.
+//!
+//! The runtime walks the plan dimension by dimension, taking the union of
+//! member bounds and guarding each statement — exactly how CLooG-generated
+//! code with per-statement guards behaves.
+//!
+//! [`render::render_plan`] pretty-prints the transformed program the way the
+//! paper's figures do.
+
+#![allow(clippy::needless_range_loop)] // index-style is clearer for matrix/tableau code
+#![warn(missing_docs)]
+
+pub mod cemit;
+pub mod plan;
+pub mod render;
+pub mod tiling;
+
+pub use plan::{build_plan, build_plan_with_layout, ExecPlan, InverseMap, LevelBounds, StmtPlan, ZDim};
+pub use tiling::{bands, build_tiled_plan, default_tiles, TileSpec};
+pub use cemit::emit_c;
+pub use render::render_plan;
+
+use wf_schedule::props::LoopProp;
+use wf_wisefuse::Optimized;
+
+/// Build the execution plan straight from a pipeline result, translating
+/// the loop-property analysis into per-dimension parallel flags.
+#[must_use]
+pub fn plan_from_optimized(scop: &wf_scop::Scop, opt: &Optimized) -> ExecPlan {
+    let parallel: Vec<Vec<bool>> = opt
+        .props
+        .iter()
+        .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
+        .collect();
+    plan::build_plan(scop, &opt.transformed, parallel)
+}

@@ -1,0 +1,227 @@
+//! Pretty-printing of transformed programs (the paper's figure style).
+
+use crate::plan::{ExecPlan, LevelBounds};
+use wf_schedule::transform::DimKind;
+use wf_scop::{pretty, Scop};
+
+/// Render the transformed program as pseudo-C: scalar dimensions become
+/// statement sequencing, loop dimensions become `for (t_d = …)` loops whose
+/// bounds are the union of the member statements' bounds. Parallel loops are
+/// annotated `#pragma omp parallel for`-style, matching how the paper
+/// presents its transformed codes.
+#[must_use]
+pub fn render_plan(scop: &Scop, plan: &ExecPlan) -> String {
+    let mut out = String::new();
+    let stmts: Vec<usize> = (0..scop.n_statements()).collect();
+    render_group(scop, plan, &stmts, 0, 0, &mut out);
+    out
+}
+
+fn render_group(
+    scop: &Scop,
+    plan: &ExecPlan,
+    group: &[usize],
+    dim: usize,
+    indent: usize,
+    out: &mut String,
+) {
+    if group.is_empty() {
+        return;
+    }
+    if dim == plan.dims.len() {
+        for &s in group {
+            pad(out, indent);
+            out.push_str(&format!(
+                "{}: {}\n",
+                scop.statements[s].name,
+                pretty::render_stmt(scop, &scop.statements[s])
+            ));
+        }
+        return;
+    }
+    match plan.dims[dim] {
+        DimKind::Scalar => {
+            // Order subgroups by their scalar value at this dimension.
+            let mut by_val: std::collections::BTreeMap<i128, Vec<usize>> = Default::default();
+            for &s in group {
+                // Scalar dims have equal lower/upper constant bounds; read
+                // the exact value from the bounds at the empty prefix —
+                // they are constant rows.
+                let v = scalar_value(&plan.stmts[s].bounds[dim]);
+                by_val.entry(v).or_default().push(s);
+            }
+            for (_, sub) in by_val {
+                render_group(scop, plan, &sub, dim + 1, indent, out);
+            }
+        }
+        DimKind::Loop => {
+            let par = group.iter().all(|&s| plan.parallel[dim][s]);
+            pad(out, indent);
+            if par {
+                out.push_str("#pragma parallel\n");
+                pad(out, indent);
+            }
+            let lo = join_bounds(scop, group, plan, dim, true);
+            let hi = join_bounds(scop, group, plan, dim, false);
+            out.push_str(&format!("for (t{dim} = {lo}; t{dim} <= {hi}; t{dim}++) {{\n"));
+            render_group(scop, plan, group, dim + 1, indent + 1, out);
+            pad(out, indent);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn scalar_value(b: &LevelBounds) -> i128 {
+    // A scalar dimension's bounds pin z_d to a constant: take any lower
+    // bound row with constant-only content.
+    for (c, row) in &b.lowers {
+        if row[..row.len() - 1].iter().all(|&v| v == 0) {
+            return -row[row.len() - 1] / c;
+        }
+    }
+    0
+}
+
+fn join_bounds(
+    scop: &Scop,
+    group: &[usize],
+    plan: &ExecPlan,
+    dim: usize,
+    lower: bool,
+) -> String {
+    // Per statement: tight bound (max of lowers / min of uppers); across
+    // statements: the union (min of lowers / max of uppers).
+    let mut per_stmt: Vec<String> = Vec::new();
+    for &s in group {
+        let b = &plan.stmts[s].bounds[dim];
+        let list = if lower { &b.lowers } else { &b.uppers };
+        let mut exprs: Vec<String> = Vec::new();
+        for (c, row) in list {
+            let e = render_bound_expr(scop, row, *c, lower);
+            if !exprs.contains(&e) {
+                exprs.push(e);
+            }
+        }
+        let own = match (exprs.len(), lower) {
+            (1, _) => exprs.pop().unwrap(),
+            (_, true) => format!("max({})", exprs.join(", ")),
+            (_, false) => format!("min({})", exprs.join(", ")),
+        };
+        if !per_stmt.contains(&own) {
+            per_stmt.push(own);
+        }
+    }
+    match (per_stmt.len(), lower) {
+        (1, _) => per_stmt.pop().unwrap(),
+        (_, true) => format!("min({})", per_stmt.join(", ")),
+        (_, false) => format!("max({})", per_stmt.join(", ")),
+    }
+}
+
+fn render_bound_expr(scop: &Scop, row: &[i128], coef: i128, lower: bool) -> String {
+    // lower: ceil(-row / coef); upper: floor(row / coef).
+    let np = scop.n_params();
+    let d = row.len() - 1 - np;
+    let mut terms: Vec<String> = Vec::new();
+    let sign = if lower { -1 } else { 1 };
+    for (k, &c) in row[..d].iter().enumerate() {
+        push(&mut terms, sign * c, &format!("t{k}"));
+    }
+    for (j, &c) in row[d..d + np].iter().enumerate() {
+        push(&mut terms, sign * c, &scop.params[j]);
+    }
+    let konst = sign * row[row.len() - 1];
+    if konst != 0 || terms.is_empty() {
+        terms.push(if konst >= 0 && !terms.is_empty() {
+            format!("+{konst}")
+        } else {
+            format!("{konst}")
+        });
+    }
+    let body = terms.join("");
+    if coef == 1 {
+        body
+    } else if lower {
+        format!("ceil({body}, {coef})")
+    } else {
+        format!("floor({body}, {coef})")
+    }
+}
+
+fn push(terms: &mut Vec<String>, c: i128, name: &str) {
+    match c {
+        0 => {}
+        1 if terms.is_empty() => terms.push(name.to_string()),
+        1 => terms.push(format!("+{name}")),
+        -1 => terms.push(format!("-{name}")),
+        c if c > 0 && !terms.is_empty() => terms.push(format!("+{c}*{name}")),
+        c => terms.push(format!("{c}*{name}")),
+    }
+}
+
+fn pad(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plan;
+    use wf_deps::analyze;
+    use wf_schedule::props::{self, LoopProp};
+    use wf_schedule::{schedule_scop, Maxfuse, Nofuse, PlutoConfig};
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    fn simple() -> wf_scop::Scop {
+        let mut b = ScopBuilder::new("pc", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let bb = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(bb, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        b.build()
+    }
+
+    fn rendered(strat: &dyn wf_schedule::FusionStrategy) -> String {
+        let scop = simple();
+        let ddg = analyze(&scop);
+        let t = schedule_scop(&scop, &ddg, strat, &PlutoConfig::default()).unwrap();
+        let p = props::analyze(&scop, &ddg, &t);
+        let par: Vec<Vec<bool>> = p
+            .iter()
+            .map(|row| row.iter().map(|x| matches!(x, Some(LoopProp::Parallel))).collect())
+            .collect();
+        let plan = build_plan(&scop, &t, par);
+        render_plan(&scop, &plan)
+    }
+
+    #[test]
+    fn fused_render_has_one_loop() {
+        let text = rendered(&Maxfuse);
+        assert_eq!(text.matches("for (").count(), 1, "got:\n{text}");
+        assert!(text.contains("S0:"), "got:\n{text}");
+        assert!(text.contains("S1:"), "got:\n{text}");
+        assert!(text.contains("#pragma parallel"), "got:\n{text}");
+    }
+
+    #[test]
+    fn distributed_render_has_two_loops() {
+        let text = rendered(&Nofuse);
+        assert_eq!(text.matches("for (").count(), 2, "got:\n{text}");
+        // S0's loop comes before S1's.
+        let p0 = text.find("S0:").unwrap();
+        let p1 = text.find("S1:").unwrap();
+        assert!(p0 < p1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Rectangular tiling of permutable bands.
+//!
+//! PLuTo's flagship transformation: once the scheduler has produced bands of
+//! mutually permutable loop hyperplanes (every dependence live at band start
+//! has a non-negative component on every band dimension), each band can be
+//! rectangularly tiled — the tile loops are legal in any interleaving with
+//! each other, and fusion composes with tiling for free. Tiling is expressed
+//! purely in the execution-plan layout: each tiled dimension `z` gains a
+//! preceding tile loop `zt` with `size·zt ≤ z ≤ size·zt + size − 1`, and the
+//! FM-based bounds generation handles the rest.
+
+use crate::plan::{build_plan_with_layout, ExecPlan, ZDim};
+use wf_schedule::pluto::Transformed;
+use wf_scop::Scop;
+
+/// One band to tile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TileSpec {
+    /// Schedule dimensions of the band (must share a band id).
+    pub dims: Vec<usize>,
+    /// Tile size per band dimension (same length as `dims`, each > 1).
+    pub sizes: Vec<i128>,
+}
+
+/// The permutable bands of a transform: maximal runs of consecutive loop
+/// dimensions sharing a band id, returned as dimension-index lists.
+#[must_use]
+pub fn bands(t: &Transformed) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut cur_id: Option<usize> = None;
+    for (d, &id) in t.band_of_dim.iter().enumerate() {
+        match (id, cur_id) {
+            (Some(b), Some(cb)) if b == cb => cur.push(d),
+            (Some(b), _) => {
+                if cur.len() > 0 {
+                    out.push(std::mem::take(&mut cur));
+                }
+                cur.push(d);
+                cur_id = Some(b);
+            }
+            (None, _) => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                cur_id = None;
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Default tiling: every permutable band of two or more loops is tiled with
+/// a uniform size.
+#[must_use]
+pub fn default_tiles(t: &Transformed, size: i128) -> Vec<TileSpec> {
+    bands(t)
+        .into_iter()
+        .filter(|b| b.len() >= 2)
+        .map(|dims| {
+            let sizes = vec![size; dims.len()];
+            TileSpec { dims, sizes }
+        })
+        .collect()
+}
+
+/// Build a tiled execution plan: tile loops are placed, in band order,
+/// immediately before each band's first dimension.
+///
+/// # Panics
+/// Panics if a spec names dimensions outside one permutable band, or sizes
+/// don't match.
+#[must_use]
+pub fn build_tiled_plan(
+    scop: &Scop,
+    t: &Transformed,
+    parallel: Vec<Vec<bool>>,
+    tiles: &[TileSpec],
+) -> ExecPlan {
+    // Validate the specs against the band structure.
+    for spec in tiles {
+        assert_eq!(spec.dims.len(), spec.sizes.len(), "sizes/dims mismatch");
+        assert!(!spec.dims.is_empty());
+        let b0 = t.band_of_dim[spec.dims[0]];
+        assert!(b0.is_some(), "cannot tile a scalar dimension");
+        for &d in &spec.dims {
+            assert_eq!(
+                t.band_of_dim[d], b0,
+                "tile spec crosses band boundaries (dims {:?})",
+                spec.dims
+            );
+        }
+    }
+    // Build the layout: at each band's first dim, emit the tile loops.
+    let mut layout: Vec<ZDim> = Vec::new();
+    for d in 0..t.schedule.n_dims() {
+        for spec in tiles {
+            if spec.dims.first() == Some(&d) {
+                for (&orig, &size) in spec.dims.iter().zip(&spec.sizes) {
+                    layout.push(ZDim::Tile { orig, size });
+                }
+            }
+        }
+        layout.push(ZDim::Orig(d));
+    }
+    build_plan_with_layout(scop, t, parallel, &layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::guard;
+    use wf_deps::analyze;
+    use wf_schedule::{schedule_scop, Maxfuse, PlutoConfig};
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    fn matmul_update() -> wf_scop::Scop {
+        // C[i][j] += A[i][k] * B[k][j] over a full 3-D nest (one statement,
+        // fully permutable band of 3 after scheduling).
+        let mut b = ScopBuilder::new("mm", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+        let bb = b.array("B", &[Aff::param(0), Aff::param(0)]);
+        let c = b.array("C", &[Aff::param(0), Aff::param(0)]);
+        b.stmt("S0", 3, &[0, 0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .bounds(2, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0), Aff::iter(1)])
+            .read(c, &[Aff::iter(0), Aff::iter(1)])
+            .read(a, &[Aff::iter(0), Aff::iter(2)])
+            .read(bb, &[Aff::iter(1), Aff::iter(2)])
+            .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn matmul_has_a_permutable_band() {
+        let scop = matmul_update();
+        let ddg = analyze(&scop);
+        let t = schedule_scop(&scop, &ddg, &Maxfuse, &PlutoConfig::default()).unwrap();
+        let bs = bands(&t);
+        assert!(
+            bs.iter().any(|b| b.len() >= 2),
+            "matmul should expose a multi-loop permutable band, got {bs:?}"
+        );
+    }
+
+    #[test]
+    fn tiled_plan_enumerates_exactly_the_domain() {
+        let scop = matmul_update();
+        let ddg = analyze(&scop);
+        let t = schedule_scop(&scop, &ddg, &Maxfuse, &PlutoConfig::default()).unwrap();
+        let tiles = default_tiles(&t, 3);
+        assert!(!tiles.is_empty());
+        let parallel = vec![vec![false; 1]; t.schedule.n_dims()];
+        let plan = build_tiled_plan(&scop, &t, parallel, &tiles);
+        // Walk the tiled plan: every original instance appears exactly once.
+        let params = [7i128];
+        let sp = &plan.stmts[0];
+        let mut seen = std::collections::HashSet::new();
+        let mut z: Vec<i128> = Vec::new();
+        walk(&scop, &t, &plan, sp, &mut z, &params, &mut seen);
+        assert_eq!(seen.len(), 343, "7^3 instances, each exactly once");
+    }
+
+    fn walk(
+        scop: &wf_scop::Scop,
+        t: &wf_schedule::pluto::Transformed,
+        plan: &ExecPlan,
+        sp: &crate::plan::StmtPlan,
+        z: &mut Vec<i128>,
+        params: &[i128],
+        seen: &mut std::collections::HashSet<Vec<i128>>,
+    ) {
+        if z.len() == plan.layout.len() {
+            if let Some(iters) = guard(scop, t, &plan.layout, sp, z, params) {
+                assert!(seen.insert(iters), "duplicate instance at {z:?}");
+            }
+            return;
+        }
+        let d = z.len();
+        let (Some(lo), Some(hi)) = (sp.bounds[d].lower(z, params), sp.bounds[d].upper(z, params))
+        else {
+            panic!("unbounded dim {d}");
+        };
+        for v in lo..=hi {
+            z.push(v);
+            walk(scop, t, plan, sp, z, params, seen);
+            z.pop();
+        }
+    }
+
+    #[test]
+    fn band_extraction_handles_gaps() {
+        use wf_schedule::pluto::Transformed;
+        use wf_schedule::transform::Schedule;
+        let t = Transformed {
+            schedule: Schedule::new(),
+            sat_dim: vec![],
+            sccs: wf_deps::SccInfo { scc_of: vec![], members: vec![] },
+            scc_order: vec![],
+            partitions: vec![],
+            strategy: "x".into(),
+            band_of_dim: vec![None, Some(0), Some(0), None, Some(1), None],
+        };
+        assert_eq!(bands(&t), vec![vec![1, 2], vec![4]]);
+    }
+
+    #[test]
+    fn default_tiles_only_multiloop_bands() {
+        use wf_schedule::pluto::Transformed;
+        use wf_schedule::transform::Schedule;
+        let t = Transformed {
+            schedule: Schedule::new(),
+            sat_dim: vec![],
+            sccs: wf_deps::SccInfo { scc_of: vec![], members: vec![] },
+            scc_order: vec![],
+            partitions: vec![],
+            strategy: "x".into(),
+            band_of_dim: vec![None, Some(0), Some(0), Some(1), None],
+        };
+        let tiles = default_tiles(&t, 32);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].dims, vec![1, 2]);
+    }
+}

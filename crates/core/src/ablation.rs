@@ -1,0 +1,195 @@
+//! Ablation variants of wisefuse: each disables one ingredient so its
+//! contribution can be measured in isolation (DESIGN.md's ablation study).
+//!
+//! * [`NoRar`] — Algorithm 1 without input-dependence reuse (only true
+//!   dependences count as "reuse"): quantifies Heuristic 1's RAR half.
+//! * [`NoAlgorithm2`] — Algorithm 1 ordering but no parallelism-restoring
+//!   cuts: quantifies Algorithm 2 (advect/swim-class programs lose outer
+//!   parallelism).
+//! * [`Algorithm2Only`] — PLuTo's DFS pre-fusion order with Algorithm 2
+//!   bolted on: quantifies Algorithm 1 (the ordering itself).
+
+use crate::{parallelism, prefusion};
+use wf_deps::{Ddg, SccInfo};
+use wf_schedule::fusion::{all_boundaries, dfs_order, dim_boundaries, failure_boundary};
+use wf_schedule::pluto::SchedState;
+use wf_schedule::transform::StmtRow;
+use wf_schedule::FusionStrategy;
+use wf_scop::Scop;
+
+fn default_failure_cuts(state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+    let cut = failure_boundary(state, failed);
+    if !cut.is_empty() {
+        return cut;
+    }
+    let dims = dim_boundaries(state);
+    if !dims.is_empty() {
+        return dims;
+    }
+    all_boundaries(state)
+}
+
+/// Wisefuse with input (RAR) dependences hidden from Algorithm 1.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoRar;
+
+impl FusionStrategy for NoRar {
+    fn name(&self) -> &'static str {
+        "wisefuse-no-rar"
+    }
+    fn pre_fusion_order(&self, scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        let blind = Ddg { n: ddg.n, edges: ddg.edges.clone(), rar: Vec::new() };
+        prefusion::algorithm1(scop, &blind, sccs)
+    }
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
+        dim_boundaries(state)
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        default_failure_cuts(state, failed)
+    }
+    fn post_loop_cuts(&self, state: &SchedState<'_>, rows: &[StmtRow]) -> Vec<usize> {
+        parallelism::algorithm2(state, rows)
+    }
+}
+
+/// Wisefuse without Algorithm 2 (fusion may forfeit outer parallelism).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoAlgorithm2;
+
+impl FusionStrategy for NoAlgorithm2 {
+    fn name(&self) -> &'static str {
+        "wisefuse-no-alg2"
+    }
+    fn pre_fusion_order(&self, scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        prefusion::algorithm1(scop, ddg, sccs)
+    }
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
+        dim_boundaries(state)
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        default_failure_cuts(state, failed)
+    }
+}
+
+/// PLuTo's DFS pre-fusion order, but with Algorithm 2's cuts.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Algorithm2Only;
+
+impl FusionStrategy for Algorithm2Only {
+    fn name(&self) -> &'static str {
+        "dfs+alg2"
+    }
+    fn pre_fusion_order(&self, _: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        dfs_order(ddg, sccs)
+    }
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
+        dim_boundaries(state)
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        default_failure_cuts(state, failed)
+    }
+    fn post_loop_cuts(&self, state: &SchedState<'_>, rows: &[StmtRow]) -> Vec<usize> {
+        parallelism::algorithm2(state, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_deps::analyze;
+    use wf_schedule::{schedule_scop, PlutoConfig};
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    /// Two 2-D statements with pure RAR reuse: full wisefuse fuses them; the
+    /// RAR-blind variant treats them as disconnected and Algorithm 1 still
+    /// visits them in program order — here adjacent, so the effect shows up
+    /// only with an interloper of the same dimensionality in between.
+    #[test]
+    fn no_rar_misses_reuse_clusters() {
+        let mut b = ScopBuilder::new("rar-abl", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let src = b.array("SRC", &[Aff::param(0)]);
+        let o1 = b.array("O1", &[Aff::param(0)]);
+        let dep_in = b.array("DIN", &[Aff::param(0)]);
+        let o2 = b.array("O2", &[Aff::param(0)]);
+        let o3 = b.array("O3", &[Aff::param(0)]);
+        // S0 reads SRC.
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(o1, &[Aff::iter(0)])
+            .read(src, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        // S1: depends on nothing, no reuse with S0.
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(dep_in, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        // S2: reads SRC (RAR with S0) — wisefuse pulls it next to S0.
+        b.stmt("S2", 1, &[2, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(o2, &[Aff::iter(0)])
+            .read(src, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        // S3: reads DIN (flow from S1).
+        b.stmt("S3", 1, &[3, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(o3, &[Aff::iter(0)])
+            .read(dep_in, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let cfg = PlutoConfig::default();
+        let wise = schedule_scop(&scop, &ddg, &crate::Wisefuse, &cfg).unwrap();
+        let blind = schedule_scop(&scop, &ddg, &NoRar, &cfg).unwrap();
+        // Full wisefuse puts S2's SCC right after S0's.
+        let pos = |t: &wf_schedule::pluto::Transformed, s: usize| {
+            t.scc_order.iter().position(|&c| c == t.sccs.scc_of[s]).unwrap()
+        };
+        assert_eq!(pos(&wise, 2), pos(&wise, 0) + 1, "wisefuse clusters the RAR pair");
+        assert_ne!(pos(&blind, 2), pos(&blind, 0) + 1, "RAR-blind keeps program order");
+    }
+
+    /// On an advect-like conflict, disabling Algorithm 2 loses outer
+    /// parallelism exactly like maxfuse.
+    #[test]
+    fn no_algorithm2_loses_parallelism() {
+        let scop = advect_like();
+        let ddg = analyze(&scop);
+        let cfg = PlutoConfig::default();
+        let wise = schedule_scop(&scop, &ddg, &crate::Wisefuse, &cfg).unwrap();
+        let no2 = schedule_scop(&scop, &ddg, &NoAlgorithm2, &cfg).unwrap();
+        let outer_parallel = |t: &wf_schedule::pluto::Transformed| {
+            let props = wf_schedule::props::analyze(&scop, &ddg, t);
+            wf_schedule::props::outer_parallel(&props, &t.schedule)
+        };
+        assert!(outer_parallel(&wise));
+        assert!(!outer_parallel(&no2), "without Algorithm 2 the shift wins");
+        // And Algorithm 2 on the DFS order also restores parallelism.
+        let dfs2 = schedule_scop(&scop, &ddg, &Algorithm2Only, &cfg).unwrap();
+        assert!(outer_parallel(&dfs2));
+    }
+
+    fn advect_like() -> wf_scop::Scop {
+        let mut b = ScopBuilder::new("adv-abl", &["N"]);
+        b.context_ge(Aff::param(0) - 8);
+        let a = b.array("A", &[Aff::param(0)]);
+        let out = b.array("B", &[Aff::param(0)]);
+        b.stmt("S1", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S4", 1, &[1, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 2)
+            .write(out, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) - 1])
+            .read(a, &[Aff::iter(0) + 1])
+            .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+            .done();
+        b.build()
+    }
+}

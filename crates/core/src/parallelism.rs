@@ -1,0 +1,61 @@
+//! Algorithm 2: enabling outer-level parallelism.
+//!
+//! The pre-fusion schedule from Algorithm 1 maximizes reuse, but merging
+//! statements into one loop nest can introduce a *forward* loop-carried
+//! dependence at the outermost loop — legal (pipelined parallel) yet far
+//! from optimal because of per-wavefront communication. Algorithm 2
+//! inspects the first non-serial hyperplane the ILP finds: every dependence
+//! that is (a) not yet satisfied, (b) between two *different* SCCs in the
+//! same fusion partition, and (c) forward at that hyperplane
+//! (`φ_Sj(t) − φ_Si(s) > 0` for some instance, Eq. 5) triggers a cut
+//! between exactly those two SCCs. The hyperplane is then re-solved with the
+//! updated DDG; because only the offending SCCs are distributed, data-reuse
+//! loss is minimal (contrast PLuTo's shift-and-fuse which serializes the
+//! outer loop, Fig. 4c vs Fig. 6).
+
+use wf_linalg::Rat;
+use wf_polyhedra::poly::Extremum;
+use wf_schedule::pluto::SchedState;
+use wf_schedule::transform::StmtRow;
+
+/// Inspect a candidate outermost hyperplane; return the cut boundaries that
+/// restore outer-loop parallelism (empty = hyperplane is already parallel).
+#[must_use]
+pub fn algorithm2(state: &SchedState<'_>, rows: &[StmtRow]) -> Vec<usize> {
+    // Collect the position intervals (pos_src, pos_dst] of every forward
+    // dependence between distinct, co-located SCCs.
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    for &e in &state.unsatisfied() {
+        let edge = &state.ddg.edges[e];
+        let (ca, cb) = (state.sccs.scc_of[edge.src], state.sccs.scc_of[edge.dst]);
+        if ca == cb {
+            // Intra-SCC dependences cannot be cut away; if they serialize
+            // the loop, pipelining is the best anyone can do.
+            continue;
+        }
+        if state.partition_of_scc(ca) != state.partition_of_scc(cb) {
+            continue; // already distributed
+        }
+        let forward = match state.delta_max(edge, rows) {
+            Extremum::Value(v) => v > Rat::ZERO,
+            Extremum::Unbounded => true,
+            Extremum::Empty => false,
+        };
+        if forward {
+            intervals.push((state.pos[ca], state.pos[cb]));
+        }
+    }
+    // Minimal distribution: one boundary per *uncovered* interval, placed
+    // right before the target SCC so later (larger-source) intervals can
+    // share it. This is the "cut between the SCCs carrying the actual
+    // dependence and not arbitrarily" of §4.2.
+    intervals.sort_unstable_by_key(|&(_, d)| d);
+    let mut cuts: Vec<usize> = Vec::new();
+    for (src, dst) in intervals {
+        if !cuts.iter().any(|&b| src < b && b <= dst) {
+            cuts.push(dst);
+        }
+    }
+    cuts.sort_unstable();
+    cuts
+}

@@ -1,0 +1,293 @@
+//! Algorithm 1: finding a good pre-fusion schedule.
+//!
+//! The ordering of the SCCs ("pre-fusion schedule") decides which SCCs
+//! survive the dimensionality-based cuts issued during hyperplane search and
+//! hence which statements end up fused. Algorithm 1 orders SCCs by three
+//! criteria (§4.1):
+//!
+//! * **Constraint** — the precedence constraint must hold (the order is a
+//!   topological order of the SCC condensation);
+//! * **Heuristic 1** — SCCs that allow data reuse (through true *or input*
+//!   dependences) and have the same dimensionality are ordered
+//!   consecutively;
+//! * **Heuristic 2** — SCCs are considered for re-ordering in original
+//!   program order.
+
+use wf_deps::{Ddg, SccInfo};
+use wf_scop::Scop;
+
+/// Compute the wisefuse pre-fusion schedule: a permutation of the canonical
+/// SCC ids (a topological order of the condensation).
+///
+/// This is Algorithm 1 of the paper, lifted from statements to SCCs: walk
+/// statements in program order; each time an unplaced statement is found,
+/// place its SCC and then greedily append every still-unplaced SCC that
+/// (same dimensionality) ∧ (reuse with the statements already in the
+/// cluster) ∧ (all dependence predecessors placed), scanning candidates in
+/// program order.
+#[must_use]
+pub fn algorithm1(scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+    let n = scop.n_statements();
+    let depths: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
+    let n_sccs = sccs.len();
+    let mut placed = vec![false; n_sccs];
+    let mut order: Vec<usize> = Vec::with_capacity(n_sccs);
+
+    // Predecessor SCCs of each SCC (for the precedence check).
+    let mut preds: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n_sccs];
+    for e in &ddg.edges {
+        let (a, b) = (sccs.scc_of[e.src], sccs.scc_of[e.dst]);
+        if a != b {
+            preds[b].insert(a);
+        }
+    }
+    let ready = |c: usize, placed: &[bool]| preds[c].iter().all(|&p| placed[p]);
+
+    while order.len() < n_sccs {
+        // Seed: first statement (program order) whose SCC is unplaced and
+        // whose predecessors are all placed.
+        let seed = (0..n)
+            .map(|s| sccs.scc_of[s])
+            .find(|&c| !placed[c] && ready(c, &placed))
+            .expect("condensation is acyclic, a ready SCC always exists");
+        placed[seed] = true;
+        order.push(seed);
+        let seed_dim = sccs.dimensionality(seed, &depths);
+        let mut fusable: Vec<usize> = sccs.members[seed].clone();
+
+        // Greedy extension: statements t in program order whose SCC is
+        // unplaced, has the seed's dimensionality, has reuse with the
+        // fusable set, and satisfies the precedence constraint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for t in 0..n {
+                let ct = sccs.scc_of[t];
+                if placed[ct]
+                    || sccs.dimensionality(ct, &depths) != seed_dim
+                    || !ready(ct, &placed)
+                {
+                    continue;
+                }
+                let has_reuse = fusable
+                    .iter()
+                    .any(|&i| sccs.members[ct].iter().any(|&j| ddg.has_reuse(i, j)));
+                if !has_reuse {
+                    continue;
+                }
+                placed[ct] = true;
+                order.push(ct);
+                fusable.extend_from_slice(&sccs.members[ct]);
+                changed = true;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_deps::{analyze, tarjan};
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    /// Three independent 2-D statements reading the same array (pure RAR
+    /// reuse), with an unrelated 1-D statement between S1 and S2 in program
+    /// order. Algorithm 1 must order the three 2-D SCCs consecutively
+    /// despite the interloper; a reuse-blind order would leave them where
+    /// program order puts them.
+    #[test]
+    fn rar_reuse_groups_same_dimensionality() {
+        let mut b = ScopBuilder::new("rar3", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let src = b.array("P", &[Aff::param(0), Aff::param(0)]);
+        let o1 = b.array("U", &[Aff::param(0), Aff::param(0)]);
+        let bnd = b.array("E", &[Aff::param(0)]);
+        let o2 = b.array("V", &[Aff::param(0), Aff::param(0)]);
+        let o3 = b.array("W", &[Aff::param(0), Aff::param(0)]);
+        let idx = [Aff::iter(0), Aff::iter(1)];
+        b.stmt("S1", 2, &[0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(o1, &idx.clone())
+            .read(src, &idx.clone())
+            .rhs(Expr::Load(0))
+            .done();
+        // Interloper: 1-D statement touching an unrelated array.
+        b.stmt("SB", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(bnd, &[Aff::iter(0)])
+            .rhs(Expr::Const(0.0))
+            .done();
+        b.stmt("S2", 2, &[2, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(o2, &idx.clone())
+            .read(src, &idx.clone())
+            .rhs(Expr::Load(0))
+            .done();
+        b.stmt("S3", 2, &[3, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(o3, &idx.clone())
+            .read(src, &idx)
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let sccs = tarjan(&ddg);
+        assert_eq!(sccs.len(), 4, "four singleton SCCs");
+        let order = algorithm1(&scop, &ddg, &sccs);
+        // Positions of the three 2-D statements' SCCs must be consecutive.
+        let pos_of_stmt = |s: usize| order.iter().position(|&c| c == sccs.scc_of[s]).unwrap();
+        let (p1, p2, p3) = (pos_of_stmt(0), pos_of_stmt(2), pos_of_stmt(3));
+        let (lo, hi) = (p1.min(p2).min(p3), p1.max(p2).max(p3));
+        assert_eq!(hi - lo, 2, "2-D reuse SCCs consecutive: order {order:?}");
+        // And the interloper is pushed outside the cluster.
+        let pb = pos_of_stmt(1);
+        assert!(pb < lo || pb > hi, "interloper inside cluster: {order:?}");
+    }
+
+    /// Without reuse there is nothing to group: pure program order results.
+    #[test]
+    fn no_reuse_keeps_program_order() {
+        let mut b = ScopBuilder::new("indep", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        for (beta0, name) in ["A", "B", "C"].iter().enumerate() {
+            let arr = b.array(name, &[Aff::param(0)]);
+            b.stmt(&format!("S{name}"), 1, &[beta0, 0])
+                .bounds(0, Aff::zero(), Aff::param(0) - 1)
+                .write(arr, &[Aff::iter(0)])
+                .rhs(Expr::Const(1.0))
+                .done();
+        }
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let sccs = tarjan(&ddg);
+        let order = algorithm1(&scop, &ddg, &sccs);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    /// Precedence constraint: an SCC whose producer is unplaced cannot be
+    /// pulled forward even with reuse.
+    #[test]
+    fn precedence_blocks_early_placement() {
+        let mut b = ScopBuilder::new("prec", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let p = b.array("P", &[Aff::param(0)]);
+        let q = b.array("Q", &[Aff::param(0)]);
+        let r = b.array("R", &[Aff::param(0)]);
+        // S0 reads A (reuse partner for S2).
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(p, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        // S1 produces Q.
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(q, &[Aff::iter(0)])
+            .rhs(Expr::Const(2.0))
+            .done();
+        // S2 reads A (reuse with S0) but also Q (depends on S1).
+        b.stmt("S2", 1, &[2, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(r, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .read(q, &[Aff::iter(0)])
+            .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let sccs = tarjan(&ddg);
+        let order = algorithm1(&scop, &ddg, &sccs);
+        let pos = |s: usize| order.iter().position(|&c| c == sccs.scc_of[s]).unwrap();
+        assert!(pos(1) < pos(2), "S2 cannot precede its producer S1: {order:?}");
+    }
+
+    /// Dimensionality heuristic: a same-dim SCC with reuse is preferred even
+    /// when a different-dim SCC with reuse sits earlier in program order.
+    #[test]
+    fn same_dimensionality_preferred() {
+        let mut b = ScopBuilder::new("dims", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+        let o1 = b.array("O1", &[Aff::param(0), Aff::param(0)]);
+        let o2 = b.array("O2", &[Aff::param(0)]);
+        let o3 = b.array("O3", &[Aff::param(0), Aff::param(0)]);
+        // S0: 2-D reads A.
+        b.stmt("S0", 2, &[0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(o1, &[Aff::iter(0), Aff::iter(1)])
+            .read(a, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Load(0))
+            .done();
+        // S1: 1-D also reads A (reuse but wrong dimensionality).
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(o2, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0), Aff::zero()])
+            .rhs(Expr::Load(0))
+            .done();
+        // S2: 2-D reads A (reuse, same dimensionality as S0).
+        b.stmt("S2", 2, &[2, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(o3, &[Aff::iter(0), Aff::iter(1)])
+            .read(a, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let sccs = tarjan(&ddg);
+        let order = algorithm1(&scop, &ddg, &sccs);
+        let pos = |s: usize| order.iter().position(|&c| c == sccs.scc_of[s]).unwrap();
+        assert_eq!(pos(2), pos(0) + 1, "S2 pulled next to S0: {order:?}");
+        assert!(pos(1) > pos(2), "1-D S1 ordered after the 2-D cluster");
+    }
+
+    /// The order is always a legal topological order, on every fixture.
+    #[test]
+    fn order_is_topological() {
+        // Chain with a cycle in the middle.
+        let mut b = ScopBuilder::new("cyc", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let c = b.array("C", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        // S1/S2 form a cycle through A and C (carried).
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) - 1])
+            .rhs(Expr::Load(0))
+            .done();
+        b.stmt("S2", 1, &[2, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .read(c, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let sccs = tarjan(&ddg);
+        let order = algorithm1(&scop, &ddg, &sccs);
+        let mut pos = vec![0usize; sccs.len()];
+        for (p, &cid) in order.iter().enumerate() {
+            pos[cid] = p;
+        }
+        for e in &ddg.edges {
+            let (x, y) = (sccs.scc_of[e.src], sccs.scc_of[e.dst]);
+            if x != y {
+                assert!(pos[x] < pos[y], "edge {} -> {} reordered", e.src, e.dst);
+            }
+        }
+    }
+}

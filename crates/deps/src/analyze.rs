@@ -1,0 +1,420 @@
+//! Dependence polyhedron construction.
+
+use crate::ddg::{DepEdge, DepKind, DepLevel, Ddg};
+use wf_polyhedra::{ConstraintSystem, Polyhedron};
+use wf_scop::{AccessKind, Scop};
+
+/// Analyze all dependences of a SCoP.
+///
+/// Dependences are *memory-based* (every pair of accesses to a common
+/// location in original execution order), exactly what PLuTo consumes from
+/// Candl. Emptiness of each candidate polyhedron is decided by exact
+/// rational LP: a rationally-empty system has no integer points either, and
+/// the rare rationally-nonempty/integrally-empty candidate only yields a
+/// conservative extra edge (never an illegal transform).
+#[must_use]
+pub fn analyze(scop: &Scop) -> Ddg {
+    let n = scop.n_statements();
+    let mut ddg = Ddg { n, edges: Vec::new(), rar: Vec::new() };
+    for src in 0..n {
+        for dst in 0..n {
+            analyze_pair(scop, src, dst, &mut ddg);
+        }
+    }
+    ddg
+}
+
+fn analyze_pair(scop: &Scop, src: usize, dst: usize, ddg: &mut Ddg) {
+    let a = &scop.statements[src];
+    let b = &scop.statements[dst];
+    let common = scop.common_loops(src, dst);
+    // Precedence disjuncts this ordered pair can realize.
+    let mut levels: Vec<DepLevel> = (0..common).map(DepLevel::Carried).collect();
+    if src != dst && scop.precedes_at(src, dst, common) {
+        levels.push(DepLevel::Independent);
+    }
+    if levels.is_empty() {
+        return;
+    }
+    for (ka, acc_a) in a.accesses() {
+        for (kb, acc_b) in b.accesses() {
+            if acc_a.array != acc_b.array {
+                continue;
+            }
+            let kind = match (ka, kb) {
+                (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                (AccessKind::Read, AccessKind::Read) => DepKind::Input,
+            };
+            // Self input-dependences are uninteresting for fusion decisions.
+            if kind == DepKind::Input && src == dst {
+                continue;
+            }
+            for &level in &levels {
+                let mut cs = dependence_system(scop, src, dst, &acc_a.map, &acc_b.map, level);
+                let poly = Polyhedron::from(cs.clone());
+                if poly.is_empty_rational() {
+                    continue;
+                }
+                // Shrink the polyhedron once here: every redundant row later
+                // becomes a Farkas multiplier the scheduler must eliminate.
+                cs.simplify();
+                let cs = wf_polyhedra::fm::remove_redundant(&cs);
+                let poly = Polyhedron::from(cs);
+                let edge = DepEdge {
+                    src,
+                    dst,
+                    kind,
+                    level,
+                    poly,
+                    src_depth: a.depth,
+                    dst_depth: b.depth,
+                    array: acc_a.array,
+                };
+                if kind.constrains() {
+                    ddg.edges.push(edge);
+                } else {
+                    ddg.rar.push(edge);
+                }
+            }
+        }
+    }
+}
+
+/// Build the dependence constraint system over
+/// `(src iters…, dst iters…, params…)` for one precedence disjunct.
+#[must_use]
+pub fn dependence_system(
+    scop: &Scop,
+    src: usize,
+    dst: usize,
+    map_a: &[Vec<i128>],
+    map_b: &[Vec<i128>],
+    level: DepLevel,
+) -> ConstraintSystem {
+    let a = &scop.statements[src];
+    let b = &scop.statements[dst];
+    let (da, db, np) = (a.depth, b.depth, scop.n_params());
+    let nv = da + db + np;
+    let mut cs = ConstraintSystem::new(nv);
+
+    // Source domain: iters at [0, da), params at [da+db, da+db+np).
+    let a_map: Vec<usize> = (0..da).chain(da + db..nv).collect();
+    cs.extend(&a.domain.embed(nv, &a_map));
+    // Target domain: iters at [da, da+db).
+    let b_map: Vec<usize> = (da..da + db).chain(da + db..nv).collect();
+    cs.extend(&b.domain.embed(nv, &b_map));
+    // Parameter context.
+    let p_map: Vec<usize> = (da + db..nv).collect();
+    cs.extend(&scop.context.embed(nv, &p_map));
+
+    // Subscript equality per array dimension: f_a(s, p) == f_b(t, p).
+    debug_assert_eq!(map_a.len(), map_b.len(), "access dimensionality mismatch");
+    for (ra, rb) in map_a.iter().zip(map_b) {
+        let mut row = vec![0i128; nv + 1];
+        for k in 0..da {
+            row[k] += ra[k];
+        }
+        for j in 0..np {
+            row[da + db + j] += ra[da + j];
+        }
+        row[nv] += ra[da + np];
+        for k in 0..db {
+            row[da + k] -= rb[k];
+        }
+        for j in 0..np {
+            row[da + db + j] -= rb[db + j];
+        }
+        row[nv] -= rb[db + np];
+        cs.add_eq0(row);
+    }
+
+    // Precedence.
+    match level {
+        DepLevel::Carried(l) => {
+            for k in 0..l {
+                let mut row = vec![0i128; nv + 1];
+                row[k] = 1;
+                row[da + k] = -1;
+                cs.add_eq0(row);
+            }
+            // t_l - s_l - 1 >= 0
+            let mut row = vec![0i128; nv + 1];
+            row[l] = -1;
+            row[da + l] = 1;
+            row[nv] = -1;
+            cs.add_ge0(row);
+        }
+        DepLevel::Independent => {
+            let common = scop.common_loops(src, dst);
+            for k in 0..common {
+                let mut row = vec![0i128; nv + 1];
+                row[k] = 1;
+                row[da + k] = -1;
+                cs.add_eq0(row);
+            }
+        }
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    /// for i: A[i] = 1;          S0
+    /// for i: B[i] = A[i-1];     S1   (flow, loop-independent across nests)
+    fn producer_consumer() -> Scop {
+        let mut b = ScopBuilder::new("pc", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let bb = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .write(bb, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) - 1])
+            .rhs(Expr::Load(0))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn cross_nest_flow_dependence() {
+        let scop = producer_consumer();
+        let ddg = analyze(&scop);
+        let flows: Vec<_> =
+            ddg.edges.iter().filter(|e| e.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1);
+        let e = flows[0];
+        assert_eq!((e.src, e.dst), (0, 1));
+        // Different nests share 0 loops -> loop-independent disjunct.
+        assert_eq!(e.level, DepLevel::Independent);
+        // Witness: (s=3, t=4, N=10) is in the polyhedron (A[3] written, read
+        // by t=4 which reads A[3]).
+        assert!(e.poly.contains(&[3, 4, 10]));
+        assert!(!e.poly.contains(&[3, 5, 10]));
+    }
+
+    #[test]
+    fn no_spurious_backward_edges(){
+        let scop = producer_consumer();
+        let ddg = analyze(&scop);
+        assert!(ddg.edges.iter().all(|e| e.src == 0 && e.dst == 1));
+    }
+
+    /// for i: { A[i] = A[i-1]; }   carried self flow dependence at level 0.
+    #[test]
+    fn self_carried_dependence() {
+        let mut b = ScopBuilder::new("chain", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) - 1])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let carried: Vec<_> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow && e.level == DepLevel::Carried(0))
+            .collect();
+        assert_eq!(carried.len(), 1);
+        // Distance exactly 1: (s, t) = (1, 2) in, (1, 3) out.
+        assert!(carried[0].poly.contains(&[1, 2, 10]));
+        assert!(!carried[0].poly.contains(&[1, 3, 10]));
+        // No anti dependence: the read at iteration s touches A[s-1], which
+        // is only written at iteration s-1 < s, never after the read.
+        assert!(ddg.edges.iter().all(|e| e.kind != DepKind::Anti));
+    }
+
+    /// Two statements in one loop reading the same array: an input edge and
+    /// no legality edge.
+    #[test]
+    fn input_dependences_are_separate() {
+        let mut b = ScopBuilder::new("rar", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let x = b.array("X", &[Aff::param(0)]);
+        let y = b.array("Y", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(x, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(y, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        assert!(ddg.edges.is_empty(), "no legality deps expected: {:?}", ddg.edges);
+        assert!(!ddg.rar.is_empty(), "input dep expected");
+        assert!(ddg.has_reuse(0, 1));
+        assert!(ddg.rar_adjacency()[1][0], "reuse adjacency is symmetric");
+    }
+
+    /// Disjoint arrays -> no dependences at all.
+    #[test]
+    fn independent_statements() {
+        let mut b = ScopBuilder::new("indep", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let x = b.array("X", &[Aff::param(0)]);
+        let y = b.array("Y", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(x, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(y, &[Aff::iter(0)])
+            .rhs(Expr::Const(2.0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        assert!(ddg.edges.is_empty());
+        assert!(ddg.rar.is_empty());
+        assert!(!ddg.has_reuse(0, 1));
+    }
+
+    /// gemver's S1/S2 situation (Figure 1): same-nest dependence where the
+    /// conflicting subscripts are transposed. S1 writes A[i][j], S2 reads
+    /// A[j][i] in a following nest.
+    #[test]
+    fn transposed_access_dependence() {
+        let mut b = ScopBuilder::new("gv", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+        let x = b.array("X", &[Aff::param(0)]);
+        b.stmt("S1", 2, &[0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S2", 2, &[1, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(x, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(1), Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let flow: Vec<_> = ddg.edges.iter().filter(|e| e.kind == DepKind::Flow).collect();
+        assert_eq!(flow.len(), 1);
+        // Witness (i=2, j=5) writes A[2][5]; read by S2 at (i=5, j=2).
+        assert!(flow[0].poly.contains(&[2, 5, 5, 2, 10]));
+        assert!(!flow[0].poly.contains(&[2, 5, 2, 5, 10]));
+    }
+
+    /// A statement pair with *no* instance conflict because domains don't
+    /// overlap on the subscript: S0 writes A[0..N/2), S1 reads A[N/2..N)
+    /// modelled with constant split at 5, N = 10 fixed by context.
+    #[test]
+    fn disjoint_ranges_no_dependence() {
+        let mut b = ScopBuilder::new("split", &["N"]);
+        // Fix N = 10 exactly.
+        b.context_ge(Aff::param(0) - 10);
+        b.context_ge(Aff::konst(10) - Aff::param(0));
+        let a = b.array("A", &[Aff::param(0)]);
+        let y = b.array("Y", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::konst(4))
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::konst(5), Aff::konst(9))
+            .write(y, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        assert!(ddg.edges.is_empty(), "{:?}", ddg.edges);
+    }
+
+    /// Backward cross-statement dependence inside one loop: S1 reads A[i+1]
+    /// which S0 writes at iteration i+1 -> anti dependence S1 -> S0 carried
+    /// at level 0 (the "advect" pattern that forces shifting or cutting).
+    #[test]
+    fn backward_dependence_within_nest() {
+        let mut b = ScopBuilder::new("bk", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let y = b.array("Y", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[0, 1])
+            .bounds(0, Aff::zero(), Aff::param(0) - 2)
+            .write(y, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) + 1])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        // Anti dependence S1 -> S0 carried at level 0 (read before write).
+        assert!(
+            ddg.edges
+                .iter()
+                .any(|e| e.kind == DepKind::Anti
+                    && e.src == 1
+                    && e.dst == 0
+                    && e.level == DepLevel::Carried(0)),
+            "expected carried anti dep S1->S0, got {:?}",
+            ddg.edges
+                .iter()
+                .map(|e| (e.src, e.dst, e.kind, e.level))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn common_loop_carried_levels_counted() {
+        // Two statements fused in a 2-deep nest, dependence distance (1, 0):
+        // carried at level 0 only.
+        let mut b = ScopBuilder::new("2d", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+        let y = b.array("Y", &[Aff::param(0), Aff::param(0)]);
+        b.stmt("S0", 2, &[0, 0, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 2, &[0, 0, 1])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(y, &[Aff::iter(0), Aff::iter(1)])
+            .read(a, &[Aff::iter(0) - 1, Aff::iter(1)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let ddg = analyze(&scop);
+        let flow_levels: Vec<_> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow)
+            .map(|e| e.level)
+            .collect();
+        assert_eq!(flow_levels, vec![DepLevel::Carried(0)]);
+    }
+}

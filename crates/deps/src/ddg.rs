@@ -1,0 +1,113 @@
+//! The data dependence graph.
+
+use wf_polyhedra::Polyhedron;
+
+/// Classification of a dependence by access kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DepKind {
+    /// Read-after-write (true dependence).
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+    /// Read-after-read — no legality constraint, pure reuse information.
+    Input,
+}
+
+impl DepKind {
+    /// Does this dependence constrain legality (i.e. belong to the DDG
+    /// proper)?
+    #[must_use]
+    pub fn constrains(self) -> bool {
+        self != DepKind::Input
+    }
+}
+
+/// Which precedence disjunct a dependence polyhedron encodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DepLevel {
+    /// Carried by common loop `l` (0-based): outer iterators equal, source
+    /// strictly earlier at loop `l`.
+    Carried(usize),
+    /// Loop-independent: all common iterators equal, source syntactically
+    /// first.
+    Independent,
+}
+
+/// One dependence: a non-empty polyhedron of (source, target) instance
+/// pairs.
+#[derive(Clone, Debug)]
+pub struct DepEdge {
+    /// Source statement index.
+    pub src: usize,
+    /// Target statement index.
+    pub dst: usize,
+    /// Access-kind classification.
+    pub kind: DepKind,
+    /// Precedence disjunct.
+    pub level: DepLevel,
+    /// Instance pairs over `(src iters…, dst iters…, params…)`.
+    pub poly: Polyhedron,
+    /// Source statement loop depth (leading variables of `poly`).
+    pub src_depth: usize,
+    /// Target statement loop depth (next variables of `poly`).
+    pub dst_depth: usize,
+    /// The array involved (index into the SCoP's array table).
+    pub array: usize,
+}
+
+/// The data dependence graph of a SCoP.
+#[derive(Clone, Debug, Default)]
+pub struct Ddg {
+    /// Number of statements (vertices).
+    pub n: usize,
+    /// Legality edges (flow/anti/output), one per non-empty dependence
+    /// polyhedron.
+    pub edges: Vec<DepEdge>,
+    /// Input (read-after-read) reuse edges.
+    pub rar: Vec<DepEdge>,
+}
+
+impl Ddg {
+    /// Boolean adjacency of legality edges: `adj[i][j]` iff some dependence
+    /// goes `i -> j`.
+    #[must_use]
+    pub fn adjacency(&self) -> Vec<Vec<bool>> {
+        let mut adj = vec![vec![false; self.n]; self.n];
+        for e in &self.edges {
+            adj[e.src][e.dst] = true;
+        }
+        adj
+    }
+
+    /// Boolean adjacency of input-dependence edges (symmetric closure: reuse
+    /// has no direction for fusion purposes).
+    #[must_use]
+    pub fn rar_adjacency(&self) -> Vec<Vec<bool>> {
+        let mut adj = vec![vec![false; self.n]; self.n];
+        for e in &self.rar {
+            adj[e.src][e.dst] = true;
+            adj[e.dst][e.src] = true;
+        }
+        adj
+    }
+
+    /// All legality edges between the given pair (either direction).
+    pub fn edges_between(&self, a: usize, b: usize) -> impl Iterator<Item = &DepEdge> {
+        self.edges
+            .iter()
+            .filter(move |e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+    }
+
+    /// Is there *any* reuse (legality or input dependence) between `a` and
+    /// `b`, in either direction? This is the "data reuse" predicate of
+    /// Algorithm 1 (line 17).
+    #[must_use]
+    pub fn has_reuse(&self, a: usize, b: usize) -> bool {
+        self.edges
+            .iter()
+            .chain(self.rar.iter())
+            .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+    }
+}

@@ -1,0 +1,310 @@
+//! Fusion-partitioning search-space combinatorics.
+//!
+//! Section 1 of the paper motivates the need for a cost model by counting the
+//! legal fusion partitionings: `L * 2^(k-1)` where `L` is the number of legal
+//! orderings (linear extensions of the precedence partial order among `k`
+//! units) and every ordering admits `2^(k-1)` cut placements. For swim's
+//! S1–S3 that is `3! * 4 = 24`; for S13–S18 (three 2-chains) it is
+//! `90 * 32 = 2880`. These counts are reproduced as tests.
+
+/// Count linear extensions of the partial order given by `edges` (u must
+/// come before v) over `n` elements, via bitmask DP. Practical for `n <= 20`.
+#[must_use]
+pub fn count_linear_extensions(n: usize, edges: &[(usize, usize)]) -> u128 {
+    assert!(n <= 24, "linear-extension DP limited to 24 elements");
+    // preds[v] = bitmask of elements that must precede v.
+    let mut preds = vec![0u32; n];
+    for &(u, v) in edges {
+        assert!(u < n && v < n);
+        preds[v] |= 1 << u;
+    }
+    let full = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut dp = vec![0u128; (full as usize) + 1];
+    dp[0] = 1;
+    for mask in 0..=full {
+        let ways = dp[mask as usize];
+        if ways == 0 {
+            continue;
+        }
+        for v in 0..n {
+            let bit = 1u32 << v;
+            if mask & bit == 0 && (preds[v] & !mask) == 0 {
+                dp[(mask | bit) as usize] += ways;
+            }
+        }
+    }
+    dp[full as usize]
+}
+
+/// Enumerate all linear extensions (legal orderings) of the partial order,
+/// up to `limit` (panics beyond it — this is the iterative-search
+/// comparison's tool, meant for tiny programs only).
+#[must_use]
+pub fn linear_extensions(n: usize, edges: &[(usize, usize)], limit: usize) -> Vec<Vec<usize>> {
+    let mut preds = vec![0u32; n];
+    for &(u, v) in edges {
+        preds[v] |= 1 << u;
+    }
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(n);
+    fn rec(
+        n: usize,
+        preds: &[u32],
+        placed: u32,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+        limit: usize,
+    ) {
+        if cur.len() == n {
+            assert!(out.len() < limit, "more than {limit} linear extensions");
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..n {
+            let bit = 1u32 << v;
+            if placed & bit == 0 && (preds[v] & !placed) == 0 {
+                cur.push(v);
+                rec(n, preds, placed | bit, cur, out, limit);
+                cur.pop();
+            }
+        }
+    }
+    rec(n, &preds, 0, &mut cur, &mut out, limit);
+    out
+}
+
+/// Total number of fusion partitionings: legal orderings times `2^(n-1)`
+/// cut placements (each adjacent pair fused or cut).
+#[must_use]
+pub fn count_fusion_partitionings(n: usize, edges: &[(usize, usize)]) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    count_linear_extensions(n, edges) * (1u128 << (n - 1))
+}
+
+/// Natural log of `n!` by direct summation (exact enough for display;
+/// `n` here is a statement count, well under 10^3).
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Count linear extensions of partial orders too large for the bitmask DP,
+/// returning the *natural log* of the count and whether it is exact.
+/// Decomposes the precedence DAG into weakly connected components, counts
+/// each component exactly with the DP, and combines with the multinomial
+/// interleaving factor `n! / Π nᵢ!` — exact whenever every component has
+/// ≤ 24 elements. Components beyond the DP limit contribute the
+/// topological-layering lower bound `Π |levelⱼ|!` (any order that emits
+/// the layers in sequence, freely permuted within each layer, is a valid
+/// extension), and the result is flagged as a lower bound.
+#[must_use]
+pub fn ln_count_linear_extensions(n: usize, edges: &[(usize, usize)]) -> (f64, bool) {
+    if n == 0 {
+        return (0.0, true);
+    }
+    // Union-find over weakly connected components.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            parent[r] = parent[parent[r]];
+            r = parent[r];
+        }
+        r
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    let mut members: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        members.entry(r).or_default().push(v);
+    }
+    // ln(n!/Π nᵢ!) + Σ ln ext(component i).
+    let mut ln_total = ln_factorial(n);
+    let mut exact = true;
+    for comp in members.values() {
+        ln_total -= ln_factorial(comp.len());
+        // Relabel the component's edges into 0..len.
+        let index: std::collections::HashMap<usize, usize> =
+            comp.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let local: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|(u, v)| index.contains_key(u) && index.contains_key(v))
+            .map(|(u, v)| (index[u], index[v]))
+            .collect();
+        if comp.len() <= 24 {
+            ln_total += (count_linear_extensions(comp.len(), &local) as f64).ln();
+        } else {
+            // Lower bound: longest-path layering; layers emitted in
+            // sequence, freely permuted within each layer.
+            let m = comp.len();
+            let mut level = vec![0usize; m];
+            // local edges form a DAG; relax levels to a fixpoint (≤ m passes).
+            for _ in 0..m {
+                let mut changed = false;
+                for &(u, v) in &local {
+                    if level[v] < level[u] + 1 {
+                        level[v] = level[u] + 1;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let mut layer_sizes = std::collections::HashMap::new();
+            for &l in &level {
+                *layer_sizes.entry(l).or_insert(0usize) += 1;
+            }
+            ln_total += layer_sizes.values().map(|&s| ln_factorial(s)).sum::<f64>();
+            exact = false;
+        }
+    }
+    (ln_total, exact)
+}
+
+/// [`count_fusion_partitionings`] for large programs: natural log of
+/// (linear extensions × 2^(n-1)) plus an exactness flag. Exact when every
+/// weakly connected component of the precedence DAG has ≤ 24 elements, a
+/// lower bound otherwise.
+#[must_use]
+pub fn ln_count_fusion_partitionings(n: usize, edges: &[(usize, usize)]) -> (f64, bool) {
+    if n == 0 {
+        return (f64::NEG_INFINITY, true);
+    }
+    let (ln, exact) = ln_count_linear_extensions(n, edges);
+    (ln + (n as f64 - 1.0) * std::f64::consts::LN_2, exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_is_factorial() {
+        assert_eq!(count_linear_extensions(3, &[]), 6);
+        assert_eq!(count_linear_extensions(4, &[]), 24);
+        assert_eq!(count_linear_extensions(0, &[]), 1);
+        assert_eq!(count_linear_extensions(1, &[]), 1);
+    }
+
+    #[test]
+    fn total_order_is_one() {
+        assert_eq!(count_linear_extensions(4, &[(0, 1), (1, 2), (2, 3)]), 1);
+    }
+
+    #[test]
+    fn paper_swim_s1_s3_count_is_24() {
+        // Three independent statements: 3! orderings x 2^2 partitions = 24.
+        assert_eq!(count_fusion_partitionings(3, &[]), 24);
+    }
+
+    #[test]
+    fn paper_swim_s13_s18_count_is_2880() {
+        // S13->S16, S14->S17, S15->S18: three disjoint 2-chains.
+        // Linear extensions: 6! / 2^3 = 90; times 2^5 = 2880.
+        let edges = [(0, 3), (1, 4), (2, 5)];
+        assert_eq!(count_linear_extensions(6, &edges), 90);
+        assert_eq!(count_fusion_partitionings(6, &edges), 2880);
+    }
+
+    #[test]
+    fn diamond_partial_order() {
+        // 0 < {1,2} < 3: extensions = 2.
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        assert_eq!(count_linear_extensions(4, &edges), 2);
+    }
+
+    #[test]
+    fn zero_statements_have_no_partitionings() {
+        assert_eq!(count_fusion_partitionings(0, &[]), 0);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let edges = [(0usize, 3usize), (1, 4), (2, 5)];
+        let exts = linear_extensions(6, &edges, 1000);
+        assert_eq!(exts.len() as u128, count_linear_extensions(6, &edges));
+        // Every extension respects the order.
+        for e in &exts {
+            let pos = |v: usize| e.iter().position(|&x| x == v).unwrap();
+            for &(u, v) in &edges {
+                assert!(pos(u) < pos(v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn enumeration_limit_trips() {
+        let _ = linear_extensions(6, &[], 10);
+    }
+
+    #[test]
+    fn ln_count_matches_exact_on_small_orders() {
+        for (n, edges) in [
+            (3usize, vec![]),
+            (6, vec![(0usize, 3usize), (1, 4), (2, 5)]),
+            (4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
+            (5, vec![(0, 1), (1, 2)]),
+        ] {
+            let exact = count_linear_extensions(n, &edges) as f64;
+            let (ln, is_exact) = ln_count_linear_extensions(n, &edges);
+            assert!(is_exact, "n={n}: small orders must be counted exactly");
+            assert!(
+                (ln - exact.ln()).abs() < 1e-9,
+                "n={n}: ln {} vs exact ln {}",
+                ln,
+                exact.ln()
+            );
+            let (lnp, _) = ln_count_fusion_partitionings(n, &edges);
+            let exactp = count_fusion_partitionings(n, &edges) as f64;
+            assert!((lnp - exactp.ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ln_count_handles_36_element_order() {
+        // 12 disjoint 3-chains (a swim-like pass structure): extensions =
+        // 36! / 6^12; the DP cannot touch the whole order, the component
+        // decomposition can — and every component is tiny, so it's exact.
+        let edges: Vec<(usize, usize)> =
+            (0..12).flat_map(|c| [(3 * c, 3 * c + 1), (3 * c + 1, 3 * c + 2)]).collect();
+        let expect = ln_factorial(36) - 12.0 * 6f64.ln();
+        let (got, exact) = ln_count_linear_extensions(36, &edges);
+        assert!(exact);
+        assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn ln_count_large_component_lower_bound() {
+        // One 30-element component: 15 independent 2-chains all joined
+        // through a common sink, exceeding the DP limit. The layering
+        // bound must be positive (layers of 15, 14 and 1) and flagged
+        // inexact.
+        let mut edges: Vec<(usize, usize)> = (0..14).map(|c| (2 * c, 2 * c + 1)).collect();
+        for v in 0..28 {
+            edges.push((v, 29)); // common sink joins everything
+        }
+        edges.push((28, 29));
+        let (ln, exact) = ln_count_linear_extensions(30, &edges);
+        assert!(!exact, "30-element component exceeds the DP limit");
+        // Layers: level0 = {0,2,..,28} (15 sources), level1 = {1,3,..,27}
+        // (14 mid), level2 = {29}: bound = 15! * 14!.
+        let expect = ln_factorial(15) + ln_factorial(14);
+        assert!((ln - expect).abs() < 1e-6, "{ln} vs {expect}");
+    }
+
+    #[test]
+    fn ln_count_empty_program() {
+        assert_eq!(ln_count_linear_extensions(0, &[]), (0.0, true));
+        let (ln, exact) = ln_count_fusion_partitionings(0, &[]);
+        assert_eq!(ln, f64::NEG_INFINITY);
+        assert!(exact);
+    }
+}

@@ -1,0 +1,31 @@
+//! Exact polyhedral dependence analysis (the Candl stand-in).
+//!
+//! For every ordered pair of statements and every pair of conflicting
+//! accesses we build *dependence polyhedra*: systems over
+//! `(source iters…, target iters…, params…)` conjoining both iteration
+//! domains, subscript equality, and the original-schedule precedence
+//! condition — one polyhedron per precedence disjunct (carried at loop
+//! level ℓ, or loop-independent). Emptiness is decided exactly.
+//!
+//! The resulting [`Ddg`] carries
+//! * **legality edges** (flow / anti / output) — these constrain scheduling,
+//! * **input (read-after-read) edges** — these carry no legality constraint
+//!   but represent data reuse; wisefuse's Algorithm 1 consumes them, which
+//!   is one of the paper's key points (PLuTo's DDG traversal cannot see
+//!   them).
+//!
+//! SCCs of the legality subgraph are computed with both Tarjan's and
+//! Kosaraju's algorithms (the paper cites Kosaraju via Sharir; Tarjan is the
+//! default here, Kosaraju kept as a cross-check).
+
+#![allow(clippy::needless_range_loop)] // index-style is clearer for matrix/tableau code
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ddg;
+pub mod enumerate;
+pub mod scc;
+
+pub use analyze::analyze;
+pub use ddg::{DepEdge, DepKind, DepLevel, Ddg};
+pub use scc::{kosaraju, kosaraju_raw, tarjan, SccInfo};

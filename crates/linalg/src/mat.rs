@@ -1,0 +1,435 @@
+//! Dense rational matrices with exact Gaussian elimination.
+
+use crate::rat::Rat;
+use crate::{gcd_slice, lcm};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of exact rationals.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rat>,
+}
+
+impl RatMat {
+    /// An all-zero `rows x cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> RatMat {
+        RatMat { rows, cols, data: vec![Rat::ZERO; rows * cols] }
+    }
+
+    /// The `n x n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> RatMat {
+        let mut m = RatMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rat::ONE;
+        }
+        m
+    }
+
+    /// Build from integer rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_int_rows(rows: &[Vec<i128>]) -> RatMat {
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut m = RatMat::zeros(rows.len(), ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "RatMat: ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = Rat::int(v);
+            }
+        }
+        m
+    }
+
+    /// Build from rational rows.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<Rat>]) -> RatMat {
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut m = RatMat::zeros(rows.len(), ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "RatMat: ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Rat] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[Rat]) -> Vec<Rat> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix-matrix product.
+    #[must_use]
+    pub fn mul_mat(&self, other: &RatMat) -> RatMat {
+        assert_eq!(self.cols, other.rows, "mul_mat: dimension mismatch");
+        let mut out = RatMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let prod = a * other[(k, j)];
+                    out[(i, j)] += prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> RatMat {
+        let mut t = RatMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// In-place reduction to **reduced row echelon form**; returns the list
+    /// of pivot column indices (one per non-zero row, in order).
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r == self.rows {
+                break;
+            }
+            // Find a pivot in column c at or below row r.
+            let Some(p) = (r..self.rows).find(|&i| !self[(i, c)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(r, p);
+            let inv = self[(r, c)].recip();
+            for j in c..self.cols {
+                let scaled = self[(r, j)] * inv;
+                self[(r, j)] = scaled;
+            }
+            for i in 0..self.rows {
+                if i != r && !self[(i, c)].is_zero() {
+                    let f = self[(i, c)];
+                    for j in c..self.cols {
+                        let delta = f * self[(r, j)];
+                        self[(i, j)] -= delta;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// Rank of the matrix.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.rref().len()
+    }
+
+    /// Inverse of a square matrix, or `None` when singular.
+    #[must_use]
+    pub fn inverse(&self) -> Option<RatMat> {
+        assert_eq!(self.rows, self.cols, "inverse: non-square matrix");
+        let n = self.rows;
+        let mut aug = RatMat::zeros(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, n + i)] = Rat::ONE;
+        }
+        let pivots = aug.rref();
+        if pivots.len() != n || pivots.iter().enumerate().any(|(i, &p)| p != i) {
+            return None;
+        }
+        let mut inv = RatMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                inv[(i, j)] = aug[(i, n + j)];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solve `A x = b` for one solution, or `None` when inconsistent.
+    ///
+    /// When the system is under-determined, free variables are set to zero.
+    #[must_use]
+    pub fn solve(&self, b: &[Rat]) -> Option<Vec<Rat>> {
+        assert_eq!(b.len(), self.rows, "solve: dimension mismatch");
+        let mut aug = RatMat::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, self.cols)] = b[i];
+        }
+        let pivots = aug.rref();
+        // Inconsistent if any pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = vec![Rat::ZERO; self.cols];
+        for (r, &c) in pivots.iter().enumerate() {
+            x[c] = aug[(r, self.cols)];
+        }
+        Some(x)
+    }
+
+    /// Integer-scaled basis of the null space (kernel) of the matrix.
+    ///
+    /// Each returned vector `v` satisfies `A v = 0`, has integer entries, and
+    /// is primitive (gcd 1). The basis spans the rational kernel.
+    #[must_use]
+    pub fn kernel_basis(&self) -> Vec<Vec<i128>> {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        let is_pivot: Vec<bool> = {
+            let mut v = vec![false; self.cols];
+            for &p in &pivots {
+                v[p] = true;
+            }
+            v
+        };
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut v = vec![Rat::ZERO; self.cols];
+            v[free] = Rat::ONE;
+            for (r, &p) in pivots.iter().enumerate() {
+                v[p] = -m[(r, free)];
+            }
+            basis.push(scale_to_integer(&v));
+        }
+        basis
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let tmp = self[(a, j)];
+            self[(a, j)] = self[(b, j)];
+            self[(b, j)] = tmp;
+        }
+    }
+}
+
+/// Scale a rational vector by the lcm of denominators to a primitive integer
+/// vector.
+#[must_use]
+pub fn scale_to_integer(v: &[Rat]) -> Vec<i128> {
+    let l = v.iter().fold(1i128, |acc, r| lcm(acc, r.den()));
+    let mut out: Vec<i128> = v.iter().map(|r| r.num() * (l / r.den())).collect();
+    let g = gcd_slice(&out);
+    if g > 1 {
+        for x in &mut out {
+            *x /= g;
+        }
+    }
+    out
+}
+
+impl Index<(usize, usize)> for RatMat {
+    type Output = Rat;
+    fn index(&self, (i, j): (usize, usize)) -> &Rat {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rat {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RatMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_and_mul() {
+        let i3 = RatMat::identity(3);
+        let a = RatMat::from_int_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 10]]);
+        assert_eq!(i3.mul_mat(&a), a);
+        assert_eq!(a.mul_mat(&i3), a);
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let a = RatMat::from_int_rows(&[vec![1, 2], vec![3, 4]]);
+        let v = vec![Rat::int(5), Rat::int(6)];
+        assert_eq!(a.mul_vec(&v), vec![Rat::int(17), Rat::int(39)]);
+    }
+
+    #[test]
+    fn rank_detects_dependence() {
+        let a = RatMat::from_int_rows(&[vec![1, 2], vec![2, 4]]);
+        assert_eq!(a.rank(), 1);
+        let b = RatMat::from_int_rows(&[vec![1, 0], vec![0, 1]]);
+        assert_eq!(b.rank(), 2);
+        let z = RatMat::zeros(3, 3);
+        assert_eq!(z.rank(), 0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = RatMat::from_int_rows(&[vec![2, 1], vec![1, 1]]);
+        let inv = a.inverse().expect("invertible");
+        assert_eq!(a.mul_mat(&inv), RatMat::identity(2));
+        assert_eq!(inv.mul_mat(&a), RatMat::identity(2));
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let a = RatMat::from_int_rows(&[vec![1, 2], vec![2, 4]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn solve_consistent() {
+        let a = RatMat::from_int_rows(&[vec![2, 0], vec![0, 4]]);
+        let x = a.solve(&[Rat::int(6), Rat::int(8)]).expect("solvable");
+        assert_eq!(x, vec![Rat::int(3), Rat::int(2)]);
+    }
+
+    #[test]
+    fn solve_inconsistent_is_none() {
+        let a = RatMat::from_int_rows(&[vec![1, 1], vec![1, 1]]);
+        assert!(a.solve(&[Rat::int(1), Rat::int(2)]).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined_sets_free_to_zero() {
+        let a = RatMat::from_int_rows(&[vec![1, 1]]);
+        let x = a.solve(&[Rat::int(5)]).expect("solvable");
+        assert_eq!(a.mul_vec(&x), vec![Rat::int(5)]);
+    }
+
+    #[test]
+    fn kernel_basis_spans_null_space() {
+        let a = RatMat::from_int_rows(&[vec![1, 1, 0], vec![0, 0, 1]]);
+        let basis = a.kernel_basis();
+        assert_eq!(basis.len(), 1);
+        let v: Vec<Rat> = basis[0].iter().map(|&x| Rat::int(x)).collect();
+        assert_eq!(a.mul_vec(&v), vec![Rat::ZERO, Rat::ZERO]);
+    }
+
+    #[test]
+    fn kernel_of_full_rank_is_empty() {
+        let a = RatMat::identity(3);
+        assert!(a.kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn scale_to_integer_primitive() {
+        let v = vec![Rat::new(1, 2), Rat::new(1, 3)];
+        assert_eq!(scale_to_integer(&v), vec![3, 2]);
+        let w = vec![Rat::int(4), Rat::int(6)];
+        assert_eq!(scale_to_integer(&w), vec![2, 3]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = RatMat::from_int_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = RatMat> {
+        proptest::collection::vec(
+            proptest::collection::vec(-5i128..6, cols),
+            rows,
+        )
+        .prop_map(|rows| RatMat::from_int_rows(&rows))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernel_vectors_are_in_null_space(a in arb_mat(3, 5)) {
+            for v in a.kernel_basis() {
+                let rv: Vec<Rat> = v.iter().map(|&x| Rat::int(x)).collect();
+                let out = a.mul_vec(&rv);
+                prop_assert!(out.iter().all(|r| r.is_zero()));
+            }
+        }
+
+        #[test]
+        fn prop_rank_nullity(a in arb_mat(4, 4)) {
+            prop_assert_eq!(a.rank() + a.kernel_basis().len(), a.cols());
+        }
+
+        #[test]
+        fn prop_solve_produces_solution(a in arb_mat(3, 3), xs in proptest::collection::vec(-5i128..6, 3)) {
+            let x: Vec<Rat> = xs.iter().map(|&v| Rat::int(v)).collect();
+            let b = a.mul_vec(&x);
+            // A solution must exist (x is one); check the one returned works.
+            let sol = a.solve(&b).expect("consistent by construction");
+            prop_assert_eq!(a.mul_vec(&sol), b);
+        }
+
+        #[test]
+        fn prop_inverse_roundtrip(a in arb_mat(3, 3)) {
+            if let Some(inv) = a.inverse() {
+                prop_assert_eq!(a.mul_mat(&inv), RatMat::identity(3));
+            } else {
+                prop_assert!(a.rank() < 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! `i128`-backed exact rational numbers.
+
+use crate::gcd;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) == 1`.
+///
+/// All arithmetic is overflow-checked; the polyhedral problems in this
+/// project are small enough that `i128` never overflows in practice, and if
+/// it ever does we want a loud panic, not a silently wrong loop transform.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Create `num/den`, normalizing sign and gcd.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "Rat: zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g > 1 { (num / g, den / g) } else { (num, den) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// The integer `n` as a rational.
+    #[must_use]
+    pub const fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    #[must_use]
+    pub const fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub const fn den(self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign: -1, 0 or 1.
+    #[must_use]
+    pub const fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Largest integer `<= self`.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[must_use]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "Rat: reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    /// The value as an `i128`, if it is an integer.
+    #[must_use]
+    pub fn to_integer(self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Lossy conversion to `f64` (for reporting only — never for decisions).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_mul_i(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("Rat: multiplication overflow")
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::int(n)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::int(n as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Rat {
+        Rat::int(n as i128)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // Cross-reduce first to tame intermediate growth.
+        let g = gcd(self.den, rhs.den);
+        let (d1, d2) = (self.den / g, rhs.den / g);
+        let num = Rat::checked_mul_i(self.num, d2)
+            .checked_add(Rat::checked_mul_i(rhs.num, d1))
+            .expect("Rat: addition overflow");
+        let den = Rat::checked_mul_i(self.den, d2);
+        Rat::new(num, den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-cancel before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = Rat::checked_mul_i(self.num / g1, rhs.num / g2);
+        let den = Rat::checked_mul_i(self.den / g2, rhs.den / g1);
+        Rat::new(num, den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // den > 0 invariant makes cross-multiplication order-preserving.
+        let l = Rat::checked_mul_i(self.num, other.den);
+        let r = Rat::checked_mul_i(other.num, self.den);
+        l.cmp(&r)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl std::iter::Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        assert!(Rat::new(-3, 2) < Rat::new(-1, 1));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+        assert_eq!(Rat::new(-1, 3).floor(), -1);
+        assert_eq!(Rat::new(-1, 3).ceil(), 0);
+    }
+
+    #[test]
+    fn recip_and_integrality() {
+        assert_eq!(Rat::new(2, 3).recip(), Rat::new(3, 2));
+        assert!(Rat::int(4).is_integer());
+        assert!(!Rat::new(1, 2).is_integer());
+        assert_eq!(Rat::new(8, 4).to_integer(), Some(2));
+        assert_eq!(Rat::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: Rat = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)].into_iter().sum();
+        assert_eq!(s, Rat::ONE);
+    }
+
+    fn arb_rat() -> impl Strategy<Value = Rat> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rat::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_rat(), b in arb_rat()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_inverse(a in arb_rat(), b in arb_rat()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn prop_div_inverse(a in arb_rat(), b in arb_rat()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a * b / b, a);
+        }
+
+        #[test]
+        fn prop_normalized(a in arb_rat()) {
+            prop_assert!(a.den() > 0);
+            prop_assert_eq!(crate::gcd(a.num(), a.den()), if a.is_zero() { a.den() } else { 1 });
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket(a in arb_rat()) {
+            prop_assert!(Rat::int(a.floor()) <= a);
+            prop_assert!(a <= Rat::int(a.ceil()));
+            prop_assert!(a.ceil() - a.floor() <= 1);
+        }
+
+        #[test]
+        fn prop_order_total(a in arb_rat(), b in arb_rat()) {
+            let by_sub = (a - b).signum();
+            let by_cmp = match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            };
+            prop_assert_eq!(by_sub, by_cmp);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Integer affine constraint systems.
+
+use std::fmt;
+use wf_linalg::{dot, normalize_row};
+
+/// Whether a constraint is an inequality (`expr >= 0`) or equality
+/// (`expr == 0`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ConstraintKind {
+    /// `a·x + c >= 0`
+    Ineq,
+    /// `a·x + c == 0`
+    Eq,
+}
+
+/// One affine constraint over `n` variables.
+///
+/// `coeffs` has length `n + 1`: the first `n` entries are variable
+/// coefficients, the final entry is the constant term. The represented
+/// predicate is `coeffs[0..n]·x + coeffs[n] (>=|==) 0`.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Constraint {
+    /// Variable coefficients followed by the constant term.
+    pub coeffs: Vec<i128>,
+    /// Inequality or equality.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// An inequality `coeffs·(x,1) >= 0`.
+    #[must_use]
+    pub fn ge0(coeffs: Vec<i128>) -> Constraint {
+        Constraint { coeffs, kind: ConstraintKind::Ineq }
+    }
+
+    /// An equality `coeffs·(x,1) == 0`.
+    #[must_use]
+    pub fn eq0(coeffs: Vec<i128>) -> Constraint {
+        Constraint { coeffs, kind: ConstraintKind::Eq }
+    }
+
+    /// Number of variables this constraint ranges over.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate the affine expression at an integer point.
+    #[must_use]
+    pub fn eval(&self, x: &[i128]) -> i128 {
+        assert_eq!(x.len(), self.n_vars(), "eval: wrong point dimension");
+        dot(&self.coeffs[..x.len()], x) + self.coeffs[x.len()]
+    }
+
+    /// Does the point satisfy the constraint?
+    #[must_use]
+    pub fn satisfied_by(&self, x: &[i128]) -> bool {
+        let v = self.eval(x);
+        match self.kind {
+            ConstraintKind::Ineq => v >= 0,
+            ConstraintKind::Eq => v == 0,
+        }
+    }
+
+    /// Divide through by the gcd of all coefficients (exact for equalities;
+    /// for inequalities this is the standard normalization and also tightens
+    /// nothing since we only divide when the gcd divides the constant too —
+    /// we deliberately keep it simple and only normalize fully-divisible
+    /// rows; see [`Constraint::normalize_tighten`] for the integer
+    /// tightening variant).
+    pub fn normalize(&mut self) {
+        normalize_row(&mut self.coeffs);
+    }
+
+    /// Normalize and, for inequalities, tighten the constant using
+    /// integrality: `g·(a'·x) + c >= 0` implies `a'·x >= ceil(-c/g)`.
+    pub fn normalize_tighten(&mut self) {
+        let n = self.coeffs.len() - 1;
+        let g = wf_linalg::gcd_slice(&self.coeffs[..n]);
+        if g > 1 {
+            match self.kind {
+                ConstraintKind::Ineq => {
+                    for x in &mut self.coeffs[..n] {
+                        *x /= g;
+                    }
+                    // a·x >= -c  =>  a'·x >= ceil(-c / g) = -floor(c / g)
+                    self.coeffs[n] = self.coeffs[n].div_euclid(g);
+                }
+                ConstraintKind::Eq => {
+                    // Equality with gcd not dividing the constant is
+                    // unsatisfiable over the integers; leave it as-is so the
+                    // system stays (rationally) faithful. Otherwise divide.
+                    if self.coeffs[n] % g == 0 {
+                        for x in &mut self.coeffs {
+                            *x /= g;
+                        }
+                    }
+                }
+            }
+        } else {
+            self.normalize();
+        }
+    }
+
+    /// True if every coefficient (including the constant) is zero.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True if the constraint can never hold (e.g. `0·x - 1 >= 0`).
+    #[must_use]
+    pub fn is_contradiction(&self) -> bool {
+        let n = self.coeffs.len() - 1;
+        if self.coeffs[..n].iter().any(|&c| c != 0) {
+            return false;
+        }
+        match self.kind {
+            ConstraintKind::Ineq => self.coeffs[n] < 0,
+            ConstraintKind::Eq => self.coeffs[n] != 0,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.n_vars();
+        let mut first = true;
+        for (i, &c) in self.coeffs[..n].iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if first {
+                if c == -1 {
+                    write!(f, "-")?;
+                } else if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+                first = false;
+            } else if c > 0 {
+                write!(f, " + ")?;
+                if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+            } else {
+                write!(f, " - ")?;
+                if c != -1 {
+                    write!(f, "{}*", -c)?;
+                }
+            }
+            write!(f, "x{i}")?;
+        }
+        let k = self.coeffs[n];
+        if first {
+            write!(f, "{k}")?;
+        } else if k > 0 {
+            write!(f, " + {k}")?;
+        } else if k < 0 {
+            write!(f, " - {}", -k)?;
+        }
+        match self.kind {
+            ConstraintKind::Ineq => write!(f, " >= 0"),
+            ConstraintKind::Eq => write!(f, " == 0"),
+        }
+    }
+}
+
+/// A conjunction of affine constraints over `n_vars` variables.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ConstraintSystem {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// The constraints; all must have `coeffs.len() == n_vars + 1`.
+    pub constraints: Vec<Constraint>,
+}
+
+impl ConstraintSystem {
+    /// An empty (universally true) system over `n_vars` variables.
+    #[must_use]
+    pub fn new(n_vars: usize) -> ConstraintSystem {
+        ConstraintSystem { n_vars, constraints: Vec::new() }
+    }
+
+    /// Add an inequality `coeffs·(x,1) >= 0`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn add_ge0(&mut self, coeffs: Vec<i128>) {
+        assert_eq!(coeffs.len(), self.n_vars + 1, "constraint arity mismatch");
+        self.constraints.push(Constraint::ge0(coeffs));
+    }
+
+    /// Add an equality `coeffs·(x,1) == 0`.
+    pub fn add_eq0(&mut self, coeffs: Vec<i128>) {
+        assert_eq!(coeffs.len(), self.n_vars + 1, "constraint arity mismatch");
+        self.constraints.push(Constraint::eq0(coeffs));
+    }
+
+    /// Add `var_lo <= x_v` (i.e. `x_v - lo >= 0`).
+    pub fn add_lower_bound(&mut self, v: usize, lo: i128) {
+        let mut c = vec![0; self.n_vars + 1];
+        c[v] = 1;
+        c[self.n_vars] = -lo;
+        self.add_ge0(c);
+    }
+
+    /// Add `x_v <= hi` (i.e. `-x_v + hi >= 0`).
+    pub fn add_upper_bound(&mut self, v: usize, hi: i128) {
+        let mut c = vec![0; self.n_vars + 1];
+        c[v] = -1;
+        c[self.n_vars] = hi;
+        self.add_ge0(c);
+    }
+
+    /// Pin `x_v == value`.
+    pub fn add_fixed(&mut self, v: usize, value: i128) {
+        let mut c = vec![0; self.n_vars + 1];
+        c[v] = 1;
+        c[self.n_vars] = -value;
+        self.add_eq0(c);
+    }
+
+    /// Append all constraints of `other` (same variable space).
+    pub fn extend(&mut self, other: &ConstraintSystem) {
+        assert_eq!(self.n_vars, other.n_vars, "extend: variable-space mismatch");
+        self.constraints.extend(other.constraints.iter().cloned());
+    }
+
+    /// Does the point satisfy all constraints?
+    #[must_use]
+    pub fn contains(&self, x: &[i128]) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(x))
+    }
+
+    /// Normalize rows, drop trivial `0 >= 0` rows and exact duplicates.
+    /// Returns `false` if a syntactic contradiction (e.g. `-1 >= 0`) was
+    /// found, in which case the system is unsatisfiable.
+    pub fn simplify(&mut self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut ok = true;
+        self.constraints.retain_mut(|c| {
+            c.normalize_tighten();
+            if c.is_contradiction() {
+                ok = false;
+            }
+            if c.is_trivial() || (c.kind == ConstraintKind::Ineq && {
+                let n = c.coeffs.len() - 1;
+                c.coeffs[..n].iter().all(|&a| a == 0) && c.coeffs[n] >= 0
+            }) {
+                return false;
+            }
+            seen.insert((c.coeffs.clone(), c.kind))
+        });
+        ok
+    }
+
+    /// Widen the variable space: remap this system's variables into a larger
+    /// space of `new_n` variables, placing old variable `i` at
+    /// `var_map[i]`. The constant column stays last.
+    #[must_use]
+    pub fn embed(&self, new_n: usize, var_map: &[usize]) -> ConstraintSystem {
+        assert_eq!(var_map.len(), self.n_vars, "embed: var_map arity");
+        let mut out = ConstraintSystem::new(new_n);
+        for c in &self.constraints {
+            let mut row = vec![0i128; new_n + 1];
+            for (i, &m) in var_map.iter().enumerate() {
+                assert!(m < new_n, "embed: target var out of range");
+                row[m] = c.coeffs[i];
+            }
+            row[new_n] = c.coeffs[self.n_vars];
+            out.constraints.push(Constraint { coeffs: row, kind: c.kind });
+        }
+        out
+    }
+
+    /// Number of equality constraints.
+    #[must_use]
+    pub fn n_eqs(&self) -> usize {
+        self.constraints.iter().filter(|c| c.kind == ConstraintKind::Eq).count()
+    }
+}
+
+impl fmt::Display for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ vars: {}", self.n_vars)?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_satisfaction() {
+        // x0 + 2*x1 - 3 >= 0
+        let c = Constraint::ge0(vec![1, 2, -3]);
+        assert_eq!(c.eval(&[1, 1]), 0);
+        assert!(c.satisfied_by(&[1, 1]));
+        assert!(!c.satisfied_by(&[0, 1]));
+        let e = Constraint::eq0(vec![1, -1, 0]);
+        assert!(e.satisfied_by(&[4, 4]));
+        assert!(!e.satisfied_by(&[4, 5]));
+    }
+
+    #[test]
+    fn tighten_inequality() {
+        // 2x - 3 >= 0  =>  x >= 2 over the integers (x - 2 >= 0)
+        let mut c = Constraint::ge0(vec![2, -3]);
+        c.normalize_tighten();
+        assert_eq!(c.coeffs, vec![1, -2]);
+    }
+
+    #[test]
+    fn tighten_equality_divisible() {
+        let mut c = Constraint::eq0(vec![2, 4, -6]);
+        c.normalize_tighten();
+        assert_eq!(c.coeffs, vec![1, 2, -3]);
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        assert!(Constraint::ge0(vec![0, 0, -1]).is_contradiction());
+        assert!(!Constraint::ge0(vec![0, 0, 0]).is_contradiction());
+        assert!(Constraint::eq0(vec![0, 0, 5]).is_contradiction());
+        assert!(!Constraint::eq0(vec![1, 0, 5]).is_contradiction());
+    }
+
+    #[test]
+    fn system_contains() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 10);
+        cs.add_lower_bound(1, 0);
+        cs.add_ge0(vec![-1, 1, 0]); // x1 >= x0
+        assert!(cs.contains(&[3, 5]));
+        assert!(!cs.contains(&[5, 3]));
+        assert!(!cs.contains(&[11, 12]));
+    }
+
+    #[test]
+    fn simplify_dedups_and_flags_contradiction() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ge0(vec![2, 0]);
+        cs.add_ge0(vec![1, 0]); // duplicate after normalize
+        cs.add_ge0(vec![0, 3]); // trivially true, dropped
+        assert!(cs.simplify());
+        assert_eq!(cs.constraints.len(), 1);
+
+        let mut bad = ConstraintSystem::new(1);
+        bad.add_ge0(vec![0, -1]);
+        assert!(!bad.simplify());
+    }
+
+    #[test]
+    fn embed_remaps_vars() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_ge0(vec![1, -1, 5]);
+        let big = cs.embed(4, &[2, 0]);
+        assert_eq!(big.n_vars, 4);
+        assert_eq!(big.constraints[0].coeffs, vec![-1, 0, 1, 0, 5]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let c = Constraint::ge0(vec![1, -2, 3]);
+        assert_eq!(c.to_string(), "x0 - 2*x1 + 3 >= 0");
+        let e = Constraint::eq0(vec![0, 0, 0]);
+        assert_eq!(e.to_string(), "0 == 0");
+    }
+
+    #[test]
+    fn fixed_bound_helpers() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_fixed(1, 7);
+        assert!(cs.contains(&[100, 7]));
+        assert!(!cs.contains(&[100, 8]));
+    }
+}

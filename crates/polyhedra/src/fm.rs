@@ -1,0 +1,427 @@
+//! Exact Fourier–Motzkin variable elimination (polyhedral projection).
+//!
+//! Elimination keeps the variable space intact: an eliminated variable simply
+//! has a zero coefficient in every remaining constraint. This avoids index
+//! remapping bugs in callers (Farkas elimination, code generation) that
+//! eliminate interior variables.
+//!
+//! Equalities are used first (exact Gaussian substitution, no blow-up); only
+//! then do we resort to pairwise inequality combination. Rows are normalized
+//! and deduplicated after each step to keep growth in check.
+
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSystem};
+use std::collections::HashSet;
+
+/// Eliminate variable `v` from the system.
+///
+/// The result ranges over the same variable space, with `x_v` unconstrained
+/// (zero coefficient everywhere). The projection is exact over the rationals.
+#[must_use]
+pub fn eliminate_var(cs: &ConstraintSystem, v: usize) -> ConstraintSystem {
+    assert!(v < cs.n_vars, "eliminate_var: variable out of range");
+    let mut out = ConstraintSystem::new(cs.n_vars);
+
+    // 1. Prefer an equality carrying v: exact substitution.
+    if let Some(eq_idx) = cs
+        .constraints
+        .iter()
+        .position(|c| c.kind == ConstraintKind::Eq && c.coeffs[v] != 0)
+    {
+        let mut eq = cs.constraints[eq_idx].clone();
+        if eq.coeffs[v] < 0 {
+            for x in &mut eq.coeffs {
+                *x = -*x;
+            }
+        }
+        let e = eq.coeffs[v]; // > 0
+        for (i, c) in cs.constraints.iter().enumerate() {
+            if i == eq_idx {
+                continue;
+            }
+            let cv = c.coeffs[v];
+            if cv == 0 {
+                out.constraints.push(c.clone());
+                continue;
+            }
+            // e * c - cv * eq cancels v; e > 0 preserves inequality direction.
+            let mut row = vec![0i128; cs.n_vars + 1];
+            for j in 0..=cs.n_vars {
+                row[j] = e
+                    .checked_mul(c.coeffs[j])
+                    .and_then(|a| cv.checked_mul(eq.coeffs[j]).map(|b| (a, b)))
+                    .map(|(a, b)| a.checked_sub(b).expect("FM overflow"))
+                    .expect("FM overflow");
+            }
+            debug_assert_eq!(row[v], 0);
+            out.constraints.push(Constraint { coeffs: row, kind: c.kind });
+        }
+        out.simplify();
+        return out;
+    }
+
+    // 2. Pairwise inequality combination.
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for c in &cs.constraints {
+        if c.coeffs[v] == 0 {
+            // Constraints (including equalities) not involving v pass
+            // through untouched.
+            out.constraints.push(c.clone());
+            continue;
+        }
+        debug_assert_eq!(c.kind, ConstraintKind::Ineq, "eqs carrying v handled above");
+        match c.coeffs[v].signum() {
+            1 => pos.push(c),
+            _ => neg.push(c),
+        }
+    }
+    for p in &pos {
+        let a = p.coeffs[v]; // > 0
+        for n in &neg {
+            let b = n.coeffs[v]; // < 0
+            let mut row = vec![0i128; cs.n_vars + 1];
+            for j in 0..=cs.n_vars {
+                // (-b) * p + a * n; both multipliers positive.
+                let t1 = (-b).checked_mul(p.coeffs[j]).expect("FM overflow");
+                let t2 = a.checked_mul(n.coeffs[j]).expect("FM overflow");
+                row[j] = t1.checked_add(t2).expect("FM overflow");
+            }
+            debug_assert_eq!(row[v], 0);
+            out.constraints.push(Constraint::ge0(row));
+        }
+    }
+    out.simplify();
+    out
+}
+
+/// Eliminate every variable in `vars` (in the given order).
+#[must_use]
+pub fn eliminate_vars(cs: &ConstraintSystem, vars: &[usize]) -> ConstraintSystem {
+    let mut cur = cs.clone();
+    for &v in vars {
+        cur = eliminate_var(&cur, v);
+    }
+    cur
+}
+
+/// Eliminate a *set* of variables choosing the order greedily (classic FM
+/// heuristic: cheapest variable first — equality carriers, then the variable
+/// minimizing the `pos × neg` product), with LP-based redundancy pruning
+/// whenever the system grows past `prune_at` rows. This keeps the
+/// Farkas-multiplier eliminations of the scheduler from blowing up.
+#[must_use]
+pub fn eliminate_vars_greedy(
+    cs: &ConstraintSystem,
+    vars: &[usize],
+    prune_at: usize,
+) -> ConstraintSystem {
+    let mut remaining: Vec<usize> = vars.to_vec();
+    let mut cur = cs.clone();
+    while !remaining.is_empty() {
+        // Pick the cheapest variable to eliminate next.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| {
+                let has_eq = cur
+                    .constraints
+                    .iter()
+                    .any(|c| c.kind == ConstraintKind::Eq && c.coeffs[v] != 0);
+                let cost = if has_eq {
+                    0usize
+                } else {
+                    let pos = cur.constraints.iter().filter(|c| c.coeffs[v] > 0).count();
+                    let neg = cur.constraints.iter().filter(|c| c.coeffs[v] < 0).count();
+                    1 + pos * neg
+                };
+                (idx, cost)
+            })
+            .min_by_key(|&(_, cost)| cost)
+            .expect("remaining non-empty");
+        let v = remaining.swap_remove(idx);
+        cur = eliminate_var(&cur, v);
+        if cur.constraints.len() > prune_at {
+            cur = remove_redundant(&cur);
+        }
+    }
+    cur
+}
+
+/// Drop inequalities implied by the rest of the system (exact LP test).
+/// Equalities are kept as-is.
+#[must_use]
+pub fn remove_redundant(cs: &ConstraintSystem) -> ConstraintSystem {
+    let mut kept = cs.clone();
+    let mut i = 0;
+    while i < kept.constraints.len() {
+        if kept.constraints[i].kind != ConstraintKind::Ineq {
+            i += 1;
+            continue;
+        }
+        let mut without = kept.clone();
+        let row = without.constraints.remove(i);
+        // Redundant iff the row cannot be violated under the others:
+        // min of (a·x + c) over `without` is >= 0.
+        let n = without.n_vars;
+        let obj: Vec<wf_linalg::Rat> =
+            row.coeffs[..n].iter().map(|&c| wf_linalg::Rat::int(c)).collect();
+        match crate::simplex::solve_lp(&without, &obj, crate::simplex::Sense::Min) {
+            crate::simplex::LpResult::Optimal { value, .. }
+                if value + wf_linalg::Rat::int(row.coeffs[n]) >= wf_linalg::Rat::ZERO =>
+            {
+                kept = without; // implied, drop it
+            }
+            crate::simplex::LpResult::Infeasible => {
+                // System itself empty; keep as-is, caller will notice.
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    kept
+}
+
+/// Project the system onto its first `keep` variables: eliminates variables
+/// `keep..n_vars`, then shrinks the variable space to `keep`.
+#[must_use]
+pub fn project_onto_prefix(cs: &ConstraintSystem, keep: usize) -> ConstraintSystem {
+    assert!(keep <= cs.n_vars);
+    let elim: Vec<usize> = (keep..cs.n_vars).rev().collect();
+    let wide = eliminate_vars(cs, &elim);
+    let mut out = ConstraintSystem::new(keep);
+    let mut seen = HashSet::new();
+    for c in &wide.constraints {
+        debug_assert!(c.coeffs[keep..cs.n_vars].iter().all(|&x| x == 0));
+        let mut coeffs: Vec<i128> = c.coeffs[..keep].to_vec();
+        coeffs.push(c.coeffs[cs.n_vars]);
+        let cons = Constraint { coeffs, kind: c.kind };
+        if seen.insert((cons.coeffs.clone(), cons.kind)) {
+            out.constraints.push(cons);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polyhedron;
+    use proptest::prelude::*;
+
+    /// 0 <= x <= 4, 0 <= y <= 4, x + y <= 5
+    fn pentagon() -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 4);
+        cs.add_lower_bound(1, 0);
+        cs.add_upper_bound(1, 4);
+        cs.add_ge0(vec![-1, -1, 5]);
+        cs
+    }
+
+    #[test]
+    fn eliminate_inequality_var() {
+        let p = eliminate_var(&pentagon(), 1);
+        // Projection onto x should be 0 <= x <= 4.
+        for x in 0..=4 {
+            assert!(p.contains(&[x, 0]), "x={x} should be in projection");
+        }
+        assert!(!p.contains(&[5, 0]));
+        assert!(!p.contains(&[-1, 0]));
+        // y must be unconstrained now.
+        assert!(p.constraints.iter().all(|c| c.coeffs[1] == 0));
+    }
+
+    #[test]
+    fn eliminate_with_equality_substitution() {
+        // x == 2y, 0 <= y <= 3 ; eliminating y gives 0 <= x <= 6 (rationally
+        // 0 <= x/2 <= 3).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq0(vec![1, -2, 0]);
+        cs.add_lower_bound(1, 0);
+        cs.add_upper_bound(1, 3);
+        let p = eliminate_var(&cs, 1);
+        assert!(p.contains(&[0, 0]));
+        assert!(p.contains(&[6, 99]));
+        assert!(!p.contains(&[7, 0]));
+        assert!(!p.contains(&[-1, 0]));
+    }
+
+    #[test]
+    fn eliminate_detects_empty() {
+        // x >= 3 and x <= 1: eliminating x yields a contradiction row.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 3);
+        cs.add_upper_bound(0, 1);
+        let mut p = eliminate_var(&cs, 0);
+        assert!(!p.simplify(), "must detect contradiction");
+    }
+
+    #[test]
+    fn project_onto_prefix_shrinks_space() {
+        let p = project_onto_prefix(&pentagon(), 1);
+        assert_eq!(p.n_vars, 1);
+        assert!(p.contains(&[4]));
+        assert!(!p.contains(&[5]));
+    }
+
+    #[test]
+    fn chained_elimination_order_independent() {
+        let mut cs = ConstraintSystem::new(3);
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 3);
+        cs.add_ge0(vec![-1, 1, 0, 0]); // y >= x
+        cs.add_ge0(vec![0, -1, 1, 0]); // z >= y
+        cs.add_upper_bound(2, 5);
+        let a = eliminate_vars(&cs, &[1, 2]);
+        let b = eliminate_vars(&cs, &[2, 1]);
+        for x in -2..8 {
+            assert_eq!(a.contains(&[x, 0, 0]), b.contains(&[x, 0, 0]), "x={x}");
+        }
+    }
+
+    fn arb_system() -> impl Strategy<Value = ConstraintSystem> {
+        // Random small systems over 3 vars with bounded box to keep them
+        // enumerable.
+        proptest::collection::vec(
+            (proptest::collection::vec(-3i128..4, 3), -4i128..5),
+            1..5,
+        )
+        .prop_map(|rows| {
+            let mut cs = ConstraintSystem::new(3);
+            for v in 0..3 {
+                cs.add_lower_bound(v, -3);
+                cs.add_upper_bound(v, 3);
+            }
+            for (a, c) in rows {
+                let mut row = a;
+                row.push(c);
+                cs.add_ge0(row);
+            }
+            cs
+        })
+    }
+
+    proptest! {
+        /// Soundness: the image of every point of P lies in the projection.
+        #[test]
+        fn prop_projection_sound(cs in arb_system()) {
+            let proj = eliminate_var(&cs, 2);
+            for x in -3i128..=3 {
+                for y in -3i128..=3 {
+                    for z in -3i128..=3 {
+                        if cs.contains(&[x, y, z]) {
+                            prop_assert!(proj.contains(&[x, y, 0]),
+                                "({x},{y},{z}) in P but ({x},{y}) not in proj");
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Exactness over the rationals: every integer point of the
+        /// projection has a rational preimage (checked by LP feasibility).
+        #[test]
+        fn prop_projection_rationally_exact(cs in arb_system()) {
+            let proj = eliminate_var(&cs, 2);
+            for x in -3i128..=3 {
+                for y in -3i128..=3 {
+                    if proj.contains(&[x, y, 0]) {
+                        let mut fixed = cs.clone();
+                        fixed.add_fixed(0, x);
+                        fixed.add_fixed(1, y);
+                        let p = Polyhedron::from(fixed);
+                        prop_assert!(!p.is_empty_rational(),
+                            "({x},{y}) in projection but no rational preimage");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod redundancy_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn remove_redundant_drops_implied_rows() {
+        // x >= 0, x >= -5 (implied), x <= 10, x <= 20 (implied).
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 0);
+        cs.add_lower_bound(0, -5);
+        cs.add_upper_bound(0, 10);
+        cs.add_upper_bound(0, 20);
+        let r = remove_redundant(&cs);
+        assert_eq!(r.constraints.len(), 2, "{r}");
+        for x in [-6, -1, 0, 10, 11, 21] {
+            assert_eq!(cs.contains(&[x]), r.contains(&[x]), "x={x}");
+        }
+    }
+
+    #[test]
+    fn remove_redundant_keeps_equalities() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq0(vec![1, -1, 0]); // x == y
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 5);
+        // y bounds are implied via the equality.
+        cs.add_lower_bound(1, -10);
+        let r = remove_redundant(&cs);
+        assert!(r.constraints.iter().any(|c| c.kind == ConstraintKind::Eq));
+        for x in -2..8 {
+            for y in -2..8 {
+                assert_eq!(cs.contains(&[x, y]), r.contains(&[x, y]), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_elimination_matches_plain() {
+        let mut cs = ConstraintSystem::new(4);
+        for v in 0..4 {
+            cs.add_lower_bound(v, -2);
+            cs.add_upper_bound(v, 3);
+        }
+        cs.add_ge0(vec![1, 1, -1, 0, 1]);
+        cs.add_eq0(vec![0, 1, 0, -2, 1]);
+        let plain = eliminate_vars(&cs, &[3, 2]);
+        let greedy = eliminate_vars_greedy(&cs, &[2, 3], 60);
+        for x in -3..5 {
+            for y in -3..5 {
+                let p = [x, y, 0, 0];
+                assert_eq!(plain.contains(&p), greedy.contains(&p), "({x},{y})");
+            }
+        }
+    }
+
+    proptest! {
+        /// remove_redundant never changes the solution set.
+        #[test]
+        fn prop_redundancy_preserves_set(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-3i128..4, 2), -5i128..6), 1..6)
+        ) {
+            let mut cs = ConstraintSystem::new(2);
+            for v in 0..2 {
+                cs.add_lower_bound(v, -4);
+                cs.add_upper_bound(v, 4);
+            }
+            for (a, c) in rows {
+                let mut row = a;
+                row.push(c);
+                cs.add_ge0(row);
+            }
+            let r = remove_redundant(&cs);
+            prop_assert!(r.constraints.len() <= cs.constraints.len());
+            for x in -5i128..=5 {
+                for y in -5i128..=5 {
+                    prop_assert_eq!(cs.contains(&[x, y]), r.contains(&[x, y]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Integer linear programming by branch-and-bound over the exact simplex,
+//! plus lexicographic multi-objective minimization (the PIP stand-in used by
+//! the scheduler).
+
+use crate::constraint::ConstraintSystem;
+use crate::simplex::{solve_lp, LpResult, Sense};
+use wf_linalg::Rat;
+
+/// Result of an ILP solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IlpResult {
+    /// No integer point satisfies the constraints.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded in the requested
+    /// direction.
+    Unbounded,
+    /// Integer optimum.
+    Optimal {
+        /// Optimal objective value.
+        value: Rat,
+        /// An integer point attaining it.
+        point: Vec<i128>,
+    },
+}
+
+impl IlpResult {
+    /// The optimal point, if any.
+    #[must_use]
+    pub fn point(&self) -> Option<&[i128]> {
+        match self {
+            IlpResult::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+
+    /// The optimal value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<Rat> {
+        match self {
+            IlpResult::Optimal { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// Hard cap on branch-and-bound nodes; the scheduler's ILPs are tiny, so
+/// hitting this indicates a modelling bug and we'd rather panic than hang.
+const MAX_NODES: usize = 500_000;
+
+/// Minimize (or maximize) `objective · x` over the integer points of `cs`.
+///
+/// The search requires the relaxation to be bounded in the objective
+/// direction; branching variables must also be bounded for termination
+/// (all scheduler ILPs bound every variable explicitly).
+#[must_use]
+pub fn solve_ilp(cs: &ConstraintSystem, objective: &[i128], sense: Sense) -> IlpResult {
+    solve_ilp_budgeted(cs, objective, sense, MAX_NODES)
+        .expect("ILP node budget exceeded — unbounded branching?")
+}
+
+fn first_fractional(point: &[Rat]) -> Option<(usize, Rat)> {
+    point.iter().enumerate().find_map(|(i, r)| (!r.is_integer()).then_some((i, *r)))
+}
+
+/// Find any integer point of `cs`, or `None`.
+///
+/// Uses branch-and-bound with a zero objective; `cs` must be bounded in every
+/// fractional direction that branching explores (true for all callers here,
+/// which bound their variables).
+#[must_use]
+pub fn ilp_feasible(cs: &ConstraintSystem) -> Option<Vec<i128>> {
+    let mut stack = vec![cs.clone()];
+    let obj = vec![Rat::ZERO; cs.n_vars];
+    let mut nodes = 0usize;
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        assert!(nodes <= MAX_NODES, "ILP node budget exceeded — unbounded branching?");
+        match solve_lp(&node, &obj, Sense::Min) {
+            LpResult::Infeasible => {}
+            LpResult::Unbounded => unreachable!("zero objective is never unbounded"),
+            LpResult::Optimal { point, .. } => match first_fractional(&point) {
+                None => return Some(point.iter().map(|r| r.to_integer().unwrap()).collect()),
+                Some((v, val)) => {
+                    let mut lo = node.clone();
+                    lo.add_upper_bound(v, val.floor());
+                    let mut hi = node;
+                    hi.add_lower_bound(v, val.ceil());
+                    stack.push(lo);
+                    stack.push(hi);
+                }
+            },
+        }
+    }
+    None
+}
+
+/// Lexicographic minimization: minimize `objectives[0]`, then among its
+/// optima minimize `objectives[1]`, and so on. Returns the optimal values
+/// and a point attaining them.
+///
+/// This is PLuTo's use of PIP: the cost vector `(u, w, Σc)` is minimized
+/// lexicographically over the integer points of the Farkas-eliminated
+/// legality polyhedron.
+#[must_use]
+pub fn lexmin(cs: &ConstraintSystem, objectives: &[Vec<i128>]) -> Option<(Vec<i128>, Vec<i128>)> {
+    lexmin_budgeted(cs, objectives, MAX_NODES).unwrap_or_default()
+}
+
+/// [`lexmin`] with an explicit branch-and-bound node budget. Returns
+/// `Err(())` when the budget is exhausted before optimality was proven —
+/// callers (the scheduler) treat that like infeasibility and fall back to
+/// loop distribution, which keeps pathological fusion ILPs from stalling
+/// the compiler (PLuTo has analogous practical limits).
+#[allow(clippy::result_unit_err)]
+pub fn lexmin_budgeted(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i128>],
+    node_budget: usize,
+) -> Result<Option<(Vec<i128>, Vec<i128>)>, ()> {
+    let mut work = cs.clone();
+    let mut values = Vec::with_capacity(objectives.len());
+    let mut point = None;
+    for obj in objectives {
+        match solve_ilp_budgeted(&work, obj, Sense::Min, node_budget) {
+            Err(()) => return Err(()),
+            Ok(IlpResult::Infeasible) => return Ok(None),
+            Ok(IlpResult::Unbounded) => {
+                panic!("lexmin: unbounded objective — bound your variables")
+            }
+            Ok(IlpResult::Optimal { value, point: p }) => {
+                let v = value.to_integer().expect("integer objective at integer point");
+                values.push(v);
+                // Pin this objective to its optimum for subsequent levels.
+                let mut row: Vec<i128> = obj.clone();
+                row.push(-v);
+                work.add_eq0(row);
+                point = Some(p);
+            }
+        }
+    }
+    Ok(point.map(|p| (values, p)))
+}
+
+/// [`solve_ilp`] with an explicit node budget; `Err(())` on exhaustion.
+#[allow(clippy::result_unit_err)]
+pub fn solve_ilp_budgeted(
+    cs: &ConstraintSystem,
+    objective: &[i128],
+    sense: Sense,
+    node_budget: usize,
+) -> Result<IlpResult, ()> {
+    assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
+    let minimize: Vec<i128> = match sense {
+        Sense::Min => objective.to_vec(),
+        Sense::Max => objective.iter().map(|&c| -c).collect(),
+    };
+    let obj_rat: Vec<Rat> = minimize.iter().map(|&c| Rat::int(c)).collect();
+    let mut best: Option<(Rat, Vec<i128>)> = None;
+    let mut stack = vec![cs.clone()];
+    let mut nodes = 0usize;
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > node_budget {
+            return Err(());
+        }
+        match solve_lp(&node, &obj_rat, Sense::Min) {
+            LpResult::Infeasible => {}
+            LpResult::Unbounded => return Ok(IlpResult::Unbounded),
+            LpResult::Optimal { value, point } => {
+                if let Some((bv, _)) = &best {
+                    if value >= *bv {
+                        continue;
+                    }
+                }
+                match first_fractional(&point) {
+                    None => {
+                        let ipoint: Vec<i128> =
+                            point.iter().map(|r| r.to_integer().unwrap()).collect();
+                        best = Some((value, ipoint));
+                    }
+                    Some((v, val)) => {
+                        let mut lo = node.clone();
+                        lo.add_upper_bound(v, val.floor());
+                        let mut hi = node;
+                        hi.add_lower_bound(v, val.ceil());
+                        stack.push(lo);
+                        stack.push(hi);
+                    }
+                }
+            }
+        }
+    }
+    Ok(match best {
+        None => IlpResult::Infeasible,
+        Some((value, point)) => {
+            let value = match sense {
+                Sense::Min => value,
+                Sense::Max => -value,
+            };
+            IlpResult::Optimal { value, point }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilp_prefers_integer_vertex() {
+        // max x + y s.t. 2x + y <= 4, x + 2y <= 4 (LP opt 8/3 at (4/3,4/3));
+        // integer optimum is 2 at e.g. (2,0).
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_lower_bound(1, 0);
+        cs.add_ge0(vec![-2, -1, 4]);
+        cs.add_ge0(vec![-1, -2, 4]);
+        let r = solve_ilp(&cs, &[1, 1], Sense::Max);
+        assert_eq!(r.value(), Some(Rat::int(2)));
+        let p = r.point().unwrap();
+        assert_eq!(p[0] + p[1], 2);
+    }
+
+    #[test]
+    fn ilp_detects_integer_infeasibility() {
+        // 1/3 <= x <= 2/3 has rational but no integer points:
+        // 3x - 1 >= 0 and 2 - 3x >= 0.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ge0(vec![3, -1]);
+        cs.add_ge0(vec![-3, 2]);
+        assert_eq!(solve_ilp(&cs, &[1], Sense::Min), IlpResult::Infeasible);
+        assert!(ilp_feasible(&cs).is_none());
+    }
+
+    #[test]
+    fn ilp_feasible_finds_point() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 2);
+        cs.add_upper_bound(0, 2);
+        cs.add_eq0(vec![1, -1, 0]); // y == x
+        let p = ilp_feasible(&cs).expect("feasible");
+        assert_eq!(p, vec![2, 2]);
+    }
+
+    #[test]
+    fn ilp_equality_scaled() {
+        // 2x == 3 has no integer solution.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_eq0(vec![2, -3]);
+        assert!(ilp_feasible(&cs).is_none());
+    }
+
+    #[test]
+    fn ilp_unbounded_direction() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 0);
+        assert_eq!(solve_ilp(&cs, &[1], Sense::Max), IlpResult::Unbounded);
+    }
+
+    #[test]
+    fn lexmin_orders_objectives() {
+        // Over 0<=x<=3, 0<=y<=3 with x+y>=3: lexmin (x, y) -> x=0 then y=3.
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 3);
+        cs.add_lower_bound(1, 0);
+        cs.add_upper_bound(1, 3);
+        cs.add_ge0(vec![1, 1, -3]);
+        let (vals, point) = lexmin(&cs, &[vec![1, 0], vec![0, 1]]).expect("feasible");
+        assert_eq!(vals, vec![0, 3]);
+        assert_eq!(point, vec![0, 3]);
+    }
+
+    #[test]
+    fn lexmin_second_objective_constrained_by_first() {
+        // min (x+y) then min x over x,y in [0,5], x+y >= 4:
+        // first opt: x+y = 4; then min x = 0 => (0,4).
+        let mut cs = ConstraintSystem::new(2);
+        for v in 0..2 {
+            cs.add_lower_bound(v, 0);
+            cs.add_upper_bound(v, 5);
+        }
+        cs.add_ge0(vec![1, 1, -4]);
+        let (vals, point) = lexmin(&cs, &[vec![1, 1], vec![1, 0]]).expect("feasible");
+        assert_eq!(vals, vec![4, 0]);
+        assert_eq!(point, vec![0, 4]);
+    }
+
+    #[test]
+    fn lexmin_infeasible_is_none() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 2);
+        cs.add_upper_bound(0, 1);
+        assert!(lexmin(&cs, &[vec![1]]).is_none());
+    }
+
+    #[test]
+    fn ilp_matches_exhaustive_on_small_box() {
+        // min 3x - 2y + z over a box with a coupling constraint; brute force
+        // the answer.
+        let mut cs = ConstraintSystem::new(3);
+        for v in 0..3 {
+            cs.add_lower_bound(v, -2);
+            cs.add_upper_bound(v, 2);
+        }
+        cs.add_ge0(vec![1, 1, 1, 1]); // x+y+z >= -1
+        let mut best = i128::MAX;
+        for x in -2..=2 {
+            for y in -2..=2 {
+                for z in -2..=2 {
+                    if x + y + z >= -1 {
+                        best = best.min(3 * x - 2 * y + z);
+                    }
+                }
+            }
+        }
+        let r = solve_ilp(&cs, &[3, -2, 1], Sense::Min);
+        assert_eq!(r.value(), Some(Rat::int(best)));
+    }
+}

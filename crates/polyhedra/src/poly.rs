@@ -1,0 +1,245 @@
+//! A convenience wrapper around [`ConstraintSystem`] offering the queries the
+//! dependence analyzer and scheduler need: emptiness, affine extrema, and
+//! (for tests) exhaustive integer-point enumeration.
+
+use crate::constraint::ConstraintSystem;
+use crate::ilp::ilp_feasible;
+use crate::simplex::{solve_lp, LpResult, Sense};
+use wf_linalg::Rat;
+
+/// Extremum of an affine expression over a polyhedron.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Extremum {
+    /// The polyhedron is empty.
+    Empty,
+    /// The expression is unbounded in the requested direction.
+    Unbounded,
+    /// Finite extremum (over the rationals).
+    Value(Rat),
+}
+
+impl Extremum {
+    /// The finite value, if any.
+    #[must_use]
+    pub fn value(self) -> Option<Rat> {
+        match self {
+            Extremum::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A rational polyhedron `{ x | A x + c >= 0, B x + d == 0 }`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Polyhedron {
+    /// The defining constraints.
+    pub cs: ConstraintSystem,
+}
+
+impl From<ConstraintSystem> for Polyhedron {
+    fn from(cs: ConstraintSystem) -> Polyhedron {
+        Polyhedron { cs }
+    }
+}
+
+impl Polyhedron {
+    /// Universe polyhedron over `n` variables.
+    #[must_use]
+    pub fn universe(n: usize) -> Polyhedron {
+        Polyhedron { cs: ConstraintSystem::new(n) }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.cs.n_vars
+    }
+
+    /// Is the polyhedron empty over the rationals?
+    #[must_use]
+    pub fn is_empty_rational(&self) -> bool {
+        !crate::simplex::lp_feasible(&self.cs)
+    }
+
+    /// Is the polyhedron empty over the integers?
+    ///
+    /// Requires boundedness in the directions branch-and-bound explores;
+    /// dependence polyhedra in this project always bound every variable.
+    #[must_use]
+    pub fn is_empty_integer(&self) -> bool {
+        ilp_feasible(&self.cs).is_none()
+    }
+
+    /// Some integer point, if one exists.
+    #[must_use]
+    pub fn integer_point(&self) -> Option<Vec<i128>> {
+        ilp_feasible(&self.cs)
+    }
+
+    /// Does the polyhedron contain the integer point?
+    #[must_use]
+    pub fn contains(&self, x: &[i128]) -> bool {
+        self.cs.contains(x)
+    }
+
+    /// Minimum of `expr · (x, 1)` over the rational points.
+    ///
+    /// `expr` has `n_vars + 1` entries (affine expression with constant).
+    #[must_use]
+    pub fn min_affine(&self, expr: &[i128]) -> Extremum {
+        self.extremum(expr, Sense::Min)
+    }
+
+    /// Maximum of `expr · (x, 1)` over the rational points.
+    #[must_use]
+    pub fn max_affine(&self, expr: &[i128]) -> Extremum {
+        self.extremum(expr, Sense::Max)
+    }
+
+    fn extremum(&self, expr: &[i128], sense: Sense) -> Extremum {
+        assert_eq!(expr.len(), self.cs.n_vars + 1, "affine expr arity mismatch");
+        let obj: Vec<Rat> = expr[..self.cs.n_vars].iter().map(|&c| Rat::int(c)).collect();
+        match solve_lp(&self.cs, &obj, sense) {
+            LpResult::Infeasible => Extremum::Empty,
+            LpResult::Unbounded => Extremum::Unbounded,
+            LpResult::Optimal { value, .. } => {
+                Extremum::Value(value + Rat::int(expr[self.cs.n_vars]))
+            }
+        }
+    }
+
+    /// Enumerate all integer points (test helper; panics if the polyhedron is
+    /// unbounded or if more than `limit` points would be produced).
+    #[must_use]
+    pub fn enumerate(&self, limit: usize) -> Vec<Vec<i128>> {
+        let n = self.cs.n_vars;
+        if n == 0 {
+            return if self.is_empty_rational() { vec![] } else { vec![vec![]] };
+        }
+        // Per-variable bounding box via LP.
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut e = vec![0i128; n + 1];
+            e[v] = 1;
+            match self.min_affine(&e) {
+                Extremum::Empty => return vec![],
+                Extremum::Unbounded => panic!("enumerate: unbounded variable x{v}"),
+                Extremum::Value(r) => lo.push(r.ceil()),
+            }
+            match self.max_affine(&e) {
+                Extremum::Empty => return vec![],
+                Extremum::Unbounded => panic!("enumerate: unbounded variable x{v}"),
+                Extremum::Value(r) => hi.push(r.floor()),
+            }
+        }
+        let mut out = Vec::new();
+        let mut point = lo.clone();
+        'outer: loop {
+            if self.contains(&point) {
+                out.push(point.clone());
+                assert!(out.len() <= limit, "enumerate: more than {limit} points");
+            }
+            // Odometer increment.
+            for v in (0..n).rev() {
+                if point[v] < hi[v] {
+                    point[v] += 1;
+                    for (idx, p) in point.iter_mut().enumerate().skip(v + 1) {
+                        *p = lo[idx];
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Polyhedron {
+        // x >= 0, y >= 0, x + y <= 3
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_lower_bound(1, 0);
+        cs.add_ge0(vec![-1, -1, 3]);
+        Polyhedron::from(cs)
+    }
+
+    #[test]
+    fn emptiness_checks() {
+        assert!(!triangle().is_empty_rational());
+        assert!(!triangle().is_empty_integer());
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 1);
+        cs.add_upper_bound(0, 0);
+        let p = Polyhedron::from(cs);
+        assert!(p.is_empty_rational());
+        assert!(p.is_empty_integer());
+    }
+
+    #[test]
+    fn integer_gap_polyhedron() {
+        // Rationally nonempty, integrally empty.
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ge0(vec![4, -1]); // x >= 1/4
+        cs.add_ge0(vec![-4, 3]); // x <= 3/4
+        let p = Polyhedron::from(cs);
+        assert!(!p.is_empty_rational());
+        assert!(p.is_empty_integer());
+    }
+
+    #[test]
+    fn extrema() {
+        let t = triangle();
+        assert_eq!(t.min_affine(&[1, 1, 0]).value(), Some(Rat::ZERO));
+        assert_eq!(t.max_affine(&[1, 1, 0]).value(), Some(Rat::int(3)));
+        assert_eq!(t.max_affine(&[1, 0, 10]).value(), Some(Rat::int(13)));
+    }
+
+    #[test]
+    fn extremum_on_empty_is_empty() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 1);
+        cs.add_upper_bound(0, 0);
+        let p = Polyhedron::from(cs);
+        assert_eq!(p.min_affine(&[1, 0]), Extremum::Empty);
+    }
+
+    #[test]
+    fn unbounded_extremum() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 0);
+        let p = Polyhedron::from(cs);
+        assert_eq!(p.max_affine(&[1, 0]), Extremum::Unbounded);
+        assert_eq!(p.min_affine(&[1, 0]).value(), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn enumerate_triangle() {
+        let pts = triangle().enumerate(100);
+        // Points with x,y >= 0, x+y <= 3: C(5,2) = 10 points.
+        assert_eq!(pts.len(), 10);
+        assert!(pts.contains(&vec![0, 0]));
+        assert!(pts.contains(&vec![3, 0]));
+        assert!(pts.contains(&vec![0, 3]));
+        assert!(!pts.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn enumerate_empty() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 5);
+        cs.add_upper_bound(0, 4);
+        assert!(Polyhedron::from(cs).enumerate(10).is_empty());
+    }
+
+    #[test]
+    fn enumerate_zero_dim() {
+        let p = Polyhedron::universe(0);
+        assert_eq!(p.enumerate(10), vec![Vec::<i128>::new()]);
+    }
+}

@@ -1,0 +1,475 @@
+//! Exact two-phase rational simplex.
+//!
+//! All variables of the input [`ConstraintSystem`] are *free* (they may take
+//! negative values); internally each is split into a difference of two
+//! non-negative variables. Bland's pivoting rule guarantees termination
+//! (no cycling) at the cost of speed — fine for the small systems produced
+//! by the scheduler.
+//!
+//! No floating point is used anywhere: infeasibility / unboundedness /
+//! optimality verdicts are exact, which the legality analysis depends on.
+
+use crate::constraint::{ConstraintKind, ConstraintSystem};
+use wf_linalg::Rat;
+
+/// Optimization direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sense {
+    /// Minimize the objective.
+    Min,
+    /// Maximize the objective.
+    Max,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LpResult {
+    /// The constraint system has no rational solution.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// An optimal vertex was found.
+    Optimal {
+        /// Optimal objective value.
+        value: Rat,
+        /// A point attaining it (one per original variable).
+        point: Vec<Rat>,
+    },
+}
+
+impl LpResult {
+    /// The optimal value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<Rat> {
+        match self {
+            LpResult::Optimal { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The optimal point, if any.
+    #[must_use]
+    pub fn point(&self) -> Option<&[Rat]> {
+        match self {
+            LpResult::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+}
+
+/// Dense simplex tableau in standard equality form `T y = rhs`, `y >= 0`.
+struct Tableau {
+    /// `rows x cols` constraint coefficients.
+    t: Vec<Vec<Rat>>,
+    /// Right-hand sides (kept non-negative at basic feasible points).
+    rhs: Vec<Rat>,
+    /// Reduced-cost row.
+    z: Vec<Rat>,
+    /// Negative of current objective value.
+    zval: Rat,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.t[row][col];
+        debug_assert!(!piv.is_zero());
+        let inv = piv.recip();
+        for j in 0..self.cols {
+            let scaled = self.t[row][j] * inv;
+            self.t[row][j] = scaled;
+        }
+        let scaled_rhs = self.rhs[row] * inv;
+        self.rhs[row] = scaled_rhs;
+        for i in 0..self.t.len() {
+            if i == row {
+                continue;
+            }
+            let f = self.t[i][col];
+            if f.is_zero() {
+                continue;
+            }
+            for j in 0..self.cols {
+                let delta = f * self.t[row][j];
+                self.t[i][j] -= delta;
+            }
+            let dr = f * self.rhs[row];
+            self.rhs[i] -= dr;
+        }
+        let zf = self.z[col];
+        if !zf.is_zero() {
+            for j in 0..self.cols {
+                let delta = zf * self.t[row][j];
+                self.z[j] -= delta;
+            }
+            let dz = zf * self.rhs[row];
+            self.zval -= dz;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations (minimization). Uses Dantzig's rule (most
+    /// negative reduced cost) for speed, switching permanently to Bland's
+    /// rule after a degeneracy budget to guarantee termination.
+    /// Returns `false` if unbounded.
+    fn run(&mut self, allowed_cols: usize) -> bool {
+        // After this many pivots, assume we might be cycling and fall back
+        // to Bland's anti-cycling rule.
+        let bland_after = 40 + 6 * (self.t.len() + allowed_cols);
+        let mut pivots = 0usize;
+        loop {
+            let col = if pivots < bland_after {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<(Rat, usize)> = None;
+                for j in 0..allowed_cols {
+                    if self.z[j].signum() < 0 {
+                        match &best {
+                            Some((v, _)) if *v <= self.z[j] => {}
+                            _ => best = Some((self.z[j], j)),
+                        }
+                    }
+                }
+                best.map(|(_, j)| j)
+            } else {
+                // Bland: smallest eligible index.
+                (0..allowed_cols).find(|&j| self.z[j].signum() < 0)
+            };
+            let Some(col) = col else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on smallest basis variable.
+            let mut best: Option<(Rat, usize, usize)> = None; // (ratio, basisvar, row)
+            for i in 0..self.t.len() {
+                if self.t[i][col].signum() > 0 {
+                    let ratio = self.rhs[i] / self.t[i][col];
+                    let key = (ratio, self.basis[i]);
+                    match &best {
+                        Some((r, bv, _)) if (*r, *bv) <= key => {}
+                        _ => best = Some((key.0, key.1, i)),
+                    }
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+            pivots += 1;
+        }
+    }
+
+    /// Recompute the reduced-cost row for objective `costs` given the current
+    /// basis.
+    fn set_objective(&mut self, costs: &[Rat]) {
+        self.z = costs.to_vec();
+        self.zval = Rat::ZERO;
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = costs[b];
+            if cb.is_zero() {
+                continue;
+            }
+            for j in 0..self.cols {
+                let delta = cb * self.t[i][j];
+                self.z[j] -= delta;
+            }
+            let dz = cb * self.rhs[i];
+            self.zval -= dz;
+        }
+    }
+}
+
+/// Solve a linear program over the (free) variables of `cs`.
+///
+/// `objective` has one entry per variable of `cs` (constant terms in the
+/// objective are the caller's business).
+#[must_use]
+pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpResult {
+    assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
+    let n = cs.n_vars;
+    let m = cs.constraints.len();
+
+    // Column layout: [p_0..p_{n-1} | q_0..q_{n-1} | slacks | artificials]
+    let n_slack = cs
+        .constraints
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::Ineq)
+        .count();
+    let n_struct = 2 * n + n_slack;
+    let cols = n_struct + m; // one artificial per row
+    let mut t = vec![vec![Rat::ZERO; cols]; m];
+    let mut rhs = vec![Rat::ZERO; m];
+    let mut slack_idx = 0;
+    for (i, c) in cs.constraints.iter().enumerate() {
+        // a·x + k >= 0  =>  a·p - a·q - s = -k
+        let mut b = Rat::int(-c.coeffs[n]);
+        let mut sign = Rat::ONE;
+        if b.signum() < 0 {
+            sign = -Rat::ONE;
+            b = -b;
+        }
+        for v in 0..n {
+            let a = Rat::int(c.coeffs[v]) * sign;
+            t[i][v] = a;
+            t[i][n + v] = -a;
+        }
+        if c.kind == ConstraintKind::Ineq {
+            t[i][2 * n + slack_idx] = -sign;
+            slack_idx += 1;
+        }
+        t[i][n_struct + i] = Rat::ONE; // artificial
+        rhs[i] = b;
+    }
+
+    let mut tab = Tableau {
+        t,
+        rhs,
+        z: vec![Rat::ZERO; cols],
+        zval: Rat::ZERO,
+        basis: (n_struct..cols).collect(),
+        cols,
+    };
+
+    // Phase 1: minimize sum of artificials.
+    let mut phase1 = vec![Rat::ZERO; cols];
+    for j in n_struct..cols {
+        phase1[j] = Rat::ONE;
+    }
+    tab.set_objective(&phase1);
+    let bounded = tab.run(cols);
+    debug_assert!(bounded, "phase 1 cannot be unbounded");
+    if (-tab.zval).signum() > 0 {
+        return LpResult::Infeasible;
+    }
+    // Pivot artificials out of the basis where possible; drop rows that are
+    // identically zero (redundant constraints).
+    let mut drop_rows = Vec::new();
+    for i in 0..tab.t.len() {
+        if tab.basis[i] >= n_struct {
+            if let Some(j) = (0..n_struct).find(|&j| !tab.t[i][j].is_zero()) {
+                tab.pivot(i, j);
+            } else {
+                drop_rows.push(i);
+            }
+        }
+    }
+    for &i in drop_rows.iter().rev() {
+        tab.t.remove(i);
+        tab.rhs.remove(i);
+        tab.basis.remove(i);
+    }
+
+    // Phase 2 with the real objective (minimization; negate for Max).
+    let mut costs = vec![Rat::ZERO; cols];
+    for v in 0..n {
+        let c = match sense {
+            Sense::Min => objective[v],
+            Sense::Max => -objective[v],
+        };
+        costs[v] = c;
+        costs[n + v] = -c;
+    }
+    tab.set_objective(&costs);
+    if !tab.run(n_struct) {
+        return LpResult::Unbounded;
+    }
+
+    // Extract the point.
+    let mut y = vec![Rat::ZERO; cols];
+    for (i, &b) in tab.basis.iter().enumerate() {
+        y[b] = tab.rhs[i];
+    }
+    let point: Vec<Rat> = (0..n).map(|v| y[v] - y[n + v]).collect();
+    let value = match sense {
+        Sense::Min => -tab.zval,
+        Sense::Max => tab.zval,
+    };
+    LpResult::Optimal { value, point }
+}
+
+/// Convenience: is the system rationally feasible?
+#[must_use]
+pub fn lp_feasible(cs: &ConstraintSystem) -> bool {
+    let obj = vec![Rat::ZERO; cs.n_vars];
+    !matches!(solve_lp(cs, &obj, Sense::Min), LpResult::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: &[i128]) -> Vec<Rat> {
+        v.iter().map(|&x| Rat::int(x)).collect()
+    }
+
+    #[test]
+    fn simple_box_max() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 4);
+        cs.add_lower_bound(1, 0);
+        cs.add_upper_bound(1, 3);
+        let r = solve_lp(&cs, &obj(&[1, 1]), Sense::Max);
+        assert_eq!(r.value(), Some(Rat::int(7)));
+    }
+
+    #[test]
+    fn simple_box_min_with_negatives() {
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, -5);
+        cs.add_upper_bound(0, 4);
+        cs.add_lower_bound(1, -2);
+        cs.add_upper_bound(1, 3);
+        let r = solve_lp(&cs, &obj(&[1, 2]), Sense::Min);
+        assert_eq!(r.value(), Some(Rat::int(-9)));
+        let p = r.point().unwrap();
+        assert_eq!(p[0], Rat::int(-5));
+        assert_eq!(p[1], Rat::int(-2));
+    }
+
+    #[test]
+    fn fractional_vertex() {
+        // max x + y s.t. 2x + y <= 4, x + 2y <= 4, x,y >= 0 -> (4/3, 4/3)
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_lower_bound(0, 0);
+        cs.add_lower_bound(1, 0);
+        cs.add_ge0(vec![-2, -1, 4]);
+        cs.add_ge0(vec![-1, -2, 4]);
+        let r = solve_lp(&cs, &obj(&[1, 1]), Sense::Max);
+        assert_eq!(r.value(), Some(Rat::new(8, 3)));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 3);
+        cs.add_upper_bound(0, 1);
+        assert_eq!(solve_lp(&cs, &obj(&[1]), Sense::Min), LpResult::Infeasible);
+        assert!(!lp_feasible(&cs));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 0);
+        assert_eq!(solve_lp(&cs, &obj(&[1]), Sense::Max), LpResult::Unbounded);
+        // But bounded in the other direction.
+        assert_eq!(solve_lp(&cs, &obj(&[1]), Sense::Min).value(), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn equality_constraints_respected() {
+        // x + y == 10, x - y == 2 -> x=6, y=4
+        let mut cs = ConstraintSystem::new(2);
+        cs.add_eq0(vec![1, 1, -10]);
+        cs.add_eq0(vec![1, -1, -2]);
+        let r = solve_lp(&cs, &obj(&[1, 0]), Sense::Min);
+        let p = r.point().unwrap();
+        assert_eq!(p[0], Rat::int(6));
+        assert_eq!(p[1], Rat::int(4));
+    }
+
+    #[test]
+    fn redundant_rows_ok() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_eq0(vec![1, -5]);
+        cs.add_eq0(vec![2, -10]); // same constraint scaled
+        cs.add_ge0(vec![1, 0]);
+        let r = solve_lp(&cs, &obj(&[1]), Sense::Max);
+        assert_eq!(r.value(), Some(Rat::int(5)));
+    }
+
+    #[test]
+    fn degenerate_vertex_no_cycle() {
+        // Klee-Minty-ish degenerate setup; Bland must terminate.
+        let mut cs = ConstraintSystem::new(3);
+        for v in 0..3 {
+            cs.add_lower_bound(v, 0);
+        }
+        cs.add_ge0(vec![-1, 0, 0, 1]);
+        cs.add_ge0(vec![-4, -1, 0, 2]);
+        cs.add_ge0(vec![-8, -4, -1, 4]);
+        let r = solve_lp(&cs, &obj(&[4, 2, 1]), Sense::Max);
+        assert!(r.value().is_some());
+    }
+
+    #[test]
+    fn min_over_dependence_like_polyhedron() {
+        // Typical dependence-distance query: min (t - s) over
+        // 0 <= s <= N-1, t = s + 1, with N fixed at 100.
+        let mut cs = ConstraintSystem::new(2); // s, t
+        cs.add_lower_bound(0, 0);
+        cs.add_upper_bound(0, 99);
+        cs.add_eq0(vec![-1, 1, -1]); // t - s - 1 == 0
+        let r = solve_lp(&cs, &obj(&[-1, 1]), Sense::Min);
+        assert_eq!(r.value(), Some(Rat::ONE));
+        let rmax = solve_lp(&cs, &obj(&[-1, 1]), Sense::Max);
+        assert_eq!(rmax.value(), Some(Rat::ONE));
+    }
+
+    #[test]
+    fn empty_objective_space() {
+        let cs = ConstraintSystem::new(0);
+        let r = solve_lp(&cs, &[], Sense::Min);
+        assert_eq!(r.value(), Some(Rat::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod brute_force_tests {
+    use super::*;
+    use crate::ilp::solve_ilp;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On random bounded systems, the exact simplex optimum is never
+        /// beaten by any integer point, and the ILP optimum matches
+        /// exhaustive search.
+        #[test]
+        fn prop_lp_bounds_and_ilp_matches_bruteforce(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-2i128..3, 3), -4i128..5), 0..4),
+            obj in proptest::collection::vec(-3i128..4, 3),
+        ) {
+            let mut cs = ConstraintSystem::new(3);
+            for v in 0..3 {
+                cs.add_lower_bound(v, -3);
+                cs.add_upper_bound(v, 3);
+            }
+            for (a, c) in rows {
+                let mut row = a;
+                row.push(c);
+                cs.add_ge0(row);
+            }
+            // Brute force over the integer box.
+            let mut best: Option<i128> = None;
+            for x in -3i128..=3 {
+                for y in -3i128..=3 {
+                    for z in -3i128..=3 {
+                        if cs.contains(&[x, y, z]) {
+                            let v = obj[0] * x + obj[1] * y + obj[2] * z;
+                            best = Some(best.map_or(v, |b: i128| b.min(v)));
+                        }
+                    }
+                }
+            }
+            let obj_rat: Vec<wf_linalg::Rat> =
+                obj.iter().map(|&c| wf_linalg::Rat::int(c)).collect();
+            let lp = solve_lp(&cs, &obj_rat, Sense::Min);
+            let ilp = solve_ilp(&cs, &obj, Sense::Min);
+            match best {
+                None => {
+                    // No integer point; the LP may still be rationally
+                    // feasible, but the ILP must agree with brute force.
+                    prop_assert_eq!(ilp.value(), None);
+                }
+                Some(b) => {
+                    // LP relaxation lower-bounds the integer optimum.
+                    let lv = lp.value().expect("feasible");
+                    prop_assert!(lv <= wf_linalg::Rat::int(b), "{lv} > {b}");
+                    prop_assert_eq!(ilp.value(), Some(wf_linalg::Rat::int(b)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Program data: named dense `f64` tensors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_scop::Scop;
+
+/// A dense row-major tensor of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// Extent per dimension (empty for a scalar).
+    pub extents: Vec<usize>,
+    /// Row-major contents (length = product of extents, 1 for a scalar).
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// An all-zero tensor.
+    #[must_use]
+    pub fn zeros(extents: Vec<usize>) -> Tensor {
+        let len = extents.iter().product::<usize>().max(1);
+        Tensor { extents, data: vec![0.0; len] }
+    }
+
+    /// Row-major linear offset of a subscript vector.
+    ///
+    /// # Panics
+    /// Panics (in debug) on arity mismatch and (always) on out-of-range
+    /// subscripts — an out-of-bounds access in a transformed program is a
+    /// scheduling bug we must not mask.
+    #[must_use]
+    pub fn offset(&self, idx: &[i128]) -> usize {
+        debug_assert_eq!(idx.len(), self.extents.len(), "subscript arity");
+        let mut off = 0usize;
+        for (k, &i) in idx.iter().enumerate() {
+            let i = usize::try_from(i).unwrap_or_else(|_| {
+                panic!("negative subscript {i} in dim {k} (extents {:?})", self.extents)
+            });
+            assert!(i < self.extents[k], "subscript {i} out of range dim {k} (extents {:?})",
+                self.extents);
+            off = off * self.extents[k] + i;
+        }
+        off
+    }
+
+    /// Read an element.
+    #[must_use]
+    pub fn get(&self, idx: &[i128]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Write an element.
+    pub fn set(&mut self, idx: &[i128], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+}
+
+/// All arrays of a SCoP plus the parameter values of this run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramData {
+    /// One tensor per SCoP array, same order.
+    pub arrays: Vec<Tensor>,
+    /// Parameter values.
+    pub params: Vec<i128>,
+}
+
+impl ProgramData {
+    /// Allocate zero-initialized arrays for the given parameter values.
+    ///
+    /// # Panics
+    /// Panics if the parameters violate the SCoP context.
+    #[must_use]
+    pub fn new(scop: &Scop, params: &[i128]) -> ProgramData {
+        assert_eq!(params.len(), scop.n_params(), "parameter arity");
+        assert!(
+            scop.context.contains(params),
+            "parameters {params:?} violate the SCoP context"
+        );
+        let arrays = scop
+            .arrays
+            .iter()
+            .map(|a| Tensor::zeros(a.extents(params)))
+            .collect();
+        ProgramData { arrays, params: params.to_vec() }
+    }
+
+    /// Deterministically fill every array with pseudo-random values in
+    /// `(0, 1)` — identical for identical seeds, so different fusion models
+    /// can be compared bit-for-bit.
+    pub fn init_random(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in &mut self.arrays {
+            for v in &mut t.data {
+                *v = rng.gen_range(0.01..1.0);
+            }
+        }
+    }
+
+    /// Maximum absolute element-wise difference across all arrays.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &ProgramData) -> f64 {
+        assert_eq!(self.arrays.len(), other.arrays.len());
+        let mut m = 0.0f64;
+        for (a, b) in self.arrays.iter().zip(&other.arrays) {
+            assert_eq!(a.extents, b.extents, "shape mismatch");
+            for (x, y) in a.data.iter().zip(&b.data) {
+                m = m.max((x - y).abs());
+            }
+        }
+        m
+    }
+
+    /// Total bytes of array data (for reporting).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.arrays.iter().map(|t| t.data.len() * std::mem::size_of::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    fn scop() -> Scop {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 2);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0) + 1]);
+        let _ = b.scalar("s");
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0), Aff::zero()])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn allocation_respects_extents() {
+        let d = ProgramData::new(&scop(), &[4]);
+        assert_eq!(d.arrays[0].extents, vec![4, 5]);
+        assert_eq!(d.arrays[0].data.len(), 20);
+        assert_eq!(d.arrays[1].data.len(), 1, "scalar holds one element");
+    }
+
+    #[test]
+    fn row_major_offsets() {
+        let t = Tensor::zeros(vec![3, 4]);
+        assert_eq!(t.offset(&[0, 0]), 0);
+        assert_eq!(t.offset(&[0, 3]), 3);
+        assert_eq!(t.offset(&[1, 0]), 4);
+        assert_eq!(t.offset(&[2, 3]), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_panics() {
+        let t = Tensor::zeros(vec![3]);
+        let _ = t.offset(&[3]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(vec![2, 2]);
+        t.set(&[1, 0], 7.5);
+        assert_eq!(t.get(&[1, 0]), 7.5);
+        assert_eq!(t.get(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = ProgramData::new(&scop(), &[4]);
+        let mut b = ProgramData::new(&scop(), &[4]);
+        a.init_random(42);
+        b.init_random(42);
+        assert_eq!(a, b);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let mut c = ProgramData::new(&scop(), &[4]);
+        c.init_random(43);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "violate the SCoP context")]
+    fn context_enforced() {
+        let _ = ProgramData::new(&scop(), &[1]);
+    }
+}
+
+impl ProgramData {
+    /// Deterministic fill with a documented 64-bit LCG (Knuth MMIX
+    /// constants), producing values in `[0.01, 1.0)`. Unlike
+    /// [`ProgramData::init_random`], this generator is trivially
+    /// reproducible from C — the emitted-C backend uses the identical
+    /// recurrence so interpreter and compiled executions can be compared
+    /// bit-for-bit.
+    pub fn init_lcg(&mut self, seed: u64) {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for t in &mut self.arrays {
+            for v in &mut t.data {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                *v = 0.01 + ((x >> 11) as f64 / (1u64 << 53) as f64) * 0.99;
+            }
+        }
+    }
+
+    /// FNV-1a hash over the raw bits of every element, array by array —
+    /// the exact-equality fingerprint printed by the emitted C programs.
+    #[must_use]
+    pub fn bit_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in &self.arrays {
+            for v in &t.data {
+                h ^= v.to_bits();
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod lcg_tests {
+    use super::*;
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    fn scop() -> wf_scop::Scop {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 2);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = ProgramData::new(&scop(), &[16]);
+        let mut b = ProgramData::new(&scop(), &[16]);
+        a.init_lcg(7);
+        b.init_lcg(7);
+        assert_eq!(a, b);
+        assert!(a.arrays[0].data.iter().all(|&v| (0.01..1.0).contains(&v)));
+        let mut c = ProgramData::new(&scop(), &[16]);
+        c.init_lcg(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bit_hash_distinguishes() {
+        let mut a = ProgramData::new(&scop(), &[16]);
+        a.init_lcg(7);
+        let h1 = a.bit_hash();
+        a.arrays[0].set(&[3], 42.0);
+        assert_ne!(a.bit_hash(), h1);
+    }
+}

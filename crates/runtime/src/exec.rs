@@ -1,0 +1,337 @@
+//! The plan executor.
+
+use crate::data::ProgramData;
+use wf_codegen::plan::{guard, ExecPlan, StmtPlan};
+use wf_schedule::pluto::Transformed;
+use wf_schedule::transform::DimKind;
+use wf_scop::Scop;
+
+/// Observes every array element access (serial execution only); the cache
+/// simulator implements this to collect the address trace.
+pub trait AccessObserver {
+    /// Called once per element access with the array id, its linear offset,
+    /// and whether the access writes.
+    fn access(&mut self, array: usize, offset: usize, is_write: bool);
+
+    /// Called once per executed statement instance, before its accesses.
+    /// Default: ignored. The performance model uses this to attribute work.
+    fn begin_statement(&mut self, stmt: usize) {
+        let _ = stmt;
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker threads for parallel loop dimensions (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 1 }
+    }
+}
+
+/// Execute a transformed SCoP over the given data.
+///
+/// With `opts.threads > 1` the outermost parallel loop dimension of each
+/// fused group is split across scoped threads; inside a non-parallel
+/// (forward-dependence) loop, inner parallel dimensions are parallelized
+/// per outer iteration — wavefront execution with a join barrier per
+/// wavefront.
+///
+/// `observer` (serial only) taps the address trace.
+pub fn execute_plan(
+    scop: &Scop,
+    t: &Transformed,
+    plan: &ExecPlan,
+    data: &mut ProgramData,
+    opts: &ExecOptions,
+    mut observer: Option<&mut dyn AccessObserver>,
+) {
+    assert!(
+        observer.is_none() || opts.threads <= 1,
+        "address tracing requires serial execution"
+    );
+    let group: Vec<usize> = (0..scop.n_statements()).collect();
+    let mut z = Vec::with_capacity(plan.dims.len());
+    let ctx = Ctx { scop, t, plan, threads: opts.threads.max(1) };
+    run_group(&ctx, &group, &mut z, data, &mut observer);
+}
+
+struct Ctx<'a> {
+    scop: &'a Scop,
+    t: &'a Transformed,
+    plan: &'a ExecPlan,
+    threads: usize,
+}
+
+/// Shared mutable program data for parallel loop bodies.
+///
+/// SAFETY: a loop dimension is only marked parallel when the scheduler
+/// proved no dependence is carried by it — distinct iterations touch
+/// disjoint (or read-only) locations, so concurrent bodies are data-race
+/// free by construction. This wrapper just carries that proof obligation
+/// across the thread boundary.
+struct SharedData(*mut ProgramData);
+unsafe impl Send for SharedData {}
+unsafe impl Sync for SharedData {}
+
+fn run_group(
+    ctx: &Ctx<'_>,
+    group: &[usize],
+    z: &mut Vec<i128>,
+    data: &mut ProgramData,
+    observer: &mut Option<&mut dyn AccessObserver>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    let d = z.len();
+    if d == ctx.plan.dims.len() {
+        for &s in group {
+            exec_leaf(ctx, &ctx.plan.stmts[s], z, data, observer);
+        }
+        return;
+    }
+    match ctx.plan.dims[d] {
+        DimKind::Scalar => {
+            // Split by scalar value; bounds pin z_d exactly per statement.
+            let mut by_val: std::collections::BTreeMap<i128, Vec<usize>> = Default::default();
+            for &s in group {
+                let b = &ctx.plan.stmts[s].bounds[d];
+                let lo = b.lower(z, &data.params).expect("scalar dim bounded");
+                let hi = b.upper(z, &data.params).expect("scalar dim bounded");
+                debug_assert_eq!(lo, hi, "scalar dim must pin a single value");
+                by_val.entry(lo).or_default().push(s);
+            }
+            for (v, sub) in by_val {
+                z.push(v);
+                run_group(ctx, &sub, z, data, observer);
+                z.pop();
+            }
+        }
+        DimKind::Loop => {
+            // Union bounds over the group.
+            let params = data.params.clone();
+            let mut lo = i128::MAX;
+            let mut hi = i128::MIN;
+            for &s in group {
+                let b = &ctx.plan.stmts[s].bounds[d];
+                if let (Some(l), Some(h)) = (b.lower(z, &params), b.upper(z, &params)) {
+                    if l <= h {
+                        lo = lo.min(l);
+                        hi = hi.max(h);
+                    }
+                }
+            }
+            if lo > hi {
+                return;
+            }
+            let parallel = group.iter().all(|&s| ctx.plan.parallel[d][s]);
+            let span = (hi - lo + 1) as usize;
+            if parallel && ctx.threads > 1 && observer.is_none() && span > 1 {
+                run_parallel(ctx, group, z, lo, hi, data);
+            } else {
+                for v in lo..=hi {
+                    // Filter statements active at this iteration; the common
+                    // case (every member active) avoids the allocation.
+                    let active = |s: usize, zz: &[i128]| {
+                        let b = &ctx.plan.stmts[s].bounds[d];
+                        matches!((b.lower(zz, &params), b.upper(zz, &params)),
+                            (Some(l), Some(h)) if l <= v && v <= h)
+                    };
+                    let n_active = group.iter().filter(|&&s| active(s, z)).count();
+                    if n_active == 0 {
+                        continue;
+                    }
+                    if n_active == group.len() {
+                        z.push(v);
+                        run_group(ctx, group, z, data, observer);
+                        z.pop();
+                    } else {
+                        let sub: Vec<usize> =
+                            group.iter().copied().filter(|&s| active(s, z)).collect();
+                        z.push(v);
+                        run_group(ctx, &sub, z, data, observer);
+                        z.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Split `[lo, hi]` into contiguous chunks across scoped threads. Each
+/// worker walks its own copy of the `z` prefix; the shared tensors are
+/// raced-for-free per the scheduler's parallelism proof.
+fn run_parallel(
+    ctx: &Ctx<'_>,
+    group: &[usize],
+    z: &[i128],
+    lo: i128,
+    hi: i128,
+    data: &mut ProgramData,
+) {
+    let span = (hi - lo + 1) as usize;
+    let nthreads = ctx.threads.min(span);
+    let chunk = span.div_ceil(nthreads);
+    let shared = SharedData(data as *mut ProgramData);
+    let params = data.params.clone();
+    std::thread::scope(|scope| {
+        for w in 0..nthreads {
+            let c_lo = lo + (w * chunk) as i128;
+            let c_hi = (c_lo + chunk as i128 - 1).min(hi);
+            if c_lo > c_hi {
+                continue;
+            }
+            let shared = &shared;
+            let params = &params;
+            let mut zz: Vec<i128> = z.to_vec();
+            scope.spawn(move || {
+                // SAFETY: see SharedData — iterations of a parallel loop
+                // are independent, and chunks partition the range.
+                let data: &mut ProgramData = unsafe { &mut *shared.0 };
+                let d = zz.len();
+                let mut none: Option<&mut dyn AccessObserver> = None;
+                for v in c_lo..=c_hi {
+                    let sub: Vec<usize> = group
+                        .iter()
+                        .copied()
+                        .filter(|&s| {
+                            let b = &ctx.plan.stmts[s].bounds[d];
+                            matches!((b.lower(&zz, params), b.upper(&zz, params)),
+                                (Some(l), Some(h)) if l <= v && v <= h)
+                        })
+                        .collect();
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    zz.push(v);
+                    run_group_serial(ctx, &sub, &mut zz, data, &mut none);
+                    zz.pop();
+                }
+            });
+        }
+    });
+}
+
+/// Serial subtree walk used inside parallel workers (no nested
+/// parallelism: one fork level is the coarse-grained model of the paper).
+fn run_group_serial(
+    ctx: &Ctx<'_>,
+    group: &[usize],
+    z: &mut Vec<i128>,
+    data: &mut ProgramData,
+    observer: &mut Option<&mut dyn AccessObserver>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    let d = z.len();
+    if d == ctx.plan.dims.len() {
+        for &s in group {
+            exec_leaf(ctx, &ctx.plan.stmts[s], z, data, observer);
+        }
+        return;
+    }
+    match ctx.plan.dims[d] {
+        DimKind::Scalar => {
+            let mut by_val: std::collections::BTreeMap<i128, Vec<usize>> = Default::default();
+            for &s in group {
+                let b = &ctx.plan.stmts[s].bounds[d];
+                let lo = b.lower(z, &data.params).expect("scalar dim bounded");
+                by_val.entry(lo).or_default().push(s);
+            }
+            for (v, sub) in by_val {
+                z.push(v);
+                run_group_serial(ctx, &sub, z, data, observer);
+                z.pop();
+            }
+        }
+        DimKind::Loop => {
+            let params = data.params.clone();
+            let mut lo = i128::MAX;
+            let mut hi = i128::MIN;
+            for &s in group {
+                let b = &ctx.plan.stmts[s].bounds[d];
+                if let (Some(l), Some(h)) = (b.lower(z, &params), b.upper(z, &params)) {
+                    if l <= h {
+                        lo = lo.min(l);
+                        hi = hi.max(h);
+                    }
+                }
+            }
+            for v in lo..=hi {
+                let active = |s: usize, zz: &[i128]| {
+                    let b = &ctx.plan.stmts[s].bounds[d];
+                    matches!((b.lower(zz, &params), b.upper(zz, &params)),
+                        (Some(l), Some(h)) if l <= v && v <= h)
+                };
+                let n_active = group.iter().filter(|&&s| active(s, z)).count();
+                if n_active == 0 {
+                    continue;
+                }
+                if n_active == group.len() {
+                    z.push(v);
+                    run_group_serial(ctx, group, z, data, observer);
+                    z.pop();
+                } else {
+                    let sub: Vec<usize> =
+                        group.iter().copied().filter(|&s| active(s, z)).collect();
+                    z.push(v);
+                    run_group_serial(ctx, &sub, z, data, observer);
+                    z.pop();
+                }
+            }
+        }
+    }
+}
+
+fn exec_leaf(
+    ctx: &Ctx<'_>,
+    sp: &StmtPlan,
+    z: &[i128],
+    data: &mut ProgramData,
+    observer: &mut Option<&mut dyn AccessObserver>,
+) {
+    let Some(iters) = guard(ctx.scop, ctx.t, &ctx.plan.layout, sp, z, &data.params) else {
+        return;
+    };
+    exec_statement(ctx.scop, sp.stmt, &iters, data, observer);
+}
+
+/// Execute one statement instance: evaluate reads, the RHS, and the write.
+pub(crate) fn exec_statement(
+    scop: &Scop,
+    s: usize,
+    iters: &[i128],
+    data: &mut ProgramData,
+    observer: &mut Option<&mut dyn AccessObserver>,
+) {
+    let st = &scop.statements[s];
+    if let Some(obs) = observer.as_deref_mut() {
+        obs.begin_statement(s);
+    }
+    let params = data.params.clone();
+    let loads: Vec<f64> = st
+        .reads
+        .iter()
+        .map(|a| {
+            let idx = a.eval(iters, &params);
+            let tensor = &data.arrays[a.array];
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.access(a.array, tensor.offset(&idx), false);
+            }
+            tensor.get(&idx)
+        })
+        .collect();
+    let v = st.rhs.eval(&loads, iters, &params);
+    let idx = st.write.eval(iters, &params);
+    let tensor = &mut data.arrays[st.write.array];
+    if let Some(obs) = observer.as_deref_mut() {
+        obs.access(st.write.array, tensor.offset(&idx), true);
+    }
+    tensor.set(&idx, v);
+}

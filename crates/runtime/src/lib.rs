@@ -1,0 +1,27 @@
+//! Interpreting executor for transformed SCoPs.
+//!
+//! This crate stands in for "compile the transformed C with icc and run on
+//! the Xeon": it executes an [`wf_codegen::ExecPlan`] over real `f64`
+//! tensors in real memory, with
+//!
+//! * **coarse-grained parallelism**: the outermost parallel loop dimension
+//!   of each fusion partition is split across scoped threads,
+//! * **wavefront execution**: when the outer loop is a forward-dependence
+//!   (pipelined) loop, inner parallel dimensions are parallelized instead —
+//!   paying a thread fork/join barrier per outer iteration, the "constant
+//!   communication cost after each wavefront" the paper describes,
+//! * an [`AccessObserver`] hook through which the cache simulator taps the
+//!   exact address trace (serial execution only).
+//!
+//! Interpreter overhead is uniform across fusion models, so *relative*
+//! timings between models are meaningful — the quantity Figure 7 reports.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod exec;
+pub mod reference;
+
+pub use data::{ProgramData, Tensor};
+pub use exec::{execute_plan, AccessObserver, ExecOptions};
+pub use reference::execute_reference;

@@ -1,0 +1,124 @@
+//! The oracle executor: runs a SCoP in **original program order**,
+//! independently of the scheduler and code generator, by enumerating every
+//! statement instance, sorting by the interleaved `(β0, i1, β1, …)` vector,
+//! and interpreting in that order. Transformed executions must reproduce
+//! its results bit-for-bit (all schedules are legal reorderings of the same
+//! floating-point operations... provided the transformation is indeed
+//! legal, which is exactly what the equivalence tests establish).
+
+use crate::data::ProgramData;
+use crate::exec::exec_statement;
+use wf_polyhedra::Polyhedron;
+use wf_scop::Scop;
+
+/// Execute the SCoP in original program order over `data`.
+///
+/// Intended for correctness oracles at small problem sizes; it materializes
+/// and sorts every statement instance.
+pub fn execute_reference(scop: &Scop, data: &mut ProgramData) {
+    let maxd = scop.statements.iter().map(|s| s.depth).max().unwrap_or(0);
+    let params = data.params.clone();
+    // (original-order key, statement, iters)
+    let mut instances: Vec<(Vec<i128>, usize, Vec<i128>)> = Vec::new();
+    for (s, st) in scop.statements.iter().enumerate() {
+        let mut cs = st.domain.clone();
+        for (j, &p) in params.iter().enumerate() {
+            cs.add_fixed(st.depth + j, p);
+        }
+        for point in Polyhedron::from(cs).enumerate(200_000_000) {
+            let iters: Vec<i128> = point[..st.depth].to_vec();
+            let mut key = Vec::with_capacity(2 * maxd + 1);
+            for level in 0..=maxd {
+                key.push(*st.beta.get(level).unwrap_or(&0) as i128);
+                if level < maxd {
+                    key.push(iters.get(level).copied().unwrap_or(0));
+                }
+            }
+            instances.push((key, s, iters));
+        }
+    }
+    instances.sort();
+    let mut none = None;
+    for (_, s, iters) in instances {
+        exec_statement(scop, s, &iters, data, &mut none);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    /// for i: A[i] = i; for i: B[i] = A[i] * 2  =>  B[i] == 2 i.
+    #[test]
+    fn sequential_nests() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 2);
+        let a = b.array("A", &[Aff::param(0)]);
+        let bb = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(bb, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::mul(Expr::Load(0), Expr::Const(2.0)))
+            .done();
+        let scop = b.build();
+        let mut d = ProgramData::new(&scop, &[5]);
+        execute_reference(&scop, &mut d);
+        for i in 0..5 {
+            assert_eq!(d.arrays[1].get(&[i]), 2.0 * i as f64);
+        }
+    }
+
+    /// Interleaving inside one nest: S0 then S1 per iteration.
+    /// S0: A[i] = i;  S1: A[i] = A[i] + 1  =>  A[i] == i + 1.
+    #[test]
+    fn intra_nest_interleaving() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 2);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S1", 1, &[0, 1])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::add(Expr::Load(0), Expr::Const(1.0)))
+            .done();
+        let scop = b.build();
+        let mut d = ProgramData::new(&scop, &[4]);
+        execute_reference(&scop, &mut d);
+        for i in 0..4 {
+            assert_eq!(d.arrays[0].get(&[i]), i as f64 + 1.0);
+        }
+    }
+
+    /// Loop-carried recurrence: A[i] = A[i-1] + 1 with A[0] preset.
+    #[test]
+    fn carried_recurrence() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 2);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0) - 1])
+            .rhs(Expr::add(Expr::Load(0), Expr::Const(1.0)))
+            .done();
+        let scop = b.build();
+        let mut d = ProgramData::new(&scop, &[6]);
+        d.arrays[0].set(&[0], 10.0);
+        execute_reference(&scop, &mut d);
+        for i in 0..6 {
+            assert_eq!(d.arrays[0].get(&[i]), 10.0 + i as f64);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The central correctness property of the whole stack: for every fusion
+//! model, executing the transformed program produces **bit-for-bit** the
+//! same arrays as the original program order. (All models reorder the same
+//! floating-point operations along legal schedules; none changes any
+//! operation, so exact equality is required, not approximate.)
+
+use wf_codegen::plan_from_optimized;
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_wisefuse::{optimize, Model};
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+fn check_all_models(scop: &Scop, params: &[i128]) {
+    let mut oracle = ProgramData::new(scop, params);
+    oracle.init_random(7);
+    let initial = oracle.clone();
+    execute_reference(scop, &mut oracle);
+
+    for model in Model::ALL {
+        let opt = optimize(scop, model)
+            .unwrap_or_else(|e| panic!("{}: {model:?} failed: {e}", scop.name));
+        let plan = plan_from_optimized(scop, &opt);
+        for threads in [1usize, 4] {
+            let mut data = initial.clone();
+            execute_plan(
+                scop,
+                &opt.transformed,
+                &plan,
+                &mut data,
+                &ExecOptions { threads },
+                None,
+            );
+            assert_eq!(
+                data.max_abs_diff(&oracle),
+                0.0,
+                "{}: model {model:?} threads {threads} diverges from original",
+                scop.name
+            );
+        }
+    }
+}
+
+/// Producer/consumer pair.
+#[test]
+fn equivalence_producer_consumer() {
+    let mut b = ScopBuilder::new("pc", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    let bb = b.array("B", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .rhs(Expr::Iter(0))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(bb, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0)])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Const(3.0)))
+        .done();
+    check_all_models(&b.build(), &[17]);
+}
+
+/// advect-like: fusion legal only with shifting; wisefuse cuts instead.
+#[test]
+fn equivalence_advect_like() {
+    let mut b = ScopBuilder::new("advect2", &["N"]);
+    b.context_ge(Aff::param(0) - 8);
+    let a = b.array("A", &[Aff::param(0)]);
+    let out = b.array("B", &[Aff::param(0)]);
+    b.stmt("S1", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .rhs(Expr::Iter(0))
+        .done();
+    b.stmt("S4", 1, &[1, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 2)
+        .write(out, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0) - 1])
+        .read(a, &[Aff::iter(0) + 1])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    check_all_models(&b.build(), &[23]);
+}
+
+/// gemver's interchange-requiring pair, 2-D.
+#[test]
+fn equivalence_gemver_core() {
+    let mut b = ScopBuilder::new("gemver2", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    let u1 = b.array("u1", &[Aff::param(0)]);
+    let v1 = b.array("v1", &[Aff::param(0)]);
+    let x = b.array("x", &[Aff::param(0)]);
+    let y = b.array("y", &[Aff::param(0)]);
+    b.stmt("S1", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(u1, &[Aff::iter(0)])
+        .read(v1, &[Aff::iter(1)])
+        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .done();
+    b.stmt("S2", 2, &[1, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(x, &[Aff::iter(0)])
+        .read(x, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(1), Aff::iter(0)])
+        .read(y, &[Aff::iter(1)])
+        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .done();
+    check_all_models(&b.build(), &[9]);
+}
+
+/// Carried recurrence fused with an independent statement: the recurrence
+/// loop must stay serial and ordered.
+#[test]
+fn equivalence_recurrence_mix() {
+    let mut b = ScopBuilder::new("recmix", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0) - 1])
+        .rhs(Expr::add(Expr::Load(0), Expr::Const(1.0)))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0)])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Const(0.5)))
+        .done();
+    check_all_models(&b.build(), &[13]);
+}
+
+/// Triangular (lu-like) domain with deep self-dependences.
+#[test]
+fn equivalence_triangular() {
+    let mut b = ScopBuilder::new("lu-ish", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    b.stmt("S0", 3, &[0, 0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::iter(0) + 1, Aff::param(0) - 1)
+        .bounds(2, Aff::iter(0) + 1, Aff::param(0) - 1)
+        .write(a, &[Aff::iter(1), Aff::iter(2)])
+        .read(a, &[Aff::iter(1), Aff::iter(2)])
+        .read(a, &[Aff::iter(1), Aff::iter(0)])
+        .read(a, &[Aff::iter(0), Aff::iter(2)])
+        .rhs(Expr::sub(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .done();
+    check_all_models(&b.build(), &[8]);
+}
+
+/// Mixed dimensionality (2-D producer, 1-D consumer).
+#[test]
+fn equivalence_mixed_dims() {
+    let mut b = ScopBuilder::new("mixdim", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    let r = b.array("r", &[Aff::param(0)]);
+    b.stmt("S0", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .rhs(Expr::add(Expr::Iter(0), Expr::Iter(1)))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(r, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0), Aff::param(0) - 1])
+        .rhs(Expr::Load(0))
+        .done();
+    check_all_models(&b.build(), &[7]);
+}

@@ -1,0 +1,143 @@
+//! Behavioral tests of the executor beyond bit-equivalence: thread scaling
+//! hooks, wavefront execution of forward loops, observer tracing, and
+//! degenerate shapes.
+
+use wf_codegen::plan_from_optimized;
+use wf_runtime::AccessObserver;
+
+/// Counts accesses (stand-in for the cache simulator, which lives
+/// downstream of this crate).
+#[derive(Default)]
+struct Counter {
+    total: u64,
+    writes: u64,
+}
+
+impl AccessObserver for Counter {
+    fn access(&mut self, _array: usize, _offset: usize, is_write: bool) {
+        self.total += 1;
+        if is_write {
+            self.writes += 1;
+        }
+    }
+}
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::{optimize, Model};
+
+fn recurrence_2d() -> Scop {
+    // Gauss-Seidel-like recurrence on both axes: every legal outer
+    // hyperplane carries a dependence (forward loop), giving the wavefront
+    // case once an inner parallel hyperplane exists.
+    let mut b = ScopBuilder::new("wave", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    b.stmt("S0", 2, &[0, 0, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+        .bounds(1, Aff::konst(1), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0) - 1, Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(1) - 1])
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::add(Expr::Load(0), Expr::Load(1)),
+        ))
+        .done();
+    b.build()
+}
+
+#[test]
+fn wavefront_execution_is_correct_with_threads() {
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Maxfuse).unwrap();
+    assert!(!opt.outer_parallel(), "outer loop must be forward");
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &[16]);
+    init.init_random(5);
+    let mut oracle = init.clone();
+    execute_reference(&scop, &mut oracle);
+    for threads in [2usize, 4, 8] {
+        let mut data = init.clone();
+        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+        assert_eq!(data.max_abs_diff(&oracle), 0.0, "{threads} threads");
+    }
+}
+
+#[test]
+fn observer_sees_every_access() {
+    // S0 makes 1 write + 1 read per instance over N=8 -> 16 accesses
+    // (domain is 1..N-1, so 7 instances, 14 accesses).
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Nofuse).unwrap();
+    let plan = plan_from_optimized(&scop, &opt);
+    let params = [8i128];
+    let mut data = ProgramData::new(&scop, &params);
+    let mut obs = Counter::default();
+    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), Some(&mut obs));
+    // Domain is (1..N-1)^2 = 7*7 instances; 2 reads + 1 write each.
+    assert_eq!(obs.total, 7 * 7 * 3);
+    assert_eq!(obs.writes, 7 * 7);
+}
+
+#[test]
+#[should_panic(expected = "address tracing requires serial execution")]
+fn tracing_rejects_parallel_runs() {
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Nofuse).unwrap();
+    let plan = plan_from_optimized(&scop, &opt);
+    let params = [8i128];
+    let mut data = ProgramData::new(&scop, &params);
+    let mut obs = Counter::default();
+    execute_plan(
+        &scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads: 4 },
+        Some(&mut obs),
+    );
+}
+
+#[test]
+fn more_threads_than_iterations_is_fine() {
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Maxfuse).unwrap();
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &[4]);
+    init.init_random(1);
+    let mut oracle = init.clone();
+    execute_reference(&scop, &mut oracle);
+    let mut data = init.clone();
+    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads: 64 }, None);
+    assert_eq!(data.max_abs_diff(&oracle), 0.0);
+}
+
+/// Zero-depth (scalar) statements execute exactly once.
+#[test]
+fn scalar_statement_runs_once() {
+    let mut b = ScopBuilder::new("s", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let acc = b.scalar("acc");
+    let a = b.array("A", &[Aff::param(0)]);
+    b.stmt("S0", 0, &[0])
+        .write(acc, &[])
+        .rhs(Expr::Const(3.5))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .read(acc, &[])
+        .rhs(Expr::Load(0))
+        .done();
+    let scop = b.build();
+    for model in Model::ALL {
+        let opt = optimize(&scop, model).unwrap();
+        let plan = plan_from_optimized(&scop, &opt);
+        let mut data = ProgramData::new(&scop, &[5]);
+        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), None);
+        assert_eq!(data.arrays[0].get(&[]), 3.5, "{model:?}");
+        for i in 0..5 {
+            assert_eq!(data.arrays[1].get(&[i]), 3.5, "{model:?} A[{i}]");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Fusion strategies: the pre-fusion schedule plus the cut policy.
+//!
+//! PLuTo's three models (Table 1 of the paper):
+//!
+//! * [`Nofuse`] — separates all SCCs into different loop nests,
+//! * [`Maxfuse`] — cuts only when the ILP fails, between the SCCs carrying
+//!   the violated dependence,
+//! * [`Smartfuse`] — PLuTo's default: DFS-derived SCC order, pre-emptive
+//!   cuts between SCCs of different dimensionality.
+//!
+//! The paper's contribution, wisefuse, implements the same trait in the
+//! `wf-wisefuse` crate.
+
+use crate::pluto::SchedState;
+use crate::transform::StmtRow;
+use wf_deps::{kosaraju_raw, Ddg, SccInfo};
+use wf_scop::Scop;
+
+/// A fusion model: decides the pre-fusion schedule and when/where to cut.
+pub trait FusionStrategy {
+    /// Short name for reports ("smartfuse", …).
+    fn name(&self) -> &'static str;
+
+    /// The pre-fusion schedule: a permutation of the canonical SCC ids,
+    /// which must be a topological order of the SCC condensation.
+    fn pre_fusion_order(&self, scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize>;
+
+    /// Cut boundaries applied before any hyperplane search.
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize>;
+
+    /// Cut boundaries when hyperplane search fails for the given statements.
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize>;
+
+    /// Inspect a candidate (not yet accepted) outermost loop hyperplane;
+    /// returning boundaries rejects it and re-solves after cutting
+    /// (wisefuse's Algorithm 2). The default accepts every hyperplane.
+    fn post_loop_cuts(&self, state: &SchedState<'_>, rows: &[StmtRow]) -> Vec<usize> {
+        let _ = (state, rows);
+        Vec::new()
+    }
+}
+
+/// SCC order induced by a depth-first traversal of the DDG (raw Kosaraju
+/// numbering) — what PLuTo effectively uses. Expressed as a permutation of
+/// the canonical SCC ids.
+#[must_use]
+pub fn dfs_order(ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+    let raw = kosaraju_raw(ddg);
+    let mut ids: Vec<usize> = (0..sccs.len()).collect();
+    ids.sort_by_key(|&c| raw.scc_of[sccs.members[c][0]]);
+    ids
+}
+
+/// SCC order by original program position (canonical ids are already
+/// topological with min-member tie-break, i.e. program order).
+#[must_use]
+pub fn program_order(sccs: &SccInfo) -> Vec<usize> {
+    (0..sccs.len()).collect()
+}
+
+/// Boundaries between adjacent SCCs (in the current order) of different
+/// dimensionality — the primary cut criterion (§2.2: "any two consecutive
+/// SCCs with different dimensionalities are cut first").
+#[must_use]
+pub fn dim_boundaries(state: &SchedState<'_>) -> Vec<usize> {
+    let depths = state.depths();
+    (1..state.order.len())
+        .filter(|&p| {
+            state.sccs.dimensionality(state.order[p - 1], &depths)
+                != state.sccs.dimensionality(state.order[p], &depths)
+        })
+        .collect()
+}
+
+/// A minimal boundary separating the SCCs of some unsatisfied dependence
+/// among the failed statements (PLuTo's `cut_between_sccs`).
+#[must_use]
+pub fn failure_boundary(state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+    let set: std::collections::HashSet<usize> = failed.iter().copied().collect();
+    for &e in &state.unsatisfied() {
+        let edge = &state.ddg.edges[e];
+        if !set.contains(&edge.src) || !set.contains(&edge.dst) {
+            continue;
+        }
+        let (ca, cb) = (state.sccs.scc_of[edge.src], state.sccs.scc_of[edge.dst]);
+        if ca != cb && state.partition_of_scc(ca) == state.partition_of_scc(cb) {
+            // Cut immediately before the target SCC.
+            return vec![state.pos[cb]];
+        }
+    }
+    Vec::new()
+}
+
+/// Every possible boundary (PLuTo's `cut_all_sccs`).
+#[must_use]
+pub fn all_boundaries(state: &SchedState<'_>) -> Vec<usize> {
+    (1..state.order.len()).collect()
+}
+
+/// The `nofuse` model: every SCC in its own loop nest.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Nofuse;
+
+impl FusionStrategy for Nofuse {
+    fn name(&self) -> &'static str {
+        "nofuse"
+    }
+    fn pre_fusion_order(&self, _: &Scop, _: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        program_order(sccs)
+    }
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
+        all_boundaries(state)
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        failure_boundary(state, failed)
+    }
+}
+
+/// The `maxfuse` model: fuse maximally, cut only on ILP failure.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Maxfuse;
+
+impl FusionStrategy for Maxfuse {
+    fn name(&self) -> &'static str {
+        "maxfuse"
+    }
+    fn pre_fusion_order(&self, _: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        dfs_order(ddg, sccs)
+    }
+    fn initial_cuts(&self, _: &SchedState<'_>) -> Vec<usize> {
+        Vec::new()
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        let cut = failure_boundary(state, failed);
+        if !cut.is_empty() {
+            return cut;
+        }
+        // Last resort: separate by dimensionality, then fully.
+        let dims = dim_boundaries(state);
+        if !dims.is_empty() {
+            return dims;
+        }
+        all_boundaries(state)
+    }
+}
+
+/// The `smartfuse` model — PLuTo's default: DFS SCC order, pre-emptive cuts
+/// between SCCs of different dimensionality.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Smartfuse;
+
+impl FusionStrategy for Smartfuse {
+    fn name(&self) -> &'static str {
+        "smartfuse"
+    }
+    fn pre_fusion_order(&self, _: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
+        dfs_order(ddg, sccs)
+    }
+    fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
+        dim_boundaries(state)
+    }
+    fn cuts_on_failure(&self, state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> {
+        let cut = failure_boundary(state, failed);
+        if !cut.is_empty() {
+            return cut;
+        }
+        let dims = dim_boundaries(state);
+        if !dims.is_empty() {
+            return dims;
+        }
+        all_boundaries(state)
+    }
+}

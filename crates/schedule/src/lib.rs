@@ -1,0 +1,37 @@
+//! PLuTo-style affine scheduling with pluggable fusion strategies.
+//!
+//! This crate rebuilds the scheduling half of PLuTo (Bondhugula's algorithm)
+//! that the wisefuse paper plugs into:
+//!
+//! * [`farkas`] — the affine form of the Farkas lemma: converts "`ψ(x) ≥ 0`
+//!   for every point of a dependence polyhedron" into linear constraints on
+//!   the schedule coefficients by introducing and eliminating multipliers,
+//! * [`transform`] — the statement-wise multi-dimensional affine transform
+//!   (interleaved loop hyperplanes and scalar dimensions),
+//! * [`pluto`] — the level-by-level hyperplane search: per connected
+//!   component of unsatisfied dependences, an ILP lexicographically
+//!   minimizing the Bondhugula cost bound `(Σu, w, Σc)` subject to legality,
+//!   bounding, non-triviality and linear-independence constraints; *cuts*
+//!   (scalar dimensions distributing SCCs into separate loop nests) are
+//!   issued when the ILP fails or a fusion strategy demands them,
+//! * [`fusion`] — the [`FusionStrategy`] trait plus PLuTo's three baseline
+//!   models: `nofuse`, `maxfuse` and `smartfuse` (the default model the
+//!   paper compares against),
+//! * [`props`] — post-scheduling loop-property analysis (which loop
+//!   dimensions are parallel for which fused statement groups).
+//!
+//! The wisefuse strategy itself (the paper's contribution) lives in the
+//! `wf-wisefuse` crate and plugs in through [`FusionStrategy`].
+
+#![allow(clippy::needless_range_loop)] // index-style is clearer for matrix/tableau code
+#![warn(missing_docs)]
+
+pub mod farkas;
+pub mod fusion;
+pub mod pluto;
+pub mod props;
+pub mod transform;
+
+pub use fusion::{FusionStrategy, Maxfuse, Nofuse, Smartfuse};
+pub use pluto::{schedule_scop, PlutoConfig, SchedError, Transformed};
+pub use transform::{DimKind, Schedule, StmtRow};

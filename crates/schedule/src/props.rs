@@ -1,0 +1,101 @@
+//! Post-scheduling loop-property analysis: which loop dimensions are
+//! parallel for which fused statement groups.
+//!
+//! A loop dimension `d` is **parallel** for a group of statements fused at
+//! `d` (i.e. agreeing on every scalar dimension before `d`) iff no
+//! dependence between group members that is still unsatisfied before `d`
+//! is carried by `d` — that is, `φ_dst(t) − φ_src(s) ≡ 0` on the dependence
+//! polyhedron. If some dependence has a positive difference at `d`, the
+//! loop is a *forward-dependence* (pipelined) loop: legal but serial at the
+//! outer level, the situation wisefuse's Algorithm 2 exists to avoid.
+
+use crate::pluto::Transformed;
+use crate::transform::DimKind;
+use wf_deps::Ddg;
+use wf_linalg::Rat;
+use wf_polyhedra::poly::Extremum;
+use wf_scop::Scop;
+
+/// Parallelism classification of one loop dimension for one statement group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopProp {
+    /// No dependence carried: outer-parallel (communication-free).
+    Parallel,
+    /// Some dependence carried with non-negative distance: pipelined.
+    Forward,
+}
+
+/// Per-dimension, per-statement loop properties.
+///
+/// `props[d][s]` is `None` for scalar dimensions (and for statements whose
+/// row at `d` is irrelevant); `Some(prop)` classifies the loop that
+/// statement `s` shares with its group at dimension `d`.
+#[must_use]
+pub fn analyze(scop: &Scop, ddg: &Ddg, t: &Transformed) -> Vec<Vec<Option<LoopProp>>> {
+    let n = scop.n_statements();
+    let ndims = t.schedule.n_dims();
+    let mut props: Vec<Vec<Option<LoopProp>>> = vec![vec![None; n]; ndims];
+    for d in 0..ndims {
+        if t.schedule.dims[d] != DimKind::Loop {
+            continue;
+        }
+        // Group statements by the scalar values of all scalar dims before d.
+        let key = |s: usize| -> Vec<i128> {
+            (0..d)
+                .filter(|&k| t.schedule.dims[k] == DimKind::Scalar)
+                .map(|k| t.schedule.rows[k][s].konst)
+                .collect::<Vec<_>>()
+        };
+        let mut groups: std::collections::BTreeMap<Vec<i128>, Vec<usize>> = Default::default();
+        for s in 0..n {
+            groups.entry(key(s)).or_default().push(s);
+        }
+        for (_, members) in groups {
+            let set: std::collections::HashSet<usize> = members.iter().copied().collect();
+            let mut prop = LoopProp::Parallel;
+            for (e, edge) in ddg.edges.iter().enumerate() {
+                if !set.contains(&edge.src) || !set.contains(&edge.dst) {
+                    continue;
+                }
+                // Satisfied strictly before d (by an earlier dim)?
+                if matches!(t.sat_dim[e], Some(sd) if sd < d) {
+                    continue;
+                }
+                // Carried here (or live through here)?
+                let nv = edge.poly.n_vars();
+                let mut expr = vec![0i128; nv + 1];
+                let (sr, dr) =
+                    (&t.schedule.rows[d][edge.src], &t.schedule.rows[d][edge.dst]);
+                for k in 0..edge.src_depth {
+                    expr[k] -= sr.coeffs[k];
+                }
+                for k in 0..edge.dst_depth {
+                    expr[edge.src_depth + k] += dr.coeffs[k];
+                }
+                expr[nv] = dr.konst - sr.konst;
+                match edge.poly.max_affine(&expr) {
+                    Extremum::Value(v) if v <= Rat::ZERO => {}
+                    Extremum::Empty => {}
+                    _ => {
+                        prop = LoopProp::Forward;
+                        break;
+                    }
+                }
+            }
+            for &s in &members {
+                props[d][s] = Some(prop);
+            }
+        }
+    }
+    props
+}
+
+/// Convenience: is the outermost loop dimension parallel for every
+/// statement? (The paper's "coarse-grained parallelism preserved" check.)
+#[must_use]
+pub fn outer_parallel(props: &[Vec<Option<LoopProp>>], schedule: &crate::Schedule) -> bool {
+    let Some(first_loop) = schedule.dims.iter().position(|&k| k == DimKind::Loop) else {
+        return true;
+    };
+    props[first_loop].iter().all(|p| matches!(p, Some(LoopProp::Parallel) | None))
+}

@@ -1,0 +1,306 @@
+//! The statement-wise multi-dimensional affine transform.
+
+use wf_linalg::RatMat;
+
+/// Kind of one dimension of the multi-dimensional affine transform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DimKind {
+    /// A loop hyperplane: `φ_S(i) = c·i + c0`.
+    Loop,
+    /// A scalar dimension: constant per statement (a fusion partition).
+    Scalar,
+}
+
+/// One statement's one-dimensional affine transform `φ(i) = coeffs·i + konst`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StmtRow {
+    /// Iterator coefficients (length = statement depth).
+    pub coeffs: Vec<i128>,
+    /// Constant (shift for loop dims, partition number for scalar dims).
+    pub konst: i128,
+}
+
+impl StmtRow {
+    /// The all-zero row for a statement of the given depth.
+    #[must_use]
+    pub fn zero(depth: usize) -> StmtRow {
+        StmtRow { coeffs: vec![0; depth], konst: 0 }
+    }
+
+    /// A pure-constant row (scalar dimension value).
+    #[must_use]
+    pub fn scalar(depth: usize, value: i128) -> StmtRow {
+        StmtRow { coeffs: vec![0; depth], konst: value }
+    }
+
+    /// Evaluate at an iteration vector.
+    #[must_use]
+    pub fn eval(&self, iters: &[i128]) -> i128 {
+        debug_assert_eq!(iters.len(), self.coeffs.len());
+        self.coeffs.iter().zip(iters).map(|(&c, &i)| c * i).sum::<i128>() + self.konst
+    }
+
+    /// Is this row identically zero (including the constant)?
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.konst == 0 && self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+/// A complete schedule: for every dimension, one row per statement.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule {
+    /// Dimension kinds, outermost first.
+    pub dims: Vec<DimKind>,
+    /// `rows[d][s]` = statement `s`'s affine function at dimension `d`.
+    pub rows: Vec<Vec<StmtRow>>,
+}
+
+impl Schedule {
+    /// Empty schedule for `n_stmts` statements.
+    #[must_use]
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn n_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of statements (0 for an empty schedule).
+    #[must_use]
+    pub fn n_stmts(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Append a dimension.
+    pub fn push_dim(&mut self, kind: DimKind, rows: Vec<StmtRow>) {
+        if let Some(prev) = self.rows.first() {
+            assert_eq!(prev.len(), rows.len(), "statement count mismatch");
+        }
+        self.dims.push(kind);
+        self.rows.push(rows);
+    }
+
+    /// Remove and return the innermost dimension.
+    pub fn pop_dim(&mut self) -> Option<(DimKind, Vec<StmtRow>)> {
+        let kind = self.dims.pop()?;
+        Some((kind, self.rows.pop().expect("dims/rows in sync")))
+    }
+
+    /// The full schedule vector of a statement instance.
+    #[must_use]
+    pub fn apply(&self, stmt: usize, iters: &[i128]) -> Vec<i128> {
+        self.rows.iter().map(|level| level[stmt].eval(iters)).collect()
+    }
+
+    /// Indices of the `Loop` dimensions, outermost first.
+    #[must_use]
+    pub fn loop_dims(&self) -> Vec<usize> {
+        self.dims
+            .iter()
+            .enumerate()
+            .filter_map(|(d, &k)| (k == DimKind::Loop).then_some(d))
+            .collect()
+    }
+
+    /// Rank of the loop-coefficient rows of one statement (how many linearly
+    /// independent hyperplanes it already has).
+    #[must_use]
+    pub fn loop_rank(&self, stmt: usize, depth: usize) -> usize {
+        let rows: Vec<Vec<i128>> = self
+            .dims
+            .iter()
+            .zip(&self.rows)
+            .filter(|(k, _)| **k == DimKind::Loop)
+            .map(|(_, level)| level[stmt].coeffs.clone())
+            .collect();
+        if rows.is_empty() {
+            return 0;
+        }
+        debug_assert!(rows.iter().all(|r| r.len() == depth));
+        RatMat::from_int_rows(&rows).rank()
+    }
+
+    /// The loop-coefficient matrix of one statement (one row per loop dim).
+    #[must_use]
+    pub fn loop_matrix(&self, stmt: usize) -> Vec<Vec<i128>> {
+        self.dims
+            .iter()
+            .zip(&self.rows)
+            .filter(|(k, _)| **k == DimKind::Loop)
+            .map(|(_, level)| level[stmt].coeffs.clone())
+            .collect()
+    }
+
+    /// Top-level fusion partition of each statement: statements are in the
+    /// same partition iff they agree on every scalar dimension preceding the
+    /// first loop dimension. Partition ids are dense and follow schedule
+    /// order.
+    #[must_use]
+    pub fn top_level_partitions(&self) -> Vec<usize> {
+        let n = self.n_stmts();
+        let first_loop = self
+            .dims
+            .iter()
+            .position(|&k| k == DimKind::Loop)
+            .unwrap_or(self.dims.len());
+        let keys: Vec<Vec<i128>> = (0..n)
+            .map(|s| (0..first_loop).map(|d| self.rows[d][s].konst).collect())
+            .collect();
+        let mut uniq: Vec<Vec<i128>> = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        keys.iter()
+            .map(|k| uniq.binary_search(k).expect("key present"))
+            .collect()
+    }
+
+    /// Render the transform in the paper's `T(S) = (φ1, φ2, …)` style.
+    #[must_use]
+    pub fn render(&self, stmt_names: &[String]) -> String {
+        let mut out = String::new();
+        for (s, name) in stmt_names.iter().enumerate() {
+            out.push_str(&format!("T({name}) = ("));
+            for d in 0..self.n_dims() {
+                if d > 0 {
+                    out.push_str(", ");
+                }
+                let row = &self.rows[d][s];
+                match self.dims[d] {
+                    DimKind::Scalar => out.push_str(&row.konst.to_string()),
+                    DimKind::Loop => out.push_str(&render_affine(&row.coeffs, row.konst)),
+                }
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+}
+
+fn render_affine(coeffs: &[i128], konst: i128) -> String {
+    const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+    let mut s = String::new();
+    for (k, &c) in coeffs.iter().enumerate() {
+        let name = NAMES.get(k).copied().map_or_else(|| format!("i{k}"), String::from);
+        match c {
+            0 => {}
+            1 if s.is_empty() => s.push_str(&name),
+            1 => s.push_str(&format!("+{name}")),
+            -1 => s.push_str(&format!("-{name}")),
+            c if c > 0 && !s.is_empty() => s.push_str(&format!("+{c}{name}")),
+            c => s.push_str(&format!("{c}{name}")),
+        }
+    }
+    if konst != 0 || s.is_empty() {
+        if konst >= 0 && !s.is_empty() {
+            s.push('+');
+        }
+        s.push_str(&konst.to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_schedule() -> Schedule {
+        // Two statements, dims: [Scalar, Loop, Loop].
+        let mut sch = Schedule::new();
+        sch.push_dim(
+            DimKind::Scalar,
+            vec![StmtRow::scalar(2, 0), StmtRow::scalar(2, 1)],
+        );
+        sch.push_dim(
+            DimKind::Loop,
+            vec![
+                StmtRow { coeffs: vec![0, 1], konst: 0 }, // j (interchanged)
+                StmtRow { coeffs: vec![1, 0], konst: 0 }, // i
+            ],
+        );
+        sch.push_dim(
+            DimKind::Loop,
+            vec![
+                StmtRow { coeffs: vec![1, 0], konst: 0 },
+                StmtRow { coeffs: vec![0, 1], konst: 2 },
+            ],
+        );
+        sch
+    }
+
+    #[test]
+    fn apply_evaluates_all_dims() {
+        let sch = simple_schedule();
+        assert_eq!(sch.apply(0, &[3, 5]), vec![0, 5, 3]);
+        assert_eq!(sch.apply(1, &[3, 5]), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn loop_rank_counts_independent_rows() {
+        let sch = simple_schedule();
+        assert_eq!(sch.loop_rank(0, 2), 2);
+        let mut degenerate = Schedule::new();
+        degenerate.push_dim(DimKind::Loop, vec![StmtRow { coeffs: vec![1, 1], konst: 0 }]);
+        degenerate.push_dim(DimKind::Loop, vec![StmtRow { coeffs: vec![2, 2], konst: 1 }]);
+        assert_eq!(degenerate.loop_rank(0, 2), 1);
+    }
+
+    #[test]
+    fn top_level_partitions_group_by_scalar_prefix() {
+        let sch = simple_schedule();
+        assert_eq!(sch.top_level_partitions(), vec![0, 1]);
+
+        let mut fused = Schedule::new();
+        fused.push_dim(
+            DimKind::Scalar,
+            vec![StmtRow::scalar(1, 0), StmtRow::scalar(1, 0), StmtRow::scalar(1, 2)],
+        );
+        fused.push_dim(
+            DimKind::Loop,
+            vec![
+                StmtRow { coeffs: vec![1], konst: 0 },
+                StmtRow { coeffs: vec![1], konst: 0 },
+                StmtRow { coeffs: vec![1], konst: 0 },
+            ],
+        );
+        assert_eq!(fused.top_level_partitions(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn no_scalar_prefix_means_single_partition() {
+        let mut sch = Schedule::new();
+        sch.push_dim(
+            DimKind::Loop,
+            vec![StmtRow { coeffs: vec![1], konst: 0 }, StmtRow { coeffs: vec![1], konst: 0 }],
+        );
+        assert_eq!(sch.top_level_partitions(), vec![0, 0]);
+    }
+
+    #[test]
+    fn pop_dim_roundtrip() {
+        let mut sch = simple_schedule();
+        let n = sch.n_dims();
+        let (kind, rows) = sch.pop_dim().unwrap();
+        assert_eq!(kind, DimKind::Loop);
+        sch.push_dim(kind, rows);
+        assert_eq!(sch.n_dims(), n);
+    }
+
+    #[test]
+    fn render_shows_interchange_and_shift() {
+        let sch = simple_schedule();
+        let text = sch.render(&["S1".into(), "S2".into()]);
+        assert!(text.contains("T(S1) = (0, j, i)"), "got {text}");
+        assert!(text.contains("T(S2) = (1, i, j+2)"), "got {text}");
+    }
+
+    #[test]
+    fn zero_and_scalar_rows() {
+        assert!(StmtRow::zero(3).is_zero());
+        assert!(!StmtRow::scalar(3, 1).is_zero());
+        assert_eq!(StmtRow::scalar(2, 7).eval(&[100, 200]), 7);
+    }
+}

@@ -1,0 +1,145 @@
+//! Unit tests for the loop-property analysis and fusion-helper functions.
+
+use wf_deps::analyze;
+use wf_schedule::fusion::{dfs_order, program_order};
+use wf_schedule::props::{self, LoopProp};
+use wf_schedule::{schedule_scop, Maxfuse, Nofuse, PlutoConfig};
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+
+/// Carried recurrence: its loop must classify as Forward under any model.
+fn recurrence() -> Scop {
+    let mut b = ScopBuilder::new("rec", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0) - 1])
+        .rhs(Expr::add(Expr::Load(0), Expr::Const(1.0)))
+        .done();
+    b.build()
+}
+
+#[test]
+fn recurrence_loop_is_forward() {
+    let scop = recurrence();
+    let ddg = analyze(&scop);
+    let t = schedule_scop(&scop, &ddg, &Nofuse, &PlutoConfig::default()).unwrap();
+    let p = props::analyze(&scop, &ddg, &t);
+    let d = t.schedule.loop_dims()[0];
+    assert_eq!(p[d][0], Some(LoopProp::Forward));
+    assert!(!props::outer_parallel(&p, &t.schedule));
+}
+
+/// A 2-D statement whose recurrence is only on the inner axis: outer stays
+/// parallel.
+#[test]
+fn outer_parallel_inner_forward() {
+    let mut b = ScopBuilder::new("mix", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    b.stmt("S0", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::konst(1), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(1) - 1])
+        .rhs(Expr::add(Expr::Load(0), Expr::Const(1.0)))
+        .done();
+    let scop = b.build();
+    let ddg = analyze(&scop);
+    let t = schedule_scop(&scop, &ddg, &Maxfuse, &PlutoConfig::default()).unwrap();
+    let p = props::analyze(&scop, &ddg, &t);
+    let dims = t.schedule.loop_dims();
+    assert_eq!(p[dims[0]][0], Some(LoopProp::Parallel), "outer parallel");
+    assert_eq!(p[dims[1]][0], Some(LoopProp::Forward), "inner carries");
+    assert!(props::outer_parallel(&p, &t.schedule));
+}
+
+/// Scalar dimensions never get a loop property.
+#[test]
+fn scalar_dims_have_no_props() {
+    let scop = recurrence();
+    let ddg = analyze(&scop);
+    let t = schedule_scop(&scop, &ddg, &Nofuse, &PlutoConfig::default()).unwrap();
+    let p = props::analyze(&scop, &ddg, &t);
+    for (d, kind) in t.schedule.dims.iter().enumerate() {
+        if *kind == wf_schedule::DimKind::Scalar {
+            assert!(p[d].iter().all(Option::is_none), "dim {d}");
+        }
+    }
+}
+
+/// program_order is the identity on canonical SCC ids; dfs_order is always
+/// a permutation.
+#[test]
+fn order_helpers_are_permutations() {
+    let mut b = ScopBuilder::new("t", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0)]);
+    let d = b.array("D", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .rhs(Expr::Const(1.0))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[Aff::iter(0)])
+        .rhs(Expr::Const(2.0))
+        .done();
+    b.stmt("S2", 1, &[2, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(d, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0)])
+        .rhs(Expr::Load(0))
+        .done();
+    let scop = b.build();
+    let ddg = analyze(&scop);
+    let sccs = wf_deps::tarjan(&ddg);
+    assert_eq!(program_order(&sccs), vec![0, 1, 2]);
+    let mut dfs = dfs_order(&ddg, &sccs);
+    dfs.sort_unstable();
+    assert_eq!(dfs, vec![0, 1, 2]);
+}
+
+/// Bands: consecutive loop dims of a deep nest share a band; a cut breaks
+/// the band.
+#[test]
+fn band_structure_breaks_at_cuts() {
+    let mut b = ScopBuilder::new("bands", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0), Aff::param(0)]);
+    let r = b.array("r", &[Aff::param(0)]);
+    b.stmt("S0", 2, &[0, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0), Aff::iter(1)])
+        .rhs(Expr::Const(1.0))
+        .done();
+    // Different dimensionality: forces a cut under Nofuse anyway.
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(r, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0), Aff::zero()])
+        .rhs(Expr::Load(0))
+        .done();
+    b.stmt("S2", 2, &[2, 0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .bounds(1, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[Aff::iter(0), Aff::iter(1)])
+        .read(a, &[Aff::iter(0), Aff::iter(1)])
+        .rhs(Expr::Load(0))
+        .done();
+    let scop = b.build();
+    let ddg = analyze(&scop);
+    let t = schedule_scop(&scop, &ddg, &Nofuse, &PlutoConfig::default()).unwrap();
+    // Every Loop dim belongs to a band; scalar dims to none.
+    for (d, kind) in t.schedule.dims.iter().enumerate() {
+        match kind {
+            wf_schedule::DimKind::Loop => assert!(t.band_of_dim[d].is_some(), "dim {d}"),
+            wf_schedule::DimKind::Scalar => assert!(t.band_of_dim[d].is_none(), "dim {d}"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Affine expression builder.
+//!
+//! An [`Aff`] is an affine function of a statement's iterators and the SCoP
+//! parameters: `Σ a_k·i_k + Σ b_j·p_j + c`. The builder overloads `+`, `-`
+//! and integer scaling so kernels read naturally:
+//!
+//! ```
+//! use wf_scop::Aff;
+//! // i + j - N + 1   (for a statement with 2 iterators, 1 parameter)
+//! let e = Aff::iter(0) + Aff::iter(1) - Aff::param(0) + Aff::konst(1);
+//! assert_eq!(e.row(2, 1), vec![1, 1, -1, 1]);
+//! ```
+
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A sparse affine expression over iterators and parameters.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Aff {
+    iters: BTreeMap<usize, i128>,
+    params: BTreeMap<usize, i128>,
+    konst: i128,
+}
+
+impl Aff {
+    /// The zero expression.
+    #[must_use]
+    pub fn zero() -> Aff {
+        Aff::default()
+    }
+
+    /// The iterator variable `i_k` (0-based).
+    #[must_use]
+    pub fn iter(k: usize) -> Aff {
+        let mut a = Aff::default();
+        a.iters.insert(k, 1);
+        a
+    }
+
+    /// The parameter `p_j` (0-based).
+    #[must_use]
+    pub fn param(j: usize) -> Aff {
+        let mut a = Aff::default();
+        a.params.insert(j, 1);
+        a
+    }
+
+    /// The constant `c`.
+    #[must_use]
+    pub fn konst(c: i128) -> Aff {
+        Aff { konst: c, ..Aff::default() }
+    }
+
+    /// Coefficient of iterator `k`.
+    #[must_use]
+    pub fn iter_coeff(&self, k: usize) -> i128 {
+        self.iters.get(&k).copied().unwrap_or(0)
+    }
+
+    /// Coefficient of parameter `j`.
+    #[must_use]
+    pub fn param_coeff(&self, j: usize) -> i128 {
+        self.params.get(&j).copied().unwrap_or(0)
+    }
+
+    /// The constant term.
+    #[must_use]
+    pub fn constant(&self) -> i128 {
+        self.konst
+    }
+
+    /// Highest iterator index mentioned (for arity checks).
+    #[must_use]
+    pub fn max_iter(&self) -> Option<usize> {
+        self.iters.iter().rev().find(|(_, &c)| c != 0).map(|(&k, _)| k)
+    }
+
+    /// Highest parameter index mentioned.
+    #[must_use]
+    pub fn max_param(&self) -> Option<usize> {
+        self.params.iter().rev().find(|(_, &c)| c != 0).map(|(&k, _)| k)
+    }
+
+    /// Dense row `(iter coeffs…, param coeffs…, constant)` for a statement
+    /// with `depth` iterators and `n_params` parameters.
+    ///
+    /// # Panics
+    /// Panics if the expression mentions an out-of-range iterator/parameter.
+    #[must_use]
+    pub fn row(&self, depth: usize, n_params: usize) -> Vec<i128> {
+        let mut row = vec![0i128; depth + n_params + 1];
+        for (&k, &c) in &self.iters {
+            assert!(k < depth, "Aff::row: iterator i{k} out of range (depth {depth})");
+            row[k] = c;
+        }
+        for (&j, &c) in &self.params {
+            assert!(j < n_params, "Aff::row: parameter p{j} out of range ({n_params} params)");
+            row[depth + j] = c;
+        }
+        row[depth + n_params] = self.konst;
+        row
+    }
+
+    /// Evaluate at concrete iterator and parameter values.
+    #[must_use]
+    pub fn eval(&self, iters: &[i128], params: &[i128]) -> i128 {
+        let mut v = self.konst;
+        for (&k, &c) in &self.iters {
+            v += c * iters[k];
+        }
+        for (&j, &c) in &self.params {
+            v += c * params[j];
+        }
+        v
+    }
+}
+
+impl Add for Aff {
+    type Output = Aff;
+    fn add(mut self, rhs: Aff) -> Aff {
+        for (k, c) in rhs.iters {
+            *self.iters.entry(k).or_insert(0) += c;
+        }
+        for (j, c) in rhs.params {
+            *self.params.entry(j).or_insert(0) += c;
+        }
+        self.konst += rhs.konst;
+        self
+    }
+}
+
+impl Sub for Aff {
+    type Output = Aff;
+    fn sub(self, rhs: Aff) -> Aff {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Aff {
+    type Output = Aff;
+    fn neg(mut self) -> Aff {
+        for c in self.iters.values_mut() {
+            *c = -*c;
+        }
+        for c in self.params.values_mut() {
+            *c = -*c;
+        }
+        self.konst = -self.konst;
+        self
+    }
+}
+
+impl Mul<i128> for Aff {
+    type Output = Aff;
+    fn mul(mut self, s: i128) -> Aff {
+        for c in self.iters.values_mut() {
+            *c *= s;
+        }
+        for c in self.params.values_mut() {
+            *c *= s;
+        }
+        self.konst *= s;
+        self
+    }
+}
+
+impl Add<i128> for Aff {
+    type Output = Aff;
+    fn add(self, c: i128) -> Aff {
+        self + Aff::konst(c)
+    }
+}
+
+impl Sub<i128> for Aff {
+    type Output = Aff;
+    fn sub(self, c: i128) -> Aff {
+        self - Aff::konst(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_row() {
+        let e = Aff::iter(0) * 2 - Aff::iter(1) + Aff::param(0) - 3;
+        assert_eq!(e.row(2, 1), vec![2, -1, 1, -3]);
+    }
+
+    #[test]
+    fn eval_matches_row_dot() {
+        let e = Aff::iter(1) + Aff::param(0) * 4 + 7;
+        assert_eq!(e.eval(&[10, 20], &[5]), 20 + 20 + 7);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = Aff::iter(0) + 1;
+        let b = Aff::iter(0) - 1;
+        assert_eq!((a.clone() + b.clone()).row(1, 0), vec![2, 0]);
+        assert_eq!((a - b).row(1, 0), vec![0, 2]);
+        assert_eq!((-Aff::iter(0)).row(1, 0), vec![-1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_checks_arity() {
+        let _ = Aff::iter(3).row(2, 0);
+    }
+
+    #[test]
+    fn max_indices() {
+        let e = Aff::iter(2) + Aff::param(1);
+        assert_eq!(e.max_iter(), Some(2));
+        assert_eq!(e.max_param(), Some(1));
+        assert_eq!(Aff::konst(5).max_iter(), None);
+        // Cancelled coefficients don't count.
+        let z = Aff::iter(4) - Aff::iter(4);
+        assert_eq!(z.max_iter(), None);
+    }
+}

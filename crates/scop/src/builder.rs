@@ -1,0 +1,251 @@
+//! The kernel builder DSL.
+//!
+//! Benchmarks encode their loop nests with this builder rather than a C
+//! parser. Example — a 1-D relaxation statement:
+//!
+//! ```
+//! use wf_scop::{Aff, Expr, ScopBuilder};
+//! let mut b = ScopBuilder::new("relax", &["N"]);
+//! b.context_ge(Aff::param(0) - 4);                    // N >= 4
+//! let a = b.array("A", &[Aff::param(0)]);
+//! let out = b.array("B", &[Aff::param(0)]);
+//! b.stmt("S0", 1, &[0, 0])
+//!     .bounds(0, Aff::konst(1), Aff::param(0) - 2)    // 1 <= i <= N-2
+//!     .write(out, &[Aff::iter(0)])
+//!     .read(a, &[Aff::iter(0) - 1])
+//!     .read(a, &[Aff::iter(0) + 1])
+//!     .rhs(Expr::mul(Expr::Const(0.5),
+//!          Expr::add(Expr::Load(0), Expr::Load(1))))
+//!     .done();
+//! let scop = b.build();
+//! assert_eq!(scop.n_statements(), 1);
+//! ```
+
+use crate::aff::Aff;
+use crate::expr::Expr;
+use crate::scop::{Access, ArrayDecl, Scop, Statement};
+use wf_polyhedra::ConstraintSystem;
+
+/// Incrementally builds a [`Scop`].
+pub struct ScopBuilder {
+    name: String,
+    params: Vec<String>,
+    context: ConstraintSystem,
+    arrays: Vec<ArrayDecl>,
+    statements: Vec<Statement>,
+}
+
+impl ScopBuilder {
+    /// Start a SCoP with the given parameter names.
+    #[must_use]
+    pub fn new(name: &str, params: &[&str]) -> ScopBuilder {
+        ScopBuilder {
+            name: name.to_string(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            context: ConstraintSystem::new(params.len()),
+            arrays: Vec::new(),
+            statements: Vec::new(),
+        }
+    }
+
+    /// Add a parameter-context constraint `aff >= 0` (aff over params only).
+    pub fn context_ge(&mut self, aff: Aff) -> &mut Self {
+        assert!(aff.max_iter().is_none(), "context constraints cannot use iterators");
+        self.context.add_ge0(aff.row(0, self.params.len()));
+        self
+    }
+
+    /// Declare an array with the given per-dimension extents (affine in the
+    /// parameters). Returns its index for use in accesses.
+    pub fn array(&mut self, name: &str, dims: &[Aff]) -> usize {
+        assert!(
+            self.arrays.iter().all(|a| a.name != name),
+            "duplicate array {name}"
+        );
+        let np = self.params.len();
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            dims: dims.iter().map(|a| a.row(0, np)).collect(),
+        });
+        self.arrays.len() - 1
+    }
+
+    /// Declare a scalar (0-dimensional array).
+    pub fn scalar(&mut self, name: &str) -> usize {
+        self.array(name, &[])
+    }
+
+    /// Begin a statement with `depth` enclosing loops at syntactic position
+    /// `beta` (length `depth + 1`).
+    pub fn stmt(&mut self, name: &str, depth: usize, beta: &[usize]) -> StmtBuilder<'_> {
+        assert_eq!(beta.len(), depth + 1, "beta must have depth+1 entries");
+        let np = self.params.len();
+        StmtBuilder {
+            parent: self,
+            stmt: Statement {
+                name: name.to_string(),
+                depth,
+                domain: ConstraintSystem::new(depth + np),
+                beta: beta.to_vec(),
+                write: Access { array: usize::MAX, map: Vec::new() },
+                reads: Vec::new(),
+                rhs: Expr::Const(0.0),
+            },
+        }
+    }
+
+    /// Finish, validate and return the SCoP.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic list if validation fails — kernels are
+    /// compiled-in test fixtures, so failing loudly is right.
+    #[must_use]
+    pub fn build(self) -> Scop {
+        let scop = Scop {
+            name: self.name,
+            params: self.params,
+            context: self.context,
+            arrays: self.arrays,
+            statements: self.statements,
+        };
+        let errs = scop.validate();
+        assert!(errs.is_empty(), "invalid SCoP {}: {:#?}", scop.name, errs);
+        scop
+    }
+}
+
+/// Builds one [`Statement`]; created by [`ScopBuilder::stmt`].
+pub struct StmtBuilder<'a> {
+    parent: &'a mut ScopBuilder,
+    stmt: Statement,
+}
+
+impl StmtBuilder<'_> {
+    /// Constrain iterator `k` to `lo <= i_k <= hi`.
+    #[must_use]
+    pub fn bounds(mut self, k: usize, lo: Aff, hi: Aff) -> Self {
+        let np = self.parent.params.len();
+        let d = self.stmt.depth;
+        self.stmt.domain.add_ge0((Aff::iter(k) - lo).row(d, np));
+        self.stmt.domain.add_ge0((hi - Aff::iter(k)).row(d, np));
+        self
+    }
+
+    /// Add an arbitrary domain constraint `aff >= 0`.
+    #[must_use]
+    pub fn domain_ge(mut self, aff: Aff) -> Self {
+        let np = self.parent.params.len();
+        self.stmt.domain.add_ge0(aff.row(self.stmt.depth, np));
+        self
+    }
+
+    /// Set the write access (exactly one per statement).
+    #[must_use]
+    pub fn write(mut self, array: usize, subs: &[Aff]) -> Self {
+        assert_eq!(self.stmt.write.array, usize::MAX, "write set twice");
+        self.stmt.write = self.access(array, subs);
+        self
+    }
+
+    /// Append a read access; the `k`-th call corresponds to `Expr::Load(k)`.
+    #[must_use]
+    pub fn read(mut self, array: usize, subs: &[Aff]) -> Self {
+        let acc = self.access(array, subs);
+        self.stmt.reads.push(acc);
+        self
+    }
+
+    /// Set the right-hand-side expression.
+    #[must_use]
+    pub fn rhs(mut self, e: Expr) -> Self {
+        self.stmt.rhs = e;
+        self
+    }
+
+    /// Finish the statement and hand control back to the SCoP builder.
+    pub fn done(self) {
+        assert_ne!(self.stmt.write.array, usize::MAX, "{}: no write access", self.stmt.name);
+        self.parent.statements.push(self.stmt);
+    }
+
+    fn access(&self, array: usize, subs: &[Aff]) -> Access {
+        let np = self.parent.params.len();
+        Access {
+            array,
+            map: subs.iter().map(|a| a.row(self.stmt.depth, np)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_scop() {
+        let mut b = ScopBuilder::new("k", &["N", "M"]);
+        b.context_ge(Aff::param(0) - 2);
+        b.context_ge(Aff::param(1) - 2);
+        let a = b.array("A", &[Aff::param(0), Aff::param(1)]);
+        let c = b.array("C", &[Aff::param(0)]);
+        b.stmt("S0", 2, &[0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(1) - 1)
+            .write(a, &[Aff::iter(0), Aff::iter(1)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0), Aff::zero()])
+            .rhs(Expr::Load(0))
+            .done();
+        let s = b.build();
+        assert_eq!(s.n_statements(), 2);
+        assert_eq!(s.statements[0].depth, 2);
+        assert_eq!(s.arrays.len(), 2);
+        assert_eq!(s.common_loops(0, 1), 0);
+    }
+
+    #[test]
+    fn domain_membership_matches_bounds() {
+        let mut b = ScopBuilder::new("k", &["N"]);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::konst(2), Aff::param(0) - 3)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(0.0))
+            .done();
+        let s = b.build();
+        let d = &s.statements[0].domain;
+        // (i, N)
+        assert!(d.contains(&[2, 10]));
+        assert!(d.contains(&[7, 10]));
+        assert!(!d.contains(&[1, 10]));
+        assert!(!d.contains(&[8, 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no write access")]
+    fn missing_write_panics() {
+        let mut b = ScopBuilder::new("k", &[]);
+        b.stmt("S0", 0, &[0]).rhs(Expr::Const(0.0)).done();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate array")]
+    fn duplicate_array_panics() {
+        let mut b = ScopBuilder::new("k", &[]);
+        let _ = b.array("A", &[]);
+        let _ = b.array("A", &[]);
+    }
+
+    #[test]
+    fn scalar_declaration() {
+        let mut b = ScopBuilder::new("k", &[]);
+        let s = b.scalar("t");
+        b.stmt("S0", 0, &[0]).write(s, &[]).rhs(Expr::Const(3.0)).done();
+        let scop = b.build();
+        assert!(scop.arrays[0].dims.is_empty());
+    }
+}

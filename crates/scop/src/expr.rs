@@ -1,0 +1,145 @@
+//! Statement right-hand-side expression trees.
+//!
+//! Bodies are kept deliberately small: enough arithmetic to express the
+//! paper's kernels (stencils, BLAS-like updates, boundary copies) while
+//! staying trivially interpretable by the runtime.
+
+/// A scalar expression evaluated by the executor for each statement instance.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Value of the statement's `k`-th **read** access.
+    Load(usize),
+    /// A floating-point literal.
+    Const(f64),
+    /// Current value of iterator `k` (as f64) — used by init statements.
+    Iter(usize),
+    /// Value of parameter `j` (as f64).
+    Param(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient.
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Square root (used by a few scientific kernels).
+    Sqrt(Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // constructors, not operator impls
+impl Expr {
+    /// `a + b`
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`
+    #[must_use]
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// `-a`
+    #[must_use]
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+
+    /// Sum of several terms (empty sum is 0.0).
+    #[must_use]
+    pub fn sum(terms: Vec<Expr>) -> Expr {
+        terms
+            .into_iter()
+            .reduce(Expr::add)
+            .unwrap_or(Expr::Const(0.0))
+    }
+
+    /// Largest `Load` index mentioned, for validation against the statement's
+    /// read-access list.
+    #[must_use]
+    pub fn max_load(&self) -> Option<usize> {
+        match self {
+            Expr::Load(k) => Some(*k),
+            Expr::Const(_) | Expr::Iter(_) | Expr::Param(_) => None,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                match (a.max_load(), b.max_load()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            Expr::Neg(a) | Expr::Sqrt(a) => a.max_load(),
+        }
+    }
+
+    /// Evaluate given the loaded read values, iterator values and parameters.
+    #[must_use]
+    pub fn eval(&self, loads: &[f64], iters: &[i128], params: &[i128]) -> f64 {
+        match self {
+            Expr::Load(k) => loads[*k],
+            Expr::Const(c) => *c,
+            Expr::Iter(k) => iters[*k] as f64,
+            Expr::Param(j) => params[*j] as f64,
+            Expr::Add(a, b) => a.eval(loads, iters, params) + b.eval(loads, iters, params),
+            Expr::Sub(a, b) => a.eval(loads, iters, params) - b.eval(loads, iters, params),
+            Expr::Mul(a, b) => a.eval(loads, iters, params) * b.eval(loads, iters, params),
+            Expr::Div(a, b) => a.eval(loads, iters, params) / b.eval(loads, iters, params),
+            Expr::Neg(a) => -a.eval(loads, iters, params),
+            Expr::Sqrt(a) => a.eval(loads, iters, params).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic() {
+        // (l0 + 2) * l1 - i0
+        let e = Expr::sub(
+            Expr::mul(Expr::add(Expr::Load(0), Expr::Const(2.0)), Expr::Load(1)),
+            Expr::Iter(0),
+        );
+        assert_eq!(e.eval(&[3.0, 4.0], &[5], &[]), 15.0);
+    }
+
+    #[test]
+    fn eval_params_and_funcs() {
+        let e = Expr::Sqrt(Box::new(Expr::Param(0)));
+        assert_eq!(e.eval(&[], &[], &[16]), 4.0);
+        let d = Expr::div(Expr::Const(1.0), Expr::Const(4.0));
+        assert_eq!(d.eval(&[], &[], &[]), 0.25);
+        let n = Expr::neg(Expr::Const(2.0));
+        assert_eq!(n.eval(&[], &[], &[]), -2.0);
+    }
+
+    #[test]
+    fn sum_helper() {
+        let e = Expr::sum(vec![Expr::Const(1.0), Expr::Const(2.0), Expr::Const(3.0)]);
+        assert_eq!(e.eval(&[], &[], &[]), 6.0);
+        assert_eq!(Expr::sum(vec![]).eval(&[], &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn max_load_scan() {
+        let e = Expr::mul(Expr::Load(2), Expr::add(Expr::Load(0), Expr::Const(1.0)));
+        assert_eq!(e.max_load(), Some(2));
+        assert_eq!(Expr::Const(0.0).max_load(), None);
+    }
+}

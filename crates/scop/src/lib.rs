@@ -1,0 +1,44 @@
+//! Static Control Part (SCoP) intermediate representation.
+//!
+//! The polyhedral framework operates on SCoPs: maximal program regions whose
+//! loop bounds, conditionals and array subscripts are affine functions of the
+//! surrounding loop iterators and runtime parameters. This crate provides
+//!
+//! * [`Aff`] — a small algebra for building affine expressions over a
+//!   statement's iterators, the SCoP parameters and a constant,
+//! * [`Expr`] — statement right-hand-side expression trees (what the
+//!   interpreting executor evaluates),
+//! * [`Statement`], [`Access`], [`Scop`] — the statement-centric program
+//!   representation with exact iteration domains and affine access functions,
+//! * [`builder::ScopBuilder`] — the DSL with which the benchmark suite
+//!   encodes its kernels (we deliberately do not parse C/Fortran: the paper's
+//!   frontend, ROSE/PolyOpt, is orthogonal to the fusion contribution).
+//!
+//! ## Variable-space convention
+//!
+//! Every per-statement [`wf_polyhedra::ConstraintSystem`] (domain) ranges
+//! over `depth` iterator variables followed by `n_params` parameter
+//! variables, i.e. columns are `(i_1 … i_d, p_1 … p_m, 1)`.
+//!
+//! ## Original schedule
+//!
+//! Each statement carries a *beta* vector of `depth + 1` syntactic positions
+//! (the classic 2d+1 representation): `beta[k]` is the statement's position
+//! among its siblings under loop level `k`. Two statements share their
+//! outermost `c` loops exactly when their betas agree on the first `c`
+//! entries.
+
+#![allow(clippy::needless_range_loop)] // index-style is clearer for matrix/tableau code
+#![warn(missing_docs)]
+
+pub mod aff;
+pub mod builder;
+pub mod expr;
+pub mod pretty;
+pub mod scop;
+pub mod text;
+
+pub use aff::Aff;
+pub use builder::{ScopBuilder, StmtBuilder};
+pub use expr::Expr;
+pub use scop::{Access, AccessKind, ArrayDecl, Scop, Statement};

@@ -1,0 +1,187 @@
+//! Pseudo-C pretty printing of the *original* (untransformed) program, used
+//! by the figure harnesses to show source kernels the way the paper does.
+
+use crate::scop::{Scop, Statement};
+use crate::Expr;
+
+/// Render the SCoP as indented pseudo-C in original program order.
+///
+/// Loop structure is reconstructed from the beta vectors: statements sharing
+/// a beta prefix share the corresponding loops.
+#[must_use]
+pub fn render_original(scop: &Scop) -> String {
+    let mut out = String::new();
+    let mut open: Vec<usize> = Vec::new(); // open loop levels' beta prefix
+    for s in &scop.statements {
+        let shared = shared_prefix(&open, &s.beta, s.depth);
+        while open.len() > shared {
+            open.pop();
+            indent(&mut out, open.len());
+            out.push_str("}\n");
+        }
+        while open.len() < s.depth {
+            let lvl = open.len();
+            indent(&mut out, lvl);
+            out.push_str(&format!("for ({}) {{\n", iter_name(lvl)));
+            open.push(s.beta[lvl]);
+        }
+        indent(&mut out, s.depth);
+        out.push_str(&format!("{}: {}\n", s.name, render_stmt(scop, s)));
+        // Record current beta prefix for sharing checks.
+        open.clear();
+        open.extend_from_slice(&s.beta[..s.depth]);
+    }
+    for lvl in (0..open.len()).rev() {
+        indent(&mut out, lvl);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn shared_prefix(open: &[usize], beta: &[usize], depth: usize) -> usize {
+    let mut k = 0;
+    while k < open.len() && k < depth && open[k] == beta[k] {
+        k += 1;
+    }
+    k
+}
+
+fn indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn iter_name(lvl: usize) -> String {
+    const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+    NAMES.get(lvl).map_or_else(|| format!("i{lvl}"), |s| (*s).to_string())
+}
+
+/// Render `A[i][j] = rhs;` for one statement.
+#[must_use]
+pub fn render_stmt(scop: &Scop, s: &Statement) -> String {
+    let lhs = render_access(scop, s, s.write.array, &s.write.map);
+    format!("{lhs} = {};", render_expr(scop, s, &s.rhs))
+}
+
+fn render_access(scop: &Scop, s: &Statement, array: usize, map: &[Vec<i128>]) -> String {
+    let mut out = scop.arrays[array].name.clone();
+    for row in map {
+        out.push('[');
+        out.push_str(&render_affine_row(scop, s, row));
+        out.push(']');
+    }
+    out
+}
+
+fn render_affine_row(scop: &Scop, s: &Statement, row: &[i128]) -> String {
+    let mut terms = Vec::new();
+    for (k, &c) in row[..s.depth].iter().enumerate() {
+        push_term(&mut terms, c, &iter_name(k));
+    }
+    for (j, &c) in row[s.depth..s.depth + scop.n_params()].iter().enumerate() {
+        push_term(&mut terms, c, &scop.params[j]);
+    }
+    let konst = row[s.depth + scop.n_params()];
+    if konst != 0 || terms.is_empty() {
+        terms.push(if terms.is_empty() || konst < 0 {
+            format!("{konst}")
+        } else {
+            format!("+{konst}")
+        });
+    }
+    terms.join("")
+}
+
+fn push_term(terms: &mut Vec<String>, c: i128, name: &str) {
+    match c {
+        0 => {}
+        1 => terms.push(if terms.is_empty() { name.to_string() } else { format!("+{name}") }),
+        -1 => terms.push(format!("-{name}")),
+        c if c > 0 && !terms.is_empty() => terms.push(format!("+{c}*{name}")),
+        c => terms.push(format!("{c}*{name}")),
+    }
+}
+
+fn render_expr(scop: &Scop, s: &Statement, e: &Expr) -> String {
+    match e {
+        Expr::Load(k) => {
+            let a = &s.reads[*k];
+            render_access(scop, s, a.array, &a.map)
+        }
+        Expr::Const(c) => format!("{c}"),
+        Expr::Iter(k) => iter_name(*k),
+        Expr::Param(j) => scop.params[*j].clone(),
+        Expr::Add(a, b) => format!("({} + {})", render_expr(scop, s, a), render_expr(scop, s, b)),
+        Expr::Sub(a, b) => format!("({} - {})", render_expr(scop, s, a), render_expr(scop, s, b)),
+        Expr::Mul(a, b) => format!("{}*{}", render_expr(scop, s, a), render_expr(scop, s, b)),
+        Expr::Div(a, b) => format!("{}/{}", render_expr(scop, s, a), render_expr(scop, s, b)),
+        Expr::Neg(a) => format!("-{}", render_expr(scop, s, a)),
+        Expr::Sqrt(a) => format!("sqrt({})", render_expr(scop, s, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aff, ScopBuilder};
+
+    #[test]
+    fn renders_two_nests() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        let a = b.array("A", &[Aff::param(0)]);
+        let c = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0) + 1])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        let s = b.build();
+        let text = render_original(&s);
+        assert!(text.contains("S0: A[i] = 1;"), "got:\n{text}");
+        assert!(text.contains("S1: B[i+1] = A[i];"), "got:\n{text}");
+        // Two separate loops -> two closing braces.
+        assert_eq!(text.matches("for (i)").count(), 2);
+    }
+
+    #[test]
+    fn renders_fused_statements_in_one_loop() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        let a = b.array("A", &[Aff::param(0)]);
+        let c = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        b.stmt("S1", 1, &[0, 1])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0)])
+            .rhs(Expr::Const(2.0))
+            .done();
+        let s = b.build();
+        let text = render_original(&s);
+        assert_eq!(text.matches("for (i)").count(), 1, "got:\n{text}");
+    }
+
+    #[test]
+    fn affine_row_rendering() {
+        let mut b = ScopBuilder::new("t", &["N"]);
+        let a = b.array("A", &[Aff::param(0), Aff::param(0)]);
+        b.stmt("S0", 2, &[0, 0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .bounds(1, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0) * 2 - 1, Aff::param(0) - Aff::iter(1)])
+            .rhs(Expr::Const(0.0))
+            .done();
+        let s = b.build();
+        let text = render_stmt(&s, &s.statements[0]);
+        assert!(text.contains("A[2*i-1][-j+N]"), "got: {text}");
+    }
+}

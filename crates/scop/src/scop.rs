@@ -1,0 +1,333 @@
+//! The statement-centric SCoP representation.
+
+use crate::expr::Expr;
+use wf_polyhedra::ConstraintSystem;
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessKind {
+    /// The access reads memory.
+    Read,
+    /// The access writes memory.
+    Write,
+}
+
+/// An affine array access `A[f_1(i,p), …, f_r(i,p)]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Index into [`Scop::arrays`].
+    pub array: usize,
+    /// One row per array dimension; each row is a dense affine function over
+    /// `(iters…, params…, 1)` like [`crate::Aff::row`] produces.
+    pub map: Vec<Vec<i128>>,
+}
+
+impl Access {
+    /// Evaluate the subscript functions at concrete iterators/parameters.
+    #[must_use]
+    pub fn eval(&self, iters: &[i128], params: &[i128]) -> Vec<i128> {
+        self.map
+            .iter()
+            .map(|row| {
+                let mut v = *row.last().unwrap();
+                let (icoefs, rest) = row.split_at(iters.len());
+                for (c, x) in icoefs.iter().zip(iters) {
+                    v += c * x;
+                }
+                for (c, x) in rest[..params.len()].iter().zip(params) {
+                    v += c * x;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// An array (or scalar, with zero dimensions) declared by the SCoP.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayDecl {
+    /// Array name (unique within the SCoP).
+    pub name: String,
+    /// Extent per dimension as an affine function of the parameters
+    /// (`n_params + 1` coefficients each). A scalar has no dimensions.
+    pub dims: Vec<Vec<i128>>,
+}
+
+impl ArrayDecl {
+    /// Concrete extents for given parameter values.
+    #[must_use]
+    pub fn extents(&self, params: &[i128]) -> Vec<usize> {
+        self.dims
+            .iter()
+            .map(|row| {
+                let mut v = *row.last().unwrap();
+                for (c, p) in row[..params.len()].iter().zip(params) {
+                    v += c * p;
+                }
+                usize::try_from(v).expect("negative array extent")
+            })
+            .collect()
+    }
+}
+
+/// One program statement.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Statement {
+    /// Display name, e.g. `"S1"`.
+    pub name: String,
+    /// Number of enclosing loops (the statement's *dimensionality* in the
+    /// paper's terminology).
+    pub depth: usize,
+    /// Iteration domain over `(iters…, params…)`.
+    pub domain: ConstraintSystem,
+    /// Syntactic position vector of length `depth + 1` (2d+1 encoding);
+    /// `beta[k]` is the statement's position among siblings at loop level
+    /// `k`. Betas define the original program order.
+    pub beta: Vec<usize>,
+    /// The single write access (left-hand side).
+    pub write: Access,
+    /// Read accesses; `Expr::Load(k)` refers to `reads[k]`.
+    pub reads: Vec<Access>,
+    /// Right-hand-side expression.
+    pub rhs: Expr,
+}
+
+impl Statement {
+    /// All accesses: the write first, then the reads.
+    pub fn accesses(&self) -> impl Iterator<Item = (AccessKind, &Access)> {
+        std::iter::once((AccessKind::Write, &self.write))
+            .chain(self.reads.iter().map(|a| (AccessKind::Read, a)))
+    }
+}
+
+/// A Static Control Part: the unit on which the polyhedral framework works.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scop {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Parameter names, e.g. `["N"]`.
+    pub params: Vec<String>,
+    /// Constraints over the parameters alone (e.g. `N >= 4`), with columns
+    /// `(params…, 1)`.
+    pub context: ConstraintSystem,
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// The statements in original program order.
+    pub statements: Vec<Statement>,
+}
+
+impl Scop {
+    /// Number of parameters.
+    #[must_use]
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of statements.
+    #[must_use]
+    pub fn n_statements(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Number of loops shared by statements `a` and `b` in the original
+    /// program: the length of the common beta prefix (capped at both
+    /// depths).
+    #[must_use]
+    pub fn common_loops(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return self.statements[a].depth;
+        }
+        let (sa, sb) = (&self.statements[a], &self.statements[b]);
+        let max = sa.depth.min(sb.depth);
+        for k in 0..=max {
+            if sa.beta.get(k) != sb.beta.get(k) {
+                return k;
+            }
+        }
+        max
+    }
+
+    /// Does statement `a` lexically precede statement `b` at nesting level
+    /// `level` (i.e. when the first `level` shared iterators are equal)?
+    /// Assumes `level <= common_loops(a, b)`.
+    #[must_use]
+    pub fn precedes_at(&self, a: usize, b: usize, level: usize) -> bool {
+        let (sa, sb) = (&self.statements[a], &self.statements[b]);
+        sa.beta[level] < sb.beta[level]
+            || (sa.beta[level] == sb.beta[level] && {
+                // Identical betas up to min depth: deeper comparison or tie
+                // broken by statement order (should not happen for distinct
+                // statements with valid betas).
+                a < b
+            })
+    }
+
+    /// Exhaustively validate internal consistency; returns a list of
+    /// human-readable problems (empty when valid).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let np = self.n_params();
+        if self.context.n_vars != np {
+            errs.push(format!(
+                "context ranges over {} vars, expected {np}",
+                self.context.n_vars
+            ));
+        }
+        let mut beta_seen = std::collections::HashSet::new();
+        let mut prev_beta: Option<Vec<usize>> = None;
+        for (idx, s) in self.statements.iter().enumerate() {
+            let want = s.depth + np;
+            if s.domain.n_vars != want {
+                errs.push(format!(
+                    "{}: domain over {} vars, expected {want}",
+                    s.name, s.domain.n_vars
+                ));
+            }
+            if s.beta.len() != s.depth + 1 {
+                errs.push(format!(
+                    "{}: beta length {} != depth+1 {}",
+                    s.name,
+                    s.beta.len(),
+                    s.depth + 1
+                ));
+            }
+            if !beta_seen.insert(s.beta.clone()) {
+                errs.push(format!("{}: duplicate beta {:?}", s.name, s.beta));
+            }
+            if let Some(p) = &prev_beta {
+                // Program order must be beta-lexicographic.
+                if p.as_slice() >= s.beta.as_slice() && !is_prefix(p, &s.beta) && !is_prefix(&s.beta, p)
+                {
+                    errs.push(format!(
+                        "{}: beta {:?} not increasing after {:?}",
+                        s.name, s.beta, p
+                    ));
+                }
+            }
+            prev_beta = Some(s.beta.clone());
+            for (kind, acc) in s.accesses() {
+                let Some(arr) = self.arrays.get(acc.array) else {
+                    errs.push(format!("{}: access to undeclared array #{}", s.name, acc.array));
+                    continue;
+                };
+                if acc.map.len() != arr.dims.len() {
+                    errs.push(format!(
+                        "{}: {:?} access to {} has {} subscripts, array has {} dims",
+                        s.name,
+                        kind,
+                        arr.name,
+                        acc.map.len(),
+                        arr.dims.len()
+                    ));
+                }
+                for row in &acc.map {
+                    if row.len() != want + 1 {
+                        errs.push(format!(
+                            "{}: access row arity {} != {}",
+                            s.name,
+                            row.len(),
+                            want + 1
+                        ));
+                    }
+                }
+            }
+            if let Some(ml) = s.rhs.max_load() {
+                if ml >= s.reads.len() {
+                    errs.push(format!(
+                        "{}: rhs loads read #{ml} but only {} reads declared",
+                        s.name,
+                        s.reads.len()
+                    ));
+                }
+            }
+            let _ = idx;
+        }
+        errs
+    }
+
+    /// Look up an array index by name.
+    #[must_use]
+    pub fn array_index(&self, name: &str) -> Option<usize> {
+        self.arrays.iter().position(|a| a.name == name)
+    }
+}
+
+fn is_prefix(a: &[usize], b: &[usize]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScopBuilder;
+    use crate::Aff;
+
+    fn two_nests() -> Scop {
+        // for i: A[i] = i        (S0, beta [0,0])
+        // for i: B[i] = A[i]     (S1, beta [1,0])
+        let mut b = ScopBuilder::new("t", &["N"]);
+        b.context_ge(Aff::param(0) - 4); // N >= 4
+        let a = b.array("A", &[Aff::param(0)]);
+        let bb = b.array("B", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(bb, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn common_loops_distinct_nests() {
+        let s = two_nests();
+        assert_eq!(s.common_loops(0, 1), 0);
+        assert_eq!(s.common_loops(0, 0), 1);
+    }
+
+    #[test]
+    fn precedence() {
+        let s = two_nests();
+        assert!(s.precedes_at(0, 1, 0));
+        assert!(!s.precedes_at(1, 0, 0));
+    }
+
+    #[test]
+    fn validate_clean() {
+        let s = two_nests();
+        assert_eq!(s.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn access_eval() {
+        let acc = Access { array: 0, map: vec![vec![1, 0, -1], vec![0, 2, 3]] };
+        // iters = [i], params = [N]; subscripts (i - 1, 2N + 3)
+        assert_eq!(acc.eval(&[10], &[5]), vec![9, 13]);
+    }
+
+    #[test]
+    fn array_extents() {
+        let a = ArrayDecl { name: "A".into(), dims: vec![vec![1, 2], vec![0, 7]] };
+        assert_eq!(a.extents(&[10]), vec![12, 7]);
+    }
+
+    #[test]
+    fn validate_catches_bad_beta() {
+        let mut s = two_nests();
+        s.statements[1].beta = vec![0, 0]; // duplicate of S0's
+        assert!(!s.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_bad_load() {
+        let mut s = two_nests();
+        s.statements[0].rhs = Expr::Load(3);
+        assert!(s.validate().iter().any(|e| e.contains("loads read")));
+    }
+}

@@ -1,0 +1,824 @@
+//! A textual SCoP format (`.wfs`), in the spirit of OpenScop: author
+//! kernels as text instead of Rust builder calls. The grammar is small and
+//! line-oriented:
+//!
+//! ```text
+//! scop gemver_core
+//! params N
+//! context N - 4 >= 0
+//! array A[N][N]
+//! array x[N]
+//! array y[N]
+//!
+//! stmt S1 beta [0,0,0] {
+//!   domain 0 <= i <= N - 1
+//!   domain 0 <= j <= N - 1
+//!   write A[i][j]
+//!   read r0 = A[i][j]
+//!   body r0 + 1.5
+//! }
+//!
+//! stmt S2 beta [1,0,0] {
+//!   domain 0 <= i <= N - 1
+//!   domain 0 <= j <= N - 1
+//!   write x[i]
+//!   read r0 = x[i]
+//!   read r1 = A[j][i]
+//!   read r2 = y[j]
+//!   body r0 + r1 * r2
+//! }
+//! ```
+//!
+//! * iterators are named `i, j, k, l, m, n` (by nesting level; depth =
+//!   `beta` length − 1);
+//! * affine expressions admit `+ - *` with integer literals, iterators and
+//!   parameters; `domain` lines accept chains `a <= expr <= b` and the
+//!   relations `<=`, `>=`, `<`, `>`, `==`;
+//! * `body` is a float expression over the named reads, float literals,
+//!   iterators (as values), `+ - * /`, unary `-` and `sqrt(...)`;
+//! * `#` starts a comment.
+//!
+//! [`parse`] and [`to_text`] round-trip ([`to_text`] regenerates any SCoP,
+//! including the built-in benchmark catalog, so `wfc export` works).
+
+use crate::aff::Aff;
+use crate::builder::ScopBuilder;
+use crate::expr::Expr;
+use crate::scop::Scop;
+
+/// A parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the failure was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const ITER_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+
+fn iter_index(name: &str) -> Option<usize> {
+    ITER_NAMES.iter().position(|&x| x == name)
+}
+
+/// Parse a `.wfs` document into a validated [`Scop`].
+pub fn parse(input: &str) -> Result<Scop, ParseError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(k, l)| (k + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .peekable();
+
+    let err = |line: usize, msg: &str| ParseError { line, message: msg.to_string() };
+
+    // Header: scop <name>
+    let (ln, first) = lines.next().ok_or_else(|| err(0, "empty document"))?;
+    let name = first
+        .strip_prefix("scop ")
+        .ok_or_else(|| err(ln, "expected `scop <name>`"))?
+        .trim()
+        .to_string();
+
+    // params line (optional).
+    let mut params: Vec<String> = Vec::new();
+    if let Some((_, l)) = lines.peek() {
+        if let Some(rest) = l.strip_prefix("params") {
+            params = rest.split_whitespace().map(str::to_string).collect();
+            lines.next();
+        }
+    }
+    let param_refs: Vec<&str> = params.iter().map(String::as_str).collect();
+    let mut b = ScopBuilder::new(&name, &param_refs);
+    let pidx = |nm: &str| params.iter().position(|p| p == nm);
+
+    let mut arrays: Vec<(String, usize)> = Vec::new(); // name -> id
+
+    while let Some((ln, line)) = lines.next() {
+        if let Some(rest) = line.strip_prefix("context ") {
+            let (aff, _) =
+                parse_relation_ge(rest, 0, &pidx).map_err(|m| err(ln, &m))?;
+            b.context_ge(aff);
+        } else if let Some(rest) = line.strip_prefix("array ") {
+            let (arr_name, dims) = parse_array_decl(rest, &pidx).map_err(|m| err(ln, &m))?;
+            let id = b.array(&arr_name, &dims);
+            arrays.push((arr_name, id));
+        } else if let Some(rest) = line.strip_prefix("stmt ") {
+            let (sname, beta) = parse_stmt_header(rest).map_err(|m| err(ln, &m))?;
+            let depth = beta.len() - 1;
+            let mut sb = b.stmt(&sname, depth, &beta);
+            let mut read_names: Vec<String> = Vec::new();
+            let mut body: Option<Expr> = None;
+            loop {
+                let (ln2, l2) =
+                    lines.next().ok_or_else(|| err(ln, "unterminated stmt block"))?;
+                if l2 == "}" {
+                    break;
+                }
+                if let Some(rest) = l2.strip_prefix("domain ") {
+                    for aff in parse_domain_line(rest, depth, &pidx).map_err(|m| err(ln2, &m))? {
+                        sb = sb.domain_ge(aff);
+                    }
+                } else if let Some(rest) = l2.strip_prefix("write ") {
+                    let (arr, subs) =
+                        parse_access(rest, depth, &pidx, &arrays).map_err(|m| err(ln2, &m))?;
+                    sb = sb.write(arr, &subs);
+                } else if let Some(rest) = l2.strip_prefix("read ") {
+                    let (nm, tail) = rest
+                        .split_once('=')
+                        .ok_or_else(|| err(ln2, "expected `read <name> = A[...]`"))?;
+                    let (arr, subs) = parse_access(tail.trim(), depth, &pidx, &arrays)
+                        .map_err(|m| err(ln2, &m))?;
+                    read_names.push(nm.trim().to_string());
+                    sb = sb.read(arr, &subs);
+                } else if let Some(rest) = l2.strip_prefix("body ") {
+                    let mut p = BodyParser {
+                        toks: tokenize(rest),
+                        pos: 0,
+                        reads: &read_names,
+                    };
+                    let e = p.expr().map_err(|m| err(ln2, &m))?;
+                    if p.pos != p.toks.len() {
+                        return Err(err(ln2, "trailing tokens after body expression"));
+                    }
+                    body = Some(e);
+                } else {
+                    return Err(err(ln2, &format!("unexpected line in stmt block: `{l2}`")));
+                }
+            }
+            let body = body.ok_or_else(|| err(ln, "stmt block missing `body`"))?;
+            sb.rhs(body).done();
+        } else {
+            return Err(err(ln, &format!("unexpected line: `{line}`")));
+        }
+    }
+    Ok(b.build())
+}
+
+fn parse_stmt_header(rest: &str) -> Result<(String, Vec<usize>), String> {
+    // `<name> beta [a,b,c] {`
+    let rest = rest.trim();
+    let (name, tail) = rest.split_once(' ').ok_or("expected `stmt <name> beta [..] {`")?;
+    let tail = tail.trim();
+    let tail = tail.strip_prefix("beta").ok_or("expected `beta [..]`")?.trim();
+    let tail = tail.strip_suffix('{').ok_or("stmt header must end with `{`")?.trim();
+    let inner = tail
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or("beta must be `[a,b,...]`")?;
+    let beta: Vec<usize> = inner
+        .split(',')
+        .map(|x| x.trim().parse().map_err(|_| format!("bad beta entry `{x}`")))
+        .collect::<Result<_, _>>()?;
+    if beta.is_empty() {
+        return Err("beta must be non-empty".into());
+    }
+    Ok((name.to_string(), beta))
+}
+
+fn parse_array_decl(
+    rest: &str,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<(String, Vec<Aff>), String> {
+    let rest = rest.trim();
+    let Some(bracket) = rest.find('[') else {
+        // Scalar.
+        return Ok((rest.to_string(), Vec::new()));
+    };
+    let name = rest[..bracket].trim().to_string();
+    let mut dims = Vec::new();
+    let mut s = &rest[bracket..];
+    while let Some(t) = s.strip_prefix('[') {
+        let close = t.find(']').ok_or("unclosed `[` in array declaration")?;
+        dims.push(parse_affine(&t[..close], usize::MAX, pidx)?);
+        s = &t[close + 1..];
+    }
+    if !s.trim().is_empty() {
+        return Err(format!("trailing characters after array declaration: `{s}`"));
+    }
+    Ok((name, dims))
+}
+
+fn parse_access(
+    rest: &str,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+    arrays: &[(String, usize)],
+) -> Result<(usize, Vec<Aff>), String> {
+    let rest = rest.trim();
+    let bracket = rest.find('[').unwrap_or(rest.len());
+    let name = rest[..bracket].trim();
+    let arr = arrays
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, id)| *id)
+        .ok_or_else(|| format!("unknown array `{name}`"))?;
+    let mut subs = Vec::new();
+    let mut s = &rest[bracket..];
+    while let Some(t) = s.strip_prefix('[') {
+        let close = t.find(']').ok_or("unclosed `[` in access")?;
+        subs.push(parse_affine(&t[..close], depth, pidx)?);
+        s = &t[close + 1..];
+    }
+    if !s.trim().is_empty() {
+        return Err(format!("trailing characters after access: `{s}`"));
+    }
+    Ok((arr, subs))
+}
+
+/// Parse a `domain` line: a chain `e0 REL e1 [REL e2]` producing one or two
+/// `>= 0` affine constraints.
+fn parse_domain_line(
+    rest: &str,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Vec<Aff>, String> {
+    // Split on relations, keeping them.
+    let mut parts: Vec<(String, String)> = Vec::new(); // (expr, following rel)
+    let mut cur = String::new();
+    let mut chars = rest.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '<' | '>' | '=' => {
+                let mut rel = c.to_string();
+                if chars.peek() == Some(&'=') {
+                    rel.push('=');
+                    chars.next();
+                }
+                parts.push((cur.trim().to_string(), rel));
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let last = cur.trim().to_string();
+    if parts.is_empty() {
+        return Err("domain line needs a relation".into());
+    }
+    let mut exprs: Vec<Aff> = Vec::new();
+    let mut rels: Vec<String> = Vec::new();
+    for (e, r) in &parts {
+        exprs.push(parse_affine(e, depth, pidx)?);
+        rels.push(r.clone());
+    }
+    exprs.push(parse_affine(&last, depth, pidx)?);
+    let mut out = Vec::new();
+    for (k, rel) in rels.iter().enumerate() {
+        let (a, bb) = (exprs[k].clone(), exprs[k + 1].clone());
+        match rel.as_str() {
+            "<=" => out.push(bb - a),
+            ">=" => out.push(a - bb),
+            "<" => out.push(bb - a - 1),
+            ">" => out.push(a - bb - 1),
+            "==" => {
+                out.push(bb.clone() - a.clone());
+                out.push(a - bb);
+            }
+            other => return Err(format!("unknown relation `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// `expr >= 0` for context lines (single relation against an expression).
+fn parse_relation_ge(
+    rest: &str,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<(Aff, ()), String> {
+    let affs = parse_domain_line(rest, depth, pidx)?;
+    let mut it = affs.into_iter();
+    let first = it.next().ok_or("empty context constraint")?;
+    // Additional conjuncts (from == or chains) are rare in contexts; fold
+    // them by returning only the first and requiring single relations.
+    if it.next().is_some() {
+        return Err("context lines take a single `>=`/`<=` relation".into());
+    }
+    Ok((first, ()))
+}
+
+/// Parse an affine expression of iterators, params and integers.
+fn parse_affine(
+    text: &str,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Aff, String> {
+    let toks = tokenize(text);
+    let mut pos = 0usize;
+    let out = affine_sum(&toks, &mut pos, depth, pidx)?;
+    if pos != toks.len() {
+        return Err(format!("trailing tokens in affine expression `{text}`"));
+    }
+    Ok(out)
+}
+
+fn affine_sum(
+    toks: &[Tok],
+    pos: &mut usize,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Aff, String> {
+    let mut acc = affine_term(toks, pos, depth, pidx)?;
+    while let Some(t) = toks.get(*pos) {
+        match t {
+            Tok::Plus => {
+                *pos += 1;
+                acc = acc + affine_term(toks, pos, depth, pidx)?;
+            }
+            Tok::Minus => {
+                *pos += 1;
+                acc = acc - affine_term(toks, pos, depth, pidx)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn affine_term(
+    toks: &[Tok],
+    pos: &mut usize,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Aff, String> {
+    // [int *] atom  |  int  |  - term
+    match toks.get(*pos) {
+        Some(Tok::Minus) => {
+            *pos += 1;
+            Ok(-affine_term(toks, pos, depth, pidx)?)
+        }
+        Some(Tok::Int(v)) => {
+            let v = *v;
+            *pos += 1;
+            if toks.get(*pos) == Some(&Tok::Star) {
+                *pos += 1;
+                Ok(affine_atom(toks, pos, depth, pidx)? * v)
+            } else {
+                Ok(Aff::konst(v))
+            }
+        }
+        _ => affine_atom(toks, pos, depth, pidx),
+    }
+}
+
+fn affine_atom(
+    toks: &[Tok],
+    pos: &mut usize,
+    depth: usize,
+    pidx: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Aff, String> {
+    match toks.get(*pos) {
+        Some(Tok::Ident(nm)) => {
+            *pos += 1;
+            if let Some(k) = iter_index(nm) {
+                if k >= depth {
+                    return Err(format!("iterator `{nm}` out of range for depth {depth}"));
+                }
+                Ok(Aff::iter(k))
+            } else if let Some(j) = pidx(nm) {
+                Ok(Aff::param(j))
+            } else {
+                Err(format!("unknown identifier `{nm}` in affine expression"))
+            }
+        }
+        Some(Tok::Int(v)) => {
+            let v = *v;
+            *pos += 1;
+            Ok(Aff::konst(v))
+        }
+        other => Err(format!("unexpected token {other:?} in affine expression")),
+    }
+}
+
+/// Body-expression tokens (shared with affine parsing).
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i128),
+    Float(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                chars.next();
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                chars.next();
+            }
+            '*' => {
+                out.push(Tok::Star);
+                chars.next();
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                chars.next();
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                chars.next();
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                chars.next();
+            }
+            '0'..='9' | '.' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.contains('.') {
+                    out.push(Tok::Float(s.parse().unwrap_or(f64::NAN)));
+                } else {
+                    out.push(Tok::Int(s.parse().unwrap_or(0)));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            _ => {
+                chars.next(); // skip unknown characters; parsers will complain
+            }
+        }
+    }
+    out
+}
+
+struct BodyParser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    reads: &'a [String],
+}
+
+impl BodyParser<'_> {
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut acc = self.term()?;
+        while let Some(t) = self.toks.get(self.pos) {
+            match t {
+                Tok::Plus => {
+                    self.pos += 1;
+                    acc = Expr::add(acc, self.term()?);
+                }
+                Tok::Minus => {
+                    self.pos += 1;
+                    acc = Expr::sub(acc, self.term()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut acc = self.factor()?;
+        while let Some(t) = self.toks.get(self.pos) {
+            match t {
+                Tok::Star => {
+                    self.pos += 1;
+                    acc = Expr::mul(acc, self.factor()?);
+                }
+                Tok::Slash => {
+                    self.pos += 1;
+                    acc = Expr::div(acc, self.factor()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::neg(self.factor()?))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if self.toks.get(self.pos) != Some(&Tok::RParen) {
+                    return Err("missing `)`".into());
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Const(v))
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Const(v as f64))
+            }
+            Some(Tok::Ident(nm)) => {
+                self.pos += 1;
+                if nm == "sqrt" {
+                    if self.toks.get(self.pos) != Some(&Tok::LParen) {
+                        return Err("sqrt needs `(`".into());
+                    }
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    if self.toks.get(self.pos) != Some(&Tok::RParen) {
+                        return Err("missing `)` after sqrt".into());
+                    }
+                    self.pos += 1;
+                    return Ok(Expr::Sqrt(Box::new(e)));
+                }
+                if let Some(k) = self.reads.iter().position(|r| r == &nm) {
+                    return Ok(Expr::Load(k));
+                }
+                if let Some(k) = iter_index(&nm) {
+                    return Ok(Expr::Iter(k));
+                }
+                Err(format!("unknown name `{nm}` in body"))
+            }
+            other => Err(format!("unexpected token {other:?} in body")),
+        }
+    }
+}
+
+/// Render any SCoP in the textual format (round-trips through [`parse`]).
+#[must_use]
+pub fn to_text(scop: &Scop) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "scop {}", scop.name);
+    if !scop.params.is_empty() {
+        let _ = writeln!(out, "params {}", scop.params.join(" "));
+    }
+    for c in &scop.context.constraints {
+        let _ = writeln!(out, "context {} >= 0", affine_text(&c.coeffs, 0, &scop.params));
+    }
+    for a in &scop.arrays {
+        let mut line = format!("array {}", a.name);
+        for d in &a.dims {
+            let _ = write!(line, "[{}]", affine_text(d, 0, &scop.params));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for s in &scop.statements {
+        let beta: Vec<String> = s.beta.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "\nstmt {} beta [{}] {{", s.name, beta.join(","));
+        for c in &s.domain.constraints {
+            let rel = match c.kind {
+                wf_polyhedra::ConstraintKind::Ineq => ">=",
+                wf_polyhedra::ConstraintKind::Eq => "==",
+            };
+            let _ = writeln!(
+                out,
+                "  domain {} {rel} 0",
+                affine_text(&c.coeffs, s.depth, &scop.params)
+            );
+        }
+        let _ = writeln!(out, "  write {}", access_text(scop, s.write.array, &s.write.map, s.depth));
+        for (k, r) in s.reads.iter().enumerate() {
+            let _ = writeln!(out, "  read r{k} = {}", access_text(scop, r.array, &r.map, s.depth));
+        }
+        let _ = writeln!(out, "  body {}", body_text(&s.rhs));
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn affine_text(row: &[i128], depth: usize, params: &[String]) -> String {
+    let mut terms: Vec<String> = Vec::new();
+    let push = |terms: &mut Vec<String>, v: i128, nm: &str| match v {
+        0 => {}
+        1 if terms.is_empty() => terms.push(nm.to_string()),
+        1 => terms.push(format!("+ {nm}")),
+        -1 => terms.push(format!("- {nm}")),
+        v if v > 0 && !terms.is_empty() => terms.push(format!("+ {v}*{nm}")),
+        v => terms.push(format!("{v}*{nm}")),
+    };
+    for k in 0..depth {
+        push(&mut terms, row[k], ITER_NAMES.get(k).copied().unwrap_or("i"));
+    }
+    for (j, p) in params.iter().enumerate() {
+        push(&mut terms, row[depth + j], p);
+    }
+    let konst = row[row.len() - 1];
+    if konst != 0 || terms.is_empty() {
+        terms.push(if konst >= 0 && !terms.is_empty() {
+            format!("+ {konst}")
+        } else {
+            format!("{konst}")
+        });
+    }
+    terms.join(" ")
+}
+
+fn access_text(scop: &Scop, array: usize, map: &[Vec<i128>], depth: usize) -> String {
+    let mut out = scop.arrays[array].name.clone();
+    for row in map {
+        out.push('[');
+        out.push_str(&affine_text(row, depth, &scop.params));
+        out.push(']');
+    }
+    out
+}
+
+fn body_text(e: &Expr) -> String {
+    match e {
+        Expr::Load(k) => format!("r{k}"),
+        Expr::Const(v) => {
+            let s = format!("{v:?}");
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Iter(k) => ITER_NAMES.get(*k).copied().unwrap_or("i").to_string(),
+        Expr::Param(_) => "0.0".to_string(), // params-in-body unsupported in text
+        Expr::Add(a, b) => format!("({} + {})", body_text(a), body_text(b)),
+        Expr::Sub(a, b) => format!("({} - {})", body_text(a), body_text(b)),
+        Expr::Mul(a, b) => format!("({} * {})", body_text(a), body_text(b)),
+        Expr::Div(a, b) => format!("({} / {})", body_text(a), body_text(b)),
+        Expr::Neg(a) => format!("(- {})", body_text(a)),
+        Expr::Sqrt(a) => format!("sqrt({})", body_text(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEMVER_CORE: &str = r"
+scop gemver_core
+params N
+context N - 4 >= 0
+array A[N][N]
+array x[N]
+array y[N]
+
+stmt S1 beta [0,0,0] {
+  domain 0 <= i <= N - 1
+  domain 0 <= j <= N - 1
+  write A[i][j]
+  read r0 = A[i][j]
+  body r0 + 1.5
+}
+
+stmt S2 beta [1,0,0] {
+  domain 0 <= i <= N - 1
+  domain 0 <= j <= N - 1
+  write x[i]
+  read r0 = x[i]
+  read r1 = A[j][i]
+  read r2 = y[j]
+  body r0 + r1 * r2
+}
+";
+
+    #[test]
+    fn parses_gemver_core() {
+        let scop = parse(GEMVER_CORE).expect("parses");
+        assert_eq!(scop.name, "gemver_core");
+        assert_eq!(scop.n_statements(), 2);
+        assert_eq!(scop.statements[0].depth, 2);
+        assert_eq!(scop.statements[1].reads.len(), 3);
+        // S2 reads A transposed.
+        assert_eq!(
+            scop.statements[1].reads[1].map,
+            vec![vec![0, 1, 0, 0], vec![1, 0, 0, 0]]
+        );
+        assert!(scop.validate().is_empty());
+    }
+
+    #[test]
+    fn chained_domain_relations() {
+        let src = "
+scop t
+params N
+array A[N]
+stmt S0 beta [0,0] {
+  domain 1 <= i < N - 1
+  write A[i]
+  body 2.0
+}
+";
+        let scop = parse(src).expect("parses");
+        let d = &scop.statements[0].domain;
+        assert!(d.contains(&[1, 10]));
+        assert!(d.contains(&[8, 10]));
+        assert!(!d.contains(&[9, 10]), "strict < N-1");
+        assert!(!d.contains(&[0, 10]));
+    }
+
+    #[test]
+    fn body_grammar() {
+        let src = "
+scop t
+params N
+array A[N]
+array B[N]
+stmt S0 beta [0,0] {
+  domain 0 <= i <= N - 1
+  write B[i]
+  read r0 = A[i]
+  body sqrt(r0) * -2.0 + (r0 / 4.0) - i
+}
+";
+        let scop = parse(src).expect("parses");
+        let e = &scop.statements[0].rhs;
+        // Evaluate at r0 = 16, i = 3: sqrt(16)*-2 + 16/4 - 3 = -8 + 4 - 3.
+        assert_eq!(e.eval(&[16.0], &[3], &[10]), -7.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "scop t\nparams N\narray A[N]\nstmt S0 beta [0,0] {\n  domain 0 <= q <= N\n  write A[i]\n  body 1.0\n}\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("unknown identifier `q`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_array_is_reported() {
+        let src = "scop t\nparams N\nstmt S0 beta [0,0] {\n  domain 0 <= i <= N - 1\n  write A[i]\n  body 1.0\n}\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown array"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let scop = parse(GEMVER_CORE).expect("parses");
+        let text = to_text(&scop);
+        let again = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(scop.n_statements(), again.n_statements());
+        for (a, b) in scop.statements.iter().zip(&again.statements) {
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(a.write, b.write);
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.beta, b.beta);
+            // Domains may be row-reordered but must contain the same points.
+            for p in [[0i128, 0, 8], [7, 7, 8], [8, 0, 8], [0, 8, 8]] {
+                assert_eq!(a.domain.contains(&p), b.domain.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_kernels_export_and_reparse() {
+        // to_text must round-trip arbitrary builder-made SCoPs.
+        use crate::{Aff, ScopBuilder};
+        let mut b = ScopBuilder::new("exp", &["N", "M"]);
+        b.context_ge(Aff::param(0) - 4);
+        b.context_ge(Aff::param(1) - 4);
+        let a = b.array("A", &[Aff::param(0), Aff::param(1) + 2]);
+        let s = b.scalar("acc");
+        b.stmt("S0", 2, &[0, 0, 0])
+            .bounds(0, Aff::konst(1), Aff::param(0) - 1)
+            .bounds(1, Aff::iter(0), Aff::param(1) - 1)
+            .write(a, &[Aff::iter(0) * 2 - 1, Aff::iter(1)])
+            .rhs(Expr::mul(Expr::Iter(0), Expr::Const(0.5)))
+            .done();
+        b.stmt("S1", 0, &[1])
+            .write(s, &[])
+            .read(a, &[Aff::konst(1), Aff::konst(1)])
+            .rhs(Expr::Load(0))
+            .done();
+        let scop = b.build();
+        let text = to_text(&scop);
+        let again = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(again.n_statements(), 2);
+        assert_eq!(again.statements[0].write.map, scop.statements[0].write.map);
+        assert_eq!(again.arrays.len(), 2);
+    }
+}

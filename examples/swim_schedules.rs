@@ -1,0 +1,54 @@
+//! Domain scenario 3 — inspect the pre-fusion schedules on swim
+//! (the paper's Figure 5): Algorithm 1's ordering vs PLuTo's DFS ordering,
+//! and the fusion partitions each produces.
+//!
+//! ```bash
+//! cargo run --release --example swim_schedules
+//! ```
+
+use wf_benchsuite::by_name;
+use wf_deps::{analyze, tarjan};
+use wf_schedule::fusion::dfs_order;
+use wf_wisefuse::prefusion::algorithm1;
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let bench = by_name("swim").expect("catalog entry");
+    let scop = &bench.scop;
+    let ddg = analyze(scop);
+    let sccs = tarjan(&ddg);
+    let depths: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
+
+    let describe = |order: &[usize], label: &str| {
+        println!("== {label} ==");
+        for (pos, &c) in order.iter().enumerate() {
+            let members: Vec<&str> =
+                sccs.members[c].iter().map(|&s| scop.statements[s].name.as_str()).collect();
+            println!(
+                "  pos {pos:>2}: dim {} {:?}",
+                sccs.dimensionality(c, &depths),
+                members
+            );
+        }
+    };
+    describe(&algorithm1(scop, &ddg, &sccs), "Algorithm 1 (wisefuse) pre-fusion schedule");
+    describe(&dfs_order(&ddg, &sccs), "DFS (PLuTo/smartfuse) pre-fusion schedule");
+
+    for model in [Model::Wisefuse, Model::Smartfuse, Model::Icc] {
+        let opt = optimize(scop, model).expect("schedulable");
+        let parts = &opt.transformed.partitions;
+        let mut groups: std::collections::BTreeMap<usize, Vec<&str>> = Default::default();
+        for (s, &p) in parts.iter().enumerate() {
+            groups.entry(p).or_default().push(scop.statements[s].name.as_str());
+        }
+        println!(
+            "\n== {} fusion partitioning: {} partitions (outer parallel: {}) ==",
+            model.name(),
+            groups.len(),
+            opt.outer_parallel()
+        );
+        for (p, members) in groups {
+            println!("  partition {p}: {members:?}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Domain scenario 1 — weather modeling (the paper's advect kernel,
+//! Figures 4 & 6): compare all five fusion models on fusion structure,
+//! outer-loop parallelism, and wall-clock.
+//!
+//! ```bash
+//! cargo run --release --example weather_advect
+//! ```
+
+use std::time::Instant;
+use wf_benchsuite::by_name;
+use wf_cachesim::perf::{model_performance, MachineModel};
+use wf_codegen::{plan_from_optimized, render_plan};
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_wisefuse::{optimize, Model};
+
+fn main() {
+    let bench = by_name("advect").expect("catalog entry");
+    let scop = &bench.scop;
+    let params = bench.bench_params.clone();
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+
+    // Oracle run for correctness.
+    let mut init = ProgramData::new(scop, &params);
+    init.init_random(99);
+    let mut oracle = init.clone();
+    execute_reference(scop, &mut oracle);
+
+    let machine = MachineModel::default();
+    println!("advect, N = {}, {threads} host threads, {} modeled cores", params[0], machine.cores);
+    println!(
+        "{:<10} {:>10} {:>14} {:>12} {:>12}",
+        "model", "partitions", "outer-parallel", "wall", "modeled"
+    );
+    for model in Model::ALL {
+        let opt = optimize(scop, model).expect("schedulable");
+        let plan = plan_from_optimized(scop, &opt);
+        let mut data = init.clone();
+        let t0 = Instant::now();
+        execute_plan(scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+        let dt = t0.elapsed();
+        assert_eq!(data.max_abs_diff(&oracle), 0.0, "{model:?} diverged");
+        let mut mdata = init.clone();
+        let report = model_performance(scop, &opt, &plan, &mut mdata, &machine);
+        println!(
+            "{:<10} {:>10} {:>14} {:>10.1?} {:>11.4}s",
+            model.name(),
+            opt.n_partitions(),
+            opt.outer_parallel(),
+            dt,
+            report.modeled_seconds
+        );
+    }
+
+    // Show the wisefuse code (Figure 6) vs the maxfuse code (Figure 4c).
+    for model in [Model::Maxfuse, Model::Wisefuse] {
+        let opt = optimize(scop, model).expect("schedulable");
+        let plan = plan_from_optimized(scop, &opt);
+        println!("\n== {} transformed advect ==\n{}", model.name(), render_plan(scop, &plan));
+    }
+}

@@ -1,0 +1,88 @@
+//! For every catalog benchmark and every fusion model, the transformed
+//! execution must reproduce the original program's arrays bit-for-bit —
+//! serial and multi-threaded. This is the end-to-end soundness test of the
+//! whole stack (dependence analysis → scheduling → codegen → runtime).
+
+use wf_benchsuite::catalog;
+use wf_codegen::plan_from_optimized;
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_wisefuse::{optimize, Model};
+
+fn run_benchmark(name: &str) {
+    let b = catalog().into_iter().find(|b| b.name == name).expect("catalog entry");
+    let mut init = ProgramData::new(&b.scop, &b.test_params);
+    init.init_random(0xC0FFEE);
+    let mut oracle = init.clone();
+    execute_reference(&b.scop, &mut oracle);
+    for model in Model::ALL {
+        let opt = optimize(&b.scop, model)
+            .unwrap_or_else(|e| panic!("{name}: {model:?} failed to schedule: {e}"));
+        let plan = plan_from_optimized(&b.scop, &opt);
+        for threads in [1usize, 4] {
+            let mut data = init.clone();
+            execute_plan(
+                &b.scop,
+                &opt.transformed,
+                &plan,
+                &mut data,
+                &ExecOptions { threads },
+                None,
+            );
+            assert_eq!(
+                data.max_abs_diff(&oracle),
+                0.0,
+                "{name}: {model:?} with {threads} threads diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_gemsfdtd() {
+    run_benchmark("gemsfdtd");
+}
+
+#[test]
+fn equivalence_swim() {
+    run_benchmark("swim");
+}
+
+#[test]
+fn equivalence_applu() {
+    run_benchmark("applu");
+}
+
+#[test]
+fn equivalence_bt() {
+    run_benchmark("bt");
+}
+
+#[test]
+fn equivalence_sp() {
+    run_benchmark("sp");
+}
+
+#[test]
+fn equivalence_advect() {
+    run_benchmark("advect");
+}
+
+#[test]
+fn equivalence_lu() {
+    run_benchmark("lu");
+}
+
+#[test]
+fn equivalence_tce() {
+    run_benchmark("tce");
+}
+
+#[test]
+fn equivalence_gemver() {
+    run_benchmark("gemver");
+}
+
+#[test]
+fn equivalence_wupwise() {
+    run_benchmark("wupwise");
+}

@@ -1,0 +1,57 @@
+//! C-backend validation on the real catalog kernels (wisefuse schedules):
+//! emit C, compile with the system compiler, run, and bit-compare against
+//! the interpreter. Skipped when no C compiler is installed.
+
+use wf_codegen::{emit_c, plan_from_optimized};
+use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_wisefuse::{optimize, Model};
+
+fn cc_available() -> bool {
+    std::process::Command::new("cc").arg("--version").output().is_ok()
+}
+
+#[test]
+fn c_backend_benchmark_kernels() {
+    if !cc_available() {
+        eprintln!("no C compiler; skipping");
+        return;
+    }
+    for name in ["gemver", "advect", "lu", "wupwise"] {
+        let bench = wf_benchsuite::by_name(name).unwrap();
+        let opt = optimize(&bench.scop, Model::Wisefuse).unwrap();
+        let plan = plan_from_optimized(&bench.scop, &opt);
+        let mut data = ProgramData::new(&bench.scop, &bench.test_params);
+        data.init_lcg(9);
+        execute_plan(
+            &bench.scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions::default(),
+            None,
+        );
+        let want = data.bit_hash();
+        let source = emit_c(&bench.scop, &opt.transformed, &plan, &bench.test_params, 9);
+        let dir = std::env::temp_dir();
+        let c_path = dir.join(format!("wf_bench_{name}_{}.c", std::process::id()));
+        let bin_path = dir.join(format!("wf_bench_{name}_{}", std::process::id()));
+        std::fs::write(&c_path, &source).unwrap();
+        let compile = std::process::Command::new("cc")
+            .args(["-O1", "-o"])
+            .arg(&bin_path)
+            .arg(&c_path)
+            .arg("-lm")
+            .output()
+            .unwrap();
+        assert!(
+            compile.status.success(),
+            "{name}: C compilation failed:\n{}",
+            String::from_utf8_lossy(&compile.stderr)
+        );
+        let run = std::process::Command::new(&bin_path).output().unwrap();
+        let got: u64 = String::from_utf8_lossy(&run.stdout).trim().parse().unwrap();
+        assert_eq!(got, want, "{name}: compiled C diverges from interpreter");
+        let _ = std::fs::remove_file(&c_path);
+        let _ = std::fs::remove_file(&bin_path);
+    }
+}

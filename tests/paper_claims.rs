@@ -1,0 +1,210 @@
+//! The paper's qualitative claims, asserted as tests. Each test names the
+//! section/figure it reproduces.
+
+use wf_benchsuite::by_name;
+use wf_deps::enumerate::{count_fusion_partitionings, count_linear_extensions};
+use wf_deps::{analyze, tarjan};
+use wf_wisefuse::{optimize, Model};
+
+/// §1: "a total of 24 different fusion partitionings are possible for only
+/// 3 statements considered … resulting in a total of 2880 possible fusion
+/// partitionings" (swim S1–S3 and S13–S18).
+#[test]
+fn intro_search_space_counts() {
+    assert_eq!(count_fusion_partitionings(3, &[]), 24);
+    let chains = [(0usize, 3usize), (1, 4), (2, 5)];
+    assert_eq!(count_linear_extensions(6, &chains), 90);
+    assert_eq!(count_fusion_partitionings(6, &chains), 2880);
+}
+
+/// Figure 1/3: gemver — wisefuse fuses S1 and S2 (legal only with the
+/// interchange composition) and keeps outer parallelism.
+#[test]
+fn gemver_fuses_s1_s2_with_interchange() {
+    let scop = by_name("gemver").unwrap().scop;
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    assert_eq!(w.transformed.partitions[0], w.transformed.partitions[1]);
+    assert!(w.outer_parallel());
+    // The interchange is visible: S1 and S2 have different outer rows.
+    let outer = w.transformed.schedule.loop_dims()[0];
+    assert_ne!(
+        w.transformed.schedule.rows[outer][0].coeffs,
+        w.transformed.schedule.rows[outer][1].coeffs
+    );
+}
+
+/// §5.3 small kernels: "both wisefuse and smartfuse yield similar fusion
+/// partitions" on lu, tce and gemver.
+#[test]
+fn small_kernels_wisefuse_equals_smartfuse() {
+    for name in ["lu", "tce", "gemver"] {
+        let scop = by_name(name).unwrap().scop;
+        let w = optimize(&scop, Model::Wisefuse).unwrap();
+        let s = optimize(&scop, Model::Smartfuse).unwrap();
+        assert_eq!(
+            w.transformed.partitions, s.transformed.partitions,
+            "{name}: partitionings must match"
+        );
+    }
+}
+
+/// Figures 4/6: advect — wisefuse distributes exactly the SCC carrying the
+/// forward dependence (S4) and preserves outer parallelism; the maximal
+/// fusers shift instead and lose it.
+#[test]
+fn advect_parallelism_conflict() {
+    let scop = by_name("advect").unwrap().scop;
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    assert!(w.outer_parallel(), "wisefuse preserves coarse-grained parallelism");
+    assert_eq!(w.n_partitions(), 2, "minimal distribution: S1-S3 | S4");
+    for model in [Model::Maxfuse, Model::Smartfuse] {
+        let m = optimize(&scop, model).unwrap();
+        assert_eq!(m.n_partitions(), 1, "{model:?} fuses maximally");
+        assert!(!m.outer_parallel(), "{model:?} pipelines the outer loop");
+    }
+    // nofuse distributes everything and stays parallel.
+    let n = optimize(&scop, Model::Nofuse).unwrap();
+    assert_eq!(n.n_partitions(), 4);
+    assert!(n.outer_parallel());
+}
+
+/// Figure 8: gemsfdtd — wisefuse minimizes the number of partitions;
+/// smartfuse's DFS order produces more; icc fuses nothing.
+#[test]
+fn gemsfdtd_partition_counts() {
+    let scop = by_name("gemsfdtd").unwrap().scop;
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    let s = optimize(&scop, Model::Smartfuse).unwrap();
+    let icc = optimize(&scop, Model::Icc).unwrap();
+    assert!(
+        w.n_partitions() < s.n_partitions(),
+        "wisefuse ({}) must beat smartfuse ({})",
+        w.n_partitions(),
+        s.n_partitions()
+    );
+    assert!(
+        s.n_partitions() < icc.n_partitions(),
+        "smartfuse ({}) must beat icc ({})",
+        s.n_partitions(),
+        icc.n_partitions()
+    );
+    assert_eq!(icc.n_partitions(), 13, "icc keeps all 13 nests distributed");
+    assert!(w.outer_parallel());
+}
+
+/// Figure 5: swim — wisefuse fuses at least five statements in the head
+/// nest (S1,S2,S3,S15,S18) while smartfuse's best nest there is smaller;
+/// S13/S16 and S14/S17 are kept out of the head nest by the precedence
+/// constraint.
+#[test]
+fn swim_head_nest_fusion() {
+    let scop = by_name("swim").unwrap().scop;
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    let parts = &w.transformed.partitions;
+    // S1=0, S2=1, S3=2, S15=14, S18=17 share the first partition.
+    assert_eq!(parts[0], parts[1]);
+    assert_eq!(parts[1], parts[2]);
+    assert_eq!(parts[2], parts[14], "S15 joins the head nest");
+    assert_eq!(parts[14], parts[17], "S18 joins the head nest");
+    // S13 and S14 do not.
+    assert_ne!(parts[0], parts[12]);
+    assert_ne!(parts[0], parts[13]);
+    assert!(w.outer_parallel(), "swim stays coarse-grained parallel under wisefuse");
+
+    // smartfuse's head-cluster reuse is weaker: its largest nest among the
+    // 2-D statements is no larger than wisefuse's, and the total partition
+    // count is higher.
+    let s = optimize(&scop, Model::Smartfuse).unwrap();
+    assert!(
+        w.n_partitions() <= s.n_partitions(),
+        "wisefuse {} vs smartfuse {}",
+        w.n_partitions(),
+        s.n_partitions()
+    );
+}
+
+/// §5.3 applu/bt/sp: wisefuse fuses SCCs of the same pass; the pass
+/// structure shows as one partition per pass with outer parallelism, while
+/// smartfuse's chain fusion forfeits outer parallelism.
+#[test]
+fn passes_fuse_by_pass() {
+    for name in ["applu", "bt", "sp"] {
+        let scop = by_name(name).unwrap().scop;
+        let per_pass = scop.n_statements() / 3;
+        let w = optimize(&scop, Model::Wisefuse).unwrap();
+        assert_eq!(w.n_partitions(), 3, "{name}: one partition per pass");
+        for p in 0..3 {
+            for q in 1..per_pass {
+                assert_eq!(
+                    w.transformed.partitions[p * per_pass],
+                    w.transformed.partitions[p * per_pass + q],
+                    "{name}: pass {p} statement {q} fused with its pass"
+                );
+            }
+        }
+        assert!(w.outer_parallel(), "{name}: wisefuse keeps outer parallelism");
+        let s = optimize(&scop, Model::Smartfuse).unwrap();
+        assert!(!s.outer_parallel(), "{name}: smartfuse's cross-pass fusion pipelines");
+    }
+}
+
+/// §5.3 wupwise: the imperfect nest is distributed into perfect nests.
+#[test]
+fn wupwise_distributes_imperfect_nest() {
+    let scop = by_name("wupwise").unwrap().scop;
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    assert_eq!(w.n_partitions(), 3);
+    assert!(w.outer_parallel());
+}
+
+/// §2.3/§4.1: the DDG used for SCCs carries no input-dependence edges, yet
+/// wisefuse still groups pure-RAR statements — smartfuse cannot (swim
+/// S1–S3 are disconnected in the DDG).
+#[test]
+fn rar_blindness_of_the_ddg() {
+    let scop = by_name("swim").unwrap().scop;
+    let ddg = analyze(&scop);
+    // S1, S2, S3 are pairwise unconnected by legality edges...
+    for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        assert!(
+            ddg.edges_between(a, b).next().is_none(),
+            "S{}/S{} must be DDG-disconnected",
+            a + 1,
+            b + 1
+        );
+        // ...but share input-dependence reuse.
+        assert!(ddg.has_reuse(a, b));
+    }
+    // And they are singleton SCCs.
+    let sccs = tarjan(&ddg);
+    assert_ne!(sccs.scc_of[0], sccs.scc_of[1]);
+}
+
+/// The modeled 8-core machine reproduces the advect headline: wisefuse
+/// beats the pipelining fusers by well over the paper's minimum gap, and
+/// beats the no-fusion baselines through reuse.
+#[test]
+fn advect_modeled_shape() {
+    use wf_cachesim::perf::{model_performance, MachineModel};
+    use wf_codegen::plan_from_optimized;
+    use wf_runtime::ProgramData;
+
+    let bench = wf_benchsuite::by_name("advect").unwrap();
+    let machine = MachineModel::default();
+    let mut secs = std::collections::HashMap::new();
+    for model in Model::ALL {
+        let opt = optimize(&bench.scop, model).unwrap();
+        let plan = plan_from_optimized(&bench.scop, &opt);
+        let mut data = ProgramData::new(&bench.scop, &bench.bench_params);
+        data.init_lcg(7);
+        let r = model_performance(&bench.scop, &opt, &plan, &mut data, &machine);
+        secs.insert(model.name(), r.modeled_seconds);
+    }
+    let wise = secs["wisefuse"];
+    assert!(
+        secs["smartfuse"] / wise > 1.5,
+        "wisefuse must beat the pipelined smartfuse by >1.5x: {secs:?}"
+    );
+    assert!(secs["icc"] / wise > 1.0, "fusion reuse must beat icc: {secs:?}");
+    assert!(secs["nofuse"] / wise > 1.0, "fusion reuse must beat nofuse: {secs:?}");
+}

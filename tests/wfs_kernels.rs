@@ -1,0 +1,52 @@
+//! The shipped `.wfs` kernels must parse, validate, optimize under every
+//! model, and execute equivalently to program order.
+
+use wf_codegen::plan_from_optimized;
+use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_scop::text::parse;
+use wf_wisefuse::{optimize, Model};
+
+fn check_file(path: &str, params: &[i128]) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let scop = parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut init = ProgramData::new(&scop, params);
+    init.init_lcg(5);
+    let mut oracle = init.clone();
+    execute_reference(&scop, &mut oracle);
+    for model in Model::ALL {
+        let opt = optimize(&scop, model).unwrap_or_else(|e| panic!("{path}: {model:?}: {e}"));
+        let plan = plan_from_optimized(&scop, &opt);
+        let mut data = init.clone();
+        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), None);
+        assert_eq!(data.max_abs_diff(&oracle), 0.0, "{path}: {model:?} diverges");
+    }
+}
+
+#[test]
+fn heat1d_kernel() {
+    check_file(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/kernels/heat1d.wfs"), &[32]);
+}
+
+#[test]
+fn blur_grad_kernel() {
+    check_file(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/kernels/blur_grad.wfs"),
+        &[10],
+    );
+}
+
+/// wisefuse's Algorithm 2 separates the stencil consumer in heat1d.
+#[test]
+fn heat1d_wisefuse_stays_parallel() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/kernels/heat1d.wfs"
+    ))
+    .unwrap();
+    let scop = parse(&src).unwrap();
+    let w = optimize(&scop, Model::Wisefuse).unwrap();
+    assert!(w.outer_parallel());
+    assert_eq!(w.n_partitions(), 2);
+    let m = optimize(&scop, Model::Maxfuse).unwrap();
+    assert!(!m.outer_parallel(), "maxfuse shifts and pipelines");
+}
