@@ -2,9 +2,9 @@
 //! ILP, Fourier–Motzkin, dependence analysis, SCC computation, Algorithm 1,
 //! and end-to-end scheduling per fusion model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wf_benchsuite::{by_name, catalog};
 use wf_deps::{analyze, kosaraju, tarjan};
+use wf_harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wf_linalg::Rat;
 use wf_polyhedra::{fm, solve_ilp, solve_lp, ConstraintSystem, Sense};
 use wf_wisefuse::prefusion::algorithm1;

@@ -7,19 +7,23 @@
 //! cargo bench -p wf-bench --bench fig1_gemver
 //! ```
 
-use wf_bench::measure_modeled;
+use wf_bench::{measure_modeled_via, BenchReport};
 use wf_benchsuite::by_name;
 use wf_cachesim::perf::MachineModel;
-use wf_codegen::{plan_from_optimized, render_plan};
+use wf_harness::json::Json;
 use wf_scop::pretty;
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn main() {
     let bench = by_name("gemver").expect("gemver in catalog");
     let scop = &bench.scop;
-    println!("== Figure 1(a): original gemver ==\n{}", pretty::render_original(scop));
+    println!(
+        "== Figure 1(a): original gemver ==\n{}",
+        pretty::render_original(scop)
+    );
 
-    let opt = optimize(scop, Model::Wisefuse).expect("schedulable");
+    let mut optimizer = Optimizer::new(scop);
+    let opt = optimizer.run_model(Model::Wisefuse).expect("schedulable");
     let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
     println!("== Figure 3: statement-wise multi-dimensional affine transform ==");
     print!("{}", opt.transformed.schedule.render(&names));
@@ -30,7 +34,10 @@ fn main() {
     );
 
     let plan = plan_from_optimized(scop, &opt);
-    println!("\n== Figure 1(c): transformed gemver ==\n{}", render_plan(scop, &plan));
+    println!(
+        "\n== Figure 1(c): transformed gemver ==\n{}",
+        render_plan(scop, &plan)
+    );
 
     // The §5.3 observation: at reference sizes, nofuse beats the fusing
     // models on gemver (fusion costs S1/S2 spatial locality), while icc
@@ -40,8 +47,20 @@ fn main() {
         "== gemver modeled time, N = {}, {} virtual cores ==",
         bench.bench_params[0], machine.cores
     );
-    for model in wf_wisefuse::Model::ALL {
-        let (_, r) = measure_modeled(&bench.scop, &bench.bench_params, model, &machine, 3);
+    let mut report = BenchReport::new("fig1_gemver");
+    report.set("bench", "gemver");
+    report.set("n", bench.bench_params[0]);
+    report.set("cores", machine.cores);
+    report.set("wisefuse_partitions", opt.n_partitions());
+    report.set("wisefuse_outer_parallel", opt.outer_parallel());
+    for model in Model::ALL {
+        let (_, r) = measure_modeled_via(&mut optimizer, &bench.bench_params, model, &machine, 3);
         println!("  {:<10} {:>10.4}s", model.name(), r.modeled_seconds);
+        report.row([
+            ("model", Json::str(model.name())),
+            ("modeled_seconds", Json::Num(r.modeled_seconds)),
+        ]);
     }
+    let path = report.write();
+    println!("\nresults: {}", path.display());
 }

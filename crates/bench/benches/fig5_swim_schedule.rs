@@ -5,12 +5,13 @@
 //! cargo bench -p wf-bench --bench fig5_swim_schedule
 //! ```
 
+use wf_bench::BenchReport;
 use wf_benchsuite::by_name;
-use wf_codegen::{plan_from_optimized, render_plan};
 use wf_deps::{analyze, tarjan};
+use wf_harness::json::Json;
 use wf_schedule::fusion::dfs_order;
 use wf_wisefuse::prefusion::algorithm1;
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn main() {
     let bench = by_name("swim").expect("swim in catalog");
@@ -22,10 +23,12 @@ fn main() {
     println!("== Figure 5(a)/(c): SCC ids under both pre-fusion schedules ==\n");
     let wise = algorithm1(scop, &ddg, &sccs);
     let dfs = dfs_order(&ddg, &sccs);
-    let pos_in = |order: &[usize], stmt: usize| {
-        order.iter().position(|&c| c == sccs.scc_of[stmt]).unwrap()
-    };
-    println!("{:<6} {:>4} {:>14} {:>12}", "stmt", "dim", "wisefuse[id]", "pluto[id]");
+    let pos_in =
+        |order: &[usize], stmt: usize| order.iter().position(|&c| c == sccs.scc_of[stmt]).unwrap();
+    println!(
+        "{:<6} {:>4} {:>14} {:>12}",
+        "stmt", "dim", "wisefuse[id]", "pluto[id]"
+    );
     for (s, st) in scop.statements.iter().enumerate() {
         println!(
             "{:<6} {:>4} {:>14} {:>12}",
@@ -47,13 +50,22 @@ fn main() {
         switches(&dfs)
     );
 
+    let mut report = BenchReport::new("fig5_swim_schedule");
+    report.set("bench", "swim");
+    report.set("switches_wisefuse", switches(&wise));
+    report.set("switches_pluto_dfs", switches(&dfs));
+    // The DDG above seeds the facade; scheduling reuses it per model.
+    let mut optimizer = Optimizer::new(scop).with_ddg(ddg.clone());
     for model in [Model::Wisefuse, Model::Smartfuse] {
-        let opt = optimize(scop, model).expect("schedulable");
+        let opt = optimizer.run_model(model).expect("schedulable");
         let parts = &opt.transformed.partitions;
         let n_parts = parts.iter().max().unwrap() + 1;
         let mut groups: std::collections::BTreeMap<usize, Vec<&str>> = Default::default();
         for (s, &p) in parts.iter().enumerate() {
-            groups.entry(p).or_default().push(scop.statements[s].name.as_str());
+            groups
+                .entry(p)
+                .or_default()
+                .push(scop.statements[s].name.as_str());
         }
         println!(
             "\n== Figure 5({}): {} fused code — {} partitions, outer parallel: {} ==",
@@ -67,6 +79,12 @@ fn main() {
         }
         let biggest = groups.values().map(Vec::len).max().unwrap();
         println!("  largest fused nest: {biggest} statements");
+        report.row([
+            ("model", Json::str(model.name())),
+            ("partitions", Json::from(n_parts)),
+            ("outer_parallel", Json::Bool(opt.outer_parallel())),
+            ("largest_fused_nest", Json::from(biggest)),
+        ]);
         if model == Model::Wisefuse {
             let plan = plan_from_optimized(scop, &opt);
             let code = render_plan(scop, &plan);
@@ -75,4 +93,6 @@ fn main() {
             println!("\n{head}\n  ...");
         }
     }
+    let path = report.write();
+    println!("\nresults: {}", path.display());
 }

@@ -7,19 +7,23 @@
 //! cargo bench -p wf-bench --bench fig6_advect
 //! ```
 
-use wf_bench::measure_modeled;
+use wf_bench::{measure_modeled_via, BenchReport};
 use wf_benchsuite::by_name;
 use wf_cachesim::perf::MachineModel;
-use wf_codegen::{plan_from_optimized, render_plan};
-use wf_wisefuse::{optimize, Model};
+use wf_harness::json::Json;
+use wf_wisefuse::prelude::*;
 
 fn main() {
     let bench = by_name("advect").expect("advect in catalog");
     let scop = &bench.scop;
     let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
 
-    for (fig, model) in [("4(c) maxfuse", Model::Maxfuse), ("6 wisefuse", Model::Wisefuse)] {
-        let opt = optimize(scop, model).expect("schedulable");
+    let mut optimizer = Optimizer::new(scop);
+    for (fig, model) in [
+        ("4(c) maxfuse", Model::Maxfuse),
+        ("6 wisefuse", Model::Wisefuse),
+    ] {
+        let opt = optimizer.run_model(model).expect("schedulable");
         println!("== Figure {fig} ==");
         print!("{}", opt.transformed.schedule.render(&names));
         println!(
@@ -37,8 +41,12 @@ fn main() {
         "== advect modeled time, N = {}, {} virtual cores ==",
         bench.bench_params[0], machine.cores
     );
+    let mut report = BenchReport::new("fig6_advect");
+    report.set("bench", "advect");
+    report.set("n", bench.bench_params[0]);
+    report.set("cores", machine.cores);
     for model in Model::ALL {
-        let (opt, r) = measure_modeled(&bench.scop, &bench.bench_params, model, &machine, 7);
+        let (opt, r) = measure_modeled_via(&mut optimizer, &bench.bench_params, model, &machine, 7);
         println!(
             "  {:<10} {:>10.4}s   (partitions {}, outer parallel {})",
             model.name(),
@@ -46,5 +54,13 @@ fn main() {
             opt.n_partitions(),
             opt.outer_parallel()
         );
+        report.row([
+            ("model", Json::str(model.name())),
+            ("modeled_seconds", Json::Num(r.modeled_seconds)),
+            ("partitions", Json::from(opt.n_partitions())),
+            ("outer_parallel", Json::Bool(opt.outer_parallel())),
+        ]);
     }
+    let path = report.write();
+    println!("\nresults: {}", path.display());
 }

@@ -14,10 +14,11 @@
 //! cargo bench -p wf-bench --bench fig7_performance
 //! ```
 
-use wf_bench::{geomean, measure_modeled};
+use wf_bench::{geomean, measure_modeled_via, BenchReport};
 use wf_benchsuite::catalog;
 use wf_cachesim::perf::MachineModel;
-use wf_wisefuse::Model;
+use wf_harness::json::Json;
+use wf_wisefuse::{Model, Optimizer};
 
 fn main() {
     let machine = MachineModel::default();
@@ -30,32 +31,51 @@ fn main() {
         "benchmark", "N", "icc", "wisefuse", "smartfuse", "nofuse", "maxfuse"
     );
     let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); Model::ALL.len()];
+    let mut report = BenchReport::new("fig7_performance");
+    report.set("cores", machine.cores);
+    report.set("baseline", "icc");
     for b in catalog() {
-        let (_, icc) = measure_modeled(&b.scop, &b.bench_params, Model::Icc, &machine, 2024);
+        // One facade per benchmark: the five models share one dependence
+        // analysis of the SCoP.
+        let mut optimizer = Optimizer::new(&b.scop);
+        let (_, icc) =
+            measure_modeled_via(&mut optimizer, &b.bench_params, Model::Icc, &machine, 2024);
         let base = icc.modeled_seconds;
         print!("{:<10} {:>6} |", b.name, b.bench_params[0]);
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
+        let mut row: Vec<(&'static str, Json)> = vec![
+            ("bench", Json::str(b.name)),
+            ("n", Json::from(b.bench_params[0])),
+        ];
         for (m, model) in Model::ALL.iter().enumerate() {
             let t = if *model == Model::Icc {
                 base
             } else {
-                measure_modeled(&b.scop, &b.bench_params, *model, &machine, 2024)
+                measure_modeled_via(&mut optimizer, &b.bench_params, *model, &machine, 2024)
                     .1
                     .modeled_seconds
             };
             let normalized = base / t;
             per_model[m].push(normalized);
+            row.push((model.name(), Json::Num(normalized)));
             print!(" {normalized:>9.2}");
             let _ = std::io::stdout().flush();
         }
+        report.row(row);
         println!();
     }
     print!("{:<10} {:>6} |", "GM", "");
-    for xs in &per_model {
-        print!(" {:>9.2}", geomean(xs));
+    let mut gm_row: Vec<(&'static str, Json)> = vec![("bench", Json::str("geomean"))];
+    for (m, xs) in Model::ALL.iter().zip(&per_model) {
+        let g = geomean(xs);
+        gm_row.push((m.name(), Json::Num(g)));
+        print!(" {g:>9.2}");
     }
+    report.row(gm_row);
     println!();
+    let path = report.write();
+    println!("results: {}", path.display());
     println!("\nExpected shape (paper): wisefuse >= smartfuse everywhere; large gaps on");
     println!("the five large programs (paper: 1.7x-7.2x); wisefuse ~ smartfuse on lu/tce;");
     println!("nofuse competitive on gemver; GM(wisefuse) > 1 vs the icc baseline.");

@@ -6,9 +6,11 @@
 //! cargo bench -p wf-bench --bench fig8_gemsfdtd_partitions
 //! ```
 
+use wf_bench::BenchReport;
 use wf_benchsuite::by_name;
 use wf_deps::{analyze, tarjan};
-use wf_wisefuse::{optimize, Model};
+use wf_harness::json::Json;
+use wf_wisefuse::{Model, Optimizer};
 
 fn main() {
     let bench = by_name("gemsfdtd").expect("gemsfdtd in catalog");
@@ -17,27 +19,59 @@ fn main() {
     let sccs = tarjan(&ddg);
     let depths: Vec<usize> = scop.statements.iter().map(|s| s.depth).collect();
 
+    // Reuse the DDG computed for the SCC table across all three models.
+    let mut optimizer = Optimizer::new(scop).with_ddg(ddg.clone());
     let models = [Model::Icc, Model::Smartfuse, Model::Wisefuse];
     let parts: Vec<Vec<usize>> = models
         .iter()
-        .map(|&m| optimize(scop, m).expect("schedulable").transformed.partitions)
+        .map(|&m| {
+            optimizer
+                .run_model(m)
+                .expect("schedulable")
+                .transformed
+                .partitions
+        })
         .collect();
 
     println!("== Figure 8: partition number per SCC (gemsfdtd UPML update) ==\n");
-    println!("{:<6} {:>4} | {:>6} {:>10} {:>9}", "SCC", "dim", "icc", "smartfuse", "wisefuse");
+    println!(
+        "{:<6} {:>4} | {:>6} {:>10} {:>9}",
+        "SCC", "dim", "icc", "smartfuse", "wisefuse"
+    );
     for scc in 0..sccs.len() {
         let rep = sccs.members[scc][0];
-        print!("{:<6} {:>4} |", format!("#{scc}"), sccs.dimensionality(scc, &depths));
+        print!(
+            "{:<6} {:>4} |",
+            format!("#{scc}"),
+            sccs.dimensionality(scc, &depths)
+        );
         for p in &parts {
             print!(" {:>9}", p[rep]);
         }
         println!("   ({})", scop.statements[rep].name);
     }
     println!();
+    let mut report = BenchReport::new("fig8_gemsfdtd_partitions");
+    report.set("bench", "gemsfdtd");
+    report.set("sccs", sccs.len());
     for (m, p) in models.iter().zip(&parts) {
         let n = p.iter().max().unwrap() + 1;
         println!("{:<10} -> {n} partitions", m.name());
+        report.row([
+            ("model", Json::str(m.name())),
+            ("partitions", Json::from(n)),
+            (
+                "partition_of_scc",
+                Json::Arr(
+                    (0..sccs.len())
+                        .map(|scc| Json::from(p[sccs.members[scc][0]]))
+                        .collect(),
+                ),
+            ),
+        ]);
     }
+    let path = report.write();
+    println!("results: {}", path.display());
     println!("\nExpected shape (paper): wisefuse minimizes the number of partitions by");
     println!("ordering same-dimensionality SCCs (with reuse, incl. input deps) next to");
     println!("each other; smartfuse's DFS interleaves them; icc fuses nothing.");

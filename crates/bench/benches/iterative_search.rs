@@ -9,19 +9,21 @@
 //! cargo bench -p wf-bench --bench iterative_search
 //! ```
 
+use wf_bench::BenchReport;
 use wf_benchsuite::by_name;
 use wf_cachesim::perf::{model_performance, MachineModel};
 use wf_codegen::plan::build_plan;
 use wf_deps::enumerate::{linear_extensions, ln_count_fusion_partitionings};
 use wf_deps::{analyze, tarjan, Ddg, SccInfo};
+use wf_harness::json::Json;
 use wf_runtime::ProgramData;
 use wf_schedule::fusion::failure_boundary;
-use wf_schedule::props::{self, LoopProp};
 use wf_schedule::pluto::SchedState;
+use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{schedule_scop, FusionStrategy, PlutoConfig};
 use wf_scop::Scop;
 use wf_wisefuse::pipeline::Optimized;
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::{Model, Optimizer};
 
 /// A fully specified candidate: SCC order + cut boundaries.
 struct FixedPartitioning {
@@ -76,32 +78,48 @@ fn main() {
     let mut results: Vec<(f64, String)> = Vec::new();
     for order in &orders {
         for cutmask in 0..(1usize << (n - 1)) {
-            let boundaries: Vec<usize> =
-                (1..n).filter(|b| cutmask & (1 << (b - 1)) != 0).collect();
-            let strat = FixedPartitioning { order: order.clone(), boundaries };
+            let boundaries: Vec<usize> = (1..n).filter(|b| cutmask & (1 << (b - 1)) != 0).collect();
+            let strat = FixedPartitioning {
+                order: order.clone(),
+                boundaries,
+            };
             let Ok(t) = schedule_scop(scop, &ddg, &strat, &PlutoConfig::default()) else {
                 continue;
             };
             let p = props::analyze(scop, &ddg, &t);
             let par: Vec<Vec<bool>> = p
                 .iter()
-                .map(|row| row.iter().map(|x| matches!(x, Some(LoopProp::Parallel))).collect())
+                .map(|row| {
+                    row.iter()
+                        .map(|x| matches!(x, Some(LoopProp::Parallel)))
+                        .collect()
+                })
                 .collect();
             let plan = build_plan(scop, &t, par);
             let partitions = t.partitions.clone();
-            let opt = Optimized { model: Model::Wisefuse, ddg: ddg.clone(), transformed: t, props: p };
+            let opt = Optimized {
+                model: Model::Wisefuse,
+                ddg: ddg.clone(),
+                transformed: t,
+                props: p,
+            };
             let mut data = ProgramData::new(scop, params);
             data.init_lcg(1);
             let r = model_performance(scop, &opt, &plan, &mut data, &machine);
             results.push((
                 r.modeled_seconds,
-                format!("order {order:?} cuts {cutmask:0width$b} -> partitions {partitions:?}",
-                    width = n - 1),
+                format!(
+                    "order {order:?} cuts {cutmask:0width$b} -> partitions {partitions:?}",
+                    width = n - 1
+                ),
             ));
         }
     }
     results.sort_by(|a, b| a.0.total_cmp(&b.0));
-    println!("evaluated {} schedulable candidates; best five:", results.len());
+    println!(
+        "evaluated {} schedulable candidates; best five:",
+        results.len()
+    );
     for (secs, desc) in results.iter().take(5) {
         println!("  {secs:.4}s  {desc}");
     }
@@ -110,8 +128,14 @@ fn main() {
         println!("  {secs:.4}s  {desc}");
     }
 
-    let wise = optimize(scop, Model::Wisefuse).expect("schedulable");
-    let plan = wf_codegen::plan_from_optimized(scop, &wise);
+    // The exhaustive loop already computed the DDG; the facade reuses it
+    // for wisefuse's own static choice.
+    let wise = Optimizer::new(scop)
+        .model(Model::Wisefuse)
+        .with_ddg(ddg.clone())
+        .run()
+        .expect("schedulable");
+    let plan = wf_wisefuse::plan_from_optimized(scop, &wise);
     let mut data = ProgramData::new(scop, params);
     data.init_lcg(1);
     let wr = model_performance(scop, &wise, &plan, &mut data, &machine);
@@ -122,6 +146,13 @@ fn main() {
         best / wr.modeled_seconds * 100.0,
         best
     );
+    let mut report = BenchReport::new("iterative_search");
+    report.set("bench", "advect");
+    report.set("candidates", total);
+    report.set("schedulable", results.len());
+    report.set("best_modeled_seconds", best);
+    report.set("wisefuse_modeled_seconds", wr.modeled_seconds);
+    report.set("wisefuse_pct_of_optimum", best / wr.modeled_seconds * 100.0);
 
     // And the §6 point: this search does not scale.
     println!("\n== why iterative search fails on the large programs (paper §6) ==");
@@ -139,13 +170,20 @@ fn main() {
         let (ln_count, exact) = ln_count_fusion_partitionings(s.len(), &es);
         let log10_count = ln_count / std::f64::consts::LN_10;
         let secs_per_candidate = 2.0f64; // optimistic: schedule + model once
-        let log10_years =
-            log10_count + (secs_per_candidate / (3600.0 * 24.0 * 365.0)).log10();
+        let log10_years = log10_count + (secs_per_candidate / (3600.0 * 24.0 * 365.0)).log10();
         let qual = if exact { "" } else { ">= " };
         println!(
             "  {name:<9} {:>2} SCCs -> {qual}~10^{log10_count:.1} legal partitionings \
              ({qual}~10^{log10_years:.1} years at 2 s each)",
             s.len()
         );
+        report.row([
+            ("bench", Json::str(name)),
+            ("sccs", Json::from(s.len())),
+            ("log10_partitionings", Json::Num(log10_count)),
+            ("exact", Json::Bool(exact)),
+        ]);
     }
+    let path = report.write();
+    println!("results: {}", path.display());
 }

@@ -6,10 +6,12 @@
 //! cargo bench -p wf-bench --bench tiling
 //! ```
 
+use wf_bench::BenchReport;
 use wf_cachesim::{CacheConfig, CacheSim};
-use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_codegen::plan::build_plan;
+use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_deps::analyze;
+use wf_harness::json::Json;
 use wf_runtime::{execute_plan, ExecOptions, ProgramData};
 use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{schedule_scop, Maxfuse, PlutoConfig};
@@ -29,7 +31,10 @@ fn matmul() -> Scop {
         .read(c, &[Aff::iter(0), Aff::iter(1)])
         .read(a, &[Aff::iter(0), Aff::iter(2)])
         .read(bb, &[Aff::iter(1), Aff::iter(2)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.build()
 }
@@ -42,7 +47,11 @@ fn main() {
     let p = props::analyze(&scop, &ddg, &t);
     let par: Vec<Vec<bool>> = p
         .iter()
-        .map(|row| row.iter().map(|x| matches!(x, Some(LoopProp::Parallel))).collect())
+        .map(|row| {
+            row.iter()
+                .map(|x| matches!(x, Some(LoopProp::Parallel)))
+                .collect()
+        })
         .collect();
 
     // A small L1-only cache makes the locality effect visible at this size.
@@ -50,11 +59,21 @@ fn main() {
     println!("== matmul N = {} through a 16 KiB 8-way L1 ==\n", params[0]);
     println!("{:<12} {:>14} {:>12}", "variant", "L1 misses", "miss/op");
 
-    let mut run = |label: &str, plan: &wf_codegen::ExecPlan| {
+    let mut report = BenchReport::new("tiling");
+    report.set("bench", "matmul");
+    report.set("n", params[0]);
+    let run = |label: &str, plan: &wf_codegen::ExecPlan, report: &mut BenchReport| {
         let mut data = ProgramData::new(&scop, &params);
         data.init_random(1);
         let mut sim = CacheSim::new(&scop, &params, &cfg);
-        execute_plan(&scop, &t, plan, &mut data, &ExecOptions { threads: 1 }, Some(&mut sim));
+        execute_plan(
+            &scop,
+            &t,
+            plan,
+            &mut data,
+            &ExecOptions { threads: 1 },
+            Some(&mut sim),
+        );
         let ops = (params[0] * params[0] * params[0]) as f64;
         println!(
             "{:<12} {:>14} {:>12.4}",
@@ -62,14 +81,21 @@ fn main() {
             sim.stats[0].misses,
             sim.stats[0].misses as f64 / ops
         );
+        report.row([
+            ("variant", Json::str(label)),
+            ("l1_misses", Json::from(sim.stats[0].misses)),
+            ("misses_per_op", Json::Num(sim.stats[0].misses as f64 / ops)),
+        ]);
     };
 
-    run("untiled", &build_plan(&scop, &t, par.clone()));
+    run("untiled", &build_plan(&scop, &t, par.clone()), &mut report);
     for size in [8i128, 16, 32] {
         let tiles = default_tiles(&t, size);
         let plan = build_tiled_plan(&scop, &t, par.clone(), &tiles);
-        run(&format!("tile {size}"), &plan);
+        run(&format!("tile {size}"), &plan, &mut report);
     }
     println!("\nExpected shape: tiled variants cut L1 misses by an integer factor once");
     println!("a tile's working set fits in cache (classical blocked matmul result).");
+    let path = report.write();
+    println!("results: {}", path.display());
 }

@@ -15,7 +15,9 @@ fn main() {
         let t = if model == Model::Icc {
             base
         } else {
-            measure_modeled(&b.scop, &b.bench_params, model, &machine, 2024).1.modeled_seconds
+            measure_modeled(&b.scop, &b.bench_params, model, &machine, 2024)
+                .1
+                .modeled_seconds
         };
         print!(" {:>8.2}", base / t);
     }

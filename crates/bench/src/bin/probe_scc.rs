@@ -5,15 +5,28 @@ fn main() {
         let s = wf_deps::tarjan(&d);
         let n = s.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(p: &mut Vec<usize>, x: usize) -> usize {
-            let mut r = x; while p[r] != r { p[r] = p[p[r]]; r = p[r]; } r
+        fn find(p: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while p[r] != r {
+                p[r] = p[p[r]];
+                r = p[r];
+            }
+            r
         }
         for e in &d.edges {
             let (a, b2) = (s.scc_of[e.src], s.scc_of[e.dst]);
-            if a != b2 { let (ra, rb) = (find(&mut parent, a), find(&mut parent, b2)); if ra != rb { parent[ra] = rb; } }
+            if a != b2 {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b2));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
         }
         let mut sizes = std::collections::HashMap::new();
-        for v in 0..n { let r = find(&mut parent, v); *sizes.entry(r).or_insert(0usize) += 1; }
+        for v in 0..n {
+            let r = find(&mut parent, v);
+            *sizes.entry(r).or_insert(0usize) += 1;
+        }
         let mut sz: Vec<usize> = sizes.values().copied().collect();
         sz.sort_unstable_by(|a, b| b.cmp(a));
         println!("{name}: {n} SCCs, component sizes {sz:?}");

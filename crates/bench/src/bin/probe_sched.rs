@@ -18,7 +18,11 @@ fn main() {
                 o.n_partitions(),
                 o.outer_parallel()
             ),
-            Err(e) => println!("{name} {:<10} FAILED after {:?}: {e}", model.name(), t0.elapsed()),
+            Err(e) => println!(
+                "{name} {:<10} FAILED after {:?}: {e}",
+                model.name(),
+                t0.elapsed()
+            ),
         }
     }
 }

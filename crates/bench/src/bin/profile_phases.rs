@@ -10,11 +10,24 @@ fn main() {
     let b = by_name(&name).expect("benchmark");
     let t0 = Instant::now();
     let ddg = analyze(&b.scop);
-    println!("{name}: deps analysis {:?} ({} edges, {} rar)", t0.elapsed(), ddg.edges.len(), ddg.rar.len());
-    for (label, strat) in [("wisefuse", &Wisefuse as &dyn wf_schedule::FusionStrategy), ("smartfuse", &Smartfuse)] {
+    println!(
+        "{name}: deps analysis {:?} ({} edges, {} rar)",
+        t0.elapsed(),
+        ddg.edges.len(),
+        ddg.rar.len()
+    );
+    for (label, strat) in [
+        ("wisefuse", &Wisefuse as &dyn wf_schedule::FusionStrategy),
+        ("smartfuse", &Smartfuse),
+    ] {
         let t1 = Instant::now();
         match schedule_scop(&b.scop, &ddg, strat, &PlutoConfig::default()) {
-            Ok(t) => println!("{name}: {label} schedule {:?} ({} dims, partitions {:?})", t1.elapsed(), t.schedule.n_dims(), t.partitions),
+            Ok(t) => println!(
+                "{name}: {label} schedule {:?} ({} dims, partitions {:?})",
+                t1.elapsed(),
+                t.schedule.n_dims(),
+                t.partitions
+            ),
             Err(e) => println!("{name}: {label} FAILED after {:?}: {e}", t1.elapsed()),
         }
     }

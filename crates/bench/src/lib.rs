@@ -2,12 +2,15 @@
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use wf_cachesim::perf::{model_performance, MachineModel, PerfReport};
-use wf_codegen::{plan_from_optimized, ExecPlan};
+use wf_codegen::ExecPlan;
+use wf_harness::json::Json;
+use wf_harness::report;
 use wf_runtime::{execute_plan, ExecOptions, ProgramData};
 use wf_scop::Scop;
-use wf_wisefuse::{optimize, Model, Optimized};
+use wf_wisefuse::{plan_from_optimized, Model, Optimized, Optimizer};
 
 /// One benchmark × model measurement.
 pub struct Measurement {
@@ -33,12 +36,22 @@ pub fn measure(
     oracle: Option<&ProgramData>,
 ) -> Measurement {
     let c0 = Instant::now();
-    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    let opt = Optimizer::new(scop)
+        .model(model)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let plan = plan_from_optimized(scop, &opt);
     let compile_time = c0.elapsed();
     let mut data = init.clone();
     let t0 = Instant::now();
-    execute_plan(scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+    execute_plan(
+        scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads },
+        None,
+    );
     let time = t0.elapsed();
     if let Some(o) = oracle {
         assert_eq!(
@@ -49,7 +62,12 @@ pub fn measure(
         );
     }
     let _ = params;
-    Measurement { model, opt, time, compile_time }
+    Measurement {
+        model,
+        opt,
+        time,
+        compile_time,
+    }
 }
 
 /// Plan + data for a model (used by harnesses that need the plan itself).
@@ -59,7 +77,10 @@ pub fn plan_and_data(
     model: Model,
     seed: u64,
 ) -> (Optimized, ExecPlan, ProgramData) {
-    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    let opt = Optimizer::new(scop)
+        .model(model)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let plan = plan_from_optimized(scop, &opt);
     let mut data = ProgramData::new(scop, params);
     data.init_random(seed);
@@ -78,7 +99,9 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// Number of worker threads used by the harnesses (the paper uses 8 cores).
 #[must_use]
 pub fn harness_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |p| p.get()).min(8)
+    std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(8)
 }
 
 /// Schedule + plan + instrumented serial run priced on the machine model.
@@ -92,10 +115,65 @@ pub fn measure_modeled(
     machine: &MachineModel,
     seed: u64,
 ) -> (Optimized, PerfReport) {
-    let opt = optimize(scop, model).unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
+    measure_modeled_via(&mut Optimizer::new(scop), params, model, machine, seed)
+}
+
+/// [`measure_modeled`] through an existing [`Optimizer`]: harness loops
+/// that price several models of one SCoP share its cached dependence
+/// analysis instead of re-running it per model.
+pub fn measure_modeled_via(
+    optimizer: &mut Optimizer<'_>,
+    params: &[i128],
+    model: Model,
+    machine: &MachineModel,
+    seed: u64,
+) -> (Optimized, PerfReport) {
+    let scop = optimizer.scop();
+    let opt = optimizer
+        .run_model(model)
+        .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let plan = plan_from_optimized(scop, &opt);
     let mut data = ProgramData::new(scop, params);
     data.init_random(seed);
     let report = model_performance(scop, &opt, &plan, &mut data, machine);
     (opt, report)
+}
+
+/// Accumulates one harness's results and writes `BENCH_<name>.json`.
+///
+/// Every figure-regeneration binary keeps its human-readable stdout story
+/// and *additionally* funnels the numbers behind it through one of these,
+/// so CI (and the paper-claims tests) can diff machine-readable results.
+pub struct BenchReport {
+    name: String,
+    top: Json,
+    rows: Vec<Json>,
+}
+
+impl BenchReport {
+    /// Start a report; `name` becomes the `BENCH_<name>.json` file stem.
+    #[must_use]
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            top: Json::obj([]),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set a top-level field (benchmark name, problem size, core count…).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        self.top.push(key, value.into());
+    }
+
+    /// Append one result row.
+    pub fn row(&mut self, fields: impl IntoIterator<Item = (&'static str, Json)>) {
+        self.rows.push(Json::obj(fields));
+    }
+
+    /// Write `BENCH_<name>.json` and return its path.
+    pub fn write(mut self) -> PathBuf {
+        self.top.push("rows", Json::Arr(self.rows));
+        report::write_named(&self.name, &self.top)
+    }
 }

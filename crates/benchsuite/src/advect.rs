@@ -108,7 +108,10 @@ mod tests {
             "maxfuse fuses everything: {:?}",
             m.transformed.partitions
         );
-        assert!(!m.outer_parallel(), "shifted fusion pipelines the outer loop");
+        assert!(
+            !m.outer_parallel(),
+            "shifted fusion pipelines the outer loop"
+        );
     }
 
     #[test]

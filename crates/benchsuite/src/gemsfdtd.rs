@@ -120,7 +120,10 @@ pub fn build() -> Scop {
         .write(ky, &[i.clone(), j.clone()])
         .read(ky, &[i.clone(), j.clone()])
         .read(sigma, &[i.clone(), j.clone()])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Const(2.0), Expr::Load(1))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Const(2.0), Expr::Load(1)),
+        ))
         .done();
     // S6 (3D): HY from BY and KY.
     b3(b.stmt("S6", 3, &[5, 0, 0, 0]))
@@ -149,7 +152,10 @@ pub fn build() -> Scop {
         .write(kz, &[i.clone(), j.clone()])
         .read(kz, &[i.clone(), j.clone()])
         .read(sigma, &[i.clone(), j.clone()])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Const(3.0), Expr::Load(1))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Const(3.0), Expr::Load(1)),
+        ))
         .done();
     // S9 (3D): HZ from BZ and KZ.
     b3(b.stmt("S9", 3, &[8, 0, 0, 0]))

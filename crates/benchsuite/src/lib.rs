@@ -153,7 +153,12 @@ mod tests {
         let cat = catalog();
         assert_eq!(cat.len(), 10);
         for b in &cat {
-            assert_eq!(b.scop.validate(), Vec::<String>::new(), "{} invalid", b.name);
+            assert_eq!(
+                b.scop.validate(),
+                Vec::<String>::new(),
+                "{} invalid",
+                b.name
+            );
             assert!(
                 b.scop.context.contains(&b.test_params),
                 "{}: test params violate context",
@@ -169,7 +174,11 @@ mod tests {
 
     #[test]
     fn large_flags_match_paper() {
-        let larges: Vec<&str> = catalog().iter().filter(|b| b.large).map(|b| b.name).collect();
+        let larges: Vec<&str> = catalog()
+            .iter()
+            .filter(|b| b.large)
+            .map(|b| b.name)
+            .collect();
         assert_eq!(larges, vec!["gemsfdtd", "swim", "applu", "bt", "sp"]);
     }
 

@@ -40,7 +40,10 @@ pub fn build() -> Scop {
         .read(a, &[Aff::iter(1), Aff::iter(2)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(a, &[Aff::iter(0), Aff::iter(2)])
-        .rhs(Expr::sub(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::sub(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.build()
 }
@@ -79,8 +82,13 @@ mod tests {
             let v = d.arrays[0].get(&[i as i128, i as i128]);
             d.arrays[0].set(&[i as i128, i as i128], v + 10.0);
         }
-        let mut m: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..n).map(|j| d.arrays[0].get(&[i as i128, j as i128])).collect()).collect();
+        let mut m: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| d.arrays[0].get(&[i as i128, j as i128]))
+                    .collect()
+            })
+            .collect();
         execute_reference(&s, &mut d);
         for k in 0..n {
             for j in k + 1..n {
@@ -94,7 +102,11 @@ mod tests {
         }
         for i in 0..n {
             for j in 0..n {
-                assert_eq!(d.arrays[0].get(&[i as i128, j as i128]), m[i][j], "({i},{j})");
+                assert_eq!(
+                    d.arrays[0].get(&[i as i128, j as i128]),
+                    m[i][j],
+                    "({i},{j})"
+                );
             }
         }
     }

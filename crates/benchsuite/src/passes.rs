@@ -48,8 +48,9 @@ fn build_passes(name: &str, n_passes: usize, per_pass: usize, st: Stencil) -> Sc
     // applu's `u`/`rsd`): program-wide input-dependence reuse.
     let u_field = b.array("U", &d3());
     // Shared per-pass RHS fields (read-only within the pass).
-    let rhs: Vec<usize> =
-        (0..n_passes).map(|p| b.array(&format!("RHS{p}"), &d3())).collect();
+    let rhs: Vec<usize> = (0..n_passes)
+        .map(|p| b.array(&format!("RHS{p}"), &d3()))
+        .collect();
     // Per-pass, per-statement outputs.
     let out: Vec<Vec<usize>> = (0..n_passes)
         .map(|p| {
@@ -128,19 +129,43 @@ fn build_passes(name: &str, n_passes: usize, per_pass: usize, st: Stencil) -> Sc
 /// applu: 3 passes × 4 statements, solve axis `k`.
 #[must_use]
 pub fn build_applu() -> Scop {
-    build_passes("applu", 3, 4, Stencil { solve_axis: 2, radius: 1 })
+    build_passes(
+        "applu",
+        3,
+        4,
+        Stencil {
+            solve_axis: 2,
+            radius: 1,
+        },
+    )
 }
 
 /// bt: 3 passes × 4 statements, solve axis `j` (block tri-diagonal).
 #[must_use]
 pub fn build_bt() -> Scop {
-    build_passes("bt", 3, 4, Stencil { solve_axis: 1, radius: 1 })
+    build_passes(
+        "bt",
+        3,
+        4,
+        Stencil {
+            solve_axis: 1,
+            radius: 1,
+        },
+    )
 }
 
 /// sp: 3 passes × 4 statements, radius-2 solve along `k` (penta-diagonal).
 #[must_use]
 pub fn build_sp() -> Scop {
-    build_passes("sp", 3, 4, Stencil { solve_axis: 2, radius: 2 })
+    build_passes(
+        "sp",
+        3,
+        4,
+        Stencil {
+            solve_axis: 2,
+            radius: 2,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -170,7 +195,10 @@ mod tests {
         // Pass 0 = statements 0..4, pass 1 = 4..8, pass 2 = 8..12.
         for q in 0..4 {
             assert!(pos(q, &wise) < 4, "pass-0 stmt {q} in first block");
-            assert!((4..8).contains(&pos(4 + q, &wise)), "pass-1 stmt in second block");
+            assert!(
+                (4..8).contains(&pos(4 + q, &wise)),
+                "pass-1 stmt in second block"
+            );
         }
         let dfs = wf_schedule::fusion::dfs_order(&ddg, &sccs);
         // In the DFS order, some pass-1 statement appears among the first

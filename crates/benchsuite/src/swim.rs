@@ -227,7 +227,10 @@ pub fn build() -> Scop {
         .write(uacc, &[i.clone(), j.clone()])
         .read(unew, &[i.clone(), j.clone()])
         .read(u, &[i.clone(), j.clone()])
-        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::add(Expr::Load(0), Expr::Load(1)),
+        ))
         .done();
     // S17: VACC[i][j] = 0.5*(VNEW[i][j] + V[i][j])      (S14 -> S17)
     b.stmt("S17", 2, &[10, 0, 4])
@@ -236,7 +239,10 @@ pub fn build() -> Scop {
         .write(vacc, &[i.clone(), j.clone()])
         .read(vnew, &[i.clone(), j.clone()])
         .read(v, &[i.clone(), j.clone()])
-        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::add(Expr::Load(0), Expr::Load(1)),
+        ))
         .done();
     // S18: PACC[i][j] = 0.5*(PNEW[i][j] + P[i][j])      (S15 -> S18)
     b.stmt("S18", 2, &[10, 0, 5])
@@ -245,7 +251,10 @@ pub fn build() -> Scop {
         .write(pacc, &[i.clone(), j.clone()])
         .read(pnew, &[i.clone(), j.clone()])
         .read(p, &[i.clone(), j.clone()])
-        .rhs(Expr::mul(Expr::Const(0.5), Expr::add(Expr::Load(0), Expr::Load(1))))
+        .rhs(Expr::mul(
+            Expr::Const(0.5),
+            Expr::add(Expr::Load(0), Expr::Load(1)),
+        ))
         .done();
 
     // ---- boundaries of the new fields: S19..S27 --------------------------
@@ -305,27 +314,28 @@ pub fn build() -> Scop {
         .done();
 
     // ---- third 2-D nest: S28..S36 (calc3-like time shift + diagnostics) --
-    let shift = |b: &mut ScopBuilder, name: &str, beta2: usize, old: usize, cur: usize, new: usize| {
-        // OLD[i][j] = CUR[i][j] + alpha*(NEW[i][j] - 2*CUR[i][j] + OLD[i][j])
-        b.stmt(name, 2, &[20, 0, beta2])
-            .bounds(0, Aff::konst(1), Aff::param(0))
-            .bounds(1, Aff::konst(1), Aff::param(0))
-            .write(old, &[Aff::iter(0), Aff::iter(1)])
-            .read(cur, &[Aff::iter(0), Aff::iter(1)])
-            .read(new, &[Aff::iter(0), Aff::iter(1)])
-            .read(old, &[Aff::iter(0), Aff::iter(1)])
-            .rhs(Expr::add(
-                Expr::Load(0),
-                Expr::mul(
-                    Expr::Const(ALPHA),
-                    Expr::add(
-                        Expr::sub(Expr::Load(1), Expr::mul(Expr::Const(2.0), Expr::Load(0))),
-                        Expr::Load(2),
+    let shift =
+        |b: &mut ScopBuilder, name: &str, beta2: usize, old: usize, cur: usize, new: usize| {
+            // OLD[i][j] = CUR[i][j] + alpha*(NEW[i][j] - 2*CUR[i][j] + OLD[i][j])
+            b.stmt(name, 2, &[20, 0, beta2])
+                .bounds(0, Aff::konst(1), Aff::param(0))
+                .bounds(1, Aff::konst(1), Aff::param(0))
+                .write(old, &[Aff::iter(0), Aff::iter(1)])
+                .read(cur, &[Aff::iter(0), Aff::iter(1)])
+                .read(new, &[Aff::iter(0), Aff::iter(1)])
+                .read(old, &[Aff::iter(0), Aff::iter(1)])
+                .rhs(Expr::add(
+                    Expr::Load(0),
+                    Expr::mul(
+                        Expr::Const(ALPHA),
+                        Expr::add(
+                            Expr::sub(Expr::Load(1), Expr::mul(Expr::Const(2.0), Expr::Load(0))),
+                            Expr::Load(2),
+                        ),
                     ),
-                ),
-            ))
-            .done();
-    };
+                ))
+                .done();
+        };
     shift(&mut b, "S28", 0, uold, u, unew);
     shift(&mut b, "S29", 1, vold, v, vnew);
     shift(&mut b, "S30", 2, pold, p, pnew);

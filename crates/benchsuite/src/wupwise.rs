@@ -41,7 +41,10 @@ pub fn build() -> Scop {
         .read(c, &[i.clone(), j.clone()])
         .read(a, &[i.clone(), k.clone()])
         .read(bb_arr, &[k, j.clone()])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.stmt("S3", 2, &[2, 0, 0])
         .bounds(0, Aff::zero(), Aff::param(0) - 1)
@@ -76,10 +79,12 @@ mod tests {
         let mut d = ProgramData::new(&s, &[n as i128]);
         d.init_random(11);
         let get = |t: &wf_runtime::Tensor, i: usize, j: usize| t.get(&[i as i128, j as i128]);
-        let a: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..n).map(|j| get(&d.arrays[0], i, j)).collect()).collect();
-        let bm: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..n).map(|j| get(&d.arrays[1], i, j)).collect()).collect();
+        let a: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| get(&d.arrays[0], i, j)).collect())
+            .collect();
+        let bm: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| get(&d.arrays[1], i, j)).collect())
+            .collect();
         execute_reference(&s, &mut d);
         for i in 0..n {
             for j in 0..n {

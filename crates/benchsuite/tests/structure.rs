@@ -14,7 +14,12 @@ fn gemsfdtd_reuse_families() {
     // B-field updates S1/S4/S7 (indices 0,3,6) and the diagnostic S11 (10)
     // share E-field reads: pure input-dependence reuse, no legality edges.
     for (a, b) in [(0usize, 3usize), (0, 6), (3, 6), (0, 10), (3, 10), (6, 10)] {
-        assert!(ddg.has_reuse(a, b), "S{}/S{} must share E-field reuse", a + 1, b + 1);
+        assert!(
+            ddg.has_reuse(a, b),
+            "S{}/S{} must share E-field reuse",
+            a + 1,
+            b + 1
+        );
         assert!(
             ddg.edges_between(a, b).next().is_none(),
             "S{}/S{} must not be legality-connected",
@@ -54,12 +59,20 @@ fn swim_second_nest_dependence_pairs() {
     }
     // S13/S14 depend on boundary statements; S15 does not.
     let depends_on_boundary = |stmt: usize| {
-        ddg.edges.iter().any(|e| (3..12).contains(&e.src) && e.dst == stmt)
+        ddg.edges
+            .iter()
+            .any(|e| (3..12).contains(&e.src) && e.dst == stmt)
     };
     assert!(depends_on_boundary(12), "S13 must consume boundary output");
     assert!(depends_on_boundary(13), "S14 must consume boundary output");
-    assert!(!depends_on_boundary(14), "S15 must not touch boundary output");
-    assert!(!depends_on_boundary(17), "S18 must not touch boundary output");
+    assert!(
+        !depends_on_boundary(14),
+        "S15 must not touch boundary output"
+    );
+    assert!(
+        !depends_on_boundary(17),
+        "S18 must not touch boundary output"
+    );
 }
 
 #[test]
@@ -100,7 +113,11 @@ fn advect_consumer_has_symmetric_stencil() {
         .iter()
         .filter(|e| e.kind == DepKind::Flow && e.dst == 3)
         .collect();
-    assert!(flows.len() >= 3, "S4 must consume S1..S3 outputs: {}", flows.len());
+    assert!(
+        flows.len() >= 3,
+        "S4 must consume S1..S3 outputs: {}",
+        flows.len()
+    );
 }
 
 #[test]

@@ -11,6 +11,7 @@
 //! misses per level for any fusion model. A separate exact reuse-distance
 //! profiler ([`ReuseProfiler`]) reports the LRU stack-distance histogram.
 
+#![allow(clippy::needless_range_loop)] // index-style is clearer for the geometry/interleaving code
 #![warn(missing_docs)]
 
 pub mod perf;
@@ -43,9 +44,18 @@ impl CacheConfig {
         CacheConfig {
             line: 64,
             levels: vec![
-                LevelConfig { capacity: 32 * 1024, assoc: 8 },
-                LevelConfig { capacity: 256 * 1024, assoc: 8 },
-                LevelConfig { capacity: 20 * 1024 * 1024, assoc: 16 },
+                LevelConfig {
+                    capacity: 32 * 1024,
+                    assoc: 8,
+                },
+                LevelConfig {
+                    capacity: 256 * 1024,
+                    assoc: 8,
+                },
+                LevelConfig {
+                    capacity: 20 * 1024 * 1024,
+                    assoc: 16,
+                },
             ],
         }
     }
@@ -53,7 +63,10 @@ impl CacheConfig {
     /// A tiny configuration for unit tests.
     #[must_use]
     pub fn tiny(capacity: usize, assoc: usize, line: usize) -> CacheConfig {
-        CacheConfig { line, levels: vec![LevelConfig { capacity, assoc }] }
+        CacheConfig {
+            line,
+            levels: vec![LevelConfig { capacity, assoc }],
+        }
     }
 
     /// The E5-2650 hierarchy scaled down 20-32x, for laptop-scale problem
@@ -67,9 +80,18 @@ impl CacheConfig {
         CacheConfig {
             line: 64,
             levels: vec![
-                LevelConfig { capacity: 1536, assoc: 8 },
-                LevelConfig { capacity: 8 * 1024, assoc: 8 },
-                LevelConfig { capacity: 1024 * 1024, assoc: 16 },
+                LevelConfig {
+                    capacity: 1536,
+                    assoc: 8,
+                },
+                LevelConfig {
+                    capacity: 8 * 1024,
+                    assoc: 8,
+                },
+                LevelConfig {
+                    capacity: 1024 * 1024,
+                    assoc: 16,
+                },
             ],
         }
     }
@@ -92,7 +114,11 @@ struct LevelOutcome {
 impl Level {
     fn new(cfg: LevelConfig, line: usize) -> Level {
         let n_sets = (cfg.capacity / (cfg.assoc * line)).max(1);
-        Level { n_sets, assoc: cfg.assoc, sets: vec![Vec::new(); n_sets] }
+        Level {
+            n_sets,
+            assoc: cfg.assoc,
+            sets: vec![Vec::new(); n_sets],
+        }
     }
 
     /// Access a line address (write-allocate, write-back policy).
@@ -102,7 +128,10 @@ impl Level {
         if let Some(pos) = ways.iter().position(|&(t, _)| t == line_addr) {
             let (t, dirty) = ways.remove(pos);
             ways.insert(0, (t, dirty || is_write));
-            LevelOutcome { hit: true, writeback: false }
+            LevelOutcome {
+                hit: true,
+                writeback: false,
+            }
         } else {
             ways.insert(0, (line_addr, is_write));
             let mut writeback = false;
@@ -111,7 +140,10 @@ impl Level {
                     writeback = dirty;
                 }
             }
-            LevelOutcome { hit: false, writeback }
+            LevelOutcome {
+                hit: false,
+                writeback,
+            }
         }
     }
 }
@@ -153,7 +185,11 @@ impl CacheSim {
             next += bytes + 4096;
         }
         CacheSim {
-            levels: cfg.levels.iter().map(|&l| Level::new(l, cfg.line)).collect(),
+            levels: cfg
+                .levels
+                .iter()
+                .map(|&l| Level::new(l, cfg.line))
+                .collect(),
             stats: vec![LevelStats::default(); cfg.levels.len()],
             total_accesses: 0,
             line: cfg.line,
@@ -213,7 +249,13 @@ impl ReuseProfiler {
             let elems: usize = a.extents(params).iter().product::<usize>().max(1);
             next += ((elems * 8).next_multiple_of(4096) + 4096) as u64;
         }
-        ReuseProfiler { stack: Vec::new(), hist: Vec::new(), cold: 0, line: 64, bases }
+        ReuseProfiler {
+            stack: Vec::new(),
+            hist: Vec::new(),
+            cold: 0,
+            line: 64,
+            bases,
+        }
     }
 
     /// Mean reuse distance over non-cold accesses (lines).
@@ -222,7 +264,11 @@ impl ReuseProfiler {
         let mut total = 0.0f64;
         let mut n = 0u64;
         for (k, &c) in self.hist.iter().enumerate() {
-            let mid = if k == 0 { 0.5 } else { (3 << (k - 1)) as f64 / 2.0 };
+            let mid = if k == 0 {
+                0.5
+            } else {
+                (3 << (k - 1)) as f64 / 2.0
+            };
             total += mid * c as f64;
             n += c;
         }
@@ -238,7 +284,11 @@ impl AccessObserver for ReuseProfiler {
     fn access(&mut self, array: usize, offset: usize, _is_write: bool) {
         let line_addr = (self.bases[array] + (offset as u64) * 8) / self.line;
         if let Some(pos) = self.stack.iter().position(|&t| t == line_addr) {
-            let bucket = if pos == 0 { 0 } else { (usize::BITS - pos.leading_zeros()) as usize };
+            let bucket = if pos == 0 {
+                0
+            } else {
+                (usize::BITS - pos.leading_zeros()) as usize
+            };
             if self.hist.len() <= bucket {
                 self.hist.resize(bucket + 1, 0);
             }
@@ -326,8 +376,14 @@ mod tests {
         let cfg = CacheConfig {
             line: 64,
             levels: vec![
-                LevelConfig { capacity: 128, assoc: 2 },
-                LevelConfig { capacity: 1024, assoc: 4 },
+                LevelConfig {
+                    capacity: 128,
+                    assoc: 2,
+                },
+                LevelConfig {
+                    capacity: 1024,
+                    assoc: 4,
+                },
             ],
         };
         let mut sim = CacheSim::new(&s, &[1024], &cfg);
@@ -364,7 +420,10 @@ mod tests {
         let mut sim = CacheSim::new(&s, &[8], &CacheConfig::tiny(4096, 8, 64));
         sim.access(0, 0, true);
         sim.access(1, 0, true);
-        assert_eq!(sim.stats[0].misses, 2, "different arrays are different lines");
+        assert_eq!(
+            sim.stats[0].misses, 2,
+            "different arrays are different lines"
+        );
     }
 
     #[test]
@@ -396,7 +455,6 @@ mod tests {
 #[cfg(test)]
 mod writeback_tests {
     use super::*;
-    use wf_runtime::AccessObserver as _;
     use wf_scop::{Aff, Expr, ScopBuilder};
 
     fn scop() -> wf_scop::Scop {
@@ -444,6 +502,9 @@ mod writeback_tests {
         for line in 1..4 {
             sim.access(0, line * 8, false); // evict line 0
         }
-        assert_eq!(sim.stats[0].writebacks, 1, "the dirty line paid a writeback");
+        assert_eq!(
+            sim.stats[0].writebacks, 1,
+            "the dirty line paid a writeback"
+        );
     }
 }

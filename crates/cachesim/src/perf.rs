@@ -194,9 +194,20 @@ pub fn model_performance(
         ops: vec![0; n_parts],
         accesses: vec![0; n_parts],
         misses: vec![[0; 3]; n_parts],
-        op_cost: scop.statements.iter().map(|s| expr_ops(&s.rhs) + 1).collect(),
+        op_cost: scop
+            .statements
+            .iter()
+            .map(|s| expr_ops(&s.rhs) + 1)
+            .collect(),
     };
-    execute_plan(scop, &opt.transformed, plan, data, &ExecOptions { threads: 1 }, Some(&mut att));
+    execute_plan(
+        scop,
+        &opt.transformed,
+        plan,
+        data,
+        &ExecOptions { threads: 1 },
+        Some(&mut att),
+    );
 
     // Classify each partition and count outer trips.
     let first_loop = opt
@@ -209,8 +220,9 @@ pub fn model_performance(
     let mut serial_total = 0u64;
     let mut modeled_cycles = 0f64;
     for p in 0..n_parts {
-        let members: Vec<usize> =
-            (0..scop.n_statements()).filter(|&s| parts[s] == p).collect();
+        let members: Vec<usize> = (0..scop.n_statements())
+            .filter(|&s| parts[s] == p)
+            .collect();
         let kind = classify(opt, &members, first_loop);
         let outer_trips = outer_trips(plan, &members, &data.params);
         let h = &att.misses[p];
@@ -269,13 +281,18 @@ fn classify(opt: &Optimized, members: &[usize], first_loop: Option<usize>) -> Pa
     let Some(outer) = outer else {
         return ParallelKind::Serial;
     };
-    if members.iter().all(|&s| opt.props[outer][s] == Some(LoopProp::Parallel)) {
+    if members
+        .iter()
+        .all(|&s| opt.props[outer][s] == Some(LoopProp::Parallel))
+    {
         return ParallelKind::Parallel;
     }
     // Any deeper parallel loop makes it a wavefront; otherwise serial.
     for d in outer + 1..dims.len() {
         if dims[d] == DimKind::Loop
-            && members.iter().any(|&s| opt.props[d][s] == Some(LoopProp::Parallel))
+            && members
+                .iter()
+                .any(|&s| opt.props[d][s] == Some(LoopProp::Parallel))
         {
             return ParallelKind::Wavefront;
         }
@@ -319,8 +336,8 @@ fn outer_trips(plan: &ExecPlan, members: &[usize], params: &[i128]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wf_codegen::plan_from_optimized;
     use wf_scop::{Aff, ScopBuilder};
+    use wf_wisefuse::plan_from_optimized;
     use wf_wisefuse::{optimize, Model};
 
     fn pipeline() -> Scop {
@@ -354,7 +371,10 @@ mod tests {
         assert_eq!(r.partitions.len(), 1, "fused into one partition");
         assert_eq!(r.partitions[0].kind, ParallelKind::Parallel);
         let ratio = r.serial_seconds / r.modeled_seconds;
-        assert!((ratio - 8.0).abs() < 1e-9, "parallel speedup must be cores: {ratio}");
+        assert!(
+            (ratio - 8.0).abs() < 1e-9,
+            "parallel speedup must be cores: {ratio}"
+        );
     }
 
     #[test]

@@ -13,12 +13,12 @@ use std::time::Instant;
 use wf_benchsuite::{by_name, catalog, Benchmark};
 use wf_cachesim::perf::{model_performance, MachineModel};
 use wf_cachesim::{CacheConfig, CacheSim};
+use wf_codegen::render_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
-use wf_codegen::{plan_from_optimized, render_plan};
+use wf_harness::json::Json;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
-use wf_schedule::props::LoopProp;
 use wf_scop::pretty;
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::{optimize, plan_from_optimized, Model, Optimizer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -108,8 +108,8 @@ USAGE:
   wfc list
   wfc show <bench>
   wfc opt <bench> [--model icc|wisefuse|smartfuse|nofuse|maxfuse] [--tile S]
-  wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S]
-  wfc compare <bench> [--threads T] [--size N]
+  wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S] [--json]
+  wfc compare <bench> [--threads T] [--size N] [--json]
   wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
   wfc model <bench> [--model M] [--size N]     # machine-model breakdown
   wfc export <bench>                           # benchmark as .wfs text
@@ -124,17 +124,21 @@ struct Opts {
     cache: bool,
     verify: bool,
     tile: Option<i128>,
+    json: bool,
 }
 
 impl Opts {
     fn parse<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Opts, String> {
         let mut o = Opts {
             model: Model::Wisefuse,
-            threads: std::thread::available_parallelism().map_or(4, |p| p.get()).min(8),
+            threads: std::thread::available_parallelism()
+                .map_or(4, |p| p.get())
+                .min(8),
             size: None,
             cache: false,
             verify: false,
             tile: None,
+            json: false,
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -170,6 +174,7 @@ impl Opts {
                 }
                 "--cache" => o.cache = true,
                 "--verify" => o.verify = true,
+                "--json" => o.json = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -178,7 +183,10 @@ impl Opts {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<10} {:<10} {:<36} {:>7} {:>6}", "name", "suite", "category", "stmts", "large");
+    println!(
+        "{:<10} {:<10} {:<36} {:>7} {:>6}",
+        "name", "suite", "category", "stmts", "large"
+    );
     for b in catalog() {
         println!(
             "{:<10} {:<10} {:<36} {:>7} {:>6}",
@@ -216,7 +224,12 @@ fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
         opts.model.name(),
         t0.elapsed()
     );
-    let names: Vec<String> = bench.scop.statements.iter().map(|s| s.name.clone()).collect();
+    let names: Vec<String> = bench
+        .scop
+        .statements
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
     print!("{}", opt.transformed.schedule.render(&names));
     println!(
         "\npartitions: {:?}\nouter loops parallel: {}",
@@ -228,33 +241,31 @@ fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
         Some(size) => {
             let tiles = default_tiles(&opt.transformed, size);
             println!("tiling {} band(s) at size {size}", tiles.len());
-            let par: Vec<Vec<bool>> = opt
-                .props
-                .iter()
-                .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
-                .collect();
-            build_tiled_plan(&bench.scop, &opt.transformed, par, &tiles)
+            build_tiled_plan(&bench.scop, &opt.transformed, opt.parallel_flags(), &tiles)
         }
     };
-    println!("\n== generated code ==\n{}", render_plan(&bench.scop, &plan));
+    println!(
+        "\n== generated code ==\n{}",
+        render_plan(&bench.scop, &plan)
+    );
     Ok(())
 }
 
 fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
-    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let c0 = Instant::now();
+    let opt = Optimizer::new(&bench.scop)
+        .model(opts.model)
+        .run()
+        .map_err(|e| e.to_string())?;
     let plan = match opts.tile {
         None => plan_from_optimized(&bench.scop, &opt),
         Some(size) => {
             let tiles = default_tiles(&opt.transformed, size);
-            let par: Vec<Vec<bool>> = opt
-                .props
-                .iter()
-                .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
-                .collect();
-            build_tiled_plan(&bench.scop, &opt.transformed, par, &tiles)
+            build_tiled_plan(&bench.scop, &opt.transformed, opt.parallel_flags(), &tiles)
         }
     };
+    let compile = c0.elapsed();
     let mut data = ProgramData::new(&bench.scop, &params);
     data.init_random(2024);
     let oracle = if opts.verify {
@@ -275,9 +286,51 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
         &plan,
         &mut data,
         &ExecOptions { threads },
-        sim.as_mut().map(|s| s as &mut dyn wf_runtime::AccessObserver),
+        sim.as_mut()
+            .map(|s| s as &mut dyn wf_runtime::AccessObserver),
     );
     let dt = t0.elapsed();
+    let verified = match &oracle {
+        None => None,
+        Some(o) => {
+            let diff = data.max_abs_diff(o);
+            if diff != 0.0 && !opts.json {
+                return Err(format!("verification FAILED: max diff {diff}"));
+            }
+            Some(diff == 0.0)
+        }
+    };
+    if opts.json {
+        let mut j = Json::obj([
+            ("bench", Json::str(bench.scop.name.as_str())),
+            ("model", Json::str(opts.model.name())),
+            ("n", Json::Int(params[0])),
+            ("threads", Json::from(threads)),
+            ("partitions", Json::from(opt.n_partitions())),
+            ("outer_parallel", Json::from(opt.outer_parallel())),
+            ("compile_seconds", Json::Num(compile.as_secs_f64())),
+            ("run_seconds", Json::Num(dt.as_secs_f64())),
+        ]);
+        if let Some(sim) = &sim {
+            j.push(
+                "cache",
+                Json::obj([
+                    ("accesses", Json::from(sim.total_accesses)),
+                    ("l1_misses", Json::from(sim.stats[0].misses)),
+                    ("l2_misses", Json::from(sim.stats[1].misses)),
+                    ("l3_misses", Json::from(sim.stats[2].misses)),
+                ]),
+            );
+        }
+        if let Some(ok) = verified {
+            j.push("verified", Json::from(ok));
+        }
+        println!("{}", j.render());
+        return match verified {
+            Some(false) => Err("verification FAILED (see JSON)".to_string()),
+            _ => Ok(()),
+        };
+    }
     println!(
         "{} / {} / N={} / {} thread(s): {:.1?}",
         bench.scop.name,
@@ -292,11 +345,7 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
             sim.total_accesses, sim.stats[0].misses, sim.stats[1].misses, sim.stats[2].misses
         );
     }
-    if let Some(o) = oracle {
-        let diff = data.max_abs_diff(&o);
-        if diff != 0.0 {
-            return Err(format!("verification FAILED: max diff {diff}"));
-        }
+    if verified == Some(true) {
         println!("verified: bit-identical to original program order");
     }
     Ok(())
@@ -306,17 +355,29 @@ fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let mut init = ProgramData::new(&bench.scop, &params);
     init.init_random(2024);
-    println!(
-        "== {} at N = {} on {} thread(s) ==\n",
-        bench.scop.name, params[0], opts.threads
-    );
-    println!(
-        "{:<10} {:>10} {:>15} {:>12} {:>12}",
-        "model", "partitions", "outer-parallel", "compile", "run"
-    );
+    // Dependence analysis runs ONCE here; every model schedules against the
+    // facade's cached graph.
+    let mut optimizer = Optimizer::new(&bench.scop);
+    let a0 = Instant::now();
+    let n_deps = optimizer.ddg().edges.len();
+    let analysis = a0.elapsed();
+    if !opts.json {
+        println!(
+            "== {} at N = {} on {} thread(s) ==\n",
+            bench.scop.name, params[0], opts.threads
+        );
+        println!(
+            "dependence analysis: {analysis:.1?} ({n_deps} legality deps, shared by all models)\n"
+        );
+        println!(
+            "{:<10} {:>10} {:>15} {:>12} {:>12}",
+            "model", "partitions", "outer-parallel", "schedule", "run"
+        );
+    }
+    let mut rows = Vec::new();
     for model in Model::ALL {
         let c0 = Instant::now();
-        let opt = optimize(&bench.scop, model).map_err(|e| e.to_string())?;
+        let opt = optimizer.run_model(model).map_err(|e| e.to_string())?;
         let plan = plan_from_optimized(&bench.scop, &opt);
         let compile = c0.elapsed();
         let mut data = init.clone();
@@ -326,17 +387,41 @@ fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
             &opt.transformed,
             &plan,
             &mut data,
-            &ExecOptions { threads: opts.threads },
+            &ExecOptions {
+                threads: opts.threads,
+            },
             None,
         );
-        println!(
-            "{:<10} {:>10} {:>15} {:>12.1?} {:>12.1?}",
-            model.name(),
-            opt.n_partitions(),
-            opt.outer_parallel(),
-            compile,
-            t0.elapsed()
-        );
+        let run = t0.elapsed();
+        if opts.json {
+            rows.push(Json::obj([
+                ("model", Json::str(model.name())),
+                ("partitions", Json::from(opt.n_partitions())),
+                ("outer_parallel", Json::from(opt.outer_parallel())),
+                ("schedule_seconds", Json::Num(compile.as_secs_f64())),
+                ("run_seconds", Json::Num(run.as_secs_f64())),
+            ]));
+        } else {
+            println!(
+                "{:<10} {:>10} {:>15} {:>12.1?} {:>12.1?}",
+                model.name(),
+                opt.n_partitions(),
+                opt.outer_parallel(),
+                compile,
+                run
+            );
+        }
+    }
+    if opts.json {
+        let j = Json::obj([
+            ("bench", Json::str(bench.scop.name.as_str())),
+            ("n", Json::Int(params[0])),
+            ("threads", Json::from(opts.threads)),
+            ("analysis_seconds", Json::Num(analysis.as_secs_f64())),
+            ("legality_deps", Json::from(n_deps)),
+            ("models", Json::Arr(rows)),
+        ]);
+        println!("{}", j.render());
     }
     Ok(())
 }
@@ -345,13 +430,19 @@ fn cmd_emit(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
     let plan = plan_from_optimized(&bench.scop, &opt);
-    print!("{}", wf_codegen::emit_c(&bench.scop, &opt.transformed, &plan, &params, 2024));
+    print!(
+        "{}",
+        wf_codegen::emit_c(&bench.scop, &opt.transformed, &plan, &params, 2024)
+    );
     Ok(())
 }
 
 fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
-    let machine = MachineModel { cores: opts.threads as u64, ..MachineModel::default() };
+    let machine = MachineModel {
+        cores: opts.threads as u64,
+        ..MachineModel::default()
+    };
     let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
     let plan = plan_from_optimized(&bench.scop, &opt);
     let mut data = ProgramData::new(&bench.scop, &params);
@@ -371,8 +462,15 @@ fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     for (i, p) in r.partitions.iter().enumerate() {
         println!(
             "{:<5} {:>12} {:>12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>10?}",
-            i, p.instances, p.ops, p.hits[0], p.hits[1], p.hits[2], p.hits[3],
-            p.serial_cycles, p.kind
+            i,
+            p.instances,
+            p.ops,
+            p.hits[0],
+            p.hits[1],
+            p.hits[2],
+            p.hits[3],
+            p.serial_cycles,
+            p.kind
         );
     }
     println!(

@@ -28,22 +28,14 @@ pub mod plan;
 pub mod render;
 pub mod tiling;
 
-pub use plan::{build_plan, build_plan_with_layout, ExecPlan, InverseMap, LevelBounds, StmtPlan, ZDim};
-pub use tiling::{bands, build_tiled_plan, default_tiles, TileSpec};
 pub use cemit::emit_c;
+pub use plan::{
+    build_plan, build_plan_with_layout, ExecPlan, InverseMap, LevelBounds, StmtPlan, ZDim,
+};
 pub use render::render_plan;
+pub use tiling::{bands, build_tiled_plan, default_tiles, TileSpec};
 
-use wf_schedule::props::LoopProp;
-use wf_wisefuse::Optimized;
-
-/// Build the execution plan straight from a pipeline result, translating
-/// the loop-property analysis into per-dimension parallel flags.
-#[must_use]
-pub fn plan_from_optimized(scop: &wf_scop::Scop, opt: &Optimized) -> ExecPlan {
-    let parallel: Vec<Vec<bool>> = opt
-        .props
-        .iter()
-        .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
-        .collect();
-    plan::build_plan(scop, &opt.transformed, parallel)
-}
+// NOTE: `plan_from_optimized` (plan construction straight from a pipeline
+// result) lives in `wf_wisefuse` now — this crate deliberately knows
+// nothing about the optimizer so that `wf_wisefuse` can sit *above* codegen
+// and runtime and offer the whole-pipeline `Optimizer` facade and prelude.

@@ -177,7 +177,10 @@ pub fn build_plan_with_layout(
             pos_of_orig[*d] = p;
         }
     }
-    assert!(pos_of_orig.iter().all(|&p| p != usize::MAX), "layout must cover all dims");
+    assert!(
+        pos_of_orig.iter().all(|&p| p != usize::MAX),
+        "layout must cover all dims"
+    );
     for (p, zd) in layout.iter().enumerate() {
         if let ZDim::Tile { orig, size } = zd {
             assert!(*size > 1, "tile size must exceed 1");
@@ -241,7 +244,10 @@ pub fn build_plan_with_layout(
 
             // Per-level bounds, innermost first.
             let mut bounds = vec![
-                LevelBounds { lowers: Vec::new(), uppers: Vec::new() };
+                LevelBounds {
+                    lowers: Vec::new(),
+                    uppers: Vec::new()
+                };
                 nl
             ];
             let mut cur = lsys;
@@ -287,7 +293,11 @@ pub fn build_plan_with_layout(
             let mut inverse = build_inverse(t, s, depth);
             // Re-point the selected dims into layout positions.
             inverse.sel_dims = inverse.sel_dims.iter().map(|&d| pos_of_orig[d]).collect();
-            StmtPlan { stmt: s, bounds, inverse }
+            StmtPlan {
+                stmt: s,
+                bounds,
+                inverse,
+            }
         })
         .collect();
 
@@ -307,7 +317,12 @@ pub fn build_plan_with_layout(
             parallel[d].clone()
         })
         .collect();
-    ExecPlan { dims, layout: layout.to_vec(), stmts, parallel: par }
+    ExecPlan {
+        dims,
+        layout: layout.to_vec(),
+        stmts,
+        parallel: par,
+    }
 }
 
 fn shrink(cs: &ConstraintSystem, ndims: usize, depth: usize, np: usize) -> ConstraintSystem {
@@ -321,7 +336,10 @@ fn shrink(cs: &ConstraintSystem, ndims: usize, depth: usize, np: usize) -> Const
         if row.iter().all(|&v| v == 0) {
             continue;
         }
-        out.constraints.push(wf_polyhedra::Constraint { coeffs: row, kind: c.kind });
+        out.constraints.push(wf_polyhedra::Constraint {
+            coeffs: row,
+            kind: c.kind,
+        });
     }
     out
 }
@@ -342,9 +360,18 @@ fn build_inverse(t: &Transformed, s: usize, depth: usize) -> InverseMap {
             sel_dims.push(d);
         }
     }
-    assert_eq!(rows.len(), depth, "statement {s}: schedule is rank-deficient");
+    assert_eq!(
+        rows.len(),
+        depth,
+        "statement {s}: schedule is rank-deficient"
+    );
     if depth == 0 {
-        return InverseMap { sel_dims, mat: Vec::new(), shift: Vec::new(), den: 1 };
+        return InverseMap {
+            sel_dims,
+            mat: Vec::new(),
+            shift: Vec::new(),
+            den: 1,
+        };
     }
     let m = RatMat::from_int_rows(&rows);
     let inv = m.inverse().expect("full-rank by construction");
@@ -356,10 +383,22 @@ fn build_inverse(t: &Transformed, s: usize, depth: usize) -> InverseMap {
         }
     }
     let mat: Vec<Vec<i128>> = (0..depth)
-        .map(|r| (0..depth).map(|c| inv[(r, c)].num() * (den / inv[(r, c)].den())).collect())
+        .map(|r| {
+            (0..depth)
+                .map(|c| inv[(r, c)].num() * (den / inv[(r, c)].den()))
+                .collect()
+        })
         .collect();
-    let shift: Vec<i128> = sel_dims.iter().map(|&d| t.schedule.rows[d][s].konst).collect();
-    InverseMap { sel_dims, mat, shift, den }
+    let shift: Vec<i128> = sel_dims
+        .iter()
+        .map(|&d| t.schedule.rows[d][s].konst)
+        .collect();
+    InverseMap {
+        sel_dims,
+        mat,
+        shift,
+        den,
+    }
 }
 
 /// Validate a candidate execution point against one statement: recover the

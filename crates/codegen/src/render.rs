@@ -63,7 +63,9 @@ fn render_group(
             }
             let lo = join_bounds(scop, group, plan, dim, true);
             let hi = join_bounds(scop, group, plan, dim, false);
-            out.push_str(&format!("for (t{dim} = {lo}; t{dim} <= {hi}; t{dim}++) {{\n"));
+            out.push_str(&format!(
+                "for (t{dim} = {lo}; t{dim} <= {hi}; t{dim}++) {{\n"
+            ));
             render_group(scop, plan, group, dim + 1, indent + 1, out);
             pad(out, indent);
             out.push_str("}\n");
@@ -82,13 +84,7 @@ fn scalar_value(b: &LevelBounds) -> i128 {
     0
 }
 
-fn join_bounds(
-    scop: &Scop,
-    group: &[usize],
-    plan: &ExecPlan,
-    dim: usize,
-    lower: bool,
-) -> String {
+fn join_bounds(scop: &Scop, group: &[usize], plan: &ExecPlan, dim: usize, lower: bool) -> String {
     // Per statement: tight bound (max of lowers / min of uppers); across
     // statements: the union (min of lowers / max of uppers).
     let mut per_stmt: Vec<String> = Vec::new();
@@ -200,7 +196,11 @@ mod tests {
         let p = props::analyze(&scop, &ddg, &t);
         let par: Vec<Vec<bool>> = p
             .iter()
-            .map(|row| row.iter().map(|x| matches!(x, Some(LoopProp::Parallel))).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|x| matches!(x, Some(LoopProp::Parallel)))
+                    .collect()
+            })
             .collect();
         let plan = build_plan(&scop, &t, par);
         render_plan(&scop, &plan)

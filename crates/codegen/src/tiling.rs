@@ -33,7 +33,7 @@ pub fn bands(t: &Transformed) -> Vec<Vec<usize>> {
         match (id, cur_id) {
             (Some(b), Some(cb)) if b == cb => cur.push(d),
             (Some(b), _) => {
-                if cur.len() > 0 {
+                if !cur.is_empty() {
                     out.push(std::mem::take(&mut cur));
                 }
                 cur.push(d);
@@ -133,7 +133,10 @@ mod tests {
             .read(c, &[Aff::iter(0), Aff::iter(1)])
             .read(a, &[Aff::iter(0), Aff::iter(2)])
             .read(bb, &[Aff::iter(1), Aff::iter(2)])
-            .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+            .rhs(Expr::add(
+                Expr::Load(0),
+                Expr::mul(Expr::Load(1), Expr::Load(2)),
+            ))
             .done();
         b.build()
     }
@@ -202,7 +205,10 @@ mod tests {
         let t = Transformed {
             schedule: Schedule::new(),
             sat_dim: vec![],
-            sccs: wf_deps::SccInfo { scc_of: vec![], members: vec![] },
+            sccs: wf_deps::SccInfo {
+                scc_of: vec![],
+                members: vec![],
+            },
             scc_order: vec![],
             partitions: vec![],
             strategy: "x".into(),
@@ -218,7 +224,10 @@ mod tests {
         let t = Transformed {
             schedule: Schedule::new(),
             sat_dim: vec![],
-            sccs: wf_deps::SccInfo { scc_of: vec![], members: vec![] },
+            sccs: wf_deps::SccInfo {
+                scc_of: vec![],
+                members: vec![],
+            },
             scc_order: vec![],
             partitions: vec![],
             strategy: "x".into(),

@@ -38,7 +38,11 @@ impl FusionStrategy for NoRar {
         "wisefuse-no-rar"
     }
     fn pre_fusion_order(&self, scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
-        let blind = Ddg { n: ddg.n, edges: ddg.edges.clone(), rar: Vec::new() };
+        let blind = Ddg {
+            n: ddg.n,
+            edges: ddg.edges.clone(),
+            rar: Vec::new(),
+        };
         prefusion::algorithm1(scop, &blind, sccs)
     }
     fn initial_cuts(&self, state: &SchedState<'_>) -> Vec<usize> {
@@ -147,10 +151,21 @@ mod tests {
         let blind = schedule_scop(&scop, &ddg, &NoRar, &cfg).unwrap();
         // Full wisefuse puts S2's SCC right after S0's.
         let pos = |t: &wf_schedule::pluto::Transformed, s: usize| {
-            t.scc_order.iter().position(|&c| c == t.sccs.scc_of[s]).unwrap()
+            t.scc_order
+                .iter()
+                .position(|&c| c == t.sccs.scc_of[s])
+                .unwrap()
         };
-        assert_eq!(pos(&wise, 2), pos(&wise, 0) + 1, "wisefuse clusters the RAR pair");
-        assert_ne!(pos(&blind, 2), pos(&blind, 0) + 1, "RAR-blind keeps program order");
+        assert_eq!(
+            pos(&wise, 2),
+            pos(&wise, 0) + 1,
+            "wisefuse clusters the RAR pair"
+        );
+        assert_ne!(
+            pos(&blind, 2),
+            pos(&blind, 0) + 1,
+            "RAR-blind keeps program order"
+        );
     }
 
     /// On an advect-like conflict, disabling Algorithm 2 loses outer

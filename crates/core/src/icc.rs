@@ -86,9 +86,10 @@ pub fn icc_schedule(scop: &Scop, ddg: &Ddg) -> Transformed {
 #[must_use]
 pub fn is_rectangular(scop: &Scop, stmt: usize) -> bool {
     let s = &scop.statements[stmt];
-    s.domain.constraints.iter().all(|c| {
-        c.coeffs[..s.depth].iter().filter(|&&v| v != 0).count() <= 1
-    })
+    s.domain
+        .constraints
+        .iter()
+        .all(|c| c.coeffs[..s.depth].iter().filter(|&&v| v != 0).count() <= 1)
 }
 
 #[cfg(test)]

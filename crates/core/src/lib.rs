@@ -24,12 +24,31 @@
 
 pub mod ablation;
 pub mod icc;
+pub mod optimizer;
 pub mod parallelism;
 pub mod pipeline;
 pub mod prefusion;
 
 pub use icc::icc_schedule;
-pub use pipeline::{optimize, Model, Optimized};
+pub use optimizer::Optimizer;
+pub use pipeline::{optimize, optimize_with, plan_from_optimized, Model, Optimized};
+
+/// The end-to-end surface in one import: build → optimize → plan → execute.
+///
+/// ```
+/// use wf_wisefuse::prelude::*;
+/// ```
+/// brings in the [`Optimizer`] facade (plus the [`optimize`] /
+/// [`optimize_with`] wrappers and [`Model`] / [`Optimized`]), codegen's
+/// [`ExecPlan`](wf_codegen::ExecPlan) / [`render_plan`](wf_codegen::render_plan),
+/// and the runtime's executor types — everything the examples and the
+/// figure harnesses touch.
+pub mod prelude {
+    pub use crate::{optimize, optimize_with, plan_from_optimized, Model, Optimized, Optimizer};
+    pub use wf_codegen::{render_plan, ExecPlan};
+    pub use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+    pub use wf_schedule::PlutoConfig;
+}
 
 use wf_deps::{Ddg, SccInfo};
 use wf_schedule::fusion::{all_boundaries, dim_boundaries, failure_boundary};

@@ -1,0 +1,198 @@
+//! The one-pass [`Optimizer`] facade.
+//!
+//! [`optimize`](crate::optimize) re-runs exact polyhedral dependence
+//! analysis — by far the most expensive reusable step of the pipeline —
+//! every time it is called, so drivers that schedule the same SCoP under
+//! all five fusion models (the `wfc compare` loop, the figure harnesses,
+//! iterative search) used to pay for it five times. `Optimizer` is a
+//! builder over one SCoP that computes the [`Ddg`] **once**, caches it,
+//! and schedules any number of models against clones of it:
+//!
+//! ```
+//! use wf_scop::{Aff, Expr, ScopBuilder};
+//! use wf_wisefuse::{Model, Optimizer};
+//!
+//! let mut b = ScopBuilder::new("ex", &["N"]);
+//! b.context_ge(Aff::param(0) - 4);
+//! let a = b.array("A", &[Aff::param(0)]);
+//! b.stmt("S0", 1, &[0, 0])
+//!     .bounds(0, Aff::zero(), Aff::param(0) - 1)
+//!     .write(a, &[Aff::iter(0)])
+//!     .rhs(Expr::Const(1.0))
+//!     .done();
+//! let scop = b.build();
+//!
+//! // One model, builder style:
+//! let opt = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
+//! assert_eq!(opt.model, Model::Wisefuse);
+//!
+//! // All five models, dependence analysis performed once:
+//! let runs = Optimizer::new(&scop).run_all();
+//! assert_eq!(runs.len(), Model::ALL.len());
+//! ```
+//!
+//! The same shape appears in Polly's scheduler integration and Pluto+'s
+//! fusion/permutation driver: a reusable analysis object with a one-call
+//! driver on top, so strategy exploration never repeats the analysis.
+
+use crate::pipeline::{optimize_with_ddg, Model, Optimized};
+use wf_deps::{analyze, Ddg};
+use wf_schedule::{PlutoConfig, SchedError};
+use wf_scop::Scop;
+
+/// Builder-style driver over one SCoP; see the module docs.
+#[derive(Clone, Debug)]
+pub struct Optimizer<'a> {
+    scop: &'a Scop,
+    model: Model,
+    config: PlutoConfig,
+    ddg: Option<Ddg>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Start a pipeline over `scop`. Defaults: [`Model::Wisefuse`],
+    /// [`PlutoConfig::default`], dependence analysis deferred until first
+    /// needed.
+    #[must_use]
+    pub fn new(scop: &'a Scop) -> Optimizer<'a> {
+        Optimizer {
+            scop,
+            model: Model::Wisefuse,
+            config: PlutoConfig::default(),
+            ddg: None,
+        }
+    }
+
+    /// The SCoP this facade drives (handy for helpers that are handed only
+    /// the optimizer).
+    #[must_use]
+    pub fn scop(&self) -> &'a Scop {
+        self.scop
+    }
+
+    /// Select the fusion model [`run`](Optimizer::run) will schedule.
+    #[must_use]
+    pub fn model(mut self, model: Model) -> Optimizer<'a> {
+        self.model = model;
+        self
+    }
+
+    /// Override the scheduling-engine tunables.
+    #[must_use]
+    pub fn config(mut self, config: PlutoConfig) -> Optimizer<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Inject an already-computed dependence graph (e.g. shared with a
+    /// cache simulator), skipping the analysis entirely.
+    #[must_use]
+    pub fn with_ddg(mut self, ddg: Ddg) -> Optimizer<'a> {
+        self.ddg = Some(ddg);
+        self
+    }
+
+    /// The dependence graph, computing and caching it on first call.
+    pub fn ddg(&mut self) -> &Ddg {
+        if self.ddg.is_none() {
+            self.ddg = Some(analyze(self.scop));
+        }
+        self.ddg.as_ref().expect("just populated")
+    }
+
+    /// Schedule the selected model, consuming the builder. Equivalent to
+    /// [`optimize_with`](crate::optimize_with) but reuses an injected DDG.
+    pub fn run(mut self) -> Result<Optimized, SchedError> {
+        let model = self.model;
+        self.run_model(model)
+    }
+
+    /// Schedule one specific model against the cached dependence graph.
+    /// Call repeatedly to explore models; analysis still happens once.
+    pub fn run_model(&mut self, model: Model) -> Result<Optimized, SchedError> {
+        self.ddg();
+        let ddg = self.ddg.clone().expect("cached by ddg()");
+        optimize_with_ddg(self.scop, ddg, model, &self.config)
+    }
+
+    /// Schedule **all five** fusion models of Table 1 against one shared
+    /// dependence analysis, in [`Model::ALL`] reporting order. Individual
+    /// models may fail to schedule without poisoning the rest.
+    pub fn run_all(&mut self) -> Vec<(Model, Result<Optimized, SchedError>)> {
+        Model::ALL
+            .into_iter()
+            .map(|m| (m, self.run_model(m)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    fn two_stmt_scop() -> Scop {
+        let mut b = ScopBuilder::new("facade", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let c = b.array("C", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::mul(Expr::Load(0), Expr::Const(2.0)))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn facade_matches_wrapper() {
+        let scop = two_stmt_scop();
+        for model in Model::ALL {
+            let via_facade = Optimizer::new(&scop)
+                .model(model)
+                .run()
+                .expect("schedulable");
+            let via_wrapper = crate::optimize(&scop, model).expect("schedulable");
+            assert_eq!(
+                via_facade.transformed.schedule, via_wrapper.transformed.schedule,
+                "{model:?} schedules diverge"
+            );
+            assert_eq!(
+                via_facade.transformed.partitions,
+                via_wrapper.transformed.partitions
+            );
+            assert_eq!(via_facade.props, via_wrapper.props);
+        }
+    }
+
+    #[test]
+    fn run_all_covers_every_model_once() {
+        let scop = two_stmt_scop();
+        let runs = Optimizer::new(&scop).run_all();
+        let models: Vec<Model> = runs.iter().map(|(m, _)| *m).collect();
+        assert_eq!(models, Model::ALL.to_vec());
+        for (m, r) in &runs {
+            assert!(r.is_ok(), "{m:?} failed on a trivially schedulable SCoP");
+        }
+    }
+
+    #[test]
+    fn ddg_is_computed_once_and_shared() {
+        let scop = two_stmt_scop();
+        let mut o = Optimizer::new(&scop);
+        let edges = o.ddg().edges.len();
+        // Injected DDG path: a facade seeded with the cached graph must
+        // produce identical results without re-analysis.
+        let ddg = o.ddg().clone();
+        let a = o.run_model(Model::Wisefuse).unwrap();
+        let b = Optimizer::new(&scop).with_ddg(ddg).run().unwrap();
+        assert_eq!(a.transformed.schedule, b.transformed.schedule);
+        assert_eq!(a.ddg.edges.len(), edges);
+    }
+}

@@ -2,9 +2,10 @@
 //! scheduling → loop-property analysis.
 
 use crate::{icc::icc_schedule, Wisefuse};
+use wf_codegen::ExecPlan;
 use wf_deps::{analyze, Ddg};
-use wf_schedule::props::{self, LoopProp};
 use wf_schedule::pluto::{schedule_scop, SchedError, Transformed};
+use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{Maxfuse, Nofuse, PlutoConfig, Smartfuse};
 use wf_scop::Scop;
 
@@ -26,8 +27,13 @@ pub enum Model {
 
 impl Model {
     /// All models, in the paper's reporting order.
-    pub const ALL: [Model; 5] =
-        [Model::Icc, Model::Wisefuse, Model::Smartfuse, Model::Nofuse, Model::Maxfuse];
+    pub const ALL: [Model; 5] = [
+        Model::Icc,
+        Model::Wisefuse,
+        Model::Smartfuse,
+        Model::Nofuse,
+        Model::Maxfuse,
+    ];
 
     /// Display name.
     #[must_use]
@@ -65,22 +71,72 @@ impl Optimized {
     /// Number of top-level fusion partitions.
     #[must_use]
     pub fn n_partitions(&self) -> usize {
-        self.transformed.partitions.iter().max().map_or(0, |m| m + 1)
+        self.transformed
+            .partitions
+            .iter()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// `flags[dim][stmt]`: is that schedule dimension a parallel loop? This
+    /// is the shape codegen's planner and the tiler consume.
+    #[must_use]
+    pub fn parallel_flags(&self) -> Vec<Vec<bool>> {
+        self.props
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|p| matches!(p, Some(LoopProp::Parallel)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Build the execution plan for this result (bounds, inverse maps,
+    /// guards), translating the loop-property analysis into per-dimension
+    /// parallel flags.
+    #[must_use]
+    pub fn plan(&self, scop: &Scop) -> ExecPlan {
+        wf_codegen::build_plan(scop, &self.transformed, self.parallel_flags())
     }
 }
 
+/// Free-function form of [`Optimized::plan`] (the call-site idiom the
+/// examples and harnesses use).
+#[must_use]
+pub fn plan_from_optimized(scop: &Scop, opt: &Optimized) -> ExecPlan {
+    opt.plan(scop)
+}
+
 /// Run the full pipeline on a SCoP under one fusion model.
+///
+/// Thin wrapper over [`crate::Optimizer`]; when scheduling several models
+/// of the *same* SCoP, use the facade's
+/// [`run_all`](crate::Optimizer::run_all) instead so dependence analysis
+/// runs once, not once per model.
 pub fn optimize(scop: &Scop, model: Model) -> Result<Optimized, SchedError> {
     optimize_with(scop, model, &PlutoConfig::default())
 }
 
-/// [`optimize`] with explicit engine tunables.
+/// [`optimize`] with explicit engine tunables (also a facade wrapper).
 pub fn optimize_with(
     scop: &Scop,
     model: Model,
     config: &PlutoConfig,
 ) -> Result<Optimized, SchedError> {
-    let ddg = analyze(scop);
+    optimize_with_ddg(scop, analyze(scop), model, config)
+}
+
+/// Schedule one model against an already-computed dependence graph. The
+/// graph is moved into the returned [`Optimized`]; callers scheduling many
+/// models clone their cached copy per call (cloning a [`Ddg`] is orders of
+/// magnitude cheaper than recomputing it).
+pub(crate) fn optimize_with_ddg(
+    scop: &Scop,
+    ddg: Ddg,
+    model: Model,
+    config: &PlutoConfig,
+) -> Result<Optimized, SchedError> {
     let transformed = match model {
         Model::Icc => icc_schedule(scop, &ddg),
         Model::Wisefuse => schedule_scop(scop, &ddg, &Wisefuse, config)?,
@@ -108,5 +164,10 @@ pub fn optimize_with(
             }
         }
     }
-    Ok(Optimized { model, ddg, transformed, props })
+    Ok(Optimized {
+        model,
+        ddg,
+        transformed,
+        props,
+    })
 }

@@ -63,9 +63,7 @@ pub fn algorithm1(scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
             changed = false;
             for t in 0..n {
                 let ct = sccs.scc_of[t];
-                if placed[ct]
-                    || sccs.dimensionality(ct, &depths) != seed_dim
-                    || !ready(ct, &placed)
+                if placed[ct] || sccs.dimensionality(ct, &depths) != seed_dim || !ready(ct, &placed)
                 {
                     continue;
                 }
@@ -204,7 +202,10 @@ mod tests {
         let sccs = tarjan(&ddg);
         let order = algorithm1(&scop, &ddg, &sccs);
         let pos = |s: usize| order.iter().position(|&c| c == sccs.scc_of[s]).unwrap();
-        assert!(pos(1) < pos(2), "S2 cannot precede its producer S1: {order:?}");
+        assert!(
+            pos(1) < pos(2),
+            "S2 cannot precede its producer S1: {order:?}"
+        );
     }
 
     /// Dimensionality heuristic: a same-dim SCC with reuse is preferred even

@@ -1,6 +1,6 @@
 //! Dependence polyhedron construction.
 
-use crate::ddg::{DepEdge, DepKind, DepLevel, Ddg};
+use crate::ddg::{Ddg, DepEdge, DepKind, DepLevel};
 use wf_polyhedra::{ConstraintSystem, Polyhedron};
 use wf_scop::{AccessKind, Scop};
 
@@ -15,7 +15,11 @@ use wf_scop::{AccessKind, Scop};
 #[must_use]
 pub fn analyze(scop: &Scop) -> Ddg {
     let n = scop.n_statements();
-    let mut ddg = Ddg { n, edges: Vec::new(), rar: Vec::new() };
+    let mut ddg = Ddg {
+        n,
+        edges: Vec::new(),
+        rar: Vec::new(),
+    };
     for src in 0..n {
         for dst in 0..n {
             analyze_pair(scop, src, dst, &mut ddg);
@@ -189,8 +193,11 @@ mod tests {
     fn cross_nest_flow_dependence() {
         let scop = producer_consumer();
         let ddg = analyze(&scop);
-        let flows: Vec<_> =
-            ddg.edges.iter().filter(|e| e.kind == DepKind::Flow).collect();
+        let flows: Vec<_> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow)
+            .collect();
         assert_eq!(flows.len(), 1);
         let e = flows[0];
         assert_eq!((e.src, e.dst), (0, 1));
@@ -203,7 +210,7 @@ mod tests {
     }
 
     #[test]
-    fn no_spurious_backward_edges(){
+    fn no_spurious_backward_edges() {
         let scop = producer_consumer();
         let ddg = analyze(&scop);
         assert!(ddg.edges.iter().all(|e| e.src == 0 && e.dst == 1));
@@ -260,7 +267,11 @@ mod tests {
             .done();
         let scop = b.build();
         let ddg = analyze(&scop);
-        assert!(ddg.edges.is_empty(), "no legality deps expected: {:?}", ddg.edges);
+        assert!(
+            ddg.edges.is_empty(),
+            "no legality deps expected: {:?}",
+            ddg.edges
+        );
         assert!(!ddg.rar.is_empty(), "input dep expected");
         assert!(ddg.has_reuse(0, 1));
         assert!(ddg.rar_adjacency()[1][0], "reuse adjacency is symmetric");
@@ -314,7 +325,11 @@ mod tests {
             .done();
         let scop = b.build();
         let ddg = analyze(&scop);
-        let flow: Vec<_> = ddg.edges.iter().filter(|e| e.kind == DepKind::Flow).collect();
+        let flow: Vec<_> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow)
+            .collect();
         assert_eq!(flow.len(), 1);
         // Witness (i=2, j=5) writes A[2][5]; read by S2 at (i=5, j=2).
         assert!(flow[0].poly.contains(&[2, 5, 5, 2, 10]));
@@ -372,12 +387,10 @@ mod tests {
         let ddg = analyze(&scop);
         // Anti dependence S1 -> S0 carried at level 0 (read before write).
         assert!(
-            ddg.edges
-                .iter()
-                .any(|e| e.kind == DepKind::Anti
-                    && e.src == 1
-                    && e.dst == 0
-                    && e.level == DepLevel::Carried(0)),
+            ddg.edges.iter().any(|e| e.kind == DepKind::Anti
+                && e.src == 1
+                && e.dst == 0
+                && e.level == DepLevel::Carried(0)),
             "expected carried anti dep S1->S0, got {:?}",
             ddg.edges
                 .iter()

@@ -119,7 +119,8 @@ pub fn ln_count_linear_extensions(n: usize, edges: &[(usize, usize)]) -> (f64, b
             parent[ru] = rv;
         }
     }
-    let mut members: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut members: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for v in 0..n {
         let r = find(&mut parent, v);
         members.entry(r).or_default().push(v);
@@ -273,8 +274,9 @@ mod tests {
         // 12 disjoint 3-chains (a swim-like pass structure): extensions =
         // 36! / 6^12; the DP cannot touch the whole order, the component
         // decomposition can — and every component is tiny, so it's exact.
-        let edges: Vec<(usize, usize)> =
-            (0..12).flat_map(|c| [(3 * c, 3 * c + 1), (3 * c + 1, 3 * c + 2)]).collect();
+        let edges: Vec<(usize, usize)> = (0..12)
+            .flat_map(|c| [(3 * c, 3 * c + 1), (3 * c + 1, 3 * c + 2)])
+            .collect();
         let expect = ln_factorial(36) - 12.0 * 6f64.ln();
         let (got, exact) = ln_count_linear_extensions(36, &edges);
         assert!(exact);

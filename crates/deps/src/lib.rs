@@ -27,5 +27,5 @@ pub mod enumerate;
 pub mod scc;
 
 pub use analyze::analyze;
-pub use ddg::{DepEdge, DepKind, DepLevel, Ddg};
+pub use ddg::{Ddg, DepEdge, DepKind, DepLevel};
 pub use scc::{kosaraju, kosaraju_raw, tarjan, SccInfo};

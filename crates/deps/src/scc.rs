@@ -35,7 +35,11 @@ impl SccInfo {
     /// the SCC" in the paper).
     #[must_use]
     pub fn dimensionality(&self, scc: usize, depths: &[usize]) -> usize {
-        self.members[scc].iter().map(|&v| depths[v]).max().unwrap_or(0)
+        self.members[scc]
+            .iter()
+            .map(|&v| depths[v])
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -223,7 +227,10 @@ pub fn kosaraju_raw(ddg: &Ddg) -> SccInfo {
     for (v, &c) in comp_of.iter().enumerate() {
         members[c].push(v);
     }
-    SccInfo { scc_of: comp_of, members }
+    SccInfo {
+        scc_of: comp_of,
+        members,
+    }
 }
 
 /// Renumber component ids into a topological order of the condensation,
@@ -276,7 +283,7 @@ fn normalize(comp_of: Vec<usize>, n_comps: usize, ddg: &Ddg) -> SccInfo {
 
 #[cfg(test)]
 pub(crate) mod tests_support {
-    use crate::ddg::{DepEdge, DepKind, DepLevel, Ddg};
+    use crate::ddg::{Ddg, DepEdge, DepKind, DepLevel};
     use wf_polyhedra::Polyhedron;
 
     pub(crate) fn edge(src: usize, dst: usize) -> DepEdge {
@@ -407,6 +414,10 @@ mod raw_tests {
         assert_eq!(info.scc_of[2], info.scc_of[0] + 1, "chain consecutive");
         assert_ne!(info.scc_of[1], info.scc_of[0]);
         // Program order is NOT preserved: statement 1 is displaced.
-        assert!(info.scc_of[1] != 1, "raw order displaces the interloper: {:?}", info.scc_of);
+        assert!(
+            info.scc_of[1] != 1,
+            "raw order displaces the interloper: {:?}",
+            info.scc_of
+        );
     }
 }

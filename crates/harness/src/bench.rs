@@ -1,0 +1,467 @@
+//! Criterion-compatible micro-benchmark shim.
+//!
+//! Implements the slice of the `criterion` API the workspace's benches use
+//! — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros — entirely offline.
+//!
+//! Methodology per benchmark: one calibration call sizes a batch so a
+//! sample spans ≥ ~200µs (timer noise floor), a warmup phase runs until
+//! [`Criterion::warmup_time`] has elapsed, then `sample_size` samples are
+//! collected. The reported statistics trim outliers outside 1.5×IQR (the
+//! standard Tukey fence criterion also uses) before computing the mean.
+//!
+//! Results accumulate on the [`Criterion`] value; [`criterion_main!`]
+//! writes them to `BENCH_<crate>.json` under [`report::results_dir`] and
+//! prints a human-readable summary.
+
+use crate::json::Json;
+use crate::report;
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    #[must_use]
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Parameter-only id (criterion's `from_parameter`).
+    #[must_use]
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation carried into the JSON report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Statistics of one benchmark after outlier trimming.
+#[derive(Clone, Debug)]
+pub struct Sampled {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Trimmed mean, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest *kept* sample.
+    pub max_ns: f64,
+    /// Samples kept after trimming.
+    pub kept: usize,
+    /// Samples discarded as outliers.
+    pub outliers: usize,
+    /// Iterations per sample (batching factor).
+    pub batch: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl Sampled {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj([
+            ("id", Json::str(&self.id)),
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+            ("max_ns", Json::Num(self.max_ns)),
+            ("samples", Json::from(self.kept)),
+            ("outliers_trimmed", Json::from(self.outliers)),
+            ("batch", Json::from(self.batch)),
+        ]);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                o.push("elements_per_iter", Json::from(n));
+                o.push(
+                    "elements_per_sec",
+                    Json::Num(n as f64 / (self.mean_ns * 1e-9)),
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                o.push("bytes_per_iter", Json::from(n));
+                o.push("bytes_per_sec", Json::Num(n as f64 / (self.mean_ns * 1e-9)));
+            }
+            None => {}
+        }
+        o
+    }
+}
+
+/// The top-level benchmark driver (criterion's entry type).
+pub struct Criterion {
+    /// Default number of samples per benchmark.
+    pub sample_size: usize,
+    /// Warmup budget per benchmark.
+    pub warmup_time: Duration,
+    /// Collected results, in execution order.
+    pub results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Smaller than criterion's 100-sample default: the workspace's
+        // benches measure exact-rational solver passes that run for
+        // milliseconds to seconds each, where 20 trimmed samples already
+        // give stable means and keep `cargo bench` wall-clock sane.
+        Criterion {
+            sample_size: 20,
+            warmup_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default sample count (builder style, like criterion).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group; benchmarks register as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+            name: name.into(),
+            c: self,
+        }
+    }
+
+    /// Benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warmup) = (self.sample_size, self.warmup_time);
+        self.record(None, id.into(), sample_size, warmup, None, f);
+        self
+    }
+
+    fn record<F>(
+        &mut self,
+        group: Option<&str>,
+        id: BenchmarkId,
+        sample_size: usize,
+        warmup: Duration,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let mut b = Bencher {
+            sample_size,
+            warmup,
+            samples_ns: Vec::new(),
+            batch: 1,
+        };
+        f(&mut b);
+        let sampled = summarize(&full_id, &b, throughput);
+        eprintln!(
+            "{:<44} time: [{} {} {}]{}",
+            sampled.id,
+            fmt_ns(sampled.min_ns),
+            fmt_ns(sampled.mean_ns),
+            fmt_ns(sampled.max_ns),
+            if sampled.outliers > 0 {
+                format!("   ({} outlier(s) trimmed)", sampled.outliers)
+            } else {
+                String::new()
+            }
+        );
+        self.results.push(sampled);
+    }
+
+    /// Render all results as the `BENCH_*.json` payload.
+    #[must_use]
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj([
+            ("bench", Json::str(name)),
+            ("harness", Json::str("wf-harness")),
+            ("unit", Json::str("ns")),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(Sampled::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Write `BENCH_<name>.json` into [`report::results_dir`] and return
+    /// the path. Called by [`criterion_main!`]; harmless to call directly.
+    pub fn write_report(&self, name: &str) -> std::path::PathBuf {
+        report::write_named(name, &self.to_json(name))
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (n, w, t) = (self.sample_size, self.c.warmup_time, self.throughput);
+        self.c.record(Some(&self.name), id.into(), n, w, t, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (n, w, t) = (self.sample_size, self.c.warmup_time, self.throughput);
+        self.c
+            .record(Some(&self.name), id.into(), n, w, t, |b| f(b, input));
+        self
+    }
+
+    /// End the group (statistics are recorded eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    samples_ns: Vec<f64>,
+    batch: u64,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate a batch size, warm up, then collect
+    /// `sample_size` samples of `batch` iterations each.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: one timed call decides the batching factor.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        const TARGET: Duration = Duration::from_micros(200);
+        self.batch = if once >= TARGET {
+            1
+        } else {
+            let est = once.as_nanos().max(20) as u64;
+            (TARGET.as_nanos() as u64 / est).clamp(1, 1_000_000)
+        };
+        // Warmup until the budget is spent (at least one batch).
+        let w0 = Instant::now();
+        while w0.elapsed() < self.warmup {
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+        }
+        // Measurement.
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let s0 = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            let dt = s0.elapsed();
+            self.samples_ns
+                .push(dt.as_secs_f64() * 1e9 / self.batch as f64);
+        }
+    }
+}
+
+/// Tukey-fence outlier trimming + summary statistics.
+fn summarize(id: &str, b: &Bencher, throughput: Option<Throughput>) -> Sampled {
+    let mut sorted = b.samples_ns.clone();
+    assert!(!sorted.is_empty(), "{id}: Bencher::iter was never called");
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (sorted.len() - 1) as f64;
+        let (lo, hi) = (idx.floor() as usize, idx.ceil() as usize);
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (idx - idx.floor())
+    };
+    let (q1, q3) = (q(0.25), q(0.75));
+    let iqr = q3 - q1;
+    let (lo_fence, hi_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&x| (lo_fence..=hi_fence).contains(&x))
+        .collect();
+    let kept = if kept.is_empty() {
+        sorted.clone()
+    } else {
+        kept
+    };
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    Sampled {
+        id: id.to_string(),
+        mean_ns: mean,
+        median_ns: q(0.5),
+        min_ns: kept[0],
+        max_ns: *kept.last().expect("non-empty"),
+        kept: kept.len(),
+        outliers: sorted.len() - kept.len(),
+        batch: b.batch,
+        throughput,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a bench group function callable from [`criterion_main!`]
+/// (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main`: run every group, print the summary, and write
+/// `BENCH_<crate>.json` (the crate name of a bench target is its file
+/// name, e.g. `compiler_micro`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $group(&mut c); )+
+            let path = c.write_report(env!("CARGO_CRATE_NAME"));
+            eprintln!("wrote {}", path.display());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            warmup_time: Duration::from_millis(1),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/sum");
+        assert_eq!(c.results[1].id, "g/sq/7");
+        assert!(c.results.iter().all(|r| r.mean_ns > 0.0 && r.kept >= 2));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut c = Criterion {
+            warmup_time: Duration::from_millis(1),
+            ..Criterion::default()
+        };
+        c.sample_size = 4;
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+        let j = c.to_json("unit_test").render();
+        assert!(j.contains("\"bench\":\"unit_test\""));
+        assert!(j.contains("\"id\":\"noop\""));
+        assert!(j.contains("mean_ns"));
+    }
+
+    #[test]
+    fn trimming_discards_spikes() {
+        let b = Bencher {
+            sample_size: 0,
+            warmup: Duration::ZERO,
+            samples_ns: vec![10.0, 11.0, 9.0, 10.5, 500.0],
+            batch: 1,
+        };
+        let s = summarize("t", &b, None);
+        assert_eq!(s.outliers, 1);
+        assert!(s.mean_ns < 20.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! **wf-harness** — the workspace's hermetic test & bench infrastructure.
+//!
+//! The offline build environment cannot fetch crates.io packages, so this
+//! crate replaces the three external dev-dependencies the workspace used to
+//! carry, with zero dependencies of its own:
+//!
+//! * [`rng`] — a deterministic [`SplitMix64`](rng::SplitMix64) generator
+//!   (plus the Knuth MMIX LCG used by the C backend) replacing `rand`.
+//!   Identical seeds produce identical streams on every platform forever;
+//!   golden-value tests pin the stream so a silent change of the recurrence
+//!   cannot invalidate recorded benchmark baselines.
+//! * [`prop`] + [`collection`] — a minimal property-testing framework
+//!   replacing `proptest`: integer/tuple/vec generators, bounded
+//!   greedy shrinking, and a [`props!`] runner macro that is a drop-in for
+//!   the `proptest! { #[test] fn p(x in strat) { .. } }` surface the test
+//!   suites use (including `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assume!` and `#![proptest_config(..)]`).
+//! * [`bench`] — a criterion-compatible micro-bench shim
+//!   ([`Criterion`](bench::Criterion), [`criterion_group!`],
+//!   [`criterion_main!`], [`black_box`](bench::black_box),
+//!   [`BenchmarkId`](bench::BenchmarkId)) with warmup, batching and
+//!   inter-quartile outlier trimming, which writes machine-readable
+//!   `BENCH_<name>.json` results (see [`report`]) for the perf trajectory.
+//! * [`json`] — the tiny JSON value/writer the bench reports and the
+//!   `wfc --json` output are built on.
+//!
+//! Everything is deterministic: test case generation is seeded by hashing
+//! the test name, so failures reproduce across runs and machines without a
+//! persisted regression file.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod report;
+pub mod rng;
+
+/// Generator combinators for collections (`wf_harness::collection::vec`),
+/// mirroring `proptest::collection`.
+pub mod collection {
+    pub use crate::prop::{vec, SizeRange, VecStrategy};
+}
+
+pub use bench::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
+pub use rng::{Lcg64, SplitMix64};
+
+/// Everything the property-test suites need: strategies, the runner macro
+/// and its assertion macros, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop::{Config, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, props};
+}

@@ -1,0 +1,610 @@
+//! Minimal property-based testing, mirroring the slice of `proptest` the
+//! workspace's suites use.
+//!
+//! A [`Strategy`] both *generates* values from a [`SplitMix64`] stream and
+//! proposes *shrink* candidates for a failing value. The [`props!`] macro
+//! (see crate root) expands each `fn name(x in strat, ..) { body }` item
+//! into a `#[test]` that drives [`run`]: generate `cases` inputs, and on
+//! the first failure greedily shrink — try each candidate, restart from any
+//! candidate that still fails — for at most `max_shrink_iters` executions
+//! before reporting the minimal failing input.
+//!
+//! Design notes:
+//! * Generation is seeded by `fnv1a(test name) ^ config.seed`, so each test
+//!   explores its own reproducible stream; there is no persistence file.
+//! * Failures are detected both from `prop_assert*` (which return
+//!   [`TestCaseError::Fail`]) and from panics in the body (caught with
+//!   `catch_unwind`), so `unwrap`/`assert!` inside helpers still shrink.
+//! * `prop_map` intentionally does not shrink through the mapping (there is
+//!   no value tree); shrinking happens on vec/tuple/scalar layers below it.
+
+use crate::rng::{fnv1a, SplitMix64};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How a single test-case execution ended.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed (assertion message or panic payload).
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result type the generated test bodies return.
+pub type TestResult = Result<(), TestCaseError>;
+
+/// Runner configuration. `ProptestConfig` is an alias so migrated suites
+/// keep their `#![proptest_config(ProptestConfig::with_cases(n))]` lines.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of (non-rejected) cases to run.
+    pub cases: u32,
+    /// Upper bound on executions spent shrinking a failure.
+    pub max_shrink_iters: u32,
+    /// Base seed, XORed with the hashed test name.
+    pub seed: u64,
+}
+
+/// Alias kept for source compatibility with `proptest`.
+pub type ProptestConfig = Config;
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            max_shrink_iters: 400,
+            seed: 0x5EED_2024,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (the `proptest` constructor).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// A value generator + shrinker.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value from the stream.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Propose strictly-simpler candidates for a failing value. The runner
+    /// re-tests candidates in order and greedily descends; an empty vector
+    /// stops shrinking along this branch.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Map generated values through `f` (no shrinking through the map).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Integer shrink candidates: toward `low`, halving the distance.
+fn shrink_int_toward(low: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v != low {
+        out.push(low);
+        let mid = low + (v - low) / 2;
+        if mid != low && mid != v {
+            out.push(mid);
+        }
+        let step = if v > low { v - 1 } else { v + 1 };
+        if step != low && step != v && !out.contains(&step) {
+            out.push(step);
+        }
+    }
+    out
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                rng.gen_i128(self.start as i128, self.end as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Shrink toward 0 when the range allows, else toward start.
+                let low = if (self.start as i128) <= 0 && 0 < (self.end as i128) {
+                    0
+                } else {
+                    self.start as i128
+                };
+                shrink_int_toward(low, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                rng.gen_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (s, e) = (*self.start() as i128, *self.end() as i128);
+                let low = if s <= 0 && 0 <= e { 0 } else { s };
+                shrink_int_toward(low, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident / $idx:tt),+),)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0),
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+    (A/0, B/1, C/2, D/3, E/4, F/5),
+}
+
+/// Length specification for [`vec`]: fixed or `[min, max)`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec length range {r:?}");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// `Vec` strategy: length drawn from `size`, elements from `element`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate `Vec`s (the `proptest::collection::vec` equivalent).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+        let len = rng.gen_usize(self.size.min, self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop the second half, drop single
+        // elements (respecting the minimum length)…
+        if value.len() > self.size.min {
+            let half = (value.len() / 2).max(self.size.min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                if value.len() > self.size.min {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+        }
+        // …then element-wise shrinks.
+        for (i, e) in value.iter().enumerate() {
+            for cand in self.element.shrink(e) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Execute the body once, converting panics into failures.
+fn run_case<V, F>(f: &F, value: V) -> TestResult
+where
+    F: Fn(V) -> TestResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Err(TestCaseError::Fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Drive one property: generate, detect failure, shrink, report.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) with the minimal failing input
+/// and its error when the property does not hold, or when too many cases
+/// were rejected by `prop_assume!`.
+pub fn run<S, F>(config: &Config, name: &str, strat: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let mut rng = SplitMix64::new(config.seed ^ fnv1a(name.as_bytes()));
+    let mut executed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(10).max(100);
+    while executed < config.cases {
+        let value = strat.generate(&mut rng);
+        match run_case(&f, value.clone()) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: gave up after {rejected} prop_assume! rejections \
+                     ({executed} cases passed)"
+                );
+            }
+            Err(TestCaseError::Fail(first_msg)) => {
+                let (min_value, min_msg, iters) =
+                    shrink_failure(config, strat, &f, value, first_msg);
+                panic!(
+                    "{name}: property failed after {executed} passing case(s) \
+                     ({iters} shrink iteration(s)).\n\
+                     minimal failing input: {min_value:#?}\n{min_msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy bounded shrink: depth-first descent through candidate lists.
+fn shrink_failure<S, F>(
+    config: &Config,
+    strat: &S,
+    f: &F,
+    mut value: S::Value,
+    mut msg: String,
+    // (minimal value, its failure message, executions spent)
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let mut iters = 0u32;
+    'outer: loop {
+        let candidates = strat.shrink(&value);
+        for cand in candidates {
+            if iters >= config.max_shrink_iters {
+                break 'outer;
+            }
+            iters += 1;
+            if let Err(TestCaseError::Fail(m)) = run_case(f, cand.clone()) {
+                value = cand;
+                msg = m;
+                continue 'outer; // restart from the simpler failing value
+            }
+        }
+        break; // no candidate still fails: `value` is locally minimal
+    }
+    (value, msg, iters)
+}
+
+/// The `props!` runner macro — see crate docs. Matches the `proptest!`
+/// item grammar used by the suites: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions with
+/// `name in strategy` parameters.
+#[macro_export]
+macro_rules! props {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__props_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__props_impl! { ($crate::prop::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`props!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::prop::Config = $cfg;
+                let __strat = ( $($strat,)+ );
+                $crate::prop::run(&__cfg, stringify!($name), &__strat,
+                    |( $($arg,)+ )| -> $crate::prop::TestResult {
+                        $body
+                        Ok(())
+                    });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, ..)`: fail the current
+/// case (with shrinking) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::prop::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: fail the current case when `a != b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err($crate::prop::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), __a, __b)));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err($crate::prop::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), __a, __b)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`: fail the current case when `a == b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err($crate::prop::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: silently discard the current case when `cond` is
+/// false (the runner draws a replacement; excessive rejection aborts).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = vec(0i128..100, 0..10);
+        let mut r1 = SplitMix64::new(Config::default().seed ^ fnv1a(b"n"));
+        let mut r2 = SplitMix64::new(Config::default().seed ^ fnv1a(b"n"));
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let v = (-1000i128..1000).generate(&mut rng);
+            assert!((-1000..1000).contains(&v));
+            let u = (1usize..=2).generate(&mut rng);
+            assert!((1..=2).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_small_counterexample() {
+        // Property "all elements < 10" fails; the minimal counterexample is
+        // a single-element vector containing exactly 10.
+        let strat = vec(0i128..100, 0..20);
+        let f = |v: Vec<i128>| -> TestResult {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::fail("has an element >= 10"))
+            } else {
+                Ok(())
+            }
+        };
+        let cfg = Config::default();
+        let mut rng = SplitMix64::new(1);
+        let failing = loop {
+            let v = strat.generate(&mut rng);
+            if f(v.clone()).is_err() {
+                break v;
+            }
+        };
+        let (min, _, _) = shrink_failure(&cfg, &strat, &f, failing, String::new());
+        assert_eq!(min, vec![10]);
+    }
+
+    #[test]
+    fn tuple_shrink_covers_each_component() {
+        let strat = (0i128..50, 0i128..50);
+        let cands = strat.shrink(&(7, 9));
+        assert!(cands.iter().any(|&(a, b)| a < 7 && b == 9));
+        assert!(cands.iter().any(|&(a, b)| a == 7 && b < 9));
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        let strat = (1i128..5).prop_map(|v| v * 10);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn runner_reports_failures() {
+        run(
+            &Config::with_cases(50),
+            "always_big_fails",
+            &(50i128..100),
+            |v| {
+                if v >= 50 {
+                    Err(TestCaseError::fail("v >= 50"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn runner_passes_valid_property() {
+        run(&Config::with_cases(50), "in_range", &(0i128..10), |v| {
+            if (0..10).contains(&v) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("out of range"))
+            }
+        });
+    }
+
+    #[test]
+    fn runner_catches_panics_and_shrinks() {
+        let caught = catch_unwind(|| {
+            run(&Config::with_cases(80), "panic_body", &(0i128..1000), |v| {
+                assert!(v < 500, "boom at {v}");
+                Ok(())
+            });
+        });
+        let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
+        // Greedy shrinking must reach the boundary value.
+        assert!(msg.contains("500"), "unexpected report: {msg}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Machine-readable benchmark result files.
+//!
+//! Every harness — the criterion-shim benches and the figure-regeneration
+//! binaries alike — funnels its results through [`write_named`], which
+//! writes `BENCH_<name>.json` into [`results_dir`]. The directory defaults
+//! to `target/bench-results` (resolved against `CARGO_TARGET_DIR` /
+//! workspace `target/`) and can be redirected with `WF_BENCH_DIR` so CI can
+//! collect artifacts from a clean location.
+
+use crate::json::Json;
+use std::path::PathBuf;
+
+/// Directory that receives `BENCH_*.json` files. Creation is deferred to
+/// [`write_named`].
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("WF_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let target = std::env::var("CARGO_TARGET_DIR").map_or_else(
+        |_| {
+            // Cargo runs benches with CWD = the *package* dir, so walk the
+            // whole ancestry: an existing `target/` (the shared workspace
+            // build dir) wins over the nearest `Cargo.toml` (which would be
+            // the member crate's own manifest).
+            let cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            let mut manifest_dir = None;
+            for dir in cur.ancestors() {
+                if dir.join("target").is_dir() {
+                    return dir.join("target");
+                }
+                if dir.join("Cargo.toml").is_file() {
+                    manifest_dir = Some(dir.to_path_buf());
+                }
+            }
+            manifest_dir.unwrap_or(cur).join("target")
+        },
+        PathBuf::from,
+    );
+    target.join("bench-results")
+}
+
+/// Write `BENCH_<name>.json` containing `payload` and return the path.
+///
+/// # Panics
+/// Panics if the directory cannot be created or the file cannot be
+/// written — a bench that silently drops its results is worse than one
+/// that aborts.
+pub fn write_named(name: &str, payload: &Json) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut text = payload.render_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_wf_bench_dir() {
+        let dir = std::env::temp_dir().join(format!("wf-harness-report-{}", std::process::id()));
+        // Env var manipulation is process-global; this is the only test in
+        // the crate that touches WF_BENCH_DIR.
+        std::env::set_var("WF_BENCH_DIR", &dir);
+        let path = write_named("unit", &Json::obj([("ok", Json::Bool(true))]));
+        std::env::remove_var("WF_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).expect("file written");
+        assert!(text.contains("\"ok\": true"));
+        assert!(path.file_name().is_some_and(|n| n == "BENCH_unit.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

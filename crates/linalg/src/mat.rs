@@ -17,7 +17,11 @@ impl RatMat {
     /// An all-zero `rows x cols` matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> RatMat {
-        RatMat { rows, cols, data: vec![Rat::ZERO; rows * cols] }
+        RatMat {
+            rows,
+            cols,
+            data: vec![Rat::ZERO; rows * cols],
+        }
     }
 
     /// The `n x n` identity.
@@ -300,7 +304,7 @@ impl fmt::Debug for RatMat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use wf_harness::prelude::*;
 
     #[test]
     fn identity_and_mul() {
@@ -392,14 +396,11 @@ mod tests {
     }
 
     fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = RatMat> {
-        proptest::collection::vec(
-            proptest::collection::vec(-5i128..6, cols),
-            rows,
-        )
-        .prop_map(|rows| RatMat::from_int_rows(&rows))
+        collection::vec(collection::vec(-5i128..6, cols), rows)
+            .prop_map(|rows| RatMat::from_int_rows(&rows))
     }
 
-    proptest! {
+    props! {
         #[test]
         fn prop_kernel_vectors_are_in_null_space(a in arb_mat(3, 5)) {
             for v in a.kernel_basis() {
@@ -415,7 +416,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_solve_produces_solution(a in arb_mat(3, 3), xs in proptest::collection::vec(-5i128..6, 3)) {
+        fn prop_solve_produces_solution(a in arb_mat(3, 3), xs in collection::vec(-5i128..6, 3)) {
             let x: Vec<Rat> = xs.iter().map(|&v| Rat::int(v)).collect();
             let b = a.mul_vec(&x);
             // A solution must exist (x is one); check the one returned works.

@@ -30,7 +30,11 @@ impl Rat {
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "Rat: zero denominator");
         let g = gcd(num, den);
-        let (mut num, mut den) = if g > 1 { (num / g, den / g) } else { (num, den) };
+        let (mut num, mut den) = if g > 1 {
+            (num / g, den / g)
+        } else {
+            (num, den)
+        };
         if den < 0 {
             num = -num;
             den = -den;
@@ -99,7 +103,10 @@ impl Rat {
     /// Absolute value.
     #[must_use]
     pub fn abs(self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// The value as an `i128`, if it is an integer.
@@ -191,7 +198,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -256,7 +266,7 @@ impl std::iter::Sum for Rat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use wf_harness::prelude::*;
 
     #[test]
     fn normalization() {
@@ -320,7 +330,9 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let s: Rat = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)].into_iter().sum();
+        let s: Rat = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)]
+            .into_iter()
+            .sum();
         assert_eq!(s, Rat::ONE);
     }
 
@@ -328,7 +340,7 @@ mod tests {
         (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rat::new(n, d))
     }
 
-    proptest! {
+    props! {
         #[test]
         fn prop_add_commutative(a in arb_rat(), b in arb_rat()) {
             prop_assert_eq!(a + b, b + a);

@@ -30,13 +30,19 @@ impl Constraint {
     /// An inequality `coeffs·(x,1) >= 0`.
     #[must_use]
     pub fn ge0(coeffs: Vec<i128>) -> Constraint {
-        Constraint { coeffs, kind: ConstraintKind::Ineq }
+        Constraint {
+            coeffs,
+            kind: ConstraintKind::Ineq,
+        }
     }
 
     /// An equality `coeffs·(x,1) == 0`.
     #[must_use]
     pub fn eq0(coeffs: Vec<i128>) -> Constraint {
-        Constraint { coeffs, kind: ConstraintKind::Eq }
+        Constraint {
+            coeffs,
+            kind: ConstraintKind::Eq,
+        }
     }
 
     /// Number of variables this constraint ranges over.
@@ -178,7 +184,10 @@ impl ConstraintSystem {
     /// An empty (universally true) system over `n_vars` variables.
     #[must_use]
     pub fn new(n_vars: usize) -> ConstraintSystem {
-        ConstraintSystem { n_vars, constraints: Vec::new() }
+        ConstraintSystem {
+            n_vars,
+            constraints: Vec::new(),
+        }
     }
 
     /// Add an inequality `coeffs·(x,1) >= 0`.
@@ -243,10 +252,12 @@ impl ConstraintSystem {
             if c.is_contradiction() {
                 ok = false;
             }
-            if c.is_trivial() || (c.kind == ConstraintKind::Ineq && {
-                let n = c.coeffs.len() - 1;
-                c.coeffs[..n].iter().all(|&a| a == 0) && c.coeffs[n] >= 0
-            }) {
+            if c.is_trivial()
+                || (c.kind == ConstraintKind::Ineq && {
+                    let n = c.coeffs.len() - 1;
+                    c.coeffs[..n].iter().all(|&a| a == 0) && c.coeffs[n] >= 0
+                })
+            {
                 return false;
             }
             seen.insert((c.coeffs.clone(), c.kind))
@@ -268,7 +279,10 @@ impl ConstraintSystem {
                 row[m] = c.coeffs[i];
             }
             row[new_n] = c.coeffs[self.n_vars];
-            out.constraints.push(Constraint { coeffs: row, kind: c.kind });
+            out.constraints.push(Constraint {
+                coeffs: row,
+                kind: c.kind,
+            });
         }
         out
     }
@@ -276,7 +290,10 @@ impl ConstraintSystem {
     /// Number of equality constraints.
     #[must_use]
     pub fn n_eqs(&self) -> usize {
-        self.constraints.iter().filter(|c| c.kind == ConstraintKind::Eq).count()
+        self.constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Eq)
+            .count()
     }
 }
 

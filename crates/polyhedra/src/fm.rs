@@ -53,7 +53,10 @@ pub fn eliminate_var(cs: &ConstraintSystem, v: usize) -> ConstraintSystem {
                     .expect("FM overflow");
             }
             debug_assert_eq!(row[v], 0);
-            out.constraints.push(Constraint { coeffs: row, kind: c.kind });
+            out.constraints.push(Constraint {
+                coeffs: row,
+                kind: c.kind,
+            });
         }
         out.simplify();
         return out;
@@ -163,8 +166,10 @@ pub fn remove_redundant(cs: &ConstraintSystem) -> ConstraintSystem {
         // Redundant iff the row cannot be violated under the others:
         // min of (a·x + c) over `without` is >= 0.
         let n = without.n_vars;
-        let obj: Vec<wf_linalg::Rat> =
-            row.coeffs[..n].iter().map(|&c| wf_linalg::Rat::int(c)).collect();
+        let obj: Vec<wf_linalg::Rat> = row.coeffs[..n]
+            .iter()
+            .map(|&c| wf_linalg::Rat::int(c))
+            .collect();
         match crate::simplex::solve_lp(&without, &obj, crate::simplex::Sense::Min) {
             crate::simplex::LpResult::Optimal { value, .. }
                 if value + wf_linalg::Rat::int(row.coeffs[n]) >= wf_linalg::Rat::ZERO =>
@@ -196,7 +201,10 @@ pub fn project_onto_prefix(cs: &ConstraintSystem, keep: usize) -> ConstraintSyst
         debug_assert!(c.coeffs[keep..cs.n_vars].iter().all(|&x| x == 0));
         let mut coeffs: Vec<i128> = c.coeffs[..keep].to_vec();
         coeffs.push(c.coeffs[cs.n_vars]);
-        let cons = Constraint { coeffs, kind: c.kind };
+        let cons = Constraint {
+            coeffs,
+            kind: c.kind,
+        };
         if seen.insert((cons.coeffs.clone(), cons.kind)) {
             out.constraints.push(cons);
         }
@@ -208,7 +216,7 @@ pub fn project_onto_prefix(cs: &ConstraintSystem, keep: usize) -> ConstraintSyst
 mod tests {
     use super::*;
     use crate::poly::Polyhedron;
-    use proptest::prelude::*;
+    use wf_harness::prelude::*;
 
     /// 0 <= x <= 4, 0 <= y <= 4, x + y <= 5
     fn pentagon() -> ConstraintSystem {
@@ -285,11 +293,7 @@ mod tests {
     fn arb_system() -> impl Strategy<Value = ConstraintSystem> {
         // Random small systems over 3 vars with bounded box to keep them
         // enumerable.
-        proptest::collection::vec(
-            (proptest::collection::vec(-3i128..4, 3), -4i128..5),
-            1..5,
-        )
-        .prop_map(|rows| {
+        collection::vec((collection::vec(-3i128..4, 3), -4i128..5), 1..5).prop_map(|rows| {
             let mut cs = ConstraintSystem::new(3);
             for v in 0..3 {
                 cs.add_lower_bound(v, -3);
@@ -304,7 +308,7 @@ mod tests {
         })
     }
 
-    proptest! {
+    props! {
         /// Soundness: the image of every point of P lies in the projection.
         #[test]
         fn prop_projection_sound(cs in arb_system()) {
@@ -345,7 +349,7 @@ mod tests {
 #[cfg(test)]
 mod redundancy_tests {
     use super::*;
-    use proptest::prelude::*;
+    use wf_harness::prelude::*;
 
     #[test]
     fn remove_redundant_drops_implied_rows() {
@@ -398,12 +402,12 @@ mod redundancy_tests {
         }
     }
 
-    proptest! {
+    props! {
         /// remove_redundant never changes the solution set.
         #[test]
         fn prop_redundancy_preserves_set(
-            rows in proptest::collection::vec(
-                (proptest::collection::vec(-3i128..4, 2), -5i128..6), 1..6)
+            rows in collection::vec(
+                (collection::vec(-3i128..4, 2), -5i128..6), 1..6)
         ) {
             let mut cs = ConstraintSystem::new(2);
             for v in 0..2 {

@@ -59,7 +59,10 @@ pub fn solve_ilp(cs: &ConstraintSystem, objective: &[i128], sense: Sense) -> Ilp
 }
 
 fn first_fractional(point: &[Rat]) -> Option<(usize, Rat)> {
-    point.iter().enumerate().find_map(|(i, r)| (!r.is_integer()).then_some((i, *r)))
+    point
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| (!r.is_integer()).then_some((i, *r)))
 }
 
 /// Find any integer point of `cs`, or `None`.
@@ -74,7 +77,10 @@ pub fn ilp_feasible(cs: &ConstraintSystem) -> Option<Vec<i128>> {
     let mut nodes = 0usize;
     while let Some(node) = stack.pop() {
         nodes += 1;
-        assert!(nodes <= MAX_NODES, "ILP node budget exceeded — unbounded branching?");
+        assert!(
+            nodes <= MAX_NODES,
+            "ILP node budget exceeded — unbounded branching?"
+        );
         match solve_lp(&node, &obj, Sense::Min) {
             LpResult::Infeasible => {}
             LpResult::Unbounded => unreachable!("zero objective is never unbounded"),
@@ -111,7 +117,7 @@ pub fn lexmin(cs: &ConstraintSystem, objectives: &[Vec<i128>]) -> Option<(Vec<i1
 /// callers (the scheduler) treat that like infeasibility and fall back to
 /// loop distribution, which keeps pathological fusion ILPs from stalling
 /// the compiler (PLuTo has analogous practical limits).
-#[allow(clippy::result_unit_err)]
+#[allow(clippy::result_unit_err, clippy::type_complexity)]
 pub fn lexmin_budgeted(
     cs: &ConstraintSystem,
     objectives: &[Vec<i128>],
@@ -128,7 +134,9 @@ pub fn lexmin_budgeted(
                 panic!("lexmin: unbounded objective — bound your variables")
             }
             Ok(IlpResult::Optimal { value, point: p }) => {
-                let v = value.to_integer().expect("integer objective at integer point");
+                let v = value
+                    .to_integer()
+                    .expect("integer objective at integer point");
                 values.push(v);
                 // Pin this objective to its optimum for subsequent levels.
                 let mut row: Vec<i128> = obj.clone();

@@ -46,7 +46,9 @@ impl Polyhedron {
     /// Universe polyhedron over `n` variables.
     #[must_use]
     pub fn universe(n: usize) -> Polyhedron {
-        Polyhedron { cs: ConstraintSystem::new(n) }
+        Polyhedron {
+            cs: ConstraintSystem::new(n),
+        }
     }
 
     /// Number of variables.
@@ -98,7 +100,10 @@ impl Polyhedron {
 
     fn extremum(&self, expr: &[i128], sense: Sense) -> Extremum {
         assert_eq!(expr.len(), self.cs.n_vars + 1, "affine expr arity mismatch");
-        let obj: Vec<Rat> = expr[..self.cs.n_vars].iter().map(|&c| Rat::int(c)).collect();
+        let obj: Vec<Rat> = expr[..self.cs.n_vars]
+            .iter()
+            .map(|&c| Rat::int(c))
+            .collect();
         match solve_lp(&self.cs, &obj, sense) {
             LpResult::Infeasible => Extremum::Empty,
             LpResult::Unbounded => Extremum::Unbounded,
@@ -114,7 +119,11 @@ impl Polyhedron {
     pub fn enumerate(&self, limit: usize) -> Vec<Vec<i128>> {
         let n = self.cs.n_vars;
         if n == 0 {
-            return if self.is_empty_rational() { vec![] } else { vec![vec![]] };
+            return if self.is_empty_rational() {
+                vec![]
+            } else {
+                vec![vec![]]
+            };
         }
         // Per-variable bounding box via LP.
         let mut lo = Vec::with_capacity(n);

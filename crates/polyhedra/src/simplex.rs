@@ -354,7 +354,10 @@ mod tests {
         cs.add_lower_bound(0, 0);
         assert_eq!(solve_lp(&cs, &obj(&[1]), Sense::Max), LpResult::Unbounded);
         // But bounded in the other direction.
-        assert_eq!(solve_lp(&cs, &obj(&[1]), Sense::Min).value(), Some(Rat::ZERO));
+        assert_eq!(
+            solve_lp(&cs, &obj(&[1]), Sense::Min).value(),
+            Some(Rat::ZERO)
+        );
     }
 
     #[test]
@@ -419,17 +422,17 @@ mod tests {
 mod brute_force_tests {
     use super::*;
     use crate::ilp::solve_ilp;
-    use proptest::prelude::*;
+    use wf_harness::prelude::*;
 
-    proptest! {
+    props! {
         /// On random bounded systems, the exact simplex optimum is never
         /// beaten by any integer point, and the ILP optimum matches
         /// exhaustive search.
         #[test]
         fn prop_lp_bounds_and_ilp_matches_bruteforce(
-            rows in proptest::collection::vec(
-                (proptest::collection::vec(-2i128..3, 3), -4i128..5), 0..4),
-            obj in proptest::collection::vec(-3i128..4, 3),
+            rows in collection::vec(
+                (collection::vec(-2i128..3, 3), -4i128..5), 0..4),
+            obj in collection::vec(-3i128..4, 3),
         ) {
             let mut cs = ConstraintSystem::new(3);
             for v in 0..3 {

@@ -1,7 +1,6 @@
 //! Program data: named dense `f64` tensors.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wf_harness::{Lcg64, SplitMix64};
 use wf_scop::Scop;
 
 /// A dense row-major tensor of `f64`.
@@ -18,7 +17,10 @@ impl Tensor {
     #[must_use]
     pub fn zeros(extents: Vec<usize>) -> Tensor {
         let len = extents.iter().product::<usize>().max(1);
-        Tensor { extents, data: vec![0.0; len] }
+        Tensor {
+            extents,
+            data: vec![0.0; len],
+        }
     }
 
     /// Row-major linear offset of a subscript vector.
@@ -33,10 +35,16 @@ impl Tensor {
         let mut off = 0usize;
         for (k, &i) in idx.iter().enumerate() {
             let i = usize::try_from(i).unwrap_or_else(|_| {
-                panic!("negative subscript {i} in dim {k} (extents {:?})", self.extents)
+                panic!(
+                    "negative subscript {i} in dim {k} (extents {:?})",
+                    self.extents
+                )
             });
-            assert!(i < self.extents[k], "subscript {i} out of range dim {k} (extents {:?})",
-                self.extents);
+            assert!(
+                i < self.extents[k],
+                "subscript {i} out of range dim {k} (extents {:?})",
+                self.extents
+            );
             off = off * self.extents[k] + i;
         }
         off
@@ -81,17 +89,22 @@ impl ProgramData {
             .iter()
             .map(|a| Tensor::zeros(a.extents(params)))
             .collect();
-        ProgramData { arrays, params: params.to_vec() }
+        ProgramData {
+            arrays,
+            params: params.to_vec(),
+        }
     }
 
     /// Deterministically fill every array with pseudo-random values in
     /// `(0, 1)` — identical for identical seeds, so different fusion models
-    /// can be compared bit-for-bit.
+    /// can be compared bit-for-bit. The generator is the harness's
+    /// [`SplitMix64`], so the stream is pinned forever by the golden-value
+    /// tests below and never shifts under toolchain or dependency changes.
     pub fn init_random(&mut self, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         for t in &mut self.arrays {
             for v in &mut t.data {
-                *v = rng.gen_range(0.01..1.0);
+                *v = rng.gen_f64(0.01, 1.0);
             }
         }
     }
@@ -116,7 +129,10 @@ impl ProgramData {
     /// Total bytes of array data (for reporting).
     #[must_use]
     pub fn total_bytes(&self) -> usize {
-        self.arrays.iter().map(|t| t.data.len() * std::mem::size_of::<f64>()).sum()
+        self.arrays
+            .iter()
+            .map(|t| t.data.len() * std::mem::size_of::<f64>())
+            .sum()
     }
 }
 
@@ -188,6 +204,27 @@ mod tests {
     fn context_enforced() {
         let _ = ProgramData::new(&scop(), &[1]);
     }
+
+    /// Golden values for the benchmark seed (2024). These pin the
+    /// [`wf_harness::SplitMix64`] stream behind `init_random`: if they ever
+    /// change, every recorded `BENCH_*.json` baseline and cross-model
+    /// bit-for-bit comparison is invalidated, so treat a failure here as a
+    /// harness regression, not a test to update.
+    #[test]
+    fn golden_values_for_seed_2024() {
+        let mut d = ProgramData::new(&scop(), &[4]);
+        d.init_random(2024);
+        let got: Vec<u64> = d.arrays[0].data[..4].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x3fe4_0c99_2bb9_a39b, // 0.6265378812796486
+                0x3fbb_33d4_155f_1970, // 0.10625958940281577
+                0x3fd3_8ecb_08f5_5a33, // 0.30559039950222483
+                0x3fc0_00d0_91c7_1233, // 0.12502486341522143
+            ]
+        );
+    }
 }
 
 impl ProgramData {
@@ -198,13 +235,10 @@ impl ProgramData {
     /// recurrence so interpreter and compiled executions can be compared
     /// bit-for-bit.
     pub fn init_lcg(&mut self, seed: u64) {
-        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut rng = Lcg64::new(seed);
         for t in &mut self.arrays {
             for v in &mut t.data {
-                x = x
-                    .wrapping_mul(6_364_136_223_846_793_005)
-                    .wrapping_add(1_442_695_040_888_963_407);
-                *v = 0.01 + ((x >> 11) as f64 / (1u64 << 53) as f64) * 0.99;
+                *v = 0.01 + rng.next_f64() * 0.99;
             }
         }
     }

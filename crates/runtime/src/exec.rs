@@ -56,7 +56,12 @@ pub fn execute_plan(
     );
     let group: Vec<usize> = (0..scop.n_statements()).collect();
     let mut z = Vec::with_capacity(plan.dims.len());
-    let ctx = Ctx { scop, t, plan, threads: opts.threads.max(1) };
+    let ctx = Ctx {
+        scop,
+        t,
+        plan,
+        threads: opts.threads.max(1),
+    };
     run_group(&ctx, &group, &mut z, data, &mut observer);
 }
 
@@ -278,8 +283,7 @@ fn run_group_serial(
                     run_group_serial(ctx, group, z, data, observer);
                     z.pop();
                 } else {
-                    let sub: Vec<usize> =
-                        group.iter().copied().filter(|&s| active(s, z)).collect();
+                    let sub: Vec<usize> = group.iter().copied().filter(|&s| active(s, z)).collect();
                     z.push(v);
                     run_group_serial(ctx, &sub, z, data, observer);
                     z.pop();

@@ -6,18 +6,17 @@
 
 use std::io::Write as _;
 use std::process::Command;
-use wf_codegen::{emit_c, plan_from_optimized};
+use wf_codegen::emit_c;
 use wf_runtime::{execute_plan, ExecOptions, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
 fn cc() -> Option<&'static str> {
-    for cand in ["cc", "gcc", "clang"] {
-        if Command::new(cand).arg("--version").output().is_ok() {
-            return Some(cand);
-        }
-    }
-    None
+    ["cc", "gcc", "clang"]
+        .into_iter()
+        .find(|&cand| Command::new(cand).arg("--version").output().is_ok())
+        .map(|v| v as _)
 }
 
 fn check_c_matches_interpreter(scop: &Scop, params: &[i128], seed: u64) {
@@ -25,11 +24,7 @@ fn check_c_matches_interpreter(scop: &Scop, params: &[i128], seed: u64) {
         eprintln!("no C compiler found; skipping C backend test");
         return;
     };
-    let dir = std::env::temp_dir().join(format!(
-        "wf_cemit_{}_{}",
-        scop.name,
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("wf_cemit_{}_{}", scop.name, std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     for model in Model::ALL {
         let opt = optimize(scop, model).unwrap();
@@ -37,7 +32,14 @@ fn check_c_matches_interpreter(scop: &Scop, params: &[i128], seed: u64) {
         // Interpreter side.
         let mut data = ProgramData::new(scop, params);
         data.init_lcg(seed);
-        execute_plan(scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), None);
+        execute_plan(
+            scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions::default(),
+            None,
+        );
         let want = data.bit_hash();
         // C side.
         let source = emit_c(scop, &opt.transformed, &plan, params, seed);
@@ -61,7 +63,11 @@ fn check_c_matches_interpreter(scop: &Scop, params: &[i128], seed: u64) {
             String::from_utf8_lossy(&compile.stderr)
         );
         let run = Command::new(&bin_path).output().expect("binary runs");
-        assert!(run.status.success(), "{}: {model:?}: binary crashed", scop.name);
+        assert!(
+            run.status.success(),
+            "{}: {model:?}: binary crashed",
+            scop.name
+        );
         let got: u64 = String::from_utf8_lossy(&run.stdout).trim().parse().unwrap();
         assert_eq!(
             got, want,
@@ -113,7 +119,10 @@ fn c_backend_gemver_like() {
         .read(x, &[Aff::iter(0)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(y, &[Aff::iter(1)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     check_c_matches_interpreter(&b.build(), &[12], 2);
 }

@@ -4,10 +4,10 @@
 //! floating-point operations along legal schedules; none changes any
 //! operation, so exact equality is required, not approximate.)
 
-use wf_codegen::plan_from_optimized;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
-use wf_wisefuse::{optimize, Model};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::plan_from_optimized;
+use wf_wisefuse::{optimize, Model};
 
 fn check_all_models(scop: &Scop, params: &[i128]) {
     let mut oracle = ProgramData::new(scop, params);
@@ -99,7 +99,10 @@ fn equivalence_gemver_core() {
         .read(a, &[Aff::iter(0), Aff::iter(1)])
         .read(u1, &[Aff::iter(0)])
         .read(v1, &[Aff::iter(1)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.stmt("S2", 2, &[1, 0, 0])
         .bounds(0, Aff::zero(), Aff::param(0) - 1)
@@ -108,7 +111,10 @@ fn equivalence_gemver_core() {
         .read(x, &[Aff::iter(0)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(y, &[Aff::iter(1)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     check_all_models(&b.build(), &[9]);
 }
@@ -150,7 +156,10 @@ fn equivalence_triangular() {
         .read(a, &[Aff::iter(1), Aff::iter(2)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(a, &[Aff::iter(0), Aff::iter(2)])
-        .rhs(Expr::sub(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::sub(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     check_all_models(&b.build(), &[8]);
 }

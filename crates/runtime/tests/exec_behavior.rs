@@ -2,8 +2,8 @@
 //! hooks, wavefront execution of forward loops, observer tracing, and
 //! degenerate shapes.
 
-use wf_codegen::plan_from_optimized;
 use wf_runtime::AccessObserver;
+use wf_wisefuse::plan_from_optimized;
 
 /// Counts accesses (stand-in for the cache simulator, which lives
 /// downstream of this crate).
@@ -58,7 +58,14 @@ fn wavefront_execution_is_correct_with_threads() {
     execute_reference(&scop, &mut oracle);
     for threads in [2usize, 4, 8] {
         let mut data = init.clone();
-        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+        execute_plan(
+            &scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions { threads },
+            None,
+        );
         assert_eq!(data.max_abs_diff(&oracle), 0.0, "{threads} threads");
     }
 }
@@ -73,7 +80,14 @@ fn observer_sees_every_access() {
     let params = [8i128];
     let mut data = ProgramData::new(&scop, &params);
     let mut obs = Counter::default();
-    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), Some(&mut obs));
+    execute_plan(
+        &scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions::default(),
+        Some(&mut obs),
+    );
     // Domain is (1..N-1)^2 = 7*7 instances; 2 reads + 1 write each.
     assert_eq!(obs.total, 7 * 7 * 3);
     assert_eq!(obs.writes, 7 * 7);
@@ -108,7 +122,14 @@ fn more_threads_than_iterations_is_fine() {
     let mut oracle = init.clone();
     execute_reference(&scop, &mut oracle);
     let mut data = init.clone();
-    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads: 64 }, None);
+    execute_plan(
+        &scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads: 64 },
+        None,
+    );
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
 }
 
@@ -134,7 +155,14 @@ fn scalar_statement_runs_once() {
         let opt = optimize(&scop, model).unwrap();
         let plan = plan_from_optimized(&scop, &opt);
         let mut data = ProgramData::new(&scop, &[5]);
-        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), None);
+        execute_plan(
+            &scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions::default(),
+            None,
+        );
         assert_eq!(data.arrays[0].get(&[]), 3.5, "{model:?}");
         for i in 0..5 {
             assert_eq!(data.arrays[1].get(&[i]), 3.5, "{model:?} A[{i}]");

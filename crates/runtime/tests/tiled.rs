@@ -23,7 +23,10 @@ fn matmul() -> Scop {
         .read(c, &[Aff::iter(0), Aff::iter(1)])
         .read(a, &[Aff::iter(0), Aff::iter(2)])
         .read(bb, &[Aff::iter(1), Aff::iter(2)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.build()
 }
@@ -66,7 +69,11 @@ fn check_tiled(scop: &Scop, params: &[i128], sizes: &[i128]) {
         let p = props::analyze(scop, &ddg, &t);
         let par: Vec<Vec<bool>> = p
             .iter()
-            .map(|row| row.iter().map(|x| matches!(x, Some(LoopProp::Parallel))).collect())
+            .map(|row| {
+                row.iter()
+                    .map(|x| matches!(x, Some(LoopProp::Parallel)))
+                    .collect()
+            })
             .collect();
         for &size in sizes {
             let tiles = default_tiles(&t, size);

@@ -43,8 +43,11 @@ pub fn nonneg_over(
     // equalities, so they are eliminated by exact Gaussian substitution
     // rather than pairwise FM — a large constant-factor saving for deep
     // dependence polyhedra.
-    let rows: Vec<(&Vec<i128>, ConstraintKind)> =
-        poly.constraints.iter().map(|c| (&c.coeffs, c.kind)).collect();
+    let rows: Vec<(&Vec<i128>, ConstraintKind)> = poly
+        .constraints
+        .iter()
+        .map(|c| (&c.coeffs, c.kind))
+        .collect();
     let m = rows.len();
 
     // Variable space: [sched (n_sched) | λ0 | multipliers_1..m].
@@ -106,7 +109,10 @@ pub fn nonneg_over(
         debug_assert!(c.coeffs[n_sched..total].iter().all(|&v| v == 0));
         let mut coeffs: Vec<i128> = c.coeffs[..n_sched].to_vec();
         coeffs.push(c.coeffs[total]);
-        let cons = Constraint { coeffs, kind: c.kind };
+        let cons = Constraint {
+            coeffs,
+            kind: c.kind,
+        };
         if cons.is_trivial() {
             continue;
         }
@@ -156,8 +162,8 @@ mod tests {
         p.add_ge0(vec![-1, 0, 1, -2]); // s <= N - 2
         p.add_eq0(vec![-1, 1, 0, -1]); // t = s + 1
         p.add_lower_bound(2, 2); // N >= 2
-        // sched var: single coefficient c (idx 0).
-        // ψ coeff: s -> -c, t -> +c, N -> 0; const -> 0.
+                                 // sched var: single coefficient c (idx 0).
+                                 // ψ coeff: s -> -c, t -> +c, N -> 0; const -> 0.
         let sys = nonneg_over(&p, &[vec![(0, -1)], vec![(0, 1)], vec![]], &vec![], 1);
         let feas = |c: i128| {
             let mut s = sys.clone();

@@ -122,7 +122,10 @@ impl SchedState<'_> {
     /// or before its position).
     #[must_use]
     pub fn partition_of_scc(&self, scc: usize) -> i128 {
-        self.boundaries.iter().filter(|&&b| b <= self.pos[scc]).count() as i128
+        self.boundaries
+            .iter()
+            .filter(|&&b| b <= self.pos[scc])
+            .count() as i128
     }
 
     /// Current fusion-partition index of a statement.
@@ -134,20 +137,24 @@ impl SchedState<'_> {
     /// Indices of legality edges not yet satisfied.
     #[must_use]
     pub fn unsatisfied(&self) -> Vec<usize> {
-        (0..self.ddg.edges.len()).filter(|&e| self.sat_dim[e].is_none()).collect()
+        (0..self.ddg.edges.len())
+            .filter(|&e| self.sat_dim[e].is_none())
+            .collect()
     }
 
     /// Minimum of `φ_dst(t) − φ_src(s)` over an edge's polyhedron for
     /// candidate per-statement rows.
     #[must_use]
     pub fn delta_min(&self, edge: &DepEdge, rows: &[StmtRow]) -> Extremum {
-        edge.poly.min_affine(&delta_expr(edge, &rows[edge.src], &rows[edge.dst]))
+        edge.poly
+            .min_affine(&delta_expr(edge, &rows[edge.src], &rows[edge.dst]))
     }
 
     /// Maximum of `φ_dst(t) − φ_src(s)` over an edge's polyhedron.
     #[must_use]
     pub fn delta_max(&self, edge: &DepEdge, rows: &[StmtRow]) -> Extremum {
-        edge.poly.max_affine(&delta_expr(edge, &rows[edge.src], &rows[edge.dst]))
+        edge.poly
+            .max_affine(&delta_expr(edge, &rows[edge.src], &rows[edge.dst]))
     }
 
     /// Statement loop depths (the per-statement dimensionalities).
@@ -159,8 +166,7 @@ impl SchedState<'_> {
     /// Is statement `s` done (has a full set of independent hyperplanes)?
     #[must_use]
     pub fn stmt_done(&self, s: usize) -> bool {
-        self.schedule.loop_rank(s, self.scop.statements[s].depth)
-            == self.scop.statements[s].depth
+        self.schedule.loop_rank(s, self.scop.statements[s].depth) == self.scop.statements[s].depth
     }
 
     /// Apply cut boundaries; returns true if at least one was new.
@@ -192,8 +198,16 @@ impl SchedState<'_> {
                 continue;
             }
             let edge = &self.ddg.edges[e];
-            let (ps, pd) = (self.partition_of_stmt(edge.src), self.partition_of_stmt(edge.dst));
-            assert!(ps <= pd, "cut violates precedence: edge {} -> {}", edge.src, edge.dst);
+            let (ps, pd) = (
+                self.partition_of_stmt(edge.src),
+                self.partition_of_stmt(edge.dst),
+            );
+            assert!(
+                ps <= pd,
+                "cut violates precedence: edge {} -> {}",
+                edge.src,
+                edge.dst
+            );
             if pd > ps {
                 self.sat_dim[e] = Some(dim);
             }
@@ -380,9 +394,7 @@ pub fn schedule_scop(
                         continue;
                     }
                     let edge = &ddg.edges[e];
-                    if let Extremum::Value(v) =
-                        state.delta_min(edge, &state.schedule.rows[dim])
-                    {
+                    if let Extremum::Value(v) = state.delta_min(edge, &state.schedule.rows[dim]) {
                         if v >= wf_linalg::Rat::ONE {
                             state.sat_dim[e] = Some(dim);
                         }
@@ -435,12 +447,16 @@ fn validate_order(order: &[usize], sccs: &SccInfo, ddg: &Ddg) -> Result<(), Sche
     let mut seen = vec![false; sccs.len()];
     for &c in order {
         if c >= sccs.len() || seen[c] {
-            return Err(SchedError::Illegal("pre-fusion order is not a permutation".into()));
+            return Err(SchedError::Illegal(
+                "pre-fusion order is not a permutation".into(),
+            ));
         }
         seen[c] = true;
     }
     if order.len() != sccs.len() {
-        return Err(SchedError::Illegal("pre-fusion order has wrong length".into()));
+        return Err(SchedError::Illegal(
+            "pre-fusion order has wrong length".into(),
+        ));
     }
     let mut pos = vec![0usize; sccs.len()];
     for (p, &c) in order.iter().enumerate() {
@@ -519,7 +535,10 @@ fn find_level_rows(
             SolveOutcome::Exhausted => return Err((members, true)),
         }
     }
-    Ok(rows.into_iter().map(|r| r.expect("row for every statement")).collect())
+    Ok(rows
+        .into_iter()
+        .map(|r| r.expect("row for every statement"))
+        .collect())
 }
 
 /// Outcome of one component ILP.
@@ -664,8 +683,7 @@ fn solve_component(
             sum[n_sched] -= 1; // Σ (±r)·c >= 1
             sys.add_ge0(sum);
         }
-        let solved =
-            wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, config.ilp_node_budget);
+        let solved = wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, config.ilp_node_budget);
         if std::env::var_os("WF_TRACE").is_some() {
             eprintln!(
                 "[solve_component] lexmin combo {mask} took {:?} (outcome={:?})",
@@ -705,9 +723,15 @@ fn build_objectives(
     n_sched: usize,
     config: &PlutoConfig,
 ) -> Vec<Vec<i128>> {
-    let sum_depth: i128 = members.iter().map(|&s| scop.statements[s].depth as i128).sum();
-    let max_depth: i128 =
-        members.iter().map(|&s| scop.statements[s].depth as i128).max().unwrap_or(0);
+    let sum_depth: i128 = members
+        .iter()
+        .map(|&s| scop.statements[s].depth as i128)
+        .sum();
+    let max_depth: i128 = members
+        .iter()
+        .map(|&s| scop.statements[s].depth as i128)
+        .max()
+        .unwrap_or(0);
     // Range bounds of each lexicographic component.
     let b5 = config.coeff_bound * sum_depth * max_depth; // tie-break
     let b4 = config.shift_bound * members.len() as i128; // Σ shifts
@@ -747,8 +771,7 @@ fn append_final_order(state: &mut SchedState<'_>) -> Result<(), SchedError> {
         adj[edge.src].push(edge.dst);
         indeg[edge.dst] += 1;
     }
-    let mut ready: BTreeSet<usize> =
-        (0..n).filter(|&s| indeg[s] == 0).collect();
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&s| indeg[s] == 0).collect();
     let mut ordinal = vec![0i128; n];
     let mut next = 0i128;
     while let Some(&s) = ready.iter().next() {
@@ -791,8 +814,10 @@ fn append_final_order(state: &mut SchedState<'_>) -> Result<(), SchedError> {
 /// Every SCC boundary spanned by the given statements (used to distribute
 /// a component whose fusion ILP exhausted its budget).
 fn component_boundaries(state: &SchedState<'_>, members: &[usize]) -> Vec<usize> {
-    let mut positions: Vec<usize> =
-        members.iter().map(|&s| state.pos[state.sccs.scc_of[s]]).collect();
+    let mut positions: Vec<usize> = members
+        .iter()
+        .map(|&s| state.pos[state.sccs.scc_of[s]])
+        .collect();
     positions.sort_unstable();
     positions.dedup();
     positions.into_iter().skip(1).collect()
@@ -847,8 +872,7 @@ fn verify_legality(state: &SchedState<'_>) -> Result<(), SchedError> {
             if !wf_polyhedra::Polyhedron::from(viol).is_empty_rational() {
                 return Err(SchedError::Illegal(format!(
                     "dependence {} -> {} violated at dimension {k}",
-                    state.scop.statements[edge.src].name,
-                    state.scop.statements[edge.dst].name,
+                    state.scop.statements[edge.src].name, state.scop.statements[edge.dst].name,
                 )));
             }
             prefix.add_eq0(expr);
@@ -857,9 +881,7 @@ fn verify_legality(state: &SchedState<'_>) -> Result<(), SchedError> {
         // final static order separates them) — for identical statements it
         // would mean a self-dependence on the same instance, excluded by
         // construction.
-        if edge.src != edge.dst
-            && !wf_polyhedra::Polyhedron::from(prefix).is_empty_rational()
-        {
+        if edge.src != edge.dst && !wf_polyhedra::Polyhedron::from(prefix).is_empty_rational() {
             return Err(SchedError::Illegal(format!(
                 "dependence {} -> {} has unordered zero-distance instances",
                 state.scop.statements[edge.src].name, state.scop.statements[edge.dst].name,

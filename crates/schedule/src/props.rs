@@ -64,8 +64,7 @@ pub fn analyze(scop: &Scop, ddg: &Ddg, t: &Transformed) -> Vec<Vec<Option<LoopPr
                 // Carried here (or live through here)?
                 let nv = edge.poly.n_vars();
                 let mut expr = vec![0i128; nv + 1];
-                let (sr, dr) =
-                    (&t.schedule.rows[d][edge.src], &t.schedule.rows[d][edge.dst]);
+                let (sr, dr) = (&t.schedule.rows[d][edge.src], &t.schedule.rows[d][edge.dst]);
                 for k in 0..edge.src_depth {
                     expr[k] -= sr.coeffs[k];
                 }
@@ -97,5 +96,7 @@ pub fn outer_parallel(props: &[Vec<Option<LoopProp>>], schedule: &crate::Schedul
     let Some(first_loop) = schedule.dims.iter().position(|&k| k == DimKind::Loop) else {
         return true;
     };
-    props[first_loop].iter().all(|p| matches!(p, Some(LoopProp::Parallel) | None))
+    props[first_loop]
+        .iter()
+        .all(|p| matches!(p, Some(LoopProp::Parallel) | None))
 }

@@ -24,20 +24,31 @@ impl StmtRow {
     /// The all-zero row for a statement of the given depth.
     #[must_use]
     pub fn zero(depth: usize) -> StmtRow {
-        StmtRow { coeffs: vec![0; depth], konst: 0 }
+        StmtRow {
+            coeffs: vec![0; depth],
+            konst: 0,
+        }
     }
 
     /// A pure-constant row (scalar dimension value).
     #[must_use]
     pub fn scalar(depth: usize, value: i128) -> StmtRow {
-        StmtRow { coeffs: vec![0; depth], konst: value }
+        StmtRow {
+            coeffs: vec![0; depth],
+            konst: value,
+        }
     }
 
     /// Evaluate at an iteration vector.
     #[must_use]
     pub fn eval(&self, iters: &[i128]) -> i128 {
         debug_assert_eq!(iters.len(), self.coeffs.len());
-        self.coeffs.iter().zip(iters).map(|(&c, &i)| c * i).sum::<i128>() + self.konst
+        self.coeffs
+            .iter()
+            .zip(iters)
+            .map(|(&c, &i)| c * i)
+            .sum::<i128>()
+            + self.konst
     }
 
     /// Is this row identically zero (including the constant)?
@@ -93,7 +104,10 @@ impl Schedule {
     /// The full schedule vector of a statement instance.
     #[must_use]
     pub fn apply(&self, stmt: usize, iters: &[i128]) -> Vec<i128> {
-        self.rows.iter().map(|level| level[stmt].eval(iters)).collect()
+        self.rows
+            .iter()
+            .map(|level| level[stmt].eval(iters))
+            .collect()
     }
 
     /// Indices of the `Loop` dimensions, outermost first.
@@ -184,7 +198,10 @@ fn render_affine(coeffs: &[i128], konst: i128) -> String {
     const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
     let mut s = String::new();
     for (k, &c) in coeffs.iter().enumerate() {
-        let name = NAMES.get(k).copied().map_or_else(|| format!("i{k}"), String::from);
+        let name = NAMES
+            .get(k)
+            .copied()
+            .map_or_else(|| format!("i{k}"), String::from);
         match c {
             0 => {}
             1 if s.is_empty() => s.push_str(&name),
@@ -217,15 +234,27 @@ mod tests {
         sch.push_dim(
             DimKind::Loop,
             vec![
-                StmtRow { coeffs: vec![0, 1], konst: 0 }, // j (interchanged)
-                StmtRow { coeffs: vec![1, 0], konst: 0 }, // i
+                StmtRow {
+                    coeffs: vec![0, 1],
+                    konst: 0,
+                }, // j (interchanged)
+                StmtRow {
+                    coeffs: vec![1, 0],
+                    konst: 0,
+                }, // i
             ],
         );
         sch.push_dim(
             DimKind::Loop,
             vec![
-                StmtRow { coeffs: vec![1, 0], konst: 0 },
-                StmtRow { coeffs: vec![0, 1], konst: 2 },
+                StmtRow {
+                    coeffs: vec![1, 0],
+                    konst: 0,
+                },
+                StmtRow {
+                    coeffs: vec![0, 1],
+                    konst: 2,
+                },
             ],
         );
         sch
@@ -243,8 +272,20 @@ mod tests {
         let sch = simple_schedule();
         assert_eq!(sch.loop_rank(0, 2), 2);
         let mut degenerate = Schedule::new();
-        degenerate.push_dim(DimKind::Loop, vec![StmtRow { coeffs: vec![1, 1], konst: 0 }]);
-        degenerate.push_dim(DimKind::Loop, vec![StmtRow { coeffs: vec![2, 2], konst: 1 }]);
+        degenerate.push_dim(
+            DimKind::Loop,
+            vec![StmtRow {
+                coeffs: vec![1, 1],
+                konst: 0,
+            }],
+        );
+        degenerate.push_dim(
+            DimKind::Loop,
+            vec![StmtRow {
+                coeffs: vec![2, 2],
+                konst: 1,
+            }],
+        );
         assert_eq!(degenerate.loop_rank(0, 2), 1);
     }
 
@@ -256,14 +297,27 @@ mod tests {
         let mut fused = Schedule::new();
         fused.push_dim(
             DimKind::Scalar,
-            vec![StmtRow::scalar(1, 0), StmtRow::scalar(1, 0), StmtRow::scalar(1, 2)],
+            vec![
+                StmtRow::scalar(1, 0),
+                StmtRow::scalar(1, 0),
+                StmtRow::scalar(1, 2),
+            ],
         );
         fused.push_dim(
             DimKind::Loop,
             vec![
-                StmtRow { coeffs: vec![1], konst: 0 },
-                StmtRow { coeffs: vec![1], konst: 0 },
-                StmtRow { coeffs: vec![1], konst: 0 },
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
             ],
         );
         assert_eq!(fused.top_level_partitions(), vec![0, 0, 1]);
@@ -274,7 +328,16 @@ mod tests {
         let mut sch = Schedule::new();
         sch.push_dim(
             DimKind::Loop,
-            vec![StmtRow { coeffs: vec![1], konst: 0 }, StmtRow { coeffs: vec![1], konst: 0 }],
+            vec![
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+            ],
         );
         assert_eq!(sch.top_level_partitions(), vec![0, 0]);
     }

@@ -51,7 +51,10 @@ fn gemver_core() -> Scop {
         .read(a, &[Aff::iter(0), Aff::iter(1)])
         .read(u1, &[Aff::iter(0)])
         .read(v1, &[Aff::iter(1)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     // S2: x[i] = x[i] + A[j][i]*y[j]
     b.stmt("S2", 2, &[1, 0, 0])
@@ -61,7 +64,10 @@ fn gemver_core() -> Scop {
         .read(x, &[Aff::iter(0)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(y, &[Aff::iter(1)])
-        .rhs(Expr::add(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::add(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     b.build()
 }
@@ -94,7 +100,11 @@ fn maxfuse_fuses_producer_consumer() {
     let scop = producer_consumer();
     let ddg = analyze(&scop);
     let t = schedule_scop(&scop, &ddg, &Maxfuse, &cfg()).expect("schedulable");
-    assert_eq!(t.partitions, vec![0, 0], "statements should share a partition");
+    assert_eq!(
+        t.partitions,
+        vec![0, 0],
+        "statements should share a partition"
+    );
     // Both rows at the loop dim should be identity (i).
     let d = t.schedule.loop_dims()[0];
     assert_eq!(t.schedule.rows[d][0].coeffs, vec![1]);
@@ -132,7 +142,10 @@ fn gemver_fusion_requires_interchange() {
     let outer = dims[0];
     let r1 = &t.schedule.rows[outer][0];
     let r2 = &t.schedule.rows[outer][1];
-    assert_ne!(r1.coeffs, r2.coeffs, "one nest must be interchanged, got {r1:?} / {r2:?}");
+    assert_ne!(
+        r1.coeffs, r2.coeffs,
+        "one nest must be interchanged, got {r1:?} / {r2:?}"
+    );
     // Outer loop stays parallel (communication-free fusion).
     let p = props::analyze(&scop, &ddg, &t);
     assert_eq!(p[outer][0], Some(LoopProp::Parallel));
@@ -188,7 +201,10 @@ fn triangular_self_dependences_schedule() {
         .read(a, &[Aff::iter(1), Aff::iter(2)])
         .read(a, &[Aff::iter(1), Aff::iter(0)])
         .read(a, &[Aff::iter(0), Aff::iter(2)])
-        .rhs(Expr::sub(Expr::Load(0), Expr::mul(Expr::Load(1), Expr::Load(2))))
+        .rhs(Expr::sub(
+            Expr::Load(0),
+            Expr::mul(Expr::Load(1), Expr::Load(2)),
+        ))
         .done();
     let scop = b.build();
     let ddg = analyze(&scop);
@@ -231,7 +247,11 @@ fn smartfuse_cuts_dimensionality_mismatch() {
 fn sampled_instances_are_ordered() {
     for scop in [producer_consumer(), gemver_core(), advect_like()] {
         let ddg = analyze(&scop);
-        for strat in [&Maxfuse as &dyn wf_schedule::FusionStrategy, &Nofuse, &Smartfuse] {
+        for strat in [
+            &Maxfuse as &dyn wf_schedule::FusionStrategy,
+            &Nofuse,
+            &Smartfuse,
+        ] {
             let t = schedule_scop(&scop, &ddg, strat, &cfg()).expect("schedulable");
             for edge in &ddg.edges {
                 // Sample a few integer points of the dependence polyhedron

@@ -48,7 +48,10 @@ impl Aff {
     /// The constant `c`.
     #[must_use]
     pub fn konst(c: i128) -> Aff {
-        Aff { konst: c, ..Aff::default() }
+        Aff {
+            konst: c,
+            ..Aff::default()
+        }
     }
 
     /// Coefficient of iterator `k`.
@@ -72,13 +75,21 @@ impl Aff {
     /// Highest iterator index mentioned (for arity checks).
     #[must_use]
     pub fn max_iter(&self) -> Option<usize> {
-        self.iters.iter().rev().find(|(_, &c)| c != 0).map(|(&k, _)| k)
+        self.iters
+            .iter()
+            .rev()
+            .find(|(_, &c)| c != 0)
+            .map(|(&k, _)| k)
     }
 
     /// Highest parameter index mentioned.
     #[must_use]
     pub fn max_param(&self) -> Option<usize> {
-        self.params.iter().rev().find(|(_, &c)| c != 0).map(|(&k, _)| k)
+        self.params
+            .iter()
+            .rev()
+            .find(|(_, &c)| c != 0)
+            .map(|(&k, _)| k)
     }
 
     /// Dense row `(iter coeffs…, param coeffs…, constant)` for a statement
@@ -90,11 +101,17 @@ impl Aff {
     pub fn row(&self, depth: usize, n_params: usize) -> Vec<i128> {
         let mut row = vec![0i128; depth + n_params + 1];
         for (&k, &c) in &self.iters {
-            assert!(k < depth, "Aff::row: iterator i{k} out of range (depth {depth})");
+            assert!(
+                k < depth,
+                "Aff::row: iterator i{k} out of range (depth {depth})"
+            );
             row[k] = c;
         }
         for (&j, &c) in &self.params {
-            assert!(j < n_params, "Aff::row: parameter p{j} out of range ({n_params} params)");
+            assert!(
+                j < n_params,
+                "Aff::row: parameter p{j} out of range ({n_params} params)"
+            );
             row[depth + j] = c;
         }
         row[depth + n_params] = self.konst;

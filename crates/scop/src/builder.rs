@@ -50,7 +50,10 @@ impl ScopBuilder {
 
     /// Add a parameter-context constraint `aff >= 0` (aff over params only).
     pub fn context_ge(&mut self, aff: Aff) -> &mut Self {
-        assert!(aff.max_iter().is_none(), "context constraints cannot use iterators");
+        assert!(
+            aff.max_iter().is_none(),
+            "context constraints cannot use iterators"
+        );
         self.context.add_ge0(aff.row(0, self.params.len()));
         self
     }
@@ -87,7 +90,10 @@ impl ScopBuilder {
                 depth,
                 domain: ConstraintSystem::new(depth + np),
                 beta: beta.to_vec(),
-                write: Access { array: usize::MAX, map: Vec::new() },
+                write: Access {
+                    array: usize::MAX,
+                    map: Vec::new(),
+                },
                 reads: Vec::new(),
                 rhs: Expr::Const(0.0),
             },
@@ -164,7 +170,12 @@ impl StmtBuilder<'_> {
 
     /// Finish the statement and hand control back to the SCoP builder.
     pub fn done(self) {
-        assert_ne!(self.stmt.write.array, usize::MAX, "{}: no write access", self.stmt.name);
+        assert_ne!(
+            self.stmt.write.array,
+            usize::MAX,
+            "{}: no write access",
+            self.stmt.name
+        );
         self.parent.statements.push(self.stmt);
     }
 
@@ -244,7 +255,10 @@ mod tests {
     fn scalar_declaration() {
         let mut b = ScopBuilder::new("k", &[]);
         let s = b.scalar("t");
-        b.stmt("S0", 0, &[0]).write(s, &[]).rhs(Expr::Const(3.0)).done();
+        b.stmt("S0", 0, &[0])
+            .write(s, &[])
+            .rhs(Expr::Const(3.0))
+            .done();
         let scop = b.build();
         assert!(scop.arrays[0].dims.is_empty());
     }

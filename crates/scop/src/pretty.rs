@@ -54,7 +54,9 @@ fn indent(out: &mut String, n: usize) {
 
 fn iter_name(lvl: usize) -> String {
     const NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
-    NAMES.get(lvl).map_or_else(|| format!("i{lvl}"), |s| (*s).to_string())
+    NAMES
+        .get(lvl)
+        .map_or_else(|| format!("i{lvl}"), |s| (*s).to_string())
 }
 
 /// Render `A[i][j] = rhs;` for one statement.
@@ -96,7 +98,11 @@ fn render_affine_row(scop: &Scop, s: &Statement, row: &[i128]) -> String {
 fn push_term(terms: &mut Vec<String>, c: i128, name: &str) {
     match c {
         0 => {}
-        1 => terms.push(if terms.is_empty() { name.to_string() } else { format!("+{name}") }),
+        1 => terms.push(if terms.is_empty() {
+            name.to_string()
+        } else {
+            format!("+{name}")
+        }),
         -1 => terms.push(format!("-{name}")),
         c if c > 0 && !terms.is_empty() => terms.push(format!("+{c}*{name}")),
         c => terms.push(format!("{c}*{name}")),
@@ -112,8 +118,16 @@ fn render_expr(scop: &Scop, s: &Statement, e: &Expr) -> String {
         Expr::Const(c) => format!("{c}"),
         Expr::Iter(k) => iter_name(*k),
         Expr::Param(j) => scop.params[*j].clone(),
-        Expr::Add(a, b) => format!("({} + {})", render_expr(scop, s, a), render_expr(scop, s, b)),
-        Expr::Sub(a, b) => format!("({} - {})", render_expr(scop, s, a), render_expr(scop, s, b)),
+        Expr::Add(a, b) => format!(
+            "({} + {})",
+            render_expr(scop, s, a),
+            render_expr(scop, s, b)
+        ),
+        Expr::Sub(a, b) => format!(
+            "({} - {})",
+            render_expr(scop, s, a),
+            render_expr(scop, s, b)
+        ),
         Expr::Mul(a, b) => format!("{}*{}", render_expr(scop, s, a), render_expr(scop, s, b)),
         Expr::Div(a, b) => format!("{}/{}", render_expr(scop, s, a), render_expr(scop, s, b)),
         Expr::Neg(a) => format!("-{}", render_expr(scop, s, a)),

@@ -197,7 +197,9 @@ impl Scop {
             }
             if let Some(p) = &prev_beta {
                 // Program order must be beta-lexicographic.
-                if p.as_slice() >= s.beta.as_slice() && !is_prefix(p, &s.beta) && !is_prefix(&s.beta, p)
+                if p.as_slice() >= s.beta.as_slice()
+                    && !is_prefix(p, &s.beta)
+                    && !is_prefix(&s.beta, p)
                 {
                     errs.push(format!(
                         "{}: beta {:?} not increasing after {:?}",
@@ -208,7 +210,10 @@ impl Scop {
             prev_beta = Some(s.beta.clone());
             for (kind, acc) in s.accesses() {
                 let Some(arr) = self.arrays.get(acc.array) else {
-                    errs.push(format!("{}: access to undeclared array #{}", s.name, acc.array));
+                    errs.push(format!(
+                        "{}: access to undeclared array #{}",
+                        s.name, acc.array
+                    ));
                     continue;
                 };
                 if acc.map.len() != arr.dims.len() {
@@ -306,14 +311,20 @@ mod tests {
 
     #[test]
     fn access_eval() {
-        let acc = Access { array: 0, map: vec![vec![1, 0, -1], vec![0, 2, 3]] };
+        let acc = Access {
+            array: 0,
+            map: vec![vec![1, 0, -1], vec![0, 2, 3]],
+        };
         // iters = [i], params = [N]; subscripts (i - 1, 2N + 3)
         assert_eq!(acc.eval(&[10], &[5]), vec![9, 13]);
     }
 
     #[test]
     fn array_extents() {
-        let a = ArrayDecl { name: "A".into(), dims: vec![vec![1, 2], vec![0, 7]] };
+        let a = ArrayDecl {
+            name: "A".into(),
+            dims: vec![vec![1, 2], vec![0, 7]],
+        };
         assert_eq!(a.extents(&[10]), vec![12, 7]);
     }
 

@@ -78,7 +78,10 @@ pub fn parse(input: &str) -> Result<Scop, ParseError> {
         .filter(|(_, l)| !l.is_empty())
         .peekable();
 
-    let err = |line: usize, msg: &str| ParseError { line, message: msg.to_string() };
+    let err = |line: usize, msg: &str| ParseError {
+        line,
+        message: msg.to_string(),
+    };
 
     // Header: scop <name>
     let (ln, first) = lines.next().ok_or_else(|| err(0, "empty document"))?;
@@ -104,8 +107,7 @@ pub fn parse(input: &str) -> Result<Scop, ParseError> {
 
     while let Some((ln, line)) = lines.next() {
         if let Some(rest) = line.strip_prefix("context ") {
-            let (aff, _) =
-                parse_relation_ge(rest, 0, &pidx).map_err(|m| err(ln, &m))?;
+            let (aff, _) = parse_relation_ge(rest, 0, &pidx).map_err(|m| err(ln, &m))?;
             b.context_ge(aff);
         } else if let Some(rest) = line.strip_prefix("array ") {
             let (arr_name, dims) = parse_array_decl(rest, &pidx).map_err(|m| err(ln, &m))?;
@@ -118,8 +120,9 @@ pub fn parse(input: &str) -> Result<Scop, ParseError> {
             let mut read_names: Vec<String> = Vec::new();
             let mut body: Option<Expr> = None;
             loop {
-                let (ln2, l2) =
-                    lines.next().ok_or_else(|| err(ln, "unterminated stmt block"))?;
+                let (ln2, l2) = lines
+                    .next()
+                    .ok_or_else(|| err(ln, "unterminated stmt block"))?;
                 if l2 == "}" {
                     break;
                 }
@@ -166,17 +169,29 @@ pub fn parse(input: &str) -> Result<Scop, ParseError> {
 fn parse_stmt_header(rest: &str) -> Result<(String, Vec<usize>), String> {
     // `<name> beta [a,b,c] {`
     let rest = rest.trim();
-    let (name, tail) = rest.split_once(' ').ok_or("expected `stmt <name> beta [..] {`")?;
+    let (name, tail) = rest
+        .split_once(' ')
+        .ok_or("expected `stmt <name> beta [..] {`")?;
     let tail = tail.trim();
-    let tail = tail.strip_prefix("beta").ok_or("expected `beta [..]`")?.trim();
-    let tail = tail.strip_suffix('{').ok_or("stmt header must end with `{`")?.trim();
+    let tail = tail
+        .strip_prefix("beta")
+        .ok_or("expected `beta [..]`")?
+        .trim();
+    let tail = tail
+        .strip_suffix('{')
+        .ok_or("stmt header must end with `{`")?
+        .trim();
     let inner = tail
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
         .ok_or("beta must be `[a,b,...]`")?;
     let beta: Vec<usize> = inner
         .split(',')
-        .map(|x| x.trim().parse().map_err(|_| format!("bad beta entry `{x}`")))
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| format!("bad beta entry `{x}`"))
+        })
         .collect::<Result<_, _>>()?;
     if beta.is_empty() {
         return Err("beta must be non-empty".into());
@@ -202,7 +217,9 @@ fn parse_array_decl(
         s = &t[close + 1..];
     }
     if !s.trim().is_empty() {
-        return Err(format!("trailing characters after array declaration: `{s}`"));
+        return Err(format!(
+            "trailing characters after array declaration: `{s}`"
+        ));
     }
     Ok((name, dims))
 }
@@ -583,7 +600,11 @@ pub fn to_text(scop: &Scop) -> String {
         let _ = writeln!(out, "params {}", scop.params.join(" "));
     }
     for c in &scop.context.constraints {
-        let _ = writeln!(out, "context {} >= 0", affine_text(&c.coeffs, 0, &scop.params));
+        let _ = writeln!(
+            out,
+            "context {} >= 0",
+            affine_text(&c.coeffs, 0, &scop.params)
+        );
     }
     for a in &scop.arrays {
         let mut line = format!("array {}", a.name);
@@ -606,9 +627,17 @@ pub fn to_text(scop: &Scop) -> String {
                 affine_text(&c.coeffs, s.depth, &scop.params)
             );
         }
-        let _ = writeln!(out, "  write {}", access_text(scop, s.write.array, &s.write.map, s.depth));
+        let _ = writeln!(
+            out,
+            "  write {}",
+            access_text(scop, s.write.array, &s.write.map, s.depth)
+        );
         for (k, r) in s.reads.iter().enumerate() {
-            let _ = writeln!(out, "  read r{k} = {}", access_text(scop, r.array, &r.map, s.depth));
+            let _ = writeln!(
+                out,
+                "  read r{k} = {}",
+                access_text(scop, r.array, &r.map, s.depth)
+            );
         }
         let _ = writeln!(out, "  body {}", body_text(&s.rhs));
         let _ = writeln!(out, "}}");
@@ -627,7 +656,11 @@ fn affine_text(row: &[i128], depth: usize, params: &[String]) -> String {
         v => terms.push(format!("{v}*{nm}")),
     };
     for k in 0..depth {
-        push(&mut terms, row[k], ITER_NAMES.get(k).copied().unwrap_or("i"));
+        push(
+            &mut terms,
+            row[k],
+            ITER_NAMES.get(k).copied().unwrap_or("i"),
+        );
     }
     for (j, p) in params.iter().enumerate() {
         push(&mut terms, row[depth + j], p);

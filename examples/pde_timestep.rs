@@ -7,11 +7,8 @@
 
 use wf_cachesim::{CacheConfig, CacheSim};
 use wf_codegen::tiling::{bands, build_tiled_plan, default_tiles};
-use wf_codegen::{plan_from_optimized, render_plan};
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
-use wf_schedule::props::LoopProp;
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn timestep() -> Scop {
     let mut b = ScopBuilder::new("pde_timestep", &["N"]);
@@ -74,7 +71,10 @@ fn timestep() -> Scop {
 fn main() {
     let scop = timestep();
     let params = [256i128];
-    let opt = optimize(&scop, Model::Wisefuse).expect("schedulable");
+    let opt = Optimizer::new(&scop)
+        .model(Model::Wisefuse)
+        .run()
+        .expect("schedulable");
     println!(
         "pde_timestep: {} partitions, outer parallel: {}",
         opt.n_partitions(),
@@ -84,14 +84,17 @@ fn main() {
     println!("\n== untiled code ==\n{}", render_plan(&scop, &plan));
 
     // Tile the 2-D band and compare misses.
-    let par: Vec<Vec<bool>> = opt
-        .props
-        .iter()
-        .map(|row| row.iter().map(|p| matches!(p, Some(LoopProp::Parallel))).collect())
-        .collect();
+    let par = opt.parallel_flags();
     println!("permutable bands: {:?}", bands(&opt.transformed));
-    println!("\n{:<10} {:>12} {:>12} {:>12}", "variant", "L1 misses", "mem", "writebacks");
-    for (label, tile) in [("untiled", None), ("tile 16", Some(16i128)), ("tile 32", Some(32))] {
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12}",
+        "variant", "L1 misses", "mem", "writebacks"
+    );
+    for (label, tile) in [
+        ("untiled", None),
+        ("tile 16", Some(16i128)),
+        ("tile 32", Some(32)),
+    ] {
         let p = match tile {
             None => plan.clone(),
             Some(size) => {
@@ -106,7 +109,14 @@ fn main() {
         let mut data = ProgramData::new(&scop, &params);
         data.init_lcg(9);
         let mut sim = CacheSim::new(&scop, &params, &CacheConfig::scaled_e5_2650());
-        execute_plan(&scop, &opt.transformed, &p, &mut data, &ExecOptions { threads: 1 }, Some(&mut sim));
+        execute_plan(
+            &scop,
+            &opt.transformed,
+            &p,
+            &mut data,
+            &ExecOptions { threads: 1 },
+            Some(&mut sim),
+        );
         println!(
             "{label:<10} {:>12} {:>12} {:>12}",
             sim.stats[0].misses,
@@ -121,7 +131,14 @@ fn main() {
     let mut oracle = init.clone();
     execute_reference(&scop, &mut oracle);
     let mut data = init.clone();
-    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads: 4 }, None);
+    execute_plan(
+        &scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads: 4 },
+        None,
+    );
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
     println!("\nverified: bit-identical to original program order");
 }

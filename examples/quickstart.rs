@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wf_codegen::{plan_from_optimized, render_plan};
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
 use wf_scop::{pretty, Aff, Expr, ScopBuilder};
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn main() {
     // A three-statement pipeline over 1-D arrays:
@@ -44,7 +42,10 @@ fn main() {
 
     // Run the whole pipeline: dependence analysis -> wisefuse scheduling ->
     // parallelism analysis.
-    let opt = optimize(&scop, Model::Wisefuse).expect("schedulable");
+    let opt = Optimizer::new(&scop)
+        .model(Model::Wisefuse)
+        .run()
+        .expect("schedulable");
     println!("== statement-wise affine transform ==");
     let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
     print!("{}", opt.transformed.schedule.render(&names));
@@ -64,7 +65,14 @@ fn main() {
     data.init_random(1);
     let mut oracle = data.clone();
     execute_reference(&scop, &mut oracle);
-    execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads: 4 }, None);
+    execute_plan(
+        &scop,
+        &opt.transformed,
+        &plan,
+        &mut data,
+        &ExecOptions { threads: 4 },
+        None,
+    );
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
     println!("executed N = {n} on 4 threads; output matches the original bit-for-bit");
 }

@@ -11,10 +11,8 @@
 //! ```
 
 use wf_cachesim::{CacheConfig, CacheSim};
-use wf_codegen::plan_from_optimized;
-use wf_runtime::{execute_plan, ExecOptions, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn pipeline() -> Scop {
     let mut b = ScopBuilder::new("stencil_pipeline", &["N"]);
@@ -55,7 +53,10 @@ fn pipeline() -> Scop {
         .write(sharp, &[i.clone(), j.clone()])
         .read(blur, &[i.clone(), j.clone()])
         .read(grad, &[i, j])
-        .rhs(Expr::sub(Expr::mul(Expr::Const(2.0), Expr::Load(0)), Expr::Load(1)))
+        .rhs(Expr::sub(
+            Expr::mul(Expr::Const(2.0), Expr::Load(0)),
+            Expr::Load(1),
+        ))
         .done();
     b.build()
 }
@@ -68,8 +69,10 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "model", "partitions", "L1 misses", "L2 misses", "L3 misses", "mem/elem"
     );
+    // One facade: dependence analysis is shared by the three models.
+    let mut optimizer = Optimizer::new(&scop);
     for model in [Model::Nofuse, Model::Smartfuse, Model::Wisefuse] {
-        let opt = optimize(&scop, model).expect("schedulable");
+        let opt = optimizer.run_model(model).expect("schedulable");
         let plan = plan_from_optimized(&scop, &opt);
         let mut data = ProgramData::new(&scop, &params);
         data.init_random(5);

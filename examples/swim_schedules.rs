@@ -10,7 +10,7 @@ use wf_benchsuite::by_name;
 use wf_deps::{analyze, tarjan};
 use wf_schedule::fusion::dfs_order;
 use wf_wisefuse::prefusion::algorithm1;
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn main() {
     let bench = by_name("swim").expect("catalog entry");
@@ -22,8 +22,10 @@ fn main() {
     let describe = |order: &[usize], label: &str| {
         println!("== {label} ==");
         for (pos, &c) in order.iter().enumerate() {
-            let members: Vec<&str> =
-                sccs.members[c].iter().map(|&s| scop.statements[s].name.as_str()).collect();
+            let members: Vec<&str> = sccs.members[c]
+                .iter()
+                .map(|&s| scop.statements[s].name.as_str())
+                .collect();
             println!(
                 "  pos {pos:>2}: dim {} {:?}",
                 sccs.dimensionality(c, &depths),
@@ -31,15 +33,26 @@ fn main() {
             );
         }
     };
-    describe(&algorithm1(scop, &ddg, &sccs), "Algorithm 1 (wisefuse) pre-fusion schedule");
-    describe(&dfs_order(&ddg, &sccs), "DFS (PLuTo/smartfuse) pre-fusion schedule");
+    describe(
+        &algorithm1(scop, &ddg, &sccs),
+        "Algorithm 1 (wisefuse) pre-fusion schedule",
+    );
+    describe(
+        &dfs_order(&ddg, &sccs),
+        "DFS (PLuTo/smartfuse) pre-fusion schedule",
+    );
 
+    // The DDG computed above for Algorithm 1 seeds the facade directly.
+    let mut optimizer = Optimizer::new(scop).with_ddg(ddg.clone());
     for model in [Model::Wisefuse, Model::Smartfuse, Model::Icc] {
-        let opt = optimize(scop, model).expect("schedulable");
+        let opt = optimizer.run_model(model).expect("schedulable");
         let parts = &opt.transformed.partitions;
         let mut groups: std::collections::BTreeMap<usize, Vec<&str>> = Default::default();
         for (s, &p) in parts.iter().enumerate() {
-            groups.entry(p).or_default().push(scop.statements[s].name.as_str());
+            groups
+                .entry(p)
+                .or_default()
+                .push(scop.statements[s].name.as_str());
         }
         println!(
             "\n== {} fusion partitioning: {} partitions (outer parallel: {}) ==",

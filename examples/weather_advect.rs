@@ -9,9 +9,7 @@
 use std::time::Instant;
 use wf_benchsuite::by_name;
 use wf_cachesim::perf::{model_performance, MachineModel};
-use wf_codegen::{plan_from_optimized, render_plan};
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
-use wf_wisefuse::{optimize, Model};
+use wf_wisefuse::prelude::*;
 
 fn main() {
     let bench = by_name("advect").expect("catalog entry");
@@ -26,17 +24,28 @@ fn main() {
     execute_reference(scop, &mut oracle);
 
     let machine = MachineModel::default();
-    println!("advect, N = {}, {threads} host threads, {} modeled cores", params[0], machine.cores);
+    println!(
+        "advect, N = {}, {threads} host threads, {} modeled cores",
+        params[0], machine.cores
+    );
     println!(
         "{:<10} {:>10} {:>14} {:>12} {:>12}",
         "model", "partitions", "outer-parallel", "wall", "modeled"
     );
+    let mut optimizer = Optimizer::new(scop);
     for model in Model::ALL {
-        let opt = optimize(scop, model).expect("schedulable");
+        let opt = optimizer.run_model(model).expect("schedulable");
         let plan = plan_from_optimized(scop, &opt);
         let mut data = init.clone();
         let t0 = Instant::now();
-        execute_plan(scop, &opt.transformed, &plan, &mut data, &ExecOptions { threads }, None);
+        execute_plan(
+            scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions { threads },
+            None,
+        );
         let dt = t0.elapsed();
         assert_eq!(data.max_abs_diff(&oracle), 0.0, "{model:?} diverged");
         let mut mdata = init.clone();
@@ -53,8 +62,12 @@ fn main() {
 
     // Show the wisefuse code (Figure 6) vs the maxfuse code (Figure 4c).
     for model in [Model::Maxfuse, Model::Wisefuse] {
-        let opt = optimize(scop, model).expect("schedulable");
+        let opt = optimizer.run_model(model).expect("schedulable");
         let plan = plan_from_optimized(scop, &opt);
-        println!("\n== {} transformed advect ==\n{}", model.name(), render_plan(scop, &plan));
+        println!(
+            "\n== {} transformed advect ==\n{}",
+            model.name(),
+            render_plan(scop, &plan)
+        );
     }
 }

@@ -4,12 +4,15 @@
 //! whole stack (dependence analysis → scheduling → codegen → runtime).
 
 use wf_benchsuite::catalog;
-use wf_codegen::plan_from_optimized;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
 fn run_benchmark(name: &str) {
-    let b = catalog().into_iter().find(|b| b.name == name).expect("catalog entry");
+    let b = catalog()
+        .into_iter()
+        .find(|b| b.name == name)
+        .expect("catalog entry");
     let mut init = ProgramData::new(&b.scop, &b.test_params);
     init.init_random(0xC0FFEE);
     let mut oracle = init.clone();

@@ -2,12 +2,16 @@
 //! emit C, compile with the system compiler, run, and bit-compare against
 //! the interpreter. Skipped when no C compiler is installed.
 
-use wf_codegen::{emit_c, plan_from_optimized};
+use wf_codegen::emit_c;
 use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
 fn cc_available() -> bool {
-    std::process::Command::new("cc").arg("--version").output().is_ok()
+    std::process::Command::new("cc")
+        .arg("--version")
+        .output()
+        .is_ok()
 }
 
 #[test]

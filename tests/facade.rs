@@ -1,0 +1,102 @@
+//! The `Optimizer` facade contract: determinism, equivalence with the
+//! one-shot `optimize` wrapper, and shared-analysis behaviour — exercised
+//! on the real benchmark suite rather than toy SCoPs.
+
+use wf_benchsuite::by_name;
+use wf_harness::prelude::*;
+use wf_wisefuse::{optimize, Model, Optimized, Optimizer};
+
+/// Cheap-to-schedule catalog entries (scheduling cost is independent of
+/// the problem-size parameters, so this is about SCoP size/ILP difficulty).
+const SMALL: [&str; 4] = ["advect", "lu", "tce", "gemver"];
+
+/// A schedule fingerprint precise enough that "equal fingerprints" means
+/// "the executed code is identical": the rendered transform plus the
+/// fusion partitioning plus the loop-property table.
+fn fingerprint(opt: &Optimized) -> String {
+    let names: Vec<String> = (0..opt.transformed.partitions.len())
+        .map(|s| format!("S{s}"))
+        .collect();
+    format!(
+        "{}\npartitions {:?}\nprops {:?}",
+        opt.transformed.schedule.render(&names),
+        opt.transformed.partitions,
+        opt.props,
+    )
+}
+
+/// Two independent `run_all` passes over the same SCoP must agree
+/// byte-for-byte — nothing in the pipeline (hashing, iteration order,
+/// ILP pivoting) may introduce run-to-run nondeterminism.
+#[test]
+fn run_all_is_deterministic() {
+    for name in SMALL {
+        let bench = by_name(name).expect("catalog entry");
+        let first = Optimizer::new(&bench.scop).run_all();
+        let second = Optimizer::new(&bench.scop).run_all();
+        assert_eq!(first.len(), second.len());
+        for ((m1, r1), (m2, r2)) in first.iter().zip(&second) {
+            assert_eq!(m1, m2);
+            match (r1, r2) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    fingerprint(a),
+                    fingerprint(b),
+                    "{name}/{m1:?}: schedules differ between runs"
+                ),
+                (Err(_), Err(_)) => {}
+                _ => panic!("{name}/{m1:?}: one run scheduled, the other failed"),
+            }
+        }
+    }
+}
+
+// For every (benchmark, model) pair the property framework samples,
+// `Optimizer::run_model` (cached DDG) and `optimize` (fresh analysis) must
+// produce identical schedules.
+props! {
+    #![proptest_config(Config::with_cases(12))]
+    /// The facade's shared dependence analysis must not change any result.
+    #[test]
+    fn facade_equals_one_shot_pipeline(
+        bench_idx in 0usize..SMALL.len(),
+        model_idx in 0usize..Model::ALL.len(),
+    ) {
+        let name = SMALL[bench_idx];
+        let model = Model::ALL[model_idx];
+        let bench = by_name(name).expect("catalog entry");
+        let mut optimizer = Optimizer::new(&bench.scop);
+        // Prime the cache, then schedule: the DDG is reused, not recomputed.
+        let _ = optimizer.ddg();
+        let via_facade = optimizer.run_model(model);
+        let via_wrapper = optimize(&bench.scop, model);
+        match (via_facade, via_wrapper) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "{name}/{model:?}: facade {:?} vs wrapper {:?}",
+                    a.is_ok(),
+                    b.is_ok()
+                )));
+            }
+        }
+    }
+}
+
+/// `run()` after `with_ddg` is the documented zero-analysis path; it must
+/// match a facade that computed the DDG itself.
+#[test]
+fn injected_ddg_matches_computed_ddg() {
+    let bench = by_name("advect").expect("catalog entry");
+    let mut computed = Optimizer::new(&bench.scop);
+    let ddg = computed.ddg().clone();
+    let a = computed.run_model(Model::Wisefuse).expect("schedulable");
+    let b = Optimizer::new(&bench.scop)
+        .model(Model::Wisefuse)
+        .with_ddg(ddg)
+        .run()
+        .expect("schedulable");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}

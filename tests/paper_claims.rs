@@ -55,7 +55,10 @@ fn small_kernels_wisefuse_equals_smartfuse() {
 fn advect_parallelism_conflict() {
     let scop = by_name("advect").unwrap().scop;
     let w = optimize(&scop, Model::Wisefuse).unwrap();
-    assert!(w.outer_parallel(), "wisefuse preserves coarse-grained parallelism");
+    assert!(
+        w.outer_parallel(),
+        "wisefuse preserves coarse-grained parallelism"
+    );
     assert_eq!(w.n_partitions(), 2, "minimal distribution: S1-S3 | S4");
     for model in [Model::Maxfuse, Model::Smartfuse] {
         let m = optimize(&scop, model).unwrap();
@@ -109,7 +112,10 @@ fn swim_head_nest_fusion() {
     // S13 and S14 do not.
     assert_ne!(parts[0], parts[12]);
     assert_ne!(parts[0], parts[13]);
-    assert!(w.outer_parallel(), "swim stays coarse-grained parallel under wisefuse");
+    assert!(
+        w.outer_parallel(),
+        "swim stays coarse-grained parallel under wisefuse"
+    );
 
     // smartfuse's head-cluster reuse is weaker: its largest nest among the
     // 2-D statements is no larger than wisefuse's, and the total partition
@@ -142,9 +148,15 @@ fn passes_fuse_by_pass() {
                 );
             }
         }
-        assert!(w.outer_parallel(), "{name}: wisefuse keeps outer parallelism");
+        assert!(
+            w.outer_parallel(),
+            "{name}: wisefuse keeps outer parallelism"
+        );
         let s = optimize(&scop, Model::Smartfuse).unwrap();
-        assert!(!s.outer_parallel(), "{name}: smartfuse's cross-pass fusion pipelines");
+        assert!(
+            !s.outer_parallel(),
+            "{name}: smartfuse's cross-pass fusion pipelines"
+        );
     }
 }
 
@@ -186,8 +198,8 @@ fn rar_blindness_of_the_ddg() {
 #[test]
 fn advect_modeled_shape() {
     use wf_cachesim::perf::{model_performance, MachineModel};
-    use wf_codegen::plan_from_optimized;
     use wf_runtime::ProgramData;
+    use wf_wisefuse::plan_from_optimized;
 
     let bench = wf_benchsuite::by_name("advect").unwrap();
     let machine = MachineModel::default();
@@ -205,6 +217,12 @@ fn advect_modeled_shape() {
         secs["smartfuse"] / wise > 1.5,
         "wisefuse must beat the pipelined smartfuse by >1.5x: {secs:?}"
     );
-    assert!(secs["icc"] / wise > 1.0, "fusion reuse must beat icc: {secs:?}");
-    assert!(secs["nofuse"] / wise > 1.0, "fusion reuse must beat nofuse: {secs:?}");
+    assert!(
+        secs["icc"] / wise > 1.0,
+        "fusion reuse must beat icc: {secs:?}"
+    );
+    assert!(
+        secs["nofuse"] / wise > 1.0,
+        "fusion reuse must beat nofuse: {secs:?}"
+    );
 }

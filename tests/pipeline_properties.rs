@@ -5,18 +5,18 @@
 //! maps, guards, parallel execution — with shapes no hand-written kernel
 //! covers.
 
-use proptest::prelude::*;
-use wf_codegen::plan_from_optimized;
+use wf_harness::prelude::*;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
 /// Description of one random statement.
 #[derive(Debug, Clone)]
 struct RandStmt {
-    depth: usize,          // 1 or 2
-    write_arr: usize,      // array id (depth-matched)
-    write_off: i128,       // subscript offset in [0, 2]
+    depth: usize,                   // 1 or 2
+    write_arr: usize,               // array id (depth-matched)
+    write_off: i128,                // subscript offset in [0, 2]
     reads: Vec<(usize, [i128; 2])>, // (array, per-dim offsets in [0, 2])
 }
 
@@ -25,7 +25,7 @@ fn arb_stmt() -> impl Strategy<Value = RandStmt> {
         1usize..=2,
         0usize..3,
         0i128..3,
-        proptest::collection::vec((0usize..3, 0i128..3, 0i128..3), 0..3),
+        collection::vec((0usize..3, 0i128..3, 0i128..3), 0..3),
     )
         .prop_map(|(depth, warr, woff, reads)| RandStmt {
             depth,
@@ -42,9 +42,12 @@ fn build_scop(stmts: &[RandStmt]) -> Scop {
     let mut b = ScopBuilder::new("random", &["N"]);
     b.context_ge(Aff::param(0) - 4);
     let ext = || Aff::param(0) + 4;
-    let one_d: Vec<usize> = (0..3).map(|k| b.array(&format!("A{k}"), &[ext()])).collect();
-    let two_d: Vec<usize> =
-        (0..3).map(|k| b.array(&format!("B{k}"), &[ext(), ext()])).collect();
+    let one_d: Vec<usize> = (0..3)
+        .map(|k| b.array(&format!("A{k}"), &[ext()]))
+        .collect();
+    let two_d: Vec<usize> = (0..3)
+        .map(|k| b.array(&format!("B{k}"), &[ext(), ext()]))
+        .collect();
     for (s, st) in stmts.iter().enumerate() {
         let subs = |arr_1d: bool, off: &[i128; 2], depth: usize| -> Vec<Aff> {
             if arr_1d {
@@ -56,18 +59,25 @@ fn build_scop(stmts: &[RandStmt]) -> Scop {
             }
         };
         let write_1d = st.depth == 1 && st.write_arr % 2 == 0;
-        let warr = if write_1d { one_d[st.write_arr] } else { two_d[st.write_arr] };
+        let warr = if write_1d {
+            one_d[st.write_arr]
+        } else {
+            two_d[st.write_arr]
+        };
         let mut beta = vec![s, 0];
         if st.depth == 2 {
             beta.push(0);
         }
-        let mut sb = b
-            .stmt(&format!("S{s}"), st.depth, &beta)
-            .bounds(0, Aff::konst(1), Aff::param(0));
+        let mut sb =
+            b.stmt(&format!("S{s}"), st.depth, &beta)
+                .bounds(0, Aff::konst(1), Aff::param(0));
         if st.depth == 2 {
             sb = sb.bounds(1, Aff::konst(1), Aff::param(0));
         }
-        sb = sb.write(warr, &subs(write_1d, &[st.write_off, st.write_off], st.depth));
+        sb = sb.write(
+            warr,
+            &subs(write_1d, &[st.write_off, st.write_off], st.depth),
+        );
         let mut terms = vec![Expr::Iter(0)];
         for (k, (arr, offs)) in st.reads.iter().enumerate() {
             let read_1d = *arr % 2 == 1;
@@ -80,12 +90,12 @@ fn build_scop(stmts: &[RandStmt]) -> Scop {
     b.build()
 }
 
-proptest! {
+props! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn random_scops_equivalent_under_all_models(
-        stmts in proptest::collection::vec(arb_stmt(), 2..5),
+        stmts in collection::vec(arb_stmt(), 2..5),
     ) {
         let scop = build_scop(&stmts);
         let params = [7i128];
@@ -116,7 +126,7 @@ proptest! {
     /// many as maxfuse.
     #[test]
     fn partition_count_monotonicity(
-        stmts in proptest::collection::vec(arb_stmt(), 2..5),
+        stmts in collection::vec(arb_stmt(), 2..5),
     ) {
         let scop = build_scop(&stmts);
         let nofuse = optimize(&scop, Model::Nofuse).unwrap().n_partitions();

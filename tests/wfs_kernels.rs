@@ -1,9 +1,9 @@
 //! The shipped `.wfs` kernels must parse, validate, optimize under every
 //! model, and execute equivalently to program order.
 
-use wf_codegen::plan_from_optimized;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
 use wf_scop::text::parse;
+use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
 fn check_file(path: &str, params: &[i128]) {
@@ -17,20 +17,40 @@ fn check_file(path: &str, params: &[i128]) {
         let opt = optimize(&scop, model).unwrap_or_else(|e| panic!("{path}: {model:?}: {e}"));
         let plan = plan_from_optimized(&scop, &opt);
         let mut data = init.clone();
-        execute_plan(&scop, &opt.transformed, &plan, &mut data, &ExecOptions::default(), None);
-        assert_eq!(data.max_abs_diff(&oracle), 0.0, "{path}: {model:?} diverges");
+        execute_plan(
+            &scop,
+            &opt.transformed,
+            &plan,
+            &mut data,
+            &ExecOptions::default(),
+            None,
+        );
+        assert_eq!(
+            data.max_abs_diff(&oracle),
+            0.0,
+            "{path}: {model:?} diverges"
+        );
     }
 }
 
 #[test]
 fn heat1d_kernel() {
-    check_file(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/kernels/heat1d.wfs"), &[32]);
+    check_file(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/kernels/heat1d.wfs"
+        ),
+        &[32],
+    );
 }
 
 #[test]
 fn blur_grad_kernel() {
     check_file(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/kernels/blur_grad.wfs"),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/kernels/blur_grad.wfs"
+        ),
         &[10],
     );
 }
