@@ -1,0 +1,259 @@
+//! The `wfc bench-all` batch driver: every benchsuite SCoP × every fusion
+//! model in **one process**, so the expensive work is paid once and shared —
+//! dependence analysis once per SCoP, the worker pool reused across SCoPs,
+//! and the schedule cache shared across models and phases.
+//!
+//! Per SCoP the driver times the three pipeline phases separately:
+//!
+//! * **analysis** — exact polyhedral dependence analysis ([`wf_deps::analyze`]);
+//! * **ILP** — scheduling all five models, measured three ways: serially
+//!   (one worker, cache bypassed), in parallel (`threads` workers, cache
+//!   bypassed — the wall-clock speedup the report headlines), and through
+//!   the schedule cache (a cold populating pass plus a warm pass whose
+//!   hits skip the ILP entirely);
+//! * **codegen** — building the execution plan for every scheduled model.
+//!
+//! Every extra pass doubles as a determinism check: the parallel, cached,
+//! and pool-replayed schedules must be **identical** to the serial ones
+//! ([`Transformed`](wf_schedule::pluto::Transformed) and loop properties
+//! compare equal), and the consolidated report carries the verdict in
+//! `determinism_ok` so CI can fail on any divergence. Timing fields are the
+//! only run-to-run variance; [`strip_timings`] removes them so two reports
+//! can be compared byte-for-byte.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wf_benchsuite::{catalog, Benchmark};
+use wf_harness::json::Json;
+use wf_harness::pool;
+use wf_wisefuse::{cache, Model, Optimized, Optimizer};
+
+/// Knobs for one [`run`].
+#[derive(Clone, Debug)]
+pub struct BenchAllOptions {
+    /// Worker count for the parallel scheduling passes (≥ 2 to measure a
+    /// speedup; the serial baseline always uses 1).
+    pub threads: usize,
+    /// Restrict the catalog to benchmarks whose name contains this
+    /// substring (empty = whole catalog).
+    pub filter: String,
+}
+
+impl Default for BenchAllOptions {
+    fn default() -> BenchAllOptions {
+        BenchAllOptions {
+            threads: pool::env_threads(),
+            filter: String::new(),
+        }
+    }
+}
+
+/// Everything one batch run produced.
+pub struct BenchAllOutcome {
+    /// The consolidated `BENCH_all.json` payload.
+    pub report: Json,
+    /// Did every redundant pass (parallel, cached, pooled) reproduce the
+    /// serial schedules exactly?
+    pub determinism_ok: bool,
+    /// Schedule-cache counters at the end of the run.
+    pub cache_stats: cache::CacheStats,
+}
+
+/// Scheduling outcome fingerprint used for the determinism cross-checks:
+/// per model, either the full transformed program + properties or the
+/// error text.
+type RunSet = Vec<(Model, Result<Optimized, wf_schedule::SchedError>)>;
+
+fn same_runs(a: &RunSet, b: &RunSet) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((ma, ra), (mb, rb))| {
+            ma == mb
+                && match (ra, rb) {
+                    (Ok(x), Ok(y)) => x.transformed == y.transformed && x.props == y.props,
+                    (Err(x), Err(y)) => x == y,
+                    _ => false,
+                }
+        })
+}
+
+fn secs(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64()
+}
+
+/// Run the whole catalog × all models; see the module docs for the phase
+/// structure. Pure compute — writing `BENCH_all.json` is the caller's job
+/// (the CLI routes `report` through [`crate::BenchReport`]'s writer).
+#[must_use]
+pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
+    let threads = opts.threads.max(1);
+    let benchmarks: Vec<Benchmark> = catalog()
+        .into_iter()
+        .filter(|b| opts.filter.is_empty() || b.name.contains(&opts.filter))
+        .collect();
+
+    let mut determinism_ok = true;
+    let mut rows = Vec::new();
+    let mut tot_analysis = 0.0;
+    let mut tot_serial = 0.0;
+    let mut tot_parallel = 0.0;
+    let mut tot_codegen = 0.0;
+    // The serial-pass results, kept for the cross-SCoP pool verification.
+    let mut expected: Vec<(usize, RunSet)> = Vec::new();
+
+    for (idx, b) in benchmarks.iter().enumerate() {
+        // Phase 1: dependence analysis, once per SCoP; every later pass
+        // reuses this graph through the facade.
+        let t = Instant::now();
+        let ddg = wf_deps::analyze(&b.scop);
+        let analysis_seconds = secs(t);
+
+        let fresh = |cached: bool| {
+            let o = Optimizer::new(&b.scop).with_ddg(ddg.clone());
+            if cached {
+                o
+            } else {
+                o.cache_off()
+            }
+        };
+
+        // Phase 2a: ILP, serial cold baseline (one worker, cache bypassed).
+        let t = Instant::now();
+        let serial = fresh(false).threads(1).run_all();
+        let serial_seconds = secs(t);
+
+        // Phase 2b: ILP, parallel cold (the tentpole speedup measurement).
+        let t = Instant::now();
+        let parallel = fresh(false).threads(threads).run_all();
+        let parallel_seconds = secs(t);
+        let parallel_same = same_runs(&serial, &parallel);
+
+        // Phase 2c: ILP through the cache — a cold pass that populates it,
+        // then a warm pass whose lookups skip the ILP.
+        let t = Instant::now();
+        let cached_cold = fresh(true).threads(threads).run_all();
+        let cached_cold_seconds = secs(t);
+        let t = Instant::now();
+        let cached_warm = fresh(true).threads(threads).run_all();
+        let cached_warm_seconds = secs(t);
+        let cached_same = same_runs(&serial, &cached_cold) && same_runs(&serial, &cached_warm);
+
+        // Phase 3: codegen — build the execution plan for every model that
+        // scheduled.
+        let t = Instant::now();
+        let mut plans = 0usize;
+        for (_, r) in &serial {
+            if let Ok(opt) = r {
+                let _ = opt.plan(&b.scop);
+                plans += 1;
+            }
+        }
+        let codegen_seconds = secs(t);
+
+        determinism_ok &= parallel_same && cached_same;
+        tot_analysis += analysis_seconds;
+        tot_serial += serial_seconds;
+        tot_parallel += parallel_seconds;
+        tot_codegen += codegen_seconds;
+
+        let models: Vec<Json> = serial
+            .iter()
+            .map(|(m, r)| match r {
+                Ok(opt) => Json::obj([
+                    ("model", m.name().into()),
+                    ("ok", true.into()),
+                    ("partitions", opt.n_partitions().into()),
+                    ("outer_parallel", opt.outer_parallel().into()),
+                    ("strategy", opt.transformed.strategy.as_str().into()),
+                ]),
+                Err(e) => Json::obj([
+                    ("model", m.name().into()),
+                    ("ok", false.into()),
+                    ("error", e.to_string().into()),
+                ]),
+            })
+            .collect();
+        rows.push(Json::obj([
+            ("name", b.name.into()),
+            ("suite", b.suite.into()),
+            ("statements", b.scop.n_statements().into()),
+            ("analysis_seconds", analysis_seconds.into()),
+            ("ilp_serial_seconds", serial_seconds.into()),
+            ("ilp_parallel_seconds", parallel_seconds.into()),
+            (
+                "ilp_speedup",
+                (serial_seconds / parallel_seconds.max(1e-12)).into(),
+            ),
+            ("cache_cold_seconds", cached_cold_seconds.into()),
+            ("cache_warm_seconds", cached_warm_seconds.into()),
+            ("codegen_seconds", codegen_seconds.into()),
+            ("codegen_plans", plans.into()),
+            ("determinism_ok", (parallel_same && cached_same).into()),
+            ("models", Json::Arr(models)),
+        ]));
+        expected.push((idx, serial));
+    }
+
+    // Cross-SCoP phase: replay every (SCoP, warm) job on the persistent
+    // process-wide pool — the pool is reused across SCoPs and the schedule
+    // cache is shared across models, so these hits must reproduce the
+    // serial schedules verbatim.
+    let shared: Arc<Vec<Benchmark>> = Arc::new(benchmarks);
+    let t = Instant::now();
+    let replays: Vec<(usize, RunSet)> =
+        pool::global().map(expected.iter().map(|(i, _)| *i).collect(), move |i| {
+            let b = &shared[i];
+            (i, Optimizer::new(&b.scop).run_all())
+        });
+    let pool_seconds = secs(t);
+    let pool_same = expected
+        .iter()
+        .zip(&replays)
+        .all(|((ia, a), (ib, b))| ia == ib && same_runs(a, b));
+    determinism_ok &= pool_same;
+
+    let cache_stats = cache::stats();
+    let report = Json::obj([
+        ("schema", "bench-all/v1".into()),
+        ("threads", threads.into()),
+        ("benchmarks", Json::Arr(rows)),
+        (
+            "totals",
+            Json::obj([
+                ("analysis_seconds", tot_analysis.into()),
+                ("ilp_serial_seconds", tot_serial.into()),
+                ("ilp_parallel_seconds", tot_parallel.into()),
+                ("ilp_speedup", (tot_serial / tot_parallel.max(1e-12)).into()),
+                ("codegen_seconds", tot_codegen.into()),
+                ("pool_replay_seconds", pool_seconds.into()),
+            ]),
+        ),
+        ("cache", cache_stats.to_json()),
+        ("determinism_ok", determinism_ok.into()),
+    ]);
+    BenchAllOutcome {
+        report,
+        determinism_ok,
+        cache_stats,
+    }
+}
+
+/// Recursively drop run-to-run-variable fields (`*_seconds`, `*_speedup`,
+/// and the cache counters) so two reports from identical inputs compare
+/// byte-for-byte. This is the determinism contract `wfc bench-all --json`
+/// advertises and CI enforces.
+#[must_use]
+pub fn strip_timings(j: &Json) -> Json {
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| {
+                    !(k.ends_with("_seconds") || k.ends_with("speedup") || k == "cache")
+                })
+                .map(|(k, v)| (k.clone(), strip_timings(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timings).collect()),
+        other => other.clone(),
+    }
+}

@@ -1,21 +1,24 @@
 //! One-benchmark Figure 7 row (development aid).
-use wf_bench::measure_modeled;
+use wf_bench::measure_modeled_via;
 use wf_benchsuite::by_name;
 use wf_cachesim::perf::MachineModel;
-use wf_wisefuse::Model;
+use wf_wisefuse::{Model, Optimizer};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "applu".into());
     let machine = MachineModel::default();
     let b = by_name(&name).expect("benchmark");
-    let (_, icc) = measure_modeled(&b.scop, &b.bench_params, Model::Icc, &machine, 2024);
+    // One facade for all five models: dependence analysis runs once, and
+    // each model's schedule comes from the process-wide cache on re-runs.
+    let mut optimizer = Optimizer::new(&b.scop);
+    let (_, icc) = measure_modeled_via(&mut optimizer, &b.bench_params, Model::Icc, &machine, 2024);
     let base = icc.modeled_seconds;
     print!("{:<10} {:>5} |", name, b.bench_params[0]);
     for model in Model::ALL {
         let t = if model == Model::Icc {
             base
         } else {
-            measure_modeled(&b.scop, &b.bench_params, model, &machine, 2024)
+            measure_modeled_via(&mut optimizer, &b.bench_params, model, &machine, 2024)
                 .1
                 .modeled_seconds
         };

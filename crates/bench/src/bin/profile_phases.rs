@@ -1,34 +1,73 @@
-//! Ad-hoc phase profiler for the optimization pipeline (development aid).
+//! Phase profiler for the optimization pipeline (development aid).
+//!
+//! Reports the analysis / ILP / codegen wall-clock split for one benchmark
+//! under every fusion model, plus the schedule-cache effect: each model is
+//! scheduled twice (cold, then warm) and the process-wide cache counters
+//! are printed at the end. `profile_phases <name>` (default `tce`).
 use std::time::Instant;
 use wf_benchsuite::by_name;
 use wf_deps::analyze;
-use wf_schedule::{schedule_scop, PlutoConfig, Smartfuse};
-use wf_wisefuse::Wisefuse;
+use wf_wisefuse::{cache, Model, Optimizer};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "tce".into());
     let b = by_name(&name).expect("benchmark");
+
     let t0 = Instant::now();
     let ddg = analyze(&b.scop);
     println!(
-        "{name}: deps analysis {:?} ({} edges, {} rar)",
+        "{name}: analysis {:?} ({} edges, {} rar)",
         t0.elapsed(),
         ddg.edges.len(),
         ddg.rar.len()
     );
-    for (label, strat) in [
-        ("wisefuse", &Wisefuse as &dyn wf_schedule::FusionStrategy),
-        ("smartfuse", &Smartfuse),
-    ] {
+
+    for model in Model::ALL {
+        // Cold: bypass the cache so the ILP actually runs.
         let t1 = Instant::now();
-        match schedule_scop(&b.scop, &ddg, strat, &PlutoConfig::default()) {
-            Ok(t) => println!(
-                "{name}: {label} schedule {:?} ({} dims, partitions {:?})",
-                t1.elapsed(),
-                t.schedule.n_dims(),
-                t.partitions
-            ),
-            Err(e) => println!("{name}: {label} FAILED after {:?}: {e}", t1.elapsed()),
+        let cold = Optimizer::new(&b.scop)
+            .with_ddg(ddg.clone())
+            .cache_off()
+            .model(model)
+            .run();
+        let ilp = t1.elapsed();
+        match cold {
+            Ok(opt) => {
+                let t2 = Instant::now();
+                let plan = opt.plan(&b.scop);
+                let codegen = t2.elapsed();
+                // Warm: same schedule out of the cache (primed here if the
+                // process hasn't scheduled this SCoP yet).
+                let mut facade = Optimizer::new(&b.scop).with_ddg(ddg.clone());
+                let _ = facade.run_model(model);
+                let t3 = Instant::now();
+                let warm = facade.run_model(model).expect("cached re-run");
+                let warm_t = t3.elapsed();
+                assert_eq!(
+                    warm.transformed, opt.transformed,
+                    "{name}: {model:?} cache hit diverges from cold path"
+                );
+                println!(
+                    "{name}: {:<9} ilp {ilp:>10.2?}  codegen {codegen:>10.2?}  warm {warm_t:>10.2?}  ({} dims, {} partitions, {} plan dims)",
+                    model.name(),
+                    opt.transformed.schedule.n_dims(),
+                    opt.n_partitions(),
+                    plan.dims.len(),
+                );
+            }
+            Err(e) => println!("{name}: {:<9} FAILED after {ilp:?}: {e}", model.name()),
         }
     }
+
+    let s = cache::stats();
+    let total = s.hits + s.misses;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * s.hits as f64 / total as f64
+    };
+    println!(
+        "{name}: cache {} hits / {} misses ({rate:.0}% hit rate), {} entries stored, {} evicted",
+        s.hits, s.misses, s.stores, s.evictions
+    );
 }

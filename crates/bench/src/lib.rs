@@ -2,6 +2,8 @@
 
 #![warn(missing_docs)]
 
+pub mod benchall;
+
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use wf_cachesim::perf::{model_performance, MachineModel, PerfReport};
@@ -27,6 +29,10 @@ pub struct Measurement {
 /// Run one benchmark under one model: schedule, plan, execute, time.
 /// Output arrays are compared against `oracle` (when provided) to keep the
 /// harness honest.
+///
+/// Thin wrapper over [`measure_via`]; per-model loops should build one
+/// [`Optimizer`] and call [`measure_via`] so the dependence analysis is
+/// shared across models instead of re-run per call.
 pub fn measure(
     scop: &Scop,
     params: &[i128],
@@ -35,10 +41,24 @@ pub fn measure(
     init: &ProgramData,
     oracle: Option<&ProgramData>,
 ) -> Measurement {
+    let _ = params;
+    measure_via(&mut Optimizer::new(scop), model, threads, init, oracle)
+}
+
+/// [`measure`] through an existing [`Optimizer`], sharing its cached
+/// dependence analysis (and the process-wide schedule cache) across the
+/// models of one SCoP.
+pub fn measure_via(
+    optimizer: &mut Optimizer<'_>,
+    model: Model,
+    threads: usize,
+    init: &ProgramData,
+    oracle: Option<&ProgramData>,
+) -> Measurement {
+    let scop = optimizer.scop();
     let c0 = Instant::now();
-    let opt = Optimizer::new(scop)
-        .model(model)
-        .run()
+    let opt = optimizer
+        .run_model(model)
         .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let plan = plan_from_optimized(scop, &opt);
     let compile_time = c0.elapsed();
@@ -61,7 +81,6 @@ pub fn measure(
             scop.name
         );
     }
-    let _ = params;
     Measurement {
         model,
         opt,
@@ -71,15 +90,28 @@ pub fn measure(
 }
 
 /// Plan + data for a model (used by harnesses that need the plan itself).
+/// Wrapper over [`plan_and_data_via`]; see [`measure`] for when to prefer
+/// the `_via` form.
 pub fn plan_and_data(
     scop: &Scop,
     params: &[i128],
     model: Model,
     seed: u64,
 ) -> (Optimized, ExecPlan, ProgramData) {
-    let opt = Optimizer::new(scop)
-        .model(model)
-        .run()
+    plan_and_data_via(&mut Optimizer::new(scop), params, model, seed)
+}
+
+/// [`plan_and_data`] through an existing [`Optimizer`] (shared analysis
+/// across the models of one SCoP).
+pub fn plan_and_data_via(
+    optimizer: &mut Optimizer<'_>,
+    params: &[i128],
+    model: Model,
+    seed: u64,
+) -> (Optimized, ExecPlan, ProgramData) {
+    let scop = optimizer.scop();
+    let opt = optimizer
+        .run_model(model)
         .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let plan = plan_from_optimized(scop, &opt);
     let mut data = ProgramData::new(scop, params);

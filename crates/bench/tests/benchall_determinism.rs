@@ -1,0 +1,62 @@
+//! End-to-end determinism contract of the `bench-all` batch driver: the
+//! parallel, cached, and pool-replayed scheduling passes must reproduce
+//! the serial schedules exactly, and two whole runs must emit identical
+//! reports once the timing fields are stripped. Runs against a cheap
+//! catalog slice so the double ILP sweep stays test-suite friendly.
+
+use wf_bench::benchall::{run, strip_timings, BenchAllOptions};
+use wf_harness::json::Json;
+
+#[test]
+fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
+    let opts = BenchAllOptions {
+        threads: 3,
+        filter: "advect".into(),
+    };
+    let first = run(&opts);
+    assert!(
+        first.determinism_ok,
+        "parallel/cached schedules diverged from serial"
+    );
+
+    // Report shape: one benchmark row carrying all five models and the
+    // three phase timings.
+    let r = &first.report;
+    assert_eq!(r.get("schema").and_then(Json::as_str), Some("bench-all/v1"));
+    assert_eq!(r.get("threads").and_then(Json::as_i128), Some(3));
+    let rows = r.get("benchmarks").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.get("name").and_then(Json::as_str), Some("advect"));
+    for phase in [
+        "analysis_seconds",
+        "ilp_serial_seconds",
+        "ilp_parallel_seconds",
+        "cache_warm_seconds",
+        "codegen_seconds",
+    ] {
+        assert!(
+            row.get(phase)
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s >= 0.0),
+            "missing phase timing {phase}"
+        );
+    }
+    let models = row.get("models").and_then(Json::as_arr).expect("models");
+    assert_eq!(models.len(), 5, "one row per fusion model");
+
+    // A second identical run must hit the now-warm process cache and
+    // produce a byte-identical report modulo timings.
+    let second = run(&opts);
+    assert!(second.determinism_ok);
+    assert!(
+        second.cache_stats.hits > first.cache_stats.hits,
+        "second run produced no cache hits ({:?})",
+        second.cache_stats
+    );
+    assert_eq!(
+        strip_timings(&first.report).render(),
+        strip_timings(&second.report).render(),
+        "reports differ beyond timing fields"
+    );
+}

@@ -6,6 +6,7 @@
 //! wfc opt <bench> [--model M] [--tile S]    # transform + generated code
 //! wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify]
 //! wfc compare <bench> [--threads T]         # all five models side by side
+//! wfc bench-all [--threads T] [--json]      # whole catalog × all models
 //! ```
 
 use std::process::ExitCode;
@@ -29,6 +30,16 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "list" => cmd_list(),
+        "bench-all" => {
+            let opts = match Opts::parse(it) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            cmd_bench_all(&opts)
+        }
         "export" => {
             let Some(name) = it.next() else {
                 eprintln!("error: missing benchmark name");
@@ -110,6 +121,9 @@ USAGE:
   wfc opt <bench> [--model icc|wisefuse|smartfuse|nofuse|maxfuse] [--tile S]
   wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S] [--json]
   wfc compare <bench> [--threads T] [--size N] [--json]
+  wfc bench-all [--threads T] [--json]         # catalog × all models, one process;
+                                               # writes BENCH_all.json, fails on any
+                                               # parallel/cache determinism mismatch
   wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
   wfc model <bench> [--model M] [--size N]     # machine-model breakdown
   wfc export <bench>                           # benchmark as .wfs text
@@ -120,6 +134,9 @@ USAGE:
 struct Opts {
     model: Model,
     threads: usize,
+    /// Was `--threads` given explicitly? (`bench-all` falls back to the
+    /// `WF_THREADS` environment override otherwise.)
+    threads_set: bool,
     size: Option<i128>,
     cache: bool,
     verify: bool,
@@ -134,6 +151,7 @@ impl Opts {
             threads: std::thread::available_parallelism()
                 .map_or(4, |p| p.get())
                 .min(8),
+            threads_set: false,
             size: None,
             cache: false,
             verify: false,
@@ -155,6 +173,7 @@ impl Opts {
                         .ok_or("--threads needs a value")?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
+                    o.threads_set = true;
                 }
                 "--size" => {
                     o.size = Some(
@@ -198,6 +217,54 @@ fn cmd_list() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_bench_all(opts: &Opts) -> Result<(), String> {
+    let ba = wf_bench::benchall::BenchAllOptions {
+        threads: if opts.threads_set {
+            opts.threads
+        } else {
+            wf_harness::pool::env_threads()
+        },
+        ..wf_bench::benchall::BenchAllOptions::default()
+    };
+    let outcome = wf_bench::benchall::run(&ba);
+    let path = wf_harness::report::write_named("all", &outcome.report);
+    if opts.json {
+        println!("{}", outcome.report.render());
+    } else {
+        let totals = outcome.report.get("totals").expect("totals");
+        let f = |k: &str| totals.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let n = outcome
+            .report
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        println!(
+            "bench-all: {n} benchmarks x {} models on {} thread(s)",
+            Model::ALL.len(),
+            ba.threads
+        );
+        println!(
+            "  analysis {:.3}s   ilp serial {:.3}s   ilp parallel {:.3}s ({:.2}x)   codegen {:.3}s",
+            f("analysis_seconds"),
+            f("ilp_serial_seconds"),
+            f("ilp_parallel_seconds"),
+            f("ilp_speedup"),
+            f("codegen_seconds"),
+        );
+        let s = &outcome.cache_stats;
+        println!(
+            "  schedule cache: {} hits / {} misses, {} spill hits",
+            s.hits, s.misses, s.spill_hits
+        );
+        println!("  report: {}", path.display());
+    }
+    if outcome.determinism_ok {
+        Ok(())
+    } else {
+        Err("bench-all: determinism mismatch — parallel/cached schedules diverge from serial (see BENCH_all.json)".to_string())
+    }
 }
 
 fn cmd_show(bench: &Benchmark) -> Result<(), String> {

@@ -1,0 +1,585 @@
+//! Content-addressed memoization of scheduling results.
+//!
+//! Scheduling is the expensive half of the pipeline: every model other
+//! than `icc` solves a chain of exact-rational ILPs. The result is a pure
+//! function of `(SCoP, model, config)` — the dependence graph is itself
+//! derived from the SCoP — so repeated invocations (the `wfc` CLI, the
+//! figure harnesses, iterative schedule-space search re-visiting a
+//! candidate) can skip the ILP entirely.
+//!
+//! A [`Fingerprint`] addresses an entry by content, not identity:
+//!
+//! * the SCoP is rendered to its canonical text
+//!   ([`wf_scop::text::to_text`], which round-trips through the parser)
+//!   and hashed with the stable FNV-1a hasher from `wf-harness` — two
+//!   structurally identical SCoPs built by different code paths share
+//!   entries, and the fingerprint survives across processes;
+//! * the model contributes its name;
+//! * every [`PlutoConfig`] knob is hashed field-by-field, so tuning the
+//!   engine never serves stale schedules.
+//!
+//! Entries live in a bounded in-memory LRU behind a process-wide mutex
+//! ([`global`]), shared by every [`Optimizer`](crate::Optimizer) in the
+//! process. When the `WF_CACHE_DIR` environment variable names a
+//! directory, entries additionally spill to
+//! `<dir>/<scop>-<model>-<config>.json` and misses consult the spill
+//! first, which is what makes a *second* `wfc bench-all` process report
+//! cache hits. Only `Ok` results are cached; scheduling failures are
+//! re-derived (they are rare and cheap — the engine fails fast).
+//!
+//! Determinism guarantee: a cache hit returns a byte-identical
+//! [`Transformed`] to what the cold path would compute, because the cold
+//! path is deterministic and the entry is keyed on every input that
+//! influences it. The spill codec is versioned; any decode mismatch is
+//! treated as a miss, never an error.
+
+use crate::pipeline::Model;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use wf_harness::hash::Fnv64;
+use wf_harness::json::Json;
+use wf_schedule::pluto::Transformed;
+use wf_schedule::transform::{DimKind, Schedule, StmtRow};
+use wf_schedule::PlutoConfig;
+use wf_scop::Scop;
+
+/// Spill format version; bumped whenever the encoding changes.
+const SPILL_VERSION: i128 = 1;
+
+/// Content address of one scheduling result.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint {
+    /// FNV-1a digest of the SCoP's canonical text.
+    pub scop: u64,
+    /// The fusion model.
+    pub model: Model,
+    /// FNV-1a digest of the engine tunables.
+    pub config: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint of `(scop, model, config)`.
+    #[must_use]
+    pub fn new(scop: &Scop, model: Model, config: &PlutoConfig) -> Fingerprint {
+        Fingerprint {
+            scop: scop_fingerprint(scop),
+            model,
+            config: config_fingerprint(config),
+        }
+    }
+
+    /// The spill file stem: `<scop:016x>-<model>-<config:016x>`.
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{:016x}-{}-{:016x}",
+            self.scop,
+            self.model.name(),
+            self.config
+        )
+    }
+}
+
+/// Stable digest of a SCoP's canonical textual form.
+#[must_use]
+pub fn scop_fingerprint(scop: &Scop) -> u64 {
+    wf_harness::fnv1a_64(wf_scop::text::to_text(scop).as_bytes())
+}
+
+/// Stable digest of every scheduling-engine knob.
+#[must_use]
+pub fn config_fingerprint(config: &PlutoConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_i128(config.coeff_bound)
+        .update_i128(config.shift_bound)
+        .update_i128(config.u_bound)
+        .update_i128(config.w_bound)
+        .update_usize(config.max_iters)
+        .update_usize(config.ilp_node_budget)
+        .update_usize(config.max_fusion_width);
+    h.digest()
+}
+
+/// Hit/miss/store counters (monotone over the cache's lifetime).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// In-memory lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (in memory or on disk).
+    pub misses: u64,
+    /// Entries inserted after a cold computation.
+    pub stores: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Misses rescued by the `WF_CACHE_DIR` spill.
+    pub spill_hits: u64,
+    /// Entries written to the spill directory.
+    pub spill_stores: u64,
+}
+
+impl CacheStats {
+    /// Render as a JSON object (for `BENCH_all.json` and `--json` output).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("stores", Json::from(self.stores)),
+            ("evictions", Json::from(self.evictions)),
+            ("spill_hits", Json::from(self.spill_hits)),
+            ("spill_stores", Json::from(self.spill_stores)),
+        ])
+    }
+}
+
+struct Entry {
+    transformed: Transformed,
+    last_used: u64,
+}
+
+/// A bounded LRU of scheduling results; see the module docs.
+pub struct ScheduleCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<Fingerprint, Entry>,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ScheduleCache {
+        ScheduleCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all entries (counters are preserved; they are lifetime
+    /// totals).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Look up a fingerprint, consulting the `WF_CACHE_DIR` spill on an
+    /// in-memory miss. Returns a clone of the cached result.
+    pub fn lookup(&mut self, key: &Fingerprint) -> Option<Transformed> {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            return Some(e.transformed.clone());
+        }
+        if let Some(dir) = spill_dir() {
+            if let Some(t) = spill_read(&dir, key) {
+                self.stats.spill_hits += 1;
+                self.insert_only(*key, t.clone());
+                return Some(t);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a cold result, spilling it to `WF_CACHE_DIR` when set.
+    pub fn insert(&mut self, key: Fingerprint, t: &Transformed) {
+        self.stats.stores += 1;
+        if let Some(dir) = spill_dir() {
+            if spill_write(&dir, &key, t).is_ok() {
+                self.stats.spill_stores += 1;
+            }
+        }
+        self.insert_only(key, t.clone());
+    }
+
+    fn insert_only(&mut self, key: Fingerprint, t: Transformed) {
+        self.tick += 1;
+        while self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // O(n) eviction scan: capacities are small (hundreds) and
+            // insertions are rare next to the ILP they memoize.
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            self.map.remove(&lru);
+            self.stats.evictions += 1;
+        }
+        self.map.insert(
+            key,
+            Entry {
+                transformed: t,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// Default capacity of the process-wide cache: the whole catalog × all
+/// models fits with room for search-harness candidates.
+const GLOBAL_CAPACITY: usize = 256;
+
+/// The process-wide schedule cache shared by every
+/// [`Optimizer`](crate::Optimizer).
+pub fn global() -> &'static Mutex<ScheduleCache> {
+    static CACHE: OnceLock<Mutex<ScheduleCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(ScheduleCache::new(GLOBAL_CAPACITY)))
+}
+
+fn global_guard() -> std::sync::MutexGuard<'static, ScheduleCache> {
+    global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Counters snapshot of the process-wide cache.
+#[must_use]
+pub fn stats() -> CacheStats {
+    global_guard().stats()
+}
+
+/// Drop every entry of the process-wide cache (counters survive). Used by
+/// phase profilers that need a cold run mid-process.
+pub fn clear() {
+    global_guard().clear();
+}
+
+pub(crate) fn global_lookup(key: &Fingerprint) -> Option<Transformed> {
+    global_guard().lookup(key)
+}
+
+pub(crate) fn global_insert(key: Fingerprint, t: &Transformed) {
+    global_guard().insert(key, t);
+}
+
+/// The spill directory (`WF_CACHE_DIR`), if configured.
+#[must_use]
+pub fn spill_dir() -> Option<PathBuf> {
+    std::env::var_os("WF_CACHE_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Write one entry under `dir` (which is created as needed).
+///
+/// # Errors
+/// Propagates filesystem errors; callers treat them as "no spill".
+pub fn spill_write(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let final_path = dir.join(format!("{}.json", key.file_stem()));
+    // Write-then-rename so a concurrent reader never sees a torn file.
+    let tmp = dir.join(format!("{}.tmp-{}", key.file_stem(), std::process::id()));
+    std::fs::write(&tmp, transformed_to_json(t).render())?;
+    std::fs::rename(&tmp, &final_path)
+}
+
+/// Read one entry back; any I/O, parse, or version mismatch is a miss.
+#[must_use]
+pub fn spill_read(dir: &Path, key: &Fingerprint) -> Option<Transformed> {
+    let path = dir.join(format!("{}.json", key.file_stem()));
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    transformed_from_json(&json)
+}
+
+/// Encode a scheduling result for the disk spill.
+#[must_use]
+pub fn transformed_to_json(t: &Transformed) -> Json {
+    let opt = |v: &Option<usize>| v.map_or(Json::Null, Json::from);
+    let usizes = |v: &[usize]| Json::Arr(v.iter().map(|&x| Json::from(x)).collect());
+    Json::obj([
+        ("version", Json::Int(SPILL_VERSION)),
+        (
+            "dims",
+            Json::Arr(
+                t.schedule
+                    .dims
+                    .iter()
+                    .map(|d| match d {
+                        DimKind::Loop => Json::str("loop"),
+                        DimKind::Scalar => Json::str("scalar"),
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                t.schedule
+                    .rows
+                    .iter()
+                    .map(|dim| {
+                        Json::Arr(
+                            dim.iter()
+                                .map(|r| {
+                                    Json::obj([
+                                        (
+                                            "c",
+                                            Json::Arr(
+                                                r.coeffs.iter().map(|&c| Json::Int(c)).collect(),
+                                            ),
+                                        ),
+                                        ("k", Json::Int(r.konst)),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("sat_dim", Json::Arr(t.sat_dim.iter().map(opt).collect())),
+        ("scc_of", usizes(&t.sccs.scc_of)),
+        (
+            "scc_members",
+            Json::Arr(t.sccs.members.iter().map(|m| usizes(m)).collect()),
+        ),
+        ("scc_order", usizes(&t.scc_order)),
+        ("partitions", usizes(&t.partitions)),
+        ("strategy", Json::str(t.strategy.as_str())),
+        (
+            "band_of_dim",
+            Json::Arr(t.band_of_dim.iter().map(opt).collect()),
+        ),
+    ])
+}
+
+/// Decode a spilled scheduling result; `None` on any shape or version
+/// mismatch.
+#[must_use]
+pub fn transformed_from_json(j: &Json) -> Option<Transformed> {
+    if j.get("version")?.as_i128()? != SPILL_VERSION {
+        return None;
+    }
+    let usize_of = |v: &Json| -> Option<usize> { usize::try_from(v.as_i128()?).ok() };
+    let usizes = |v: &Json| -> Option<Vec<usize>> { v.as_arr()?.iter().map(usize_of).collect() };
+    let opts = |v: &Json| -> Option<Vec<Option<usize>>> {
+        v.as_arr()?
+            .iter()
+            .map(|x| match x {
+                Json::Null => Some(None),
+                other => usize_of(other).map(Some),
+            })
+            .collect()
+    };
+    let dims = j
+        .get("dims")?
+        .as_arr()?
+        .iter()
+        .map(|d| match d.as_str() {
+            Some("loop") => Some(DimKind::Loop),
+            Some("scalar") => Some(DimKind::Scalar),
+            _ => None,
+        })
+        .collect::<Option<Vec<DimKind>>>()?;
+    let rows = j
+        .get("rows")?
+        .as_arr()?
+        .iter()
+        .map(|dim| {
+            dim.as_arr()?
+                .iter()
+                .map(|r| {
+                    Some(StmtRow {
+                        coeffs: r
+                            .get("c")?
+                            .as_arr()?
+                            .iter()
+                            .map(Json::as_i128)
+                            .collect::<Option<Vec<i128>>>()?,
+                        konst: r.get("k")?.as_i128()?,
+                    })
+                })
+                .collect::<Option<Vec<StmtRow>>>()
+        })
+        .collect::<Option<Vec<Vec<StmtRow>>>>()?;
+    if rows.len() != dims.len() {
+        return None;
+    }
+    Some(Transformed {
+        schedule: Schedule { dims, rows },
+        sat_dim: opts(j.get("sat_dim")?)?,
+        sccs: wf_deps::SccInfo {
+            scc_of: usizes(j.get("scc_of")?)?,
+            members: j
+                .get("scc_members")?
+                .as_arr()?
+                .iter()
+                .map(usizes)
+                .collect::<Option<Vec<Vec<usize>>>>()?,
+        },
+        scc_order: usizes(j.get("scc_order")?)?,
+        partitions: usizes(j.get("partitions")?)?,
+        strategy: j.get("strategy")?.as_str()?.to_string(),
+        band_of_dim: opts(j.get("band_of_dim")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_transformed(tag: i128) -> Transformed {
+        Transformed {
+            schedule: Schedule {
+                dims: vec![DimKind::Scalar, DimKind::Loop],
+                rows: vec![
+                    vec![StmtRow::scalar(2, tag), StmtRow::scalar(2, 1)],
+                    vec![
+                        StmtRow {
+                            coeffs: vec![1, 0],
+                            konst: 0,
+                        },
+                        StmtRow {
+                            coeffs: vec![0, 1],
+                            konst: -3,
+                        },
+                    ],
+                ],
+            },
+            sat_dim: vec![Some(1), None],
+            sccs: wf_deps::SccInfo {
+                scc_of: vec![0, 1],
+                members: vec![vec![0], vec![1]],
+            },
+            scc_order: vec![0, 1],
+            partitions: vec![0, 1],
+            strategy: "wisefuse".to_string(),
+            band_of_dim: vec![None, Some(0)],
+        }
+    }
+
+    fn key(n: u64) -> Fingerprint {
+        Fingerprint {
+            scop: n,
+            model: Model::Wisefuse,
+            config: 7,
+        }
+    }
+
+    #[test]
+    fn spill_codec_round_trips() {
+        let t = sample_transformed(5);
+        let j = transformed_to_json(&t);
+        assert_eq!(transformed_from_json(&j), Some(t.clone()));
+        // Through the actual serializer/parser as well.
+        let reparsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(transformed_from_json(&reparsed), Some(t));
+    }
+
+    #[test]
+    fn spill_codec_rejects_version_and_shape_mismatches() {
+        let t = sample_transformed(5);
+        let mut j = transformed_to_json(&t);
+        match &mut j {
+            Json::Obj(fields) => fields[0].1 = Json::Int(999),
+            _ => unreachable!(),
+        }
+        assert_eq!(transformed_from_json(&j), None);
+        assert_eq!(transformed_from_json(&Json::obj([])), None);
+    }
+
+    #[test]
+    fn lru_bounds_and_counters() {
+        let mut c = ScheduleCache::new(2);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), &sample_transformed(1));
+        c.insert(key(2), &sample_transformed(2));
+        assert!(c.lookup(&key(1)).is_some()); // 1 now most recent
+        c.insert(key(3), &sample_transformed(3)); // evicts 2
+        assert!(c.lookup(&key(2)).is_none());
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(3)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (3, 2));
+        assert_eq!((s.stores, s.evictions), (3, 1));
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().stores, 3, "counters survive clear");
+    }
+
+    #[test]
+    fn cached_value_is_returned_verbatim() {
+        let mut c = ScheduleCache::new(8);
+        let t = sample_transformed(9);
+        c.insert(key(9), &t);
+        assert_eq!(c.lookup(&key(9)), Some(t));
+    }
+
+    #[test]
+    fn spill_files_round_trip_via_explicit_dir() {
+        let dir = std::env::temp_dir().join(format!("wf-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = sample_transformed(4);
+        let k = key(4);
+        assert!(spill_read(&dir, &k).is_none());
+        spill_write(&dir, &k, &t).expect("spill write");
+        assert_eq!(spill_read(&dir, &k), Some(t));
+        // Corrupt file → miss, not error.
+        std::fs::write(dir.join(format!("{}.json", k.file_stem())), "{oops").unwrap();
+        assert!(spill_read(&dir, &k).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_fingerprint_covers_every_knob() {
+        let base = PlutoConfig::default();
+        let fp = config_fingerprint(&base);
+        let variants = [
+            PlutoConfig {
+                coeff_bound: base.coeff_bound + 1,
+                ..base
+            },
+            PlutoConfig {
+                shift_bound: base.shift_bound + 1,
+                ..base
+            },
+            PlutoConfig {
+                u_bound: base.u_bound + 1,
+                ..base
+            },
+            PlutoConfig {
+                w_bound: base.w_bound + 1,
+                ..base
+            },
+            PlutoConfig {
+                max_iters: base.max_iters + 1,
+                ..base
+            },
+            PlutoConfig {
+                ilp_node_budget: base.ilp_node_budget + 1,
+                ..base
+            },
+            PlutoConfig {
+                max_fusion_width: base.max_fusion_width + 1,
+                ..base
+            },
+        ];
+        for v in &variants {
+            assert_ne!(config_fingerprint(v), fp, "knob not fingerprinted: {v:?}");
+        }
+    }
+}

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
 pub mod icc;
 pub mod optimizer;
 pub mod parallelism;
 pub mod pipeline;
 pub mod prefusion;
 
+pub use cache::{CacheStats, Fingerprint};
 pub use icc::icc_schedule;
 pub use optimizer::Optimizer;
 pub use pipeline::{optimize, optimize_with, plan_from_optimized, Model, Optimized};

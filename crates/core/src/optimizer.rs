@@ -26,17 +26,36 @@
 //! let opt = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
 //! assert_eq!(opt.model, Model::Wisefuse);
 //!
-//! // All five models, dependence analysis performed once:
+//! // All five models, dependence analysis performed once and the models
+//! // scheduled concurrently on the worker pool:
 //! let runs = Optimizer::new(&scop).run_all();
 //! assert_eq!(runs.len(), Model::ALL.len());
 //! ```
+//!
+//! Two more layers sit behind the facade:
+//!
+//! * **Parallel model scheduling.** The five models are independent given
+//!   the shared DDG, so [`run_all`](Optimizer::run_all) distributes them
+//!   over [`wf_harness::pool::scoped_map`]. The worker count defaults to
+//!   the `WF_THREADS` environment variable (see
+//!   [`pool::env_threads`](wf_harness::pool::env_threads)) and can be
+//!   pinned with [`threads`](Optimizer::threads); `1` runs serially
+//!   inline. Results are returned in [`Model::ALL`] order regardless of
+//!   completion order, and are **byte-identical** to the serial path.
+//! * **Schedule memoization.** Each model's scheduling step is looked up
+//!   in the process-wide [`cache`](crate::cache), keyed by a stable
+//!   `(SCoP canonical text, model, config)` fingerprint; the ILP only
+//!   runs on a miss. [`cache_off`](Optimizer::cache_off) bypasses it
+//!   (timing harnesses that must measure the cold path use this).
 //!
 //! The same shape appears in Polly's scheduler integration and Pluto+'s
 //! fusion/permutation driver: a reusable analysis object with a one-call
 //! driver on top, so strategy exploration never repeats the analysis.
 
-use crate::pipeline::{optimize_with_ddg, Model, Optimized};
+use crate::cache::{self, Fingerprint};
+use crate::pipeline::{self, Model, Optimized};
 use wf_deps::{analyze, Ddg};
+use wf_harness::pool;
 use wf_schedule::{PlutoConfig, SchedError};
 use wf_scop::Scop;
 
@@ -47,12 +66,18 @@ pub struct Optimizer<'a> {
     model: Model,
     config: PlutoConfig,
     ddg: Option<Ddg>,
+    /// Worker count for `run_all`; `None` defers to `WF_THREADS`.
+    threads: Option<usize>,
+    /// Consult/populate the process-wide schedule cache?
+    use_cache: bool,
+    /// Memoized canonical-text digest of `scop`.
+    scop_hash: Option<u64>,
 }
 
 impl<'a> Optimizer<'a> {
     /// Start a pipeline over `scop`. Defaults: [`Model::Wisefuse`],
     /// [`PlutoConfig::default`], dependence analysis deferred until first
-    /// needed.
+    /// needed, schedule cache on, `run_all` parallelism from `WF_THREADS`.
     #[must_use]
     pub fn new(scop: &'a Scop) -> Optimizer<'a> {
         Optimizer {
@@ -60,6 +85,9 @@ impl<'a> Optimizer<'a> {
             model: Model::Wisefuse,
             config: PlutoConfig::default(),
             ddg: None,
+            threads: None,
+            use_cache: true,
+            scop_hash: None,
         }
     }
 
@@ -84,6 +112,23 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Pin the worker count [`run_all`](Optimizer::run_all) uses (instead
+    /// of the `WF_THREADS` default). `1` is the serial fallback: models
+    /// are scheduled inline on the calling thread, no workers spawned.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Optimizer<'a> {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Bypass the process-wide schedule cache: every run re-solves the
+    /// ILP. For timing harnesses that must observe the cold path.
+    #[must_use]
+    pub fn cache_off(mut self) -> Optimizer<'a> {
+        self.use_cache = false;
+        self
+    }
+
     /// Inject an already-computed dependence graph (e.g. shared with a
     /// cache simulator), skipping the analysis entirely.
     #[must_use]
@@ -100,6 +145,22 @@ impl<'a> Optimizer<'a> {
         self.ddg.as_ref().expect("just populated")
     }
 
+    /// Cache fingerprint for `model` under the current config, or `None`
+    /// when caching is off.
+    fn fingerprint(&mut self, model: Model) -> Option<Fingerprint> {
+        if !self.use_cache {
+            return None;
+        }
+        let scop = *self
+            .scop_hash
+            .get_or_insert_with(|| cache::scop_fingerprint(self.scop));
+        Some(Fingerprint {
+            scop,
+            model,
+            config: cache::config_fingerprint(&self.config),
+        })
+    }
+
     /// Schedule the selected model, consuming the builder. Equivalent to
     /// [`optimize_with`](crate::optimize_with) but reuses an injected DDG.
     pub fn run(mut self) -> Result<Optimized, SchedError> {
@@ -110,20 +171,67 @@ impl<'a> Optimizer<'a> {
     /// Schedule one specific model against the cached dependence graph.
     /// Call repeatedly to explore models; analysis still happens once.
     pub fn run_model(&mut self, model: Model) -> Result<Optimized, SchedError> {
+        let key = self.fingerprint(model);
         self.ddg();
-        let ddg = self.ddg.clone().expect("cached by ddg()");
-        optimize_with_ddg(self.scop, ddg, model, &self.config)
+        let ddg = self.ddg.as_ref().expect("cached by ddg()");
+        run_one(self.scop, ddg, model, &self.config, key)
     }
 
     /// Schedule **all five** fusion models of Table 1 against one shared
-    /// dependence analysis, in [`Model::ALL`] reporting order. Individual
-    /// models may fail to schedule without poisoning the rest.
+    /// dependence analysis, concurrently on up to
+    /// [`threads`](Optimizer::threads) workers (default `WF_THREADS`), in
+    /// [`Model::ALL`] reporting order. Individual models may fail to
+    /// schedule without poisoning the rest. The result is identical to
+    /// calling [`run_model`](Optimizer::run_model) serially per model —
+    /// worker count cannot influence schedules.
     pub fn run_all(&mut self) -> Vec<(Model, Result<Optimized, SchedError>)> {
-        Model::ALL
+        let threads = self
+            .threads
+            .unwrap_or_else(pool::env_threads)
+            .min(Model::ALL.len());
+        let keys: Vec<Option<Fingerprint>> = Model::ALL
             .into_iter()
-            .map(|m| (m, self.run_model(m)))
-            .collect()
+            .map(|m| self.fingerprint(m))
+            .collect();
+        self.ddg();
+        let ddg = self.ddg.as_ref().expect("cached by ddg()");
+        let (scop, config) = (self.scop, &self.config);
+        pool::scoped_map(
+            threads,
+            Model::ALL.into_iter().zip(keys).collect(),
+            |(m, key)| (m, run_one(scop, ddg, m, config, key)),
+        )
     }
+}
+
+/// Schedule one model (through the cache when `key` is set) and analyze
+/// its loop properties. Free function so `run_all`'s workers can share it
+/// with the serial `run_model` path — determinism by construction.
+fn run_one(
+    scop: &Scop,
+    ddg: &Ddg,
+    model: Model,
+    config: &PlutoConfig,
+    key: Option<Fingerprint>,
+) -> Result<Optimized, SchedError> {
+    let transformed = match key {
+        Some(k) => match cache::global_lookup(&k) {
+            Some(t) => t,
+            None => {
+                let t = pipeline::schedule_model(scop, ddg, model, config)?;
+                cache::global_insert(k, &t);
+                t
+            }
+        },
+        None => pipeline::schedule_model(scop, ddg, model, config)?,
+    };
+    let props = pipeline::analyze_props(scop, ddg, model, &transformed);
+    Ok(Optimized {
+        model,
+        ddg: ddg.clone(),
+        transformed,
+        props,
+    })
 }
 
 #[cfg(test)]
@@ -194,5 +302,41 @@ mod tests {
         let b = Optimizer::new(&scop).with_ddg(ddg).run().unwrap();
         assert_eq!(a.transformed.schedule, b.transformed.schedule);
         assert_eq!(a.ddg.edges.len(), edges);
+    }
+
+    #[test]
+    fn parallel_run_all_matches_serial_run_all() {
+        let scop = two_stmt_scop();
+        let serial = Optimizer::new(&scop).cache_off().threads(1).run_all();
+        let parallel = Optimizer::new(&scop).cache_off().threads(4).run_all();
+        for ((ms, rs), (mp, rp)) in serial.iter().zip(&parallel) {
+            assert_eq!(ms, mp);
+            match (rs, rp) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.transformed, b.transformed, "{ms:?} diverges");
+                    assert_eq!(a.props, b.props);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("{ms:?}: serial and parallel disagree on success"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hit_path_equals_cold_path() {
+        let scop = two_stmt_scop();
+        let cold = Optimizer::new(&scop)
+            .cache_off()
+            .model(Model::Wisefuse)
+            .run()
+            .unwrap();
+        let s0 = cache::stats();
+        let first = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
+        let second = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
+        let s1 = cache::stats();
+        assert!(s1.hits > s0.hits, "second cached run must hit");
+        assert_eq!(first.transformed, cold.transformed);
+        assert_eq!(second.transformed, cold.transformed);
+        assert_eq!(second.props, cold.props);
     }
 }

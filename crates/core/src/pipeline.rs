@@ -3,7 +3,7 @@
 
 use crate::{icc::icc_schedule, Wisefuse};
 use wf_codegen::ExecPlan;
-use wf_deps::{analyze, Ddg};
+use wf_deps::Ddg;
 use wf_schedule::pluto::{schedule_scop, SchedError, Transformed};
 use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{Maxfuse, Nofuse, PlutoConfig, Smartfuse};
@@ -113,7 +113,8 @@ pub fn plan_from_optimized(scop: &Scop, opt: &Optimized) -> ExecPlan {
 /// Thin wrapper over [`crate::Optimizer`]; when scheduling several models
 /// of the *same* SCoP, use the facade's
 /// [`run_all`](crate::Optimizer::run_all) instead so dependence analysis
-/// runs once, not once per model.
+/// runs once, not once per model. Both wrappers go through the facade and
+/// therefore through the process-wide [schedule cache](crate::cache).
 pub fn optimize(scop: &Scop, model: Model) -> Result<Optimized, SchedError> {
     optimize_with(scop, model, &PlutoConfig::default())
 }
@@ -124,27 +125,42 @@ pub fn optimize_with(
     model: Model,
     config: &PlutoConfig,
 ) -> Result<Optimized, SchedError> {
-    optimize_with_ddg(scop, analyze(scop), model, config)
+    crate::Optimizer::new(scop)
+        .model(model)
+        .config(*config)
+        .run()
 }
 
-/// Schedule one model against an already-computed dependence graph. The
-/// graph is moved into the returned [`Optimized`]; callers scheduling many
-/// models clone their cached copy per call (cloning a [`Ddg`] is orders of
-/// magnitude cheaper than recomputing it).
-pub(crate) fn optimize_with_ddg(
+/// The ILP-backed half of the pipeline: schedule one model against an
+/// already-computed dependence graph. This is the step the schedule cache
+/// memoizes — everything downstream ([`analyze_props`], plan building) is
+/// cheap and recomputed per call.
+pub(crate) fn schedule_model(
     scop: &Scop,
-    ddg: Ddg,
+    ddg: &Ddg,
     model: Model,
     config: &PlutoConfig,
-) -> Result<Optimized, SchedError> {
-    let transformed = match model {
-        Model::Icc => icc_schedule(scop, &ddg),
-        Model::Wisefuse => schedule_scop(scop, &ddg, &Wisefuse, config)?,
-        Model::Smartfuse => schedule_scop(scop, &ddg, &Smartfuse, config)?,
-        Model::Nofuse => schedule_scop(scop, &ddg, &Nofuse, config)?,
-        Model::Maxfuse => schedule_scop(scop, &ddg, &Maxfuse, config)?,
-    };
-    let mut props = props::analyze(scop, &ddg, &transformed);
+) -> Result<Transformed, SchedError> {
+    Ok(match model {
+        Model::Icc => icc_schedule(scop, ddg),
+        Model::Wisefuse => schedule_scop(scop, ddg, &Wisefuse, config)?,
+        Model::Smartfuse => schedule_scop(scop, ddg, &Smartfuse, config)?,
+        Model::Nofuse => schedule_scop(scop, ddg, &Nofuse, config)?,
+        Model::Maxfuse => schedule_scop(scop, ddg, &Maxfuse, config)?,
+    })
+}
+
+/// Loop-property analysis for a scheduled model, including the icc model's
+/// conservative parallelization downgrade. Deterministic in its inputs, so
+/// a cache-hit [`Transformed`] reproduces the cold path's properties
+/// exactly.
+pub(crate) fn analyze_props(
+    scop: &Scop,
+    ddg: &Ddg,
+    model: Model,
+    transformed: &Transformed,
+) -> Vec<Vec<Option<LoopProp>>> {
+    let mut props = props::analyze(scop, ddg, transformed);
     if model == Model::Icc {
         // The paper's observed icc behaviour (§5.3): auto-parallelization
         // declines non-rectangular iteration spaces (lu) and nests with any
@@ -164,10 +180,5 @@ pub(crate) fn optimize_with_ddg(
             }
         }
     }
-    Ok(Optimized {
-        model,
-        ddg,
-        transformed,
-        props,
-    })
+    props
 }

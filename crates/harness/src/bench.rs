@@ -313,14 +313,7 @@ impl Bencher {
         // Calibration: one timed call decides the batching factor.
         let t0 = Instant::now();
         black_box(f());
-        let once = t0.elapsed();
-        const TARGET: Duration = Duration::from_micros(200);
-        self.batch = if once >= TARGET {
-            1
-        } else {
-            let est = once.as_nanos().max(20) as u64;
-            (TARGET.as_nanos() as u64 / est).clamp(1, 1_000_000)
-        };
+        self.batch = calibration_batch(t0.elapsed());
         // Warmup until the budget is spent (at least one batch).
         let w0 = Instant::now();
         while w0.elapsed() < self.warmup {
@@ -342,9 +335,38 @@ impl Bencher {
     }
 }
 
-/// Tukey-fence outlier trimming + summary statistics.
-fn summarize(id: &str, b: &Bencher, throughput: Option<Throughput>) -> Sampled {
-    let mut sorted = b.samples_ns.clone();
+/// A sample must span at least this long for single-iteration timing;
+/// anything faster is batched (timer noise floor).
+pub const CALIBRATION_TARGET: Duration = Duration::from_micros(200);
+
+/// Decide the batching factor from one calibration measurement: enough
+/// iterations per sample to span [`CALIBRATION_TARGET`], clamped to
+/// `1..=1_000_000`.
+#[must_use]
+pub fn calibration_batch(once: Duration) -> u64 {
+    if once >= CALIBRATION_TARGET {
+        1
+    } else {
+        let est = once.as_nanos().max(20) as u64;
+        (CALIBRATION_TARGET.as_nanos() as u64 / est).clamp(1, 1_000_000)
+    }
+}
+
+/// Tukey-fence outlier trimming + summary statistics over raw
+/// per-iteration samples (nanoseconds). Samples outside `1.5×IQR` of the
+/// quartiles are discarded before the mean; if the fence would discard
+/// everything (degenerate distributions), all samples are kept.
+///
+/// # Panics
+/// Panics on an empty sample set.
+#[must_use]
+pub fn summarize_samples(
+    id: &str,
+    samples_ns: &[f64],
+    batch: u64,
+    throughput: Option<Throughput>,
+) -> Sampled {
+    let mut sorted = samples_ns.to_vec();
     assert!(!sorted.is_empty(), "{id}: Bencher::iter was never called");
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
     let q = |p: f64| -> f64 {
@@ -374,9 +396,13 @@ fn summarize(id: &str, b: &Bencher, throughput: Option<Throughput>) -> Sampled {
         max_ns: *kept.last().expect("non-empty"),
         kept: kept.len(),
         outliers: sorted.len() - kept.len(),
-        batch: b.batch,
+        batch,
         throughput,
     }
+}
+
+fn summarize(id: &str, b: &Bencher, throughput: Option<Throughput>) -> Sampled {
+    summarize_samples(id, &b.samples_ns, b.batch, throughput)
 }
 
 fn fmt_ns(ns: f64) -> String {

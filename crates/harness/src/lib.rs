@@ -21,8 +21,16 @@
 //!   [`BenchmarkId`](bench::BenchmarkId)) with warmup, batching and
 //!   inter-quartile outlier trimming, which writes machine-readable
 //!   `BENCH_<name>.json` results (see [`report`]) for the perf trajectory.
-//! * [`json`] — the tiny JSON value/writer the bench reports and the
-//!   `wfc --json` output are built on.
+//! * [`json`] — the tiny JSON value/writer/parser the bench reports, the
+//!   `wfc --json` output, and the schedule cache's disk spill are built on.
+//! * [`pool`] — a small work-stealing-free thread pool (`std::thread` +
+//!   channels, no rayon) with deterministic, submission-ordered results:
+//!   [`scoped_map`](pool::scoped_map) for borrowed fork/join maps and a
+//!   persistent [`ThreadPool`](pool::ThreadPool) for `'static` jobs, sized
+//!   by the `WF_THREADS` environment variable.
+//! * [`hash`] — a stable FNV-1a 64-bit hasher for content addressing
+//!   (the schedule cache's `(SCoP, model, config)` fingerprints), where
+//!   `DefaultHasher`'s per-process seeding would break cross-run reuse.
 //!
 //! Everything is deterministic: test case generation is seeded by hashing
 //! the test name, so failures reproduce across runs and machines without a
@@ -31,7 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod report;
 pub mod rng;
@@ -43,6 +53,8 @@ pub mod collection {
 }
 
 pub use bench::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
+pub use hash::{fnv1a_64, Fnv64};
+pub use pool::{scoped_map, ThreadPool};
 pub use rng::{Lcg64, SplitMix64};
 
 /// Everything the property-test suites need: strategies, the runner macro

@@ -1,0 +1,309 @@
+//! A small in-tree thread pool (`std::thread` + channels, no rayon).
+//!
+//! Two shapes cover every parallel site in the workspace:
+//!
+//! * [`scoped_map`] — fork/join over *borrowed* data: distribute the items
+//!   of a `Vec` over short-lived scoped workers and return the results **in
+//!   submission order**, regardless of which worker finished first. This is
+//!   what [`Optimizer::run_all`](../wf_wisefuse/struct.Optimizer.html)
+//!   uses to schedule the five fusion models concurrently against one
+//!   shared dependence graph.
+//! * [`ThreadPool`] — persistent workers for `'static` jobs, reused across
+//!   many submissions (the `wfc bench-all` driver keeps one alive across
+//!   all SCoPs of the catalog). [`ThreadPool::map`] preserves submission
+//!   order exactly like [`scoped_map`].
+//!
+//! There is deliberately no work stealing: jobs are pulled off one shared
+//! channel, which is contention-free at the workspace's job granularity
+//! (each job is an ILP-backed scheduling pass, milliseconds at minimum).
+//!
+//! Determinism: both map helpers index every submission and slot results
+//! back by that index, so the output of a parallel map is **byte-identical**
+//! to the serial `items.into_iter().map(f).collect()` — worker count and
+//! finish order cannot leak into the result. `threads <= 1` (or a
+//! single-item input) never spawns at all and runs inline on the caller's
+//! thread, which is the documented `WF_THREADS=1` serial fallback.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+/// Worker-thread count for parallel phases: the `WF_THREADS` environment
+/// variable when set to a positive integer, else
+/// [`available_parallelism`](thread::available_parallelism) capped at 8
+/// (the paper's core count, and the cap the bench harnesses already use).
+#[must_use]
+pub fn env_threads() -> usize {
+    match std::env::var("WF_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => 1,
+        },
+        Err(_) => thread::available_parallelism()
+            .map_or(4, |p| p.get())
+            .min(8),
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning
+/// results in submission order. `threads <= 1` runs inline (serial
+/// fallback); panics in `f` propagate to the caller.
+pub fn scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (jtx, jrx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        let _ = jtx.send(pair);
+    }
+    drop(jtx);
+    let jobs = Mutex::new(jrx);
+    let (rtx, rrx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            let rtx = rtx.clone();
+            let (jobs, f) = (&jobs, &f);
+            s.spawn(move || loop {
+                // Hold the receiver lock only for the dequeue, not the work.
+                let job = {
+                    let guard = jobs
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                match job {
+                    Ok((i, x)) => {
+                        if rtx.send((i, f(x))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+        drop(rtx);
+        while let Ok((i, r)) = rrx.recv() {
+            out[i] = Some(r);
+        }
+        // A panicking worker sends nothing; `thread::scope` re-raises its
+        // panic when the scope closes, so the `expect` below is unreachable
+        // in that case.
+    });
+    out.into_iter()
+        .map(|o| o.expect("every submitted job produced a result"))
+        .collect()
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Persistent workers over one shared job channel; see the module docs.
+pub struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `max(threads, 1)` workers.
+    #[must_use]
+    pub fn new(threads: usize) -> ThreadPool {
+        let n = threads.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n)
+            .map(|k| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("wf-pool-{k}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard =
+                                rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match job {
+                            // Contain panics so one bad job cannot shrink
+                            // the pool; `map` detects the missing result.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn wf-pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// A pool sized by [`env_threads`].
+    #[must_use]
+    pub fn from_env() -> ThreadPool {
+        ThreadPool::new(env_threads())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive until drop")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Map `f` over `items` on the pool's workers, returning results in
+    /// submission order. A single-worker pool (or single item) runs inline.
+    ///
+    /// # Panics
+    /// Panics if any job panicked (the pool itself survives).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if self.n_threads() <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let f = Arc::new(f);
+        let (rtx, rrx) = mpsc::channel::<(usize, R)>();
+        for (i, x) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            self.execute(move || {
+                let _ = rtx.send((i, f(x)));
+            });
+        }
+        drop(rtx);
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut got = 0usize;
+        while let Ok((i, r)) = rrx.recv() {
+            out[i] = Some(r);
+            got += 1;
+        }
+        assert_eq!(got, n, "a pool job panicked");
+        out.into_iter()
+            .map(|o| o.expect("all indices delivered"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The process-wide shared pool, sized by [`env_threads`] on first use.
+/// Long-lived drivers (`wfc bench-all`) use this so worker threads are
+/// spawned once and reused across every SCoP of a batch.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(ThreadPool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_map_preserves_submission_order() {
+        // Make early submissions slow so completion order inverts.
+        let items: Vec<u64> = (0..16).collect();
+        let out = scoped_map(4, items.clone(), |x| {
+            if x < 4 {
+                thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_map_serial_fallback_runs_inline() {
+        let here = thread::current().id();
+        let out = scoped_map(1, vec![1, 2, 3], |x| {
+            assert_eq!(thread::current().id(), here);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn scoped_map_matches_serial_map() {
+        let items: Vec<i64> = (0..100).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * 3 - 7).collect();
+        for threads in [2, 3, 8] {
+            assert_eq!(scoped_map(threads, items.clone(), |x| x * 3 - 7), serial);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn scoped_map_propagates_worker_panics() {
+        scoped_map(2, vec![0, 1, 2, 3], |x| {
+            assert_ne!(x, 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn pool_map_preserves_order_and_reuses_workers() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.n_threads(), 3);
+        for _ in 0..3 {
+            let out = pool.map((0..32u64).collect(), |x| x + 100);
+            assert_eq!(out, (100..132).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_execute_runs_jobs() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let (hits, tx) = (Arc::clone(&hits), tx.clone());
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(std::time::Duration::from_secs(5))
+                .expect("job ran");
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.execute(|| panic!("contained"));
+        pool.execute(move || {
+            let _ = tx.send(42);
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+    }
+}

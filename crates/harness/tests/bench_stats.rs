@@ -1,0 +1,136 @@
+//! Property + fixture tests for the criterion shim's statistics:
+//! quartile interpolation, Tukey-fence outlier trimming, and batch
+//! calibration. The fixtures are computed by hand so a regression in the
+//! estimator shows up as a concrete wrong number, not just a violated
+//! invariant.
+
+use std::time::Duration;
+use wf_harness::bench::{calibration_batch, summarize_samples, CALIBRATION_TARGET};
+use wf_harness::prelude::*;
+use wf_harness::{prop_assert, prop_assert_eq, props};
+
+// ---------------------------------------------------------------- fixtures
+
+#[test]
+fn quartiles_interpolate_between_samples() {
+    // sorted [10,20,30,40]: q1 at index 0.75 → 17.5, q3 at 2.25 → 32.5,
+    // IQR 15, fences [-5, 55] keep everything; median at 1.5 → 25.
+    let s = summarize_samples("fixture", &[40.0, 10.0, 30.0, 20.0], 1, None);
+    assert_eq!(s.median_ns, 25.0);
+    assert_eq!(s.mean_ns, 25.0);
+    assert_eq!((s.min_ns, s.max_ns), (10.0, 40.0));
+    assert_eq!((s.kept, s.outliers), (4, 0));
+}
+
+#[test]
+fn odd_count_quartiles_hit_samples_exactly() {
+    // sorted [10,20,30,40,50]: q1 = 20, q3 = 40, fences [-10, 70].
+    let s = summarize_samples("fixture", &[30.0, 10.0, 50.0, 20.0, 40.0], 1, None);
+    assert_eq!(s.median_ns, 30.0);
+    assert_eq!(s.mean_ns, 30.0);
+    assert_eq!((s.kept, s.outliers), (5, 0));
+}
+
+#[test]
+fn tukey_fence_trims_the_spike() {
+    // sorted [9,10,10.5,11,500]: q1 = 10, q3 = 11, fences [8.5, 12.5];
+    // the 500 is discarded, trimmed mean = 40.5/4 = 10.125.
+    let s = summarize_samples("fixture", &[10.0, 11.0, 9.0, 10.5, 500.0], 1, None);
+    assert_eq!((s.kept, s.outliers), (4, 1));
+    assert_eq!(s.mean_ns, 10.125);
+    assert_eq!(s.max_ns, 11.0, "the kept maximum excludes the spike");
+}
+
+#[test]
+fn zero_iqr_keeps_the_plateau_and_drops_the_stray() {
+    // sorted [7,7,7,7,100]: q1 = q3 = 7, fences collapse to [7,7] — the
+    // plateau survives its own degenerate fence, the stray does not.
+    let s = summarize_samples("fixture", &[7.0, 7.0, 100.0, 7.0, 7.0], 1, None);
+    assert_eq!((s.kept, s.outliers), (4, 1));
+    assert_eq!(s.mean_ns, 7.0);
+}
+
+#[test]
+fn calibration_fixture_points() {
+    // At or above the 200µs target a single iteration is enough.
+    assert_eq!(calibration_batch(CALIBRATION_TARGET), 1);
+    assert_eq!(calibration_batch(Duration::from_millis(3)), 1);
+    // A 2µs call needs 100 iterations to span the target.
+    assert_eq!(calibration_batch(Duration::from_micros(2)), 100);
+    // Sub-20ns (including zero) readings clamp to the 20ns noise floor,
+    // so the batch never exceeds target/20ns = 10_000.
+    assert_eq!(calibration_batch(Duration::ZERO), 10_000);
+    assert_eq!(calibration_batch(Duration::from_nanos(1)), 10_000);
+}
+
+// -------------------------------------------------------------- properties
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    collection::vec(1u64..10_000_000, 2..=60)
+        .prop_map(|v| v.into_iter().map(|n| n as f64).collect())
+}
+
+props! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn summary_partitions_and_bounds_every_sample(samples in arb_samples()) {
+        let n = samples.len();
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let s = summarize_samples("prop", &samples, 1, None);
+        prop_assert_eq!(s.kept + s.outliers, n, "every sample kept or trimmed");
+        prop_assert!(s.kept >= 1);
+        prop_assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+        prop_assert!(lo <= s.min_ns && s.max_ns <= hi);
+        prop_assert!(lo <= s.median_ns && s.median_ns <= hi);
+    }
+
+    #[test]
+    fn constant_samples_have_no_outliers(v in 1u64..1_000_000, n in 2usize..40) {
+        let samples = vec![v as f64; n];
+        let s = summarize_samples("prop", &samples, 1, None);
+        prop_assert_eq!(s.outliers, 0);
+        prop_assert_eq!(s.kept, n);
+        prop_assert_eq!(s.mean_ns, v as f64);
+        prop_assert_eq!(s.median_ns, v as f64);
+    }
+
+    #[test]
+    fn distant_spike_is_always_trimmed(base in 100u64..10_000, n in 5usize..30) {
+        // A tight ±1 cluster plus one sample 1000× beyond it: Tukey's
+        // 1.5×IQR fence must discard the spike and the kept maximum must
+        // stay inside the cluster.
+        let mut samples: Vec<f64> =
+            (0..n).map(|i| (base + (i as u64 % 3)) as f64).collect();
+        samples.push(base as f64 * 1000.0);
+        let s = summarize_samples("prop", &samples, 1, None);
+        prop_assert!(s.outliers >= 1, "spike survived the fence");
+        prop_assert!(s.max_ns <= (base + 2) as f64);
+        prop_assert!(s.mean_ns >= base as f64 && s.mean_ns <= (base + 2) as f64);
+    }
+
+    #[test]
+    fn calibration_batch_is_clamped_and_spans_target(once_ns in 0u64..1_000_000_000) {
+        let batch = calibration_batch(Duration::from_nanos(once_ns));
+        prop_assert!((1..=1_000_000).contains(&batch));
+        // Enough iterations to span the target, assuming the calibration
+        // reading (floored at the 20ns noise floor) is honest.
+        let est = once_ns.max(20) as u128;
+        let span = batch as u128 * est;
+        prop_assert!(
+            batch == 1 || span >= CALIBRATION_TARGET.as_nanos() - est,
+            "batch {batch} x {est}ns spans only {span}ns"
+        );
+    }
+
+    #[test]
+    fn calibration_batch_is_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (fast, slow) = (a.min(b), a.max(b));
+        prop_assert!(
+            calibration_batch(Duration::from_nanos(fast))
+                >= calibration_batch(Duration::from_nanos(slow)),
+            "slower code must not get a larger batch"
+        );
+    }
+}

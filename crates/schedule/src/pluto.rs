@@ -306,7 +306,10 @@ fn canonical_map(edge: &DepEdge, np: usize, base: &[usize]) -> Vec<usize> {
 }
 
 /// The result of scheduling.
-#[derive(Clone, Debug)]
+///
+/// Derives `Eq` so determinism tests (and the schedule cache's
+/// hit-equals-cold guarantee) can compare results structurally.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transformed {
     /// The statement-wise multi-dimensional affine transform.
     pub schedule: Schedule,
