@@ -75,6 +75,7 @@ fn main() {
                 ddg: ddg.clone(),
                 transformed: t,
                 props: p,
+                degraded: None,
             };
             let mut data = ProgramData::new(&b.scop, &b.bench_params);
             data.init_random(31);

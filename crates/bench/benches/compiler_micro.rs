@@ -38,7 +38,7 @@ fn bench_solvers(c: &mut Criterion) {
         });
         let iobj: Vec<i128> = (0..n).map(|v| (v % 3) as i128 - 1).collect();
         g.bench_with_input(BenchmarkId::new("ilp", n), &cs, |b, cs| {
-            b.iter(|| solve_ilp(cs, &iobj, Sense::Min));
+            b.iter(|| solve_ilp(cs, &iobj, Sense::Min).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("fm_eliminate", n), &cs, |b, cs| {
             let vars: Vec<usize> = (n / 2..n).collect();

@@ -102,6 +102,7 @@ fn main() {
                 ddg: ddg.clone(),
                 transformed: t,
                 props: p,
+                degraded: None,
             };
             let mut data = ProgramData::new(scop, params);
             data.init_lcg(1);

@@ -62,7 +62,7 @@ pub struct BenchAllOutcome {
 /// Scheduling outcome fingerprint used for the determinism cross-checks:
 /// per model, either the full transformed program + properties or the
 /// error text.
-type RunSet = Vec<(Model, Result<Optimized, wf_schedule::SchedError>)>;
+type RunSet = Vec<(Model, Result<Optimized, wf_wisefuse::WfError>)>;
 
 fn same_runs(a: &RunSet, b: &RunSet) -> bool {
     a.len() == b.len()
@@ -108,7 +108,11 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         let analysis_seconds = secs(t);
 
         let fresh = |cached: bool| {
-            let o = Optimizer::new(&b.scop).with_ddg(ddg.clone());
+            // Fallback-on-degradable keeps the batch alive under injected
+            // faults (`WF_FAULT`): a budget-starved or panicked model rides
+            // on as its degraded schedule instead of an Err row. Fault-free
+            // runs never take that path, so reports are unchanged.
+            let o = Optimizer::new(&b.scop).with_ddg(ddg.clone()).fallback();
             if cached {
                 o
             } else {
@@ -158,13 +162,21 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         let models: Vec<Json> = serial
             .iter()
             .map(|(m, r)| match r {
-                Ok(opt) => Json::obj([
-                    ("model", m.name().into()),
-                    ("ok", true.into()),
-                    ("partitions", opt.n_partitions().into()),
-                    ("outer_parallel", opt.outer_parallel().into()),
-                    ("strategy", opt.transformed.strategy.as_str().into()),
-                ]),
+                Ok(opt) => {
+                    let mut fields = vec![
+                        ("model", m.name().into()),
+                        ("ok", true.into()),
+                        ("partitions", opt.n_partitions().into()),
+                        ("outer_parallel", opt.outer_parallel().into()),
+                        ("strategy", opt.transformed.strategy.as_str().into()),
+                    ];
+                    // Only present when the run actually degraded, so a
+                    // fault-free report stays byte-identical to older ones.
+                    if let Some(reason) = &opt.degraded {
+                        fields.push(("degraded", reason.as_str().into()));
+                    }
+                    Json::obj(fields)
+                }
                 Err(e) => Json::obj([
                     ("model", m.name().into()),
                     ("ok", false.into()),
@@ -202,7 +214,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let replays: Vec<(usize, RunSet)> =
         pool::global().map(expected.iter().map(|(i, _)| *i).collect(), move |i| {
             let b = &shared[i];
-            (i, Optimizer::new(&b.scop).run_all())
+            (i, Optimizer::new(&b.scop).fallback().run_all())
         });
     let pool_seconds = secs(t);
     let pool_same = expected

@@ -7,7 +7,13 @@
 //! wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify]
 //! wfc compare <bench> [--threads T]         # all five models side by side
 //! wfc bench-all [--threads T] [--json]      # whole catalog × all models
+//! wfc cache --stats|--prune|--clear         # spill-cache hygiene
 //! ```
+//!
+//! Failures exit with the [`WfError`] code contract (invalid request 2,
+//! parse 3, budget 4, I/O 5, schedule 6, contained panic 7, unbounded 8);
+//! recoverable solver failures degrade to the original-program-order
+//! fallback schedule by default (disable with `--strict`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,72 +24,60 @@ use wf_codegen::render_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_harness::json::Json;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_schedule::PlutoConfig;
 use wf_scop::pretty;
-use wf_wisefuse::{optimize, plan_from_optimized, Model, Optimizer};
+use wf_scop::Scop;
+use wf_wisefuse::{cache, plan_from_optimized, Model, Optimized, Optimizer, WfError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let result = match cmd.as_str() {
+    let result = dispatch(cmd, &mut it);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+    match cmd {
         "list" => cmd_list(),
         "bench-all" => {
-            let opts = match Opts::parse(it) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let opts = Opts::parse(it)?;
             cmd_bench_all(&opts)
         }
+        "cache" => cmd_cache(it),
         "export" => {
-            let Some(name) = it.next() else {
-                eprintln!("error: missing benchmark name");
-                return ExitCode::FAILURE;
-            };
-            let Some(bench) = by_name(name) else {
-                eprintln!("error: unknown benchmark '{name}'");
-                return ExitCode::FAILURE;
-            };
+            let name = it
+                .next()
+                .ok_or_else(|| WfError::invalid("missing benchmark name"))?;
+            let bench = lookup(name)?;
             print!("{}", wf_scop::text::to_text(&bench.scop));
             Ok(())
         }
         "optfile" => {
-            let Some(path) = it.next() else {
-                eprintln!("error: missing .wfs path");
-                return ExitCode::FAILURE;
-            };
-            let opts = match Opts::parse(it) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            cmd_optfile(path, &opts)
+            let path = it
+                .next()
+                .ok_or_else(|| WfError::invalid("missing .wfs path"))?
+                .clone();
+            let opts = Opts::parse(it)?;
+            cmd_optfile(&path, &opts)
         }
         "show" | "opt" | "run" | "compare" | "emit" | "model" => {
-            let Some(name) = it.next() else {
-                eprintln!("error: missing benchmark name");
+            let name = it.next().ok_or_else(|| {
                 usage();
-                return ExitCode::FAILURE;
-            };
-            let Some(bench) = by_name(name) else {
-                eprintln!("error: unknown benchmark '{name}' (try `wfc list`)");
-                return ExitCode::FAILURE;
-            };
-            let opts = match Opts::parse(it) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match cmd.as_str() {
+                WfError::invalid("missing benchmark name")
+            })?;
+            let bench = lookup(name)?;
+            let opts = Opts::parse(it)?;
+            match cmd {
                 "show" => cmd_show(&bench),
                 "opt" => cmd_opt(&bench, &opts),
                 "run" => cmd_run(&bench, &opts),
@@ -97,18 +91,15 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => {
-            eprintln!("error: unknown command '{other}'");
             usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            Err(WfError::invalid(format!("unknown command '{other}'")))
         }
     }
+}
+
+fn lookup(name: &str) -> Result<Benchmark, WfError> {
+    by_name(name)
+        .ok_or_else(|| WfError::invalid(format!("unknown benchmark '{name}' (try `wfc list`)")))
 }
 
 fn usage() {
@@ -127,7 +118,18 @@ USAGE:
   wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
   wfc model <bench> [--model M] [--size N]     # machine-model breakdown
   wfc export <bench>                           # benchmark as .wfs text
-  wfc optfile <path.wfs> [--model M]           # optimize a textual SCoP"
+  wfc optfile <path.wfs> [--model M]           # optimize a textual SCoP
+  wfc cache --stats|--prune|--clear            # WF_CACHE_DIR spill hygiene
+
+SCHEDULING FLAGS (opt/run/compare/emit/model/optfile):
+  --max-nodes N   cap the fusion ILP's branch-and-bound node budget
+  --strict        fail (exit 4/6/7/8) instead of degrading to the
+                  original-program-order fallback schedule on a
+                  recoverable solver failure
+
+EXIT CODES:
+  0 success   2 invalid request   3 parse   4 solver budget exhausted
+  5 I/O       6 scheduling        7 contained worker panic   8 unbounded"
     );
 }
 
@@ -142,10 +144,15 @@ struct Opts {
     verify: bool,
     tile: Option<i128>,
     json: bool,
+    /// `--max-nodes`: override the fusion ILP's node budget.
+    max_nodes: Option<usize>,
+    /// `--strict`: surface recoverable solver failures instead of
+    /// degrading to the fallback schedule.
+    strict: bool,
 }
 
 impl Opts {
-    fn parse<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Opts, String> {
+    fn parse<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Opts, WfError> {
         let mut o = Opts {
             model: Model::Wisefuse,
             threads: std::thread::available_parallelism()
@@ -157,51 +164,160 @@ impl Opts {
             verify: false,
             tile: None,
             json: false,
+            max_nodes: None,
+            strict: false,
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--model" => {
-                    let v = it.next().ok_or("--model needs a value")?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| WfError::invalid("--model needs a value"))?;
                     o.model = Model::ALL
                         .into_iter()
                         .find(|m| m.name() == v)
-                        .ok_or_else(|| format!("unknown model '{v}'"))?;
+                        .ok_or_else(|| WfError::invalid(format!("unknown model '{v}'")))?;
                 }
                 "--threads" => {
                     o.threads = it
                         .next()
-                        .ok_or("--threads needs a value")?
+                        .ok_or_else(|| WfError::invalid("--threads needs a value"))?
                         .parse()
-                        .map_err(|e| format!("--threads: {e}"))?;
+                        .map_err(|e| WfError::invalid(format!("--threads: {e}")))?;
                     o.threads_set = true;
                 }
                 "--size" => {
                     o.size = Some(
                         it.next()
-                            .ok_or("--size needs a value")?
+                            .ok_or_else(|| WfError::invalid("--size needs a value"))?
                             .parse()
-                            .map_err(|e| format!("--size: {e}"))?,
+                            .map_err(|e| WfError::invalid(format!("--size: {e}")))?,
                     );
                 }
                 "--tile" => {
                     o.tile = Some(
                         it.next()
-                            .ok_or("--tile needs a value")?
+                            .ok_or_else(|| WfError::invalid("--tile needs a value"))?
                             .parse()
-                            .map_err(|e| format!("--tile: {e}"))?,
+                            .map_err(|e| WfError::invalid(format!("--tile: {e}")))?,
                     );
                 }
+                "--max-nodes" => {
+                    o.max_nodes = Some(
+                        it.next()
+                            .ok_or_else(|| WfError::invalid("--max-nodes needs a value"))?
+                            .parse()
+                            .map_err(|e| WfError::invalid(format!("--max-nodes: {e}")))?,
+                    );
+                }
+                "--strict" => o.strict = true,
                 "--cache" => o.cache = true,
                 "--verify" => o.verify = true,
                 "--json" => o.json = true,
-                other => return Err(format!("unknown flag '{other}'")),
+                other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
             }
         }
         Ok(o)
     }
+
+    /// The scheduling-engine config these options describe.
+    fn config(&self) -> PlutoConfig {
+        let mut config = PlutoConfig::default();
+        if let Some(n) = self.max_nodes {
+            config.ilp_node_budget = n;
+        }
+        config
+    }
 }
 
-fn cmd_list() -> Result<(), String> {
+/// Build the facade under the CLI policy: `--max-nodes` caps the fusion
+/// ILP, and unless `--strict` is given, recoverable solver failures
+/// degrade to the original-program-order fallback schedule.
+fn build_optimizer<'a>(scop: &'a Scop, opts: &Opts) -> Optimizer<'a> {
+    let o = Optimizer::new(scop).model(opts.model).config(opts.config());
+    if opts.strict {
+        o
+    } else {
+        o.fallback()
+    }
+}
+
+/// Surface a degraded-schedule substitution to the user (stderr, so JSON
+/// output on stdout stays machine-readable).
+fn warn_degraded(opt: &Optimized) {
+    if let Some(reason) = &opt.degraded {
+        eprintln!("warning: {reason}");
+    }
+}
+
+/// Schedule one SCoP under the CLI policy, warning when it degrades.
+fn schedule(scop: &Scop, opts: &Opts) -> Result<Optimized, WfError> {
+    let opt = build_optimizer(scop, opts).run()?;
+    warn_degraded(&opt);
+    Ok(opt)
+}
+
+/// The `wfc cache` subcommand: report, prune, or clear the
+/// `WF_CACHE_DIR` schedule spill.
+fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Stats,
+        Prune,
+        Clear,
+    }
+    let mut mode = Mode::Stats;
+    for flag in it {
+        match flag.as_str() {
+            "--stats" => mode = Mode::Stats,
+            "--prune" => mode = Mode::Prune,
+            "--clear" => mode = Mode::Clear,
+            other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    let dir = cache::spill_dir().ok_or_else(|| {
+        WfError::invalid("wfc cache needs WF_CACHE_DIR to name the spill directory")
+    })?;
+    let caps = cache::SpillCaps::from_env();
+    match mode {
+        Mode::Prune => {
+            let removed = cache::spill_prune(&dir, &caps);
+            println!("pruned {removed} spill entr{}", plural_y(removed));
+        }
+        Mode::Clear => {
+            let removed =
+                cache::spill_clear(&dir).map_err(|e| WfError::io(dir.display().to_string(), &e))?;
+            println!("cleared {removed} spill entr{}", plural_y(removed));
+        }
+        Mode::Stats => {}
+    }
+    let (files, bytes) = cache::spill_usage(&dir);
+    println!(
+        "spill dir: {}\nentries: {files}   bytes: {bytes}   cap: {} bytes{}",
+        dir.display(),
+        caps.max_bytes,
+        match caps.max_age_secs {
+            Some(age) => format!(", max age {age}s"),
+            None => ", no age cap".to_string(),
+        }
+    );
+    let mem = cache::stats();
+    println!(
+        "in-process: {} hits / {} misses, {} spill hits, {} spill stores, {} quarantined",
+        mem.hits, mem.misses, mem.spill_hits, mem.spill_stores, mem.spill_quarantined
+    );
+    Ok(())
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+fn cmd_list() -> Result<(), WfError> {
     println!(
         "{:<10} {:<10} {:<36} {:>7} {:>6}",
         "name", "suite", "category", "stmts", "large"
@@ -219,7 +335,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench_all(opts: &Opts) -> Result<(), String> {
+fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
     let ba = wf_bench::benchall::BenchAllOptions {
         threads: if opts.threads_set {
             opts.threads
@@ -263,11 +379,13 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), String> {
     if outcome.determinism_ok {
         Ok(())
     } else {
-        Err("bench-all: determinism mismatch — parallel/cached schedules diverge from serial (see BENCH_all.json)".to_string())
+        Err(WfError::Schedule {
+            message: "bench-all: determinism mismatch — parallel/cached schedules diverge from serial (see BENCH_all.json)".to_string(),
+        })
     }
 }
 
-fn cmd_show(bench: &Benchmark) -> Result<(), String> {
+fn cmd_show(bench: &Benchmark) -> Result<(), WfError> {
     println!("== {} (original) ==\n", bench.scop.name);
     print!("{}", pretty::render_original(&bench.scop));
     let ddg = wf_deps::analyze(&bench.scop);
@@ -282,9 +400,9 @@ fn cmd_show(bench: &Benchmark) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let t0 = Instant::now();
-    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let opt = schedule(&bench.scop, opts)?;
     println!(
         "== {} under {} (scheduled in {:.1?}) ==\n",
         bench.scop.name,
@@ -318,13 +436,10 @@ fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let c0 = Instant::now();
-    let opt = Optimizer::new(&bench.scop)
-        .model(opts.model)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let opt = schedule(&bench.scop, opts)?;
     let plan = match opts.tile {
         None => plan_from_optimized(&bench.scop, &opt),
         Some(size) => {
@@ -362,7 +477,9 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
         Some(o) => {
             let diff = data.max_abs_diff(o);
             if diff != 0.0 && !opts.json {
-                return Err(format!("verification FAILED: max diff {diff}"));
+                return Err(WfError::Schedule {
+                    message: format!("verification FAILED: max diff {diff}"),
+                });
             }
             Some(diff == 0.0)
         }
@@ -394,7 +511,9 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
         }
         println!("{}", j.render());
         return match verified {
-            Some(false) => Err("verification FAILED (see JSON)".to_string()),
+            Some(false) => Err(WfError::Schedule {
+                message: "verification FAILED (see JSON)".to_string(),
+            }),
             _ => Ok(()),
         };
     }
@@ -418,13 +537,13 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let mut init = ProgramData::new(&bench.scop, &params);
     init.init_random(2024);
     // Dependence analysis runs ONCE here; every model schedules against the
     // facade's cached graph.
-    let mut optimizer = Optimizer::new(&bench.scop);
+    let mut optimizer = build_optimizer(&bench.scop, opts);
     let a0 = Instant::now();
     let n_deps = optimizer.ddg().edges.len();
     let analysis = a0.elapsed();
@@ -444,7 +563,8 @@ fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     let mut rows = Vec::new();
     for model in Model::ALL {
         let c0 = Instant::now();
-        let opt = optimizer.run_model(model).map_err(|e| e.to_string())?;
+        let opt = optimizer.run_model(model)?;
+        warn_degraded(&opt);
         let plan = plan_from_optimized(&bench.scop, &opt);
         let compile = c0.elapsed();
         let mut data = init.clone();
@@ -493,9 +613,9 @@ fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_emit(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+fn cmd_emit(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
-    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let opt = schedule(&bench.scop, opts)?;
     let plan = plan_from_optimized(&bench.scop, &opt);
     print!(
         "{}",
@@ -504,13 +624,13 @@ fn cmd_emit(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
+fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let machine = MachineModel {
         cores: opts.threads as u64,
         ..MachineModel::default()
     };
-    let opt = optimize(&bench.scop, opts.model).map_err(|e| e.to_string())?;
+    let opt = schedule(&bench.scop, opts)?;
     let plan = plan_from_optimized(&bench.scop, &opt);
     let mut data = ProgramData::new(&bench.scop, &params);
     data.init_lcg(2024);
@@ -550,11 +670,14 @@ fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optfile(path: &str, opts: &Opts) -> Result<(), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let scop = wf_scop::text::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+fn cmd_optfile(path: &str, opts: &Opts) -> Result<(), WfError> {
+    let src = std::fs::read_to_string(path).map_err(|e| WfError::io(path, &e))?;
+    let scop = wf_scop::text::parse(&src).map_err(|e| WfError::Parse {
+        line: e.line,
+        message: format!("{path}: {}", e.message),
+    })?;
     let t0 = Instant::now();
-    let opt = optimize(&scop, opts.model).map_err(|e| e.to_string())?;
+    let opt = schedule(&scop, opts)?;
     println!(
         "== {} under {} (scheduled in {:.1?}) ==\n",
         scop.name,

@@ -37,6 +37,7 @@ use crate::pipeline::Model;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
+use wf_harness::fault::{self, FaultKind};
 use wf_harness::hash::Fnv64;
 use wf_harness::json::Json;
 use wf_schedule::pluto::Transformed;
@@ -116,6 +117,9 @@ pub struct CacheStats {
     pub spill_hits: u64,
     /// Entries written to the spill directory.
     pub spill_stores: u64,
+    /// Corrupt spill entries quarantined (renamed aside) and treated as
+    /// misses.
+    pub spill_quarantined: u64,
 }
 
 impl CacheStats {
@@ -129,6 +133,7 @@ impl CacheStats {
             ("evictions", Json::from(self.evictions)),
             ("spill_hits", Json::from(self.spill_hits)),
             ("spill_stores", Json::from(self.spill_stores)),
+            ("spill_quarantined", Json::from(self.spill_quarantined)),
         ])
     }
 }
@@ -144,6 +149,9 @@ pub struct ScheduleCache {
     tick: u64,
     map: HashMap<Fingerprint, Entry>,
     stats: CacheStats,
+    /// Spill directory override; `None` defers to `WF_CACHE_DIR` at each
+    /// operation (tests pin it to avoid racing on process environment).
+    spill_override: Option<PathBuf>,
 }
 
 impl ScheduleCache {
@@ -155,7 +163,19 @@ impl ScheduleCache {
             tick: 0,
             map: HashMap::new(),
             stats: CacheStats::default(),
+            spill_override: None,
         }
+    }
+
+    /// Pin the spill directory instead of consulting `WF_CACHE_DIR`.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> ScheduleCache {
+        self.spill_override = Some(dir);
+        self
+    }
+
+    fn spill_target(&self) -> Option<PathBuf> {
+        self.spill_override.clone().or_else(spill_dir)
     }
 
     /// Number of live entries.
@@ -191,11 +211,15 @@ impl ScheduleCache {
             self.stats.hits += 1;
             return Some(e.transformed.clone());
         }
-        if let Some(dir) = spill_dir() {
-            if let Some(t) = spill_read(&dir, key) {
-                self.stats.spill_hits += 1;
-                self.insert_only(*key, t.clone());
-                return Some(t);
+        if let Some(dir) = self.spill_target() {
+            match spill_read(&dir, key) {
+                SpillOutcome::Hit(t) => {
+                    self.stats.spill_hits += 1;
+                    self.insert_only(*key, (*t).clone());
+                    return Some(*t);
+                }
+                SpillOutcome::Quarantined => self.stats.spill_quarantined += 1,
+                SpillOutcome::Miss => {}
             }
         }
         self.stats.misses += 1;
@@ -203,11 +227,17 @@ impl ScheduleCache {
     }
 
     /// Insert a cold result, spilling it to `WF_CACHE_DIR` when set.
+    /// Every [`SPILL_PRUNE_PERIOD`]-th successful spill store also prunes
+    /// the spill directory against the [`SpillCaps`] from the environment,
+    /// amortizing the directory scan.
     pub fn insert(&mut self, key: Fingerprint, t: &Transformed) {
         self.stats.stores += 1;
-        if let Some(dir) = spill_dir() {
+        if let Some(dir) = self.spill_target() {
             if spill_write(&dir, &key, t).is_ok() {
                 self.stats.spill_stores += 1;
+                if self.stats.spill_stores.is_multiple_of(SPILL_PRUNE_PERIOD) {
+                    let _ = spill_prune(&dir, &SpillCaps::from_env());
+                }
             }
         }
         self.insert_only(key, t.clone());
@@ -282,11 +312,33 @@ pub fn spill_dir() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
+/// What a spill lookup found; quarantines are reported separately so the
+/// stats can distinguish "never cached" from "cached but corrupt".
+#[derive(Clone, PartialEq, Debug)]
+pub enum SpillOutcome {
+    /// A valid entry (boxed: the payload dwarfs the other variants).
+    Hit(Box<Transformed>),
+    /// No entry (or an unreadable file — crash-safety treats both as
+    /// cold).
+    Miss,
+    /// The entry existed but failed to decode; it was renamed to
+    /// `<stem>.json.quarantined` so it cannot poison future lookups, and
+    /// this lookup proceeds as a miss.
+    Quarantined,
+}
+
 /// Write one entry under `dir` (which is created as needed).
+///
+/// Crash-safe: the entry is written to a process-unique temp file and
+/// atomically renamed into place, so a reader (or a crash mid-write)
+/// never observes a torn entry under the final name.
 ///
 /// # Errors
 /// Propagates filesystem errors; callers treat them as "no spill".
 pub fn spill_write(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::Result<()> {
+    if fault::should_inject("cache.spill_write", FaultKind::Io) {
+        return Err(std::io::Error::other("injected spill-write fault"));
+    }
     std::fs::create_dir_all(dir)?;
     let final_path = dir.join(format!("{}.json", key.file_stem()));
     // Write-then-rename so a concurrent reader never sees a torn file.
@@ -295,13 +347,161 @@ pub fn spill_write(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::R
     std::fs::rename(&tmp, &final_path)
 }
 
-/// Read one entry back; any I/O, parse, or version mismatch is a miss.
+/// Read one entry back. A missing or unreadable file is a
+/// [`SpillOutcome::Miss`]; a file that *reads* but fails to parse or
+/// decode (torn by a crash predating atomic writes, truncated by a full
+/// disk, or hand-edited) is renamed aside and reported as
+/// [`SpillOutcome::Quarantined`].
 #[must_use]
-pub fn spill_read(dir: &Path, key: &Fingerprint) -> Option<Transformed> {
+pub fn spill_read(dir: &Path, key: &Fingerprint) -> SpillOutcome {
+    if fault::should_inject("cache.spill_read", FaultKind::Io) {
+        return SpillOutcome::Miss; // simulated unreadable file
+    }
     let path = dir.join(format!("{}.json", key.file_stem()));
-    let text = std::fs::read_to_string(path).ok()?;
-    let json = Json::parse(&text).ok()?;
-    transformed_from_json(&json)
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return SpillOutcome::Miss;
+    };
+    let decoded = Json::parse(&text)
+        .ok()
+        .and_then(|j| transformed_from_json(&j));
+    match decoded {
+        Some(t) => SpillOutcome::Hit(Box::new(t)),
+        None => {
+            // Move the corrupt entry aside (best-effort; delete if even
+            // the rename fails) so the decode cost is paid once.
+            let aside = path.with_extension("json.quarantined");
+            if std::fs::rename(&path, &aside).is_err() {
+                let _ = std::fs::remove_file(&path);
+            }
+            SpillOutcome::Quarantined
+        }
+    }
+}
+
+/// Amortization period for [`spill_prune`] inside
+/// [`ScheduleCache::insert`].
+pub const SPILL_PRUNE_PERIOD: u64 = 32;
+
+/// Size/age bounds for the spill directory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpillCaps {
+    /// Maximum total bytes across entries (oldest evicted first beyond
+    /// it).
+    pub max_bytes: u64,
+    /// Entries older than this many seconds are removed (`None` = no age
+    /// cap).
+    pub max_age_secs: Option<u64>,
+}
+
+impl SpillCaps {
+    /// Default size cap: 256 MiB.
+    pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+    /// Read `WF_CACHE_MAX_BYTES` / `WF_CACHE_MAX_AGE_SECS` (malformed
+    /// values fall back to the defaults: 256 MiB, no age cap).
+    #[must_use]
+    pub fn from_env() -> SpillCaps {
+        let parse = |name: &str| -> Option<u64> {
+            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+        };
+        SpillCaps {
+            max_bytes: parse("WF_CACHE_MAX_BYTES").unwrap_or(Self::DEFAULT_MAX_BYTES),
+            max_age_secs: parse("WF_CACHE_MAX_AGE_SECS"),
+        }
+    }
+}
+
+/// Everything prune-relevant in the spill directory: entries,
+/// quarantined entries, and orphaned temp files from crashed writers.
+fn spill_files(dir: &Path) -> Vec<(PathBuf, u64, Option<std::time::SystemTime>)> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in rd.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let relevant = name.ends_with(".json")
+            || name.ends_with(".json.quarantined")
+            || name.contains(".tmp-");
+        if !relevant {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        out.push((path, meta.len(), meta.modified().ok()));
+    }
+    out
+}
+
+/// Entry count and total bytes of the spill directory (entries +
+/// quarantined + orphaned temp files).
+#[must_use]
+pub fn spill_usage(dir: &Path) -> (usize, u64) {
+    let files = spill_files(dir);
+    let bytes = files.iter().map(|(_, len, _)| len).sum();
+    (files.len(), bytes)
+}
+
+/// Enforce `caps` on the spill directory: drop entries older than the age
+/// cap, then drop oldest-first until the byte cap holds. Returns how many
+/// files were removed. Failures to remove individual files are skipped —
+/// pruning is hygiene, not correctness.
+pub fn spill_prune(dir: &Path, caps: &SpillCaps) -> usize {
+    let now = std::time::SystemTime::now();
+    let mut files = spill_files(dir);
+    let mut removed = 0usize;
+    if let Some(max_age) = caps.max_age_secs {
+        files.retain(|(path, _, modified)| {
+            let expired = modified
+                .and_then(|m| now.duration_since(m).ok())
+                .is_some_and(|age| age.as_secs() > max_age);
+            if expired && std::fs::remove_file(path).is_ok() {
+                removed += 1;
+                return false;
+            }
+            true
+        });
+    }
+    let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+    if total > caps.max_bytes {
+        // Oldest first; files with unknown mtimes go first (they are
+        // orphaned temp files more often than live entries).
+        files.sort_by_key(|(_, _, modified)| *modified);
+        for (path, len, _) in files {
+            if total <= caps.max_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+                total = total.saturating_sub(len);
+            }
+        }
+    }
+    removed
+}
+
+/// Remove every spill entry (plus quarantined and temp files), returning
+/// how many files were deleted.
+///
+/// # Errors
+/// Propagates a failure to list the directory; per-file removal failures
+/// are skipped.
+pub fn spill_clear(dir: &Path) -> std::io::Result<usize> {
+    if !dir.exists() {
+        return Ok(0);
+    }
+    std::fs::read_dir(dir)?; // surface unreadable dirs as an error
+    let mut removed = 0;
+    for (path, _, _) in spill_files(dir) {
+        if std::fs::remove_file(path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Encode a scheduling result for the disk spill.
@@ -535,12 +735,85 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let t = sample_transformed(4);
         let k = key(4);
-        assert!(spill_read(&dir, &k).is_none());
+        assert_eq!(spill_read(&dir, &k), SpillOutcome::Miss);
         spill_write(&dir, &k, &t).expect("spill write");
-        assert_eq!(spill_read(&dir, &k), Some(t));
-        // Corrupt file → miss, not error.
-        std::fs::write(dir.join(format!("{}.json", k.file_stem())), "{oops").unwrap();
-        assert!(spill_read(&dir, &k).is_none());
+        assert_eq!(spill_read(&dir, &k), SpillOutcome::Hit(Box::new(t)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_entry_is_quarantined_once_then_misses() {
+        let dir = std::env::temp_dir().join(format!("wf-cache-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let k = key(6);
+        let entry = dir.join(format!("{}.json", k.file_stem()));
+        // A truncated write from a crashed pre-atomic-rename era.
+        std::fs::write(&entry, "{\"version\": 1, \"dims\": [\"lo").unwrap();
+        assert_eq!(spill_read(&dir, &k), SpillOutcome::Quarantined);
+        assert!(!entry.exists(), "corrupt entry must be moved aside");
+        assert!(
+            entry.with_extension("json.quarantined").exists(),
+            "quarantine keeps the evidence"
+        );
+        // Second lookup: plain miss, no re-quarantine churn.
+        assert_eq!(spill_read(&dir, &k), SpillOutcome::Miss);
+        // A fresh write recovers the slot.
+        let t = sample_transformed(6);
+        spill_write(&dir, &k, &t).unwrap();
+        assert_eq!(spill_read(&dir, &k), SpillOutcome::Hit(Box::new(t)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_lookup_counts_and_misses() {
+        let dir = std::env::temp_dir().join(format!("wf-cache-quarstat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let k = key(11);
+        std::fs::write(dir.join(format!("{}.json", k.file_stem())), "not json").unwrap();
+        let mut c = ScheduleCache::new(4).with_spill_dir(dir.clone());
+        assert!(c.lookup(&k).is_none());
+        let s = c.stats();
+        assert_eq!((s.spill_quarantined, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_enforces_size_and_age_caps() {
+        let dir = std::env::temp_dir().join(format!("wf-cache-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for n in 0..4 {
+            spill_write(&dir, &key(n), &sample_transformed(n as i128)).unwrap();
+        }
+        let (files, bytes) = spill_usage(&dir);
+        assert_eq!(files, 4);
+        assert!(bytes > 0);
+        let per_entry = bytes / 4;
+        // Size cap that fits only ~2 entries.
+        let removed = spill_prune(
+            &dir,
+            &SpillCaps {
+                max_bytes: per_entry * 2 + 1,
+                max_age_secs: None,
+            },
+        );
+        assert_eq!(removed, 2, "oldest two entries pruned");
+        assert_eq!(spill_usage(&dir).0, 2);
+        // Age cap of zero seconds is not instant-expiry (mtime == now is
+        // not *older* than 0), so backdate via a large cap sanity check:
+        // nothing else is removed.
+        let removed = spill_prune(
+            &dir,
+            &SpillCaps {
+                max_bytes: u64::MAX,
+                max_age_secs: Some(3600),
+            },
+        );
+        assert_eq!(removed, 0);
+        // clear() removes the rest.
+        assert_eq!(spill_clear(&dir).unwrap(), 2);
+        assert_eq!(spill_usage(&dir), (0, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

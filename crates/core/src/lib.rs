@@ -34,6 +34,7 @@ pub use cache::{CacheStats, Fingerprint};
 pub use icc::icc_schedule;
 pub use optimizer::Optimizer;
 pub use pipeline::{optimize, optimize_with, plan_from_optimized, Model, Optimized};
+pub use wf_harness::WfError;
 
 /// The end-to-end surface in one import: build → optimize → plan → execute.
 ///
@@ -46,7 +47,9 @@ pub use pipeline::{optimize, optimize_with, plan_from_optimized, Model, Optimize
 /// and the runtime's executor types — everything the examples and the
 /// figure harnesses touch.
 pub mod prelude {
-    pub use crate::{optimize, optimize_with, plan_from_optimized, Model, Optimized, Optimizer};
+    pub use crate::{
+        optimize, optimize_with, plan_from_optimized, Model, Optimized, Optimizer, WfError,
+    };
     pub use wf_codegen::{render_plan, ExecPlan};
     pub use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
     pub use wf_schedule::PlutoConfig;

@@ -55,8 +55,8 @@
 use crate::cache::{self, Fingerprint};
 use crate::pipeline::{self, Model, Optimized};
 use wf_deps::{analyze, Ddg};
-use wf_harness::pool;
-use wf_schedule::{PlutoConfig, SchedError};
+use wf_harness::{fault, pool, WfError};
+use wf_schedule::PlutoConfig;
 use wf_scop::Scop;
 
 /// Builder-style driver over one SCoP; see the module docs.
@@ -70,6 +70,9 @@ pub struct Optimizer<'a> {
     threads: Option<usize>,
     /// Consult/populate the process-wide schedule cache?
     use_cache: bool,
+    /// Degrade budget/panic failures to the original-program-order
+    /// fallback schedule instead of surfacing the error?
+    fallback: bool,
     /// Memoized canonical-text digest of `scop`.
     scop_hash: Option<u64>,
 }
@@ -87,6 +90,7 @@ impl<'a> Optimizer<'a> {
             ddg: None,
             threads: None,
             use_cache: true,
+            fallback: false,
             scop_hash: None,
         }
     }
@@ -129,6 +133,18 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Degrade recoverable failures (ILP budget exhaustion, a worker-job
+    /// panic, a dead-end schedule search) to the documented fallback: the
+    /// original-program-order schedule with no fusion, exactly what the
+    /// icc baseline model computes. The substitution is recorded in
+    /// [`Optimized::degraded`] and never written to the schedule cache.
+    /// Parse/I-O/usage errors are *not* degradable and still surface.
+    #[must_use]
+    pub fn fallback(mut self) -> Optimizer<'a> {
+        self.fallback = true;
+        self
+    }
+
     /// Inject an already-computed dependence graph (e.g. shared with a
     /// cache simulator), skipping the analysis entirely.
     #[must_use]
@@ -163,28 +179,39 @@ impl<'a> Optimizer<'a> {
 
     /// Schedule the selected model, consuming the builder. Equivalent to
     /// [`optimize_with`](crate::optimize_with) but reuses an injected DDG.
-    pub fn run(mut self) -> Result<Optimized, SchedError> {
+    pub fn run(mut self) -> Result<Optimized, WfError> {
         let model = self.model;
         self.run_model(model)
     }
 
     /// Schedule one specific model against the cached dependence graph.
     /// Call repeatedly to explore models; analysis still happens once.
-    pub fn run_model(&mut self, model: Model) -> Result<Optimized, SchedError> {
+    pub fn run_model(&mut self, model: Model) -> Result<Optimized, WfError> {
         let key = self.fingerprint(model);
+        let fallback = self.fallback;
         self.ddg();
         let ddg = self.ddg.as_ref().expect("cached by ddg()");
-        run_one(self.scop, ddg, model, &self.config, key)
+        degrade(
+            run_one(self.scop, ddg, model, &self.config, key),
+            fallback,
+            self.scop,
+            ddg,
+            model,
+        )
     }
 
     /// Schedule **all five** fusion models of Table 1 against one shared
     /// dependence analysis, concurrently on up to
     /// [`threads`](Optimizer::threads) workers (default `WF_THREADS`), in
     /// [`Model::ALL`] reporting order. Individual models may fail to
-    /// schedule without poisoning the rest. The result is identical to
-    /// calling [`run_model`](Optimizer::run_model) serially per model —
-    /// worker count cannot influence schedules.
-    pub fn run_all(&mut self) -> Vec<(Model, Result<Optimized, SchedError>)> {
+    /// schedule — or their worker job may *panic* — without poisoning the
+    /// rest: a panicking job surfaces as that model's
+    /// [`WfError::JobPanic`] slot (or its fallback schedule under
+    /// [`fallback`](Optimizer::fallback)) while every other model's result
+    /// is unaffected. The result is identical to calling
+    /// [`run_model`](Optimizer::run_model) serially per model — worker
+    /// count cannot influence schedules.
+    pub fn run_all(&mut self) -> Vec<(Model, Result<Optimized, WfError>)> {
         let threads = self
             .threads
             .unwrap_or_else(pool::env_threads)
@@ -193,14 +220,66 @@ impl<'a> Optimizer<'a> {
             .into_iter()
             .map(|m| self.fingerprint(m))
             .collect();
+        let fallback = self.fallback;
         self.ddg();
         let ddg = self.ddg.as_ref().expect("cached by ddg()");
         let (scop, config) = (self.scop, &self.config);
-        pool::scoped_map(
+        let slots = pool::try_scoped_map(
             threads,
             Model::ALL.into_iter().zip(keys).collect(),
-            |(m, key)| (m, run_one(scop, ddg, m, config, key)),
-        )
+            |(m, key)| {
+                fault::maybe_panic("optimizer.model_job");
+                (m, run_one(scop, ddg, m, config, key))
+            },
+        );
+        Model::ALL
+            .into_iter()
+            .zip(slots)
+            .map(|(m, slot)| {
+                let r = match slot {
+                    Ok((m2, r)) => {
+                        debug_assert_eq!(m, m2, "slot order is submission order");
+                        r
+                    }
+                    Err(panicked) => Err(WfError::from(panicked)),
+                };
+                (m, degrade(r, fallback, scop, ddg, m))
+            })
+            .collect()
+    }
+}
+
+/// Apply the degradation policy: under `fallback`, replace a degradable
+/// error with the original-program-order schedule (annotated, uncached).
+fn degrade(
+    r: Result<Optimized, WfError>,
+    fallback: bool,
+    scop: &Scop,
+    ddg: &Ddg,
+    model: Model,
+) -> Result<Optimized, WfError> {
+    match r {
+        Err(e) if fallback && e.is_degradable() => Ok(fallback_optimized(scop, ddg, model, &e)),
+        other => other,
+    }
+}
+
+/// The documented degradation fallback: the original-program-order,
+/// no-fusion schedule (what the icc baseline model computes), which is
+/// infallible and trivially legal. `degraded` records why it was
+/// substituted; the result is never written to the schedule cache.
+fn fallback_optimized(scop: &Scop, ddg: &Ddg, model: Model, cause: &WfError) -> Optimized {
+    let transformed = crate::icc::icc_schedule(scop, ddg);
+    let props = pipeline::analyze_props(scop, ddg, model, &transformed);
+    Optimized {
+        model,
+        ddg: ddg.clone(),
+        transformed,
+        props,
+        degraded: Some(format!(
+            "{} degraded to original program order: {cause}",
+            model.name()
+        )),
     }
 }
 
@@ -213,17 +292,20 @@ fn run_one(
     model: Model,
     config: &PlutoConfig,
     key: Option<Fingerprint>,
-) -> Result<Optimized, SchedError> {
+) -> Result<Optimized, WfError> {
+    let schedule = |scop, ddg, model, config| -> Result<_, WfError> {
+        Ok(pipeline::schedule_model(scop, ddg, model, config)?)
+    };
     let transformed = match key {
         Some(k) => match cache::global_lookup(&k) {
             Some(t) => t,
             None => {
-                let t = pipeline::schedule_model(scop, ddg, model, config)?;
+                let t = schedule(scop, ddg, model, config)?;
                 cache::global_insert(k, &t);
                 t
             }
         },
-        None => pipeline::schedule_model(scop, ddg, model, config)?,
+        None => schedule(scop, ddg, model, config)?,
     };
     let props = pipeline::analyze_props(scop, ddg, model, &transformed);
     Ok(Optimized {
@@ -231,6 +313,7 @@ fn run_one(
         ddg: ddg.clone(),
         transformed,
         props,
+        degraded: None,
     })
 }
 

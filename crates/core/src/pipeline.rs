@@ -4,6 +4,7 @@
 use crate::{icc::icc_schedule, Wisefuse};
 use wf_codegen::ExecPlan;
 use wf_deps::Ddg;
+use wf_harness::WfError;
 use wf_schedule::pluto::{schedule_scop, SchedError, Transformed};
 use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{Maxfuse, Nofuse, PlutoConfig, Smartfuse};
@@ -59,6 +60,13 @@ pub struct Optimized {
     pub transformed: Transformed,
     /// `props[dim][stmt]`: parallelism classification of loop dims.
     pub props: Vec<Vec<Option<LoopProp>>>,
+    /// `Some(reason)` when this result is the documented degradation
+    /// fallback (original program order, no fusion) rather than the
+    /// requested model's schedule — produced when the model's solve hit a
+    /// budget/panic condition and the caller opted into
+    /// [`fallback`](crate::Optimizer::fallback). Degraded results are
+    /// never written to the schedule cache.
+    pub degraded: Option<String>,
 }
 
 impl Optimized {
@@ -115,7 +123,7 @@ pub fn plan_from_optimized(scop: &Scop, opt: &Optimized) -> ExecPlan {
 /// [`run_all`](crate::Optimizer::run_all) instead so dependence analysis
 /// runs once, not once per model. Both wrappers go through the facade and
 /// therefore through the process-wide [schedule cache](crate::cache).
-pub fn optimize(scop: &Scop, model: Model) -> Result<Optimized, SchedError> {
+pub fn optimize(scop: &Scop, model: Model) -> Result<Optimized, WfError> {
     optimize_with(scop, model, &PlutoConfig::default())
 }
 
@@ -124,7 +132,7 @@ pub fn optimize_with(
     scop: &Scop,
     model: Model,
     config: &PlutoConfig,
-) -> Result<Optimized, SchedError> {
+) -> Result<Optimized, WfError> {
     crate::Optimizer::new(scop)
         .model(model)
         .config(*config)

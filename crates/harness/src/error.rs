@@ -1,0 +1,227 @@
+//! The workspace-wide typed error hierarchy.
+//!
+//! Every failure a *user input* can provoke — a malformed `.wfs` file, an
+//! ILP whose branch-and-bound budget runs out, a torn cache-spill file, a
+//! panicking worker job — is represented as a [`WfError`] variant instead
+//! of a `panic!`/`expect` somewhere down the stack. The variants partition
+//! the failure space the way a production service wants to alert on it:
+//!
+//! | variant       | meaning                                   | exit code |
+//! |---------------|-------------------------------------------|-----------|
+//! | [`Invalid`]   | bad CLI arguments / unknown benchmark     | 2         |
+//! | [`Parse`]     | SCoP text failed to parse                 | 3         |
+//! | [`Budget`]    | a solver resource budget was exhausted    | 4         |
+//! | [`Io`]        | filesystem failure (spill cache, `.wfs`)  | 5         |
+//! | [`Schedule`]  | the scheduling engine failed              | 6         |
+//! | [`JobPanic`]  | a worker job panicked (contained)         | 7         |
+//! | [`Unbounded`] | an ILP objective was unbounded            | 8         |
+//!
+//! The exit codes are part of the `wfc` CLI contract (CI asserts they stay
+//! distinct), and [`WfError::exit_code`] is the single source of truth.
+//!
+//! `wf-harness` sits at the bottom of the dependency graph, so the type is
+//! defined here and the producing crates implement `From` conversions for
+//! their own error types (`wf_polyhedra::IlpError`,
+//! `wf_scop::text::ParseError`, `wf_schedule::SchedError`); the
+//! `wf_wisefuse` prelude re-exports `WfError` as the one error type the
+//! pipeline surfaces.
+//!
+//! [`Invalid`]: WfError::Invalid
+//! [`Parse`]: WfError::Parse
+//! [`Budget`]: WfError::Budget
+//! [`Io`]: WfError::Io
+//! [`Schedule`]: WfError::Schedule
+//! [`JobPanic`]: WfError::JobPanic
+//! [`Unbounded`]: WfError::Unbounded
+
+use crate::pool::JobPanicked;
+
+/// A typed pipeline failure; see the module docs for the taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WfError {
+    /// Malformed request: unknown benchmark, bad flag, missing argument.
+    Invalid {
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// SCoP text failed to parse.
+    Parse {
+        /// 1-based line the failure was detected on.
+        line: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// A resource budget (branch-and-bound nodes, simplex pivots, wall
+    /// clock) was exhausted before the solver reached a verdict.
+    Budget {
+        /// Which stage ran out (e.g. `ilp.nodes`, `ilp.wall_ms`).
+        site: String,
+        /// The limit that was hit, rendered for humans.
+        detail: String,
+    },
+    /// Filesystem failure (cache spill, `.wfs` input, report output).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error text.
+        message: String,
+    },
+    /// The scheduling engine failed (no progress, or an internal legality
+    /// check rejected its own schedule).
+    Schedule {
+        /// The engine's diagnostic, verbatim.
+        message: String,
+    },
+    /// A worker job panicked; the panic was contained by the pool and the
+    /// payload captured here.
+    JobPanic {
+        /// The panic payload (if it was a string).
+        what: String,
+    },
+    /// An ILP objective was unbounded in the requested direction — a
+    /// modelling problem in the caller's constraint system.
+    Unbounded {
+        /// Which solve detected it.
+        site: String,
+    },
+}
+
+impl WfError {
+    /// Shorthand for [`WfError::Invalid`].
+    #[must_use]
+    pub fn invalid(message: impl Into<String>) -> WfError {
+        WfError::Invalid {
+            message: message.into(),
+        }
+    }
+
+    /// An [`WfError::Io`] from a path and a `std::io::Error`.
+    #[must_use]
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> WfError {
+        WfError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// The process exit code this failure maps to (the `wfc` contract:
+    /// every class is distinct and nonzero; CI asserts parse/budget/I/O
+    /// stay apart).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            WfError::Invalid { .. } => 2,
+            WfError::Parse { .. } => 3,
+            WfError::Budget { .. } => 4,
+            WfError::Io { .. } => 5,
+            WfError::Schedule { .. } => 6,
+            WfError::JobPanic { .. } => 7,
+            WfError::Unbounded { .. } => 8,
+        }
+    }
+
+    /// Can the optimizer degrade to the documented fallback schedule
+    /// (original program order, no fusion) instead of surfacing this?
+    /// True for solver-side failures; false for input errors the caller
+    /// must fix (parse, I/O, invalid requests).
+    #[must_use]
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            WfError::Budget { .. }
+                | WfError::Schedule { .. }
+                | WfError::JobPanic { .. }
+                | WfError::Unbounded { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for WfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WfError::Invalid { message } => write!(f, "{message}"),
+            WfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            WfError::Budget { site, detail } => {
+                write!(f, "budget exceeded at {site}: {detail}")
+            }
+            WfError::Io { path, message } => write!(f, "{path}: {message}"),
+            WfError::Schedule { message } => write!(f, "{message}"),
+            WfError::JobPanic { what } => write!(f, "worker job panicked: {what}"),
+            WfError::Unbounded { site } => write!(f, "unbounded objective in {site}"),
+        }
+    }
+}
+
+impl std::error::Error for WfError {}
+
+impl From<JobPanicked> for WfError {
+    fn from(p: JobPanicked) -> WfError {
+        WfError::JobPanic { what: p.message }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let all = [
+            WfError::invalid("x"),
+            WfError::Parse {
+                line: 1,
+                message: "x".into(),
+            },
+            WfError::Budget {
+                site: "ilp.nodes".into(),
+                detail: "limit 1".into(),
+            },
+            WfError::Io {
+                path: "/p".into(),
+                message: "x".into(),
+            },
+            WfError::Schedule {
+                message: "x".into(),
+            },
+            WfError::JobPanic { what: "x".into() },
+            WfError::Unbounded {
+                site: "lexmin".into(),
+            },
+        ];
+        let codes: Vec<u8> = all.iter().map(WfError::exit_code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "exit codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn degradable_partition() {
+        assert!(WfError::Schedule {
+            message: "m".into()
+        }
+        .is_degradable());
+        assert!(WfError::JobPanic { what: "w".into() }.is_degradable());
+        assert!(!WfError::invalid("m").is_degradable());
+        assert!(!WfError::Parse {
+            line: 3,
+            message: "m".into()
+        }
+        .is_degradable());
+    }
+
+    #[test]
+    fn display_renders_context() {
+        let e = WfError::Parse {
+            line: 12,
+            message: "bad domain".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 12: bad domain");
+        let b = WfError::Budget {
+            site: "ilp.nodes".into(),
+            detail: "limit 400".into(),
+        };
+        assert_eq!(b.to_string(), "budget exceeded at ilp.nodes: limit 400");
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic fault injection for the optimization pipeline.
+//!
+//! Production fault tolerance is only believable if it is *exercised*:
+//! this module provides seeded injection points that the pipeline's
+//! crash-prone seams consult — cache-spill I/O ([`FaultKind::Io`]),
+//! worker-job panics ([`FaultKind::Panic`]) and ILP budget exhaustion
+//! ([`FaultKind::Budget`]) — so property tests can prove that under *any*
+//! injected fault the pipeline returns a typed error or a fallback
+//! schedule, never a panic, and CI can smoke the same property end to end.
+//!
+//! Activation has three layers (highest precedence first):
+//!
+//! 1. a plan [`install`]ed by a test (the test API);
+//! 2. [`disable`], which forces faults off even if the environment enables
+//!    them (tests use this around their fault-free baseline sections);
+//! 3. the `WF_FAULT` environment variable, parsed once per process:
+//!    `WF_FAULT=seed=42,rate=300,kinds=io|panic|budget` (rate is the
+//!    per-visit injection probability in parts per 1000; `kinds` defaults
+//!    to all three).
+//!
+//! Injection is **deterministic**: each site keeps a visit counter, and
+//! the decision for visit `n` of site `s` is a pure function of
+//! `(seed, s, n)` (an FNV-1a digest fed through SplitMix64). Re-running a
+//! serial pipeline with the same seed injects the same faults at the same
+//! visits; parallel runs inject the same *distribution* of faults (the
+//! counter is shared, so visit attribution depends on thread interleaving,
+//! which is exactly the nondeterminism the containment property must
+//! survive). With no plan active, [`should_inject`] is a single relaxed
+//! atomic load — the production fast path costs nothing.
+
+use crate::hash::Fnv64;
+use crate::rng::SplitMix64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The three fault classes the pipeline's seams consult.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Cache-spill read/write failures (simulated torn/unreadable files).
+    Io,
+    /// Worker-job panics (the pool must contain them).
+    Panic,
+    /// ILP budget exhaustion (the scheduler must degrade, not crash).
+    Budget,
+}
+
+/// A seeded injection plan; see the module docs for the `WF_FAULT` syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-visit decision function.
+    pub seed: u64,
+    /// Injection probability per site visit, in parts per 1000.
+    pub rate: u32,
+    /// Inject [`FaultKind::Io`] faults?
+    pub io: bool,
+    /// Inject [`FaultKind::Panic`] faults?
+    pub panic: bool,
+    /// Inject [`FaultKind::Budget`] faults?
+    pub budget: bool,
+}
+
+impl FaultPlan {
+    /// A plan injecting every fault kind at `rate`/1000 per site visit.
+    #[must_use]
+    pub fn all(seed: u64, rate: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate,
+            io: true,
+            panic: true,
+            budget: true,
+        }
+    }
+
+    /// Parse the `WF_FAULT` syntax:
+    /// `seed=<u64>,rate=<0..=1000>,kinds=io|panic|budget` (any subset of
+    /// the comma-separated fields; `kinds` defaults to all, `seed` to 0,
+    /// `rate` to 100).
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed field.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::all(0, 100);
+        for field in spec.split(',').filter(|f| !f.trim().is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("WF_FAULT field '{field}' is not key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("WF_FAULT seed: {e}"))?;
+                }
+                "rate" => {
+                    plan.rate = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("WF_FAULT rate: {e}"))?;
+                    if plan.rate > 1000 {
+                        return Err("WF_FAULT rate must be <= 1000 (parts per 1000)".into());
+                    }
+                }
+                "kinds" => {
+                    plan.io = false;
+                    plan.panic = false;
+                    plan.budget = false;
+                    for kind in value.split('|') {
+                        match kind.trim() {
+                            "io" => plan.io = true,
+                            "panic" => plan.panic = true,
+                            "budget" => plan.budget = true,
+                            other => return Err(format!("WF_FAULT unknown kind '{other}'")),
+                        }
+                    }
+                }
+                other => return Err(format!("WF_FAULT unknown field '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    fn enabled(&self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Io => self.io,
+            FaultKind::Panic => self.panic,
+            FaultKind::Budget => self.budget,
+        }
+    }
+}
+
+/// Test-API override: `None` = defer to the environment,
+/// `Some(None)` = forced off, `Some(Some(plan))` = forced on.
+static OVERRIDE: Mutex<Option<Option<FaultPlan>>> = Mutex::new(None);
+/// Fast-path gate: false only when faults are definitely inactive.
+static MAYBE_ACTIVE: AtomicBool = AtomicBool::new(true);
+/// Per-site visit counters (keyed by site name).
+static COUNTERS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+
+fn env_plan() -> Option<&'static FaultPlan> {
+    static ENV: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let spec = std::env::var("WF_FAULT").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("warning: ignoring malformed WF_FAULT: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+fn refresh_gate(over: &Option<Option<FaultPlan>>) {
+    let active = match over {
+        Some(Some(_)) => true,
+        Some(None) => false,
+        None => env_plan().is_some(),
+    };
+    MAYBE_ACTIVE.store(active, Ordering::Release);
+}
+
+/// Install `plan` for this process (test API), resetting every site
+/// counter so runs with the same seed reproduce the same injections.
+pub fn install(plan: FaultPlan) {
+    let mut over = OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *over = Some(Some(plan));
+    refresh_gate(&over);
+    drop(over);
+    reset_counters();
+}
+
+/// Force faults off, overriding `WF_FAULT` (test API; used around
+/// fault-free baseline sections).
+pub fn disable() {
+    let mut over = OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *over = Some(None);
+    refresh_gate(&over);
+    drop(over);
+    reset_counters();
+}
+
+/// Drop any test override, deferring to `WF_FAULT` again.
+pub fn reset_to_env() {
+    let mut over = OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *over = None;
+    refresh_gate(&over);
+    drop(over);
+    reset_counters();
+}
+
+fn reset_counters() {
+    if let Some(c) = COUNTERS.get() {
+        c.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+/// The currently active plan, if any.
+#[must_use]
+pub fn active() -> Option<FaultPlan> {
+    if !MAYBE_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let over = OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match &*over {
+        Some(Some(p)) => Some(p.clone()),
+        Some(None) => None,
+        None => env_plan().cloned(),
+    }
+}
+
+/// Should the `n`-th visit of `site` inject a fault of `kind`? Pure in
+/// `(seed, site, visit index)`; see the module docs.
+#[must_use]
+pub fn should_inject(site: &str, kind: FaultKind) -> bool {
+    let Some(plan) = active() else {
+        return false;
+    };
+    if !plan.enabled(kind) || plan.rate == 0 {
+        return false;
+    }
+    let n = {
+        let counters = COUNTERS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = map.entry(site.to_string()).or_insert(0);
+        *slot += 1;
+        *slot
+    };
+    decide(&plan, site, n)
+}
+
+/// The per-visit decision function, exposed for determinism tests.
+#[must_use]
+pub fn decide(plan: &FaultPlan, site: &str, visit: u64) -> bool {
+    let mut h = Fnv64::new();
+    h.update_str(site).update_u64(visit);
+    let draw = SplitMix64::new(plan.seed ^ h.digest()).next_u64();
+    (draw % 1000) < u64::from(plan.rate)
+}
+
+/// Panic at `site` when a [`FaultKind::Panic`] fault fires. Pipeline
+/// crates call this inside pool jobs so the containment machinery (not
+/// the process) absorbs the panic; keeping the `panic!` here also keeps
+/// the pipeline crates free of panic macros.
+pub fn maybe_panic(site: &str) {
+    if should_inject(site, FaultKind::Panic) {
+        panic!("injected fault at {site}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("seed=42,rate=300,kinds=io|budget").unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.rate, 300);
+        assert!(p.io && p.budget && !p.panic);
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        let p = FaultPlan::parse("seed=7").unwrap();
+        assert_eq!((p.seed, p.rate), (7, 100));
+        assert!(p.io && p.panic && p.budget);
+        assert!(FaultPlan::parse("rate=2000").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("kinds=nope").is_err());
+    }
+
+    #[test]
+    fn decision_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::all(1, 500);
+        let b = FaultPlan::all(2, 500);
+        let run =
+            |p: &FaultPlan| -> Vec<bool> { (1..200).map(|n| decide(p, "site.x", n)).collect() };
+        assert_eq!(run(&a), run(&a), "same seed must reproduce");
+        assert_ne!(run(&a), run(&b), "different seeds must differ");
+        let hits = run(&a).iter().filter(|&&h| h).count();
+        // 500/1000 rate over 199 draws: loose 2-sided bound.
+        assert!((60..140).contains(&hits), "rate badly off: {hits}/199");
+    }
+
+    #[test]
+    fn rate_zero_and_kind_gating() {
+        let mut p = FaultPlan::all(3, 0);
+        assert!(!(1..100).any(|n| decide(&p, "s", n) && p.rate == 0));
+        p.rate = 1000;
+        p.io = false;
+        assert!(!p.enabled(FaultKind::Io));
+        assert!(p.enabled(FaultKind::Panic));
+    }
+}

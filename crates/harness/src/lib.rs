@@ -28,6 +28,14 @@
 //!   [`scoped_map`](pool::scoped_map) for borrowed fork/join maps and a
 //!   persistent [`ThreadPool`](pool::ThreadPool) for `'static` jobs, sized
 //!   by the `WF_THREADS` environment variable.
+//! * [`error`] — the workspace-wide typed [`WfError`](error::WfError)
+//!   hierarchy (parse / budget / I/O / schedule / panic / unbounded) with
+//!   the `wfc` exit-code contract; producing crates convert their own
+//!   error types into it.
+//! * [`fault`] — deterministic, seeded fault injection (`WF_FAULT` or the
+//!   test API) for cache I/O errors, worker-job panics and ILP budget
+//!   exhaustion; the robustness property tests and the CI smoke job drive
+//!   the pipeline through it.
 //! * [`hash`] — a stable FNV-1a 64-bit hasher for content addressing
 //!   (the schedule cache's `(SCoP, model, config)` fingerprints), where
 //!   `DefaultHasher`'s per-process seeding would break cross-run reuse.
@@ -39,6 +47,8 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod json;
 pub mod pool;
@@ -53,8 +63,9 @@ pub mod collection {
 }
 
 pub use bench::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
+pub use error::WfError;
 pub use hash::{fnv1a_64, Fnv64};
-pub use pool::{scoped_map, ThreadPool};
+pub use pool::{scoped_map, try_scoped_map, JobPanicked, ThreadPool};
 pub use rng::{Lcg64, SplitMix64};
 
 /// Everything the property-test suites need: strategies, the runner macro

@@ -24,9 +24,37 @@
 //! single-item input) never spawns at all and runs inline on the caller's
 //! thread, which is the documented `WF_THREADS=1` serial fallback.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+
+/// A job's panic, contained by the pool and captured as data. Converts
+/// into [`WfError::JobPanic`](crate::error::WfError::JobPanic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// The panic payload, if it was a string (the common `panic!("...")`
+    /// case); a placeholder otherwise.
+    pub message: String,
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f(x)` with the panic contained as a [`JobPanicked`].
+fn contain<T, R>(f: impl Fn(T) -> R, x: T) -> Result<R, JobPanicked> {
+    catch_unwind(AssertUnwindSafe(|| f(x))).map_err(|p| JobPanicked {
+        message: panic_message(p.as_ref()),
+    })
+}
 
 /// Worker-thread count for parallel phases: the `WF_THREADS` environment
 /// variable when set to a positive integer, else
@@ -101,6 +129,62 @@ where
         .collect()
 }
 
+/// [`scoped_map`] with per-job panic isolation: a job that panics yields
+/// `Err(JobPanicked)` for its slot instead of poisoning the whole map, the
+/// other jobs' results survive, and the workers keep draining the queue.
+/// Submission-order determinism is identical to [`scoped_map`].
+pub fn try_scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, JobPanicked>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(|x| contain(&f, x)).collect();
+    }
+    let (jtx, jrx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        let _ = jtx.send(pair);
+    }
+    drop(jtx);
+    let jobs = Mutex::new(jrx);
+    let (rtx, rrx) = mpsc::channel::<(usize, Result<R, JobPanicked>)>();
+    let mut out: Vec<Option<Result<R, JobPanicked>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            let rtx = rtx.clone();
+            let (jobs, f) = (&jobs, &f);
+            s.spawn(move || loop {
+                let job = {
+                    let guard = jobs
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                match job {
+                    Ok((i, x)) => {
+                        // The contained result is data, never an unwind, so
+                        // the worker (and the scope) always survive.
+                        if rtx.send((i, contain(f, x))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+        drop(rtx);
+        while let Ok((i, r)) = rrx.recv() {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every submitted job produced a result or a contained panic"))
+        .collect()
+}
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Persistent workers over one shared job channel; see the module docs.
@@ -157,21 +241,47 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submit one fire-and-forget job.
+    /// Submit one fire-and-forget job. If the worker channel is already
+    /// closed (the pool is mid-drop), the job runs inline on the caller's
+    /// thread instead of being lost — submission never fails.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.tx
-            .as_ref()
-            .expect("pool alive until drop")
-            .send(Box::new(job))
-            .expect("pool workers alive");
+        match &self.tx {
+            Some(tx) => {
+                if let Err(mpsc::SendError(job)) = tx.send(Box::new(job)) {
+                    job();
+                }
+            }
+            None => job(),
+        }
     }
 
     /// Map `f` over `items` on the pool's workers, returning results in
     /// submission order. A single-worker pool (or single item) runs inline.
     ///
     /// # Panics
-    /// Panics if any job panicked (the pool itself survives).
+    /// Re-raises the first job panic (the pool itself survives); use
+    /// [`try_map`](ThreadPool::try_map) to receive contained panics as
+    /// per-slot errors instead.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.try_map(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("a pool job panicked: {}", p.message),
+            })
+            .collect()
+    }
+
+    /// [`map`](ThreadPool::map) with per-job panic isolation: a panicking
+    /// job yields `Err(JobPanicked)` for its slot, every other slot's
+    /// result survives, and the pool keeps serving subsequent submissions
+    /// (the worker containment in the job loop means no thread dies).
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, JobPanicked>>
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -179,27 +289,25 @@ impl ThreadPool {
     {
         let n = items.len();
         if self.n_threads() <= 1 || n <= 1 {
-            return items.into_iter().map(f).collect();
+            return items.into_iter().map(|x| contain(&f, x)).collect();
         }
         let f = Arc::new(f);
-        let (rtx, rrx) = mpsc::channel::<(usize, R)>();
+        let (rtx, rrx) = mpsc::channel::<(usize, Result<R, JobPanicked>)>();
         for (i, x) in items.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let rtx = rtx.clone();
             self.execute(move || {
-                let _ = rtx.send((i, f(x)));
+                let _ = rtx.send((i, contain(&*f, x)));
             });
         }
         drop(rtx);
-        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-        let mut got = 0usize;
+        let mut out: Vec<Option<Result<R, JobPanicked>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
         while let Ok((i, r)) = rrx.recv() {
             out[i] = Some(r);
-            got += 1;
         }
-        assert_eq!(got, n, "a pool job panicked");
         out.into_iter()
-            .map(|o| o.expect("all indices delivered"))
+            .map(|o| o.expect("every submitted job produced a result or a contained panic"))
             .collect()
     }
 }
@@ -294,6 +402,56 @@ mod tests {
                 .expect("job ran");
         }
         assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn try_scoped_map_contains_panics_per_slot() {
+        for threads in [1, 4] {
+            let out = try_scoped_map(threads, vec![0, 1, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom on {x}");
+                }
+                x * 10
+            });
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[1], Ok(10));
+            assert_eq!(out[3], Ok(30));
+            let p = out[2].as_ref().expect_err("slot 2 panicked");
+            assert!(p.message.contains("boom on 2"), "payload lost: {p:?}");
+        }
+    }
+
+    #[test]
+    fn pool_try_map_isolates_panics_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let out = pool.try_map((0..8u64).collect(), |x| {
+            assert_ne!(x, 5, "poisoned job");
+            x + 1
+        });
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert!(r.is_err(), "slot 5 must be the contained panic");
+            } else {
+                assert_eq!(*r, Ok(i as u64 + 1));
+            }
+        }
+        // Subsequent maps on the same pool still succeed: no worker died.
+        let ok = pool.map((0..8u64).collect(), |x| x * 2);
+        assert_eq!(ok, (0..8u64).map(|x| x * 2).collect::<Vec<_>>());
+        // And the scoped helper is equally reusable after a contained panic.
+        let scoped = scoped_map(2, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(scoped, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a pool job panicked")]
+    fn pool_map_reraises_contained_panics() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.map(vec![0, 1, 2, 3], |x| {
+            assert_ne!(x, 1);
+            x
+        });
     }
 
     #[test]

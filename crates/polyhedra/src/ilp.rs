@@ -1,9 +1,20 @@
 //! Integer linear programming by branch-and-bound over the exact simplex,
 //! plus lexicographic multi-objective minimization (the PIP stand-in used by
 //! the scheduler).
+//!
+//! Solver effort is bounded by an explicit [`IlpBudget`] (branch-and-bound
+//! nodes, cumulative simplex pivots, wall clock); exhaustion returns a
+//! typed [`IlpError`] instead of panicking or hanging, so callers — the
+//! scheduler above all — can degrade gracefully (distribute the component,
+//! fall back to original program order) the way production ILP-based
+//! fusers do. Unbounded objectives are likewise an [`IlpError`], never a
+//! panic: they indicate a modelling problem in the *caller's* constraint
+//! system, which is input-dependent territory for `.wfs` files.
 
 use crate::constraint::ConstraintSystem;
-use crate::simplex::{solve_lp, LpResult, Sense};
+use crate::simplex::{solve_lp_counted, LpResult, Sense};
+use std::time::Instant;
+use wf_harness::fault::{self, FaultKind};
 use wf_linalg::Rat;
 
 /// Result of an ILP solve.
@@ -43,19 +54,127 @@ impl IlpResult {
     }
 }
 
-/// Hard cap on branch-and-bound nodes; the scheduler's ILPs are tiny, so
-/// hitting this indicates a modelling bug and we'd rather panic than hang.
-const MAX_NODES: usize = 500_000;
+/// Explicit resource budget for one ILP solve. Exhaustion is an expected
+/// outcome ([`IlpError`]), not a crash — the scheduler treats it like
+/// infeasibility and cuts, and the `Optimizer` facade can degrade to the
+/// fallback schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IlpBudget {
+    /// Maximum branch-and-bound nodes explored.
+    pub max_nodes: usize,
+    /// Maximum cumulative simplex pivots across all nodes
+    /// (`u64::MAX` = unlimited).
+    pub max_pivots: u64,
+    /// Wall-clock ceiling in milliseconds (`0` = unlimited). Budgets with
+    /// a wall clock trade determinism for latency — results may depend on
+    /// machine speed — so the deterministic pipeline paths leave it 0 and
+    /// only interactive/service callers set it.
+    pub wall_ms: u64,
+}
 
-/// Minimize (or maximize) `objective · x` over the integer points of `cs`.
+impl IlpBudget {
+    /// Default node cap: far above anything the scheduler's ILPs need, low
+    /// enough to turn a runaway model into a typed error instead of a hang.
+    pub const DEFAULT_MAX_NODES: usize = 500_000;
+
+    /// A budget limiting only branch-and-bound nodes.
+    #[must_use]
+    pub fn nodes(max_nodes: usize) -> IlpBudget {
+        IlpBudget {
+            max_nodes,
+            ..IlpBudget::default()
+        }
+    }
+}
+
+impl Default for IlpBudget {
+    fn default() -> IlpBudget {
+        IlpBudget {
+            max_nodes: IlpBudget::DEFAULT_MAX_NODES,
+            max_pivots: u64::MAX,
+            wall_ms: 0,
+        }
+    }
+}
+
+/// Typed ILP failure: a budget ran out, or the model was unbounded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IlpError {
+    /// The branch-and-bound node budget was exhausted before optimality
+    /// (or infeasibility) was proven.
+    NodeBudget {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The cumulative simplex pivot budget was exhausted.
+    PivotBudget {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The wall-clock budget was exhausted.
+    Timeout {
+        /// The limit that was hit, in milliseconds.
+        ms: u64,
+    },
+    /// An objective was unbounded in the requested direction (lexicographic
+    /// minimization requires bounded objectives; bound your variables).
+    Unbounded {
+        /// Which solve detected it.
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for IlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IlpError::NodeBudget { limit } => {
+                write!(f, "branch-and-bound node budget exhausted (limit {limit})")
+            }
+            IlpError::PivotBudget { limit } => {
+                write!(f, "simplex pivot budget exhausted (limit {limit})")
+            }
+            IlpError::Timeout { ms } => write!(f, "ILP wall-clock budget exhausted ({ms} ms)"),
+            IlpError::Unbounded { site } => write!(f, "unbounded objective in {site}"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+impl From<IlpError> for wf_harness::WfError {
+    fn from(e: IlpError) -> wf_harness::WfError {
+        match e {
+            IlpError::NodeBudget { .. } => wf_harness::WfError::Budget {
+                site: "ilp.nodes".into(),
+                detail: e.to_string(),
+            },
+            IlpError::PivotBudget { .. } => wf_harness::WfError::Budget {
+                site: "ilp.pivots".into(),
+                detail: e.to_string(),
+            },
+            IlpError::Timeout { .. } => wf_harness::WfError::Budget {
+                site: "ilp.wall_ms".into(),
+                detail: e.to_string(),
+            },
+            IlpError::Unbounded { site } => wf_harness::WfError::Unbounded { site: site.into() },
+        }
+    }
+}
+
+/// Minimize (or maximize) `objective · x` over the integer points of `cs`
+/// under the default [`IlpBudget`].
 ///
-/// The search requires the relaxation to be bounded in the objective
-/// direction; branching variables must also be bounded for termination
-/// (all scheduler ILPs bound every variable explicitly).
-#[must_use]
-pub fn solve_ilp(cs: &ConstraintSystem, objective: &[i128], sense: Sense) -> IlpResult {
-    solve_ilp_budgeted(cs, objective, sense, MAX_NODES)
-        .expect("ILP node budget exceeded — unbounded branching?")
+/// # Errors
+/// [`IlpError`] when the budget is exhausted before a verdict. An
+/// unbounded relaxation is a normal [`IlpResult::Unbounded`] verdict here,
+/// not an error — only [`lexmin`] (which must *pin* each objective at its
+/// optimum) escalates unboundedness to an error.
+pub fn solve_ilp(
+    cs: &ConstraintSystem,
+    objective: &[i128],
+    sense: Sense,
+) -> Result<IlpResult, IlpError> {
+    solve_ilp_budgeted(cs, objective, sense, &IlpBudget::default())
 }
 
 fn first_fractional(point: &[Rat]) -> Option<(usize, Rat)> {
@@ -67,25 +186,53 @@ fn first_fractional(point: &[Rat]) -> Option<(usize, Rat)> {
 
 /// Find any integer point of `cs`, or `None`.
 ///
-/// Uses branch-and-bound with a zero objective; `cs` must be bounded in every
-/// fractional direction that branching explores (true for all callers here,
-/// which bound their variables).
+/// Infallible convenience wrapper over [`try_ilp_feasible`] with the
+/// default budget: a budget-exhausted search reports `None` (no point
+/// *found*), which is what the feasibility-probing callers want. Callers
+/// for whom "not found" and "proven absent" must differ (emptiness tests
+/// feeding dependence analysis) use [`try_ilp_feasible`] and handle the
+/// error conservatively.
 #[must_use]
 pub fn ilp_feasible(cs: &ConstraintSystem) -> Option<Vec<i128>> {
+    try_ilp_feasible(cs, &IlpBudget::default()).unwrap_or(None)
+}
+
+/// Find any integer point of `cs` within `budget`.
+///
+/// Uses branch-and-bound with a zero objective; `cs` must be bounded in
+/// every fractional direction that branching explores (true for all
+/// callers here, which bound their variables).
+///
+/// # Errors
+/// [`IlpError`] when the budget runs out before the search concludes.
+pub fn try_ilp_feasible(
+    cs: &ConstraintSystem,
+    budget: &IlpBudget,
+) -> Result<Option<Vec<i128>>, IlpError> {
     let mut stack = vec![cs.clone()];
     let obj = vec![Rat::ZERO; cs.n_vars];
     let mut nodes = 0usize;
+    let mut pivots = 0u64;
+    let t0 = Instant::now();
     while let Some(node) = stack.pop() {
         nodes += 1;
-        assert!(
-            nodes <= MAX_NODES,
-            "ILP node budget exceeded — unbounded branching?"
-        );
-        match solve_lp(&node, &obj, Sense::Min) {
+        check_budget(budget, nodes, pivots, &t0)?;
+        match solve_lp_counted(&node, &obj, Sense::Min, &mut pivots) {
             LpResult::Infeasible => {}
-            LpResult::Unbounded => unreachable!("zero objective is never unbounded"),
+            // A zero objective can never improve, so an unbounded verdict
+            // here means the LP layer broke an invariant; surface it as a
+            // typed error rather than crashing the process.
+            LpResult::Unbounded => {
+                return Err(IlpError::Unbounded {
+                    site: "ilp_feasible (zero objective)",
+                })
+            }
             LpResult::Optimal { point, .. } => match first_fractional(&point) {
-                None => return Some(point.iter().map(|r| r.to_integer().unwrap()).collect()),
+                None => {
+                    return Ok(Some(
+                        point.iter().map(|r| r.to_integer().unwrap()).collect(),
+                    ))
+                }
                 Some((v, val)) => {
                     let mut lo = node.clone();
                     lo.add_upper_bound(v, val.floor());
@@ -97,43 +244,45 @@ pub fn ilp_feasible(cs: &ConstraintSystem) -> Option<Vec<i128>> {
             },
         }
     }
-    None
+    Ok(None)
 }
 
 /// Lexicographic minimization: minimize `objectives[0]`, then among its
 /// optima minimize `objectives[1]`, and so on. Returns the optimal values
-/// and a point attaining them.
+/// and a point attaining them, `Ok(None)` when infeasible.
 ///
 /// This is PLuTo's use of PIP: the cost vector `(u, w, Σc)` is minimized
 /// lexicographically over the integer points of the Farkas-eliminated
 /// legality polyhedron.
-#[must_use]
-pub fn lexmin(cs: &ConstraintSystem, objectives: &[Vec<i128>]) -> Option<(Vec<i128>, Vec<i128>)> {
-    lexmin_budgeted(cs, objectives, MAX_NODES).unwrap_or_default()
+///
+/// # Errors
+/// [`IlpError::Unbounded`] when an objective is unbounded below (bound
+/// your variables), or a budget error under the default [`IlpBudget`].
+pub fn lexmin(cs: &ConstraintSystem, objectives: &[Vec<i128>]) -> Result<LexMin, IlpError> {
+    lexmin_budgeted(cs, objectives, &IlpBudget::default())
 }
 
-/// [`lexmin`] with an explicit branch-and-bound node budget. Returns
-/// `Err(())` when the budget is exhausted before optimality was proven —
-/// callers (the scheduler) treat that like infeasibility and fall back to
-/// loop distribution, which keeps pathological fusion ILPs from stalling
-/// the compiler (PLuTo has analogous practical limits).
-#[allow(clippy::result_unit_err, clippy::type_complexity)]
+/// [`lexmin`] success payload: the per-level optimal objective values and
+/// an integer point attaining them, or `None` when infeasible.
+pub type LexMin = Option<(Vec<i128>, Vec<i128>)>;
+
+/// [`lexmin`] with an explicit resource budget. Exhaustion returns a typed
+/// [`IlpError`]; callers (the scheduler) treat that like infeasibility and
+/// fall back to loop distribution, which keeps pathological fusion ILPs
+/// from stalling the compiler (PLuTo has analogous practical limits).
 pub fn lexmin_budgeted(
     cs: &ConstraintSystem,
     objectives: &[Vec<i128>],
-    node_budget: usize,
-) -> Result<Option<(Vec<i128>, Vec<i128>)>, ()> {
+    budget: &IlpBudget,
+) -> Result<LexMin, IlpError> {
     let mut work = cs.clone();
     let mut values = Vec::with_capacity(objectives.len());
     let mut point = None;
     for obj in objectives {
-        match solve_ilp_budgeted(&work, obj, Sense::Min, node_budget) {
-            Err(()) => return Err(()),
-            Ok(IlpResult::Infeasible) => return Ok(None),
-            Ok(IlpResult::Unbounded) => {
-                panic!("lexmin: unbounded objective — bound your variables")
-            }
-            Ok(IlpResult::Optimal { value, point: p }) => {
+        match solve_ilp_budgeted(&work, obj, Sense::Min, budget)? {
+            IlpResult::Infeasible => return Ok(None),
+            IlpResult::Unbounded => return Err(IlpError::Unbounded { site: "lexmin" }),
+            IlpResult::Optimal { value, point: p } => {
                 let v = value
                     .to_integer()
                     .expect("integer objective at integer point");
@@ -149,14 +298,47 @@ pub fn lexmin_budgeted(
     Ok(point.map(|p| (values, p)))
 }
 
-/// [`solve_ilp`] with an explicit node budget; `Err(())` on exhaustion.
-#[allow(clippy::result_unit_err)]
+/// One budget check per branch-and-bound node; also the seeded
+/// fault-injection point for [`FaultKind::Budget`] faults (`WF_FAULT`),
+/// which surface as a node-budget error on the first node.
+fn check_budget(
+    budget: &IlpBudget,
+    nodes: usize,
+    pivots: u64,
+    t0: &Instant,
+) -> Result<(), IlpError> {
+    if nodes == 1 && fault::should_inject("ilp.solve", FaultKind::Budget) {
+        return Err(IlpError::NodeBudget {
+            limit: budget.max_nodes,
+        });
+    }
+    if nodes > budget.max_nodes {
+        return Err(IlpError::NodeBudget {
+            limit: budget.max_nodes,
+        });
+    }
+    if pivots > budget.max_pivots {
+        return Err(IlpError::PivotBudget {
+            limit: budget.max_pivots,
+        });
+    }
+    if budget.wall_ms > 0 && u128::from(budget.wall_ms) < t0.elapsed().as_millis() {
+        return Err(IlpError::Timeout { ms: budget.wall_ms });
+    }
+    Ok(())
+}
+
+/// [`solve_ilp`] with an explicit resource budget.
+///
+/// # Errors
+/// [`IlpError`] on budget exhaustion (never on unboundedness — that is the
+/// [`IlpResult::Unbounded`] verdict).
 pub fn solve_ilp_budgeted(
     cs: &ConstraintSystem,
     objective: &[i128],
     sense: Sense,
-    node_budget: usize,
-) -> Result<IlpResult, ()> {
+    budget: &IlpBudget,
+) -> Result<IlpResult, IlpError> {
     assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
     let minimize: Vec<i128> = match sense {
         Sense::Min => objective.to_vec(),
@@ -166,12 +348,12 @@ pub fn solve_ilp_budgeted(
     let mut best: Option<(Rat, Vec<i128>)> = None;
     let mut stack = vec![cs.clone()];
     let mut nodes = 0usize;
+    let mut pivots = 0u64;
+    let t0 = Instant::now();
     while let Some(node) = stack.pop() {
         nodes += 1;
-        if nodes > node_budget {
-            return Err(());
-        }
-        match solve_lp(&node, &obj_rat, Sense::Min) {
+        check_budget(budget, nodes, pivots, &t0)?;
+        match solve_lp_counted(&node, &obj_rat, Sense::Min, &mut pivots) {
             LpResult::Infeasible => {}
             LpResult::Unbounded => return Ok(IlpResult::Unbounded),
             LpResult::Optimal { value, point } => {
@@ -223,7 +405,7 @@ mod tests {
         cs.add_lower_bound(1, 0);
         cs.add_ge0(vec![-2, -1, 4]);
         cs.add_ge0(vec![-1, -2, 4]);
-        let r = solve_ilp(&cs, &[1, 1], Sense::Max);
+        let r = solve_ilp(&cs, &[1, 1], Sense::Max).unwrap();
         assert_eq!(r.value(), Some(Rat::int(2)));
         let p = r.point().unwrap();
         assert_eq!(p[0] + p[1], 2);
@@ -236,7 +418,10 @@ mod tests {
         let mut cs = ConstraintSystem::new(1);
         cs.add_ge0(vec![3, -1]);
         cs.add_ge0(vec![-3, 2]);
-        assert_eq!(solve_ilp(&cs, &[1], Sense::Min), IlpResult::Infeasible);
+        assert_eq!(
+            solve_ilp(&cs, &[1], Sense::Min).unwrap(),
+            IlpResult::Infeasible
+        );
         assert!(ilp_feasible(&cs).is_none());
     }
 
@@ -262,7 +447,10 @@ mod tests {
     fn ilp_unbounded_direction() {
         let mut cs = ConstraintSystem::new(1);
         cs.add_lower_bound(0, 0);
-        assert_eq!(solve_ilp(&cs, &[1], Sense::Max), IlpResult::Unbounded);
+        assert_eq!(
+            solve_ilp(&cs, &[1], Sense::Max).unwrap(),
+            IlpResult::Unbounded
+        );
     }
 
     #[test]
@@ -274,7 +462,9 @@ mod tests {
         cs.add_lower_bound(1, 0);
         cs.add_upper_bound(1, 3);
         cs.add_ge0(vec![1, 1, -3]);
-        let (vals, point) = lexmin(&cs, &[vec![1, 0], vec![0, 1]]).expect("feasible");
+        let (vals, point) = lexmin(&cs, &[vec![1, 0], vec![0, 1]])
+            .unwrap()
+            .expect("feasible");
         assert_eq!(vals, vec![0, 3]);
         assert_eq!(point, vec![0, 3]);
     }
@@ -289,7 +479,9 @@ mod tests {
             cs.add_upper_bound(v, 5);
         }
         cs.add_ge0(vec![1, 1, -4]);
-        let (vals, point) = lexmin(&cs, &[vec![1, 1], vec![1, 0]]).expect("feasible");
+        let (vals, point) = lexmin(&cs, &[vec![1, 1], vec![1, 0]])
+            .unwrap()
+            .expect("feasible");
         assert_eq!(vals, vec![4, 0]);
         assert_eq!(point, vec![0, 4]);
     }
@@ -299,7 +491,7 @@ mod tests {
         let mut cs = ConstraintSystem::new(1);
         cs.add_lower_bound(0, 2);
         cs.add_upper_bound(0, 1);
-        assert!(lexmin(&cs, &[vec![1]]).is_none());
+        assert!(lexmin(&cs, &[vec![1]]).unwrap().is_none());
     }
 
     #[test]
@@ -322,7 +514,7 @@ mod tests {
                 }
             }
         }
-        let r = solve_ilp(&cs, &[3, -2, 1], Sense::Min);
+        let r = solve_ilp(&cs, &[3, -2, 1], Sense::Min).unwrap();
         assert_eq!(r.value(), Some(Rat::int(best)));
     }
 }

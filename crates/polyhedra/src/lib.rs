@@ -28,6 +28,9 @@ pub mod poly;
 pub mod simplex;
 
 pub use constraint::{Constraint, ConstraintKind, ConstraintSystem};
-pub use ilp::{ilp_feasible, lexmin, solve_ilp, IlpResult};
-pub use poly::Polyhedron;
-pub use simplex::{solve_lp, LpResult, Sense};
+pub use ilp::{
+    ilp_feasible, lexmin, lexmin_budgeted, solve_ilp, solve_ilp_budgeted, try_ilp_feasible,
+    IlpBudget, IlpError, IlpResult,
+};
+pub use poly::{PolyError, Polyhedron};
+pub use simplex::{solve_lp, solve_lp_counted, LpResult, Sense};

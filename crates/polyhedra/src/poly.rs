@@ -3,9 +3,53 @@
 //! (for tests) exhaustive integer-point enumeration.
 
 use crate::constraint::ConstraintSystem;
-use crate::ilp::ilp_feasible;
+use crate::ilp::{ilp_feasible, try_ilp_feasible, IlpBudget};
 use crate::simplex::{solve_lp, LpResult, Sense};
 use wf_linalg::Rat;
+
+/// Typed failure of a polyhedron query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolyError {
+    /// A variable is unbounded, so exhaustive enumeration cannot terminate.
+    Unbounded {
+        /// Index of the unbounded variable.
+        var: usize,
+    },
+    /// Enumeration would produce more than the requested limit of points.
+    TooManyPoints {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for PolyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyError::Unbounded { var } => {
+                write!(f, "cannot enumerate: variable x{var} is unbounded")
+            }
+            PolyError::TooManyPoints { limit } => {
+                write!(f, "enumeration exceeds {limit} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+impl From<PolyError> for wf_harness::WfError {
+    fn from(e: PolyError) -> wf_harness::WfError {
+        match e {
+            PolyError::Unbounded { .. } => wf_harness::WfError::Unbounded {
+                site: "poly.enumerate".into(),
+            },
+            PolyError::TooManyPoints { .. } => wf_harness::WfError::Budget {
+                site: "poly.enumerate".into(),
+                detail: e.to_string(),
+            },
+        }
+    }
+}
 
 /// Extremum of an affine expression over a polyhedron.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -67,9 +111,16 @@ impl Polyhedron {
     ///
     /// Requires boundedness in the directions branch-and-bound explores;
     /// dependence polyhedra in this project always bound every variable.
+    /// If the solver's budget is somehow exhausted, this answers `false`
+    /// (conservatively non-empty): the dependence analyzer then *keeps*
+    /// the dependence, which can only forbid transformations, never
+    /// admit an illegal one.
     #[must_use]
     pub fn is_empty_integer(&self) -> bool {
-        ilp_feasible(&self.cs).is_none()
+        match try_ilp_feasible(&self.cs, &IlpBudget::default()) {
+            Ok(found) => found.is_none(),
+            Err(_) => false,
+        }
     }
 
     /// Some integer point, if one exists.
@@ -113,17 +164,20 @@ impl Polyhedron {
         }
     }
 
-    /// Enumerate all integer points (test helper; panics if the polyhedron is
-    /// unbounded or if more than `limit` points would be produced).
-    #[must_use]
-    pub fn enumerate(&self, limit: usize) -> Vec<Vec<i128>> {
+    /// Enumerate all integer points (test and reference-execution helper).
+    ///
+    /// # Errors
+    /// [`PolyError::Unbounded`] if some variable has no finite extremum,
+    /// [`PolyError::TooManyPoints`] if more than `limit` points would be
+    /// produced.
+    pub fn enumerate(&self, limit: usize) -> Result<Vec<Vec<i128>>, PolyError> {
         let n = self.cs.n_vars;
         if n == 0 {
-            return if self.is_empty_rational() {
+            return Ok(if self.is_empty_rational() {
                 vec![]
             } else {
                 vec![vec![]]
-            };
+            });
         }
         // Per-variable bounding box via LP.
         let mut lo = Vec::with_capacity(n);
@@ -132,13 +186,13 @@ impl Polyhedron {
             let mut e = vec![0i128; n + 1];
             e[v] = 1;
             match self.min_affine(&e) {
-                Extremum::Empty => return vec![],
-                Extremum::Unbounded => panic!("enumerate: unbounded variable x{v}"),
+                Extremum::Empty => return Ok(vec![]),
+                Extremum::Unbounded => return Err(PolyError::Unbounded { var: v }),
                 Extremum::Value(r) => lo.push(r.ceil()),
             }
             match self.max_affine(&e) {
-                Extremum::Empty => return vec![],
-                Extremum::Unbounded => panic!("enumerate: unbounded variable x{v}"),
+                Extremum::Empty => return Ok(vec![]),
+                Extremum::Unbounded => return Err(PolyError::Unbounded { var: v }),
                 Extremum::Value(r) => hi.push(r.floor()),
             }
         }
@@ -146,8 +200,10 @@ impl Polyhedron {
         let mut point = lo.clone();
         'outer: loop {
             if self.contains(&point) {
+                if out.len() >= limit {
+                    return Err(PolyError::TooManyPoints { limit });
+                }
                 out.push(point.clone());
-                assert!(out.len() <= limit, "enumerate: more than {limit} points");
             }
             // Odometer increment.
             for v in (0..n).rev() {
@@ -161,7 +217,7 @@ impl Polyhedron {
             }
             break;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -229,7 +285,7 @@ mod tests {
 
     #[test]
     fn enumerate_triangle() {
-        let pts = triangle().enumerate(100);
+        let pts = triangle().enumerate(100).unwrap();
         // Points with x,y >= 0, x+y <= 3: C(5,2) = 10 points.
         assert_eq!(pts.len(), 10);
         assert!(pts.contains(&vec![0, 0]));
@@ -243,12 +299,30 @@ mod tests {
         let mut cs = ConstraintSystem::new(2);
         cs.add_lower_bound(0, 5);
         cs.add_upper_bound(0, 4);
-        assert!(Polyhedron::from(cs).enumerate(10).is_empty());
+        assert!(Polyhedron::from(cs).enumerate(10).unwrap().is_empty());
     }
 
     #[test]
     fn enumerate_zero_dim() {
         let p = Polyhedron::universe(0);
-        assert_eq!(p.enumerate(10), vec![Vec::<i128>::new()]);
+        assert_eq!(p.enumerate(10).unwrap(), vec![Vec::<i128>::new()]);
+    }
+
+    #[test]
+    fn enumerate_unbounded_is_typed_error() {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_lower_bound(0, 0);
+        assert_eq!(
+            Polyhedron::from(cs).enumerate(10),
+            Err(PolyError::Unbounded { var: 0 })
+        );
+    }
+
+    #[test]
+    fn enumerate_limit_is_typed_error() {
+        assert_eq!(
+            triangle().enumerate(3),
+            Err(PolyError::TooManyPoints { limit: 3 })
+        );
     }
 }

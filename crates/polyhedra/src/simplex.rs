@@ -70,10 +70,14 @@ struct Tableau {
     /// Basic variable per row.
     basis: Vec<usize>,
     cols: usize,
+    /// Total pivots performed over the tableau's lifetime (both phases);
+    /// the ILP's pivot budget reads this through [`solve_lp_counted`].
+    n_pivots: u64,
 }
 
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
+        self.n_pivots += 1;
         let piv = self.t[row][col];
         debug_assert!(!piv.is_zero());
         let inv = piv.recip();
@@ -185,6 +189,20 @@ impl Tableau {
 /// objective are the caller's business).
 #[must_use]
 pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpResult {
+    let mut pivots = 0u64;
+    solve_lp_counted(cs, objective, sense, &mut pivots)
+}
+
+/// [`solve_lp`], additionally accumulating the number of simplex pivots
+/// performed into `pivots` (the ILP's branch-and-bound loop uses this to
+/// enforce its pivot budget across nodes).
+#[must_use]
+pub fn solve_lp_counted(
+    cs: &ConstraintSystem,
+    objective: &[Rat],
+    sense: Sense,
+    pivots: &mut u64,
+) -> LpResult {
     assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
     let n = cs.n_vars;
     let m = cs.constraints.len();
@@ -228,6 +246,7 @@ pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpRes
         zval: Rat::ZERO,
         basis: (n_struct..cols).collect(),
         cols,
+        n_pivots: 0,
     };
 
     // Phase 1: minimize sum of artificials.
@@ -239,6 +258,7 @@ pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpRes
     let bounded = tab.run(cols);
     debug_assert!(bounded, "phase 1 cannot be unbounded");
     if (-tab.zval).signum() > 0 {
+        *pivots += tab.n_pivots;
         return LpResult::Infeasible;
     }
     // Pivot artificials out of the basis where possible; drop rows that are
@@ -271,6 +291,7 @@ pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpRes
     }
     tab.set_objective(&costs);
     if !tab.run(n_struct) {
+        *pivots += tab.n_pivots;
         return LpResult::Unbounded;
     }
 
@@ -284,6 +305,7 @@ pub fn solve_lp(cs: &ConstraintSystem, objective: &[Rat], sense: Sense) -> LpRes
         Sense::Min => -tab.zval,
         Sense::Max => tab.zval,
     };
+    *pivots += tab.n_pivots;
     LpResult::Optimal { value, point }
 }
 
@@ -459,7 +481,7 @@ mod brute_force_tests {
             let obj_rat: Vec<wf_linalg::Rat> =
                 obj.iter().map(|&c| wf_linalg::Rat::int(c)).collect();
             let lp = solve_lp(&cs, &obj_rat, Sense::Min);
-            let ilp = solve_ilp(&cs, &obj, Sense::Min);
+            let ilp = solve_ilp(&cs, &obj, Sense::Min).unwrap();
             match best {
                 None => {
                     // No integer point; the LP may still be rationally

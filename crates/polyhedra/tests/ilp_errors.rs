@@ -1,0 +1,98 @@
+//! Regression tests for the typed ILP error surface: unbounded
+//! lexicographic objectives and exhausted solver budgets must come back as
+//! `Err(IlpError)`, never as panics — the scheduler's graceful-degradation
+//! path depends on it.
+
+use wf_harness::WfError;
+use wf_polyhedra::{
+    lexmin, lexmin_budgeted, solve_ilp_budgeted, try_ilp_feasible, ConstraintSystem, IlpBudget,
+    IlpError, Sense,
+};
+
+/// `min x` over `2x >= 1` (fractional LP optimum, forces branching) with
+/// `x <= 10` so the search is finite.
+fn fractional_system() -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new(1);
+    cs.add_ge0(vec![2, -1]);
+    cs.add_upper_bound(0, 10);
+    cs
+}
+
+#[test]
+fn lexmin_unbounded_objective_is_error_not_panic() {
+    // No constraints at all: min x is unbounded below. This used to panic.
+    let cs = ConstraintSystem::new(1);
+    assert_eq!(
+        lexmin(&cs, &[vec![1]]),
+        Err(IlpError::Unbounded { site: "lexmin" })
+    );
+}
+
+#[test]
+fn lexmin_unbounded_second_objective_is_error() {
+    // First objective bounded, second unbounded: x in [0,1], y free below.
+    let mut cs = ConstraintSystem::new(2);
+    cs.add_lower_bound(0, 0);
+    cs.add_upper_bound(0, 1);
+    assert_eq!(
+        lexmin(&cs, &[vec![1, 0], vec![0, 1]]),
+        Err(IlpError::Unbounded { site: "lexmin" })
+    );
+}
+
+#[test]
+fn node_budget_exhaustion_is_typed_error() {
+    let cs = fractional_system();
+    // One node is not enough to branch to integrality.
+    let r = solve_ilp_budgeted(&cs, &[1], Sense::Min, &IlpBudget::nodes(1));
+    assert_eq!(r, Err(IlpError::NodeBudget { limit: 1 }));
+    // lexmin_budgeted propagates it.
+    assert_eq!(
+        lexmin_budgeted(&cs, &[vec![1]], &IlpBudget::nodes(1)),
+        Err(IlpError::NodeBudget { limit: 1 })
+    );
+}
+
+#[test]
+fn pivot_budget_exhaustion_is_typed_error() {
+    let cs = fractional_system();
+    let budget = IlpBudget {
+        max_pivots: 1,
+        ..IlpBudget::default()
+    };
+    let r = solve_ilp_budgeted(&cs, &[1], Sense::Min, &budget);
+    assert_eq!(r, Err(IlpError::PivotBudget { limit: 1 }));
+}
+
+#[test]
+fn feasibility_budget_error_is_typed() {
+    // 1/3 <= x <= 2/3: integrally empty, needs branching to prove it.
+    let mut cs = ConstraintSystem::new(1);
+    cs.add_ge0(vec![3, -1]);
+    cs.add_ge0(vec![-3, 2]);
+    assert_eq!(
+        try_ilp_feasible(&cs, &IlpBudget::nodes(1)),
+        Err(IlpError::NodeBudget { limit: 1 })
+    );
+    // With a real budget the verdict is a clean "no point".
+    assert_eq!(try_ilp_feasible(&cs, &IlpBudget::default()), Ok(None));
+}
+
+#[test]
+fn default_budget_solves_normal_systems() {
+    let cs = fractional_system();
+    let r = solve_ilp_budgeted(&cs, &[1], Sense::Min, &IlpBudget::default()).unwrap();
+    assert_eq!(r.point(), Some(&[1i128][..]));
+}
+
+#[test]
+fn ilp_errors_map_to_wf_error_taxonomy() {
+    let budget: WfError = IlpError::NodeBudget { limit: 7 }.into();
+    assert!(matches!(budget, WfError::Budget { .. }));
+    assert_eq!(budget.exit_code(), 4);
+    let unb: WfError = IlpError::Unbounded { site: "lexmin" }.into();
+    assert!(matches!(unb, WfError::Unbounded { .. }));
+    assert_eq!(unb.exit_code(), 8);
+    let timeout: WfError = IlpError::Timeout { ms: 5 }.into();
+    assert!(timeout.is_degradable());
+}

@@ -25,7 +25,10 @@ pub fn execute_reference(scop: &Scop, data: &mut ProgramData) {
         for (j, &p) in params.iter().enumerate() {
             cs.add_fixed(st.depth + j, p);
         }
-        for point in Polyhedron::from(cs).enumerate(200_000_000) {
+        let points = Polyhedron::from(cs)
+            .enumerate(200_000_000)
+            .expect("reference domains are bounded and small");
+        for point in points {
             let iters: Vec<i128> = point[..st.depth].to_vec();
             let mut key = Vec::with_capacity(2 * maxd + 1);
             for level in 0..=maxd {

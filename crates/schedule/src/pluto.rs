@@ -71,6 +71,8 @@ pub enum SchedError {
     NoProgress(String),
     /// Internal legality verification failed (a bug, surfaced loudly).
     Illegal(String),
+    /// The ILP budget ran out and no degradation cut applied either.
+    Budget(String),
 }
 
 impl std::fmt::Display for SchedError {
@@ -78,11 +80,26 @@ impl std::fmt::Display for SchedError {
         match self {
             SchedError::NoProgress(s) => write!(f, "no progress: {s}"),
             SchedError::Illegal(s) => write!(f, "illegal schedule: {s}"),
+            SchedError::Budget(s) => write!(f, "ilp budget exhausted: {s}"),
         }
     }
 }
 
 impl std::error::Error for SchedError {}
+
+impl From<SchedError> for wf_harness::WfError {
+    fn from(e: SchedError) -> wf_harness::WfError {
+        match &e {
+            SchedError::Budget(_) => wf_harness::WfError::Budget {
+                site: "scheduler".into(),
+                detail: e.to_string(),
+            },
+            SchedError::NoProgress(_) | SchedError::Illegal(_) => wf_harness::WfError::Schedule {
+                message: e.to_string(),
+            },
+        }
+    }
+}
 
 /// The mutable state threaded through the search; fusion strategies receive
 /// a shared reference to consult it.
@@ -421,6 +438,17 @@ pub fn schedule_scop(
                     strategy.cuts_on_failure(&state, &failed)
                 };
                 if !state.apply_cuts(&cuts) {
+                    if exhausted {
+                        // Distinguish "the ILP gave up" from "there is no
+                        // hyperplane": the former is a budget condition the
+                        // caller may degrade on, not a modelling dead end.
+                        return Err(SchedError::Budget(format!(
+                            "{}: fusion ILP budget exhausted for statements {:?} \
+                             and no distribution cut applies",
+                            strategy.name(),
+                            failed
+                        )));
+                    }
                     return Err(SchedError::NoProgress(format!(
                         "{}: hyperplane search failed for statements {:?} and no cut applies",
                         strategy.name(),
@@ -686,7 +714,8 @@ fn solve_component(
             sum[n_sched] -= 1; // Σ (±r)·c >= 1
             sys.add_ge0(sum);
         }
-        let solved = wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, config.ilp_node_budget);
+        let budget = wf_polyhedra::IlpBudget::nodes(config.ilp_node_budget);
+        let solved = wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, &budget);
         if std::env::var_os("WF_TRACE").is_some() {
             eprintln!(
                 "[solve_component] lexmin combo {mask} took {:?} (outcome={:?})",
@@ -695,7 +724,7 @@ fn solve_component(
             );
         }
         match solved {
-            Err(()) => return SolveOutcome::Exhausted,
+            Err(_) => return SolveOutcome::Exhausted,
             Ok(Some((_, point))) => {
                 let mut rows = Vec::with_capacity(members.len());
                 for &s in members {

@@ -259,7 +259,7 @@ fn sampled_instances_are_ordered() {
                 let mut cs = edge.poly.cs.clone();
                 let nv = cs.n_vars;
                 cs.add_fixed(nv - 1, 9); // N = 9 (all fixtures have context N >= 4 or 8)
-                let pts = wf_polyhedra::Polyhedron::from(cs).enumerate(500);
+                let pts = wf_polyhedra::Polyhedron::from(cs).enumerate(500).unwrap();
                 assert!(!pts.is_empty(), "dep poly empty at N=9?");
                 for p in pts {
                     let s_iters = &p[..edge.src_depth];

@@ -63,6 +63,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for wf_harness::WfError {
+    fn from(e: ParseError) -> wf_harness::WfError {
+        wf_harness::WfError::Parse {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
 const ITER_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
 
 fn iter_index(name: &str) -> Option<usize> {
