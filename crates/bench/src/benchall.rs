@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use wf_benchsuite::{catalog, Benchmark};
 use wf_harness::json::Json;
-use wf_harness::pool;
+use wf_harness::{obs, pool};
 use wf_wisefuse::{cache, Model, Optimized, Optimizer};
 
 /// Knobs for one [`run`].
@@ -86,6 +86,11 @@ fn secs(t: Instant) -> f64 {
 #[must_use]
 pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let threads = opts.threads.max(1);
+    // The batch driver always collects metrics: every report row embeds the
+    // per-SCoP registry delta (ILP nodes/pivots, cache traffic, …).
+    // Restored afterwards so library callers keep their own switchboard.
+    let prev_flags = obs::enabled();
+    obs::set_enabled(prev_flags | obs::METRICS);
     let benchmarks: Vec<Benchmark> = catalog()
         .into_iter()
         .filter(|b| opts.filter.is_empty() || b.name.contains(&opts.filter))
@@ -101,6 +106,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let mut expected: Vec<(usize, RunSet)> = Vec::new();
 
     for (idx, b) in benchmarks.iter().enumerate() {
+        let metrics_before = obs::metrics();
         // Phase 1: dependence analysis, once per SCoP; every later pass
         // reuses this graph through the facade.
         let t = Instant::now();
@@ -201,6 +207,9 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             ("codegen_plans", plans.into()),
             ("determinism_ok", (parallel_same && cached_same).into()),
             ("models", Json::Arr(models)),
+            // What this SCoP's passes cost the pipeline, as a registry
+            // delta: ILP nodes/pivots, FM eliminations, cache traffic.
+            ("metrics", obs::metrics().delta(&metrics_before).to_json()),
         ]));
         expected.push((idx, serial));
     }
@@ -240,8 +249,10 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             ]),
         ),
         ("cache", cache_stats.to_json()),
+        ("metrics", obs::metrics().to_json()),
         ("determinism_ok", determinism_ok.into()),
     ]);
+    obs::set_enabled(prev_flags);
     BenchAllOutcome {
         report,
         determinism_ok,
@@ -250,9 +261,11 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
 }
 
 /// Recursively drop run-to-run-variable fields (`*_seconds`, `*_speedup`,
-/// and the cache counters) so two reports from identical inputs compare
-/// byte-for-byte. This is the determinism contract `wfc bench-all --json`
-/// advertises and CI enforces.
+/// the cache counters, and the metrics snapshots) so two reports from
+/// identical inputs compare byte-for-byte. This is the determinism
+/// contract `wfc bench-all --json` advertises and CI enforces. (Metrics
+/// would in fact be deterministic for a fixed build, but they grow with
+/// every new probe, which would churn the goldens.)
 #[must_use]
 pub fn strip_timings(j: &Json) -> Json {
     match j {
@@ -260,7 +273,10 @@ pub fn strip_timings(j: &Json) -> Json {
             fields
                 .iter()
                 .filter(|(k, _)| {
-                    !(k.ends_with("_seconds") || k.ends_with("speedup") || k == "cache")
+                    !(k.ends_with("_seconds")
+                        || k.ends_with("speedup")
+                        || k == "cache"
+                        || k == "metrics")
                 })
                 .map(|(k, v)| (k.clone(), strip_timings(v)))
                 .collect(),
@@ -268,4 +284,82 @@ pub fn strip_timings(j: &Json) -> Json {
         Json::Arr(items) => Json::Arr(items.iter().map(strip_timings).collect()),
         other => other.clone(),
     }
+}
+
+/// One ILP-phase timing regression between two `bench-all` reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// The regressed phase field (`ilp_serial_seconds` or
+    /// `ilp_parallel_seconds`).
+    pub phase: &'static str,
+    /// The phase's time in the previous report.
+    pub before: f64,
+    /// The phase's time in the new report.
+    pub after: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed {:.1}x ({:.4}s -> {:.4}s)",
+            self.name,
+            self.phase,
+            self.after / self.before.max(1e-12),
+            self.before,
+            self.after
+        )
+    }
+}
+
+/// Diff the per-benchmark ILP-phase timings of a new report against the
+/// previous run's `BENCH_all.json`: a phase regresses when it takes more
+/// than `factor`× its previous time *and* lands above `min_seconds` — the
+/// noise floor, because sub-millisecond phases double on scheduler jitter
+/// alone. Benchmarks present in only one report are skipped (the catalog
+/// changed; there is nothing comparable to flag).
+#[must_use]
+pub fn ilp_regressions(
+    previous: &Json,
+    new: &Json,
+    factor: f64,
+    min_seconds: f64,
+) -> Vec<Regression> {
+    let rows = |j: &Json| -> Vec<(String, f64, f64)> {
+        j.get("benchmarks")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        let name = r.get("name")?.as_str()?.to_string();
+                        let f = |k: &str| r.get(k).and_then(Json::as_f64);
+                        Some((name, f("ilp_serial_seconds")?, f("ilp_parallel_seconds")?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let old = rows(previous);
+    let mut out = Vec::new();
+    for (name, serial, parallel) in rows(new) {
+        let Some((_, old_serial, old_parallel)) = old.iter().find(|(n, _, _)| *n == name) else {
+            continue;
+        };
+        for (phase, before, after) in [
+            ("ilp_serial_seconds", *old_serial, serial),
+            ("ilp_parallel_seconds", *old_parallel, parallel),
+        ] {
+            if after > min_seconds && after > before * factor {
+                out.push(Regression {
+                    name: name.clone(),
+                    phase,
+                    before,
+                    after,
+                });
+            }
+        }
+    }
+    out
 }

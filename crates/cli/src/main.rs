@@ -23,6 +23,7 @@ use wf_cachesim::{CacheConfig, CacheSim};
 use wf_codegen::render_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_harness::json::Json;
+use wf_harness::obs;
 use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
 use wf_schedule::PlutoConfig;
 use wf_scop::pretty;
@@ -30,13 +31,7 @@ use wf_scop::Scop;
 use wf_wisefuse::{cache, plan_from_optimized, Model, Optimized, Optimizer, WfError};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    let Some(cmd) = it.next() else {
-        usage();
-        return ExitCode::from(2);
-    };
-    let result = dispatch(cmd, &mut it);
+    let result = run();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -44,6 +39,42 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+fn run() -> Result<(), WfError> {
+    // Environment overrides are validated up front: a typo'd WF_THREADS or
+    // WF_CACHE_MAX_BYTES is an invalid request (exit 2), not a silent
+    // fallback to defaults.
+    wf_harness::pool::try_env_threads()?;
+    cache::SpillCaps::try_from_env()?;
+    // `--trace <path>` (any position, any subcommand) and WF_TRACE=<path>
+    // both enable span + metrics recording; the Chrome trace is written
+    // after the command finishes, whether it succeeded or failed.
+    let mut trace_path = obs::init_from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if i + 1 >= args.len() {
+            return Err(WfError::invalid("--trace needs a path"));
+        }
+        trace_path = Some(args.remove(i + 1));
+        args.remove(i);
+        obs::set_enabled(obs::enabled() | obs::TRACE | obs::METRICS);
+    }
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        usage();
+        return Err(WfError::invalid("missing command"));
+    };
+    let result = dispatch(cmd, &mut it);
+    if let Some(path) = trace_path {
+        match obs::write_trace(&path) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            // A failed command's error wins over the trace-write error.
+            Err(e) if result.is_ok() => return Err(WfError::io(path, &e)),
+            Err(e) => eprintln!("warning: could not write trace to {path}: {e}"),
+        }
+    }
+    result
 }
 
 fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
@@ -70,7 +101,7 @@ fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<
             let opts = Opts::parse(it)?;
             cmd_optfile(&path, &opts)
         }
-        "show" | "opt" | "run" | "compare" | "emit" | "model" => {
+        "show" | "opt" | "run" | "compare" | "emit" | "model" | "explain" => {
             let name = it.next().ok_or_else(|| {
                 usage();
                 WfError::invalid("missing benchmark name")
@@ -83,6 +114,7 @@ fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<
                 "run" => cmd_run(&bench, &opts),
                 "emit" => cmd_emit(&bench, &opts),
                 "model" => cmd_model(&bench, &opts),
+                "explain" => cmd_explain(&bench, &opts),
                 _ => cmd_compare(&bench, &opts),
             }
         }
@@ -112,14 +144,25 @@ USAGE:
   wfc opt <bench> [--model icc|wisefuse|smartfuse|nofuse|maxfuse] [--tile S]
   wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S] [--json]
   wfc compare <bench> [--threads T] [--size N] [--json]
-  wfc bench-all [--threads T] [--json]         # catalog × all models, one process;
+  wfc bench-all [--threads T] [--json] [--check-regressions]
+                                               # catalog × all models, one process;
                                                # writes BENCH_all.json, fails on any
-                                               # parallel/cache determinism mismatch
+                                               # parallel/cache determinism mismatch;
+                                               # --check-regressions also fails when
+                                               # an ILP phase is >2x the previous run
+  wfc explain <bench> [--model M] [--json]     # why the scheduler fused what it
+                                               # fused: Algorithm 1 ordering choices
+                                               # and Algorithm 2 cuts, with rationale
   wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
   wfc model <bench> [--model M] [--size N]     # machine-model breakdown
   wfc export <bench>                           # benchmark as .wfs text
   wfc optfile <path.wfs> [--model M]           # optimize a textual SCoP
-  wfc cache --stats|--prune|--clear            # WF_CACHE_DIR spill hygiene
+  wfc cache --stats|--prune|--clear [--json]   # WF_CACHE_DIR spill hygiene
+
+OBSERVABILITY:
+  --trace <path>   (any command) record hierarchical spans + metrics and
+                   write a Chrome trace-event JSON file on exit; the
+                   WF_TRACE=<path> environment variable does the same
 
 SCHEDULING FLAGS (opt/run/compare/emit/model/optfile):
   --max-nodes N   cap the fusion ILP's branch-and-bound node budget
@@ -149,6 +192,9 @@ struct Opts {
     /// `--strict`: surface recoverable solver failures instead of
     /// degrading to the fallback schedule.
     strict: bool,
+    /// `bench-all --check-regressions`: fail when an ILP phase is >2x its
+    /// time in the previous `BENCH_all.json`.
+    check_regressions: bool,
 }
 
 impl Opts {
@@ -166,6 +212,7 @@ impl Opts {
             json: false,
             max_nodes: None,
             strict: false,
+            check_regressions: false,
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -211,6 +258,7 @@ impl Opts {
                     );
                 }
                 "--strict" => o.strict = true,
+                "--check-regressions" => o.check_regressions = true,
                 "--cache" => o.cache = true,
                 "--verify" => o.verify = true,
                 "--json" => o.json = true,
@@ -267,11 +315,13 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
         Clear,
     }
     let mut mode = Mode::Stats;
+    let mut json = false;
     for flag in it {
         match flag.as_str() {
             "--stats" => mode = Mode::Stats,
             "--prune" => mode = Mode::Prune,
             "--clear" => mode = Mode::Clear,
+            "--json" => json = true,
             other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
         }
     }
@@ -282,16 +332,47 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
     match mode {
         Mode::Prune => {
             let removed = cache::spill_prune(&dir, &caps);
-            println!("pruned {removed} spill entr{}", plural_y(removed));
+            if !json {
+                println!("pruned {removed} spill entr{}", plural_y(removed));
+            }
         }
         Mode::Clear => {
             let removed =
                 cache::spill_clear(&dir).map_err(|e| WfError::io(dir.display().to_string(), &e))?;
-            println!("cleared {removed} spill entr{}", plural_y(removed));
+            if !json {
+                println!("cleared {removed} spill entr{}", plural_y(removed));
+            }
         }
         Mode::Stats => {}
     }
     let (files, bytes) = cache::spill_usage(&dir);
+    let mem = cache::stats();
+    if json {
+        let entries: Vec<Json> = cache::spill_entries(&dir)
+            .into_iter()
+            .map(|e| {
+                Json::obj([
+                    ("file", Json::str(e.file.as_str())),
+                    ("bytes", Json::from(e.bytes)),
+                    ("age_secs", e.age_secs.map_or(Json::Null, Json::from)),
+                ])
+            })
+            .collect();
+        let j = Json::obj([
+            ("spill_dir", Json::str(dir.display().to_string().as_str())),
+            ("files", Json::from(files)),
+            ("bytes", Json::from(bytes)),
+            ("max_bytes", Json::from(caps.max_bytes)),
+            (
+                "max_age_secs",
+                caps.max_age_secs.map_or(Json::Null, Json::from),
+            ),
+            ("stats", mem.to_json()),
+            ("entries", Json::Arr(entries)),
+        ]);
+        println!("{}", j.render());
+        return Ok(());
+    }
     println!(
         "spill dir: {}\nentries: {files}   bytes: {bytes}   cap: {} bytes{}",
         dir.display(),
@@ -301,11 +382,23 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
             None => ", no age cap".to_string(),
         }
     );
-    let mem = cache::stats();
     println!(
-        "in-process: {} hits / {} misses, {} spill hits, {} spill stores, {} quarantined",
-        mem.hits, mem.misses, mem.spill_hits, mem.spill_stores, mem.spill_quarantined
+        "in-process: {} hits / {} misses ({:.1}% hit rate), {} spill hits ({:.1}% incl. spill), \
+         {} spill stores, {} quarantined",
+        mem.hits,
+        mem.misses,
+        mem.hit_rate_pct(),
+        mem.spill_hits,
+        mem.spill_hit_rate_pct(),
+        mem.spill_stores,
+        mem.spill_quarantined
     );
+    for e in cache::spill_entries(&dir) {
+        let age = e
+            .age_secs
+            .map_or_else(|| "?".to_string(), |a| format!("{a}s"));
+        println!("  {:<24} {:>10} bytes   age {age}", e.file, e.bytes);
+    }
     Ok(())
 }
 
@@ -344,8 +437,17 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
         },
         ..wf_bench::benchall::BenchAllOptions::default()
     };
+    // The previous run's report, read *before* write_named overwrites it —
+    // the baseline the regression diff compares against.
+    let previous =
+        std::fs::read_to_string(wf_harness::report::results_dir().join("BENCH_all.json"))
+            .ok()
+            .and_then(|s| Json::parse(&s).ok());
     let outcome = wf_bench::benchall::run(&ba);
     let path = wf_harness::report::write_named("all", &outcome.report);
+    let regressions = previous
+        .as_ref()
+        .map(|prev| wf_bench::benchall::ilp_regressions(prev, &outcome.report, 2.0, 0.005));
     if opts.json {
         println!("{}", outcome.report.render());
     } else {
@@ -374,15 +476,40 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
             "  schedule cache: {} hits / {} misses, {} spill hits",
             s.hits, s.misses, s.spill_hits
         );
+        match &regressions {
+            None => println!("  (no previous BENCH_all.json to diff ILP phases against)"),
+            Some(r) if r.is_empty() => {
+                println!("  ILP phases vs previous run: no >2x regressions");
+            }
+            Some(r) => {
+                for reg in r {
+                    println!("  REGRESSION {reg}");
+                }
+            }
+        }
         println!("  report: {}", path.display());
     }
-    if outcome.determinism_ok {
-        Ok(())
-    } else {
-        Err(WfError::Schedule {
+    if !outcome.determinism_ok {
+        return Err(WfError::Schedule {
             message: "bench-all: determinism mismatch — parallel/cached schedules diverge from serial (see BENCH_all.json)".to_string(),
-        })
+        });
     }
+    if opts.check_regressions {
+        if let Some(r) = &regressions {
+            if !r.is_empty() {
+                let lines: Vec<String> = r.iter().map(ToString::to_string).collect();
+                return Err(WfError::Budget {
+                    site: "bench-all --check-regressions".to_string(),
+                    detail: format!(
+                        "{} ILP-phase regression(s) vs previous BENCH_all.json: {}",
+                        r.len(),
+                        lines.join("; ")
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cmd_show(bench: &Benchmark) -> Result<(), WfError> {
@@ -666,6 +793,61 @@ fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
         machine.cores,
         r.modeled_seconds,
         r.serial_seconds / r.modeled_seconds
+    );
+    Ok(())
+}
+
+/// `wfc explain <bench>`: replay one model's scheduling with the fusion
+/// decision log enabled and render every Algorithm 1 ordering choice and
+/// Algorithm 2 cut, with rationale.
+fn cmd_explain(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
+    obs::set_enabled(obs::enabled() | obs::DECISIONS);
+    let _ = obs::drain_decisions(); // discard anything stale
+                                    // The cache would skip the scheduling pass (and with it the log), so
+                                    // explain always re-solves.
+    let opt = build_optimizer(&bench.scop, opts).cache_off().run()?;
+    warn_degraded(&opt);
+    let decisions = obs::drain_decisions();
+    if opts.json {
+        let j = Json::obj([
+            ("bench", Json::str(bench.scop.name.as_str())),
+            ("model", Json::str(opts.model.name())),
+            ("partitions", Json::from(opt.n_partitions())),
+            ("outer_parallel", Json::from(opt.outer_parallel())),
+            (
+                "decisions",
+                Json::Arr(decisions.iter().map(obs::Decision::to_json).collect()),
+            ),
+        ]);
+        println!("{}", j.render());
+        return Ok(());
+    }
+    println!(
+        "== why {} fused {} the way it did ==\n",
+        opts.model.name(),
+        bench.scop.name
+    );
+    if decisions.is_empty() {
+        println!(
+            "(no fusion decisions recorded — the {} model schedules without \
+             the Algorithm 1/2 machinery)",
+            opts.model.name()
+        );
+    }
+    for (i, d) in decisions.iter().enumerate() {
+        println!("{:>3}. [{}] {}", i + 1, d.kind, d.summary);
+        for (k, v) in &d.data {
+            println!("       {k}: {v}");
+        }
+    }
+    println!(
+        "\nresult: {} partition(s), outer loops parallel: {}",
+        opt.n_partitions(),
+        opt.outer_parallel()
+    );
+    println!(
+        "partition of each statement: {:?}",
+        opt.transformed.partitions
     );
     Ok(())
 }

@@ -166,6 +166,8 @@ pub fn build_plan_with_layout(
     parallel: Vec<Vec<bool>>,
     layout: &[ZDim],
 ) -> ExecPlan {
+    let _span = wf_harness::span!("codegen.plan", "strategy" => t.strategy.clone());
+    wf_harness::obs::add("codegen.plans", 1);
     let np = scop.n_params();
     let ndims = t.schedule.n_dims();
     let nl = layout.len();

@@ -123,6 +123,33 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total lookups served (in-memory hits + spill rescues + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.spill_hits + self.misses
+    }
+
+    /// Percentage of lookups served from memory or the spill (0 when no
+    /// lookups have happened).
+    #[must_use]
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.spill_hits) as f64 * 100.0 / total as f64
+    }
+
+    /// Percentage of lookups rescued by the `WF_CACHE_DIR` spill.
+    #[must_use]
+    pub fn spill_hit_rate_pct(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            return 0.0;
+        }
+        self.spill_hits as f64 * 100.0 / total as f64
+    }
+
     /// Render as a JSON object (for `BENCH_all.json` and `--json` output).
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -134,6 +161,8 @@ impl CacheStats {
             ("spill_hits", Json::from(self.spill_hits)),
             ("spill_stores", Json::from(self.spill_stores)),
             ("spill_quarantined", Json::from(self.spill_quarantined)),
+            ("hit_rate_pct", Json::Num(self.hit_rate_pct())),
+            ("spill_hit_rate_pct", Json::Num(self.spill_hit_rate_pct())),
         ])
     }
 }
@@ -209,12 +238,14 @@ impl ScheduleCache {
         if let Some(e) = self.map.get_mut(key) {
             e.last_used = self.tick;
             self.stats.hits += 1;
+            wf_harness::obs::add("cache.hit", 1);
             return Some(e.transformed.clone());
         }
         if let Some(dir) = self.spill_target() {
             match spill_read(&dir, key) {
                 SpillOutcome::Hit(t) => {
                     self.stats.spill_hits += 1;
+                    wf_harness::obs::add("cache.spill_hit", 1);
                     self.insert_only(*key, (*t).clone());
                     return Some(*t);
                 }
@@ -223,6 +254,7 @@ impl ScheduleCache {
             }
         }
         self.stats.misses += 1;
+        wf_harness::obs::add("cache.miss", 1);
         None
     }
 
@@ -232,9 +264,11 @@ impl ScheduleCache {
     /// amortizing the directory scan.
     pub fn insert(&mut self, key: Fingerprint, t: &Transformed) {
         self.stats.stores += 1;
+        wf_harness::obs::add("cache.store", 1);
         if let Some(dir) = self.spill_target() {
             if spill_write(&dir, &key, t).is_ok() {
                 self.stats.spill_stores += 1;
+                wf_harness::obs::add("cache.spill_store", 1);
                 if self.stats.spill_stores.is_multiple_of(SPILL_PRUNE_PERIOD) {
                     let _ = spill_prune(&dir, &SpillCaps::from_env());
                 }
@@ -397,17 +431,38 @@ impl SpillCaps {
     /// Default size cap: 256 MiB.
     pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
 
-    /// Read `WF_CACHE_MAX_BYTES` / `WF_CACHE_MAX_AGE_SECS` (malformed
-    /// values fall back to the defaults: 256 MiB, no age cap).
+    /// Read `WF_CACHE_MAX_BYTES` / `WF_CACHE_MAX_AGE_SECS`, validated.
+    ///
+    /// # Errors
+    /// [`wf_harness::WfError::Invalid`] (exit code 2) when either variable
+    /// is set but is not a non-negative integer — `wfc` validates this up
+    /// front instead of silently running with the defaults.
+    pub fn try_from_env() -> Result<SpillCaps, wf_harness::WfError> {
+        let parse = |name: &str| -> Result<Option<u64>, wf_harness::WfError> {
+            match std::env::var(name) {
+                Ok(v) => v.trim().parse::<u64>().map(Some).map_err(|_| {
+                    wf_harness::WfError::invalid(format!(
+                        "{name} must be a non-negative integer, got {v:?}"
+                    ))
+                }),
+                Err(_) => Ok(None),
+            }
+        };
+        Ok(SpillCaps {
+            max_bytes: parse("WF_CACHE_MAX_BYTES")?.unwrap_or(Self::DEFAULT_MAX_BYTES),
+            max_age_secs: parse("WF_CACHE_MAX_AGE_SECS")?,
+        })
+    }
+
+    /// Infallible [`SpillCaps::try_from_env`] for library paths that cannot
+    /// surface errors: malformed values fall back to the defaults (256 MiB,
+    /// no age cap).
     #[must_use]
     pub fn from_env() -> SpillCaps {
-        let parse = |name: &str| -> Option<u64> {
-            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
-        };
-        SpillCaps {
-            max_bytes: parse("WF_CACHE_MAX_BYTES").unwrap_or(Self::DEFAULT_MAX_BYTES),
-            max_age_secs: parse("WF_CACHE_MAX_AGE_SECS"),
-        }
+        Self::try_from_env().unwrap_or(SpillCaps {
+            max_bytes: Self::DEFAULT_MAX_BYTES,
+            max_age_secs: None,
+        })
     }
 }
 
@@ -434,6 +489,40 @@ fn spill_files(dir: &Path) -> Vec<(PathBuf, u64, Option<std::time::SystemTime>)>
         }
         out.push((path, meta.len(), meta.modified().ok()));
     }
+    out
+}
+
+/// One spill-directory entry as reported by `wfc cache --stats`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpillEntry {
+    /// File name within the spill directory.
+    pub file: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Seconds since last modification (`None` when the filesystem has no
+    /// usable mtime).
+    pub age_secs: Option<u64>,
+}
+
+/// Per-entry inventory of the spill directory (entries + quarantined +
+/// orphaned temp files), sorted by file name for stable output.
+#[must_use]
+pub fn spill_entries(dir: &Path) -> Vec<SpillEntry> {
+    let now = std::time::SystemTime::now();
+    let mut out: Vec<SpillEntry> = spill_files(dir)
+        .into_iter()
+        .map(|(path, bytes, modified)| SpillEntry {
+            file: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            bytes,
+            age_secs: modified
+                .and_then(|m| now.duration_since(m).ok())
+                .map(|d| d.as_secs()),
+        })
+        .collect();
+    out.sort_by(|a, b| a.file.cmp(&b.file));
     out
 }
 

@@ -212,6 +212,7 @@ impl<'a> Optimizer<'a> {
     /// [`run_model`](Optimizer::run_model) serially per model — worker
     /// count cannot influence schedules.
     pub fn run_all(&mut self) -> Vec<(Model, Result<Optimized, WfError>)> {
+        let mut _span = wf_harness::span!("optimizer.run_all", "scop" => self.scop.name.clone());
         let threads = self
             .threads
             .unwrap_or_else(pool::env_threads)

@@ -13,9 +13,10 @@
 //! loss is minimal (contrast PLuTo's shift-and-fuse which serializes the
 //! outer loop, Fig. 4c vs Fig. 6).
 
+use wf_harness::obs;
 use wf_linalg::Rat;
 use wf_polyhedra::poly::Extremum;
-use wf_schedule::pluto::SchedState;
+use wf_schedule::pluto::{rows_summary, SchedState};
 use wf_schedule::transform::StmtRow;
 
 /// Inspect a candidate outermost hyperplane; return the cut boundaries that
@@ -36,12 +37,37 @@ pub fn algorithm2(state: &SchedState<'_>, rows: &[StmtRow]) -> Vec<usize> {
         if state.partition_of_scc(ca) != state.partition_of_scc(cb) {
             continue; // already distributed
         }
-        let forward = match state.delta_max(edge, rows) {
+        let delta = state.delta_max(edge, rows);
+        let forward = match delta {
             Extremum::Value(v) => v > Rat::ZERO,
             Extremum::Unbounded => true,
             Extremum::Empty => false,
         };
         if forward {
+            if obs::decisions_on() {
+                obs::decision(
+                    "alg2.cut",
+                    format!(
+                        "forward loop-carried dependence {} -> {} (SCC {ca} -> SCC {cb}, \
+                         max delta {delta:?}) would serialize the fused outer loop; \
+                         cutting between the two SCCs (Algorithm 2)",
+                        state.scop.statements[edge.src].name, state.scop.statements[edge.dst].name
+                    ),
+                    vec![
+                        (
+                            "dependence",
+                            format!(
+                                "{} -> {}",
+                                state.scop.statements[edge.src].name,
+                                state.scop.statements[edge.dst].name
+                            ),
+                        ),
+                        ("sccs", format!("{ca} -> {cb}")),
+                        ("delta_max", format!("{delta:?}")),
+                        ("hyperplane_before", rows_summary(rows)),
+                    ],
+                );
+            }
             intervals.push((state.pos[ca], state.pos[cb]));
         }
     }

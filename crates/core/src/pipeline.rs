@@ -149,6 +149,7 @@ pub(crate) fn schedule_model(
     model: Model,
     config: &PlutoConfig,
 ) -> Result<Transformed, SchedError> {
+    let _span = wf_harness::span!("schedule.model", "model" => model.name());
     Ok(match model {
         Model::Icc => icc_schedule(scop, ddg),
         Model::Wisefuse => schedule_scop(scop, ddg, &Wisefuse, config)?,
@@ -168,6 +169,7 @@ pub(crate) fn analyze_props(
     model: Model,
     transformed: &Transformed,
 ) -> Vec<Vec<Option<LoopProp>>> {
+    let _span = wf_harness::span!("props.analyze", "model" => model.name());
     let mut props = props::analyze(scop, ddg, transformed);
     if model == Model::Icc {
         // The paper's observed icc behaviour (§5.3): auto-parallelization

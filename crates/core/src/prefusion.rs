@@ -14,6 +14,7 @@
 //!   program order.
 
 use wf_deps::{Ddg, SccInfo};
+use wf_harness::obs;
 use wf_scop::Scop;
 
 /// Compute the wisefuse pre-fusion schedule: a permutation of the canonical
@@ -53,6 +54,22 @@ pub fn algorithm1(scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
         placed[seed] = true;
         order.push(seed);
         let seed_dim = sccs.dimensionality(seed, &depths);
+        if obs::decisions_on() {
+            let first = sccs.members[seed][0];
+            obs::decision(
+                "alg1.seed",
+                format!(
+                    "seeded cluster with SCC {seed} ({}): earliest unplaced ready \
+                     statement in program order (Heuristic 2), dimensionality {seed_dim}",
+                    scop.statements[first].name
+                ),
+                vec![
+                    ("scc", seed.to_string()),
+                    ("statement", scop.statements[first].name.clone()),
+                    ("dim", seed_dim.to_string()),
+                ],
+            );
+        }
         let mut fusable: Vec<usize> = sccs.members[seed].clone();
 
         // Greedy extension: statements t in program order whose SCC is
@@ -67,11 +84,38 @@ pub fn algorithm1(scop: &Scop, ddg: &Ddg, sccs: &SccInfo) -> Vec<usize> {
                 {
                     continue;
                 }
-                let has_reuse = fusable
-                    .iter()
-                    .any(|&i| sccs.members[ct].iter().any(|&j| ddg.has_reuse(i, j)));
-                if !has_reuse {
+                let reuse_pair = fusable.iter().find_map(|&i| {
+                    sccs.members[ct]
+                        .iter()
+                        .find(|&&j| ddg.has_reuse(i, j))
+                        .map(|&j| (i, j))
+                });
+                let Some((ri, rj)) = reuse_pair else {
                     continue;
+                };
+                if obs::decisions_on() {
+                    obs::decision(
+                        "alg1.fuse",
+                        format!(
+                            "appended SCC {ct} ({}) to the cluster: data reuse between \
+                             {} and {} with matching dimensionality {seed_dim} (Heuristic 1)",
+                            scop.statements[t].name,
+                            scop.statements[ri].name,
+                            scop.statements[rj].name
+                        ),
+                        vec![
+                            ("scc", ct.to_string()),
+                            ("statement", scop.statements[t].name.clone()),
+                            (
+                                "reuse_edge",
+                                format!(
+                                    "{} -> {}",
+                                    scop.statements[ri].name, scop.statements[rj].name
+                                ),
+                            ),
+                            ("dim", seed_dim.to_string()),
+                        ],
+                    );
                 }
                 placed[ct] = true;
                 order.push(ct);

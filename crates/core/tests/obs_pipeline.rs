@@ -1,0 +1,192 @@
+//! Pipeline-level observability contracts: enabling any instrument never
+//! changes schedules, and the fusion decision log is deterministic across
+//! worker counts. The obs switchboard is process-global, so these tests
+//! serialize on one lock and reset state around each body.
+
+use std::sync::Mutex;
+use wf_harness::obs;
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::{Model, Optimizer};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive(f: impl FnOnce()) {
+    let _guard = LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let prev = obs::enabled();
+    obs::set_enabled(0);
+    let _ = obs::take_events();
+    let _ = obs::drain_decisions();
+    obs::reset_metrics();
+    f();
+    obs::set_enabled(0);
+    let _ = obs::take_events();
+    let _ = obs::drain_decisions();
+    obs::reset_metrics();
+    obs::set_enabled(prev);
+}
+
+/// Producer/consumer with reuse, no loop-carried dependence: Algorithm 1
+/// fuses the two SCCs and the fused loop stays parallel.
+fn fusable_scop() -> Scop {
+    let mut b = ScopBuilder::new("fusable", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .rhs(Expr::Iter(0))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0)])
+        .rhs(Expr::mul(Expr::Load(0), Expr::Const(2.0)))
+        .done();
+    b.build()
+}
+
+/// Producer/consumer where the consumer reads a *symmetric* stencil
+/// `A[i-1] + A[i+1]` (the advect trap, in 1-D): no shift aligns both
+/// offsets, so fusing the two SCCs puts a forward loop-carried dependence
+/// on the outer loop — exactly what Algorithm 2 cuts.
+fn forward_dep_scop() -> Scop {
+    let mut b = ScopBuilder::new("fwd", &["N"]);
+    b.context_ge(Aff::param(0) - 8);
+    let a = b.array("A", &[Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(a, &[Aff::iter(0)])
+        .rhs(Expr::Iter(0))
+        .done();
+    b.stmt("S1", 1, &[1, 0])
+        .bounds(0, Aff::konst(1), Aff::param(0) - 2)
+        .write(c, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0) - 1])
+        .read(a, &[Aff::iter(0) + 1])
+        .rhs(Expr::add(Expr::Load(0), Expr::Load(1)))
+        .done();
+    b.build()
+}
+
+#[test]
+fn traced_schedules_are_byte_identical_to_untraced() {
+    exclusive(|| {
+        let scop = fusable_scop();
+        let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
+        let mut plain = Vec::new();
+        for model in Model::ALL {
+            let opt = Optimizer::new(&scop)
+                .cache_off()
+                .model(model)
+                .run()
+                .expect("schedulable");
+            plain.push((opt.transformed.clone(), opt.props.clone()));
+        }
+        obs::set_enabled(obs::TRACE | obs::METRICS | obs::DECISIONS);
+        for (model, (t, p)) in Model::ALL.into_iter().zip(&plain) {
+            let opt = Optimizer::new(&scop)
+                .cache_off()
+                .model(model)
+                .run()
+                .expect("schedulable");
+            assert_eq!(
+                &opt.transformed, t,
+                "{model:?}: tracing changed the schedule"
+            );
+            assert_eq!(&opt.props, p, "{model:?}: tracing changed properties");
+            assert_eq!(
+                opt.transformed.schedule.render(&names),
+                t.schedule.render(&names),
+                "{model:?}: rendered schedules differ traced vs untraced"
+            );
+        }
+        // And the instruments did actually record something.
+        assert!(!obs::take_events().is_empty(), "spans were recorded");
+        assert!(obs::metrics().counter("ilp.solves") > 0, "metrics moved");
+        assert!(!obs::drain_decisions().is_empty(), "decisions were logged");
+    });
+}
+
+#[test]
+fn decision_log_is_deterministic_across_worker_counts() {
+    exclusive(|| {
+        let scop = forward_dep_scop();
+        obs::set_enabled(obs::DECISIONS);
+        let serial = Optimizer::new(&scop).cache_off().threads(1).run_all();
+        let d1 = obs::drain_decisions();
+        let parallel = Optimizer::new(&scop).cache_off().threads(4).run_all();
+        let d4 = obs::drain_decisions();
+        assert!(!d1.is_empty(), "scheduling logged decisions");
+        assert_eq!(d1, d4, "decision log depends on the worker count");
+        for ((ms, rs), (mp, rp)) in serial.iter().zip(&parallel) {
+            assert_eq!(ms, mp);
+            assert_eq!(
+                rs.as_ref().unwrap().transformed,
+                rp.as_ref().unwrap().transformed
+            );
+        }
+    });
+}
+
+#[test]
+fn forward_dependence_yields_an_algorithm2_cut_decision() {
+    exclusive(|| {
+        let scop = forward_dep_scop();
+        obs::set_enabled(obs::DECISIONS);
+        let opt = Optimizer::new(&scop)
+            .cache_off()
+            .model(Model::Wisefuse)
+            .run()
+            .expect("schedulable");
+        let decisions = obs::drain_decisions();
+        let wisefuse: Vec<_> = decisions.iter().filter(|d| d.scope == "wisefuse").collect();
+        assert!(
+            wisefuse.iter().any(|d| d.kind == "alg1.seed"),
+            "Algorithm 1 rationale missing: {wisefuse:?}"
+        );
+        let cut = wisefuse
+            .iter()
+            .find(|d| d.kind == "alg2.cut")
+            .unwrap_or_else(|| panic!("no Algorithm 2 cut recorded: {wisefuse:?}"));
+        let data = |k: &str| {
+            cut.data
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(data("dependence"), Some("S0 -> S1"), "offending dependence");
+        assert!(data("hyperplane_before").is_some());
+        // The cut really distributed the two statements.
+        assert_eq!(opt.transformed.partitions, vec![0, 1]);
+    });
+}
+
+#[test]
+fn metrics_observe_the_ilp_and_cache() {
+    exclusive(|| {
+        let scop = fusable_scop();
+        obs::set_enabled(obs::METRICS);
+        let before = obs::metrics();
+        let _ = Optimizer::new(&scop)
+            .cache_off()
+            .model(Model::Wisefuse)
+            .run()
+            .expect("schedulable");
+        let d = obs::metrics().delta(&before);
+        assert!(d.counter("ilp.solves") > 0);
+        assert!(d.counter("ilp.nodes") > 0);
+        assert!(d.counter("simplex.pivots") > 0);
+        assert!(d.counter("deps.analyses") > 0);
+        assert!(d.histogram("ilp.nodes_per_solve").is_some());
+        // Cached path: a lookup miss then a store, then a hit.
+        let before = obs::metrics();
+        let _ = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
+        let _ = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
+        let d = obs::metrics().delta(&before);
+        assert!(d.counter("cache.hit") > 0, "second run must hit: {d:?}");
+    });
+}

@@ -14,6 +14,7 @@ use wf_scop::{AccessKind, Scop};
 /// conservative extra edge (never an illegal transform).
 #[must_use]
 pub fn analyze(scop: &Scop) -> Ddg {
+    let mut span = wf_harness::span!("deps.analyze", "scop" => scop.name.clone());
     let n = scop.n_statements();
     let mut ddg = Ddg {
         n,
@@ -25,6 +26,8 @@ pub fn analyze(scop: &Scop) -> Ddg {
             analyze_pair(scop, src, dst, &mut ddg);
         }
     }
+    span.arg("edges", ddg.edges.len().to_string());
+    wf_harness::obs::add("deps.analyses", 1);
     ddg
 }
 

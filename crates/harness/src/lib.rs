@@ -39,6 +39,11 @@
 //! * [`hash`] — a stable FNV-1a 64-bit hasher for content addressing
 //!   (the schedule cache's `(SCoP, model, config)` fingerprints), where
 //!   `DefaultHasher`'s per-process seeding would break cross-run reuse.
+//! * [`obs`] — the zero-dep observability layer: hierarchical spans
+//!   emitting Chrome trace-event JSON (`WF_TRACE`, `wfc --trace`), a
+//!   process-wide counter/histogram metrics registry, and the fusion
+//!   decision log behind `wfc explain`; every probe is one relaxed
+//!   atomic load when disabled.
 //!
 //! Everything is deterministic: test case generation is seeded by hashing
 //! the test name, so failures reproduce across runs and machines without a
@@ -51,6 +56,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod prop;
 pub mod report;

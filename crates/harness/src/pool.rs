@@ -24,6 +24,8 @@
 //! single-item input) never spawns at all and runs inline on the caller's
 //! thread, which is the documented `WF_THREADS=1` serial fallback.
 
+use crate::error::WfError;
+use crate::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -56,21 +58,34 @@ fn contain<T, R>(f: impl Fn(T) -> R, x: T) -> Result<R, JobPanicked> {
     })
 }
 
-/// Worker-thread count for parallel phases: the `WF_THREADS` environment
-/// variable when set to a positive integer, else
+/// Worker-thread count for parallel phases, validated: the `WF_THREADS`
+/// environment variable when set to a positive integer, else
 /// [`available_parallelism`](thread::available_parallelism) capped at 8
 /// (the paper's core count, and the cap the bench harnesses already use).
-#[must_use]
-pub fn env_threads() -> usize {
+///
+/// # Errors
+/// [`WfError::Invalid`] (exit code 2) when `WF_THREADS` is set but is not
+/// a positive integer — `wfc` validates this up front instead of letting
+/// a typo silently serialize the run.
+pub fn try_env_threads() -> Result<usize, WfError> {
     match std::env::var("WF_THREADS") {
         Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) => n.max(1),
-            Err(_) => 1,
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(WfError::invalid(format!(
+                "WF_THREADS must be a positive integer, got {s:?}"
+            ))),
         },
-        Err(_) => thread::available_parallelism()
+        Err(_) => Ok(thread::available_parallelism()
             .map_or(4, |p| p.get())
-            .min(8),
+            .min(8)),
     }
+}
+
+/// Infallible [`try_env_threads`] for library paths that cannot surface
+/// errors: an invalid `WF_THREADS` falls back to the serial count 1.
+#[must_use]
+pub fn env_threads() -> usize {
+    try_env_threads().unwrap_or(1)
 }
 
 /// Map `f` over `items` on up to `threads` scoped workers, returning
@@ -86,6 +101,10 @@ where
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
+    obs::observe("pool.queue_depth", n as u64);
+    // Workers re-enter the submitting thread's span context so their spans
+    // nest under the span that forked this map.
+    let ctx = obs::current_ctx();
     let (jtx, jrx) = mpsc::channel::<(usize, T)>();
     for pair in items.into_iter().enumerate() {
         let _ = jtx.send(pair);
@@ -108,6 +127,7 @@ where
                 };
                 match job {
                     Ok((i, x)) => {
+                        let _ctx = obs::enter_ctx(ctx);
                         if rtx.send((i, f(x))).is_err() {
                             break;
                         }
@@ -143,6 +163,8 @@ where
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(|x| contain(&f, x)).collect();
     }
+    obs::observe("pool.queue_depth", n as u64);
+    let ctx = obs::current_ctx();
     let (jtx, jrx) = mpsc::channel::<(usize, T)>();
     for pair in items.into_iter().enumerate() {
         let _ = jtx.send(pair);
@@ -165,6 +187,7 @@ where
                 };
                 match job {
                     Ok((i, x)) => {
+                        let _ctx = obs::enter_ctx(ctx);
                         // The contained result is data, never an unwind, so
                         // the worker (and the scope) always survive.
                         if rtx.send((i, contain(f, x))).is_err() {
@@ -291,12 +314,15 @@ impl ThreadPool {
         if self.n_threads() <= 1 || n <= 1 {
             return items.into_iter().map(|x| contain(&f, x)).collect();
         }
+        obs::observe("pool.queue_depth", n as u64);
+        let ctx = obs::current_ctx();
         let f = Arc::new(f);
         let (rtx, rrx) = mpsc::channel::<(usize, Result<R, JobPanicked>)>();
         for (i, x) in items.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let rtx = rtx.clone();
             self.execute(move || {
+                let _ctx = obs::enter_ctx(ctx);
                 let _ = rtx.send((i, contain(&*f, x)));
             });
         }

@@ -11,6 +11,7 @@
 
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSystem};
 use std::collections::HashSet;
+use wf_harness::obs;
 
 /// Eliminate variable `v` from the system.
 ///
@@ -19,6 +20,7 @@ use std::collections::HashSet;
 #[must_use]
 pub fn eliminate_var(cs: &ConstraintSystem, v: usize) -> ConstraintSystem {
     assert!(v < cs.n_vars, "eliminate_var: variable out of range");
+    obs::add("fm.eliminations", 1);
     let mut out = ConstraintSystem::new(cs.n_vars);
 
     // 1. Prefer an equality carrying v: exact substitution.

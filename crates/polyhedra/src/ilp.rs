@@ -15,7 +15,25 @@ use crate::constraint::ConstraintSystem;
 use crate::simplex::{solve_lp_counted, LpResult, Sense};
 use std::time::Instant;
 use wf_harness::fault::{self, FaultKind};
+use wf_harness::obs;
 use wf_linalg::Rat;
+
+/// Feed one finished solve's accounting into the metrics registry
+/// (single atomic load when metrics are off).
+fn record_solve(nodes: usize, pivots: u64, err: Option<&IlpError>) {
+    if !obs::metrics_on() {
+        return;
+    }
+    obs::add("ilp.solves", 1);
+    obs::add("ilp.nodes", nodes as u64);
+    obs::add("simplex.pivots", pivots);
+    obs::observe("ilp.nodes_per_solve", nodes as u64);
+    obs::observe("ilp.pivots_per_solve", pivots);
+    match err {
+        Some(IlpError::Unbounded { .. }) | None => {}
+        Some(_) => obs::add("ilp.budget_exhausted", 1),
+    }
+}
 
 /// Result of an ILP solve.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -209,15 +227,26 @@ pub fn try_ilp_feasible(
     cs: &ConstraintSystem,
     budget: &IlpBudget,
 ) -> Result<Option<Vec<i128>>, IlpError> {
-    let mut stack = vec![cs.clone()];
-    let obj = vec![Rat::ZERO; cs.n_vars];
     let mut nodes = 0usize;
     let mut pivots = 0u64;
+    let out = feasible_counted(cs, budget, &mut nodes, &mut pivots);
+    record_solve(nodes, pivots, out.as_ref().err());
+    out
+}
+
+fn feasible_counted(
+    cs: &ConstraintSystem,
+    budget: &IlpBudget,
+    nodes: &mut usize,
+    pivots: &mut u64,
+) -> Result<Option<Vec<i128>>, IlpError> {
+    let mut stack = vec![cs.clone()];
+    let obj = vec![Rat::ZERO; cs.n_vars];
     let t0 = Instant::now();
     while let Some(node) = stack.pop() {
-        nodes += 1;
-        check_budget(budget, nodes, pivots, &t0)?;
-        match solve_lp_counted(&node, &obj, Sense::Min, &mut pivots) {
+        *nodes += 1;
+        check_budget(budget, *nodes, *pivots, &t0)?;
+        match solve_lp_counted(&node, &obj, Sense::Min, pivots) {
             LpResult::Infeasible => {}
             // A zero objective can never improve, so an unbounded verdict
             // here means the LP layer broke an invariant; surface it as a
@@ -339,6 +368,21 @@ pub fn solve_ilp_budgeted(
     sense: Sense,
     budget: &IlpBudget,
 ) -> Result<IlpResult, IlpError> {
+    let mut nodes = 0usize;
+    let mut pivots = 0u64;
+    let out = solve_counted(cs, objective, sense, budget, &mut nodes, &mut pivots);
+    record_solve(nodes, pivots, out.as_ref().err());
+    out
+}
+
+fn solve_counted(
+    cs: &ConstraintSystem,
+    objective: &[i128],
+    sense: Sense,
+    budget: &IlpBudget,
+    nodes: &mut usize,
+    pivots: &mut u64,
+) -> Result<IlpResult, IlpError> {
     assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
     let minimize: Vec<i128> = match sense {
         Sense::Min => objective.to_vec(),
@@ -347,13 +391,11 @@ pub fn solve_ilp_budgeted(
     let obj_rat: Vec<Rat> = minimize.iter().map(|&c| Rat::int(c)).collect();
     let mut best: Option<(Rat, Vec<i128>)> = None;
     let mut stack = vec![cs.clone()];
-    let mut nodes = 0usize;
-    let mut pivots = 0u64;
     let t0 = Instant::now();
     while let Some(node) = stack.pop() {
-        nodes += 1;
-        check_budget(budget, nodes, pivots, &t0)?;
-        match solve_lp_counted(&node, &obj_rat, Sense::Min, &mut pivots) {
+        *nodes += 1;
+        check_budget(budget, *nodes, *pivots, &t0)?;
+        match solve_lp_counted(&node, &obj_rat, Sense::Min, pivots) {
             LpResult::Infeasible => {}
             LpResult::Unbounded => return Ok(IlpResult::Unbounded),
             LpResult::Optimal { value, point } => {

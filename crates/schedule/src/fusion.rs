@@ -84,6 +84,23 @@ pub fn failure_boundary(state: &SchedState<'_>, failed: &[usize]) -> Vec<usize> 
         }
         let (ca, cb) = (state.sccs.scc_of[edge.src], state.sccs.scc_of[edge.dst]);
         if ca != cb && state.partition_of_scc(ca) == state.partition_of_scc(cb) {
+            if wf_harness::obs::decisions_on() {
+                wf_harness::obs::decision(
+                    "cut.offender",
+                    format!(
+                        "dependence {} -> {} (SCC {ca} -> SCC {cb}) blocks the \
+                         hyperplane; cutting before SCC position {}",
+                        state.scop.statements[edge.src].name,
+                        state.scop.statements[edge.dst].name,
+                        state.pos[cb]
+                    ),
+                    vec![
+                        ("edge", format!("{} -> {}", edge.src, edge.dst)),
+                        ("sccs", format!("{ca} -> {cb}")),
+                        ("boundary", state.pos[cb].to_string()),
+                    ],
+                );
+            }
             // Cut immediately before the target SCC.
             return vec![state.pos[cb]];
         }

@@ -21,10 +21,25 @@ use crate::fusion::FusionStrategy;
 use crate::transform::{DimKind, Schedule, StmtRow};
 use std::collections::BTreeSet;
 use wf_deps::{tarjan, Ddg, DepEdge, SccInfo};
+use wf_harness::obs;
 use wf_linalg::RatMat;
 use wf_polyhedra::poly::Extremum;
 use wf_polyhedra::ConstraintSystem;
 use wf_scop::Scop;
+
+/// Render candidate per-statement hyperplane rows compactly for the
+/// decision log: `"S0:[1,0]+0 S1:[1]+2"`.
+#[must_use]
+pub fn rows_summary(rows: &[StmtRow]) -> String {
+    rows.iter()
+        .enumerate()
+        .map(|(s, r)| {
+            let coeffs: Vec<String> = r.coeffs.iter().map(ToString::to_string).collect();
+            format!("S{s}:[{}]+{}", coeffs.join(","), r.konst)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 /// Tunables for the hyperplane search.
 #[derive(Clone, Copy, Debug)]
@@ -199,6 +214,7 @@ impl SchedState<'_> {
         if self.boundaries.len() == before {
             return false;
         }
+        obs::add("sched.cuts", (self.boundaries.len() - before) as u64);
         let rows: Vec<StmtRow> = self
             .scop
             .statements
@@ -353,6 +369,11 @@ pub fn schedule_scop(
     strategy: &dyn FusionStrategy,
     config: &PlutoConfig,
 ) -> Result<Transformed, SchedError> {
+    let _span = wf_harness::span!("schedule.search", "strategy" => strategy.name());
+    // Tag every decision this pass records (including the strategy's
+    // Algorithm 1/2 callbacks) with the strategy name, so concurrent model
+    // jobs drain to a deterministic per-scope order.
+    let _scope = obs::scope(strategy.name());
     let sccs = tarjan(ddg);
     let order = strategy.pre_fusion_order(scop, ddg, &sccs);
     validate_order(&order, &sccs, ddg)?;
@@ -378,7 +399,16 @@ pub fn schedule_scop(
     // wants pre-emptive cuts (nofuse: everywhere; smartfuse/wisefuse:
     // dimensionality-based).
     let init = strategy.initial_cuts(&state);
-    state.apply_cuts(&init);
+    if state.apply_cuts(&init) && obs::decisions_on() {
+        obs::decision(
+            "cut.initial",
+            format!(
+                "{}: pre-emptive scalar cut(s) at SCC position(s) {init:?}",
+                strategy.name()
+            ),
+            vec![("boundaries", format!("{init:?}"))],
+        );
+    }
 
     let mut iters = 0usize;
     let mut fcache: FarkasCache = FarkasCache::new();
@@ -395,6 +425,20 @@ pub fn schedule_scop(
                 if !state.first_loop_done {
                     let cuts = strategy.post_loop_cuts(&state, &rows);
                     if !cuts.is_empty() && state.apply_cuts(&cuts) {
+                        if obs::decisions_on() {
+                            obs::decision(
+                                "cut.post_loop",
+                                format!(
+                                    "{}: cut(s) at SCC position(s) {cuts:?} rejected the \
+                                     first loop hyperplane (Algorithm 2); re-solving",
+                                    strategy.name()
+                                ),
+                                vec![
+                                    ("boundaries", format!("{cuts:?}")),
+                                    ("hyperplane_before", rows_summary(&rows)),
+                                ],
+                            );
+                        }
                         continue; // re-solve the level with the new cuts
                     }
                 }
@@ -403,6 +447,17 @@ pub fn schedule_scop(
                 if state.band_edges.is_none() {
                     state.band_edges = Some(state.unsatisfied());
                     state.n_bands += 1;
+                }
+                if obs::decisions_on() {
+                    obs::decision(
+                        "hyperplane",
+                        format!(
+                            "{}: accepted loop hyperplane at schedule dim {}",
+                            strategy.name(),
+                            state.schedule.n_dims()
+                        ),
+                        vec![("rows", rows_summary(&rows))],
+                    );
                 }
                 state.schedule.push_dim(DimKind::Loop, rows);
                 state.band_of_dim.push(Some(state.n_bands - 1));
@@ -437,7 +492,27 @@ pub fn schedule_scop(
                 } else {
                     strategy.cuts_on_failure(&state, &failed)
                 };
-                if !state.apply_cuts(&cuts) {
+                if state.apply_cuts(&cuts) {
+                    if obs::decisions_on() {
+                        let (kind, why) = if exhausted {
+                            ("cut.budget", "fusion ILP budget exhausted")
+                        } else {
+                            ("cut.failure", "no legal hyperplane exists")
+                        };
+                        obs::decision(
+                            kind,
+                            format!(
+                                "{}: {why} for statements {failed:?}; distributing at \
+                                 SCC position(s) {cuts:?}",
+                                strategy.name()
+                            ),
+                            vec![
+                                ("statements", format!("{failed:?}")),
+                                ("boundaries", format!("{cuts:?}")),
+                            ],
+                        );
+                    }
+                } else {
                     if exhausted {
                         // Distinguish "the ILP gave up" from "there is no
                         // hyperplane": the former is a budget condition the
@@ -680,16 +755,12 @@ fn solve_component(
     // either way). All-positive first; bail after a bounded number of
     // combinations.
     cs.simplify();
-    if std::env::var_os("WF_TRACE").is_some() {
-        eprintln!(
-            "[solve_component] members={} vars={} rows={} kernels={}",
-            members.len(),
-            n_sched,
-            cs.constraints.len(),
-            kernel_vectors.len()
-        );
-    }
-    let t0 = std::time::Instant::now();
+    let mut comp_span = wf_harness::span!("schedule.component");
+    comp_span
+        .arg("members", members.len().to_string())
+        .arg("vars", n_sched.to_string())
+        .arg("rows", cs.constraints.len().to_string())
+        .arg("kernels", kernel_vectors.len().to_string());
     let n_k = kernel_vectors.len();
     let combos = 1usize << n_k.min(7);
     for mask in 0..combos {
@@ -715,14 +786,10 @@ fn solve_component(
             sys.add_ge0(sum);
         }
         let budget = wf_polyhedra::IlpBudget::nodes(config.ilp_node_budget);
-        let solved = wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, &budget);
-        if std::env::var_os("WF_TRACE").is_some() {
-            eprintln!(
-                "[solve_component] lexmin combo {mask} took {:?} (outcome={:?})",
-                t0.elapsed(),
-                solved.as_ref().map(|o| o.is_some())
-            );
-        }
+        let solved = {
+            let _span = wf_harness::span!("ilp.solve", "combo" => mask.to_string());
+            wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, &budget)
+        };
         match solved {
             Err(_) => return SolveOutcome::Exhausted,
             Ok(Some((_, point))) => {

@@ -80,6 +80,7 @@ fn iter_index(name: &str) -> Option<usize> {
 
 /// Parse a `.wfs` document into a validated [`Scop`].
 pub fn parse(input: &str) -> Result<Scop, ParseError> {
+    let _span = wf_harness::span!("scop.parse");
     let mut lines = input
         .lines()
         .enumerate()
