@@ -12,7 +12,7 @@ use wf_codegen::plan::build_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_deps::analyze;
 use wf_harness::json::Json;
-use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_runtime::{ExecContext, ProgramData};
 use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{schedule_scop, Maxfuse, PlutoConfig};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
@@ -66,14 +66,9 @@ fn main() {
         let mut data = ProgramData::new(&scop, &params);
         data.init_random(1);
         let mut sim = CacheSim::new(&scop, &params, &cfg);
-        execute_plan(
-            &scop,
-            &t,
-            plan,
-            &mut data,
-            &ExecOptions { threads: 1 },
-            Some(&mut sim),
-        );
+        ExecContext::serial()
+            .execute_observed(&scop, &t, plan, &mut data, &mut sim)
+            .expect("serial observed execution");
         let ops = (params[0] * params[0] * params[0]) as f64;
         println!(
             "{:<12} {:>14} {:>12.4}",

@@ -11,7 +11,12 @@
 //!   bypassed — the wall-clock speedup the report headlines), and through
 //!   the schedule cache (a cold populating pass plus a warm pass whose
 //!   hits skip the ILP entirely);
-//! * **codegen** — building the execution plan for every scheduled model.
+//! * **codegen** — building the execution plan for every scheduled model;
+//! * **executor** — running wisefuse's plan over real tensors three ways:
+//!   a serial baseline, per-band fresh workers (the old scoped-spawn cost
+//!   model), and the shared process pool ([`ExecContext`]). The
+//!   scoped-vs-pooled timing pair is the report's executor column, and
+//!   all outputs must be byte-identical to the serial baseline.
 //!
 //! Every extra pass doubles as a determinism check: the parallel, cached,
 //! and pool-replayed schedules must be **identical** to the serial ones
@@ -26,7 +31,13 @@ use std::time::Instant;
 use wf_benchsuite::{catalog, Benchmark};
 use wf_harness::json::Json;
 use wf_harness::{obs, pool};
+use wf_runtime::{ExecContext, ExecOptions, ProgramData};
 use wf_wisefuse::{cache, Model, Optimized, Optimizer};
+
+/// Benchmark parameters are clamped to this for the executor phase: big
+/// enough that parallel bands actually fork, small enough that the batch
+/// stays interactive.
+const EXEC_PARAM_CAP: i128 = 96;
 
 /// Knobs for one [`run`].
 #[derive(Clone, Debug)]
@@ -42,7 +53,7 @@ pub struct BenchAllOptions {
 impl Default for BenchAllOptions {
     fn default() -> BenchAllOptions {
         BenchAllOptions {
-            threads: pool::env_threads(),
+            threads: pool::global().n_threads(),
             filter: String::new(),
         }
     }
@@ -102,6 +113,8 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let mut tot_serial = 0.0;
     let mut tot_parallel = 0.0;
     let mut tot_codegen = 0.0;
+    let mut tot_exec_scoped = 0.0;
+    let mut tot_exec_pooled = 0.0;
     // The serial-pass results, kept for the cross-SCoP pool verification.
     let mut expected: Vec<(usize, RunSet)> = Vec::new();
 
@@ -159,11 +172,58 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         }
         let codegen_seconds = secs(t);
 
-        determinism_ok &= parallel_same && cached_same;
+        // Phase 4: the interpreting executor, scoped-spawn vs shared pool.
+        // Wisefuse's plan runs over identical inputs three ways; the
+        // timing pair is the scoped-vs-pooled column and every successful
+        // run's output must equal the serial baseline byte-for-byte.
+        let mut exec_scoped_seconds = 0.0;
+        let mut exec_pooled_seconds = 0.0;
+        let mut exec_ok = true;
+        let wisefuse = serial
+            .iter()
+            .find(|(m, _)| *m == Model::Wisefuse)
+            .and_then(|(_, r)| r.as_ref().ok());
+        if let Some(opt) = wisefuse {
+            let plan = opt.plan(&b.scop);
+            let params: Vec<i128> = b
+                .bench_params
+                .iter()
+                .map(|&p| p.min(EXEC_PARAM_CAP))
+                .collect();
+            let mut init = ProgramData::new(&b.scop, &params);
+            init.init_random(2024);
+            let run = |eopts: ExecOptions| -> (f64, Option<ProgramData>) {
+                let mut data = init.clone();
+                let t = Instant::now();
+                let r = ExecContext::with_options(eopts).execute(
+                    &b.scop,
+                    &opt.transformed,
+                    &plan,
+                    &mut data,
+                );
+                (secs(t), r.ok().map(|()| data))
+            };
+            let (_, base) = run(ExecOptions::new());
+            let (scoped_s, scoped) = run(ExecOptions::new().threads(threads).per_band_pool(true));
+            let (pooled_s, pooled) = run(ExecOptions::new().threads(threads));
+            exec_scoped_seconds = scoped_s;
+            exec_pooled_seconds = pooled_s;
+            // Under `WF_FAULT` a pass may Err (contained partition panic);
+            // the batch rides on, and only a *successful* pass whose output
+            // diverges from the serial baseline fails the gate.
+            if let Some(expected) = &base {
+                exec_ok = scoped.as_ref().is_none_or(|d| d == expected)
+                    && pooled.as_ref().is_none_or(|d| d == expected);
+            }
+        }
+
+        determinism_ok &= parallel_same && cached_same && exec_ok;
         tot_analysis += analysis_seconds;
         tot_serial += serial_seconds;
         tot_parallel += parallel_seconds;
         tot_codegen += codegen_seconds;
+        tot_exec_scoped += exec_scoped_seconds;
+        tot_exec_pooled += exec_pooled_seconds;
 
         let models: Vec<Json> = serial
             .iter()
@@ -205,7 +265,17 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             ("cache_warm_seconds", cached_warm_seconds.into()),
             ("codegen_seconds", codegen_seconds.into()),
             ("codegen_plans", plans.into()),
-            ("determinism_ok", (parallel_same && cached_same).into()),
+            ("exec_scoped_seconds", exec_scoped_seconds.into()),
+            ("exec_pooled_seconds", exec_pooled_seconds.into()),
+            (
+                "exec_speedup",
+                (exec_scoped_seconds / exec_pooled_seconds.max(1e-12)).into(),
+            ),
+            ("exec_ok", exec_ok.into()),
+            (
+                "determinism_ok",
+                (parallel_same && cached_same && exec_ok).into(),
+            ),
             ("models", Json::Arr(models)),
             // What this SCoP's passes cost the pipeline, as a registry
             // delta: ILP nodes/pivots, FM eliminations, cache traffic.
@@ -245,6 +315,12 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
                 ("ilp_parallel_seconds", tot_parallel.into()),
                 ("ilp_speedup", (tot_serial / tot_parallel.max(1e-12)).into()),
                 ("codegen_seconds", tot_codegen.into()),
+                ("exec_scoped_seconds", tot_exec_scoped.into()),
+                ("exec_pooled_seconds", tot_exec_pooled.into()),
+                (
+                    "exec_speedup",
+                    (tot_exec_scoped / tot_exec_pooled.max(1e-12)).into(),
+                ),
                 ("pool_replay_seconds", pool_seconds.into()),
             ]),
         ),

@@ -9,8 +9,9 @@ use std::time::{Duration, Instant};
 use wf_cachesim::perf::{model_performance, MachineModel, PerfReport};
 use wf_codegen::ExecPlan;
 use wf_harness::json::Json;
+use wf_harness::pool;
 use wf_harness::report;
-use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_runtime::{ExecContext, ProgramData};
 use wf_scop::Scop;
 use wf_wisefuse::{plan_from_optimized, Model, Optimized, Optimizer};
 
@@ -37,12 +38,12 @@ pub fn measure(
     scop: &Scop,
     params: &[i128],
     model: Model,
-    threads: usize,
+    ctx: &ExecContext<'_>,
     init: &ProgramData,
     oracle: Option<&ProgramData>,
 ) -> Measurement {
     let _ = params;
-    measure_via(&mut Optimizer::new(scop), model, threads, init, oracle)
+    measure_via(&mut Optimizer::new(scop), model, ctx, init, oracle)
 }
 
 /// [`measure`] through an existing [`Optimizer`], sharing its cached
@@ -51,7 +52,7 @@ pub fn measure(
 pub fn measure_via(
     optimizer: &mut Optimizer<'_>,
     model: Model,
-    threads: usize,
+    ctx: &ExecContext<'_>,
     init: &ProgramData,
     oracle: Option<&ProgramData>,
 ) -> Measurement {
@@ -64,14 +65,8 @@ pub fn measure_via(
     let compile_time = c0.elapsed();
     let mut data = init.clone();
     let t0 = Instant::now();
-    execute_plan(
-        scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads },
-        None,
-    );
+    ctx.execute(scop, &opt.transformed, &plan, &mut data)
+        .unwrap_or_else(|e| panic!("{}: {model:?}: {e}", scop.name));
     let time = t0.elapsed();
     if let Some(o) = oracle {
         assert_eq!(
@@ -128,12 +123,12 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// Number of worker threads used by the harnesses (the paper uses 8 cores).
+/// Number of worker threads used by the harnesses: the shared pool's size
+/// (`WF_THREADS`, else available parallelism capped at the paper's 8
+/// cores — parsed exactly once, at pool construction).
 #[must_use]
 pub fn harness_threads() -> usize {
-    std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(8)
+    pool::global().n_threads()
 }
 
 /// Schedule + plan + instrumented serial run priced on the machine model.

@@ -34,6 +34,8 @@ fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
         "ilp_parallel_seconds",
         "cache_warm_seconds",
         "codegen_seconds",
+        "exec_scoped_seconds",
+        "exec_pooled_seconds",
     ] {
         assert!(
             row.get(phase)
@@ -42,6 +44,11 @@ fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
             "missing phase timing {phase}"
         );
     }
+    assert_eq!(
+        row.get("exec_ok").and_then(Json::as_bool),
+        Some(true),
+        "executor scoped/pooled outputs diverged from the serial baseline"
+    );
     let models = row.get("models").and_then(Json::as_arr).expect("models");
     assert_eq!(models.len(), 5, "one row per fusion model");
 

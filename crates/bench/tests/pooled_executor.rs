@@ -1,0 +1,158 @@
+//! Pooled-executor guarantees on the real benchmark catalog:
+//!
+//! 1. **Determinism** — for every catalog kernel, the wisefuse schedule
+//!    executed through the shared pool produces byte-identical arrays at
+//!    1, 2, 4, and 8 threads, and through a dedicated per-band pool.
+//! 2. **Panic containment** — a fault injected into one partition
+//!    (`runtime.partition`) surfaces as a typed [`WfError::JobPanic`]
+//!    while sibling partitions' results stay intact: after the failed
+//!    run every element is either its initial value (panicked chunk) or
+//!    its fully-computed value (surviving chunks).
+//!
+//! Fault injection is process-global, so everything lives in one `#[test]`
+//! to keep the deterministic runs out of the fault climate.
+
+use std::panic;
+use wf_benchsuite::catalog;
+use wf_harness::fault::{self, FaultPlan};
+use wf_runtime::{execute_reference, ExecContext, ExecOptions, ProgramData, WfError};
+use wf_scop::{Aff, Expr, Scop, ScopBuilder};
+use wf_wisefuse::plan_from_optimized;
+use wf_wisefuse::{optimize, Model};
+
+/// One embarrassingly parallel statement: `C[i] = 2 * A[i]`. Wisefuse
+/// keeps the band outer-parallel, so the executor chunks it across
+/// workers — the shape we need to observe containment per chunk.
+fn stream_scop() -> Scop {
+    let mut b = ScopBuilder::new("stream", &["N"]);
+    b.context_ge(Aff::param(0) - 4);
+    let a = b.array("A", &[Aff::param(0)]);
+    let c = b.array("C", &[Aff::param(0)]);
+    b.stmt("S0", 1, &[0, 0])
+        .bounds(0, Aff::zero(), Aff::param(0) - 1)
+        .write(c, &[Aff::iter(0)])
+        .read(a, &[Aff::iter(0)])
+        .rhs(Expr::mul(Expr::Const(2.0), Expr::Load(0)))
+        .done();
+    b.build()
+}
+
+#[test]
+fn pooled_executor_is_deterministic_and_contains_panics() {
+    fault::disable();
+
+    // Part 1: catalog-wide thread-count determinism.
+    for b in catalog() {
+        let opt = optimize(&b.scop, Model::Wisefuse)
+            .unwrap_or_else(|e| panic!("{}: wisefuse failed to schedule: {e}", b.name));
+        let plan = plan_from_optimized(&b.scop, &opt);
+        let mut init = ProgramData::new(&b.scop, &b.test_params);
+        init.init_random(2024);
+
+        let mut base = init.clone();
+        ExecContext::serial()
+            .execute(&b.scop, &opt.transformed, &plan, &mut base)
+            .unwrap_or_else(|e| panic!("{}: serial execution failed: {e}", b.name));
+
+        for threads in [2usize, 4, 8] {
+            let mut data = init.clone();
+            ExecContext::with_threads(threads)
+                .execute(&b.scop, &opt.transformed, &plan, &mut data)
+                .unwrap_or_else(|e| panic!("{}: {threads}-thread execution failed: {e}", b.name));
+            assert!(
+                data == base,
+                "{}: {threads} threads diverge from the serial run",
+                b.name
+            );
+        }
+
+        // A dedicated per-band pool must use the same chunk map as the
+        // shared pool — identical bytes again.
+        let mut data = init.clone();
+        ExecContext::with_options(ExecOptions::new().threads(4).per_band_pool(true))
+            .execute(&b.scop, &opt.transformed, &plan, &mut data)
+            .unwrap_or_else(|e| panic!("{}: per-band-pool execution failed: {e}", b.name));
+        assert!(
+            data == base,
+            "{}: per-band pool diverges from the serial run",
+            b.name
+        );
+    }
+
+    // Part 2: panic containment on a parallel band.
+    let scop = stream_scop();
+    let params = [64i128];
+    let opt = optimize(&scop, Model::Wisefuse).expect("stream schedules");
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &params);
+    init.init_random(7);
+
+    let mut expected = init.clone();
+    ExecContext::with_threads(4)
+        .execute(&scop, &opt.transformed, &plan, &mut expected)
+        .expect("fault-free pooled run");
+    let mut oracle = init.clone();
+    execute_reference(&scop, &mut oracle);
+    assert_eq!(expected.max_abs_diff(&oracle), 0.0, "stream kernel sanity");
+
+    // Silence the per-panic backtrace spew from injected partition
+    // panics; restored before the test returns.
+    let quiet = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let (mut oks, mut contained) = (0u32, 0u32);
+    for seed in 0..40u64 {
+        fault::install(FaultPlan {
+            site: Some("runtime.partition".to_string()),
+            ..FaultPlan::all(seed, 300)
+        });
+        let mut data = init.clone();
+        match ExecContext::with_threads(4).execute(&scop, &opt.transformed, &plan, &mut data) {
+            Ok(()) => {
+                oks += 1;
+                assert!(
+                    data == expected,
+                    "seed {seed}: an un-faulted run diverged from the expected output"
+                );
+            }
+            Err(e) => {
+                contained += 1;
+                assert!(
+                    matches!(e, WfError::JobPanic { .. }),
+                    "seed {seed}: injected partition panic surfaced as {e:?}"
+                );
+                // Sibling chunks stay intact: a partition panics before
+                // touching data, so every element must be either its
+                // initial value or its fully-computed value.
+                for (t_got, (t_init, t_want)) in data
+                    .arrays
+                    .iter()
+                    .zip(init.arrays.iter().zip(&expected.arrays))
+                {
+                    for (k, v) in t_got.data.iter().enumerate() {
+                        assert!(
+                            v.to_bits() == t_init.data[k].to_bits()
+                                || v.to_bits() == t_want.data[k].to_bits(),
+                            "seed {seed}: element {k} is neither initial nor final \
+                             (a panicked chunk corrupted a sibling's range)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    panic::set_hook(quiet);
+    assert!(oks > 0, "no injected run ever completed at a 30% rate");
+    assert!(
+        contained > 0,
+        "no partition panic was ever injected/contained"
+    );
+
+    // Faults off => the machinery leaves no residue.
+    fault::disable();
+    let mut replay = init.clone();
+    ExecContext::with_threads(4)
+        .execute(&scop, &opt.transformed, &plan, &mut replay)
+        .expect("fault-free replay");
+    assert!(replay == expected, "fault-free replay diverged");
+}

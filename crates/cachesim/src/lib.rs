@@ -7,7 +7,8 @@
 //! 256 KiB 8-way L2, 20 MiB 16-way shared L3, 64-byte lines.
 //!
 //! [`CacheSim`] implements [`wf_runtime::AccessObserver`], so it can be
-//! plugged straight into a serial [`wf_runtime::execute_plan`] run to count
+//! plugged straight into a serial
+//! [`wf_runtime::ExecContext::execute_observed`] run to count
 //! misses per level for any fusion model. A separate exact reuse-distance
 //! profiler ([`ReuseProfiler`]) reports the LRU stack-distance histogram.
 

@@ -26,7 +26,7 @@
 
 use crate::{CacheConfig, CacheSim};
 use wf_codegen::ExecPlan;
-use wf_runtime::{execute_plan, AccessObserver, ExecOptions, ProgramData};
+use wf_runtime::{AccessObserver, ExecContext, ProgramData};
 use wf_schedule::props::LoopProp;
 use wf_schedule::transform::DimKind;
 use wf_scop::{Expr, Scop};
@@ -200,14 +200,9 @@ pub fn model_performance(
             .map(|s| expr_ops(&s.rhs) + 1)
             .collect(),
     };
-    execute_plan(
-        scop,
-        &opt.transformed,
-        plan,
-        data,
-        &ExecOptions { threads: 1 },
-        Some(&mut att),
-    );
+    ExecContext::serial()
+        .execute_observed(scop, &opt.transformed, plan, data, &mut att)
+        .expect("serial observed execution cannot fail");
 
     // Classify each partition and count outer trips.
     let first_loop = opt

@@ -24,7 +24,7 @@ use wf_codegen::render_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_harness::json::Json;
 use wf_harness::obs;
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{ExecContext, ExecOptions, ProgramData};
 use wf_schedule::PlutoConfig;
 use wf_scop::pretty;
 use wf_scop::Scop;
@@ -44,8 +44,9 @@ fn main() -> ExitCode {
 fn run() -> Result<(), WfError> {
     // Environment overrides are validated up front: a typo'd WF_THREADS or
     // WF_CACHE_MAX_BYTES is an invalid request (exit 2), not a silent
-    // fallback to defaults.
-    wf_harness::pool::try_env_threads()?;
+    // fallback to defaults. `WF_THREADS` is parsed exactly once, here, and
+    // travels with the context from then on.
+    let ctx = ExecContext::from_env()?;
     cache::SpillCaps::try_from_env()?;
     // `--trace <path>` (any position, any subcommand) and WF_TRACE=<path>
     // both enable span + metrics recording; the Chrome trace is written
@@ -65,7 +66,7 @@ fn run() -> Result<(), WfError> {
         usage();
         return Err(WfError::invalid("missing command"));
     };
-    let result = dispatch(cmd, &mut it);
+    let result = dispatch(cmd, &mut it, &ctx);
     if let Some(path) = trace_path {
         match obs::write_trace(&path) {
             Ok(()) => eprintln!("trace written to {path}"),
@@ -77,11 +78,15 @@ fn run() -> Result<(), WfError> {
     result
 }
 
-fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+fn dispatch<'a>(
+    cmd: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+    ctx: &ExecContext<'_>,
+) -> Result<(), WfError> {
     match cmd {
         "list" => cmd_list(),
         "bench-all" => {
-            let opts = Opts::parse(it)?;
+            let opts = Opts::parse(it, ctx)?;
             cmd_bench_all(&opts)
         }
         "cache" => cmd_cache(it),
@@ -98,7 +103,7 @@ fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<
                 .next()
                 .ok_or_else(|| WfError::invalid("missing .wfs path"))?
                 .clone();
-            let opts = Opts::parse(it)?;
+            let opts = Opts::parse(it, ctx)?;
             cmd_optfile(&path, &opts)
         }
         "show" | "opt" | "run" | "compare" | "emit" | "model" | "explain" => {
@@ -107,15 +112,15 @@ fn dispatch<'a>(cmd: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<
                 WfError::invalid("missing benchmark name")
             })?;
             let bench = lookup(name)?;
-            let opts = Opts::parse(it)?;
+            let opts = Opts::parse(it, ctx)?;
             match cmd {
                 "show" => cmd_show(&bench),
                 "opt" => cmd_opt(&bench, &opts),
-                "run" => cmd_run(&bench, &opts),
+                "run" => cmd_run(&bench, &opts, ctx),
                 "emit" => cmd_emit(&bench, &opts),
                 "model" => cmd_model(&bench, &opts),
                 "explain" => cmd_explain(&bench, &opts),
-                _ => cmd_compare(&bench, &opts),
+                _ => cmd_compare(&bench, &opts, ctx),
             }
         }
         "--help" | "-h" | "help" => {
@@ -146,8 +151,10 @@ USAGE:
   wfc compare <bench> [--threads T] [--size N] [--json]
   wfc bench-all [--threads T] [--json] [--check-regressions]
                                                # catalog × all models, one process;
-                                               # writes BENCH_all.json, fails on any
-                                               # parallel/cache determinism mismatch;
+                                               # writes BENCH_all.json (incl. the
+                                               # executor's scoped-vs-pooled column),
+                                               # fails on any parallel/cache/executor
+                                               # determinism mismatch;
                                                # --check-regressions also fails when
                                                # an ILP phase is >2x the previous run
   wfc explain <bench> [--model M] [--json]     # why the scheduler fused what it
@@ -178,10 +185,9 @@ EXIT CODES:
 
 struct Opts {
     model: Model,
+    /// Worker threads: `--threads` when given, else the context's count
+    /// (`WF_THREADS`, parsed once at startup).
     threads: usize,
-    /// Was `--threads` given explicitly? (`bench-all` falls back to the
-    /// `WF_THREADS` environment override otherwise.)
-    threads_set: bool,
     size: Option<i128>,
     cache: bool,
     verify: bool,
@@ -198,13 +204,13 @@ struct Opts {
 }
 
 impl Opts {
-    fn parse<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Opts, WfError> {
+    fn parse<'a>(
+        mut it: impl Iterator<Item = &'a String>,
+        ctx: &ExecContext<'_>,
+    ) -> Result<Opts, WfError> {
         let mut o = Opts {
             model: Model::Wisefuse,
-            threads: std::thread::available_parallelism()
-                .map_or(4, |p| p.get())
-                .min(8),
-            threads_set: false,
+            threads: ctx.threads(),
             size: None,
             cache: false,
             verify: false,
@@ -231,7 +237,6 @@ impl Opts {
                         .ok_or_else(|| WfError::invalid("--threads needs a value"))?
                         .parse()
                         .map_err(|e| WfError::invalid(format!("--threads: {e}")))?;
-                    o.threads_set = true;
                 }
                 "--size" => {
                     o.size = Some(
@@ -303,6 +308,29 @@ fn schedule(scop: &Scop, opts: &Opts) -> Result<Optimized, WfError> {
     let opt = build_optimizer(scop, opts).run()?;
     warn_degraded(&opt);
     Ok(opt)
+}
+
+/// Execute under the CLI degradation policy: a degradable failure (e.g. a
+/// contained partition panic under `WF_FAULT`) re-runs serially from the
+/// preserved initial data unless `--strict` was given. The serial path
+/// never forks, so the retry is deterministic and fault-free.
+fn execute_degradable(
+    ectx: &ExecContext<'_>,
+    bench: &Benchmark,
+    opt: &Optimized,
+    plan: &wf_codegen::ExecPlan,
+    init: &ProgramData,
+    data: &mut ProgramData,
+    strict: bool,
+) -> Result<(), WfError> {
+    match ectx.execute(&bench.scop, &opt.transformed, plan, data) {
+        Err(e) if !strict && e.is_degradable() => {
+            eprintln!("warning: {e}; re-running this kernel serially");
+            *data = init.clone();
+            ExecContext::serial().execute(&bench.scop, &opt.transformed, plan, data)
+        }
+        r => r,
+    }
 }
 
 /// The `wfc cache` subcommand: report, prune, or clear the
@@ -430,11 +458,7 @@ fn cmd_list() -> Result<(), WfError> {
 
 fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
     let ba = wf_bench::benchall::BenchAllOptions {
-        threads: if opts.threads_set {
-            opts.threads
-        } else {
-            wf_harness::pool::env_threads()
-        },
+        threads: opts.threads,
         ..wf_bench::benchall::BenchAllOptions::default()
     };
     // The previous run's report, read *before* write_named overwrites it —
@@ -470,6 +494,12 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
             f("ilp_parallel_seconds"),
             f("ilp_speedup"),
             f("codegen_seconds"),
+        );
+        println!(
+            "  executor (wisefuse): scoped {:.3}s   pooled {:.3}s ({:.2}x)",
+            f("exec_scoped_seconds"),
+            f("exec_pooled_seconds"),
+            f("exec_speedup"),
         );
         let s = &outcome.cache_stats;
         println!(
@@ -563,7 +593,7 @@ fn cmd_opt(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     Ok(())
 }
 
-fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
+fn cmd_run(bench: &Benchmark, opts: &Opts, ctx: &ExecContext<'_>) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let c0 = Instant::now();
     let opt = schedule(&bench.scop, opts)?;
@@ -577,27 +607,25 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     let compile = c0.elapsed();
     let mut data = ProgramData::new(&bench.scop, &params);
     data.init_random(2024);
+    let init = data.clone();
     let oracle = if opts.verify {
         let mut o = data.clone();
-        execute_reference(&bench.scop, &mut o);
+        ctx.reference(&bench.scop, &mut o);
         Some(o)
     } else {
         None
     };
+    // Address tracing requires serial execution, so --cache forces 1.
     let threads = if opts.cache { 1 } else { opts.threads };
+    let ectx = ctx.clone().options(ExecOptions::new().threads(threads));
     let mut sim = opts
         .cache
         .then(|| CacheSim::new(&bench.scop, &params, &CacheConfig::xeon_e5_2650()));
     let t0 = Instant::now();
-    execute_plan(
-        &bench.scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads },
-        sim.as_mut()
-            .map(|s| s as &mut dyn wf_runtime::AccessObserver),
-    );
+    match sim.as_mut() {
+        Some(s) => ectx.execute_observed(&bench.scop, &opt.transformed, &plan, &mut data, s)?,
+        None => execute_degradable(&ectx, bench, &opt, &plan, &init, &mut data, opts.strict)?,
+    }
     let dt = t0.elapsed();
     let verified = match &oracle {
         None => None,
@@ -664,10 +692,13 @@ fn cmd_run(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     Ok(())
 }
 
-fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
+fn cmd_compare(bench: &Benchmark, opts: &Opts, ctx: &ExecContext<'_>) -> Result<(), WfError> {
     let params = [opts.size.unwrap_or(bench.bench_params[0])];
     let mut init = ProgramData::new(&bench.scop, &params);
     init.init_random(2024);
+    let ectx = ctx
+        .clone()
+        .options(ExecOptions::new().threads(opts.threads));
     // Dependence analysis runs ONCE here; every model schedules against the
     // facade's cached graph.
     let mut optimizer = build_optimizer(&bench.scop, opts);
@@ -696,16 +727,7 @@ fn cmd_compare(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
         let compile = c0.elapsed();
         let mut data = init.clone();
         let t0 = Instant::now();
-        execute_plan(
-            &bench.scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions {
-                threads: opts.threads,
-            },
-            None,
-        );
+        execute_degradable(&ectx, bench, &opt, &plan, &init, &mut data, opts.strict)?;
         let run = t0.elapsed();
         if opts.json {
             rows.push(Json::obj([

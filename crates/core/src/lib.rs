@@ -51,7 +51,7 @@ pub mod prelude {
         optimize, optimize_with, plan_from_optimized, Model, Optimized, Optimizer, WfError,
     };
     pub use wf_codegen::{render_plan, ExecPlan};
-    pub use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+    pub use wf_runtime::{execute_reference, ExecContext, ExecOptions, ProgramData};
     pub use wf_schedule::PlutoConfig;
 }
 

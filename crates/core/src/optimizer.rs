@@ -36,12 +36,13 @@
 //!
 //! * **Parallel model scheduling.** The five models are independent given
 //!   the shared DDG, so [`run_all`](Optimizer::run_all) distributes them
-//!   over [`wf_harness::pool::scoped_map`]. The worker count defaults to
-//!   the `WF_THREADS` environment variable (see
-//!   [`pool::env_threads`](wf_harness::pool::env_threads)) and can be
-//!   pinned with [`threads`](Optimizer::threads); `1` runs serially
-//!   inline. Results are returned in [`Model::ALL`] order regardless of
-//!   completion order, and are **byte-identical** to the serial path.
+//!   over the shared [`pool::global`](wf_harness::pool::global) thread
+//!   pool via [`ThreadPool::try_scope`](wf_harness::ThreadPool::try_scope).
+//!   The worker count defaults to the pool's size (`WF_THREADS`, parsed
+//!   once at pool construction) and can be pinned with
+//!   [`threads`](Optimizer::threads); `1` runs serially inline. Results
+//!   are returned in [`Model::ALL`] order regardless of completion order,
+//!   and are **byte-identical** to the serial path.
 //! * **Schedule memoization.** Each model's scheduling step is looked up
 //!   in the process-wide [`cache`](crate::cache), keyed by a stable
 //!   `(SCoP canonical text, model, config)` fingerprint; the ILP only
@@ -215,7 +216,7 @@ impl<'a> Optimizer<'a> {
         let mut _span = wf_harness::span!("optimizer.run_all", "scop" => self.scop.name.clone());
         let threads = self
             .threads
-            .unwrap_or_else(pool::env_threads)
+            .unwrap_or_else(|| pool::global().n_threads())
             .min(Model::ALL.len());
         let keys: Vec<Option<Fingerprint>> = Model::ALL
             .into_iter()
@@ -225,14 +226,11 @@ impl<'a> Optimizer<'a> {
         self.ddg();
         let ddg = self.ddg.as_ref().expect("cached by ddg()");
         let (scop, config) = (self.scop, &self.config);
-        let slots = pool::try_scoped_map(
-            threads,
-            Model::ALL.into_iter().zip(keys).collect(),
-            |(m, key)| {
-                fault::maybe_panic("optimizer.model_job");
-                (m, run_one(scop, ddg, m, config, key))
-            },
-        );
+        let slots = pool::global().try_scope(threads, Model::ALL.len(), |i| {
+            fault::maybe_panic("optimizer.model_job");
+            let m = Model::ALL[i];
+            (m, run_one(scop, ddg, m, config, keys[i]))
+        });
         Model::ALL
             .into_iter()
             .zip(slots)

@@ -24,8 +24,9 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use wf_harness::fault::{self, FaultPlan};
+use wf_runtime::{ExecContext, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
-use wf_wisefuse::{cache, Model, Optimized, Optimizer, WfError};
+use wf_wisefuse::{cache, plan_from_optimized, Model, Optimized, Optimizer, WfError};
 
 /// Two producer/consumer statements — small enough that 240 fault runs
 /// stay fast, real enough that every seam (dependence ILP, fusion ILP,
@@ -162,6 +163,61 @@ fn pipeline_survives_every_injected_fault() {
     assert!(
         same_runs(&first, &second),
         "seed 42 must reproduce identical injections on a serial run"
+    );
+
+    // Property 4b: the pooled executor under site-targeted partition
+    // faults. Panics injected at `runtime.partition` must surface as
+    // typed degradable `JobPanic` errors, never escape, reproduce under
+    // the same seed, and leave no residue once disabled.
+    fault::disable();
+    let opt = wf_wisefuse::optimize(&scop, Model::Wisefuse).expect("wisefuse fault-free");
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &[32]);
+    init.init_random(11);
+    let mut expected = init.clone();
+    ExecContext::with_threads(4)
+        .execute(&scop, &opt.transformed, &plan, &mut expected)
+        .expect("fault-free pooled execution");
+
+    let mut exec_panics = 0u32;
+    let exec_under = |seed: u64, threads: usize, init: &ProgramData| {
+        fault::install(FaultPlan {
+            site: Some("runtime.partition".to_string()),
+            ..FaultPlan::all(seed, 300)
+        });
+        let mut data = init.clone();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            ExecContext::with_threads(threads).execute(&scop, &opt.transformed, &plan, &mut data)
+        }))
+        .unwrap_or_else(|_| panic!("seed {seed}: a partition panic escaped the executor"));
+        (r, data)
+    };
+    for seed in 0..120u64 {
+        let (r, data) = exec_under(seed, 4, &init);
+        match r {
+            Ok(()) => assert!(
+                data == expected,
+                "seed {seed}: un-faulted pooled run diverged"
+            ),
+            Err(e) => {
+                exec_panics += 1;
+                assert!(
+                    matches!(e, WfError::JobPanic { .. }) && e.is_degradable(),
+                    "seed {seed}: injected partition fault surfaced as {e:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        exec_panics > 0,
+        "no partition fault ever fired in 120 seeds"
+    );
+    let (first_exec, _) = exec_under(42, 4, &init);
+    let (second_exec, _) = exec_under(42, 4, &init);
+    assert_eq!(
+        first_exec.is_ok(),
+        second_exec.is_ok(),
+        "seed 42 must reproduce the same executor outcome"
     );
 
     panic::set_hook(quiet);

@@ -14,9 +14,17 @@
 //! 2. [`disable`], which forces faults off even if the environment enables
 //!    them (tests use this around their fault-free baseline sections);
 //! 3. the `WF_FAULT` environment variable, parsed once per process:
-//!    `WF_FAULT=seed=42,rate=300,kinds=io|panic|budget` (rate is the
-//!    per-visit injection probability in parts per 1000; `kinds` defaults
-//!    to all three).
+//!    `WF_FAULT=seed=42,rate=300,kinds=io|panic|budget,site=<prefix>`
+//!    (rate is the per-visit injection probability in parts per 1000;
+//!    `kinds` defaults to all three; `site` restricts injection to sites
+//!    whose name starts with the given prefix and defaults to every site).
+//!
+//! The consulted sites are `cache.spill_read` / `cache.spill_write`
+//! (spill I/O), `optimizer.model_job` (model-scheduling pool jobs),
+//! `ilp.solve` (budget exhaustion), and `runtime.partition` (one visit per
+//! parallel-band chunk in the interpreting executor, so
+//! `WF_FAULT=...,kinds=panic,site=runtime.partition` targets executor
+//! jobs specifically).
 //!
 //! Injection is **deterministic**: each site keeps a visit counter, and
 //! the decision for visit `n` of site `s` is a pure function of
@@ -58,6 +66,11 @@ pub struct FaultPlan {
     pub panic: bool,
     /// Inject [`FaultKind::Budget`] faults?
     pub budget: bool,
+    /// Restrict injection to sites whose name starts with this prefix
+    /// (`None` = every site). Filtered-out sites do not advance their
+    /// visit counters, so targeting a site leaves its injection sequence
+    /// identical to an untargeted run.
+    pub site: Option<String>,
 }
 
 impl FaultPlan {
@@ -70,13 +83,14 @@ impl FaultPlan {
             io: true,
             panic: true,
             budget: true,
+            site: None,
         }
     }
 
     /// Parse the `WF_FAULT` syntax:
-    /// `seed=<u64>,rate=<0..=1000>,kinds=io|panic|budget` (any subset of
-    /// the comma-separated fields; `kinds` defaults to all, `seed` to 0,
-    /// `rate` to 100).
+    /// `seed=<u64>,rate=<0..=1000>,kinds=io|panic|budget,site=<prefix>`
+    /// (any subset of the comma-separated fields; `kinds` defaults to all,
+    /// `seed` to 0, `rate` to 100, `site` to every site).
     ///
     /// # Errors
     /// A human-readable description of the first malformed field.
@@ -114,6 +128,13 @@ impl FaultPlan {
                             other => return Err(format!("WF_FAULT unknown kind '{other}'")),
                         }
                     }
+                }
+                "site" => {
+                    let prefix = value.trim();
+                    if prefix.is_empty() {
+                        return Err("WF_FAULT site prefix must be non-empty".into());
+                    }
+                    plan.site = Some(prefix.to_string());
                 }
                 other => return Err(format!("WF_FAULT unknown field '{other}'")),
             }
@@ -231,6 +252,13 @@ pub fn should_inject(site: &str, kind: FaultKind) -> bool {
     if !plan.enabled(kind) || plan.rate == 0 {
         return false;
     }
+    // Site targeting filters *before* the counter bump: a targeted run
+    // sees the same visit numbering at its site as an untargeted one.
+    if let Some(prefix) = &plan.site {
+        if !site.starts_with(prefix.as_str()) {
+            return false;
+        }
+    }
     let n = {
         let counters = COUNTERS.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = counters
@@ -279,9 +307,33 @@ mod tests {
         let p = FaultPlan::parse("seed=7").unwrap();
         assert_eq!((p.seed, p.rate), (7, 100));
         assert!(p.io && p.panic && p.budget);
+        assert_eq!(p.site, None);
         assert!(FaultPlan::parse("rate=2000").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("kinds=nope").is_err());
+        assert!(FaultPlan::parse("site=").is_err());
+    }
+
+    #[test]
+    fn parse_site_prefix() {
+        let p = FaultPlan::parse("seed=1,rate=1000,kinds=panic,site=runtime.partition").unwrap();
+        assert_eq!(p.site.as_deref(), Some("runtime.partition"));
+        assert!(p.panic && !p.io && !p.budget);
+    }
+
+    #[test]
+    fn site_prefix_gates_injection() {
+        // rate 1000 => every enabled visit injects; only the targeted site
+        // may fire. (No other harness unit test consults should_inject, so
+        // installing a plan here cannot race a sibling test.)
+        install(FaultPlan {
+            site: Some("runtime.".to_string()),
+            ..FaultPlan::all(1, 1000)
+        });
+        assert!(should_inject("runtime.partition", FaultKind::Panic));
+        assert!(!should_inject("optimizer.model_job", FaultKind::Panic));
+        assert!(!should_inject("cache.spill_read", FaultKind::Io));
+        reset_to_env();
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod collection {
 pub use bench::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
 pub use error::WfError;
 pub use hash::{fnv1a_64, Fnv64};
-pub use pool::{scoped_map, try_scoped_map, JobPanicked, ThreadPool};
+pub use pool::{JobPanicked, ThreadPool};
 pub use rng::{Lcg64, SplitMix64};
 
 /// Everything the property-test suites need: strategies, the runner macro

@@ -1,32 +1,46 @@
 //! A small in-tree thread pool (`std::thread` + channels, no rayon).
 //!
-//! Two shapes cover every parallel site in the workspace:
+//! [`ThreadPool`] — persistent workers over one shared job channel — is
+//! the only parallel substrate in the workspace; every fork/join site
+//! routes through it:
 //!
-//! * [`scoped_map`] — fork/join over *borrowed* data: distribute the items
-//!   of a `Vec` over short-lived scoped workers and return the results **in
-//!   submission order**, regardless of which worker finished first. This is
-//!   what [`Optimizer::run_all`](../wf_wisefuse/struct.Optimizer.html)
-//!   uses to schedule the five fusion models concurrently against one
-//!   shared dependence graph.
-//! * [`ThreadPool`] — persistent workers for `'static` jobs, reused across
-//!   many submissions (the `wfc bench-all` driver keeps one alive across
-//!   all SCoPs of the catalog). [`ThreadPool::map`] preserves submission
-//!   order exactly like [`scoped_map`].
+//! * [`ThreadPool::map`] / [`ThreadPool::try_map`] distribute `'static`
+//!   jobs and return results **in submission order**, regardless of which
+//!   worker finished first (the `wfc bench-all` driver reuses one pool
+//!   across all SCoPs of the catalog this way).
+//! * [`ThreadPool::try_scope`] is fork/join over *borrowed* data: the
+//!   caller blocks until every job of the batch has finished, so jobs may
+//!   capture plain references. This is what
+//!   [`Optimizer::run_all`](../wf_wisefuse/struct.Optimizer.html) uses to
+//!   schedule the five fusion models against one shared dependence graph,
+//!   and what the interpreting executor's parallel bands run on (through
+//!   `wf_runtime::ExecContext`). The caller itself participates in
+//!   draining the batch, so a `try_scope` issued *from inside* a pool
+//!   job — or against a saturated pool — still completes instead of
+//!   deadlocking.
+//!
+//! The legacy free functions [`scoped_map`] / [`try_scoped_map`], which
+//! spawned fresh `std::thread::scope` workers per call, are deprecated in
+//! favor of the persistent pool; worker startup is paid once per process,
+//! not once per fork.
 //!
 //! There is deliberately no work stealing: jobs are pulled off one shared
 //! channel, which is contention-free at the workspace's job granularity
-//! (each job is an ILP-backed scheduling pass, milliseconds at minimum).
+//! (each job is an ILP-backed scheduling pass or an executor chunk,
+//! milliseconds at minimum).
 //!
-//! Determinism: both map helpers index every submission and slot results
-//! back by that index, so the output of a parallel map is **byte-identical**
-//! to the serial `items.into_iter().map(f).collect()` — worker count and
-//! finish order cannot leak into the result. `threads <= 1` (or a
-//! single-item input) never spawns at all and runs inline on the caller's
-//! thread, which is the documented `WF_THREADS=1` serial fallback.
+//! Determinism: every map/scope helper indexes its submissions and slots
+//! results back by that index, so the output of a parallel map is
+//! **byte-identical** to the serial `items.into_iter().map(f).collect()` —
+//! worker count and finish order cannot leak into the result.
+//! `threads <= 1` (or a single-item input) never forks at all and runs
+//! inline on the caller's thread, which is the documented `WF_THREADS=1`
+//! serial fallback.
 
 use crate::error::WfError;
 use crate::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -83,6 +97,10 @@ pub fn try_env_threads() -> Result<usize, WfError> {
 
 /// Infallible [`try_env_threads`] for library paths that cannot surface
 /// errors: an invalid `WF_THREADS` falls back to the serial count 1.
+#[deprecated(
+    note = "parse the environment once at context construction (try_env_threads / \
+            wf_runtime::ExecContext::from_env) instead of re-reading it per call site"
+)]
 #[must_use]
 pub fn env_threads() -> usize {
     try_env_threads().unwrap_or(1)
@@ -91,6 +109,10 @@ pub fn env_threads() -> usize {
 /// Map `f` over `items` on up to `threads` scoped workers, returning
 /// results in submission order. `threads <= 1` runs inline (serial
 /// fallback); panics in `f` propagate to the caller.
+#[deprecated(
+    note = "route fork/join over borrowed data through ThreadPool::try_scope (persistent \
+            workers) instead of spawning fresh scoped threads per call"
+)]
 pub fn scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -153,6 +175,10 @@ where
 /// `Err(JobPanicked)` for its slot instead of poisoning the whole map, the
 /// other jobs' results survive, and the workers keep draining the queue.
 /// Submission-order determinism is identical to [`scoped_map`].
+#[deprecated(
+    note = "route fork/join over borrowed data through ThreadPool::try_scope (persistent \
+            workers) instead of spawning fresh scoped threads per call"
+)]
 pub fn try_scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, JobPanicked>>
 where
     T: Send,
@@ -213,6 +239,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Persistent workers over one shared job channel; see the module docs.
 pub struct ThreadPool {
     tx: Option<mpsc::Sender<Job>>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
@@ -248,14 +275,38 @@ impl ThreadPool {
             .collect();
         ThreadPool {
             tx: Some(tx),
+            rx,
             workers,
         }
     }
 
-    /// A pool sized by [`env_threads`].
+    /// Run one queued job inline on the caller's thread if one is
+    /// immediately available. Returns whether a job ran. Used by stalled
+    /// [`try_scope`](ThreadPool::try_scope) joins to guarantee liveness
+    /// when every worker is itself parked in a nested join.
+    fn help_drain_one(&self) -> bool {
+        // try_lock, not lock: an idle worker parks inside `recv` *holding*
+        // the queue mutex, and blocking on it here would trade one stall
+        // for another. If a worker holds the lock it will take the queued
+        // job itself the moment it wakes.
+        let job = match self.rx.try_lock() {
+            Ok(guard) => guard.try_recv().ok(),
+            Err(_) => None,
+        };
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A pool sized by [`try_env_threads`] (an invalid `WF_THREADS` falls
+    /// back to a single worker; `wfc` rejects it up front instead).
     #[must_use]
     pub fn from_env() -> ThreadPool {
-        ThreadPool::new(env_threads())
+        ThreadPool::new(try_env_threads().unwrap_or(1))
     }
 
     /// Number of worker threads.
@@ -268,14 +319,110 @@ impl ThreadPool {
     /// closed (the pool is mid-drop), the job runs inline on the caller's
     /// thread instead of being lost — submission never fails.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute_boxed(Box::new(job));
+    }
+
+    fn execute_boxed(&self, job: Job) {
         match &self.tx {
             Some(tx) => {
-                if let Err(mpsc::SendError(job)) = tx.send(Box::new(job)) {
+                if let Err(mpsc::SendError(job)) = tx.send(job) {
                     job();
                 }
             }
             None => job(),
         }
+    }
+
+    /// Fork/join over **borrowed** data on the persistent workers: run
+    /// `f(0)..f(jobs-1)` with up to `threads` ways of concurrency and
+    /// return the contained per-job outcomes in job order (a panicking job
+    /// yields `Err(JobPanicked)` for its slot; the others survive).
+    ///
+    /// `threads <= 1` (or a single job) runs everything inline on the
+    /// caller's thread — the serial fallback is byte-identical by
+    /// construction. Otherwise up to `threads - 1` helper jobs are
+    /// submitted to the pool and the **caller participates** in draining
+    /// the shared job counter, so the join can never deadlock: under pool
+    /// saturation — including a `try_scope` issued from *inside* a pool
+    /// worker, as `wfc bench-all`'s replay phase does — the caller simply
+    /// runs every job itself, and a join stalled on still-queued helper
+    /// closures (possible when **every** worker is parked in a nested
+    /// join) drains the pool queue inline until they have run. Concurrency is bounded by `threads`
+    /// regardless of the pool's worker count, and which thread runs which
+    /// job cannot leak into the result vector.
+    ///
+    /// Like the map helpers, workers re-enter the submitting thread's span
+    /// context so their spans nest under the forking span.
+    pub fn try_scope<R, F>(&self, threads: usize, jobs: usize, f: F) -> Vec<Result<R, JobPanicked>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if threads <= 1 || jobs <= 1 {
+            return (0..jobs).map(|i| contain(&f, i)).collect();
+        }
+        obs::observe("pool.queue_depth", jobs as u64);
+        let ctx = obs::current_ctx();
+        let next = AtomicUsize::new(0);
+        let (rtx, rrx) = mpsc::channel::<(usize, Result<R, JobPanicked>)>();
+        // Claim loop shared by the helpers and the caller: grab the next
+        // unclaimed job index, run it contained, send the slotted result.
+        let work = |rtx: &mpsc::Sender<(usize, Result<R, JobPanicked>)>| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            let _ = rtx.send((i, contain(&f, i)));
+        };
+        for _ in 0..threads.min(jobs).min(self.n_threads() + 1) - 1 {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new({
+                let rtx = rtx.clone();
+                let work = &work;
+                move || {
+                    let _ctx = obs::enter_ctx(ctx);
+                    work(&rtx);
+                }
+            });
+            // SAFETY: the job borrows stack data (`f`, `next`, `work`), so
+            // its lifetime must be erased to ride the 'static job channel.
+            // This is sound because the receive loop below returns only
+            // once every clone of `rtx` has been dropped — i.e. once every
+            // helper body has run to completion (or unwound, dropping its
+            // `rtx` either way) — so no worker can touch the borrows after
+            // this frame returns. Channel disconnect *is* the join barrier.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+            };
+            self.execute_boxed(job);
+        }
+        work(&rtx);
+        drop(rtx);
+        let mut out: Vec<Option<Result<R, JobPanicked>>> =
+            std::iter::repeat_with(|| None).take(jobs).collect();
+        loop {
+            match rrx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok((i, r)) => out[i] = Some(r),
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Every still-queued helper closure holds an `rtx`
+                    // clone, and when every worker is parked in a nested
+                    // join like this one (bench-all's replay phase runs
+                    // `run_all` — and therefore inner scopes — inside pool
+                    // jobs), no worker is left to run them and disconnect
+                    // the channel. A stalled join therefore drains the
+                    // pool queue itself: queued helpers run inline here
+                    // (instantly breaking once `next >= jobs`), drop their
+                    // `rtx`, and unblock the join. Some blocked join can
+                    // always make progress this way, so the system cannot
+                    // wedge; the soundness argument below is untouched
+                    // because we still return only on disconnect.
+                    while self.help_drain_one() {}
+                }
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every job index is claimed exactly once"))
+            .collect()
     }
 
     /// Map `f` over `items` on the pool's workers, returning results in
@@ -347,18 +494,19 @@ impl Drop for ThreadPool {
     }
 }
 
-/// The process-wide shared pool, sized by [`env_threads`] on first use.
-/// Long-lived drivers (`wfc bench-all`) use this so worker threads are
-/// spawned once and reused across every SCoP of a batch.
+/// The process-wide shared pool, sized by [`try_env_threads`] on first
+/// use. Long-lived drivers (`wfc bench-all`) and the interpreting
+/// executor's parallel bands use this so worker threads are spawned once
+/// and reused across every SCoP, band, and batch of the process.
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
     POOL.get_or_init(ThreadPool::from_env)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated scoped helpers keep their coverage until removal
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn scoped_map_preserves_submission_order() {
@@ -489,5 +637,108 @@ mod tests {
             let _ = tx.send(42);
         });
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+    }
+
+    #[test]
+    fn try_scope_borrows_and_matches_serial_at_every_width() {
+        let data: Vec<i64> = (0..64).collect();
+        let serial: Vec<i64> = data.iter().map(|x| x * 3 - 7).collect();
+        let pool = ThreadPool::new(4);
+        for threads in [1, 2, 3, 8] {
+            let out: Vec<i64> = pool
+                .try_scope(threads, data.len(), |i| data[i] * 3 - 7)
+                .into_iter()
+                .map(|r| r.expect("no panics"))
+                .collect();
+            assert_eq!(out, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_scope_serial_fallback_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let here = thread::current().id();
+        let out = pool.try_scope(1, 3, |i| {
+            assert_eq!(thread::current().id(), here);
+            i + 1
+        });
+        assert_eq!(out, vec![Ok(1), Ok(2), Ok(3)]);
+    }
+
+    #[test]
+    fn try_scope_contains_panics_per_slot_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        for threads in [1, 4] {
+            let out = pool.try_scope(threads, 4, |i| {
+                if i == 2 {
+                    panic!("boom on {i}");
+                }
+                i * 10
+            });
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[1], Ok(10));
+            assert_eq!(out[3], Ok(30));
+            let p = out[2].as_ref().expect_err("slot 2 panicked");
+            assert!(p.message.contains("boom on 2"), "payload lost: {p:?}");
+        }
+        // No worker died: subsequent scopes still run on pool threads.
+        let ok = pool.try_scope(2, 8, |i| i + 1);
+        assert!(ok.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn try_scope_completes_when_every_worker_is_busy() {
+        // Park the pool's only worker; the caller must drain the whole
+        // batch itself instead of deadlocking on the join.
+        let pool = ThreadPool::new(1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.execute(move || {
+            let _ = block_rx.recv_timeout(std::time::Duration::from_secs(10));
+        });
+        let out = pool.try_scope(4, 8, |i| i * 2);
+        assert_eq!(
+            out,
+            (0..8).map(|i| Ok(i * 2)).collect::<Vec<_>>(),
+            "saturated pool must not stall a scope"
+        );
+        let _ = block_tx.send(());
+    }
+
+    #[test]
+    fn map_jobs_may_fork_scopes_on_a_saturated_pool() {
+        // The bench-all replay shape: every worker runs a map job that
+        // itself forks a try_scope on the same pool. With all workers
+        // parked in their inner joins, the queued helper closures can
+        // only run via the stalled joins' queue draining — this test
+        // wedged forever before help_drain_one existed.
+        let pool = Arc::new(ThreadPool::new(4));
+        let p = Arc::clone(&pool);
+        let out = pool.map((0..8usize).collect(), move |i| {
+            let inner: usize = p
+                .try_scope(4, 6, |j| i * 100 + j)
+                .into_iter()
+                .map(|r| r.expect("inner job"))
+                .sum();
+            inner
+        });
+        let expect: Vec<usize> = (0..8).map(|i| 6 * (i * 100) + 15).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn try_scope_nests_without_deadlock() {
+        // A scope forked from inside a scope job shares the same workers;
+        // the inner caller drains its own batch, so this cannot wedge.
+        let pool = ThreadPool::new(2);
+        let out = pool.try_scope(2, 3, |i| {
+            let inner: usize = pool
+                .try_scope(2, 3, |j| i * 10 + j)
+                .into_iter()
+                .map(|r| r.expect("inner job"))
+                .sum();
+            inner
+        });
+        let expect: Vec<_> = (0..3).map(|i| Ok(3 * (i * 10) + 3)).collect();
+        assert_eq!(out, expect);
     }
 }

@@ -57,11 +57,19 @@ fn spans_nest_across_pool_workers() {
         obs::set_enabled(obs::TRACE);
         {
             let _submit = wf_harness::span!("submit");
-            // `scoped_map` captures the submitting span's ctx and re-enters
-            // it in every worker, so worker spans nest under "submit".
-            let _ = pool::scoped_map(4, (0..8).collect::<Vec<u32>>(), |i| {
+            // The pool captures the submitting span's ctx and re-enters it
+            // in every worker, so worker spans nest under "submit".
+            let workers = pool::ThreadPool::new(4);
+            let _ = workers.try_map((0..8u32).collect::<Vec<u32>>(), |i| {
                 let _s = wf_harness::span!("job");
                 i * 2
+            });
+            // Borrowed fork/join propagates the same way (its jobs may run
+            // on the caller, so only the nesting is asserted below).
+            let base = [1u32; 4];
+            let _ = workers.try_scope(4, base.len(), |i| {
+                let _s = wf_harness::span!("scope-job");
+                base[i] + 1
             });
         }
         let events = obs::take_events();
@@ -82,6 +90,14 @@ fn spans_nest_across_pool_workers() {
             jobs.iter().any(|j| j.tid != submit.tid),
             "expected cross-thread nesting with 4 workers and 8 jobs"
         );
+        let scope_jobs: Vec<_> = events.iter().filter(|e| e.name == "scope-job").collect();
+        assert_eq!(scope_jobs.len(), 4);
+        for j in &scope_jobs {
+            assert_eq!(
+                j.parent, submit.id,
+                "try_scope job span must nest under the forking span"
+            );
+        }
     });
 }
 

@@ -1,7 +1,19 @@
-//! The plan executor.
+//! The plan executor, fronted by [`ExecContext`].
+//!
+//! All parallel-band execution runs on the shared
+//! [`wf_harness::pool::ThreadPool`] — the same substrate the optimizer's
+//! model jobs and bench-all already use — via borrowed fork/join
+//! ([`ThreadPool::try_scope`]). Iterations are split into deterministic
+//! contiguous chunks (the same iteration→chunk mapping at every worker
+//! count, so results are byte-identical from 1 thread to N), and a panic
+//! in one partition is contained by the pool and surfaced as a typed
+//! [`WfError::JobPanic`] instead of aborting the process.
 
 use crate::data::ProgramData;
+use crate::reference::execute_reference;
 use wf_codegen::plan::{guard, ExecPlan, StmtPlan};
+use wf_harness::pool::{self, ThreadPool};
+use wf_harness::{fault, obs, WfError};
 use wf_schedule::pluto::Transformed;
 use wf_schedule::transform::DimKind;
 use wf_scop::Scop;
@@ -20,56 +32,279 @@ pub trait AccessObserver {
     }
 }
 
-/// Execution options.
+/// Execution options, built fluently in the `Optimizer` style:
+///
+/// ```
+/// use wf_runtime::ExecOptions;
+/// let opts = ExecOptions::new().threads(4).verify(true);
+/// assert_eq!(opts.n_threads(), 4);
+/// assert!(opts.verifies());
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct ExecOptions {
-    /// Worker threads for parallel loop dimensions (1 = serial).
-    pub threads: usize,
+    threads: usize,
+    verify: bool,
+    per_band_pool: bool,
+}
+
+impl ExecOptions {
+    /// Serial execution, no verification.
+    #[must_use]
+    pub fn new() -> ExecOptions {
+        ExecOptions {
+            threads: 1,
+            verify: false,
+            per_band_pool: false,
+        }
+    }
+
+    /// Worker threads for parallel loop dimensions (clamped to ≥ 1;
+    /// 1 = serial).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> ExecOptions {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Check the transformed output against the reference interpreter
+    /// after every [`ExecContext::execute`]; a mismatch surfaces as
+    /// [`WfError::Schedule`].
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> ExecOptions {
+        self.verify = on;
+        self
+    }
+
+    /// Spin up a fresh pool per parallel band instead of reusing the
+    /// context's shared pool — the old scoped-spawn cost model, kept so
+    /// `wfc bench-all` can measure scoped-vs-pooled side by side.
+    #[must_use]
+    pub fn per_band_pool(mut self, on: bool) -> ExecOptions {
+        self.per_band_pool = on;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether reference verification is on.
+    #[must_use]
+    pub fn verifies(&self) -> bool {
+        self.verify
+    }
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions::new()
     }
 }
 
-/// Execute a transformed SCoP over the given data.
-///
-/// With `opts.threads > 1` the outermost parallel loop dimension of each
-/// fused group is split across scoped threads; inside a non-parallel
-/// (forward-dependence) loop, inner parallel dimensions are parallelized
-/// per outer iteration — wavefront execution with a join barrier per
-/// wavefront.
-///
-/// `observer` (serial only) taps the address trace.
-pub fn execute_plan(
-    scop: &Scop,
-    t: &Transformed,
-    plan: &ExecPlan,
-    data: &mut ProgramData,
-    opts: &ExecOptions,
-    mut observer: Option<&mut dyn AccessObserver>,
-) {
-    assert!(
-        observer.is_none() || opts.threads <= 1,
-        "address tracing requires serial execution"
-    );
-    let group: Vec<usize> = (0..scop.n_statements()).collect();
-    let mut z = Vec::with_capacity(plan.dims.len());
-    let ctx = Ctx {
-        scop,
-        t,
-        plan,
-        threads: opts.threads.max(1),
-    };
-    run_group(&ctx, &group, &mut z, data, &mut observer);
+/// Which pool a context forks parallel bands onto.
+#[derive(Clone, Copy)]
+enum PoolRef<'p> {
+    /// The process-wide pool ([`pool::global`]), spun up lazily on the
+    /// first parallel band.
+    Global,
+    /// A caller-owned pool.
+    Borrowed(&'p ThreadPool),
 }
 
-struct Ctx<'a> {
+/// The unified execution handle: a thread-pool reference plus
+/// [`ExecOptions`], threaded through the interpreter, the bench harness,
+/// and `wfc`. Replaces the old `execute_plan` free function and the
+/// env-var reads scattered at its call sites — the environment is parsed
+/// exactly once, at [`ExecContext::from_env`].
+///
+/// ```
+/// use wf_runtime::{ExecContext, ExecOptions};
+/// let ctx = ExecContext::with_options(ExecOptions::new().threads(4).verify(true));
+/// assert_eq!(ctx.threads(), 4);
+/// ```
+#[derive(Clone)]
+pub struct ExecContext<'p> {
+    pool: PoolRef<'p>,
+    opts: ExecOptions,
+}
+
+impl ExecContext<'static> {
+    /// A serial context: 1 thread, no verification, never touches a pool.
+    #[must_use]
+    pub fn serial() -> ExecContext<'static> {
+        ExecContext {
+            pool: PoolRef::Global,
+            opts: ExecOptions::new(),
+        }
+    }
+
+    /// A context over the global pool with `n` worker threads.
+    #[must_use]
+    pub fn with_threads(n: usize) -> ExecContext<'static> {
+        ExecContext::with_options(ExecOptions::new().threads(n))
+    }
+
+    /// A context over the global pool with explicit options.
+    #[must_use]
+    pub fn with_options(opts: ExecOptions) -> ExecContext<'static> {
+        ExecContext {
+            pool: PoolRef::Global,
+            opts,
+        }
+    }
+
+    /// A context sized from the environment — the one place `WF_THREADS`
+    /// is consulted.
+    ///
+    /// # Errors
+    /// [`WfError::Invalid`] when `WF_THREADS` is set but not a positive
+    /// integer.
+    pub fn from_env() -> Result<ExecContext<'static>, WfError> {
+        Ok(ExecContext::with_threads(pool::try_env_threads()?))
+    }
+}
+
+impl<'p> ExecContext<'p> {
+    /// A context forking onto a caller-owned pool, sized to match it.
+    #[must_use]
+    pub fn new(pool: &'p ThreadPool) -> ExecContext<'p> {
+        ExecContext {
+            pool: PoolRef::Borrowed(pool),
+            opts: ExecOptions::new().threads(pool.n_threads()),
+        }
+    }
+
+    /// Replace the options, keeping the pool binding.
+    #[must_use]
+    pub fn options(mut self, opts: ExecOptions) -> ExecContext<'p> {
+        self.opts = opts;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.opts.n_threads()
+    }
+
+    /// The context's options.
+    #[must_use]
+    pub fn opts(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// The pool parallel bands fork onto. Only called on the parallel
+    /// path, so a serial context never spins up the global pool.
+    fn pool(&self) -> &ThreadPool {
+        match self.pool {
+            PoolRef::Global => pool::global(),
+            PoolRef::Borrowed(p) => p,
+        }
+    }
+
+    /// Execute a transformed SCoP over the given data.
+    ///
+    /// With more than one thread the outermost parallel loop dimension of
+    /// each fused group is split into contiguous chunks across pool
+    /// workers; inside a non-parallel (forward-dependence) loop, inner
+    /// parallel dimensions are parallelized per outer iteration —
+    /// wavefront execution with a join barrier per wavefront. The
+    /// iteration→chunk mapping depends only on the thread count and loop
+    /// bounds, and chunks partition the range, so output is byte-identical
+    /// at every thread count.
+    ///
+    /// # Errors
+    /// * [`WfError::JobPanic`] — a partition job panicked (contained by
+    ///   the pool; sibling partitions still ran to completion).
+    /// * [`WfError::Schedule`] — verification was requested and the
+    ///   transformed output diverges from the reference interpreter.
+    pub fn execute(
+        &self,
+        scop: &Scop,
+        t: &Transformed,
+        plan: &ExecPlan,
+        data: &mut ProgramData,
+    ) -> Result<(), WfError> {
+        let expected = if self.opts.verifies() {
+            let mut reference = data.clone();
+            execute_reference(scop, &mut reference);
+            Some(reference)
+        } else {
+            None
+        };
+        self.run(scop, t, plan, data, &mut None)?;
+        if let Some(expected) = expected {
+            let diff = data.max_abs_diff(&expected);
+            if diff != 0.0 {
+                return Err(WfError::Schedule {
+                    message: format!(
+                        "verification failed: transformed output diverges \
+                         from the reference interpreter (max |diff| = {diff:e})"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute serially while `observer` taps the address trace.
+    ///
+    /// # Errors
+    /// [`WfError::Invalid`] when the context is configured with more than
+    /// one thread — address tracing requires serial execution.
+    pub fn execute_observed(
+        &self,
+        scop: &Scop,
+        t: &Transformed,
+        plan: &ExecPlan,
+        data: &mut ProgramData,
+        observer: &mut dyn AccessObserver,
+    ) -> Result<(), WfError> {
+        if self.threads() > 1 {
+            return Err(WfError::invalid(
+                "address tracing requires serial execution (use ExecContext::serial)",
+            ));
+        }
+        self.run(scop, t, plan, data, &mut Some(observer))
+    }
+
+    /// Run the reference interpreter (original program order) over `data`.
+    pub fn reference(&self, scop: &Scop, data: &mut ProgramData) {
+        execute_reference(scop, data);
+    }
+
+    fn run(
+        &self,
+        scop: &Scop,
+        t: &Transformed,
+        plan: &ExecPlan,
+        data: &mut ProgramData,
+        observer: &mut Option<&mut dyn AccessObserver>,
+    ) -> Result<(), WfError> {
+        let _span = wf_harness::span!(
+            "runtime.execute",
+            "threads" => self.threads().to_string(),
+            "stmts" => scop.n_statements().to_string(),
+        );
+        let group: Vec<usize> = (0..scop.n_statements()).collect();
+        let mut z = Vec::with_capacity(plan.dims.len());
+        let ctx = Ctx {
+            scop,
+            t,
+            plan,
+            exec: self,
+        };
+        run_group(&ctx, &group, &mut z, data, observer)
+    }
+}
+
+struct Ctx<'a, 'p> {
     scop: &'a Scop,
     t: &'a Transformed,
     plan: &'a ExecPlan,
-    threads: usize,
+    exec: &'a ExecContext<'p>,
 }
 
 /// Shared mutable program data for parallel loop bodies.
@@ -84,21 +319,21 @@ unsafe impl Send for SharedData {}
 unsafe impl Sync for SharedData {}
 
 fn run_group(
-    ctx: &Ctx<'_>,
+    ctx: &Ctx<'_, '_>,
     group: &[usize],
     z: &mut Vec<i128>,
     data: &mut ProgramData,
     observer: &mut Option<&mut dyn AccessObserver>,
-) {
+) -> Result<(), WfError> {
     if group.is_empty() {
-        return;
+        return Ok(());
     }
     let d = z.len();
     if d == ctx.plan.dims.len() {
         for &s in group {
             exec_leaf(ctx, &ctx.plan.stmts[s], z, data, observer);
         }
-        return;
+        return Ok(());
     }
     match ctx.plan.dims[d] {
         DimKind::Scalar => {
@@ -113,7 +348,7 @@ fn run_group(
             }
             for (v, sub) in by_val {
                 z.push(v);
-                run_group(ctx, &sub, z, data, observer);
+                run_group(ctx, &sub, z, data, observer)?;
                 z.pop();
             }
         }
@@ -132,12 +367,12 @@ fn run_group(
                 }
             }
             if lo > hi {
-                return;
+                return Ok(());
             }
             let parallel = group.iter().all(|&s| ctx.plan.parallel[d][s]);
             let span = (hi - lo + 1) as usize;
-            if parallel && ctx.threads > 1 && observer.is_none() && span > 1 {
-                run_parallel(ctx, group, z, lo, hi, data);
+            if parallel && ctx.exec.threads() > 1 && observer.is_none() && span > 1 {
+                run_parallel(ctx, group, z, lo, hi, data)?;
             } else {
                 for v in lo..=hi {
                     // Filter statements active at this iteration; the common
@@ -153,79 +388,106 @@ fn run_group(
                     }
                     if n_active == group.len() {
                         z.push(v);
-                        run_group(ctx, group, z, data, observer);
+                        run_group(ctx, group, z, data, observer)?;
                         z.pop();
                     } else {
                         let sub: Vec<usize> =
                             group.iter().copied().filter(|&s| active(s, z)).collect();
                         z.push(v);
-                        run_group(ctx, &sub, z, data, observer);
+                        run_group(ctx, &sub, z, data, observer)?;
                         z.pop();
                     }
                 }
             }
         }
     }
+    Ok(())
 }
 
-/// Split `[lo, hi]` into contiguous chunks across scoped threads. Each
+/// Split `[lo, hi]` into contiguous chunks across pool workers. Each
 /// worker walks its own copy of the `z` prefix; the shared tensors are
-/// raced-for-free per the scheduler's parallelism proof.
+/// raced-for-free per the scheduler's parallelism proof. Chunk `w` covers
+/// `[lo + w·chunk, min(lo + (w+1)·chunk - 1, hi)]` — a pure function of
+/// the thread count and bounds, so the mapping (and the output) is
+/// deterministic. A panicking chunk is contained by the pool and
+/// surfaced as [`WfError::JobPanic`]; sibling chunks complete normally.
 fn run_parallel(
-    ctx: &Ctx<'_>,
+    ctx: &Ctx<'_, '_>,
     group: &[usize],
     z: &[i128],
     lo: i128,
     hi: i128,
     data: &mut ProgramData,
-) {
+) -> Result<(), WfError> {
     let span = (hi - lo + 1) as usize;
-    let nthreads = ctx.threads.min(span);
+    let nthreads = ctx.exec.threads().min(span);
     let chunk = span.div_ceil(nthreads);
     let shared = SharedData(data as *mut ProgramData);
     let params = data.params.clone();
-    std::thread::scope(|scope| {
-        for w in 0..nthreads {
-            let c_lo = lo + (w * chunk) as i128;
-            let c_hi = (c_lo + chunk as i128 - 1).min(hi);
-            if c_lo > c_hi {
+    let _band = wf_harness::span!(
+        "runtime.band",
+        "depth" => z.len().to_string(),
+        "span" => span.to_string(),
+        "workers" => nthreads.to_string(),
+    );
+    obs::add("runtime.parallel_bands", 1);
+    // Borrow the whole wrapper so the closure captures `&SharedData` (which
+    // is Sync), not the raw pointer field via disjoint capture.
+    let shared = &shared;
+    let run_chunk = |w: usize| {
+        fault::maybe_panic("runtime.partition");
+        let c_lo = lo + (w * chunk) as i128;
+        let c_hi = (c_lo + chunk as i128 - 1).min(hi);
+        if c_lo > c_hi {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let mut pspan = wf_harness::span!("runtime.partition", "w" => w.to_string());
+        pspan.arg("lo", c_lo.to_string());
+        pspan.arg("hi", c_hi.to_string());
+        // SAFETY: see SharedData — iterations of a parallel loop are
+        // independent, and chunks partition the range.
+        let data: &mut ProgramData = unsafe { &mut *shared.0 };
+        let mut zz: Vec<i128> = z.to_vec();
+        let d = zz.len();
+        let mut none: Option<&mut dyn AccessObserver> = None;
+        for v in c_lo..=c_hi {
+            let sub: Vec<usize> = group
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    let b = &ctx.plan.stmts[s].bounds[d];
+                    matches!((b.lower(&zz, &params), b.upper(&zz, &params)),
+                        (Some(l), Some(h)) if l <= v && v <= h)
+                })
+                .collect();
+            if sub.is_empty() {
                 continue;
             }
-            let shared = &shared;
-            let params = &params;
-            let mut zz: Vec<i128> = z.to_vec();
-            scope.spawn(move || {
-                // SAFETY: see SharedData — iterations of a parallel loop
-                // are independent, and chunks partition the range.
-                let data: &mut ProgramData = unsafe { &mut *shared.0 };
-                let d = zz.len();
-                let mut none: Option<&mut dyn AccessObserver> = None;
-                for v in c_lo..=c_hi {
-                    let sub: Vec<usize> = group
-                        .iter()
-                        .copied()
-                        .filter(|&s| {
-                            let b = &ctx.plan.stmts[s].bounds[d];
-                            matches!((b.lower(&zz, params), b.upper(&zz, params)),
-                                (Some(l), Some(h)) if l <= v && v <= h)
-                        })
-                        .collect();
-                    if sub.is_empty() {
-                        continue;
-                    }
-                    zz.push(v);
-                    run_group_serial(ctx, &sub, &mut zz, data, &mut none);
-                    zz.pop();
-                }
-            });
+            zz.push(v);
+            run_group_serial(ctx, &sub, &mut zz, data, &mut none);
+            zz.pop();
         }
-    });
+        if obs::metrics_on() {
+            obs::observe("runtime.partition", started.elapsed().as_micros() as u64);
+        }
+    };
+    let results = if ctx.exec.opts.per_band_pool {
+        // The old cost model: fresh workers forked (and joined) per band.
+        ThreadPool::new(nthreads).try_scope(nthreads, nthreads, run_chunk)
+    } else {
+        ctx.exec.pool().try_scope(nthreads, nthreads, run_chunk)
+    };
+    for r in results {
+        r?;
+    }
+    Ok(())
 }
 
 /// Serial subtree walk used inside parallel workers (no nested
 /// parallelism: one fork level is the coarse-grained model of the paper).
 fn run_group_serial(
-    ctx: &Ctx<'_>,
+    ctx: &Ctx<'_, '_>,
     group: &[usize],
     z: &mut Vec<i128>,
     data: &mut ProgramData,
@@ -294,7 +556,7 @@ fn run_group_serial(
 }
 
 fn exec_leaf(
-    ctx: &Ctx<'_>,
+    ctx: &Ctx<'_, '_>,
     sp: &StmtPlan,
     z: &[i128],
     data: &mut ProgramData,

@@ -7,7 +7,7 @@
 use std::io::Write as _;
 use std::process::Command;
 use wf_codegen::emit_c;
-use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_runtime::{ExecContext, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
@@ -32,14 +32,9 @@ fn check_c_matches_interpreter(scop: &Scop, params: &[i128], seed: u64) {
         // Interpreter side.
         let mut data = ProgramData::new(scop, params);
         data.init_lcg(seed);
-        execute_plan(
-            scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions::default(),
-            None,
-        );
+        ExecContext::serial()
+            .execute(scop, &opt.transformed, &plan, &mut data)
+            .unwrap();
         let want = data.bit_hash();
         // C side.
         let source = emit_c(scop, &opt.transformed, &plan, params, seed);

@@ -4,7 +4,7 @@
 //! floating-point operations along legal schedules; none changes any
 //! operation, so exact equality is required, not approximate.)
 
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{execute_reference, ExecContext, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
@@ -21,14 +21,9 @@ fn check_all_models(scop: &Scop, params: &[i128]) {
         let plan = plan_from_optimized(scop, &opt);
         for threads in [1usize, 4] {
             let mut data = initial.clone();
-            execute_plan(
-                scop,
-                &opt.transformed,
-                &plan,
-                &mut data,
-                &ExecOptions { threads },
-                None,
-            );
+            ExecContext::with_threads(threads)
+                .execute(scop, &opt.transformed, &plan, &mut data)
+                .unwrap();
             assert_eq!(
                 data.max_abs_diff(&oracle),
                 0.0,

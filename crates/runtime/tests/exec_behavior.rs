@@ -21,7 +21,8 @@ impl AccessObserver for Counter {
         }
     }
 }
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_harness::pool::ThreadPool;
+use wf_runtime::{execute_reference, ExecContext, ProgramData, WfError};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
 use wf_wisefuse::{optimize, Model};
 
@@ -58,16 +59,31 @@ fn wavefront_execution_is_correct_with_threads() {
     execute_reference(&scop, &mut oracle);
     for threads in [2usize, 4, 8] {
         let mut data = init.clone();
-        execute_plan(
-            &scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions { threads },
-            None,
-        );
+        ExecContext::with_threads(threads)
+            .execute(&scop, &opt.transformed, &plan, &mut data)
+            .unwrap();
         assert_eq!(data.max_abs_diff(&oracle), 0.0, "{threads} threads");
     }
+}
+
+#[test]
+fn borrowed_pool_matches_global_pool() {
+    // A context over a caller-owned pool sizes itself to the pool and
+    // produces the same bytes as the global-pool path.
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Maxfuse).unwrap();
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &[16]);
+    init.init_random(5);
+    let mut oracle = init.clone();
+    execute_reference(&scop, &mut oracle);
+    let pool = ThreadPool::new(4);
+    let ctx = ExecContext::new(&pool);
+    assert_eq!(ctx.threads(), 4, "context sizes itself to the pool");
+    let mut data = init.clone();
+    ctx.execute(&scop, &opt.transformed, &plan, &mut data)
+        .unwrap();
+    assert_eq!(data.max_abs_diff(&oracle), 0.0);
 }
 
 #[test]
@@ -80,21 +96,15 @@ fn observer_sees_every_access() {
     let params = [8i128];
     let mut data = ProgramData::new(&scop, &params);
     let mut obs = Counter::default();
-    execute_plan(
-        &scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions::default(),
-        Some(&mut obs),
-    );
+    ExecContext::serial()
+        .execute_observed(&scop, &opt.transformed, &plan, &mut data, &mut obs)
+        .unwrap();
     // Domain is (1..N-1)^2 = 7*7 instances; 2 reads + 1 write each.
     assert_eq!(obs.total, 7 * 7 * 3);
     assert_eq!(obs.writes, 7 * 7);
 }
 
 #[test]
-#[should_panic(expected = "address tracing requires serial execution")]
 fn tracing_rejects_parallel_runs() {
     let scop = recurrence_2d();
     let opt = optimize(&scop, Model::Nofuse).unwrap();
@@ -102,13 +112,13 @@ fn tracing_rejects_parallel_runs() {
     let params = [8i128];
     let mut data = ProgramData::new(&scop, &params);
     let mut obs = Counter::default();
-    execute_plan(
-        &scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads: 4 },
-        Some(&mut obs),
+    let err = ExecContext::with_threads(4)
+        .execute_observed(&scop, &opt.transformed, &plan, &mut data, &mut obs)
+        .unwrap_err();
+    assert!(
+        matches!(&err, WfError::Invalid { message }
+            if message.contains("address tracing requires serial execution")),
+        "typed Invalid error, got {err:?}"
     );
 }
 
@@ -122,14 +132,9 @@ fn more_threads_than_iterations_is_fine() {
     let mut oracle = init.clone();
     execute_reference(&scop, &mut oracle);
     let mut data = init.clone();
-    execute_plan(
-        &scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads: 64 },
-        None,
-    );
+    ExecContext::with_threads(64)
+        .execute(&scop, &opt.transformed, &plan, &mut data)
+        .unwrap();
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
 }
 
@@ -155,17 +160,32 @@ fn scalar_statement_runs_once() {
         let opt = optimize(&scop, model).unwrap();
         let plan = plan_from_optimized(&scop, &opt);
         let mut data = ProgramData::new(&scop, &[5]);
-        execute_plan(
-            &scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions::default(),
-            None,
-        );
+        ExecContext::serial()
+            .execute(&scop, &opt.transformed, &plan, &mut data)
+            .unwrap();
         assert_eq!(data.arrays[0].get(&[]), 3.5, "{model:?}");
         for i in 0..5 {
             assert_eq!(data.arrays[1].get(&[i]), 3.5, "{model:?} A[{i}]");
         }
     }
+}
+
+/// Built-in verification: a correct schedule passes, and the verify knob
+/// produces the same bytes as an unverified run.
+#[test]
+fn builtin_verification_accepts_correct_schedules() {
+    let scop = recurrence_2d();
+    let opt = optimize(&scop, Model::Wisefuse).unwrap();
+    let plan = plan_from_optimized(&scop, &opt);
+    let mut init = ProgramData::new(&scop, &[16]);
+    init.init_random(9);
+    let mut verified = init.clone();
+    wf_runtime::ExecContext::with_options(wf_runtime::ExecOptions::new().threads(4).verify(true))
+        .execute(&scop, &opt.transformed, &plan, &mut verified)
+        .expect("a legal schedule must verify");
+    let mut plain = init.clone();
+    ExecContext::with_threads(4)
+        .execute(&scop, &opt.transformed, &plan, &mut plain)
+        .unwrap();
+    assert_eq!(verified.max_abs_diff(&plain), 0.0);
 }

@@ -4,7 +4,7 @@
 
 use wf_codegen::tiling::{bands, build_tiled_plan, default_tiles};
 use wf_deps::analyze;
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{execute_reference, ExecContext, ProgramData};
 use wf_schedule::props::{self, LoopProp};
 use wf_schedule::{schedule_scop, Maxfuse, PlutoConfig, Smartfuse};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
@@ -80,7 +80,9 @@ fn check_tiled(scop: &Scop, params: &[i128], sizes: &[i128]) {
             let plan = build_tiled_plan(scop, &t, par.clone(), &tiles);
             for threads in [1usize, 3] {
                 let mut data = init.clone();
-                execute_plan(scop, &t, &plan, &mut data, &ExecOptions { threads }, None);
+                ExecContext::with_threads(threads)
+                    .execute(scop, &t, &plan, &mut data)
+                    .unwrap();
                 assert_eq!(
                     data.max_abs_diff(&oracle),
                     0.0,

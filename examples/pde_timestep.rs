@@ -109,14 +109,9 @@ fn main() {
         let mut data = ProgramData::new(&scop, &params);
         data.init_lcg(9);
         let mut sim = CacheSim::new(&scop, &params, &CacheConfig::scaled_e5_2650());
-        execute_plan(
-            &scop,
-            &opt.transformed,
-            &p,
-            &mut data,
-            &ExecOptions { threads: 1 },
-            Some(&mut sim),
-        );
+        ExecContext::serial()
+            .execute_observed(&scop, &opt.transformed, &p, &mut data, &mut sim)
+            .expect("serial observed execution");
         println!(
             "{label:<10} {:>12} {:>12} {:>12}",
             sim.stats[0].misses,
@@ -131,14 +126,9 @@ fn main() {
     let mut oracle = init.clone();
     execute_reference(&scop, &mut oracle);
     let mut data = init.clone();
-    execute_plan(
-        &scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads: 4 },
-        None,
-    );
+    ExecContext::with_threads(4)
+        .execute(&scop, &opt.transformed, &plan, &mut data)
+        .expect("legal schedule executes");
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
     println!("\nverified: bit-identical to original program order");
 }

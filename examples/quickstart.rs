@@ -65,14 +65,12 @@ fn main() {
     data.init_random(1);
     let mut oracle = data.clone();
     execute_reference(&scop, &mut oracle);
-    execute_plan(
-        &scop,
-        &opt.transformed,
-        &plan,
-        &mut data,
-        &ExecOptions { threads: 4 },
-        None,
-    );
+    // The executor runs parallel bands on the shared thread pool; the
+    // fluent options ask for 4 workers and built-in verification against
+    // the reference interpreter.
+    ExecContext::with_options(ExecOptions::new().threads(4).verify(true))
+        .execute(&scop, &opt.transformed, &plan, &mut data)
+        .expect("legal schedule executes and verifies");
     assert_eq!(data.max_abs_diff(&oracle), 0.0);
     println!("executed N = {n} on 4 threads; output matches the original bit-for-bit");
 }

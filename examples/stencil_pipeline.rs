@@ -77,14 +77,9 @@ fn main() {
         let mut data = ProgramData::new(&scop, &params);
         data.init_random(5);
         let mut sim = CacheSim::new(&scop, &params, &CacheConfig::scaled_e5_2650());
-        execute_plan(
-            &scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions { threads: 1 },
-            Some(&mut sim),
-        );
+        ExecContext::serial()
+            .execute_observed(&scop, &opt.transformed, &plan, &mut data, &mut sim)
+            .expect("serial observed execution");
         let elems = (params[0] * params[0]) as f64;
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10.3}",

@@ -38,14 +38,9 @@ fn main() {
         let plan = plan_from_optimized(scop, &opt);
         let mut data = init.clone();
         let t0 = Instant::now();
-        execute_plan(
-            scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions { threads },
-            None,
-        );
+        ExecContext::with_threads(threads)
+            .execute(scop, &opt.transformed, &plan, &mut data)
+            .expect("legal schedule executes");
         let dt = t0.elapsed();
         assert_eq!(data.max_abs_diff(&oracle), 0.0, "{model:?} diverged");
         let mut mdata = init.clone();

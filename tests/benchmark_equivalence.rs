@@ -4,7 +4,7 @@
 //! whole stack (dependence analysis → scheduling → codegen → runtime).
 
 use wf_benchsuite::catalog;
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{execute_reference, ExecContext, ProgramData};
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
@@ -23,14 +23,9 @@ fn run_benchmark(name: &str) {
         let plan = plan_from_optimized(&b.scop, &opt);
         for threads in [1usize, 4] {
             let mut data = init.clone();
-            execute_plan(
-                &b.scop,
-                &opt.transformed,
-                &plan,
-                &mut data,
-                &ExecOptions { threads },
-                None,
-            );
+            ExecContext::with_threads(threads)
+                .execute(&b.scop, &opt.transformed, &plan, &mut data)
+                .unwrap();
             assert_eq!(
                 data.max_abs_diff(&oracle),
                 0.0,

@@ -3,7 +3,7 @@
 //! the interpreter. Skipped when no C compiler is installed.
 
 use wf_codegen::emit_c;
-use wf_runtime::{execute_plan, ExecOptions, ProgramData};
+use wf_runtime::{ExecContext, ProgramData};
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
 
@@ -26,14 +26,9 @@ fn c_backend_benchmark_kernels() {
         let plan = plan_from_optimized(&bench.scop, &opt);
         let mut data = ProgramData::new(&bench.scop, &bench.test_params);
         data.init_lcg(9);
-        execute_plan(
-            &bench.scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions::default(),
-            None,
-        );
+        ExecContext::serial()
+            .execute(&bench.scop, &opt.transformed, &plan, &mut data)
+            .unwrap();
         let want = data.bit_hash();
         let source = emit_c(&bench.scop, &opt.transformed, &plan, &bench.test_params, 9);
         let dir = std::env::temp_dir();

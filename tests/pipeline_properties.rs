@@ -6,7 +6,7 @@
 //! covers.
 
 use wf_harness::prelude::*;
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{execute_reference, ExecContext, ProgramData};
 use wf_scop::{Aff, Expr, Scop, ScopBuilder};
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
@@ -111,8 +111,9 @@ props! {
             let plan = plan_from_optimized(&scop, &opt);
             for threads in [1usize, 3] {
                 let mut data = init.clone();
-                execute_plan(&scop, &opt.transformed, &plan, &mut data,
-                    &ExecOptions { threads }, None);
+                ExecContext::with_threads(threads)
+                    .execute(&scop, &opt.transformed, &plan, &mut data)
+                    .unwrap();
                 prop_assert_eq!(
                     data.max_abs_diff(&oracle), 0.0,
                     "{:?} with {} threads diverges on {:?}", model, threads, stmts

@@ -1,7 +1,7 @@
 //! The shipped `.wfs` kernels must parse, validate, optimize under every
 //! model, and execute equivalently to program order.
 
-use wf_runtime::{execute_plan, execute_reference, ExecOptions, ProgramData};
+use wf_runtime::{execute_reference, ExecContext, ProgramData};
 use wf_scop::text::parse;
 use wf_wisefuse::plan_from_optimized;
 use wf_wisefuse::{optimize, Model};
@@ -17,14 +17,9 @@ fn check_file(path: &str, params: &[i128]) {
         let opt = optimize(&scop, model).unwrap_or_else(|e| panic!("{path}: {model:?}: {e}"));
         let plan = plan_from_optimized(&scop, &opt);
         let mut data = init.clone();
-        execute_plan(
-            &scop,
-            &opt.transformed,
-            &plan,
-            &mut data,
-            &ExecOptions::default(),
-            None,
-        );
+        ExecContext::serial()
+            .execute(&scop, &opt.transformed, &plan, &mut data)
+            .unwrap();
         assert_eq!(
             data.max_abs_diff(&oracle),
             0.0,
