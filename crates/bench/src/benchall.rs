@@ -5,12 +5,23 @@
 //!
 //! Per SCoP the driver times the three pipeline phases separately:
 //!
-//! * **analysis** — exact polyhedral dependence analysis ([`wf_deps::analyze`]);
+//! * **analysis** — exact polyhedral dependence analysis, measured twice:
+//!   serially ([`wf_deps::analyze`]) and with the pairwise statement tests
+//!   forked on the shared pool ([`wf_deps::try_analyze`] at `threads`
+//!   workers); the two DDGs must be byte-identical, and the timing pair is
+//!   the report's `analysis_serial_seconds` / `analysis_parallel_seconds`
+//!   / `analysis_speedup` columns;
 //! * **ILP** — scheduling all five models, measured three ways: serially
 //!   (one worker, cache bypassed), in parallel (`threads` workers, cache
 //!   bypassed — the wall-clock speedup the report headlines), and through
 //!   the schedule cache (a cold populating pass plus a warm pass whose
-//!   hits skip the ILP entirely);
+//!   hits skip the ILP entirely). The serial/parallel cold passes run
+//!   with the [`wf_polyhedra::memo`] solver memo disabled so their
+//!   timings stay true cold baselines; two additional serial passes then
+//!   run with the memo on (a populating pass and a warm pass) — both
+//!   must reproduce the memo-off schedules exactly (the memo-on/off leg
+//!   of the determinism gate) and the warm pass's memo-counter delta is
+//!   the row's `solver_hit_rate_pct`;
 //! * **codegen** — building the execution plan for every scheduled model;
 //! * **executor** — running wisefuse's plan over real tensors three ways:
 //!   a serial baseline, per-band fresh workers (the old scoped-spawn cost
@@ -31,6 +42,7 @@ use std::time::Instant;
 use wf_benchsuite::{catalog, Benchmark};
 use wf_harness::json::Json;
 use wf_harness::{obs, pool};
+use wf_polyhedra::memo;
 use wf_runtime::{ExecContext, ExecOptions, ProgramData};
 use wf_wisefuse::{cache, Model, Optimized, Optimizer};
 
@@ -63,11 +75,13 @@ impl Default for BenchAllOptions {
 pub struct BenchAllOutcome {
     /// The consolidated `BENCH_all.json` payload.
     pub report: Json,
-    /// Did every redundant pass (parallel, cached, pooled) reproduce the
-    /// serial schedules exactly?
+    /// Did every redundant pass (parallel analysis, parallel scheduling,
+    /// cached, memoized, pooled) reproduce the serial results exactly?
     pub determinism_ok: bool,
     /// Schedule-cache counters at the end of the run.
     pub cache_stats: cache::CacheStats,
+    /// Solver-memo counters at the end of the run.
+    pub memo_stats: memo::MemoStats,
 }
 
 /// Scheduling outcome fingerprint used for the determinism cross-checks:
@@ -91,6 +105,16 @@ fn secs(t: Instant) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Counter movement between two solver-memo snapshots.
+fn delta_stats(before: &memo::MemoStats, after: &memo::MemoStats) -> memo::MemoStats {
+    memo::MemoStats {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+        stores: after.stores.saturating_sub(before.stores),
+        evictions: after.evictions.saturating_sub(before.evictions),
+    }
+}
+
 /// Run the whole catalog × all models; see the module docs for the phase
 /// structure. Pure compute — writing `BENCH_all.json` is the caller's job
 /// (the CLI routes `report` through [`crate::BenchReport`]'s writer).
@@ -109,22 +133,33 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
 
     let mut determinism_ok = true;
     let mut rows = Vec::new();
-    let mut tot_analysis = 0.0;
+    let mut tot_analysis_serial = 0.0;
+    let mut tot_analysis_parallel = 0.0;
     let mut tot_serial = 0.0;
     let mut tot_parallel = 0.0;
     let mut tot_codegen = 0.0;
     let mut tot_exec_scoped = 0.0;
     let mut tot_exec_pooled = 0.0;
+    let memo_before_all = memo::stats();
     // The serial-pass results, kept for the cross-SCoP pool verification.
     let mut expected: Vec<(usize, RunSet)> = Vec::new();
 
     for (idx, b) in benchmarks.iter().enumerate() {
         let metrics_before = obs::metrics();
-        // Phase 1: dependence analysis, once per SCoP; every later pass
+        // Phase 1a: dependence analysis, serial baseline; every later pass
         // reuses this graph through the facade.
         let t = Instant::now();
         let ddg = wf_deps::analyze(&b.scop);
-        let analysis_seconds = secs(t);
+        let analysis_serial_seconds = secs(t);
+
+        // Phase 1b: the same analysis with the pairwise statement tests
+        // forked on the shared pool. The merged DDG must be byte-identical
+        // to the serial one — that is the parallel-analysis leg of the
+        // determinism gate.
+        let t = Instant::now();
+        let ddg_parallel = wf_deps::try_analyze(&b.scop, threads);
+        let analysis_parallel_seconds = secs(t);
+        let analysis_same = matches!(&ddg_parallel, Ok(d) if *d == ddg);
 
         let fresh = |cached: bool| {
             // Fallback-on-degradable keeps the batch alive under injected
@@ -139,6 +174,12 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             }
         };
 
+        // Phases 2a/2b run with the solver memo disabled so their timings
+        // are true cold baselines — with the memo on, the parallel pass
+        // would answer the serial pass's solves from the cache and the
+        // ilp_speedup column would measure the memo, not the pool.
+        memo::set_enabled(false);
+
         // Phase 2a: ILP, serial cold baseline (one worker, cache bypassed).
         let t = Instant::now();
         let serial = fresh(false).threads(1).run_all();
@@ -150,7 +191,20 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         let parallel_seconds = secs(t);
         let parallel_same = same_runs(&serial, &parallel);
 
-        // Phase 2c: ILP through the cache — a cold pass that populates it,
+        // Phase 2c: the solver memo's determinism + hit-rate passes: a
+        // serial populating pass and a serial warm pass, both memo-on and
+        // schedule-cache-bypassed. Both must reproduce the memo-off
+        // schedules exactly, and the warm pass's counter delta yields the
+        // row's hit rate (its solves repeat the populating pass verbatim).
+        memo::set_enabled(true);
+        let memo_cold = fresh(false).threads(1).run_all();
+        let memo_stats_before = memo::stats();
+        let memo_warm = fresh(false).threads(1).run_all();
+        let memo_stats_row = delta_stats(&memo_stats_before, &memo::stats());
+        let memo_same = same_runs(&serial, &memo_cold) && same_runs(&serial, &memo_warm);
+        let solver_hit_rate_pct = memo_stats_row.hit_rate_pct();
+
+        // Phase 2d: ILP through the cache — a cold pass that populates it,
         // then a warm pass whose lookups skip the ILP.
         let t = Instant::now();
         let cached_cold = fresh(true).threads(threads).run_all();
@@ -217,8 +271,11 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             }
         }
 
-        determinism_ok &= parallel_same && cached_same && exec_ok;
-        tot_analysis += analysis_seconds;
+        let row_deterministic =
+            analysis_same && parallel_same && memo_same && cached_same && exec_ok;
+        determinism_ok &= row_deterministic;
+        tot_analysis_serial += analysis_serial_seconds;
+        tot_analysis_parallel += analysis_parallel_seconds;
         tot_serial += serial_seconds;
         tot_parallel += parallel_seconds;
         tot_codegen += codegen_seconds;
@@ -254,7 +311,16 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             ("name", b.name.into()),
             ("suite", b.suite.into()),
             ("statements", b.scop.n_statements().into()),
-            ("analysis_seconds", analysis_seconds.into()),
+            ("analysis_serial_seconds", analysis_serial_seconds.into()),
+            (
+                "analysis_parallel_seconds",
+                analysis_parallel_seconds.into(),
+            ),
+            (
+                "analysis_speedup",
+                (analysis_serial_seconds / analysis_parallel_seconds.max(1e-12)).into(),
+            ),
+            ("solver_hit_rate_pct", solver_hit_rate_pct.into()),
             ("ilp_serial_seconds", serial_seconds.into()),
             ("ilp_parallel_seconds", parallel_seconds.into()),
             (
@@ -272,10 +338,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
                 (exec_scoped_seconds / exec_pooled_seconds.max(1e-12)).into(),
             ),
             ("exec_ok", exec_ok.into()),
-            (
-                "determinism_ok",
-                (parallel_same && cached_same && exec_ok).into(),
-            ),
+            ("determinism_ok", row_deterministic.into()),
             ("models", Json::Arr(models)),
             // What this SCoP's passes cost the pipeline, as a registry
             // delta: ILP nodes/pivots, FM eliminations, cache traffic.
@@ -303,6 +366,8 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     determinism_ok &= pool_same;
 
     let cache_stats = cache::stats();
+    let memo_stats = memo::stats();
+    let memo_run = delta_stats(&memo_before_all, &memo_stats);
     let report = Json::obj([
         ("schema", "bench-all/v1".into()),
         ("threads", threads.into()),
@@ -310,7 +375,13 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         (
             "totals",
             Json::obj([
-                ("analysis_seconds", tot_analysis.into()),
+                ("analysis_serial_seconds", tot_analysis_serial.into()),
+                ("analysis_parallel_seconds", tot_analysis_parallel.into()),
+                (
+                    "analysis_speedup",
+                    (tot_analysis_serial / tot_analysis_parallel.max(1e-12)).into(),
+                ),
+                ("solver_hit_rate_pct", memo_run.hit_rate_pct().into()),
                 ("ilp_serial_seconds", tot_serial.into()),
                 ("ilp_parallel_seconds", tot_parallel.into()),
                 ("ilp_speedup", (tot_serial / tot_parallel.max(1e-12)).into()),
@@ -325,6 +396,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             ]),
         ),
         ("cache", cache_stats.to_json()),
+        ("solver_memo", memo_run.to_json()),
         ("metrics", obs::metrics().to_json()),
         ("determinism_ok", determinism_ok.into()),
     ]);
@@ -333,15 +405,18 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         report,
         determinism_ok,
         cache_stats,
+        memo_stats,
     }
 }
 
 /// Recursively drop run-to-run-variable fields (`*_seconds`, `*_speedup`,
-/// the cache counters, and the metrics snapshots) so two reports from
-/// identical inputs compare byte-for-byte. This is the determinism
-/// contract `wfc bench-all --json` advertises and CI enforces. (Metrics
-/// would in fact be deterministic for a fixed build, but they grow with
-/// every new probe, which would churn the goldens.)
+/// the cache and solver-memo counters, the hit-rate percentages, and the
+/// metrics snapshots) so two reports from identical inputs compare
+/// byte-for-byte. This is the determinism contract `wfc bench-all --json`
+/// advertises and CI enforces. (Metrics would in fact be deterministic
+/// for a fixed build, but they grow with every new probe, which would
+/// churn the goldens; the memo counters depend on what earlier runs left
+/// in the process-wide memo.)
 #[must_use]
 pub fn strip_timings(j: &Json) -> Json {
     match j {
@@ -352,7 +427,9 @@ pub fn strip_timings(j: &Json) -> Json {
                     !(k.ends_with("_seconds")
                         || k.ends_with("speedup")
                         || k == "cache"
-                        || k == "metrics")
+                        || k == "metrics"
+                        || k == "solver_memo"
+                        || k == "solver_hit_rate_pct")
                 })
                 .map(|(k, v)| (k.clone(), strip_timings(v)))
                 .collect(),

@@ -29,7 +29,10 @@ fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
     let row = &rows[0];
     assert_eq!(row.get("name").and_then(Json::as_str), Some("advect"));
     for phase in [
-        "analysis_seconds",
+        "analysis_serial_seconds",
+        "analysis_parallel_seconds",
+        "analysis_speedup",
+        "solver_hit_rate_pct",
         "ilp_serial_seconds",
         "ilp_parallel_seconds",
         "cache_warm_seconds",
@@ -44,6 +47,14 @@ fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
             "missing phase timing {phase}"
         );
     }
+    // The memo warm pass repeats the populating pass's solves verbatim,
+    // so the row's solver hit rate must be strictly positive.
+    assert!(
+        row.get("solver_hit_rate_pct")
+            .and_then(Json::as_f64)
+            .is_some_and(|p| p > 0.0),
+        "memo warm pass produced no solver hits"
+    );
     assert_eq!(
         row.get("exec_ok").and_then(Json::as_bool),
         Some(true),

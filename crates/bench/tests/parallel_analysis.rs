@@ -1,0 +1,111 @@
+//! Properties of the pool-parallel dependence analysis and the solver
+//! memo layer underneath it:
+//!
+//! 1. **Catalog-wide DDG identity** — [`wf_deps::try_analyze`] at 2, 4,
+//!    and 8 workers must produce a [`Ddg`](wf_deps::Ddg) byte-identical
+//!    (full structural equality, polyhedra included) to the serial
+//!    [`wf_deps::analyze`], for every benchmark in the suite. The merge
+//!    is in pair-index order, so worker count must be unobservable.
+//! 2. **Memoized solver answers equal cold answers** — on seeded random
+//!    constraint systems, repeated [`try_ilp_feasible`] /
+//!    [`lexmin_budgeted`] calls (answered by the memo) must equal each
+//!    other *and* a post-[`memo::clear`] cold re-solve.
+
+use wf_benchsuite::catalog;
+use wf_deps::{analyze, try_analyze};
+use wf_harness::prelude::*;
+use wf_polyhedra::memo;
+use wf_polyhedra::{lexmin_budgeted, try_ilp_feasible, ConstraintSystem, IlpBudget};
+
+#[test]
+fn parallel_analysis_is_byte_identical_across_thread_counts() {
+    for b in catalog() {
+        let serial = analyze(&b.scop);
+        for threads in [2, 4, 8] {
+            let parallel = try_analyze(&b.scop, threads)
+                .unwrap_or_else(|e| panic!("{}: try_analyze({threads}) failed: {e}", b.name));
+            assert_eq!(
+                serial, parallel,
+                "{}: DDG from {threads}-worker analysis diverges from serial",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_analysis_serial_shortcircuit_matches() {
+    // threads <= 1 must take the inline serial path and agree too.
+    let b = &catalog()[0];
+    let serial = analyze(&b.scop);
+    assert_eq!(serial, try_analyze(&b.scop, 1).expect("serial path"));
+    assert_eq!(serial, try_analyze(&b.scop, 0).expect("serial path"));
+}
+
+/// A random 2-variable system that is always bounded (a box intersected
+/// with one arbitrary extra inequality), so branch-and-bound terminates;
+/// feasibility is *not* guaranteed, which is the point — empty verdicts
+/// must memoize correctly too.
+fn boxed_system(hx: i128, hy: i128, extra: (i128, i128, i128)) -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new(2);
+    cs.add_ge0(vec![1, 0, 0]); // x >= 0
+    cs.add_ge0(vec![-1, 0, hx]); // x <= hx
+    cs.add_ge0(vec![0, 1, 0]); // y >= 0
+    cs.add_ge0(vec![0, -1, hy]); // y <= hy
+    let (a, b, c) = extra;
+    cs.add_ge0(vec![a, b, c]);
+    cs
+}
+
+props! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn memoized_feasibility_equals_cold(
+        hx in 0i128..6,
+        hy in 0i128..6,
+        extra in (-3i128..4, -3i128..4, -6i128..7),
+    ) {
+        let cs = boxed_system(hx, hy, extra);
+        let budget = IlpBudget::default();
+        let first = try_ilp_feasible(&cs, &budget);
+        let second = try_ilp_feasible(&cs, &budget);
+        prop_assert_eq!(&first, &second, "repeated (memoized) answers diverge");
+        memo::clear();
+        let cold = try_ilp_feasible(&cs, &budget);
+        prop_assert_eq!(&first, &cold, "memoized answer diverges from cold re-solve");
+    }
+
+    #[test]
+    fn memoized_lexmin_equals_cold(
+        hx in 0i128..6,
+        hy in 0i128..6,
+        extra in (-3i128..4, -3i128..4, -6i128..7),
+    ) {
+        let cs = boxed_system(hx, hy, extra);
+        let budget = IlpBudget::default();
+        let objectives = [vec![1, 0], vec![0, 1]];
+        let first = lexmin_budgeted(&cs, &objectives, &budget);
+        let second = lexmin_budgeted(&cs, &objectives, &budget);
+        prop_assert_eq!(&first, &second, "repeated (memoized) lexmin diverges");
+        memo::clear();
+        let cold = lexmin_budgeted(&cs, &objectives, &budget);
+        prop_assert_eq!(&first, &cold, "memoized lexmin diverges from cold re-solve");
+    }
+}
+
+#[test]
+fn repeated_solves_hit_the_memo() {
+    // A system unlikely to collide with the property tests' samples.
+    let cs = boxed_system(17, 23, (2, -1, 5));
+    let budget = IlpBudget::default();
+    let warmup = try_ilp_feasible(&cs, &budget).expect("in budget");
+    let before = memo::stats();
+    let again = try_ilp_feasible(&cs, &budget).expect("in budget");
+    let after = memo::stats();
+    assert_eq!(warmup, again);
+    assert!(
+        after.hits > before.hits,
+        "second identical solve must be a memo hit ({before:?} -> {after:?})"
+    );
+}

@@ -396,6 +396,7 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
                 caps.max_age_secs.map_or(Json::Null, Json::from),
             ),
             ("stats", mem.to_json()),
+            ("solver_memo", wf_polyhedra::memo::stats().to_json()),
             ("entries", Json::Arr(entries)),
         ]);
         println!("{}", j.render());
@@ -420,6 +421,15 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
         mem.spill_hit_rate_pct(),
         mem.spill_stores,
         mem.spill_quarantined
+    );
+    let memo = wf_polyhedra::memo::stats();
+    println!(
+        "solver memo: {} hits / {} misses ({:.1}% hit rate), {} stores, {} evictions",
+        memo.hits,
+        memo.misses,
+        memo.hit_rate_pct(),
+        memo.stores,
+        memo.evictions
     );
     for e in cache::spill_entries(&dir) {
         let age = e
@@ -488,8 +498,14 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
             ba.threads
         );
         println!(
-            "  analysis {:.3}s   ilp serial {:.3}s   ilp parallel {:.3}s ({:.2}x)   codegen {:.3}s",
-            f("analysis_seconds"),
+            "  analysis serial {:.3}s   parallel {:.3}s ({:.2}x)   solver memo {:.1}% hits",
+            f("analysis_serial_seconds"),
+            f("analysis_parallel_seconds"),
+            f("analysis_speedup"),
+            f("solver_hit_rate_pct"),
+        );
+        println!(
+            "  ilp serial {:.3}s   ilp parallel {:.3}s ({:.2}x)   codegen {:.3}s",
             f("ilp_serial_seconds"),
             f("ilp_parallel_seconds"),
             f("ilp_speedup"),
@@ -521,7 +537,7 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
     }
     if !outcome.determinism_ok {
         return Err(WfError::Schedule {
-            message: "bench-all: determinism mismatch — parallel/cached schedules diverge from serial (see BENCH_all.json)".to_string(),
+            message: "bench-all: determinism mismatch — a parallel/cached/memoized pass diverged from the serial baseline (see BENCH_all.json)".to_string(),
         });
     }
     if opts.check_regressions {

@@ -70,6 +70,32 @@ impl Fingerprint {
         }
     }
 
+    /// Incremental re-fingerprint: the same SCoP and model under a
+    /// different `config`, rehashing **only** the config knobs.
+    ///
+    /// [`Fingerprint::new`] renders the SCoP's full canonical text to
+    /// digest it — by far the dominant cost — so candidate enumeration in
+    /// the iterative-search harness, which varies only the engine
+    /// tunables, computes one base fingerprint and derives every
+    /// candidate's key through this delta path. Identical by construction
+    /// to `Fingerprint::new(scop, model, config)` for the SCoP the base
+    /// was built from.
+    #[must_use]
+    pub fn with_config(&self, config: &PlutoConfig) -> Fingerprint {
+        Fingerprint {
+            scop: self.scop,
+            model: self.model,
+            config: config_fingerprint(config),
+        }
+    }
+
+    /// The same SCoP and config under a different fusion `model`; like
+    /// [`with_config`](Fingerprint::with_config), no SCoP re-render.
+    #[must_use]
+    pub fn with_model(&self, model: Model) -> Fingerprint {
+        Fingerprint { model, ..*self }
+    }
+
     /// The spill file stem: `<scop:016x>-<model>-<config:016x>`.
     #[must_use]
     pub fn file_stem(&self) -> String {
@@ -808,6 +834,39 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().stores, 3, "counters survive clear");
+    }
+
+    #[test]
+    fn with_config_matches_full_fingerprint() {
+        use wf_scop::{Aff, Expr, ScopBuilder};
+        let mut b = ScopBuilder::new("fp", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Const(1.0))
+            .done();
+        let scop = b.build();
+
+        let base = Fingerprint::new(&scop, Model::Wisefuse, &PlutoConfig::default());
+        let tweaked = PlutoConfig {
+            max_fusion_width: 3,
+            ..PlutoConfig::default()
+        };
+        // The delta path must agree with a from-scratch fingerprint…
+        assert_eq!(
+            base.with_config(&tweaked),
+            Fingerprint::new(&scop, Model::Wisefuse, &tweaked)
+        );
+        assert_eq!(base.with_config(&PlutoConfig::default()), base);
+        // …and distinct configs must not collide on the config digest.
+        assert_ne!(base.with_config(&tweaked).config, base.config);
+        // Same for the model delta.
+        assert_eq!(
+            base.with_model(Model::Nofuse),
+            Fingerprint::new(&scop, Model::Nofuse, &PlutoConfig::default())
+        );
     }
 
     #[test]

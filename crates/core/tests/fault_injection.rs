@@ -16,7 +16,10 @@
 //! 4. injection is **deterministic**: the same seed over a serial run
 //!    reproduces the same per-model outcomes;
 //! 5. after `fault::disable()` the pipeline's results are **identical**
-//!    to the pre-fault baseline (fault machinery has zero residue).
+//!    to the pre-fault baseline (fault machinery has zero residue);
+//! 6. forced solver-memo misses (`polyhedra.memo` Io faults) are
+//!    **unobservable** in results: a forced-miss run is byte-identical
+//!    to the warm run it shadows.
 //!
 //! Everything lives in a single `#[test]` because the fault plan, the
 //! schedule cache, and `WF_CACHE_DIR` are process-global; parallel test
@@ -218,6 +221,32 @@ fn pipeline_survives_every_injected_fault() {
         first_exec.is_ok(),
         second_exec.is_ok(),
         "seed 42 must reproduce the same executor outcome"
+    );
+
+    // Property 4c: the solver memo under site-targeted forced misses.
+    // An Io fault at `polyhedra.memo` makes a memo lookup miss and
+    // re-solve cold; since hits are byte-identical to cold solves by
+    // construction, every forced-miss run must reproduce the warm
+    // baseline exactly — the memo can change timings, never results.
+    fault::disable();
+    let warm = run_all(&scop, 1, false, false);
+    let memo_before = wf_polyhedra::memo::stats();
+    for seed in 0..120u64 {
+        fault::install(FaultPlan {
+            site: Some("polyhedra.memo".to_string()),
+            ..FaultPlan::all(seed, 300)
+        });
+        let forced = run_all(&scop, 1, false, false);
+        assert!(
+            same_runs(&warm, &forced),
+            "seed {seed}: memo-forced-miss run diverged from the warm run"
+        );
+    }
+    fault::disable();
+    let memo_after = wf_polyhedra::memo::stats();
+    assert!(
+        memo_after.misses > memo_before.misses,
+        "no forced memo miss ever fired across 120 seeds ({memo_before:?} -> {memo_after:?})"
     );
 
     panic::set_hook(quiet);

@@ -87,6 +87,9 @@ fn traced_schedules_are_byte_identical_to_untraced() {
             plain.push((opt.transformed.clone(), opt.props.clone()));
         }
         obs::set_enabled(obs::TRACE | obs::METRICS | obs::DECISIONS);
+        // The untraced loop warmed the solver memo; clear it so the traced
+        // pass actually solves and the `ilp.solves` counter moves.
+        wf_polyhedra::memo::clear();
         for (model, (t, p)) in Model::ALL.into_iter().zip(&plain) {
             let opt = Optimizer::new(&scop)
                 .cache_off()
@@ -170,6 +173,9 @@ fn metrics_observe_the_ilp_and_cache() {
     exclusive(|| {
         let scop = fusable_scop();
         obs::set_enabled(obs::METRICS);
+        // A sibling test may have warmed the solver memo on this SCoP;
+        // clear it so the counters below actually move.
+        wf_polyhedra::memo::clear();
         let before = obs::metrics();
         let _ = Optimizer::new(&scop)
             .cache_off()

@@ -1,6 +1,7 @@
 //! Dependence polyhedron construction.
 
 use crate::ddg::{Ddg, DepEdge, DepKind, DepLevel};
+use wf_harness::{pool, WfError};
 use wf_polyhedra::{ConstraintSystem, Polyhedron};
 use wf_scop::{AccessKind, Scop};
 
@@ -23,7 +24,9 @@ pub fn analyze(scop: &Scop) -> Ddg {
     };
     for src in 0..n {
         for dst in 0..n {
-            analyze_pair(scop, src, dst, &mut ddg);
+            let (edges, rar) = collect_pair(scop, src, dst);
+            ddg.edges.extend(edges);
+            ddg.rar.extend(rar);
         }
     }
     span.arg("edges", ddg.edges.len().to_string());
@@ -31,7 +34,51 @@ pub fn analyze(scop: &Scop) -> Ddg {
     ddg
 }
 
-fn analyze_pair(scop: &Scop, src: usize, dst: usize, ddg: &mut Ddg) {
+/// [`analyze`] with the pairwise `(src, dst)` statement tests forked
+/// across up to `threads` workers of the shared
+/// [`pool::global`](wf_harness::pool::global) thread pool.
+///
+/// Each of the `n²` ordered statement pairs is an independent job
+/// ([`collect_pair`] is a pure function of the SCoP), and the per-pair
+/// edge lists are merged in pair-index order — the same `src`-major
+/// order the serial loop visits — so the resulting [`Ddg`] is
+/// **byte-identical** to [`analyze`] at every worker count. `threads <= 1`
+/// (or a single-statement SCoP) short-circuits to the serial path
+/// inline on the calling thread.
+///
+/// # Errors
+/// [`WfError::JobPanic`] when a worker job panics; the panic is contained
+/// per-slot by [`ThreadPool::try_scope`](wf_harness::ThreadPool::try_scope)
+/// and surfaced here as the typed error instead of poisoning the pool.
+pub fn try_analyze(scop: &Scop, threads: usize) -> Result<Ddg, WfError> {
+    let n = scop.n_statements();
+    if threads <= 1 || n <= 1 {
+        return Ok(analyze(scop));
+    }
+    let mut span = wf_harness::span!("deps.analyze_parallel", "scop" => scop.name.clone());
+    let slots = pool::global().try_scope(threads, n * n, |i| collect_pair(scop, i / n, i % n));
+    let mut ddg = Ddg {
+        n,
+        edges: Vec::new(),
+        rar: Vec::new(),
+    };
+    for slot in slots {
+        let (edges, rar) = slot.map_err(WfError::from)?;
+        ddg.edges.extend(edges);
+        ddg.rar.extend(rar);
+    }
+    span.arg("edges", ddg.edges.len().to_string());
+    wf_harness::obs::add("deps.analyses", 1);
+    Ok(ddg)
+}
+
+/// All dependence edges of one ordered statement pair, split into
+/// constraining edges and read-after-read reuse edges. Pure in
+/// `(scop, src, dst)`, which is what makes the pairwise fork of
+/// [`try_analyze`] deterministic.
+fn collect_pair(scop: &Scop, src: usize, dst: usize) -> (Vec<DepEdge>, Vec<DepEdge>) {
+    let mut edges = Vec::new();
+    let mut rar = Vec::new();
     let a = &scop.statements[src];
     let b = &scop.statements[dst];
     let common = scop.common_loops(src, dst);
@@ -41,7 +88,7 @@ fn analyze_pair(scop: &Scop, src: usize, dst: usize, ddg: &mut Ddg) {
         levels.push(DepLevel::Independent);
     }
     if levels.is_empty() {
-        return;
+        return (edges, rar);
     }
     for (ka, acc_a) in a.accesses() {
         for (kb, acc_b) in b.accesses() {
@@ -80,13 +127,14 @@ fn analyze_pair(scop: &Scop, src: usize, dst: usize, ddg: &mut Ddg) {
                     array: acc_a.array,
                 };
                 if kind.constrains() {
-                    ddg.edges.push(edge);
+                    edges.push(edge);
                 } else {
-                    ddg.rar.push(edge);
+                    rar.push(edge);
                 }
             }
         }
     }
+    (edges, rar)
 }
 
 /// Build the dependence constraint system over

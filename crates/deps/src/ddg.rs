@@ -37,7 +37,11 @@ pub enum DepLevel {
 
 /// One dependence: a non-empty polyhedron of (source, target) instance
 /// pairs.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare every field (including the polyhedron's
+/// constraint rows), which is what the parallel-analysis determinism
+/// gate uses to assert serial and pooled DDGs are byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DepEdge {
     /// Source statement index.
     pub src: usize,
@@ -58,7 +62,7 @@ pub struct DepEdge {
 }
 
 /// The data dependence graph of a SCoP.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Ddg {
     /// Number of statements (vertices).
     pub n: usize,

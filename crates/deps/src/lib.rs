@@ -26,6 +26,6 @@ pub mod ddg;
 pub mod enumerate;
 pub mod scc;
 
-pub use analyze::analyze;
+pub use analyze::{analyze, try_analyze};
 pub use ddg::{Ddg, DepEdge, DepKind, DepLevel};
 pub use scc::{kosaraju, kosaraju_raw, tarjan, SccInfo};

@@ -21,10 +21,12 @@
 //!
 //! The consulted sites are `cache.spill_read` / `cache.spill_write`
 //! (spill I/O), `optimizer.model_job` (model-scheduling pool jobs),
-//! `ilp.solve` (budget exhaustion), and `runtime.partition` (one visit per
+//! `ilp.solve` (budget exhaustion), `runtime.partition` (one visit per
 //! parallel-band chunk in the interpreting executor, so
 //! `WF_FAULT=...,kinds=panic,site=runtime.partition` targets executor
-//! jobs specifically).
+//! jobs specifically), and `polyhedra.memo` (an [`FaultKind::Io`] fault
+//! forces a solver-memo lookup to miss and re-solve cold — results must
+//! stay byte-identical, which the fault property suite asserts).
 //!
 //! Injection is **deterministic**: each site keeps a visit counter, and
 //! the decision for visit `n` of site `s` is a pure function of

@@ -24,10 +24,12 @@
 //! * [`json`] — the tiny JSON value/writer/parser the bench reports, the
 //!   `wfc --json` output, and the schedule cache's disk spill are built on.
 //! * [`pool`] — a small work-stealing-free thread pool (`std::thread` +
-//!   channels, no rayon) with deterministic, submission-ordered results:
-//!   [`scoped_map`](pool::scoped_map) for borrowed fork/join maps and a
-//!   persistent [`ThreadPool`](pool::ThreadPool) for `'static` jobs, sized
-//!   by the `WF_THREADS` environment variable.
+//!   channels, no rayon) with deterministic, submission-ordered results: a
+//!   persistent [`ThreadPool`](pool::ThreadPool) whose
+//!   [`try_scope`](pool::ThreadPool::try_scope) forks over borrowed data
+//!   with per-job panic containment, sized by the `WF_THREADS`
+//!   environment variable (parsed once via
+//!   [`try_env_threads`](pool::try_env_threads)).
 //! * [`error`] — the workspace-wide typed [`WfError`](error::WfError)
 //!   hierarchy (parse / budget / I/O / schedule / panic / unbounded) with
 //!   the `wfc` exit-code contract; producing crates convert their own

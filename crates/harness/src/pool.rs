@@ -19,11 +19,6 @@
 //!   job — or against a saturated pool — still completes instead of
 //!   deadlocking.
 //!
-//! The legacy free functions [`scoped_map`] / [`try_scoped_map`], which
-//! spawned fresh `std::thread::scope` workers per call, are deprecated in
-//! favor of the persistent pool; worker startup is paid once per process,
-//! not once per fork.
-//!
 //! There is deliberately no work stealing: jobs are pulled off one shared
 //! channel, which is contention-free at the workspace's job granularity
 //! (each job is an ILP-backed scheduling pass or an executor chunk,
@@ -93,145 +88,6 @@ pub fn try_env_threads() -> Result<usize, WfError> {
             .map_or(4, |p| p.get())
             .min(8)),
     }
-}
-
-/// Infallible [`try_env_threads`] for library paths that cannot surface
-/// errors: an invalid `WF_THREADS` falls back to the serial count 1.
-#[deprecated(
-    note = "parse the environment once at context construction (try_env_threads / \
-            wf_runtime::ExecContext::from_env) instead of re-reading it per call site"
-)]
-#[must_use]
-pub fn env_threads() -> usize {
-    try_env_threads().unwrap_or(1)
-}
-
-/// Map `f` over `items` on up to `threads` scoped workers, returning
-/// results in submission order. `threads <= 1` runs inline (serial
-/// fallback); panics in `f` propagate to the caller.
-#[deprecated(
-    note = "route fork/join over borrowed data through ThreadPool::try_scope (persistent \
-            workers) instead of spawning fresh scoped threads per call"
-)]
-pub fn scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    obs::observe("pool.queue_depth", n as u64);
-    // Workers re-enter the submitting thread's span context so their spans
-    // nest under the span that forked this map.
-    let ctx = obs::current_ctx();
-    let (jtx, jrx) = mpsc::channel::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        let _ = jtx.send(pair);
-    }
-    drop(jtx);
-    let jobs = Mutex::new(jrx);
-    let (rtx, rrx) = mpsc::channel::<(usize, R)>();
-    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            let rtx = rtx.clone();
-            let (jobs, f) = (&jobs, &f);
-            s.spawn(move || loop {
-                // Hold the receiver lock only for the dequeue, not the work.
-                let job = {
-                    let guard = jobs
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    guard.recv()
-                };
-                match job {
-                    Ok((i, x)) => {
-                        let _ctx = obs::enter_ctx(ctx);
-                        if rtx.send((i, f(x))).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => break,
-                }
-            });
-        }
-        drop(rtx);
-        while let Ok((i, r)) = rrx.recv() {
-            out[i] = Some(r);
-        }
-        // A panicking worker sends nothing; `thread::scope` re-raises its
-        // panic when the scope closes, so the `expect` below is unreachable
-        // in that case.
-    });
-    out.into_iter()
-        .map(|o| o.expect("every submitted job produced a result"))
-        .collect()
-}
-
-/// [`scoped_map`] with per-job panic isolation: a job that panics yields
-/// `Err(JobPanicked)` for its slot instead of poisoning the whole map, the
-/// other jobs' results survive, and the workers keep draining the queue.
-/// Submission-order determinism is identical to [`scoped_map`].
-#[deprecated(
-    note = "route fork/join over borrowed data through ThreadPool::try_scope (persistent \
-            workers) instead of spawning fresh scoped threads per call"
-)]
-pub fn try_scoped_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, JobPanicked>>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(|x| contain(&f, x)).collect();
-    }
-    obs::observe("pool.queue_depth", n as u64);
-    let ctx = obs::current_ctx();
-    let (jtx, jrx) = mpsc::channel::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        let _ = jtx.send(pair);
-    }
-    drop(jtx);
-    let jobs = Mutex::new(jrx);
-    let (rtx, rrx) = mpsc::channel::<(usize, Result<R, JobPanicked>)>();
-    let mut out: Vec<Option<Result<R, JobPanicked>>> =
-        std::iter::repeat_with(|| None).take(n).collect();
-    thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            let rtx = rtx.clone();
-            let (jobs, f) = (&jobs, &f);
-            s.spawn(move || loop {
-                let job = {
-                    let guard = jobs
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    guard.recv()
-                };
-                match job {
-                    Ok((i, x)) => {
-                        let _ctx = obs::enter_ctx(ctx);
-                        // The contained result is data, never an unwind, so
-                        // the worker (and the scope) always survive.
-                        if rtx.send((i, contain(f, x))).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => break,
-                }
-            });
-        }
-        drop(rtx);
-        while let Ok((i, r)) = rrx.recv() {
-            out[i] = Some(r);
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("every submitted job produced a result or a contained panic"))
-        .collect()
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -504,50 +360,8 @@ pub fn global() -> &'static ThreadPool {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated scoped helpers keep their coverage until removal
 mod tests {
     use super::*;
-
-    #[test]
-    fn scoped_map_preserves_submission_order() {
-        // Make early submissions slow so completion order inverts.
-        let items: Vec<u64> = (0..16).collect();
-        let out = scoped_map(4, items.clone(), |x| {
-            if x < 4 {
-                thread::sleep(std::time::Duration::from_millis(5));
-            }
-            x * x
-        });
-        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn scoped_map_serial_fallback_runs_inline() {
-        let here = thread::current().id();
-        let out = scoped_map(1, vec![1, 2, 3], |x| {
-            assert_eq!(thread::current().id(), here);
-            x + 1
-        });
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn scoped_map_matches_serial_map() {
-        let items: Vec<i64> = (0..100).collect();
-        let serial: Vec<i64> = items.iter().map(|x| x * 3 - 7).collect();
-        for threads in [2, 3, 8] {
-            assert_eq!(scoped_map(threads, items.clone(), |x| x * 3 - 7), serial);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn scoped_map_propagates_worker_panics() {
-        scoped_map(2, vec![0, 1, 2, 3], |x| {
-            assert_ne!(x, 2, "boom");
-            x
-        });
-    }
 
     #[test]
     fn pool_map_preserves_order_and_reuses_workers() {
@@ -579,23 +393,6 @@ mod tests {
     }
 
     #[test]
-    fn try_scoped_map_contains_panics_per_slot() {
-        for threads in [1, 4] {
-            let out = try_scoped_map(threads, vec![0, 1, 2, 3], |x| {
-                if x == 2 {
-                    panic!("boom on {x}");
-                }
-                x * 10
-            });
-            assert_eq!(out[0], Ok(0));
-            assert_eq!(out[1], Ok(10));
-            assert_eq!(out[3], Ok(30));
-            let p = out[2].as_ref().expect_err("slot 2 panicked");
-            assert!(p.message.contains("boom on 2"), "payload lost: {p:?}");
-        }
-    }
-
-    #[test]
     fn pool_try_map_isolates_panics_and_pool_survives() {
         let pool = ThreadPool::new(2);
         let out = pool.try_map((0..8u64).collect(), |x| {
@@ -613,9 +410,6 @@ mod tests {
         // Subsequent maps on the same pool still succeed: no worker died.
         let ok = pool.map((0..8u64).collect(), |x| x * 2);
         assert_eq!(ok, (0..8u64).map(|x| x * 2).collect::<Vec<_>>());
-        // And the scoped helper is equally reusable after a contained panic.
-        let scoped = scoped_map(2, vec![1, 2, 3], |x| x + 1);
-        assert_eq!(scoped, vec![2, 3, 4]);
     }
 
     #[test]

@@ -221,17 +221,24 @@ pub fn ilp_feasible(cs: &ConstraintSystem) -> Option<Vec<i128>> {
 /// every fractional direction that branching explores (true for all
 /// callers here, which bound their variables).
 ///
+/// Verdicts are memoized in the process-wide [`memo`](crate::memo)
+/// layer (keyed by the canonical system + budget class); a hit is
+/// byte-identical to the cold solve, and budget-exhausted outcomes are
+/// never cached.
+///
 /// # Errors
 /// [`IlpError`] when the budget runs out before the search concludes.
 pub fn try_ilp_feasible(
     cs: &ConstraintSystem,
     budget: &IlpBudget,
 ) -> Result<Option<Vec<i128>>, IlpError> {
-    let mut nodes = 0usize;
-    let mut pivots = 0u64;
-    let out = feasible_counted(cs, budget, &mut nodes, &mut pivots);
-    record_solve(nodes, pivots, out.as_ref().err());
-    out
+    crate::memo::feasible_cached(cs, budget, || {
+        let mut nodes = 0usize;
+        let mut pivots = 0u64;
+        let out = feasible_counted(cs, budget, &mut nodes, &mut pivots);
+        record_solve(nodes, pivots, out.as_ref().err());
+        out
+    })
 }
 
 fn feasible_counted(
@@ -299,32 +306,39 @@ pub type LexMin = Option<(Vec<i128>, Vec<i128>)>;
 /// [`IlpError`]; callers (the scheduler) treat that like infeasibility and
 /// fall back to loop distribution, which keeps pathological fusion ILPs
 /// from stalling the compiler (PLuTo has analogous practical limits).
+///
+/// Verdicts are memoized in the process-wide [`memo`](crate::memo)
+/// layer keyed by the canonical system, objectives, and budget class; a
+/// whole-lexmin hit skips every per-objective ILP inside. Hits are
+/// byte-identical to cold solves; errors are never cached.
 pub fn lexmin_budgeted(
     cs: &ConstraintSystem,
     objectives: &[Vec<i128>],
     budget: &IlpBudget,
 ) -> Result<LexMin, IlpError> {
-    let mut work = cs.clone();
-    let mut values = Vec::with_capacity(objectives.len());
-    let mut point = None;
-    for obj in objectives {
-        match solve_ilp_budgeted(&work, obj, Sense::Min, budget)? {
-            IlpResult::Infeasible => return Ok(None),
-            IlpResult::Unbounded => return Err(IlpError::Unbounded { site: "lexmin" }),
-            IlpResult::Optimal { value, point: p } => {
-                let v = value
-                    .to_integer()
-                    .expect("integer objective at integer point");
-                values.push(v);
-                // Pin this objective to its optimum for subsequent levels.
-                let mut row: Vec<i128> = obj.clone();
-                row.push(-v);
-                work.add_eq0(row);
-                point = Some(p);
+    crate::memo::lexmin_cached(cs, objectives, budget, || {
+        let mut work = cs.clone();
+        let mut values = Vec::with_capacity(objectives.len());
+        let mut point = None;
+        for obj in objectives {
+            match solve_ilp_budgeted(&work, obj, Sense::Min, budget)? {
+                IlpResult::Infeasible => return Ok(None),
+                IlpResult::Unbounded => return Err(IlpError::Unbounded { site: "lexmin" }),
+                IlpResult::Optimal { value, point: p } => {
+                    let v = value
+                        .to_integer()
+                        .expect("integer objective at integer point");
+                    values.push(v);
+                    // Pin this objective to its optimum for subsequent levels.
+                    let mut row: Vec<i128> = obj.clone();
+                    row.push(-v);
+                    work.add_eq0(row);
+                    point = Some(p);
+                }
             }
         }
-    }
-    Ok(point.map(|p| (values, p)))
+        Ok(point.map(|p| (values, p)))
+    })
 }
 
 /// One budget check per branch-and-bound node; also the seeded

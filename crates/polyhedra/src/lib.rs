@@ -12,6 +12,10 @@
 //!   floating point anywhere),
 //! * [`ilp`] — branch-and-bound integer programming plus lexicographic
 //!   multi-objective minimization, standing in for PIP,
+//! * [`memo`] — a process-wide bounded-LRU memo fronting the ILP entry
+//!   points ([`try_ilp_feasible`], [`lexmin_budgeted`], and through them
+//!   [`Polyhedron::is_empty_integer`]), keyed by a canonical FNV-1a digest
+//!   of system + budget class, with byte-identical hits,
 //! * [`Polyhedron`] — a convenience wrapper offering emptiness tests, affine
 //!   min/max, and integer point enumeration (for testing).
 //!
@@ -24,6 +28,7 @@
 pub mod constraint;
 pub mod fm;
 pub mod ilp;
+pub mod memo;
 pub mod poly;
 pub mod simplex;
 

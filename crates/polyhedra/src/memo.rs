@@ -1,0 +1,486 @@
+//! Process-wide solver memoization for the ILP entry points.
+//!
+//! The scheduler and the iterative-search harness re-solve *identical*
+//! polyhedral subproblems constantly: the five fusion models share most
+//! of their legality systems, every `run_all` fan-out repeats the serial
+//! pass's `lexmin` calls, and candidate enumeration in iterative search
+//! revisits the same emptiness tests per configuration. This module puts
+//! a bounded-LRU memo in front of [`try_ilp_feasible`](crate::ilp::try_ilp_feasible)
+//! and [`lexmin_budgeted`](crate::ilp::lexmin_budgeted) (and therefore
+//! [`Polyhedron::is_empty_integer`](crate::Polyhedron::is_empty_integer),
+//! which delegates to the former), keyed by a canonical FNV-1a digest of
+//! the constraint system, the objectives, and the budget *class*.
+//!
+//! Correctness contract, in order of importance:
+//!
+//! * **Byte-identity.** A memo hit returns exactly the value the cold
+//!   solve produced — entries store the full canonical key bytes, so an
+//!   FNV collision is detected and treated as a miss (last writer wins),
+//!   never as a wrong answer. The solver is deterministic, so re-solving
+//!   under the same key always reproduces the stored value.
+//! * **Budget-exhausted verdicts are never cached.** An `Err` depends on
+//!   where the search was cut off, not only on the problem; caching it
+//!   would let one tight budget poison later, looser-budgeted callers
+//!   that share a key class. Only `Ok` verdicts are stored.
+//! * **Wall-clock budgets bypass the memo entirely.** `wall_ms > 0`
+//!   makes the verdict machine-speed-dependent; such solves are neither
+//!   looked up nor stored.
+//!
+//! Hits, misses, stores, and evictions are counted here and mirrored
+//! into the [`wf_harness::obs`] metrics registry (`memo.hit` /
+//! `memo.miss` / `memo.store`). The `polyhedra.memo` fault-injection
+//! site ([`wf_harness::fault`], [`FaultKind::Io`]) deterministically
+//! forces lookups to miss, which the fault property suite uses to prove
+//! forced-miss runs are byte-identical to warm runs. [`set_enabled`]
+//! turns the layer off wholesale for harnesses that must time the cold
+//! path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use wf_harness::fault::{self, FaultKind};
+use wf_harness::hash::Fnv64;
+use wf_harness::json::Json;
+use wf_harness::obs;
+
+use crate::constraint::{ConstraintKind, ConstraintSystem};
+use crate::ilp::{IlpBudget, IlpError, LexMin};
+
+/// Entries kept by the process-wide memo before LRU eviction kicks in.
+const MEMO_CAPACITY: usize = 4096;
+
+/// A memoized solver verdict. Variants match the two fronted entry
+/// points; the op tag is also baked into the key bytes so a feasibility
+/// query can never alias a lexmin query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    /// `try_ilp_feasible`: some integer point, or proven-empty.
+    Feasible(Option<Vec<i128>>),
+    /// `lexmin_budgeted`: optimal values + attaining point, or infeasible.
+    Lexmin(LexMin),
+}
+
+struct Entry {
+    /// Full canonical key bytes, kept to detect FNV-1a collisions.
+    key: Vec<u8>,
+    value: Value,
+    last_used: u64,
+}
+
+/// Counters for the solver memo; returned by [`stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to fall through to a cold solve (including
+    /// fault-forced and collision misses).
+    pub misses: u64,
+    /// Verdicts written into the memo.
+    pub stores: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+impl MemoStats {
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in percent, 0.0 when no lookups happened.
+    #[must_use]
+    pub fn hit_rate_pct(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / self.lookups() as f64 * 100.0
+            }
+        }
+    }
+
+    /// The stats as a JSON object (for `wfc cache --stats --json` and
+    /// bench-all reports).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("stores", Json::from(self.stores)),
+            ("evictions", Json::from(self.evictions)),
+            ("hit_rate_pct", Json::Num(self.hit_rate_pct())),
+        ])
+    }
+}
+
+struct SolverMemo {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    stats: MemoStats,
+}
+
+impl SolverMemo {
+    fn new(capacity: usize) -> SolverMemo {
+        SolverMemo {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Look up `key_bytes`; a digest match with different key bytes is a
+    /// collision and reported as a miss.
+    fn lookup(&mut self, digest: u64, key_bytes: &[u8]) -> Option<Value> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&digest) {
+            Some(e) if e.key == key_bytes => {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                obs::add("memo.hit", 1);
+                Some(e.value.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                obs::add("memo.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Insert (or overwrite on collision — last writer wins), evicting
+    /// least-recently-used entries to respect the bound.
+    fn insert(&mut self, digest: u64, key_bytes: Vec<u8>, value: Value) {
+        while self.map.len() >= self.capacity && !self.map.contains_key(&digest) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            digest,
+            Entry {
+                key: key_bytes,
+                value,
+                last_used: self.tick,
+            },
+        );
+        self.stats.stores += 1;
+        obs::add("memo.store", 1);
+    }
+}
+
+fn global() -> &'static Mutex<SolverMemo> {
+    static MEMO: OnceLock<Mutex<SolverMemo>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(SolverMemo::new(MEMO_CAPACITY)))
+}
+
+/// Is the memo layer consulted at all? Default on; flipped by
+/// [`set_enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turn the memo layer on or off process-wide. Off means every solve is
+/// cold (no lookups, no stores, no counter movement) — for harnesses
+/// that must time or verify the unmemoized path. Existing entries are
+/// kept; re-enabling resumes hitting them.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the memo layer is currently consulted.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of the process-wide memo counters.
+#[must_use]
+pub fn stats() -> MemoStats {
+    global().lock().expect("memo lock").stats
+}
+
+/// Drop every memoized verdict. Counters are cumulative and survive the
+/// clear (mirroring the schedule cache), so long-running reports keep
+/// their totals.
+pub fn clear() {
+    let mut memo = global().lock().expect("memo lock");
+    memo.map.clear();
+}
+
+/// Operation tags baked into the canonical key so the two fronted entry
+/// points can never alias.
+const OP_FEASIBLE: u8 = 1;
+const OP_LEXMIN: u8 = 2;
+
+/// Canonical key bytes: op tag, variable count, every constraint
+/// (kind + coefficient row), the objective rows (lexmin only), and the
+/// budget class (`max_nodes`, `max_pivots`). Fixed-width little-endian
+/// integers throughout, so the digest is stable across platforms.
+fn key_bytes(
+    op: u8,
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i128>],
+    budget: &IlpBudget,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + cs.constraints.len() * (1 + cs.n_vars * 16));
+    out.push(op);
+    out.extend_from_slice(&(cs.n_vars as u64).to_le_bytes());
+    out.extend_from_slice(&(cs.constraints.len() as u64).to_le_bytes());
+    for c in &cs.constraints {
+        out.push(match c.kind {
+            ConstraintKind::Ineq => 0,
+            ConstraintKind::Eq => 1,
+        });
+        out.extend_from_slice(&(c.coeffs.len() as u64).to_le_bytes());
+        for &x in &c.coeffs {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(objectives.len() as u64).to_le_bytes());
+    for obj in objectives {
+        out.extend_from_slice(&(obj.len() as u64).to_le_bytes());
+        for &x in obj {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(budget.max_nodes as u64).to_le_bytes());
+    out.extend_from_slice(&budget.max_pivots.to_le_bytes());
+    out
+}
+
+fn digest_of(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// Should this solve go through the memo at all? Wall-clock budgets make
+/// the verdict machine-dependent, so they bypass; [`set_enabled`] turns
+/// the whole layer off.
+fn memoizable(budget: &IlpBudget) -> bool {
+    enabled() && budget.wall_ms == 0
+}
+
+/// Memoizing front for `try_ilp_feasible`: consult the memo, fall back
+/// to `solve` on a miss (or a fault-forced miss), and store `Ok`
+/// verdicts only.
+pub(crate) fn feasible_cached<F>(
+    cs: &ConstraintSystem,
+    budget: &IlpBudget,
+    solve: F,
+) -> Result<Option<Vec<i128>>, IlpError>
+where
+    F: FnOnce() -> Result<Option<Vec<i128>>, IlpError>,
+{
+    if !memoizable(budget) {
+        return solve();
+    }
+    let key = key_bytes(OP_FEASIBLE, cs, &[], budget);
+    let digest = digest_of(&key);
+    let forced_miss = fault::should_inject("polyhedra.memo", FaultKind::Io);
+    if !forced_miss {
+        if let Some(Value::Feasible(v)) = global().lock().expect("memo lock").lookup(digest, &key) {
+            return Ok(v);
+        }
+    } else {
+        // The forced miss still counts as a lookup so hit rates reflect
+        // the injected climate.
+        let mut memo = global().lock().expect("memo lock");
+        memo.stats.misses += 1;
+        obs::add("memo.miss", 1);
+    }
+    let out = solve();
+    if let Ok(v) = &out {
+        global()
+            .lock()
+            .expect("memo lock")
+            .insert(digest, key, Value::Feasible(v.clone()));
+    }
+    out
+}
+
+/// Memoizing front for `lexmin_budgeted`; same policy as
+/// [`feasible_cached`].
+pub(crate) fn lexmin_cached<F>(
+    cs: &ConstraintSystem,
+    objectives: &[Vec<i128>],
+    budget: &IlpBudget,
+    solve: F,
+) -> Result<LexMin, IlpError>
+where
+    F: FnOnce() -> Result<LexMin, IlpError>,
+{
+    if !memoizable(budget) {
+        return solve();
+    }
+    let key = key_bytes(OP_LEXMIN, cs, objectives, budget);
+    let digest = digest_of(&key);
+    let forced_miss = fault::should_inject("polyhedra.memo", FaultKind::Io);
+    if !forced_miss {
+        if let Some(Value::Lexmin(v)) = global().lock().expect("memo lock").lookup(digest, &key) {
+            return Ok(v);
+        }
+    } else {
+        let mut memo = global().lock().expect("memo lock");
+        memo.stats.misses += 1;
+        obs::add("memo.miss", 1);
+    }
+    let out = solve();
+    if let Ok(v) = &out {
+        global()
+            .lock()
+            .expect("memo lock")
+            .insert(digest, key, Value::Lexmin(v.clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilp::{lexmin_budgeted, try_ilp_feasible};
+
+    /// `0 <= x <= hi`, one variable — feasible, trivially solved.
+    fn box_system(hi: i128) -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ge0(vec![1, 0]); // x >= 0
+        cs.add_ge0(vec![-1, hi]); // x <= hi
+        cs
+    }
+
+    /// `x >= 1 && x <= 0` — integer-empty.
+    fn empty_system() -> ConstraintSystem {
+        let mut cs = ConstraintSystem::new(1);
+        cs.add_ge0(vec![1, -1]);
+        cs.add_ge0(vec![-1, 0]);
+        cs
+    }
+
+    #[test]
+    fn hit_equals_cold_and_counters_move() {
+        let cs = box_system(7);
+        let budget = IlpBudget::default();
+        let s0 = stats();
+        let cold = try_ilp_feasible(&cs, &budget).expect("solvable");
+        let s1 = stats();
+        assert!(s1.misses > s0.misses, "first solve must miss");
+        assert!(s1.stores > s0.stores, "first Ok verdict must be stored");
+        let warm = try_ilp_feasible(&cs, &budget).expect("solvable");
+        let s2 = stats();
+        assert!(s2.hits > s1.hits, "second identical solve must hit");
+        assert_eq!(cold, warm, "memo hit must be byte-identical to cold");
+
+        let lex_cold = lexmin_budgeted(&cs, &[vec![1]], &budget).expect("bounded");
+        let lex_warm = lexmin_budgeted(&cs, &[vec![1]], &budget).expect("bounded");
+        assert_eq!(lex_cold, lex_warm);
+        assert_eq!(lex_cold.expect("feasible").0, vec![0]);
+    }
+
+    #[test]
+    fn emptiness_verdicts_are_memoized_correctly() {
+        let cs = empty_system();
+        let budget = IlpBudget::default();
+        let cold = try_ilp_feasible(&cs, &budget).expect("in budget");
+        let warm = try_ilp_feasible(&cs, &budget).expect("in budget");
+        assert_eq!(cold, None);
+        assert_eq!(warm, None, "proven-empty must survive memoization");
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        // max_nodes 0 exhausts on the first node, every time.
+        let cs = box_system(7);
+        let starved = IlpBudget {
+            max_nodes: 0,
+            ..IlpBudget::default()
+        };
+        let s0 = stats();
+        assert!(try_ilp_feasible(&cs, &starved).is_err());
+        assert!(try_ilp_feasible(&cs, &starved).is_err());
+        let s1 = stats();
+        assert_eq!(s1.stores, s0.stores, "Err verdicts must not be stored");
+        assert!(s1.misses >= s0.misses + 2, "both starved solves must miss");
+    }
+
+    #[test]
+    fn wall_clock_budgets_bypass_the_memo() {
+        let cs = box_system(3);
+        let timed = IlpBudget {
+            wall_ms: 60_000,
+            ..IlpBudget::default()
+        };
+        let s0 = stats();
+        let a = try_ilp_feasible(&cs, &timed).expect("solvable");
+        let b = try_ilp_feasible(&cs, &timed).expect("solvable");
+        let s1 = stats();
+        assert_eq!(a, b);
+        assert_eq!(s0, s1, "wall-clock solves must not touch the memo");
+    }
+
+    #[test]
+    fn different_budget_classes_do_not_alias() {
+        let cs = box_system(5);
+        let a = key_bytes(OP_FEASIBLE, &cs, &[], &IlpBudget::default());
+        let b = key_bytes(OP_FEASIBLE, &cs, &[], &IlpBudget::nodes(7));
+        assert_ne!(a, b, "budget class is part of the key");
+        let c = key_bytes(OP_LEXMIN, &cs, &[], &IlpBudget::default());
+        assert_ne!(a, c, "op tag is part of the key");
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest() {
+        let mut memo = SolverMemo::new(2);
+        memo.insert(1, vec![1], Value::Feasible(None));
+        memo.insert(2, vec![2], Value::Feasible(None));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(memo.lookup(1, &[1]).is_some());
+        memo.insert(3, vec![3], Value::Feasible(None));
+        assert_eq!(memo.map.len(), 2);
+        assert_eq!(memo.stats.evictions, 1);
+        assert!(memo.lookup(2, &[2]).is_none(), "LRU entry evicted");
+        assert!(memo.lookup(1, &[1]).is_some(), "recently-used entry kept");
+        assert!(memo.lookup(3, &[3]).is_some());
+    }
+
+    #[test]
+    fn digest_collision_is_a_miss_not_a_wrong_answer() {
+        let mut memo = SolverMemo::new(4);
+        memo.insert(9, vec![1, 2, 3], Value::Feasible(Some(vec![1])));
+        // Same digest, different key bytes: must be reported as a miss.
+        assert!(memo.lookup(9, &[4, 5, 6]).is_none());
+        // Last writer wins on insert.
+        memo.insert(9, vec![4, 5, 6], Value::Feasible(None));
+        assert_eq!(
+            memo.lookup(9, &[4, 5, 6]),
+            Some(Value::Feasible(None)),
+            "overwritten entry serves the new key"
+        );
+    }
+
+    #[test]
+    fn disabled_memo_is_fully_cold() {
+        let cs = box_system(9);
+        let budget = IlpBudget::default();
+        let warm = try_ilp_feasible(&cs, &budget).expect("solvable");
+        set_enabled(false);
+        let s0 = stats();
+        let cold = try_ilp_feasible(&cs, &budget).expect("solvable");
+        let s1 = stats();
+        set_enabled(true);
+        assert_eq!(warm, cold, "disabled layer must not change verdicts");
+        assert_eq!(s0, s1, "disabled layer must not move counters");
+    }
+}

@@ -115,6 +115,10 @@ impl Polyhedron {
     /// (conservatively non-empty): the dependence analyzer then *keeps*
     /// the dependence, which can only forbid transformations, never
     /// admit an illegal one.
+    ///
+    /// Verdicts are memoized process-wide through the underlying
+    /// [`try_ilp_feasible`] (see [`crate::memo`]); repeated tests of the
+    /// same system are answered from the cache, byte-identically.
     #[must_use]
     pub fn is_empty_integer(&self) -> bool {
         match try_ilp_feasible(&self.cs, &IlpBudget::default()) {
