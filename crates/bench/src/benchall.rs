@@ -60,6 +60,9 @@ pub struct BenchAllOptions {
     /// Restrict the catalog to benchmarks whose name contains this
     /// substring (empty = whole catalog).
     pub filter: String,
+    /// Re-verify every successfully scheduled model against the
+    /// independent legality oracle (`wfc bench-all --check-legality`).
+    pub check_legality: bool,
 }
 
 impl Default for BenchAllOptions {
@@ -67,6 +70,7 @@ impl Default for BenchAllOptions {
         BenchAllOptions {
             threads: pool::global().n_threads(),
             filter: String::new(),
+            check_legality: false,
         }
     }
 }
@@ -82,6 +86,9 @@ pub struct BenchAllOutcome {
     pub cache_stats: cache::CacheStats,
     /// Solver-memo counters at the end of the run.
     pub memo_stats: memo::MemoStats,
+    /// Schedules the legality oracle rejected (always 0 unless
+    /// [`BenchAllOptions::check_legality`] was set).
+    pub legality_rejections: usize,
 }
 
 /// Scheduling outcome fingerprint used for the determinism cross-checks:
@@ -141,6 +148,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let mut tot_exec_scoped = 0.0;
     let mut tot_exec_pooled = 0.0;
     let memo_before_all = memo::stats();
+    let mut legality_rejections = 0usize;
     // The serial-pass results, kept for the cross-SCoP pool verification.
     let mut expected: Vec<(usize, RunSet)> = Vec::new();
 
@@ -213,6 +221,31 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         let cached_warm = fresh(true).threads(threads).run_all();
         let cached_warm_seconds = secs(t);
         let cached_same = same_runs(&serial, &cached_cold) && same_runs(&serial, &cached_warm);
+
+        // Optional oracle pass: every successfully scheduled model from
+        // the serial baseline is re-verified by the independent legality
+        // checker. Cached/parallel/memoized passes are already proven
+        // byte-identical to `serial` by the determinism gate, so one
+        // verification covers them all.
+        let mut row_rejections = 0usize;
+        if opts.check_legality {
+            for (m, r) in &serial {
+                if let Ok(opt) = r {
+                    let report =
+                        wf_verify::check_schedule(&b.scop, &ddg, &opt.transformed.schedule);
+                    if !report.is_legal() {
+                        row_rejections += 1;
+                        eprintln!(
+                            "bench-all: legality oracle rejected {}/{}: {}",
+                            b.name,
+                            m.name(),
+                            report.summary()
+                        );
+                    }
+                }
+            }
+        }
+        legality_rejections += row_rejections;
 
         // Phase 3: codegen — build the execution plan for every model that
         // scheduled.
@@ -307,7 +340,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
                 ]),
             })
             .collect();
-        rows.push(Json::obj([
+        let mut row = Json::obj([
             ("name", b.name.into()),
             ("suite", b.suite.into()),
             ("statements", b.scop.n_statements().into()),
@@ -343,7 +376,13 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
             // What this SCoP's passes cost the pipeline, as a registry
             // delta: ILP nodes/pivots, FM eliminations, cache traffic.
             ("metrics", obs::metrics().delta(&metrics_before).to_json()),
-        ]));
+        ]);
+        // Present only under --check-legality so default reports stay
+        // byte-identical to those from older builds.
+        if opts.check_legality {
+            row.push("legality_rejections", row_rejections.into());
+        }
+        rows.push(row);
         expected.push((idx, serial));
     }
 
@@ -368,7 +407,7 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let cache_stats = cache::stats();
     let memo_stats = memo::stats();
     let memo_run = delta_stats(&memo_before_all, &memo_stats);
-    let report = Json::obj([
+    let mut report = Json::obj([
         ("schema", "bench-all/v1".into()),
         ("threads", threads.into()),
         ("benchmarks", Json::Arr(rows)),
@@ -400,12 +439,16 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         ("metrics", obs::metrics().to_json()),
         ("determinism_ok", determinism_ok.into()),
     ]);
+    if opts.check_legality {
+        report.push("legality_rejections", legality_rejections.into());
+    }
     obs::set_enabled(prev_flags);
     BenchAllOutcome {
         report,
         determinism_ok,
         cache_stats,
         memo_stats,
+        legality_rejections,
     }
 }
 

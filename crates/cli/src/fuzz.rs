@@ -1,0 +1,318 @@
+//! `wfc fuzz` — the structured SCoP fuzzer's command-line driver.
+//!
+//! Each seed derives one random-but-valid SCoP from
+//! [`wf_verify::gen_case`] and pushes it through three independent
+//! checks:
+//!
+//! 1. **round-trip** — the `.wfs` text form must re-parse to byte-identical
+//!    text (the corpus format is the reproducer format, so it must be
+//!    lossless and deterministic);
+//! 2. **legality** — every fusion model's schedule must pass the
+//!    independent oracle ([`wf_verify::check_schedule`]); a *degradable*
+//!    scheduling error (budget, contained panic) is a counted skip, any
+//!    other error is a failure;
+//! 3. **differential** — executing the optimized program serially must
+//!    produce bit-identical tensors to original program order. The
+//!    generator never emits division or `sqrt`, so a divergence always
+//!    implicates the schedule, not float re-association of a NaN.
+//!
+//! With `--shrink`, every failing case is minimized by
+//! [`wf_verify::shrink`] under a predicate that preserves the failure
+//! *kind*, and the reproducer lands in the corpus directory
+//! (`tests/corpus/` by default) as a commented `.wfs` file. `--replay
+//! <dir>` re-runs every committed reproducer instead of generating
+//! seeds — the CI regression gate.
+//!
+//! The report is deliberately timing-free: the same seed base must
+//! produce a byte-identical report on every machine, which is what lets
+//! CI diff two runs to prove the fuzzer itself is deterministic.
+
+use std::path::{Path, PathBuf};
+use wf_harness::json::Json;
+use wf_runtime::{ExecContext, ProgramData};
+use wf_scop::text::{parse, to_text};
+use wf_scop::Scop;
+use wf_verify::{check_schedule, gen_case, shrink};
+use wf_wisefuse::{plan_from_optimized, Model, Optimizer, WfError};
+
+/// Knobs for one `wfc fuzz` invocation.
+pub struct FuzzOptions {
+    /// How many seeds to generate (`--seeds`).
+    pub seeds: usize,
+    /// First seed; case `i` uses `base_seed + i` (`WF_FUZZ_SEED`).
+    pub base_seed: u64,
+    /// Minimize failing cases and write reproducers (`--shrink`).
+    pub shrink: bool,
+    /// Machine-readable report on stdout (`--json`).
+    pub json: bool,
+    /// Replay committed reproducers from this directory instead of
+    /// generating seeds (`--replay <dir>`).
+    pub replay: Option<PathBuf>,
+    /// Where `--shrink` writes reproducers.
+    pub corpus: PathBuf,
+}
+
+/// One failed check, as reported and as used to key the shrink predicate.
+struct Failure {
+    /// Seed (generated mode) — replayed files report 0.
+    seed: u64,
+    /// Reproducer file name (replay mode).
+    file: Option<String>,
+    /// `roundtrip` | `illegal` | `differential` | `error`.
+    kind: &'static str,
+    detail: String,
+    /// The failing program, kept for shrinking.
+    scop: Scop,
+    param_value: i128,
+}
+
+/// Outcome of all checks on one case: `None` = clean, `Some((kind,
+/// detail))` = first failure. `skipped` counts degradable model errors.
+fn check_case(
+    scop: &Scop,
+    param_value: i128,
+    skipped: &mut usize,
+) -> Option<(&'static str, String)> {
+    // Check 1: lossless text round-trip.
+    let text = to_text(scop);
+    match parse(&text) {
+        Err(e) => {
+            return Some((
+                "roundtrip",
+                format!("re-parse failed at line {}: {}", e.line, e.message),
+            ))
+        }
+        Ok(p) => {
+            if to_text(&p) != text {
+                return Some((
+                    "roundtrip",
+                    "re-parsed text differs from original".to_string(),
+                ));
+            }
+        }
+    }
+    // Checks 2 + 3, per model. One facade so dependence analysis runs once.
+    let mut optimizer = Optimizer::new(scop).cache_off();
+    for model in Model::ALL {
+        let opt = match optimizer.run_model(model) {
+            // Budget exhaustion / contained panics are legitimate
+            // degradations on adversarial inputs, not oracle failures.
+            Err(e) if e.is_degradable() => {
+                *skipped += 1;
+                continue;
+            }
+            Err(e) => return Some(("error", format!("{}: {e}", model.name()))),
+            Ok(opt) => opt,
+        };
+        let report = check_schedule(scop, &opt.ddg, &opt.transformed.schedule);
+        if !report.is_legal() {
+            return Some(("illegal", format!("{}: {}", model.name(), report.summary())));
+        }
+        // Differential: optimized vs original program order, serial both
+        // ways so the comparison is exact.
+        let plan = plan_from_optimized(scop, &opt);
+        let ctx = ExecContext::serial();
+        let mut data = ProgramData::new(scop, &[param_value]);
+        data.init_random(2024);
+        let mut reference = data.clone();
+        if let Err(e) = ctx.execute(scop, &opt.transformed, &plan, &mut data) {
+            return Some(("error", format!("{}: executor: {e}", model.name())));
+        }
+        ctx.reference(scop, &mut reference);
+        let diff = data.max_abs_diff(&reference);
+        if diff != 0.0 {
+            return Some((
+                "differential",
+                format!(
+                    "{}: output diverges from reference (max |diff| {diff})",
+                    model.name()
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Smallest parameter value a replayed SCoP's context admits (reproducer
+/// files carry no parameter hint). Searches the small range the generator
+/// uses; falls back to 16 for hand-written corpus entries.
+fn suggest_param(scop: &Scop) -> i128 {
+    (4..=64)
+        .find(|&v| scop.context.contains(&[v]))
+        .unwrap_or(16)
+}
+
+/// Minimize `f`'s program under its failure kind and write the
+/// reproducer. Returns the corpus-relative file name.
+fn write_reproducer(f: &Failure, opts: &FuzzOptions) -> Result<String, WfError> {
+    let kind = f.kind;
+    let param = f.param_value;
+    let minimized = if opts.shrink {
+        shrink(&f.scop, &mut |candidate| {
+            let mut skipped = 0usize;
+            check_case(candidate, param, &mut skipped).is_some_and(|(k, _)| k == kind)
+        })
+    } else {
+        f.scop.clone()
+    };
+    std::fs::create_dir_all(&opts.corpus)
+        .map_err(|e| WfError::io(opts.corpus.display().to_string(), &e))?;
+    let name = format!("{kind}-{}.wfs", f.seed);
+    let path = opts.corpus.join(&name);
+    // `#` starts a comment in the .wfs grammar, so the provenance header
+    // survives replay.
+    let detail = f.detail.replace('\n', " ");
+    let body = format!(
+        "# wfc fuzz reproducer (minimized: {})\n# seed: {}   kind: {kind}\n# {detail}\n{}",
+        opts.shrink,
+        f.seed,
+        to_text(&minimized)
+    );
+    std::fs::write(&path, body).map_err(|e| WfError::io(path.display().to_string(), &e))?;
+    Ok(name)
+}
+
+/// Run the fuzzer (or a corpus replay) and render the report. Any failure
+/// exits nonzero: oracle rejections with the dedicated
+/// [`WfError::IllegalSchedule`] code, everything else as a scheduling
+/// error.
+pub fn cmd_fuzz(opts: &FuzzOptions) -> Result<(), WfError> {
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut failures: Vec<Failure> = Vec::new();
+
+    if let Some(dir) = &opts.replay {
+        for (file, scop) in read_corpus(dir)? {
+            checked += 1;
+            let param = suggest_param(&scop);
+            if let Some((kind, detail)) = check_case(&scop, param, &mut skipped) {
+                failures.push(Failure {
+                    seed: 0,
+                    file: Some(file),
+                    kind,
+                    detail,
+                    scop,
+                    param_value: param,
+                });
+            }
+        }
+    } else {
+        for i in 0..opts.seeds {
+            let seed = opts.base_seed.wrapping_add(i as u64);
+            let case = gen_case(seed);
+            checked += 1;
+            if let Some((kind, detail)) = check_case(&case.scop, case.param_value, &mut skipped) {
+                failures.push(Failure {
+                    seed,
+                    file: None,
+                    kind,
+                    detail,
+                    scop: case.scop,
+                    param_value: case.param_value,
+                });
+            }
+        }
+    }
+
+    // Reproducers are only written for generated cases: a replayed file
+    // already *is* the reproducer.
+    let mut reproducers = Vec::new();
+    if opts.replay.is_none() {
+        for f in &failures {
+            reproducers.push(write_reproducer(f, opts)?);
+        }
+    }
+
+    if opts.json {
+        let rows: Vec<Json> = failures
+            .iter()
+            .map(|f| {
+                let mut j = Json::obj([
+                    ("seed", Json::from(f.seed)),
+                    ("kind", Json::str(f.kind)),
+                    ("detail", Json::str(f.detail.as_str())),
+                ]);
+                if let Some(file) = &f.file {
+                    j.push("file", Json::str(file.as_str()));
+                }
+                j
+            })
+            .collect();
+        let j = Json::obj([
+            ("schema", Json::str("fuzz/v1")),
+            (
+                "mode",
+                Json::str(if opts.replay.is_some() {
+                    "replay"
+                } else {
+                    "generate"
+                }),
+            ),
+            ("base_seed", Json::from(opts.base_seed)),
+            ("cases", Json::from(checked)),
+            ("skipped_degradable", Json::from(skipped)),
+            ("failures", Json::Arr(rows)),
+            (
+                "reproducers",
+                Json::Arr(reproducers.iter().map(|r| Json::str(r.as_str())).collect()),
+            ),
+        ]);
+        println!("{}", j.render());
+    } else {
+        println!(
+            "fuzz: {checked} case(s) checked, {skipped} degradable model run(s) skipped, {} failure(s)",
+            failures.len()
+        );
+        for f in &failures {
+            match &f.file {
+                Some(file) => println!("  FAIL [{}] {file}: {}", f.kind, f.detail),
+                None => println!("  FAIL [{}] seed {}: {}", f.kind, f.seed, f.detail),
+            }
+        }
+        for r in &reproducers {
+            println!("  reproducer: {}", opts.corpus.join(r).display());
+        }
+    }
+
+    if failures.is_empty() {
+        return Ok(());
+    }
+    if let Some(f) = failures.iter().find(|f| f.kind == "illegal") {
+        return Err(WfError::IllegalSchedule {
+            model: "fuzz".to_string(),
+            detail: f.detail.clone(),
+        });
+    }
+    Err(WfError::Schedule {
+        message: format!("fuzz: {} case(s) failed (see report)", failures.len()),
+    })
+}
+
+/// Every `.wfs` file in `dir`, parsed, in file-name order (deterministic
+/// replay order). A missing directory replays the empty corpus.
+fn read_corpus(dir: &Path) -> Result<Vec<(String, Scop)>, WfError> {
+    let mut names: Vec<String> = match std::fs::read_dir(dir) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(WfError::io(dir.display().to_string(), &e)),
+        Ok(rd) => rd
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.ends_with(".wfs").then_some(name)
+            })
+            .collect(),
+    };
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let path = dir.join(&name);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| WfError::io(path.display().to_string(), &e))?;
+        let scop = parse(&src).map_err(|e| WfError::Parse {
+            line: e.line,
+            message: format!("{}: {}", path.display(), e.message),
+        })?;
+        out.push((name, scop));
+    }
+    Ok(out)
+}

@@ -11,9 +11,12 @@
 //! ```
 //!
 //! Failures exit with the [`WfError`] code contract (invalid request 2,
-//! parse 3, budget 4, I/O 5, schedule 6, contained panic 7, unbounded 8);
-//! recoverable solver failures degrade to the original-program-order
-//! fallback schedule by default (disable with `--strict`).
+//! parse 3, budget 4, I/O 5, schedule 6, contained panic 7, unbounded 8,
+//! legality-oracle rejection 9); recoverable solver failures degrade to
+//! the original-program-order fallback schedule by default (disable with
+//! `--strict`).
+
+mod fuzz;
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -48,6 +51,8 @@ fn run() -> Result<(), WfError> {
     // travels with the context from then on.
     let ctx = ExecContext::from_env()?;
     cache::SpillCaps::try_from_env()?;
+    wf_verify::fuzz_seed_from_env()?;
+    wf_verify::check_legality_from_env()?;
     // `--trace <path>` (any position, any subcommand) and WF_TRACE=<path>
     // both enable span + metrics recording; the Chrome trace is written
     // after the command finishes, whether it succeeded or failed.
@@ -90,6 +95,7 @@ fn dispatch<'a>(
             cmd_bench_all(&opts)
         }
         "cache" => cmd_cache(it),
+        "fuzz" => cmd_fuzz(it),
         "export" => {
             let name = it
                 .next()
@@ -165,6 +171,13 @@ USAGE:
   wfc export <bench>                           # benchmark as .wfs text
   wfc optfile <path.wfs> [--model M]           # optimize a textual SCoP
   wfc cache --stats|--prune|--clear [--json]   # WF_CACHE_DIR spill hygiene
+  wfc fuzz [--seeds N] [--shrink] [--json]     # structured SCoP fuzzer: every
+           [--replay DIR] [--corpus DIR]       # seed's schedules must pass the
+                                               # legality oracle and the executor
+                                               # differential check; --shrink
+                                               # minimizes failures into
+                                               # tests/corpus/ reproducers;
+                                               # --replay re-runs a corpus
 
 OBSERVABILITY:
   --trace <path>   (any command) record hierarchical spans + metrics and
@@ -172,14 +185,30 @@ OBSERVABILITY:
                    WF_TRACE=<path> environment variable does the same
 
 SCHEDULING FLAGS (opt/run/compare/emit/model/optfile):
-  --max-nodes N   cap the fusion ILP's branch-and-bound node budget
-  --strict        fail (exit 4/6/7/8) instead of degrading to the
-                  original-program-order fallback schedule on a
-                  recoverable solver failure
+  --max-nodes N      cap the fusion ILP's branch-and-bound node budget
+  --strict           fail (exit 4/6/7/8/9) instead of degrading to the
+                     original-program-order fallback schedule on a
+                     recoverable solver failure
+  --check-legality   (also run/bench-all) re-verify every emitted schedule —
+                     including cache hits — with the independent legality
+                     oracle; a rejection degrades to the fallback schedule,
+                     or exits 9 under --strict
+
+ENVIRONMENT:
+  WF_THREADS             worker threads (default: available parallelism)
+  WF_CACHE_DIR           directory for the schedule spill cache
+  WF_CACHE_MAX_BYTES     spill size cap in bytes (default 256 MiB)
+  WF_CACHE_MAX_AGE_SECS  spill entry age cap in seconds (default: none)
+  WF_TRACE               path for a Chrome trace-event JSON file
+  WF_FAULT               fault-injection plan (seed=..,rate=..,kinds=..,site=..)
+  WF_FUZZ_SEED           base seed for `wfc fuzz` (default 0)
+  WF_CHECK_LEGALITY      1/true = behave as if --check-legality everywhere
+  (malformed values exit 2 up front rather than silently using defaults)
 
 EXIT CODES:
   0 success   2 invalid request   3 parse   4 solver budget exhausted
-  5 I/O       6 scheduling        7 contained worker panic   8 unbounded"
+  5 I/O       6 scheduling        7 contained worker panic   8 unbounded
+  9 schedule rejected by the legality oracle"
     );
 }
 
@@ -201,6 +230,9 @@ struct Opts {
     /// `bench-all --check-regressions`: fail when an ILP phase is >2x its
     /// time in the previous `BENCH_all.json`.
     check_regressions: bool,
+    /// `--check-legality` (or `WF_CHECK_LEGALITY=1`): re-verify every
+    /// emitted schedule against the independent oracle.
+    check_legality: bool,
 }
 
 impl Opts {
@@ -219,6 +251,10 @@ impl Opts {
             max_nodes: None,
             strict: false,
             check_regressions: false,
+            // The env var is validated at startup; the flag below can
+            // only turn the check *on* over an explicit
+            // WF_CHECK_LEGALITY=0.
+            check_legality: wf_verify::check_legality_from_env()?.unwrap_or(false),
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -264,6 +300,7 @@ impl Opts {
                 }
                 "--strict" => o.strict = true,
                 "--check-regressions" => o.check_regressions = true,
+                "--check-legality" => o.check_legality = true,
                 "--cache" => o.cache = true,
                 "--verify" => o.verify = true,
                 "--json" => o.json = true,
@@ -287,7 +324,10 @@ impl Opts {
 /// ILP, and unless `--strict` is given, recoverable solver failures
 /// degrade to the original-program-order fallback schedule.
 fn build_optimizer<'a>(scop: &'a Scop, opts: &Opts) -> Optimizer<'a> {
-    let o = Optimizer::new(scop).model(opts.model).config(opts.config());
+    let o = Optimizer::new(scop)
+        .model(opts.model)
+        .config(opts.config())
+        .check_legality(opts.check_legality);
     if opts.strict {
         o
     } else {
@@ -331,6 +371,46 @@ fn execute_degradable(
         }
         r => r,
     }
+}
+
+/// Parse `wfc fuzz` flags and hand off to the driver. The seed base
+/// comes from `WF_FUZZ_SEED` (validated at startup; default 0).
+fn cmd_fuzz<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+    let mut opts = fuzz::FuzzOptions {
+        seeds: 50,
+        base_seed: wf_verify::fuzz_seed_from_env()?,
+        shrink: false,
+        json: false,
+        replay: None,
+        corpus: std::path::PathBuf::from("tests/corpus"),
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                opts.seeds = it
+                    .next()
+                    .ok_or_else(|| WfError::invalid("--seeds needs a value"))?
+                    .parse()
+                    .map_err(|e| WfError::invalid(format!("--seeds: {e}")))?;
+            }
+            "--replay" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| WfError::invalid("--replay needs a directory"))?;
+                opts.replay = Some(std::path::PathBuf::from(dir));
+            }
+            "--corpus" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| WfError::invalid("--corpus needs a directory"))?;
+                opts.corpus = std::path::PathBuf::from(dir);
+            }
+            "--shrink" => opts.shrink = true,
+            "--json" => opts.json = true,
+            other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    fuzz::cmd_fuzz(&opts)
 }
 
 /// The `wfc cache` subcommand: report, prune, or clear the
@@ -469,6 +549,7 @@ fn cmd_list() -> Result<(), WfError> {
 fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
     let ba = wf_bench::benchall::BenchAllOptions {
         threads: opts.threads,
+        check_legality: opts.check_legality,
         ..wf_bench::benchall::BenchAllOptions::default()
     };
     // The previous run's report, read *before* write_named overwrites it —
@@ -534,6 +615,23 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
             }
         }
         println!("  report: {}", path.display());
+    }
+    if opts.check_legality {
+        if !opts.json {
+            println!(
+                "  legality oracle: {} rejection(s)",
+                outcome.legality_rejections
+            );
+        }
+        if outcome.legality_rejections > 0 {
+            return Err(WfError::IllegalSchedule {
+                model: "bench-all".to_string(),
+                detail: format!(
+                    "{} schedule(s) rejected by the legality oracle (see stderr)",
+                    outcome.legality_rejections
+                ),
+            });
+        }
     }
     if !outcome.determinism_ok {
         return Err(WfError::Schedule {

@@ -32,6 +32,15 @@
 //! path is deterministic and the entry is keyed on every input that
 //! influences it. The spill codec is versioned; any decode mismatch is
 //! treated as a miss, never an error.
+//!
+//! Spill robustness: transient I/O failures (the `cache.spill_read` /
+//! `cache.spill_write` fault sites, NFS hiccups, permission flaps) are
+//! retried up to [`SPILL_IO_ATTEMPTS`] times with a bounded millisecond
+//! backoff before degrading to a miss / surfaced error — a one-off
+//! hiccup costs microseconds, not a lost entry. Pruning never touches
+//! `.tmp-` files younger than [`TMP_GRACE_SECS`], closing the
+//! cross-process race where one process's `spill_prune` could delete
+//! another's fresh temp file between its write and its rename.
 
 use crate::pipeline::Model;
 use std::collections::HashMap;
@@ -124,6 +133,7 @@ pub fn config_fingerprint(config: &PlutoConfig) -> u64 {
         .update_i128(config.w_bound)
         .update_usize(config.max_iters)
         .update_usize(config.ilp_node_budget)
+        .update_u64(config.ilp_cell_budget)
         .update_usize(config.max_fusion_width);
     h.digest()
 }
@@ -387,15 +397,55 @@ pub enum SpillOutcome {
     Quarantined,
 }
 
+/// Attempts (initial + retries) a transient spill I/O failure is given
+/// before it is surfaced. Transient means: the `cache.spill_read/write`
+/// fault sites, or an OS error that is not "file does not exist" — NFS
+/// hiccups, `EMFILE` pressure, a concurrent prune racing the rename.
+pub const SPILL_IO_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `n` (1-based); bounded and tiny — spill I/O sits
+/// on the scheduling path, and an entry that stays unreachable for ~5 ms
+/// is better re-solved than waited on.
+const SPILL_RETRY_BACKOFF: [std::time::Duration; 2] = [
+    std::time::Duration::from_millis(1),
+    std::time::Duration::from_millis(4),
+];
+
+/// Sleep before retry number `retry` (1-based) and count it.
+fn spill_backoff(retry: u32) {
+    wf_harness::obs::add("cache.spill_retry", 1);
+    let idx = (retry as usize - 1).min(SPILL_RETRY_BACKOFF.len() - 1);
+    std::thread::sleep(SPILL_RETRY_BACKOFF[idx]);
+}
+
 /// Write one entry under `dir` (which is created as needed).
 ///
 /// Crash-safe: the entry is written to a process-unique temp file and
 /// atomically renamed into place, so a reader (or a crash mid-write)
 /// never observes a torn entry under the final name.
 ///
+/// Transient failures (including the `cache.spill_write` fault site) are
+/// retried up to [`SPILL_IO_ATTEMPTS`] times with a bounded backoff
+/// before the error surfaces — a one-off hiccup costs a few
+/// milliseconds, not a lost store.
+///
 /// # Errors
-/// Propagates filesystem errors; callers treat them as "no spill".
+/// Propagates the last filesystem error; callers treat it as "no spill".
 pub fn spill_write(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::Result<()> {
+    let mut last = None;
+    for attempt in 0..SPILL_IO_ATTEMPTS {
+        if attempt > 0 {
+            spill_backoff(attempt);
+        }
+        match spill_write_once(dir, key, t) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+fn spill_write_once(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::Result<()> {
     if fault::should_inject("cache.spill_write", FaultKind::Io) {
         return Err(std::io::Error::other("injected spill-write fault"));
     }
@@ -407,18 +457,38 @@ pub fn spill_write(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::R
     std::fs::rename(&tmp, &final_path)
 }
 
-/// Read one entry back. A missing or unreadable file is a
-/// [`SpillOutcome::Miss`]; a file that *reads* but fails to parse or
-/// decode (torn by a crash predating atomic writes, truncated by a full
-/// disk, or hand-edited) is renamed aside and reported as
+/// Read one entry back. A missing file is an immediate
+/// [`SpillOutcome::Miss`]; a *transient* read failure (the
+/// `cache.spill_read` fault site, or an OS error on a file that exists)
+/// is retried up to [`SPILL_IO_ATTEMPTS`] times with a bounded backoff
+/// before being reported as a miss. A file that *reads* but fails to
+/// parse or decode (torn by a crash predating atomic writes, truncated
+/// by a full disk, or hand-edited) is renamed aside without retrying —
+/// corruption is not transient — and reported as
 /// [`SpillOutcome::Quarantined`].
 #[must_use]
 pub fn spill_read(dir: &Path, key: &Fingerprint) -> SpillOutcome {
-    if fault::should_inject("cache.spill_read", FaultKind::Io) {
-        return SpillOutcome::Miss; // simulated unreadable file
-    }
     let path = dir.join(format!("{}.json", key.file_stem()));
-    let Ok(text) = std::fs::read_to_string(&path) else {
+    let mut text = None;
+    for attempt in 0..SPILL_IO_ATTEMPTS {
+        if attempt > 0 {
+            spill_backoff(attempt);
+        }
+        if fault::should_inject("cache.spill_read", FaultKind::Io) {
+            continue; // simulated unreadable file; maybe transient
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(t) => {
+                text = Some(t);
+                break;
+            }
+            // Absent is definitive: the entry was never written (or was
+            // pruned); retrying cannot make it appear.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SpillOutcome::Miss,
+            Err(_) => {} // transient (permissions flap, NFS hiccup): retry
+        }
+    }
+    let Some(text) = text else {
         return SpillOutcome::Miss;
     };
     let decoded = Json::parse(&text)
@@ -561,16 +631,58 @@ pub fn spill_usage(dir: &Path) -> (usize, u64) {
     (files.len(), bytes)
 }
 
+/// Grace window during which a `.tmp-` file is presumed to belong to a
+/// live writer in another process and must not be pruned. `spill_write`
+/// creates the temp file and renames it within milliseconds, so a minute
+/// of slack covers even a heavily-loaded writer; anything older is an
+/// orphan from a crash.
+pub const TMP_GRACE_SECS: u64 = 60;
+
+/// Is this a `.tmp-` file young enough that a concurrent `spill_write`
+/// may still be about to rename it? Files with a *future* mtime (clock
+/// skew) are treated as in-grace — we cannot prove they are orphans.
+/// Unknown mtimes are not protected: a temp file whose metadata cannot
+/// be read is overwhelmingly a leftover, not a live write.
+fn tmp_in_grace(
+    path: &Path,
+    modified: Option<std::time::SystemTime>,
+    now: std::time::SystemTime,
+) -> bool {
+    let is_tmp = path
+        .file_name()
+        .is_some_and(|n| n.to_string_lossy().contains(".tmp-"));
+    if !is_tmp {
+        return false;
+    }
+    match modified {
+        Some(m) => match now.duration_since(m) {
+            Ok(age) => age.as_secs() < TMP_GRACE_SECS,
+            Err(_) => true, // future mtime: assume live
+        },
+        None => false,
+    }
+}
+
 /// Enforce `caps` on the spill directory: drop entries older than the age
 /// cap, then drop oldest-first until the byte cap holds. Returns how many
 /// files were removed. Failures to remove individual files are skipped —
 /// pruning is hygiene, not correctness.
+///
+/// `.tmp-` files younger than [`TMP_GRACE_SECS`] are never removed (by
+/// either pass): `spill_write` in *another process* may be between its
+/// write and its rename, and deleting the temp file out from under it
+/// turns an atomic store into a spurious I/O error. In-grace temp files
+/// still count toward the byte total — they will become entries (or
+/// prunable orphans) momentarily.
 pub fn spill_prune(dir: &Path, caps: &SpillCaps) -> usize {
     let now = std::time::SystemTime::now();
     let mut files = spill_files(dir);
     let mut removed = 0usize;
     if let Some(max_age) = caps.max_age_secs {
         files.retain(|(path, _, modified)| {
+            if tmp_in_grace(path, *modified, now) {
+                return true;
+            }
             let expired = modified
                 .and_then(|m| now.duration_since(m).ok())
                 .is_some_and(|age| age.as_secs() > max_age);
@@ -586,9 +698,12 @@ pub fn spill_prune(dir: &Path, caps: &SpillCaps) -> usize {
         // Oldest first; files with unknown mtimes go first (they are
         // orphaned temp files more often than live entries).
         files.sort_by_key(|(_, _, modified)| *modified);
-        for (path, len, _) in files {
+        for (path, len, modified) in files {
             if total <= caps.max_bytes {
                 break;
+            }
+            if tmp_in_grace(&path, modified, now) {
+                continue;
             }
             if std::fs::remove_file(&path).is_ok() {
                 removed += 1;
@@ -877,8 +992,37 @@ mod tests {
         assert_eq!(c.lookup(&key(9)), Some(t));
     }
 
+    // Tests below exercise spill I/O, whose `cache.spill_read/write`
+    // fault sites some sibling tests target with installed plans — all
+    // of them hold the crate-wide fault gate.
+    use crate::fault_gate;
+    use wf_harness::fault::{self, FaultPlan};
+
+    fn spill_plan(seed: u64, rate: u32, site: &str) -> FaultPlan {
+        FaultPlan {
+            site: Some(site.to_string()),
+            ..FaultPlan::all(seed, rate)
+        }
+    }
+
+    /// A seed whose decision sequence at `site` is: visit 1 injects,
+    /// visits 2 and 3 do not — i.e. exactly one transient fault that a
+    /// single retry rescues. Found by search so the test never depends
+    /// on hash-function internals.
+    fn one_shot_fault_seed(site: &str, rate: u32) -> u64 {
+        (0..10_000)
+            .find(|&seed| {
+                let p = spill_plan(seed, rate, site);
+                fault::decide(&p, site, 1)
+                    && !fault::decide(&p, site, 2)
+                    && !fault::decide(&p, site, 3)
+            })
+            .expect("a one-shot seed exists within 10k candidates")
+    }
+
     #[test]
     fn spill_files_round_trip_via_explicit_dir() {
+        let _gate = fault_gate();
         let dir = std::env::temp_dir().join(format!("wf-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let t = sample_transformed(4);
@@ -891,6 +1035,7 @@ mod tests {
 
     #[test]
     fn corrupt_spill_entry_is_quarantined_once_then_misses() {
+        let _gate = fault_gate();
         let dir = std::env::temp_dir().join(format!("wf-cache-quar-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -915,6 +1060,7 @@ mod tests {
 
     #[test]
     fn quarantined_lookup_counts_and_misses() {
+        let _gate = fault_gate();
         let dir = std::env::temp_dir().join(format!("wf-cache-quarstat-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -929,6 +1075,7 @@ mod tests {
 
     #[test]
     fn prune_enforces_size_and_age_caps() {
+        let _gate = fault_gate();
         let dir = std::env::temp_dir().join(format!("wf-cache-prune-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         for n in 0..4 {
@@ -966,6 +1113,121 @@ mod tests {
     }
 
     #[test]
+    fn prune_spares_fresh_tmp_files() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-tmpgrace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for n in 0..2 {
+            spill_write(&dir, &key(n), &sample_transformed(n as i128)).unwrap();
+        }
+        // Another process's in-flight write, seconds from its rename.
+        let tmp = dir.join("inflight.tmp-424242");
+        std::fs::write(&tmp, "{\"version\": 1").unwrap();
+        // Size pass under a zero byte cap: real entries go, tmp stays.
+        let removed = spill_prune(
+            &dir,
+            &SpillCaps {
+                max_bytes: 0,
+                max_age_secs: None,
+            },
+        );
+        assert_eq!(removed, 2, "only the finished entries are prunable");
+        assert!(tmp.exists(), "fresh tmp survives the size pass");
+        // Age pass: older than the age cap but inside the tmp grace
+        // window must still survive.
+        let backdate = |secs: u64| {
+            let then = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+            std::fs::File::options()
+                .write(true)
+                .open(&tmp)
+                .unwrap()
+                .set_modified(then)
+                .unwrap();
+        };
+        backdate(TMP_GRACE_SECS / 2);
+        let removed = spill_prune(
+            &dir,
+            &SpillCaps {
+                max_bytes: u64::MAX,
+                max_age_secs: Some(1),
+            },
+        );
+        assert_eq!(removed, 0, "in-grace tmp survives the age pass");
+        assert!(tmp.exists());
+        // Past the grace window it is an orphan from a crashed writer
+        // and pruning reclaims it.
+        backdate(TMP_GRACE_SECS + 5);
+        let removed = spill_prune(
+            &dir,
+            &SpillCaps {
+                max_bytes: 0,
+                max_age_secs: None,
+            },
+        );
+        assert_eq!(removed, 1, "expired tmp is reclaimed");
+        assert!(!tmp.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_write_retry_rescues_a_transient_fault() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-wretry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let site = "cache.spill_write";
+        // install() resets visit counters, so the first attempt is
+        // visit 1: it injects, the retry (visit 2) does not.
+        fault::install(spill_plan(one_shot_fault_seed(site, 500), 500, site));
+        let t = sample_transformed(3);
+        assert!(
+            spill_write(&dir, &key(3), &t).is_ok(),
+            "one transient fault must be absorbed by the retry"
+        );
+        fault::reset_to_env();
+        assert_eq!(spill_read(&dir, &key(3)), SpillOutcome::Hit(Box::new(t)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_write_surfaces_persistent_faults() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-wfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Rate 1000: every attempt injects; the bounded retry must give
+        // up rather than spin.
+        fault::install(spill_plan(7, 1000, "cache.spill_write"));
+        let err = spill_write(&dir, &key(5), &sample_transformed(5));
+        fault::reset_to_env();
+        assert!(
+            err.is_err(),
+            "persistent faults surface after {SPILL_IO_ATTEMPTS} attempts"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_read_retry_rescues_then_persistent_fault_misses() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-rretry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = sample_transformed(8);
+        spill_write(&dir, &key(8), &t).unwrap();
+        let site = "cache.spill_read";
+        // One transient unreadable-file fault: the retry recovers the hit.
+        fault::install(spill_plan(one_shot_fault_seed(site, 500), 500, site));
+        assert_eq!(
+            spill_read(&dir, &key(8)),
+            SpillOutcome::Hit(Box::new(t)),
+            "one transient read fault must be absorbed by the retry"
+        );
+        // Persistent unreadability degrades to a miss, never an error.
+        fault::install(spill_plan(7, 1000, site));
+        assert_eq!(spill_read(&dir, &key(8)), SpillOutcome::Miss);
+        fault::reset_to_env();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn config_fingerprint_covers_every_knob() {
         let base = PlutoConfig::default();
         let fp = config_fingerprint(&base);
@@ -992,6 +1254,10 @@ mod tests {
             },
             PlutoConfig {
                 ilp_node_budget: base.ilp_node_budget + 1,
+                ..base
+            },
+            PlutoConfig {
+                ilp_cell_budget: base.ilp_cell_budget + 1,
                 ..base
             },
             PlutoConfig {

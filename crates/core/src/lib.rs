@@ -55,6 +55,20 @@ pub mod prelude {
     pub use wf_schedule::PlutoConfig;
 }
 
+/// Serializes tests that install process-global [`wf_harness::fault`]
+/// plans (or consult fault-targeted sites while one may be installed).
+/// One crate-wide gate, not per-module statics: `fault::install`
+/// overwrites a single global override, so two modules with private
+/// gates would still stomp each other's plans under the parallel test
+/// runner.
+#[cfg(test)]
+pub(crate) fn fault_gate() -> std::sync::MutexGuard<'static, ()> {
+    static FAULT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    FAULT_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 use wf_deps::{Ddg, SccInfo};
 use wf_schedule::fusion::{all_boundaries, dim_boundaries, failure_boundary};
 use wf_schedule::pluto::SchedState;

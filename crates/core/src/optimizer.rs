@@ -74,6 +74,9 @@ pub struct Optimizer<'a> {
     /// Degrade budget/panic failures to the original-program-order
     /// fallback schedule instead of surfacing the error?
     fallback: bool,
+    /// Run every emitted schedule (cache hits included) through the
+    /// independent legality oracle?
+    check_legality: bool,
     /// Memoized canonical-text digest of `scop`.
     scop_hash: Option<u64>,
 }
@@ -92,6 +95,7 @@ impl<'a> Optimizer<'a> {
             threads: None,
             use_cache: true,
             fallback: false,
+            check_legality: false,
             scop_hash: None,
         }
     }
@@ -146,6 +150,28 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Gate every emitted schedule behind the independent legality oracle
+    /// ([`wf_verify::check_schedule`]): each dependence edge must be
+    /// weakly preserved at every schedule level and strictly satisfied at
+    /// some level, decided by the oracle's own delta construction and
+    /// integer emptiness tests — none of the scheduling engine's code.
+    /// The check covers **every** path a schedule can arrive by, including
+    /// in-memory cache hits and entries deserialized from the on-disk
+    /// spill, so a corrupted or stale cache entry is caught before it
+    /// reaches codegen. A rejection surfaces as
+    /// [`WfError::IllegalSchedule`] — degradable, so combined with
+    /// [`fallback`](Optimizer::fallback) the pipeline substitutes the
+    /// original-program-order schedule instead of failing. The fallback
+    /// schedule itself is not re-checked: it is trivially legal by
+    /// construction (the property suite proves it against the oracle), and
+    /// re-checking would turn an injected `verify.legality` fault into an
+    /// unbreakable rejection loop.
+    #[must_use]
+    pub fn check_legality(mut self, on: bool) -> Optimizer<'a> {
+        self.check_legality = on;
+        self
+    }
+
     /// Inject an already-computed dependence graph (e.g. shared with a
     /// cache simulator), skipping the analysis entirely.
     #[must_use]
@@ -189,11 +215,11 @@ impl<'a> Optimizer<'a> {
     /// Call repeatedly to explore models; analysis still happens once.
     pub fn run_model(&mut self, model: Model) -> Result<Optimized, WfError> {
         let key = self.fingerprint(model);
-        let fallback = self.fallback;
+        let (fallback, check) = (self.fallback, self.check_legality);
         self.ddg();
         let ddg = self.ddg.as_ref().expect("cached by ddg()");
         degrade(
-            run_one(self.scop, ddg, model, &self.config, key),
+            run_one(self.scop, ddg, model, &self.config, key, check),
             fallback,
             self.scop,
             ddg,
@@ -222,14 +248,14 @@ impl<'a> Optimizer<'a> {
             .into_iter()
             .map(|m| self.fingerprint(m))
             .collect();
-        let fallback = self.fallback;
+        let (fallback, check) = (self.fallback, self.check_legality);
         self.ddg();
         let ddg = self.ddg.as_ref().expect("cached by ddg()");
         let (scop, config) = (self.scop, &self.config);
         let slots = pool::global().try_scope(threads, Model::ALL.len(), |i| {
             fault::maybe_panic("optimizer.model_job");
             let m = Model::ALL[i];
-            (m, run_one(scop, ddg, m, config, keys[i]))
+            (m, run_one(scop, ddg, m, config, keys[i], check))
         });
         Model::ALL
             .into_iter()
@@ -285,12 +311,18 @@ fn fallback_optimized(scop: &Scop, ddg: &Ddg, model: Model, cause: &WfError) -> 
 /// Schedule one model (through the cache when `key` is set) and analyze
 /// its loop properties. Free function so `run_all`'s workers can share it
 /// with the serial `run_model` path — determinism by construction.
+///
+/// With `check_legality` the emitted schedule — freshly solved *or* pulled
+/// from the cache — is judged by the independent oracle before any
+/// property analysis; a rejection is a degradable
+/// [`WfError::IllegalSchedule`].
 fn run_one(
     scop: &Scop,
     ddg: &Ddg,
     model: Model,
     config: &PlutoConfig,
     key: Option<Fingerprint>,
+    check_legality: bool,
 ) -> Result<Optimized, WfError> {
     let schedule = |scop, ddg, model, config| -> Result<_, WfError> {
         Ok(pipeline::schedule_model(scop, ddg, model, config)?)
@@ -306,6 +338,15 @@ fn run_one(
         },
         None => schedule(scop, ddg, model, config)?,
     };
+    if check_legality {
+        let report = wf_verify::check_schedule(scop, ddg, &transformed.schedule);
+        if !report.is_legal() {
+            return Err(WfError::IllegalSchedule {
+                model: model.name().to_string(),
+                detail: report.summary(),
+            });
+        }
+    }
     let props = pipeline::analyze_props(scop, ddg, model, &transformed);
     Ok(Optimized {
         model,
@@ -402,6 +443,89 @@ mod tests {
                 _ => panic!("{ms:?}: serial and parallel disagree on success"),
             }
         }
+    }
+
+    // The fault switchboard is process-global and the runner is parallel:
+    // every test that installs a `verify.legality` plan — or asserts the
+    // oracle *accepts* while no plan may be installed — holds the
+    // crate-wide gate (shared with the cache spill-fault tests).
+    use crate::fault_gate;
+
+    #[test]
+    fn check_legality_accepts_clean_schedules() {
+        let _gate = fault_gate();
+        let scop = two_stmt_scop();
+        for model in Model::ALL {
+            let checked = Optimizer::new(&scop)
+                .cache_off()
+                .check_legality(true)
+                .model(model)
+                .run()
+                .expect("legal schedule must pass the oracle");
+            let unchecked = Optimizer::new(&scop)
+                .cache_off()
+                .model(model)
+                .run()
+                .unwrap();
+            assert_eq!(checked.transformed, unchecked.transformed);
+            assert!(checked.degraded.is_none());
+        }
+    }
+
+    #[test]
+    fn injected_legality_fault_degrades_or_surfaces() {
+        use wf_harness::fault::FaultPlan;
+        let _gate = fault_gate();
+        let scop = two_stmt_scop();
+        let plan = FaultPlan {
+            site: Some("verify.legality".to_string()),
+            ..FaultPlan::all(7, 1000)
+        };
+
+        // Strict shape: the rejection surfaces as IllegalSchedule.
+        fault::install(plan.clone());
+        let strict = Optimizer::new(&scop).cache_off().check_legality(true).run();
+        fault::reset_to_env();
+        match strict {
+            Err(WfError::IllegalSchedule { model, .. }) => assert_eq!(model, "wisefuse"),
+            other => panic!("expected IllegalSchedule, got {other:?}"),
+        }
+
+        // Fallback shape: degrade to program order, annotated; the
+        // fallback schedule is not re-checked, so rate=1000 cannot loop.
+        fault::install(plan);
+        let degraded = Optimizer::new(&scop)
+            .cache_off()
+            .check_legality(true)
+            .fallback()
+            .run();
+        fault::reset_to_env();
+        let opt = degraded.expect("fallback absorbs the rejection");
+        let why = opt.degraded.expect("degradation must be recorded");
+        assert!(why.contains("legality oracle"), "cause missing: {why}");
+    }
+
+    #[test]
+    fn check_legality_covers_cache_hits() {
+        use wf_harness::fault::FaultPlan;
+        let _gate = fault_gate();
+        let scop = two_stmt_scop();
+        // Warm the cache, then verify the *hit* path is checked: with the
+        // oracle forced to reject, a cached schedule must still fail.
+        Optimizer::new(&scop).model(Model::Maxfuse).run().unwrap();
+        fault::install(FaultPlan {
+            site: Some("verify.legality".to_string()),
+            ..FaultPlan::all(11, 1000)
+        });
+        let hit = Optimizer::new(&scop)
+            .model(Model::Maxfuse)
+            .check_legality(true)
+            .run();
+        fault::reset_to_env();
+        assert!(
+            matches!(hit, Err(WfError::IllegalSchedule { .. })),
+            "cache hits must pass through the oracle, got {hit:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`Schedule`]  | the scheduling engine failed              | 6         |
 //! | [`JobPanic`]  | a worker job panicked (contained)         | 7         |
 //! | [`Unbounded`] | an ILP objective was unbounded            | 8         |
+//! | [`IllegalSchedule`] | the legality oracle rejected a schedule | 9       |
 //!
 //! The exit codes are part of the `wfc` CLI contract (CI asserts they stay
 //! distinct), and [`WfError::exit_code`] is the single source of truth.
@@ -33,6 +34,7 @@
 //! [`Schedule`]: WfError::Schedule
 //! [`JobPanic`]: WfError::JobPanic
 //! [`Unbounded`]: WfError::Unbounded
+//! [`IllegalSchedule`]: WfError::IllegalSchedule
 
 use crate::pool::JobPanicked;
 
@@ -84,6 +86,17 @@ pub enum WfError {
         /// Which solve detected it.
         site: String,
     },
+    /// The independent legality oracle rejected an emitted schedule: some
+    /// dependence edge is not weakly preserved at every level, or is never
+    /// strictly satisfied. Degradable — the pipeline falls back to the
+    /// original-program-order schedule unless the caller opted into
+    /// strict mode.
+    IllegalSchedule {
+        /// The model whose schedule was rejected.
+        model: String,
+        /// The oracle's first violation, rendered for humans.
+        detail: String,
+    },
 }
 
 impl WfError {
@@ -117,6 +130,7 @@ impl WfError {
             WfError::Schedule { .. } => 6,
             WfError::JobPanic { .. } => 7,
             WfError::Unbounded { .. } => 8,
+            WfError::IllegalSchedule { .. } => 9,
         }
     }
 
@@ -132,6 +146,7 @@ impl WfError {
                 | WfError::Schedule { .. }
                 | WfError::JobPanic { .. }
                 | WfError::Unbounded { .. }
+                | WfError::IllegalSchedule { .. }
         )
     }
 }
@@ -148,6 +163,9 @@ impl std::fmt::Display for WfError {
             WfError::Schedule { message } => write!(f, "{message}"),
             WfError::JobPanic { what } => write!(f, "worker job panicked: {what}"),
             WfError::Unbounded { site } => write!(f, "unbounded objective in {site}"),
+            WfError::IllegalSchedule { model, detail } => {
+                write!(f, "legality oracle rejected the {model} schedule: {detail}")
+            }
         }
     }
 }
@@ -187,6 +205,10 @@ mod tests {
             WfError::Unbounded {
                 site: "lexmin".into(),
             },
+            WfError::IllegalSchedule {
+                model: "wisefuse".into(),
+                detail: "x".into(),
+            },
         ];
         let codes: Vec<u8> = all.iter().map(WfError::exit_code).collect();
         let mut dedup = codes.clone();
@@ -203,6 +225,11 @@ mod tests {
         }
         .is_degradable());
         assert!(WfError::JobPanic { what: "w".into() }.is_degradable());
+        assert!(WfError::IllegalSchedule {
+            model: "maxfuse".into(),
+            detail: "d".into()
+        }
+        .is_degradable());
         assert!(!WfError::invalid("m").is_degradable());
         assert!(!WfError::Parse {
             line: 3,

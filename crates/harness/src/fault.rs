@@ -24,9 +24,13 @@
 //! `ilp.solve` (budget exhaustion), `runtime.partition` (one visit per
 //! parallel-band chunk in the interpreting executor, so
 //! `WF_FAULT=...,kinds=panic,site=runtime.partition` targets executor
-//! jobs specifically), and `polyhedra.memo` (an [`FaultKind::Io`] fault
+//! jobs specifically), `polyhedra.memo` (an [`FaultKind::Io`] fault
 //! forces a solver-memo lookup to miss and re-solve cold — results must
-//! stay byte-identical, which the fault property suite asserts).
+//! stay byte-identical, which the fault property suite asserts), and
+//! `verify.legality` (an [`FaultKind::Io`] fault forces the independent
+//! schedule-legality oracle to report a rejection, exercising the
+//! degrade-to-fallback path end to end without needing a genuinely
+//! illegal schedule).
 //!
 //! Injection is **deterministic**: each site keeps a visit counter, and
 //! the decision for visit `n` of site `s` is a pure function of

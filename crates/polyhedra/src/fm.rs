@@ -156,6 +156,14 @@ pub fn eliminate_vars_greedy(
 /// Equalities are kept as-is.
 #[must_use]
 pub fn remove_redundant(cs: &ConstraintSystem) -> ConstraintSystem {
+    obs::add("fm.prunes", 1);
+    let t0 = std::time::Instant::now();
+    let out = remove_redundant_inner(cs);
+    obs::add("fm.prune_ms", t0.elapsed().as_millis() as u64);
+    out
+}
+
+fn remove_redundant_inner(cs: &ConstraintSystem) -> ConstraintSystem {
     let mut kept = cs.clone();
     let mut i = 0;
     while i < kept.constraints.len() {

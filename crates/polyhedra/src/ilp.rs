@@ -12,7 +12,7 @@
 //! system, which is input-dependent territory for `.wfs` files.
 
 use crate::constraint::ConstraintSystem;
-use crate::simplex::{solve_lp_counted, LpResult, Sense};
+use crate::simplex::{solve_lp_measured, LpResult, Sense};
 use std::time::Instant;
 use wf_harness::fault::{self, FaultKind};
 use wf_harness::obs;
@@ -20,15 +20,19 @@ use wf_linalg::Rat;
 
 /// Feed one finished solve's accounting into the metrics registry
 /// (single atomic load when metrics are off).
-fn record_solve(nodes: usize, pivots: u64, err: Option<&IlpError>) {
+fn record_solve(nodes: usize, pivots: u64, cells: u64, err: Option<&IlpError>) {
     if !obs::metrics_on() {
         return;
     }
     obs::add("ilp.solves", 1);
     obs::add("ilp.nodes", nodes as u64);
     obs::add("simplex.pivots", pivots);
+    obs::add("simplex.cells", cells);
     obs::observe("ilp.nodes_per_solve", nodes as u64);
     obs::observe("ilp.pivots_per_solve", pivots);
+    // Scaled to megacells so real solves (10^6..10^9 cells) land inside the
+    // histogram's power-of-two bucket range instead of the overflow bucket.
+    obs::observe("ilp.megacells_per_solve", cells >> 20);
     match err {
         Some(IlpError::Unbounded { .. }) | None => {}
         Some(_) => obs::add("ilp.budget_exhausted", 1),
@@ -83,6 +87,13 @@ pub struct IlpBudget {
     /// Maximum cumulative simplex pivots across all nodes
     /// (`u64::MAX` = unlimited).
     pub max_pivots: u64,
+    /// Maximum cumulative tableau *cell updates* across all nodes
+    /// (`u64::MAX` = unlimited). A pivot costs `(rows + 1) * cols` cell
+    /// updates, so unlike `max_pivots` this bound scales with the tableau
+    /// area — the dominant cost on the large dense Farkas systems the
+    /// scheduler produces — while staying exactly deterministic across
+    /// machines (unlike `wall_ms`).
+    pub max_cells: u64,
     /// Wall-clock ceiling in milliseconds (`0` = unlimited). Budgets with
     /// a wall clock trade determinism for latency — results may depend on
     /// machine speed — so the deterministic pipeline paths leave it 0 and
@@ -110,6 +121,7 @@ impl Default for IlpBudget {
         IlpBudget {
             max_nodes: IlpBudget::DEFAULT_MAX_NODES,
             max_pivots: u64::MAX,
+            max_cells: u64::MAX,
             wall_ms: 0,
         }
     }
@@ -126,6 +138,11 @@ pub enum IlpError {
     },
     /// The cumulative simplex pivot budget was exhausted.
     PivotBudget {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The cumulative tableau cell-update budget was exhausted.
+    CellBudget {
         /// The limit that was hit.
         limit: u64,
     },
@@ -151,6 +168,9 @@ impl std::fmt::Display for IlpError {
             IlpError::PivotBudget { limit } => {
                 write!(f, "simplex pivot budget exhausted (limit {limit})")
             }
+            IlpError::CellBudget { limit } => {
+                write!(f, "simplex cell-update budget exhausted (limit {limit})")
+            }
             IlpError::Timeout { ms } => write!(f, "ILP wall-clock budget exhausted ({ms} ms)"),
             IlpError::Unbounded { site } => write!(f, "unbounded objective in {site}"),
         }
@@ -168,6 +188,10 @@ impl From<IlpError> for wf_harness::WfError {
             },
             IlpError::PivotBudget { .. } => wf_harness::WfError::Budget {
                 site: "ilp.pivots".into(),
+                detail: e.to_string(),
+            },
+            IlpError::CellBudget { .. } => wf_harness::WfError::Budget {
+                site: "ilp.cells".into(),
                 detail: e.to_string(),
             },
             IlpError::Timeout { .. } => wf_harness::WfError::Budget {
@@ -235,8 +259,9 @@ pub fn try_ilp_feasible(
     crate::memo::feasible_cached(cs, budget, || {
         let mut nodes = 0usize;
         let mut pivots = 0u64;
-        let out = feasible_counted(cs, budget, &mut nodes, &mut pivots);
-        record_solve(nodes, pivots, out.as_ref().err());
+        let mut cells = 0u64;
+        let out = feasible_counted(cs, budget, &mut nodes, &mut pivots, &mut cells);
+        record_solve(nodes, pivots, cells, out.as_ref().err());
         out
     })
 }
@@ -246,15 +271,22 @@ fn feasible_counted(
     budget: &IlpBudget,
     nodes: &mut usize,
     pivots: &mut u64,
+    cells: &mut u64,
 ) -> Result<Option<Vec<i128>>, IlpError> {
     let mut stack = vec![cs.clone()];
     let obj = vec![Rat::ZERO; cs.n_vars];
     let t0 = Instant::now();
     while let Some(node) = stack.pop() {
         *nodes += 1;
-        check_budget(budget, *nodes, *pivots, &t0)?;
-        match solve_lp_counted(&node, &obj, Sense::Min, pivots) {
+        check_budget(budget, *nodes, *pivots, *cells, &t0)?;
+        let remaining = budget.max_cells.saturating_sub(*cells);
+        match solve_lp_measured(&node, &obj, Sense::Min, pivots, cells, remaining) {
             LpResult::Infeasible => {}
+            LpResult::Exhausted => {
+                return Err(IlpError::CellBudget {
+                    limit: budget.max_cells,
+                })
+            }
             // A zero objective can never improve, so an unbounded verdict
             // here means the LP layer broke an invariant; surface it as a
             // typed error rather than crashing the process.
@@ -348,6 +380,7 @@ fn check_budget(
     budget: &IlpBudget,
     nodes: usize,
     pivots: u64,
+    cells: u64,
     t0: &Instant,
 ) -> Result<(), IlpError> {
     if nodes == 1 && fault::should_inject("ilp.solve", FaultKind::Budget) {
@@ -363,6 +396,11 @@ fn check_budget(
     if pivots > budget.max_pivots {
         return Err(IlpError::PivotBudget {
             limit: budget.max_pivots,
+        });
+    }
+    if cells > budget.max_cells {
+        return Err(IlpError::CellBudget {
+            limit: budget.max_cells,
         });
     }
     if budget.wall_ms > 0 && u128::from(budget.wall_ms) < t0.elapsed().as_millis() {
@@ -384,11 +422,21 @@ pub fn solve_ilp_budgeted(
 ) -> Result<IlpResult, IlpError> {
     let mut nodes = 0usize;
     let mut pivots = 0u64;
-    let out = solve_counted(cs, objective, sense, budget, &mut nodes, &mut pivots);
-    record_solve(nodes, pivots, out.as_ref().err());
+    let mut cells = 0u64;
+    let out = solve_counted(
+        cs,
+        objective,
+        sense,
+        budget,
+        &mut nodes,
+        &mut pivots,
+        &mut cells,
+    );
+    record_solve(nodes, pivots, cells, out.as_ref().err());
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_counted(
     cs: &ConstraintSystem,
     objective: &[i128],
@@ -396,6 +444,7 @@ fn solve_counted(
     budget: &IlpBudget,
     nodes: &mut usize,
     pivots: &mut u64,
+    cells: &mut u64,
 ) -> Result<IlpResult, IlpError> {
     assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
     let minimize: Vec<i128> = match sense {
@@ -408,10 +457,16 @@ fn solve_counted(
     let t0 = Instant::now();
     while let Some(node) = stack.pop() {
         *nodes += 1;
-        check_budget(budget, *nodes, *pivots, &t0)?;
-        match solve_lp_counted(&node, &obj_rat, Sense::Min, pivots) {
+        check_budget(budget, *nodes, *pivots, *cells, &t0)?;
+        let remaining = budget.max_cells.saturating_sub(*cells);
+        match solve_lp_measured(&node, &obj_rat, Sense::Min, pivots, cells, remaining) {
             LpResult::Infeasible => {}
             LpResult::Unbounded => return Ok(IlpResult::Unbounded),
+            LpResult::Exhausted => {
+                return Err(IlpError::CellBudget {
+                    limit: budget.max_cells,
+                })
+            }
             LpResult::Optimal { value, point } => {
                 if let Some((bv, _)) = &best {
                     if value >= *bv {

@@ -227,7 +227,7 @@ const OP_LEXMIN: u8 = 2;
 
 /// Canonical key bytes: op tag, variable count, every constraint
 /// (kind + coefficient row), the objective rows (lexmin only), and the
-/// budget class (`max_nodes`, `max_pivots`). Fixed-width little-endian
+/// budget class (`max_nodes`, `max_pivots`, `max_cells`). Fixed-width little-endian
 /// integers throughout, so the digest is stable across platforms.
 fn key_bytes(
     op: u8,
@@ -258,6 +258,7 @@ fn key_bytes(
     }
     out.extend_from_slice(&(budget.max_nodes as u64).to_le_bytes());
     out.extend_from_slice(&budget.max_pivots.to_le_bytes());
+    out.extend_from_slice(&budget.max_cells.to_le_bytes());
     out
 }
 

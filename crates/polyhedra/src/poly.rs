@@ -165,6 +165,8 @@ impl Polyhedron {
             LpResult::Optimal { value, .. } => {
                 Extremum::Value(value + Rat::int(expr[self.cs.n_vars]))
             }
+            // solve_lp runs without a cell limit, so exhaustion is impossible.
+            LpResult::Exhausted => unreachable!("unlimited solve_lp cannot exhaust"),
         }
     }
 

@@ -35,6 +35,10 @@ pub enum LpResult {
         /// A point attaining it (one per original variable).
         point: Vec<Rat>,
     },
+    /// The cell-update limit passed to [`solve_lp_measured`] was exhausted
+    /// mid-solve; no verdict. Only produced under a finite limit — plain
+    /// [`solve_lp`] / [`solve_lp_counted`] never return this.
+    Exhausted,
 }
 
 impl LpResult {
@@ -73,11 +77,31 @@ struct Tableau {
     /// Total pivots performed over the tableau's lifetime (both phases);
     /// the ILP's pivot budget reads this through [`solve_lp_counted`].
     n_pivots: u64,
+    /// Total tableau *cell updates* over the lifetime: each pivot costs
+    /// `(rows + 1) * cols` whether or not individual entries short-circuit
+    /// on zero, so this is a deterministic, machine-independent measure of
+    /// arithmetic work. Raw pivot counts hide a factor of the tableau area
+    /// — a pivot on a 300x700 exact-rational tableau is ~1000x a pivot on
+    /// a 20x60 one — and the ILP's work budget needs the honest number.
+    n_cells: u64,
+    /// Abort the solve once `n_cells` exceeds this (checked per pivot, so a
+    /// single runaway LP cannot overshoot by more than one pivot's area).
+    /// `u64::MAX` = unlimited.
+    cell_limit: u64,
+}
+
+/// Outcome of a [`Tableau::run`] phase.
+#[derive(PartialEq, Eq)]
+enum RunOutcome {
+    Optimal,
+    Unbounded,
+    Exhausted,
 }
 
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
         self.n_pivots += 1;
+        self.n_cells += (self.t.len() as u64 + 1) * self.cols as u64;
         let piv = self.t[row][col];
         debug_assert!(!piv.is_zero());
         let inv = piv.recip();
@@ -117,13 +141,15 @@ impl Tableau {
     /// Run simplex iterations (minimization). Uses Dantzig's rule (most
     /// negative reduced cost) for speed, switching permanently to Bland's
     /// rule after a degeneracy budget to guarantee termination.
-    /// Returns `false` if unbounded.
-    fn run(&mut self, allowed_cols: usize) -> bool {
+    fn run(&mut self, allowed_cols: usize) -> RunOutcome {
         // After this many pivots, assume we might be cycling and fall back
         // to Bland's anti-cycling rule.
         let bland_after = 40 + 6 * (self.t.len() + allowed_cols);
         let mut pivots = 0usize;
         loop {
+            if self.n_cells > self.cell_limit {
+                return RunOutcome::Exhausted;
+            }
             let col = if pivots < bland_after {
                 // Dantzig: most negative reduced cost.
                 let mut best: Option<(Rat, usize)> = None;
@@ -141,7 +167,7 @@ impl Tableau {
                 (0..allowed_cols).find(|&j| self.z[j].signum() < 0)
             };
             let Some(col) = col else {
-                return true; // optimal
+                return RunOutcome::Optimal;
             };
             // Ratio test; Bland tie-break on smallest basis variable.
             let mut best: Option<(Rat, usize, usize)> = None; // (ratio, basisvar, row)
@@ -156,7 +182,7 @@ impl Tableau {
                 }
             }
             let Some((_, _, row)) = best else {
-                return false; // unbounded
+                return RunOutcome::Unbounded;
             };
             self.pivot(row, col);
             pivots += 1;
@@ -203,6 +229,26 @@ pub fn solve_lp_counted(
     sense: Sense,
     pivots: &mut u64,
 ) -> LpResult {
+    let mut cells = 0u64;
+    solve_lp_measured(cs, objective, sense, pivots, &mut cells, u64::MAX)
+}
+
+/// [`solve_lp_counted`], additionally accumulating tableau *cell updates*
+/// (pivots weighted by tableau area) into `cells` and aborting with
+/// [`LpResult::Exhausted`] once this solve's own cell count exceeds
+/// `cell_limit`. Pivot counts alone under-report work by the tableau area —
+/// the ILP's cell budget uses this to bound arithmetic effort
+/// deterministically across machines, *inside* the solve rather than only
+/// between branch-and-bound nodes (a single LP can dwarf everything else).
+#[must_use]
+pub fn solve_lp_measured(
+    cs: &ConstraintSystem,
+    objective: &[Rat],
+    sense: Sense,
+    pivots: &mut u64,
+    cells: &mut u64,
+    cell_limit: u64,
+) -> LpResult {
     assert_eq!(objective.len(), cs.n_vars, "objective arity mismatch");
     let n = cs.n_vars;
     let m = cs.constraints.len();
@@ -247,6 +293,8 @@ pub fn solve_lp_counted(
         basis: (n_struct..cols).collect(),
         cols,
         n_pivots: 0,
+        n_cells: 0,
+        cell_limit,
     };
 
     // Phase 1: minimize sum of artificials.
@@ -255,10 +303,20 @@ pub fn solve_lp_counted(
         phase1[j] = Rat::ONE;
     }
     tab.set_objective(&phase1);
-    let bounded = tab.run(cols);
-    debug_assert!(bounded, "phase 1 cannot be unbounded");
+    match tab.run(cols) {
+        RunOutcome::Exhausted => {
+            *pivots += tab.n_pivots;
+            *cells += tab.n_cells;
+            return LpResult::Exhausted;
+        }
+        outcome => debug_assert!(
+            outcome == RunOutcome::Optimal,
+            "phase 1 cannot be unbounded"
+        ),
+    }
     if (-tab.zval).signum() > 0 {
         *pivots += tab.n_pivots;
+        *cells += tab.n_cells;
         return LpResult::Infeasible;
     }
     // Pivot artificials out of the basis where possible; drop rows that are
@@ -290,9 +348,16 @@ pub fn solve_lp_counted(
         costs[n + v] = -c;
     }
     tab.set_objective(&costs);
-    if !tab.run(n_struct) {
-        *pivots += tab.n_pivots;
-        return LpResult::Unbounded;
+    match tab.run(n_struct) {
+        RunOutcome::Optimal => {}
+        outcome => {
+            *pivots += tab.n_pivots;
+            *cells += tab.n_cells;
+            return match outcome {
+                RunOutcome::Unbounded => LpResult::Unbounded,
+                _ => LpResult::Exhausted,
+            };
+        }
     }
 
     // Extract the point.
@@ -306,6 +371,7 @@ pub fn solve_lp_counted(
         Sense::Max => tab.zval,
     };
     *pivots += tab.n_pivots;
+    *cells += tab.n_cells;
     LpResult::Optimal { value, point }
 }
 

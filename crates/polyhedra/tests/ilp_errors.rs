@@ -65,6 +65,28 @@ fn pivot_budget_exhaustion_is_typed_error() {
 }
 
 #[test]
+fn cell_budget_exhaustion_is_typed_error() {
+    let cs = fractional_system();
+    // A one-cell limit dies inside the very first LP — the check lives in
+    // the simplex loop itself, so even a single giant solve cannot blow
+    // past the budget between branch-and-bound nodes.
+    let budget = IlpBudget {
+        max_cells: 1,
+        ..IlpBudget::default()
+    };
+    let r = solve_ilp_budgeted(&cs, &[1], Sense::Min, &budget);
+    assert_eq!(r, Err(IlpError::CellBudget { limit: 1 }));
+    assert_eq!(
+        lexmin_budgeted(&cs, &[vec![1]], &budget),
+        Err(IlpError::CellBudget { limit: 1 })
+    );
+    let cell: WfError = IlpError::CellBudget { limit: 1 }.into();
+    assert!(matches!(cell, WfError::Budget { .. }));
+    assert!(cell.is_degradable());
+    assert_eq!(cell.exit_code(), 4);
+}
+
+#[test]
 fn feasibility_budget_error_is_typed() {
     // 1/3 <= x <= 2/3: integrally empty, needs branching to prove it.
     let mut cs = ConstraintSystem::new(1);

@@ -8,6 +8,7 @@
 //! eliminating the multipliers with Fourier–Motzkin leaves the exact set of
 //! legality/bounding constraints on the schedule coefficients.
 
+use wf_harness::obs;
 use wf_polyhedra::constraint::{Constraint, ConstraintKind, ConstraintSystem};
 use wf_polyhedra::fm;
 
@@ -120,6 +121,8 @@ pub fn nonneg_over(
             out.constraints.push(cons);
         }
     }
+    obs::add("farkas.systems", 1);
+    obs::add("farkas.rows", out.constraints.len() as u64);
     out
 }
 

@@ -58,6 +58,16 @@ pub struct PlutoConfig {
     /// are treated as infeasible (the strategy then cuts), so pathological
     /// fusion ILPs degrade to loop distribution instead of stalling.
     pub ilp_node_budget: usize,
+    /// Tableau cell-update budget per hyperplane ILP (pivots weighted by
+    /// tableau area, enforced inside each LP). The node budget alone misses
+    /// the pathology where a *few* nodes each pivot a huge dense Farkas
+    /// tableau — exact-rational arithmetic makes those solves seconds to
+    /// minutes each — so this caps total arithmetic work deterministically;
+    /// exhaustion degrades to loop distribution exactly like a node-budget
+    /// hit. The default sits ~4x above the heaviest catalog solve
+    /// (gemsfdtd under maxfuse, ~1.1e9 cells), so only runaway inputs —
+    /// fuzzer-generated or adversarial `.wfs` files — ever trip it.
+    pub ilp_cell_budget: u64,
     /// Components larger than this are distributed without attempting the
     /// fusion ILP (whose exact-rational LPs grow cubically with component
     /// size). PLuTo has analogous practical limits; the paper's fusion
@@ -74,6 +84,7 @@ impl Default for PlutoConfig {
             w_bound: 30,
             max_iters: 200,
             ilp_node_budget: 400,
+            ilp_cell_budget: 4_000_000_000,
             max_fusion_width: 16,
         }
     }
@@ -785,7 +796,11 @@ fn solve_component(
             sum[n_sched] -= 1; // Σ (±r)·c >= 1
             sys.add_ge0(sum);
         }
-        let budget = wf_polyhedra::IlpBudget::nodes(config.ilp_node_budget);
+        let budget = wf_polyhedra::IlpBudget {
+            max_nodes: config.ilp_node_budget,
+            max_cells: config.ilp_cell_budget,
+            ..wf_polyhedra::IlpBudget::default()
+        };
         let solved = {
             let _span = wf_harness::span!("ilp.solve", "combo" => mask.to_string());
             wf_polyhedra::ilp::lexmin_budgeted(&sys, &objectives, &budget)

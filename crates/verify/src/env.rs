@@ -1,0 +1,114 @@
+//! Validated environment knobs for the verification layer.
+//!
+//! Same contract as `WF_THREADS` / `WF_CACHE_MAX_BYTES`: malformed values
+//! are an *invalid request* ([`WfError::Invalid`], exit 2) detected up
+//! front at CLI startup, never a silent fallback to a default mid-run —
+//! a fuzz campaign that quietly ran with seed 0 because `WF_FUZZ_SEED`
+//! had a typo would be worse than one that refused to start.
+//!
+//! * `WF_FUZZ_SEED` — base seed for `wfc fuzz` (u64; default 0). Seed `k`
+//!   of an `N`-seed campaign is `base + k`, so campaigns with different
+//!   bases explore disjoint-by-construction case streams.
+//! * `WF_CHECK_LEGALITY` — `1`/`true` turns the independent legality
+//!   oracle on for every emitted schedule (the `--check-legality` flag
+//!   does the same per invocation); `0`/`false` is an explicit off.
+
+use wf_harness::WfError;
+
+/// Parse `WF_FUZZ_SEED` (default 0 when unset).
+///
+/// # Errors
+/// [`WfError::Invalid`] when set to anything but a base-10 `u64`.
+pub fn fuzz_seed_from_env() -> Result<u64, WfError> {
+    match std::env::var("WF_FUZZ_SEED") {
+        Err(_) => Ok(0),
+        Ok(raw) => raw.trim().parse::<u64>().map_err(|_| {
+            WfError::invalid(format!(
+                "WF_FUZZ_SEED must be an unsigned 64-bit integer, got {raw:?}"
+            ))
+        }),
+    }
+}
+
+/// Parse `WF_CHECK_LEGALITY` (`None` when unset).
+///
+/// # Errors
+/// [`WfError::Invalid`] on anything but `0`, `1`, `true`, `false`.
+pub fn check_legality_from_env() -> Result<Option<bool>, WfError> {
+    match std::env::var("WF_CHECK_LEGALITY") {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim() {
+            "1" | "true" => Ok(Some(true)),
+            "0" | "false" => Ok(Some(false)),
+            _ => Err(WfError::invalid(format!(
+                "WF_CHECK_LEGALITY must be 0, 1, true or false, got {raw:?}"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The environment is process-global and the test runner is parallel:
+    // serialize every mutation behind one lock and restore the prior value
+    // on the way out.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_env<T>(key: &str, value: Option<&str>, f: impl FnOnce() -> T) -> T {
+        let _g = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var(key).ok();
+        match value {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+        let out = f();
+        match saved {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+        out
+    }
+
+    #[test]
+    fn seed_default_and_parse() {
+        assert_eq!(with_env("WF_FUZZ_SEED", None, fuzz_seed_from_env), Ok(0));
+        assert_eq!(
+            with_env("WF_FUZZ_SEED", Some("2026"), fuzz_seed_from_env),
+            Ok(2026)
+        );
+        assert!(matches!(
+            with_env("WF_FUZZ_SEED", Some("-1"), fuzz_seed_from_env),
+            Err(WfError::Invalid { .. })
+        ));
+        assert!(matches!(
+            with_env("WF_FUZZ_SEED", Some("banana"), fuzz_seed_from_env),
+            Err(WfError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn check_legality_values() {
+        assert_eq!(
+            with_env("WF_CHECK_LEGALITY", None, check_legality_from_env),
+            Ok(None)
+        );
+        for on in ["1", "true"] {
+            assert_eq!(
+                with_env("WF_CHECK_LEGALITY", Some(on), check_legality_from_env),
+                Ok(Some(true))
+            );
+        }
+        for off in ["0", "false"] {
+            assert_eq!(
+                with_env("WF_CHECK_LEGALITY", Some(off), check_legality_from_env),
+                Ok(Some(false))
+            );
+        }
+        assert!(matches!(
+            with_env("WF_CHECK_LEGALITY", Some("yes"), check_legality_from_env),
+            Err(WfError::Invalid { .. })
+        ));
+    }
+}

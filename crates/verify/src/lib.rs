@@ -1,0 +1,39 @@
+//! Independent schedule-legality verification and structured fuzzing.
+//!
+//! The optimizer already checks its own schedules — but it checks them
+//! with the same polyhedral library, the same `δ`-expression builder and
+//! the same rational emptiness test it used to *construct* them, so a bug
+//! in any shared layer silently certifies its own output. This crate is
+//! the second opinion:
+//!
+//! * [`oracle`] — re-derives legality per dependence edge from first
+//!   principles (own `δ` construction, integer emptiness tests), sharing
+//!   no code path with the scheduling engine's ILP machinery. Wired into
+//!   the pipeline as a graceful-degradation guardrail: a rejected schedule
+//!   becomes `WfError::IllegalSchedule` (degradable to the
+//!   original-program-order fallback, exit 9 under `--strict`).
+//! * [`fuzz`] — maps SplitMix64 seeds to valid SCoPs (statement counts,
+//!   nesting depths, affine access patterns and parameter ranges all
+//!   drawn from the seed) for differential testing of the whole pipeline.
+//! * [`shrink`] — greedy minimization of any SCoP that trips a predicate,
+//!   for committing small reproducers to `tests/corpus/`.
+//! * [`env`] — validated `WF_FUZZ_SEED` / `WF_CHECK_LEGALITY` parsing with
+//!   the workspace's fail-fast exit-2 contract.
+//!
+//! The crate deliberately depends only on the representation layers
+//! (`wf-scop`, `wf-deps`, `wf-schedule` types, `wf-polyhedra` emptiness):
+//! it can pass judgment on anything that produces a [`Schedule`], including
+//! entries deserialized from an on-disk schedule cache it has never seen
+//! the producer of.
+//!
+//! [`Schedule`]: wf_schedule::transform::Schedule
+
+pub mod env;
+pub mod fuzz;
+pub mod oracle;
+pub mod shrink;
+
+pub use env::{check_legality_from_env, fuzz_seed_from_env};
+pub use fuzz::{gen_case, gen_case_with, FuzzCase, FuzzConfig};
+pub use oracle::{check_schedule, Report, Violation};
+pub use shrink::shrink;

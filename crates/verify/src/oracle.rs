@@ -1,0 +1,360 @@
+//! The independent schedule-legality oracle.
+//!
+//! Given a dependence graph and a produced schedule, re-derive from first
+//! principles whether the schedule preserves every dependence:
+//!
+//! * **weak preservation at every level** — for each legality edge and
+//!   each schedule dimension `k`, the system
+//!   `edge ∧ δ₀ = 0 ∧ … ∧ δ_{k−1} = 0 ∧ δ_k ≤ −1` must have no integer
+//!   point (no dependence instance is reordered at any level), where
+//!   `δ_k = φ_dst(t) − φ_src(s)` at dimension `k`;
+//! * **strict satisfaction at some level** — after equating every `δ_k`
+//!   to zero the system must be empty: two dependent instances may never
+//!   land on the *same* multidimensional timestamp.
+//!
+//! The oracle shares **no code path** with the scheduling engine's own
+//! internal check: it builds its own `δ` expressions directly from
+//! [`StmtRow`] coefficients (rather than the engine's `delta_expr` /
+//! Farkas machinery) and decides emptiness with
+//! [`Polyhedron::is_empty_integer`] — a branch-and-bound integer test —
+//! where the engine uses rational relaxations. A solver bug, a memo-layer
+//! collision, or a corrupt schedule-cache entry therefore has to fool two
+//! independent decision procedures to slip through.
+//!
+//! `is_empty_integer` is conservative under budget exhaustion (it answers
+//! "maybe non-empty"), so the oracle can only ever err on the side of
+//! *rejecting* a legal schedule — it never certifies an illegal one.
+//!
+//! The `verify.legality` fault site (an [`FaultKind::Io`] fault) forces a
+//! rejection so the degrade-to-fallback path can be exercised end to end.
+
+use wf_deps::Ddg;
+use wf_harness::fault::{self, FaultKind};
+use wf_harness::obs;
+use wf_polyhedra::Polyhedron;
+use wf_schedule::transform::Schedule;
+use wf_scop::Scop;
+
+/// One legality violation the oracle found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending edge in `ddg.edges` (0 when the schedule
+    /// itself is malformed or the rejection was fault-injected).
+    pub edge: usize,
+    /// Source statement name.
+    pub src: String,
+    /// Target statement name.
+    pub dst: String,
+    /// Schedule dimension at which the edge is reordered (`None` for
+    /// never-strictly-satisfied, malformed or injected rejections).
+    pub dim: Option<usize>,
+    /// What went wrong: `reordered`, `unsatisfied`, `malformed-schedule`
+    /// or `injected-fault`.
+    pub kind: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.dim {
+            Some(d) => write!(
+                f,
+                "{} dependence {} -> {} at dimension {d}",
+                self.kind, self.src, self.dst
+            ),
+            None => write!(f, "{} dependence {} -> {}", self.kind, self.src, self.dst),
+        }
+    }
+}
+
+/// The oracle's verdict over one `(DDG, schedule)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// How many legality edges were checked.
+    pub checked_edges: usize,
+    /// Every violation found (empty = legal).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Did the schedule pass?
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation rendered for error messages, or `"legal"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.violations
+            .first()
+            .map_or_else(|| "legal".to_string(), ToString::to_string)
+    }
+}
+
+/// `φ_dst(t) − φ_src(s)` at one schedule dimension, as an affine expression
+/// over the edge polyhedron's variables `(src iters…, dst iters…, params…, 1)`.
+///
+/// Deliberately re-derived here (the engine has its own version): the
+/// schedule's per-statement rows carry iterator coefficients plus a
+/// constant, and the edge polyhedron lays out source iterators first.
+fn schedule_delta(
+    schedule: &Schedule,
+    dim: usize,
+    src: usize,
+    dst: usize,
+    src_depth: usize,
+    dst_depth: usize,
+    n_vars: usize,
+) -> Vec<i128> {
+    let src_row = &schedule.rows[dim][src];
+    let dst_row = &schedule.rows[dim][dst];
+    let mut delta = vec![0i128; n_vars + 1];
+    for (d, c) in delta.iter_mut().zip(&src_row.coeffs[..src_depth]) {
+        *d -= *c;
+    }
+    for (d, c) in delta[src_depth..].iter_mut().zip(&dst_row.coeffs[..dst_depth]) {
+        *d += *c;
+    }
+    delta[n_vars] = dst_row.konst - src_row.konst;
+    delta
+}
+
+/// Is the schedule well-formed for this SCoP (one row per statement per
+/// dimension, each row's coefficient vector covering the statement's
+/// depth)? A corrupt spill entry can violate this before any polyhedral
+/// question even makes sense.
+fn well_formed(scop: &Scop, schedule: &Schedule) -> bool {
+    schedule.rows.iter().all(|dim_rows| {
+        dim_rows.len() == scop.n_statements()
+            && dim_rows
+                .iter()
+                .zip(&scop.statements)
+                .all(|(row, s)| row.coeffs.len() == s.depth)
+    })
+}
+
+/// Check one schedule against every legality edge of `ddg`; see the module
+/// docs for the semantics. Never panics — a malformed schedule (wrong row
+/// counts, truncated coefficient vectors) is reported as a violation.
+#[must_use]
+pub fn check_schedule(scop: &Scop, ddg: &Ddg, schedule: &Schedule) -> Report {
+    let _span = wf_harness::span!("verify.legality", "scop" => scop.name.clone());
+    obs::add("verify.checks", 1);
+    if fault::should_inject("verify.legality", FaultKind::Io) {
+        obs::add("verify.rejects", 1);
+        return Report {
+            checked_edges: 0,
+            violations: vec![Violation {
+                edge: 0,
+                src: String::new(),
+                dst: String::new(),
+                dim: None,
+                kind: "injected-fault",
+            }],
+        };
+    }
+    if !well_formed(scop, schedule) {
+        obs::add("verify.rejects", 1);
+        return Report {
+            checked_edges: 0,
+            violations: vec![Violation {
+                edge: 0,
+                src: String::new(),
+                dst: String::new(),
+                dim: None,
+                kind: "malformed-schedule",
+            }],
+        };
+    }
+    let mut violations = Vec::new();
+    for (e, edge) in ddg.edges.iter().enumerate() {
+        let nv = edge.poly.n_vars();
+        let name = |s: usize| scop.statements[s].name.clone();
+        // Grow the "all earlier dimensions tie" prefix one level at a time.
+        let mut prefix = edge.poly.cs.clone();
+        let mut reordered = false;
+        for dim in 0..schedule.n_dims() {
+            let delta = schedule_delta(
+                schedule,
+                dim,
+                edge.src,
+                edge.dst,
+                edge.src_depth,
+                edge.dst_depth,
+                nv,
+            );
+            // Weak preservation: prefix ∧ δ ≤ −1 must hold no instance.
+            let mut viol = prefix.clone();
+            let mut le = delta.iter().map(|&c| -c).collect::<Vec<i128>>();
+            le[nv] -= 1; // −δ − 1 ≥ 0  ⇔  δ ≤ −1
+            viol.add_ge0(le);
+            if !Polyhedron::from(viol).is_empty_integer() {
+                violations.push(Violation {
+                    edge: e,
+                    src: name(edge.src),
+                    dst: name(edge.dst),
+                    dim: Some(dim),
+                    kind: "reordered",
+                });
+                reordered = true;
+                break;
+            }
+            prefix.add_eq0(delta);
+        }
+        // Strict satisfaction at some level: a dependence pair with a
+        // fully-zero schedule distance would execute both instances at the
+        // same timestamp. (Every edge relates *distinct* instances — a
+        // self edge's polyhedron requires strict precedence — so ties are
+        // illegal for self edges too.)
+        if !reordered && !Polyhedron::from(prefix).is_empty_integer() {
+            violations.push(Violation {
+                edge: e,
+                src: name(edge.src),
+                dst: name(edge.dst),
+                dim: None,
+                kind: "unsatisfied",
+            });
+        }
+    }
+    if !violations.is_empty() {
+        obs::add("verify.rejects", 1);
+    }
+    Report {
+        checked_edges: ddg.edges.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_schedule::transform::{DimKind, StmtRow};
+    use wf_scop::{Aff, Expr, ScopBuilder};
+
+    // The fault switchboard is process-global and the runner is parallel:
+    // the injection test below installs a rate=1000 plan for the
+    // `verify.legality` site, which would fail every concurrent oracle
+    // acceptance assertion — so each test in this module holds the gate.
+    static FAULT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_gate() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// S0 writes A, S1 reads it: one loop-independent flow dependence.
+    fn producer_consumer() -> Scop {
+        let mut b = ScopBuilder::new("pc", &["N"]);
+        b.context_ge(Aff::param(0) - 4);
+        let a = b.array("A", &[Aff::param(0)]);
+        let c = b.array("C", &[Aff::param(0)]);
+        b.stmt("S0", 1, &[0, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(a, &[Aff::iter(0)])
+            .rhs(Expr::Iter(0))
+            .done();
+        b.stmt("S1", 1, &[1, 0])
+            .bounds(0, Aff::zero(), Aff::param(0) - 1)
+            .write(c, &[Aff::iter(0)])
+            .read(a, &[Aff::iter(0)])
+            .rhs(Expr::Load(0))
+            .done();
+        b.build()
+    }
+
+    /// The original-program-order schedule `(β₀, i)` for two depth-1
+    /// statements with top-level betas `order`.
+    fn beta_schedule(order: [i128; 2]) -> Schedule {
+        let mut s = Schedule::new();
+        s.push_dim(
+            DimKind::Scalar,
+            vec![StmtRow::scalar(1, order[0]), StmtRow::scalar(1, order[1])],
+        );
+        s.push_dim(
+            DimKind::Loop,
+            vec![
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+                StmtRow {
+                    coeffs: vec![1],
+                    konst: 0,
+                },
+            ],
+        );
+        s
+    }
+
+    #[test]
+    fn accepts_program_order() {
+        let _gate = fault_gate();
+        let scop = producer_consumer();
+        let ddg = wf_deps::analyze(&scop);
+        assert!(!ddg.edges.is_empty(), "test needs a real dependence");
+        let report = check_schedule(&scop, &ddg, &beta_schedule([0, 1]));
+        assert!(report.is_legal(), "{:?}", report.violations);
+        assert_eq!(report.checked_edges, ddg.edges.len());
+    }
+
+    #[test]
+    fn refutes_reversed_order() {
+        let _gate = fault_gate();
+        // Consumer scheduled *before* producer: the flow dependence is
+        // reordered at the leading scalar dimension and the oracle must
+        // say so — this is the "can refute the optimizer" property.
+        let scop = producer_consumer();
+        let ddg = wf_deps::analyze(&scop);
+        let report = check_schedule(&scop, &ddg, &beta_schedule([1, 0]));
+        assert!(!report.is_legal());
+        assert_eq!(report.violations[0].kind, "reordered");
+        assert_eq!(report.violations[0].dim, Some(0));
+    }
+
+    #[test]
+    fn refutes_timestamp_collision() {
+        let _gate = fault_gate();
+        // Both statements at beta 0 with identical loop rows: every
+        // dependence pair with i_src = i_dst ties on the full timestamp.
+        let scop = producer_consumer();
+        let ddg = wf_deps::analyze(&scop);
+        let report = check_schedule(&scop, &ddg, &beta_schedule([0, 0]));
+        assert!(!report.is_legal());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "unsatisfied" && v.dim.is_none()));
+    }
+
+    #[test]
+    fn flags_malformed_schedule() {
+        let _gate = fault_gate();
+        // A schedule with a truncated row set (what a corrupt spill entry
+        // can decode into) must be rejected, not panicked on.
+        let scop = producer_consumer();
+        let ddg = wf_deps::analyze(&scop);
+        let mut s = beta_schedule([0, 1]);
+        s.rows[1].pop();
+        let report = check_schedule(&scop, &ddg, &s);
+        assert_eq!(report.violations[0].kind, "malformed-schedule");
+    }
+
+    #[test]
+    fn injected_fault_forces_rejection() {
+        let _gate = fault_gate();
+        use wf_harness::fault::FaultPlan;
+        let scop = producer_consumer();
+        let ddg = wf_deps::analyze(&scop);
+        fault::install(FaultPlan {
+            site: Some("verify.legality".to_string()),
+            ..FaultPlan::all(1, 1000)
+        });
+        let report = check_schedule(&scop, &ddg, &beta_schedule([0, 1]));
+        fault::reset_to_env();
+        assert!(!report.is_legal());
+        assert_eq!(report.violations[0].kind, "injected-fault");
+        // And with the plan gone the same schedule passes again.
+        assert!(check_schedule(&scop, &ddg, &beta_schedule([0, 1])).is_legal());
+    }
+}

@@ -1,0 +1,220 @@
+//! Greedy reproducer minimization.
+//!
+//! Given a SCoP that trips some predicate (oracle rejection, executor
+//! divergence, unstable round-trip), [`shrink`] repeatedly tries
+//! structure-removing transformations — drop a statement, drop a read,
+//! flatten a subscript offset, collapse the right-hand side, garbage-collect
+//! unused arrays — keeping a candidate only when it still validates *and*
+//! still fails the predicate. Passes run to a fixpoint, so the result is
+//! locally minimal: no single remaining removal preserves the failure.
+//!
+//! The predicate is a black box (`&mut dyn FnMut`): the caller decides what
+//! "still fails" means, typically by re-running the optimizer and oracle on
+//! the candidate. Shrinking is worst-case quadratic in program size, which
+//! is irrelevant at fuzzer scale (≤ 4 statements) but also fine for
+//! hand-written reproducers an order of magnitude bigger.
+
+use wf_scop::{Access, Expr, Scop};
+
+/// Replace the statement's right-hand side with the plain sum of its loads
+/// (or `1.0` when it has none) so read-list edits can't orphan a
+/// `Load(k)`.
+fn resum_rhs(n_reads: usize) -> Expr {
+    Expr::sum((0..n_reads).map(Expr::Load).collect())
+}
+
+/// Candidate: remove statement `s`.
+fn drop_stmt(scop: &Scop, s: usize) -> Option<Scop> {
+    if scop.n_statements() < 2 {
+        return None;
+    }
+    let mut c = scop.clone();
+    c.statements.remove(s);
+    Some(c)
+}
+
+/// Candidate: remove read `r` of statement `s`, rebuilding the RHS over
+/// the surviving loads.
+fn drop_read(scop: &Scop, s: usize, r: usize) -> Option<Scop> {
+    if r >= scop.statements[s].reads.len() {
+        return None;
+    }
+    let mut c = scop.clone();
+    c.statements[s].reads.remove(r);
+    c.statements[s].rhs = resum_rhs(c.statements[s].reads.len());
+    Some(c)
+}
+
+/// Candidate: collapse a non-trivial RHS to the plain load sum.
+fn simplify_rhs(scop: &Scop, s: usize) -> Option<Scop> {
+    let plain = resum_rhs(scop.statements[s].reads.len());
+    if scop.statements[s].rhs == plain {
+        return None;
+    }
+    let mut c = scop.clone();
+    c.statements[s].rhs = plain;
+    Some(c)
+}
+
+/// Candidate: zero the constant term of one subscript row of one access
+/// (`A[i+1]` → `A[i]`). Offsets are what turn loop-independent dependences
+/// into carried ones, so this is the most effective single simplification
+/// after whole-statement removal.
+fn flatten_offset(scop: &Scop, s: usize, acc: usize, row: usize) -> Option<Scop> {
+    let mut c = scop.clone();
+    let st = &mut c.statements[s];
+    let a: &mut Access = if acc == 0 {
+        &mut st.write
+    } else {
+        &mut st.reads[acc - 1]
+    };
+    if row >= a.map.len() {
+        return None;
+    }
+    let konst = a.map[row].last_mut().expect("affine rows are non-empty");
+    if *konst == 0 {
+        return None;
+    }
+    *konst = 0;
+    Some(c)
+}
+
+/// Candidate: drop arrays no access mentions, remapping access indices.
+fn gc_arrays(scop: &Scop) -> Option<Scop> {
+    let mut used = vec![false; scop.arrays.len()];
+    for st in &scop.statements {
+        for (_, a) in st.accesses() {
+            used[a.array] = true;
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return None;
+    }
+    let mut remap = vec![usize::MAX; scop.arrays.len()];
+    let mut next = 0usize;
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let mut c = scop.clone();
+    c.arrays = scop
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| used[*i])
+        .map(|(_, a)| a.clone())
+        .collect();
+    for st in &mut c.statements {
+        st.write.array = remap[st.write.array];
+        for r in &mut st.reads {
+            r.array = remap[r.array];
+        }
+    }
+    Some(c)
+}
+
+/// Greedily minimize `scop` while `still_fails` keeps returning `true`.
+///
+/// Candidates that no longer validate are discarded without consulting the
+/// predicate, so the result is always a well-formed SCoP that the caller's
+/// predicate rejected. The input itself is assumed to fail (callers check
+/// before shrinking); the function returns the smallest failing program
+/// found, which is the input when nothing could be removed.
+pub fn shrink(scop: &Scop, still_fails: &mut dyn FnMut(&Scop) -> bool) -> Scop {
+    let mut cur = scop.clone();
+    let mut try_candidate = |cur: &mut Scop, cand: Option<Scop>| -> bool {
+        match cand {
+            Some(c) if c.validate().is_empty() && still_fails(&c) => {
+                *cur = c;
+                true
+            }
+            _ => false,
+        }
+    };
+    loop {
+        let mut progressed = false;
+        // Statements, highest index first so removal doesn't shift the
+        // ones we haven't tried yet.
+        for s in (0..cur.n_statements()).rev() {
+            let cand = drop_stmt(&cur, s);
+            progressed |= try_candidate(&mut cur, cand);
+        }
+        for s in 0..cur.n_statements() {
+            for r in (0..cur.statements[s].reads.len()).rev() {
+                let cand = drop_read(&cur, s, r);
+                progressed |= try_candidate(&mut cur, cand);
+            }
+            let cand = simplify_rhs(&cur, s);
+            progressed |= try_candidate(&mut cur, cand);
+            for acc in 0..=cur.statements[s].reads.len() {
+                let rows = if acc == 0 {
+                    cur.statements[s].write.map.len()
+                } else {
+                    cur.statements[s].reads[acc - 1].map.len()
+                };
+                for row in 0..rows {
+                    let cand = flatten_offset(&cur, s, acc, row);
+                    progressed |= try_candidate(&mut cur, cand);
+                }
+            }
+        }
+        let cand = gc_arrays(&cur);
+        progressed |= try_candidate(&mut cur, cand);
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::gen_case;
+
+    #[test]
+    fn shrinks_to_predicate_minimum() {
+        // Predicate "has at least 2 statements" must shrink any larger
+        // case to exactly 2 statements with no reads and trivial bodies.
+        for seed in 0..100u64 {
+            let scop = gen_case(seed).scop;
+            if scop.n_statements() < 2 {
+                continue;
+            }
+            let small = shrink(&scop, &mut |s| s.n_statements() >= 2);
+            assert_eq!(small.n_statements(), 2, "seed {seed}");
+            assert!(small.statements.iter().all(|s| s.reads.is_empty()));
+            assert!(small.validate().is_empty());
+        }
+    }
+
+    #[test]
+    fn never_returns_a_passing_program() {
+        // Predicate that fails only SCoPs containing a read: the result
+        // must still contain a read.
+        for seed in 0..60u64 {
+            let scop = gen_case(seed).scop;
+            let has_read = |s: &Scop| s.statements.iter().any(|st| !st.reads.is_empty());
+            if !has_read(&scop) {
+                continue;
+            }
+            let small = shrink(&scop, &mut |s| has_read(s));
+            assert!(has_read(&small), "seed {seed} shrank away the failure");
+        }
+    }
+
+    #[test]
+    fn fixpoint_on_already_minimal_input() {
+        let scop = gen_case(7).scop;
+        let keep_all = shrink(&scop, &mut |_| true);
+        // With an always-failing predicate the shrinker bottoms out at one
+        // trivial statement and stays there.
+        assert_eq!(keep_all.n_statements(), 1);
+        let again = shrink(&keep_all, &mut |_| true);
+        assert_eq!(
+            wf_scop::text::to_text(&again),
+            wf_scop::text::to_text(&keep_all)
+        );
+    }
+}

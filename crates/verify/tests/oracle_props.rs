@@ -1,0 +1,91 @@
+//! Property gates for the legality oracle.
+//!
+//! Two invariants the guardrail design leans on, checked at fuzzer scale:
+//!
+//! 1. **The fallback is always safe.** When the oracle rejects an optimized
+//!    schedule the pipeline degrades to the original-program-order (`icc`)
+//!    schedule — so that schedule must pass the oracle for *every* program,
+//!    or degradation could loop. 120 generated SCoPs say it does.
+//! 2. **The catalog is clean.** Every benchmark × every fusion model must
+//!    produce a schedule the oracle accepts: the independent checker and
+//!    the optimizer's own internal legality check agree on the entire
+//!    production corpus (this is the "two decision procedures, one
+//!    verdict" cross-validation).
+//!
+//! These tests intentionally live in `wf-verify`'s integration suite and
+//! pull the real optimizer in as a dev-dependency: the oracle crate itself
+//! must stay independent of the machinery it judges.
+
+use wf_verify::{check_schedule, gen_case};
+use wf_wisefuse::prelude::*;
+
+#[test]
+fn fallback_schedule_is_always_legal() {
+    for seed in 0..120u64 {
+        let case = gen_case(seed);
+        let ddg = wf_deps::analyze(&case.scop);
+        let fallback = wf_wisefuse::icc_schedule(&case.scop, &ddg);
+        let report = check_schedule(&case.scop, &ddg, &fallback.schedule);
+        assert!(
+            report.is_legal(),
+            "seed {seed}: original program order rejected: {}",
+            report.summary()
+        );
+        assert_eq!(report.checked_edges, ddg.edges.len());
+    }
+}
+
+#[test]
+fn catalog_schedules_pass_the_oracle() {
+    for bench in wf_benchsuite::catalog() {
+        let mut opt = Optimizer::new(&bench.scop).cache_off();
+        for (model, result) in opt.run_all() {
+            let optimized = result.unwrap_or_else(|e| {
+                panic!(
+                    "{}/{}: optimizer failed: {e}",
+                    bench.scop.name,
+                    model.name()
+                )
+            });
+            let report =
+                check_schedule(&bench.scop, &optimized.ddg, &optimized.transformed.schedule);
+            assert!(
+                report.is_legal(),
+                "{}/{}: oracle rejected the emitted schedule: {}",
+                bench.scop.name,
+                model.name(),
+                report.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzed_optimized_schedules_pass_the_oracle() {
+    // The end-to-end property the fuzz subcommand automates, at a smaller
+    // scale suitable for the test suite: generated SCoPs, all five models,
+    // every successfully produced schedule accepted by the oracle.
+    for seed in 0..30u64 {
+        let case = gen_case(seed);
+        let mut opt = Optimizer::new(&case.scop).cache_off();
+        for (model, result) in opt.run_all() {
+            match result {
+                Ok(optimized) => {
+                    let report =
+                        check_schedule(&case.scop, &optimized.ddg, &optimized.transformed.schedule);
+                    assert!(
+                        report.is_legal(),
+                        "seed {seed}/{}: {}",
+                        model.name(),
+                        report.summary()
+                    );
+                }
+                Err(e) => assert!(
+                    e.is_degradable(),
+                    "seed {seed}/{}: non-degradable failure {e}",
+                    model.name()
+                ),
+            }
+        }
+    }
+}
