@@ -8,6 +8,8 @@
 //! wfc compare <bench> [--threads T]         # all five models side by side
 //! wfc bench-all [--threads T] [--json]      # whole catalog × all models
 //! wfc cache --stats|--prune|--clear         # spill-cache hygiene
+//! wfc profile <bench> | --trace FILE        # where did the solver cells go
+//! wfc ledger --stats|--last N               # the WF_LEDGER run history
 //! ```
 //!
 //! Failures exit with the [`WfError`] code contract (invalid request 2,
@@ -26,7 +28,7 @@ use wf_cachesim::{CacheConfig, CacheSim};
 use wf_codegen::render_plan;
 use wf_codegen::tiling::{build_tiled_plan, default_tiles};
 use wf_harness::json::Json;
-use wf_harness::obs;
+use wf_harness::{attr, ledger, obs, profile};
 use wf_runtime::{ExecContext, ExecOptions, ProgramData};
 use wf_schedule::PlutoConfig;
 use wf_scop::pretty;
@@ -53,25 +55,68 @@ fn run() -> Result<(), WfError> {
     cache::SpillCaps::try_from_env()?;
     wf_verify::fuzz_seed_from_env()?;
     wf_verify::check_legality_from_env()?;
+    if let Some(limit) = obs_limit_from_env()? {
+        obs::set_buffer_limit(limit);
+    }
     // `--trace <path>` (any position, any subcommand) and WF_TRACE=<path>
     // both enable span + metrics recording; the Chrome trace is written
     // after the command finishes, whether it succeeded or failed.
     let mut trace_path = obs::init_from_env();
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--trace") {
-        if i + 1 >= args.len() {
-            return Err(WfError::invalid("--trace needs a path"));
-        }
-        trace_path = Some(args.remove(i + 1));
-        args.remove(i);
+    // WF_TRACE_STREAM=<path> writes spans as bounded JSONL *as they
+    // close* instead of accumulating them in memory — the marathon-run
+    // escape hatch (fuzz campaigns, bench-all under tracing).
+    let stream_path = stream_path_from_env()?;
+    if let Some(path) = &stream_path {
         obs::set_enabled(obs::enabled() | obs::TRACE | obs::METRICS);
+        obs::stream_open(path).map_err(|e| WfError::io(path.clone(), &e))?;
     }
+    // WF_LEDGER=<path> appends one provenance record per run/compare/
+    // bench-all/fuzz invocation; metrics must be on for the counter deltas.
+    let ledger_path = ledger::path_from_env()?;
+    if ledger_path.is_some() {
+        obs::set_enabled(obs::enabled() | obs::METRICS);
+    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `wfc profile --trace FILE` *reads* a trace instead of writing one,
+    // so the global --trace strip skips that command.
+    let profiling = args.first().is_some_and(|a| a == "profile");
+    if !profiling {
+        if let Some(i) = args.iter().position(|a| a == "--trace") {
+            if i + 1 >= args.len() {
+                return Err(WfError::invalid("--trace needs a path"));
+            }
+            trace_path = Some(args.remove(i + 1));
+            args.remove(i);
+            obs::set_enabled(obs::enabled() | obs::TRACE | obs::METRICS);
+        }
+    }
+    let before = ledger_path
+        .as_ref()
+        .map(|_| (obs::metrics(), attr::snapshot()));
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
         usage();
         return Err(WfError::invalid("missing command"));
     };
     let result = dispatch(cmd, &mut it, &ctx);
+    if let Some(path) = &stream_path {
+        match obs::stream_close() {
+            Ok(Some(lines)) => eprintln!("trace stream: {lines} span(s) written to {path}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: could not flush trace stream {path}: {e}"),
+        }
+    }
+    if let (Some(lpath), Some((m0, a0))) = (&ledger_path, &before) {
+        if matches!(cmd.as_str(), "run" | "compare" | "bench-all" | "fuzz") {
+            let record = ledger_record(cmd, &args, &result, &ctx, m0, a0);
+            if let Err(e) = ledger::append(lpath, &record) {
+                eprintln!(
+                    "warning: could not append to ledger {}: {e}",
+                    lpath.display()
+                );
+            }
+        }
+    }
     if let Some(path) = trace_path {
         match obs::write_trace(&path) {
             Ok(()) => eprintln!("trace written to {path}"),
@@ -81,6 +126,150 @@ fn run() -> Result<(), WfError> {
         }
     }
     result
+}
+
+/// `WF_OBS_LIMIT`: cap on the in-memory span/decision buffers, in
+/// records. Malformed values exit 2 up front, like every other knob.
+fn obs_limit_from_env() -> Result<Option<usize>, WfError> {
+    match std::env::var("WF_OBS_LIMIT") {
+        Err(_) => Ok(None),
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| WfError::invalid(format!("WF_OBS_LIMIT must be a record count: {e}"))),
+    }
+}
+
+/// `WF_TRACE_STREAM`: path for the streaming JSONL span sink. An empty
+/// value is an invalid request (exit 2), not a silent no-op.
+fn stream_path_from_env() -> Result<Option<String>, WfError> {
+    match std::env::var("WF_TRACE_STREAM") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Err(WfError::invalid(
+            "WF_TRACE_STREAM must name a writable file path (got an empty value)",
+        )),
+        Ok(v) => Ok(Some(v)),
+    }
+}
+
+/// Classify a command result under the `wfc` exit-code contract, for the
+/// ledger's `exit` field.
+fn exit_class(result: &Result<(), WfError>) -> (&'static str, u8) {
+    match result {
+        Ok(()) => ("ok", 0),
+        Err(e) => {
+            let code = e.exit_code();
+            let class = match code {
+                2 => "invalid",
+                3 => "parse",
+                4 => "budget",
+                5 => "io",
+                6 => "schedule",
+                7 => "panic",
+                8 => "unbounded",
+                9 => "illegal",
+                _ => "error",
+            };
+            (class, code)
+        }
+    }
+}
+
+/// Build one `ledger/v1` provenance record for a finished command: what
+/// ran (argv + config/SCoP digests), under which knobs, what the solver
+/// did (counter deltas over the dispatch interval), the top cost
+/// hotspots, and how it ended.
+fn ledger_record(
+    cmd: &str,
+    args: &[String],
+    result: &Result<(), WfError>,
+    ctx: &ExecContext<'_>,
+    m0: &obs::MetricsSnapshot,
+    a0: &attr::AttrSnapshot,
+) -> Json {
+    let m = obs::metrics().delta(m0);
+    let a = attr::snapshot().delta(a0);
+    let (class, code) = exit_class(result);
+    let target = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+    let scop_digest = target
+        .as_deref()
+        .and_then(by_name)
+        .map(|b| wf_harness::fnv1a_64(wf_scop::text::to_text(&b.scop).as_bytes()));
+    let argv_digest = wf_harness::fnv1a_64(args.join("\u{1f}").as_bytes());
+    const KEYS: [&str; 9] = [
+        "simplex.cells",
+        "simplex.pivots",
+        "ilp.solves",
+        "ilp.nodes",
+        "memo.hit",
+        "optimizer.degraded",
+        "verify.checks",
+        "verify.rejects",
+        "obs.dropped",
+    ];
+    let counters = Json::Obj(
+        KEYS.iter()
+            .map(|&k| (k.to_string(), Json::from(m.counter(k))))
+            .collect(),
+    );
+    let hotspots: Vec<Json> = a
+        .top_by_cells(3)
+        .into_iter()
+        .map(|(k, t)| {
+            Json::obj([
+                ("key", Json::str(attr::key_display(k).as_str())),
+                ("bench", Json::str(k[attr::Slot::Bench as usize].as_str())),
+                ("cells", Json::from(t.cells)),
+                ("pivots", Json::from(t.pivots)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::str(ledger::SCHEMA)),
+        ("cmd", Json::str(cmd)),
+        (
+            "target",
+            target.map_or(Json::Null, |t| Json::str(t.as_str())),
+        ),
+        (
+            "argv_digest",
+            Json::str(format!("{argv_digest:016x}").as_str()),
+        ),
+        (
+            "scop_digest",
+            scop_digest.map_or(Json::Null, |d| Json::str(format!("{d:016x}").as_str())),
+        ),
+        (
+            "env",
+            Json::obj([
+                ("threads", Json::from(ctx.threads())),
+                (
+                    "check_legality",
+                    Json::from(
+                        wf_verify::check_legality_from_env()
+                            .ok()
+                            .flatten()
+                            .unwrap_or(false),
+                    ),
+                ),
+                (
+                    "cache_dir",
+                    cache::spill_dir()
+                        .map_or(Json::Null, |d| Json::str(d.display().to_string().as_str())),
+                ),
+            ]),
+        ),
+        ("counters", counters),
+        ("hotspots", Json::Arr(hotspots)),
+        (
+            "exit",
+            Json::obj([
+                ("class", Json::str(class)),
+                ("code", Json::Int(i128::from(code))),
+            ]),
+        ),
+    ])
 }
 
 fn dispatch<'a>(
@@ -96,6 +285,8 @@ fn dispatch<'a>(
         }
         "cache" => cmd_cache(it),
         "fuzz" => cmd_fuzz(it),
+        "profile" => cmd_profile(it, ctx),
+        "ledger" => cmd_ledger(it),
         "export" => {
             let name = it
                 .next()
@@ -164,8 +355,18 @@ USAGE:
                                                # --check-regressions also fails when
                                                # an ILP phase is >2x the previous run
   wfc explain <bench> [--model M] [--json]     # why the scheduler fused what it
-                                               # fused: Algorithm 1 ordering choices
-                                               # and Algorithm 2 cuts, with rationale
+                      [--costs]                # fused: Algorithm 1 ordering choices
+                                               # and Algorithm 2 cuts, with rationale;
+                                               # --costs appends the solver-cost
+                                               # attribution table
+  wfc profile <bench> [--top K] [--json]       # re-run every model under tracing
+  wfc profile --trace FILE [--top K] [--json]  # (or fold a recorded trace):
+              [--strip-timings]                # inclusive/exclusive time per span,
+                                               # the pool-aware critical path, and a
+                                               # per-component cell table that
+                                               # reconciles with simplex.cells
+  wfc ledger [--stats | --last N] [--json]     # summarize or tail the WF_LEDGER
+                                               # run history
   wfc emit <bench> [--model M] [--size N]      # compilable C on stdout
   wfc model <bench> [--model M] [--size N]     # machine-model breakdown
   wfc export <bench>                           # benchmark as .wfs text
@@ -180,9 +381,11 @@ USAGE:
                                                # --replay re-runs a corpus
 
 OBSERVABILITY:
-  --trace <path>   (any command) record hierarchical spans + metrics and
-                   write a Chrome trace-event JSON file on exit; the
-                   WF_TRACE=<path> environment variable does the same
+  --trace <path>   (any command but profile) record hierarchical spans +
+                   metrics and write a Chrome trace-event JSON file on
+                   exit; the WF_TRACE=<path> environment variable does
+                   the same. Schedules and reports are byte-identical
+                   with observability on or off.
 
 SCHEDULING FLAGS (opt/run/compare/emit/model/optfile):
   --max-nodes N      cap the fusion ILP's branch-and-bound node budget
@@ -200,6 +403,14 @@ ENVIRONMENT:
   WF_CACHE_MAX_BYTES     spill size cap in bytes (default 256 MiB)
   WF_CACHE_MAX_AGE_SECS  spill entry age cap in seconds (default: none)
   WF_TRACE               path for a Chrome trace-event JSON file
+  WF_TRACE_STREAM        path for a streaming JSONL span sink: spans are
+                         written (bounded) as they close instead of
+                         accumulating in memory
+  WF_LEDGER              JSONL run ledger: run/compare/bench-all/fuzz each
+                         append one provenance record (see `wfc ledger`)
+  WF_OBS_LIMIT           cap on the in-memory span/decision buffers, in
+                         records (default 262144); overflow counts in the
+                         obs.dropped counter
   WF_FAULT               fault-injection plan (seed=..,rate=..,kinds=..,site=..)
   WF_FUZZ_SEED           base seed for `wfc fuzz` (default 0)
   WF_CHECK_LEGALITY      1/true = behave as if --check-legality everywhere
@@ -233,6 +444,9 @@ struct Opts {
     /// `--check-legality` (or `WF_CHECK_LEGALITY=1`): re-verify every
     /// emitted schedule against the independent oracle.
     check_legality: bool,
+    /// `explain --costs`: append the solver-cost attribution table to the
+    /// decision narrative.
+    costs: bool,
 }
 
 impl Opts {
@@ -255,6 +469,7 @@ impl Opts {
             // only turn the check *on* over an explicit
             // WF_CHECK_LEGALITY=0.
             check_legality: wf_verify::check_legality_from_env()?.unwrap_or(false),
+            costs: false,
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -299,6 +514,7 @@ impl Opts {
                     );
                 }
                 "--strict" => o.strict = true,
+                "--costs" => o.costs = true,
                 "--check-regressions" => o.check_regressions = true,
                 "--check-legality" => o.check_legality = true,
                 "--cache" => o.cache = true,
@@ -456,9 +672,17 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
     let (files, bytes) = cache::spill_usage(&dir);
     let mem = cache::stats();
     if json {
+        // Per-entry size/age distributions with interpolated p50/p95/p99,
+        // so spill-cache hygiene is judged on quantiles, not just totals.
+        let mut size_hist = obs::Histogram::default();
+        let mut age_hist = obs::Histogram::default();
         let entries: Vec<Json> = cache::spill_entries(&dir)
             .into_iter()
             .map(|e| {
+                size_hist.record(e.bytes);
+                if let Some(age) = e.age_secs {
+                    age_hist.record(age);
+                }
                 Json::obj([
                     ("file", Json::str(e.file.as_str())),
                     ("bytes", Json::from(e.bytes)),
@@ -477,6 +701,8 @@ fn cmd_cache<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfErro
             ),
             ("stats", mem.to_json()),
             ("solver_memo", wf_polyhedra::memo::stats().to_json()),
+            ("entry_bytes", size_hist.to_json()),
+            ("entry_age_secs", age_hist.to_json()),
             ("entries", Json::Arr(entries)),
         ]);
         println!("{}", j.render());
@@ -609,8 +835,19 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
                 println!("  ILP phases vs previous run: no >2x regressions");
             }
             Some(r) => {
+                // Join against the WF_LEDGER history (read before this
+                // run's record is appended): the previous bench-all's
+                // hotspot table names the cost center behind the phase.
+                let prev_rec = ledger::path_from_env()
+                    .ok()
+                    .flatten()
+                    .and_then(|p| ledger::read_all(&p).ok())
+                    .and_then(|(recs, _)| ledger::last_for_cmd(&recs, "bench-all").cloned());
                 for reg in r {
                     println!("  REGRESSION {reg}");
+                    if let Some(line) = explain_regression(reg, prev_rec.as_ref()) {
+                        println!("             {line}");
+                    }
                 }
             }
         }
@@ -654,6 +891,22 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
         }
     }
     Ok(())
+}
+
+/// Name the cost center behind a flagged ILP-phase regression from the
+/// previous ledgered bench-all's hotspot table, if one matches.
+fn explain_regression(reg: &wf_bench::benchall::Regression, prev: Option<&Json>) -> Option<String> {
+    let hotspots = prev?.get("hotspots")?.as_arr()?;
+    let h = hotspots
+        .iter()
+        .find(|h| h.get("bench").and_then(Json::as_str) == Some(reg.name.as_str()))?;
+    let key = h.get("key").and_then(Json::as_str)?;
+    let cells = h.get("cells").and_then(Json::as_i128).unwrap_or(0);
+    Some(format!(
+        "ledger: last bench-all's top cost center for {} was {key} ({cells} cells) — \
+         profile that component for the {} regression",
+        reg.name, reg.phase
+    ))
 }
 
 fn cmd_show(bench: &Benchmark) -> Result<(), WfError> {
@@ -938,14 +1191,23 @@ fn cmd_model(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
 /// Algorithm 2 cut, with rationale.
 fn cmd_explain(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
     obs::set_enabled(obs::enabled() | obs::DECISIONS);
+    if opts.costs {
+        // The attribution table only fills while metrics are recording.
+        obs::set_enabled(obs::enabled() | obs::METRICS);
+    }
+    let m0 = obs::metrics();
+    let a0 = attr::snapshot();
     let _ = obs::drain_decisions(); // discard anything stale
                                     // The cache would skip the scheduling pass (and with it the log), so
                                     // explain always re-solves.
     let opt = build_optimizer(&bench.scop, opts).cache_off().run()?;
     warn_degraded(&opt);
     let decisions = obs::drain_decisions();
+    let costs = opts
+        .costs
+        .then(|| (attr::snapshot().delta(&a0), obs::metrics().delta(&m0)));
     if opts.json {
-        let j = Json::obj([
+        let mut j = Json::obj([
             ("bench", Json::str(bench.scop.name.as_str())),
             ("model", Json::str(opts.model.name())),
             ("partitions", Json::from(opt.n_partitions())),
@@ -955,6 +1217,10 @@ fn cmd_explain(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
                 Json::Arr(decisions.iter().map(obs::Decision::to_json).collect()),
             ),
         ]);
+        if let Some((a, m)) = &costs {
+            j.push("costs", a.to_json());
+            j.push("simplex_cells", Json::from(m.counter("simplex.cells")));
+        }
         println!("{}", j.render());
         return Ok(());
     }
@@ -985,6 +1251,322 @@ fn cmd_explain(bench: &Benchmark, opts: &Opts) -> Result<(), WfError> {
         "partition of each statement: {:?}",
         opt.transformed.partitions
     );
+    if let Some((a, m)) = &costs {
+        println!();
+        print_cost_table(a, m.counter("simplex.cells"), 10);
+    }
+    Ok(())
+}
+
+/// The shared "where did the cells go" terminal table: top-`k`
+/// attribution rows by simplex cells, plus the reconciliation line
+/// against the `simplex.cells` counter over the same interval.
+fn print_cost_table(a: &attr::AttrSnapshot, cells_counter: u64, k: usize) {
+    println!(
+        "{:<52} {:>12} {:>10} {:>8} {:>10}",
+        "cost center (bench/model/unit/dim)", "cells", "pivots", "solves", "memo hits"
+    );
+    for (key, t) in a.top_by_cells(k) {
+        println!(
+            "{:<52} {:>12} {:>10} {:>8} {:>10}",
+            attr::key_display(key),
+            t.cells,
+            t.pivots,
+            t.solves,
+            t.memo_hits
+        );
+    }
+    let total = a.total_cells();
+    let shown = a.entries.len();
+    if shown > k {
+        println!("  ({} more cost center(s) below the top {k})", shown - k);
+    }
+    println!(
+        "attributed cells: {total}   simplex.cells counter: {cells_counter}   {}",
+        if total == cells_counter {
+            "(reconciled)"
+        } else {
+            "(MISMATCH)"
+        }
+    );
+}
+
+/// `wfc profile`: fold a span forest into inclusive/exclusive time per
+/// span name, the pool-aware critical path, and the solver-cost
+/// attribution table — either from a recorded trace (`--trace FILE`) or
+/// by re-running every model of a catalog benchmark under tracing.
+fn cmd_profile<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    ctx: &ExecContext<'_>,
+) -> Result<(), WfError> {
+    let mut trace_file: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut json = false;
+    let mut strip = false;
+    let mut top = 10usize;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                trace_file = Some(
+                    it.next()
+                        .ok_or_else(|| WfError::invalid("--trace needs a path"))?
+                        .clone(),
+                );
+            }
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or_else(|| WfError::invalid("--top needs a value"))?
+                    .parse()
+                    .map_err(|e| WfError::invalid(format!("--top: {e}")))?;
+            }
+            "--json" => json = true,
+            "--strip-timings" => {
+                json = true;
+                strip = true;
+            }
+            other if !other.starts_with("--") && name.is_none() => {
+                name = Some(other.to_string());
+            }
+            other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    let (source, prof, attribution, cells_counter, dropped) = match (trace_file, name) {
+        (Some(_), Some(_)) => {
+            return Err(WfError::invalid(
+                "wfc profile takes a benchmark OR --trace FILE, not both",
+            ));
+        }
+        (None, None) => {
+            return Err(WfError::invalid(
+                "wfc profile needs a benchmark name or --trace FILE",
+            ));
+        }
+        (Some(path), None) => {
+            let src = std::fs::read_to_string(&path).map_err(|e| WfError::io(path.as_str(), &e))?;
+            let doc = Json::parse(&src)
+                .map_err(|e| WfError::invalid(format!("{path}: not a trace document: {e}")))?;
+            let events = profile::events_from_trace_json(&doc)
+                .map_err(|e| WfError::invalid(format!("{path}: {e}")))?;
+            let prof = profile::fold(&events);
+            // The trace document carries the attribution table and the
+            // metrics snapshot of the run that produced it, so the cost
+            // table reconciles without re-running anything.
+            let attribution = doc
+                .get("attribution")
+                .map(attr::AttrSnapshot::from_json)
+                .transpose()
+                .map_err(|e| WfError::invalid(format!("{path}: {e}")))?
+                .unwrap_or_default();
+            let cells = doc
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("simplex.cells"))
+                .and_then(Json::as_i128)
+                .and_then(|x| u64::try_from(x).ok())
+                .unwrap_or(0);
+            let dropped = doc
+                .get("dropped")
+                .and_then(Json::as_i128)
+                .and_then(|x| u64::try_from(x).ok())
+                .unwrap_or(0);
+            (path, prof, attribution, cells, dropped)
+        }
+        (None, Some(name)) => {
+            let bench = lookup(&name)?;
+            obs::set_enabled(obs::enabled() | obs::TRACE | obs::METRICS);
+            let _ = obs::take_events(); // profile only what runs below
+            let dropped0 = obs::dropped();
+            let m0 = obs::metrics();
+            let a0 = attr::snapshot();
+            // Re-solve every model from scratch (cache off) on the shared
+            // pool, the same shape bench-all drives, so cross-thread span
+            // nesting and per-model cost both show up. The solver memo is
+            // off for the profiled run: the memo is shared across the
+            // concurrently scheduled models, so with it on, thread
+            // interleaving would decide which model pays for a shared LP —
+            // making attribution (and the timing-stripped document) racy.
+            // With it off every model pays its own full cost.
+            let memo_was = wf_polyhedra::memo::enabled();
+            wf_polyhedra::memo::set_enabled(false);
+            let mut optimizer = Optimizer::new(&bench.scop)
+                .threads(ctx.threads())
+                .cache_off()
+                .fallback();
+            for (model, r) in optimizer.run_all() {
+                if let Err(e) = r {
+                    eprintln!("warning: {} failed: {e}", model.name());
+                }
+            }
+            wf_polyhedra::memo::set_enabled(memo_was);
+            let events: Vec<profile::ProfEvent> = obs::take_events()
+                .iter()
+                .map(profile::ProfEvent::from)
+                .collect();
+            let prof = profile::fold(&events);
+            let attribution = attr::snapshot().delta(&a0);
+            let cells = obs::metrics().delta(&m0).counter("simplex.cells");
+            (name, prof, attribution, cells, obs::dropped() - dropped0)
+        }
+    };
+    let attributed = attribution.total_cells();
+    if json {
+        let mut j = prof.to_json();
+        j.push("source", Json::str(source.as_str()));
+        j.push("attribution", attribution.to_json());
+        j.push("simplex_cells", Json::from(cells_counter));
+        j.push("attributed_cells", Json::from(attributed));
+        j.push("reconciled", Json::from(attributed == cells_counter));
+        j.push("dropped", Json::from(dropped));
+        if strip {
+            // `--strip-timings`: drop every timing-dependent field so a
+            // double run byte-compares equal (the CI determinism check).
+            j = profile::strip_timings(&j);
+        }
+        println!("{}", j.render());
+        return Ok(());
+    }
+    println!("== profile: {source} ==\n");
+    println!(
+        "spans: {}   wall: {}   critical path: {} ({:.1}% of wall)",
+        prof.n_events,
+        fmt_us(prof.wall_us),
+        fmt_us(prof.critical_path_us),
+        if prof.wall_us == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let pct = prof.critical_path_us as f64 * 100.0 / prof.wall_us as f64;
+            pct
+        }
+    );
+    if dropped > 0 {
+        println!("(!) {dropped} span(s) dropped at a buffer bound — times are a lower bound");
+    }
+    println!("\ncritical path (dominant chain, root -> leaf):");
+    for step in &prof.critical_path {
+        println!("  {:<28} {}", step.name, fmt_us(step.cp_us));
+    }
+    println!(
+        "\n{:<28} {:>8} {:>12} {:>12}",
+        "span", "count", "inclusive", "exclusive"
+    );
+    let mut by_excl: Vec<(&String, &profile::SpanStat)> = prof.spans.iter().collect();
+    by_excl.sort_by(|a, b| b.1.exclusive_us.cmp(&a.1.exclusive_us).then(a.0.cmp(b.0)));
+    for (name, s) in by_excl.iter().take(top) {
+        println!(
+            "{:<28} {:>8} {:>12} {:>12}",
+            name,
+            s.count,
+            fmt_us(s.inclusive_us),
+            fmt_us(s.exclusive_us)
+        );
+    }
+    println!();
+    print_cost_table(&attribution, cells_counter, top);
+    Ok(())
+}
+
+/// Render microseconds humanely for terminal tables.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let s = us as f64 / 1e6;
+        format!("{s:.3}s")
+    } else if us >= 1_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = us as f64 / 1e3;
+        format!("{ms:.2}ms")
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// `wfc ledger`: summarize (or tail) the `WF_LEDGER` run history.
+fn cmd_ledger<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+    let mut last: Option<usize> = None;
+    let mut json = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stats" => last = None,
+            "--last" => {
+                last = Some(
+                    it.next()
+                        .ok_or_else(|| WfError::invalid("--last needs a count"))?
+                        .parse()
+                        .map_err(|e| WfError::invalid(format!("--last: {e}")))?,
+                );
+            }
+            "--json" => json = true,
+            other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    let path = ledger::path_from_env()?
+        .ok_or_else(|| WfError::invalid("wfc ledger needs WF_LEDGER to name the ledger file"))?;
+    let (records, skipped) =
+        ledger::read_all(&path).map_err(|e| WfError::io(path.display().to_string(), &e))?;
+    if let Some(n) = last {
+        let tail = &records[records.len().saturating_sub(n)..];
+        if json {
+            println!("{}", Json::Arr(tail.to_vec()).render());
+        } else {
+            for r in tail {
+                let s = |k: &str| r.get(k).and_then(Json::as_str).unwrap_or("-").to_string();
+                let exit = r
+                    .get("exit")
+                    .and_then(|e| e.get("class"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
+                let cells = r
+                    .get("counters")
+                    .and_then(|c| c.get("simplex.cells"))
+                    .and_then(Json::as_i128)
+                    .unwrap_or(0);
+                println!(
+                    "{:<10} {:<12} exit {:<9} {:>10} cells",
+                    s("cmd"),
+                    s("target"),
+                    exit,
+                    cells
+                );
+            }
+        }
+        if skipped > 0 {
+            eprintln!("warning: {skipped} malformed ledger line(s) skipped");
+        }
+        return Ok(());
+    }
+    let stats = ledger::stats(&records);
+    if json {
+        println!("{}", stats.render());
+    } else {
+        println!("ledger: {}", path.display());
+        let n = |k: &str| stats.get(k).and_then(Json::as_i128).unwrap_or(0);
+        println!("records: {}   malformed skipped: {skipped}", n("records"));
+        let fmt_map = |key: &str| -> String {
+            match stats.get(key) {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, v)| format!("{k} {}", v.as_i128().unwrap_or(0)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                _ => "-".to_string(),
+            }
+        };
+        println!("by command: {}", fmt_map("by_cmd"));
+        println!("by exit:    {}", fmt_map("by_exit"));
+        println!(
+            "solver work: {} cells, {} solves, {} memo hits",
+            n("simplex_cells"),
+            n("ilp_solves"),
+            n("memo_hits")
+        );
+        println!(
+            "degradations: {}   legality rejections: {}",
+            n("degradations"),
+            n("legality_rejections")
+        );
+    }
     Ok(())
 }
 

@@ -294,6 +294,7 @@ fn degrade(
 /// infallible and trivially legal. `degraded` records why it was
 /// substituted; the result is never written to the schedule cache.
 fn fallback_optimized(scop: &Scop, ddg: &Ddg, model: Model, cause: &WfError) -> Optimized {
+    wf_harness::obs::add("optimizer.degraded", 1);
     let transformed = crate::icc::icc_schedule(scop, ddg);
     let props = pipeline::analyze_props(scop, ddg, model, &transformed);
     Optimized {

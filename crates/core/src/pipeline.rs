@@ -150,6 +150,11 @@ pub(crate) fn schedule_model(
     config: &PlutoConfig,
 ) -> Result<Transformed, SchedError> {
     let _span = wf_harness::span!("schedule.model", "model" => model.name());
+    // Attribution labels: the model jobs run inside pool workers, so the
+    // labels are installed on the thread that actually calls the solver.
+    let _bench_label =
+        wf_harness::attr::label_fmt(wf_harness::attr::Slot::Bench, || scop.name.clone());
+    let _model_label = wf_harness::attr::label(wf_harness::attr::Slot::Model, model.name());
     Ok(match model {
         Model::Icc => icc_schedule(scop, ddg),
         Model::Wisefuse => schedule_scop(scop, ddg, &Wisefuse, config)?,

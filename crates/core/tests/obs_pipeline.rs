@@ -15,15 +15,17 @@ fn exclusive(f: impl FnOnce()) {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let prev = obs::enabled();
-    obs::set_enabled(0);
-    let _ = obs::take_events();
-    let _ = obs::drain_decisions();
-    obs::reset_metrics();
+    let reset = || {
+        obs::set_enabled(0);
+        let _ = obs::take_events();
+        let _ = obs::drain_decisions();
+        obs::reset_metrics();
+        let _ = obs::stream_close();
+        wf_harness::attr::reset();
+    };
+    reset();
     f();
-    obs::set_enabled(0);
-    let _ = obs::take_events();
-    let _ = obs::drain_decisions();
-    obs::reset_metrics();
+    reset();
     obs::set_enabled(prev);
 }
 
@@ -194,5 +196,102 @@ fn metrics_observe_the_ilp_and_cache() {
         let _ = Optimizer::new(&scop).model(Model::Wisefuse).run().unwrap();
         let d = obs::metrics().delta(&before);
         assert!(d.counter("cache.hit") > 0, "second run must hit: {d:?}");
+    });
+}
+
+#[test]
+fn attribution_reconciles_with_the_simplex_cells_counter() {
+    exclusive(|| {
+        let scop = fusable_scop();
+        obs::set_enabled(obs::METRICS);
+        wf_polyhedra::memo::clear();
+        let m0 = obs::metrics();
+        let a0 = wf_harness::attr::snapshot();
+        let _ = Optimizer::new(&scop).cache_off().threads(4).run_all();
+        let cells = obs::metrics().delta(&m0).counter("simplex.cells");
+        let attributed = wf_harness::attr::snapshot().delta(&a0);
+        assert!(cells > 0, "the solver did work");
+        assert_eq!(
+            attributed.total_cells(),
+            cells,
+            "every simplex cell must be attributed to exactly one cost center"
+        );
+        // Labels flowed from the pipeline into the rows, including across
+        // the pool's worker threads.
+        assert!(
+            attributed
+                .entries
+                .iter()
+                .all(|(k, _)| k[wf_harness::attr::Slot::Bench as usize] == "fusable"),
+            "benchmark label missing on some rows: {attributed:?}"
+        );
+        assert!(
+            attributed
+                .entries
+                .iter()
+                .any(|(k, _)| !k[wf_harness::attr::Slot::Unit as usize].is_empty()),
+            "component labels missing: {attributed:?}"
+        );
+    });
+}
+
+#[test]
+fn profile_critical_path_is_bounded_by_wall_time() {
+    exclusive(|| {
+        let scop = fusable_scop();
+        obs::set_enabled(obs::TRACE);
+        let _ = Optimizer::new(&scop).cache_off().threads(4).run_all();
+        let events: Vec<wf_harness::profile::ProfEvent> = obs::take_events()
+            .iter()
+            .map(wf_harness::profile::ProfEvent::from)
+            .collect();
+        assert!(!events.is_empty());
+        let prof = wf_harness::profile::fold(&events);
+        assert!(
+            prof.critical_path_us <= prof.wall_us,
+            "pool-aware critical path {} exceeds wall {}",
+            prof.critical_path_us,
+            prof.wall_us
+        );
+        assert!(prof.spans.contains_key("schedule.model"));
+        assert!(!prof.critical_path.is_empty());
+    });
+}
+
+#[test]
+fn streamed_schedules_are_byte_identical_to_unstreamed() {
+    exclusive(|| {
+        let scop = fusable_scop();
+        let names: Vec<String> = scop.statements.iter().map(|s| s.name.clone()).collect();
+        let plain = Optimizer::new(&scop)
+            .cache_off()
+            .model(Model::Wisefuse)
+            .run()
+            .expect("schedulable");
+        // Re-solve with the streaming sink swallowing every span as it
+        // closes — the WF_TRACE_STREAM surface.
+        obs::set_enabled(obs::TRACE | obs::METRICS);
+        let dir = std::env::temp_dir().join(format!("wf-obs-sched-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        obs::stream_open(path.to_str().unwrap()).unwrap();
+        wf_polyhedra::memo::clear();
+        let streamed = Optimizer::new(&scop)
+            .cache_off()
+            .model(Model::Wisefuse)
+            .run()
+            .expect("schedulable");
+        let lines = obs::stream_close().unwrap().expect("stream was open");
+        assert!(lines > 0, "spans were streamed");
+        assert_eq!(
+            streamed.transformed, plain.transformed,
+            "streaming changed the schedule"
+        );
+        assert_eq!(
+            streamed.transformed.schedule.render(&names),
+            plain.transformed.schedule.render(&names),
+            "rendered schedules differ streamed vs unstreamed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     });
 }

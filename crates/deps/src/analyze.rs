@@ -77,6 +77,21 @@ pub fn try_analyze(scop: &Scop, threads: usize) -> Result<Ddg, WfError> {
 /// `(scop, src, dst)`, which is what makes the pairwise fork of
 /// [`try_analyze`] deterministic.
 fn collect_pair(scop: &Scop, src: usize, dst: usize) -> (Vec<DepEdge>, Vec<DepEdge>) {
+    // Labels live on the worker thread running this job, so any LP the
+    // pair test triggers is attributed to the pair itself. The span makes
+    // dependence analysis a first-class cost center in `wfc profile`.
+    let _bench_label =
+        wf_harness::attr::label_fmt(wf_harness::attr::Slot::Bench, || scop.name.clone());
+    let _unit_label = wf_harness::attr::label_fmt(wf_harness::attr::Slot::Unit, || {
+        format!(
+            "pair({},{})",
+            scop.statements[src].name, scop.statements[dst].name
+        )
+    });
+    let mut pair_span = wf_harness::span!("deps.pair");
+    pair_span
+        .arg("src", scop.statements[src].name.as_str())
+        .arg("dst", scop.statements[dst].name.as_str());
     let mut edges = Vec::new();
     let mut rar = Vec::new();
     let a = &scop.statements[src];

@@ -1,0 +1,439 @@
+//! **attr** — solver-cost attribution: *where did the cells go?*
+//!
+//! The metrics registry ([`obs`]) can say that a run spent 10⁹ simplex
+//! cell updates; this module says *which benchmark, fusion model,
+//! statement pair / component, and schedule dimension* spent them. Code
+//! that is about to do solver work labels the calling thread with RAII
+//! guards ([`label`] / [`label_fmt`]), the solver's accounting sinks
+//! ([`record_solve`], [`record_memo_hit`]) tally into a process-wide
+//! table under whatever labels are live, and the CLI's `wfc profile` /
+//! `wfc explain --costs` render the table top-K by cells.
+//!
+//! Two invariants the tests enforce:
+//!
+//! * **Reconciliation** — [`record_solve`] is called from exactly the
+//!   same site that feeds the `simplex.cells` counter, with the same
+//!   value, so [`AttrSnapshot::total_cells`] always equals the counter's
+//!   delta over the same interval. The table is a *partition* of the
+//!   counter, never a second estimate.
+//! * **Zero cost when off** — every probe gates on the same relaxed
+//!   atomic load as the metrics registry ([`obs::metrics_on`]); labels
+//!   are not even formatted when metrics are disabled ([`label_fmt`]
+//!   takes a closure for exactly this reason).
+
+use crate::json::Json;
+use crate::obs;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The fixed label taxonomy: one slot per question the cost table
+/// answers. Slots compose — an ILP solve inside the scheduler typically
+/// carries all four.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// Which benchmark / SCoP (e.g. `"advect"`).
+    Bench = 0,
+    /// Which fusion model / strategy (e.g. `"wisefuse"`).
+    Model = 1,
+    /// Which program unit: a dependence statement pair (`"pair(0,2)"`),
+    /// a verified edge (`"edge(S0->S1)"`), or a fused component
+    /// (`"comp[0,1,3]"`).
+    Unit = 2,
+    /// Which schedule dimension the solve was for (`"0"`, `"1"`, …).
+    Dim = 3,
+}
+
+/// Number of label slots (the arity of [`AttrKey`]).
+pub const N_SLOTS: usize = 4;
+
+/// A full label tuple `(bench, model, unit, dim)`; unset slots are empty
+/// strings, so unlabeled work aggregates under a visible "(unlabeled)"
+/// row rather than disappearing.
+pub type AttrKey = [String; N_SLOTS];
+
+thread_local! {
+    /// The labels live on this thread (pool workers label themselves
+    /// inside each job, so no cross-thread propagation is needed).
+    static LABELS: RefCell<AttrKey> = RefCell::new(Default::default());
+}
+
+/// RAII guard restoring the previous value of one label slot on drop.
+/// Deliberately `!Send`, like [`obs::SpanGuard`].
+pub struct LabelGuard {
+    slot: usize,
+    prev: String,
+    active: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for LabelGuard {
+    fn drop(&mut self) {
+        if self.active {
+            LABELS.with(|l| l.borrow_mut()[self.slot] = std::mem::take(&mut self.prev));
+        }
+    }
+}
+
+const INERT: LabelGuard = LabelGuard {
+    slot: 0,
+    prev: String::new(),
+    active: false,
+    _not_send: std::marker::PhantomData,
+};
+
+/// Set one label slot on the calling thread; restored when the guard
+/// drops. One relaxed atomic load and an inert guard when metrics are
+/// off.
+#[must_use]
+pub fn label(slot: Slot, value: impl Into<String>) -> LabelGuard {
+    if !obs::metrics_on() {
+        return INERT;
+    }
+    let slot = slot as usize;
+    let prev = LABELS.with(|l| std::mem::replace(&mut l.borrow_mut()[slot], value.into()));
+    LabelGuard {
+        slot,
+        prev,
+        active: true,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// [`label`] with a lazily-built value: the closure only runs when
+/// metrics are on, so call sites can format `"pair({src},{dst})"`
+/// unconditionally without paying for it in the disabled fast path.
+#[must_use]
+pub fn label_fmt(slot: Slot, value: impl FnOnce() -> String) -> LabelGuard {
+    if !obs::metrics_on() {
+        return INERT;
+    }
+    label(slot, value())
+}
+
+/// The calling thread's current label tuple (for annotating spans).
+#[must_use]
+pub fn current_labels() -> AttrKey {
+    LABELS.with(|l| l.borrow().clone())
+}
+
+/// Annotate a span with the non-empty labels live on this thread
+/// (`"bench"`, `"model"`, `"unit"`, `"dim"` args).
+pub fn annotate_span(span: &mut obs::SpanGuard) {
+    const NAMES: [&str; N_SLOTS] = ["bench", "model", "unit", "dim"];
+    LABELS.with(|l| {
+        for (name, v) in NAMES.iter().zip(l.borrow().iter()) {
+            if !v.is_empty() {
+                span.arg(name, v.clone());
+            }
+        }
+    });
+}
+
+/// Accumulated solver work under one label tuple.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Tally {
+    /// Tableau cell updates (the `simplex.cells` unit of work).
+    pub cells: u64,
+    /// Simplex pivots.
+    pub pivots: u64,
+    /// Finished ILP solves (cold, i.e. memo misses).
+    pub solves: u64,
+    /// Solver-memo hits (work *avoided* under these labels).
+    pub memo_hits: u64,
+}
+
+impl Tally {
+    fn saturating_sub(self, rhs: Tally) -> Tally {
+        Tally {
+            cells: self.cells.saturating_sub(rhs.cells),
+            pivots: self.pivots.saturating_sub(rhs.pivots),
+            solves: self.solves.saturating_sub(rhs.solves),
+            memo_hits: self.memo_hits.saturating_sub(rhs.memo_hits),
+        }
+    }
+
+    fn is_zero(self) -> bool {
+        self == Tally::default()
+    }
+}
+
+static TABLE: OnceLock<Mutex<BTreeMap<AttrKey, Tally>>> = OnceLock::new();
+
+fn table() -> MutexGuard<'static, BTreeMap<AttrKey, Tally>> {
+    TABLE
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Tally one finished (cold) ILP solve under the calling thread's labels.
+/// Called from the same accounting sink that feeds the `simplex.cells` /
+/// `simplex.pivots` counters, with the same values.
+pub fn record_solve(cells: u64, pivots: u64) {
+    if !obs::metrics_on() {
+        return;
+    }
+    let key = current_labels();
+    let mut t = table();
+    let e = t.entry(key).or_default();
+    e.cells += cells;
+    e.pivots += pivots;
+    e.solves += 1;
+}
+
+/// Tally one solver-memo hit under the calling thread's labels.
+pub fn record_memo_hit() {
+    if !obs::metrics_on() {
+        return;
+    }
+    let key = current_labels();
+    table().entry(key).or_default().memo_hits += 1;
+}
+
+/// A point-in-time copy of the attribution table, sorted by key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttrSnapshot {
+    /// `(labels, tally)` rows in key order.
+    pub entries: Vec<(AttrKey, Tally)>,
+}
+
+impl AttrSnapshot {
+    /// Sum of cells over every row — by construction equal to the
+    /// `simplex.cells` counter over the same interval.
+    #[must_use]
+    pub fn total_cells(&self) -> u64 {
+        self.entries.iter().map(|(_, t)| t.cells).sum()
+    }
+
+    /// This snapshot minus an earlier one; rows that did not move are
+    /// dropped.
+    #[must_use]
+    pub fn delta(&self, earlier: &AttrSnapshot) -> AttrSnapshot {
+        let prev: BTreeMap<&AttrKey, Tally> =
+            earlier.entries.iter().map(|(k, t)| (k, *t)).collect();
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|(k, t)| {
+                let d = t.saturating_sub(prev.get(k).copied().unwrap_or_default());
+                (!d.is_zero()).then(|| (k.clone(), d))
+            })
+            .collect();
+        AttrSnapshot { entries }
+    }
+
+    /// Rows restricted to one benchmark label.
+    #[must_use]
+    pub fn for_bench(&self, bench: &str) -> AttrSnapshot {
+        AttrSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(k, _)| k[Slot::Bench as usize] == bench)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The top `k` rows by cells (ties broken by key order, so the
+    /// ranking is deterministic).
+    #[must_use]
+    pub fn top_by_cells(&self, k: usize) -> Vec<&(AttrKey, Tally)> {
+        let mut rows: Vec<&(AttrKey, Tally)> = self.entries.iter().collect();
+        rows.sort_by(|a, b| b.1.cells.cmp(&a.1.cells).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// JSON form: an array of
+    /// `{"bench","model","unit","dim","cells","pivots","solves","memo_hits"}`
+    /// rows in key order (unset labels render as `""`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.entries.iter().map(|(k, t)| row_json(k, *t)).collect())
+    }
+
+    /// Parse the [`to_json`](AttrSnapshot::to_json) form back (the
+    /// `wfc profile --trace FILE` path). Unknown fields are ignored;
+    /// malformed rows are an error.
+    ///
+    /// # Errors
+    /// A human-readable message when a row is not an object or a tally
+    /// field is not a non-negative integer.
+    pub fn from_json(j: &Json) -> Result<AttrSnapshot, String> {
+        let rows = j.as_arr().ok_or("attribution: expected an array")?;
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            let s = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string()
+            };
+            let n = |key: &str| -> Result<u64, String> {
+                match row.get(key) {
+                    None => Ok(0),
+                    Some(v) => v
+                        .as_i128()
+                        .and_then(|x| u64::try_from(x).ok())
+                        .ok_or_else(|| format!("attribution: bad '{key}' field")),
+                }
+            };
+            entries.push((
+                [s("bench"), s("model"), s("unit"), s("dim")],
+                Tally {
+                    cells: n("cells")?,
+                    pivots: n("pivots")?,
+                    solves: n("solves")?,
+                    memo_hits: n("memo_hits")?,
+                },
+            ));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(AttrSnapshot { entries })
+    }
+}
+
+fn row_json(k: &AttrKey, t: Tally) -> Json {
+    Json::obj([
+        ("bench", Json::str(k[0].as_str())),
+        ("model", Json::str(k[1].as_str())),
+        ("unit", Json::str(k[2].as_str())),
+        ("dim", Json::str(k[3].as_str())),
+        ("cells", Json::from(t.cells)),
+        ("pivots", Json::from(t.pivots)),
+        ("solves", Json::from(t.solves)),
+        ("memo_hits", Json::from(t.memo_hits)),
+    ])
+}
+
+/// Render one label tuple for terminal tables: `advect/wisefuse/comp[0,1]/d1`
+/// (empty slots elided; fully empty renders `"(unlabeled)"`).
+#[must_use]
+pub fn key_display(k: &AttrKey) -> String {
+    let parts: Vec<&str> = k
+        .iter()
+        .map(String::as_str)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if parts.is_empty() {
+        "(unlabeled)".to_string()
+    } else {
+        parts.join("/")
+    }
+}
+
+/// Snapshot the attribution table.
+#[must_use]
+pub fn snapshot() -> AttrSnapshot {
+    let entries = table().iter().map(|(k, t)| (k.clone(), *t)).collect();
+    AttrSnapshot { entries }
+}
+
+/// Clear the attribution table (tests and per-run harnesses).
+pub fn reset() {
+    table().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Stateful behaviour (labels + the global table) is exercised by the
+    // serialized integration suite in `tests/obs.rs`; here only the pure
+    // snapshot algebra.
+
+    fn key(parts: [&str; 4]) -> AttrKey {
+        parts.map(str::to_string)
+    }
+
+    #[test]
+    fn delta_drops_unmoved_rows() {
+        let a = AttrSnapshot {
+            entries: vec![
+                (
+                    key(["a", "m", "u", "0"]),
+                    Tally {
+                        cells: 5,
+                        pivots: 1,
+                        solves: 1,
+                        memo_hits: 0,
+                    },
+                ),
+                (
+                    key(["b", "m", "u", "0"]),
+                    Tally {
+                        cells: 7,
+                        pivots: 2,
+                        solves: 1,
+                        memo_hits: 0,
+                    },
+                ),
+            ],
+        };
+        let mut b = a.clone();
+        b.entries[1].1.cells = 10;
+        let d = b.delta(&a);
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.entries[0].0, key(["b", "m", "u", "0"]));
+        assert_eq!(d.entries[0].1.cells, 3);
+        assert_eq!(d.total_cells(), 3);
+    }
+
+    #[test]
+    fn top_by_cells_is_deterministic() {
+        let s = AttrSnapshot {
+            entries: vec![
+                (
+                    key(["a", "", "", ""]),
+                    Tally {
+                        cells: 5,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    key(["b", "", "", ""]),
+                    Tally {
+                        cells: 9,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    key(["c", "", "", ""]),
+                    Tally {
+                        cells: 9,
+                        ..Default::default()
+                    },
+                ),
+            ],
+        };
+        let top = s.top_by_cells(2);
+        assert_eq!(top[0].0, key(["b", "", "", ""])); // tie broken by key order
+        assert_eq!(top[1].0, key(["c", "", "", ""]));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = AttrSnapshot {
+            entries: vec![(
+                key(["advect", "wisefuse", "comp[0,1]", "1"]),
+                Tally {
+                    cells: 42,
+                    pivots: 7,
+                    solves: 2,
+                    memo_hits: 3,
+                },
+            )],
+        };
+        let back = AttrSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.total_cells(), 42);
+    }
+
+    #[test]
+    fn key_display_elides_empty_slots() {
+        assert_eq!(key_display(&key(["a", "", "u", "2"])), "a/u/2");
+        assert_eq!(key_display(&key(["", "", "", ""])), "(unlabeled)");
+    }
+}

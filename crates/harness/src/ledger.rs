@@ -1,0 +1,276 @@
+//! **ledger** — the persistent cross-run provenance ledger.
+//!
+//! When `WF_LEDGER=<path>` is set, every `wfc run/compare/bench-all/fuzz`
+//! invocation appends exactly one `ledger/v1` JSONL record: what was run
+//! (command, target, model, config + SCoP digests), under which knobs
+//! (threads, legality checking, cache dir), what the solver did (counter
+//! deltas: cells, pivots, solves, memo traffic), how it ended (exit
+//! class, degradations, legality rejections), and — for `bench-all` —
+//! the per-benchmark cost hotspot, so a later `--check-regressions` can
+//! *explain* a flagged regression against history instead of merely
+//! flagging it.
+//!
+//! Appends go through the same crash-safe idiom as the schedule spill
+//! cache: render the whole file to a `.tmp-<pid>` sibling, then
+//! atomically `rename` over the ledger, with a bounded 3-attempt retry
+//! (1 ms / 4 ms backoff). A torn write can therefore never corrupt
+//! existing records, and a reader never observes a half-written line.
+//! Malformed lines (e.g. from a foreign writer) are skipped and counted,
+//! never fatal.
+
+use crate::json::Json;
+use crate::WfError;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The record schema tag.
+pub const SCHEMA: &str = "ledger/v1";
+
+/// Read `WF_LEDGER` from the environment: `None` when unset, the path
+/// when set, and — like every other `WF_*` knob — a malformed (empty or
+/// whitespace-only) value is an invalid request (exit 2), not a silent
+/// no-op.
+///
+/// # Errors
+/// [`WfError::Invalid`] on an empty value.
+pub fn path_from_env() -> Result<Option<PathBuf>, WfError> {
+    match std::env::var("WF_LEDGER") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Err(WfError::invalid(
+            "WF_LEDGER must name a writable file path (got an empty value)",
+        )),
+        Ok(v) => Ok(Some(PathBuf::from(v))),
+    }
+}
+
+/// Append one record to the ledger at `path`, atomically: the whole file
+/// (existing content + the new line) is written to a `.tmp-<pid>`
+/// sibling and renamed into place, with a bounded retry, exactly like
+/// the spill cache's crash-safe writes. Parent directories are created.
+///
+/// # Errors
+/// The last I/O error after 3 attempts.
+pub fn append(path: &Path, record: &Json) -> io::Result<()> {
+    let mut last = None;
+    for (attempt, backoff_ms) in [(0u64, 0u64), (1, 1), (2, 4)] {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+        }
+        match append_once(path, record) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("three attempts ran"))
+}
+
+fn append_once(path: &Path, record: &Json) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut content = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    if !content.is_empty() && !content.ends_with('\n') {
+        content.push('\n');
+    }
+    content.push_str(&record.render());
+    content.push('\n');
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("ledger");
+    let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Every parseable record in the ledger, oldest first, plus the number
+/// of malformed lines skipped.
+///
+/// # Errors
+/// Propagates filesystem errors (a missing ledger is *not* an error —
+/// it reads as empty).
+pub fn read_all(path: &Path) -> io::Result<(Vec<Json>, usize)> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in content.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(j) => records.push(j),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Summarize a batch of ledger records: totals by command and exit
+/// class, aggregate solver work, degradations and legality rejections.
+/// The output (`ledger-stats/v1`) is deterministic in the records.
+#[must_use]
+pub fn stats(records: &[Json]) -> Json {
+    use std::collections::BTreeMap;
+    let mut by_cmd: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_exit: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut cells, mut solves, mut memo_hits) = (0u64, 0u64, 0u64);
+    let (mut degraded, mut rejections) = (0u64, 0u64);
+    for r in records {
+        let s = |key: &str| r.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+        *by_cmd.entry(s("cmd")).or_insert(0) += 1;
+        *by_exit
+            .entry(
+                r.get("exit")
+                    .and_then(|e| e.get("class"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            )
+            .or_insert(0) += 1;
+        let counter = |key: &str| {
+            r.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Json::as_i128)
+                .and_then(|x| u64::try_from(x).ok())
+                .unwrap_or(0)
+        };
+        cells += counter("simplex.cells");
+        solves += counter("ilp.solves");
+        memo_hits += counter("memo.hit");
+        degraded += counter("optimizer.degraded");
+        rejections += counter("verify.rejects");
+    }
+    let map_json = |m: &BTreeMap<String, u64>| {
+        Json::Obj(m.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect())
+    };
+    Json::obj([
+        ("schema", Json::str("ledger-stats/v1")),
+        ("records", Json::from(records.len())),
+        ("by_cmd", map_json(&by_cmd)),
+        ("by_exit", map_json(&by_exit)),
+        ("simplex_cells", Json::from(cells)),
+        ("ilp_solves", Json::from(solves)),
+        ("memo_hits", Json::from(memo_hits)),
+        ("degradations", Json::from(degraded)),
+        ("legality_rejections", Json::from(rejections)),
+    ])
+}
+
+/// The most recent record matching a command name, searching newest
+/// first (for the `bench-all --check-regressions` history join).
+#[must_use]
+pub fn last_for_cmd<'a>(records: &'a [Json], cmd: &str) -> Option<&'a Json> {
+    records
+        .iter()
+        .rev()
+        .find(|r| r.get("cmd").and_then(Json::as_str) == Some(cmd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wf-ledger-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(cmd: &str, cells: u64) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("cmd", Json::str(cmd)),
+            (
+                "exit",
+                Json::obj([("class", Json::str("ok")), ("code", Json::Int(0))]),
+            ),
+            (
+                "counters",
+                Json::obj([("simplex.cells", Json::from(cells))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("ledger.jsonl");
+        append(&path, &record("run", 10)).unwrap();
+        append(&path, &record("bench-all", 32)).unwrap();
+        let (records, skipped) = read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(records[0].get("cmd").and_then(Json::as_str), Some("run"));
+        assert_eq!(
+            last_for_cmd(&records, "bench-all")
+                .unwrap()
+                .get("cmd")
+                .and_then(Json::as_str),
+            Some("bench-all")
+        );
+        // No stray temp files remain after the atomic renames.
+        let stray = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp-")
+            })
+            .count();
+        assert_eq!(stray, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let dir = tmp_dir("malformed");
+        let path = dir.join("ledger.jsonl");
+        append(&path, &record("run", 1)).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{not json\n");
+        std::fs::write(&path, content).unwrap();
+        append(&path, &record("fuzz", 2)).unwrap();
+        let (records, skipped) = read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_ledger_reads_empty() {
+        let (records, skipped) = read_all(Path::new("/nonexistent/wf-ledger-void.jsonl")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn stats_aggregates_by_cmd_and_exit() {
+        let records = vec![record("run", 5), record("run", 7), record("bench-all", 10)];
+        let s = stats(&records);
+        assert_eq!(s.get("records").unwrap().as_i128(), Some(3));
+        assert_eq!(
+            s.get("by_cmd").unwrap().get("run").unwrap().as_i128(),
+            Some(2)
+        );
+        assert_eq!(
+            s.get("by_exit").unwrap().get("ok").unwrap().as_i128(),
+            Some(3)
+        );
+        assert_eq!(s.get("simplex_cells").unwrap().as_i128(), Some(22));
+        // Deterministic rendering round-trips.
+        assert!(Json::parse(&s.render()).is_ok());
+    }
+}

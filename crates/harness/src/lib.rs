@@ -43,9 +43,22 @@
 //!   `DefaultHasher`'s per-process seeding would break cross-run reuse.
 //! * [`obs`] — the zero-dep observability layer: hierarchical spans
 //!   emitting Chrome trace-event JSON (`WF_TRACE`, `wfc --trace`), a
-//!   process-wide counter/histogram metrics registry, and the fusion
-//!   decision log behind `wfc explain`; every probe is one relaxed
-//!   atomic load when disabled.
+//!   process-wide counter/histogram metrics registry (with interpolated
+//!   p50/p95/p99 quantiles), and the fusion decision log behind `wfc
+//!   explain`; every probe is one relaxed atomic load when disabled.
+//!   In-memory buffers are bounded; `WF_TRACE_STREAM` streams spans to
+//!   JSONL as they close.
+//! * [`attr`] — solver-cost attribution: RAII thread labels (benchmark,
+//!   model, statement pair / component, dimension) plus a process-wide
+//!   cell/pivot/memo-hit table whose totals reconcile exactly with the
+//!   `simplex.cells` counter; behind `wfc profile` / `wfc explain
+//!   --costs`.
+//! * [`profile`] — folds the span forest into per-name
+//!   inclusive/exclusive time and a pool-aware fork/join critical path
+//!   (`profile/v1`, `wfc profile`).
+//! * [`ledger`] — the `WF_LEDGER` JSONL run ledger: one atomic
+//!   crash-safe provenance record per `wfc` invocation (`ledger/v1`,
+//!   `wfc ledger`).
 //!
 //! Everything is deterministic: test case generation is seeded by hashing
 //! the test name, so failures reproduce across runs and machines without a
@@ -53,13 +66,16 @@
 
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod bench;
 pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod json;
+pub mod ledger;
 pub mod obs;
 pub mod pool;
+pub mod profile;
 pub mod prop;
 pub mod report;
 pub mod rng;

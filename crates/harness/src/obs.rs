@@ -35,11 +35,20 @@
 //! Enabling any instrument never changes pipeline *results*: probes only
 //! read pipeline state, and the scheduler's determinism tests assert
 //! byte-identical schedules traced vs. untraced.
+//!
+//! The in-memory event and decision buffers are **bounded**
+//! ([`set_buffer_limit`], default [`DEFAULT_BUFFER_LIMIT`]): once full,
+//! further records are counted in [`dropped`] (and the `obs.dropped`
+//! counter) instead of growing without bound. Long runs that need every
+//! span stream them to disk instead: `WF_TRACE_STREAM=<path>`
+//! ([`stream_open`]) writes each span as one JSONL line the moment it
+//! closes, bypassing the in-memory buffer entirely.
 
 use crate::json::Json;
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -163,6 +172,149 @@ fn events_guard() -> MutexGuard<'static, Vec<TraceEvent>> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+// ---------------------------------------------------------------------------
+// Buffer bounds & the streaming sink
+// ---------------------------------------------------------------------------
+
+/// Default cap on the in-memory event buffer and the decision log
+/// (each), in records. Roomy for every interactive run; fuzz/bench
+/// marathons that overflow it should stream (`WF_TRACE_STREAM`).
+pub const DEFAULT_BUFFER_LIMIT: usize = 262_144;
+
+/// Records the streaming sink will write before dropping, per stream:
+/// a multiple of the in-memory cap since disk is the escape hatch.
+const STREAM_LIMIT_FACTOR: u64 = 64;
+
+static BUFFER_LIMIT: AtomicUsize = AtomicUsize::new(DEFAULT_BUFFER_LIMIT);
+
+/// Records (events + decisions + streamed lines) dropped because a
+/// bound was hit. Counted even when metrics are off, so the trace
+/// writer can warn about truncation.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Cap the in-memory event buffer and decision log at `limit` records
+/// each (see [`DEFAULT_BUFFER_LIMIT`]). Overflow increments [`dropped`]
+/// and the `obs.dropped` counter rather than allocating.
+pub fn set_buffer_limit(limit: usize) {
+    BUFFER_LIMIT.store(limit.max(1), Ordering::Relaxed);
+}
+
+/// The current in-memory buffer cap.
+#[must_use]
+pub fn buffer_limit() -> usize {
+    BUFFER_LIMIT.load(Ordering::Relaxed)
+}
+
+/// Total records dropped so far because a buffer or stream bound was
+/// hit (process lifetime; monotone).
+#[must_use]
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+fn drop_one() {
+    DROPPED.fetch_add(1, Ordering::Relaxed);
+    add("obs.dropped", 1);
+}
+
+struct StreamSink {
+    w: std::io::BufWriter<std::fs::File>,
+    lines: u64,
+    max_lines: u64,
+}
+
+/// `Some` while a stream is open; the flag mirrors it so the span-drop
+/// hot path can skip the mutex entirely when not streaming.
+static STREAM: Mutex<Option<StreamSink>> = Mutex::new(None);
+static STREAM_ON: AtomicBool = AtomicBool::new(false);
+
+fn stream_guard() -> MutexGuard<'static, Option<StreamSink>> {
+    STREAM
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Open the streaming span sink at `path` (truncating; parent
+/// directories created): from now on every closing span is written as
+/// one line-buffered JSONL record instead of accumulating in memory.
+/// The stream is bounded at `64 ×` the in-memory cap; overflow counts
+/// in [`dropped`]. This is the `WF_TRACE_STREAM=<path>` surface.
+///
+/// # Errors
+/// Propagates filesystem errors from creating the file.
+pub fn stream_open(path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    *stream_guard() = Some(StreamSink {
+        w: std::io::BufWriter::new(file),
+        lines: 0,
+        max_lines: (buffer_limit() as u64).saturating_mul(STREAM_LIMIT_FACTOR),
+    });
+    STREAM_ON.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Is the streaming sink open?
+#[must_use]
+pub fn stream_active() -> bool {
+    STREAM_ON.load(Ordering::Acquire)
+}
+
+/// Flush and close the streaming sink; returns how many lines were
+/// written (`None` when no stream was open). Dropped-on-bound records
+/// are in [`dropped`].
+pub fn stream_close() -> std::io::Result<Option<u64>> {
+    STREAM_ON.store(false, Ordering::Release);
+    match stream_guard().take() {
+        None => Ok(None),
+        Some(mut s) => {
+            s.w.flush()?;
+            Ok(Some(s.lines))
+        }
+    }
+}
+
+/// Write one event to the open stream (line-buffered: one write + flush
+/// per span, so a crash loses at most the span being written).
+fn stream_write(ev: &TraceEvent) {
+    let mut g = stream_guard();
+    let Some(s) = g.as_mut() else {
+        // Raced with stream_close; fall back to the bounded buffer.
+        drop(g);
+        buffer_push(ev.clone());
+        return;
+    };
+    if s.lines >= s.max_lines {
+        drop(g);
+        drop_one();
+        return;
+    }
+    let mut line = event_json(ev).render();
+    line.push('\n');
+    if s.w
+        .write_all(line.as_bytes())
+        .and_then(|()| s.w.flush())
+        .is_ok()
+    {
+        s.lines += 1;
+    }
+}
+
+/// Push into the bounded in-memory buffer, counting overflow.
+fn buffer_push(ev: TraceEvent) {
+    let mut g = events_guard();
+    if g.len() >= buffer_limit() {
+        drop(g);
+        drop_one();
+        return;
+    }
+    g.push(ev);
+}
+
 /// RAII span guard: records a [`TraceEvent`] on drop when tracing was on
 /// at creation. Deliberately `!Send` — a span belongs to the thread that
 /// opened it (cross-thread propagation goes through [`current_ctx`]).
@@ -202,7 +354,11 @@ impl Drop for SpanGuard {
             parent: self.parent,
             args: std::mem::take(&mut self.args),
         };
-        events_guard().push(ev);
+        if stream_active() {
+            stream_write(&ev);
+        } else {
+            buffer_push(ev);
+        }
     }
 }
 
@@ -298,35 +454,42 @@ pub fn take_events() -> Vec<TraceEvent> {
     std::mem::take(&mut *events_guard())
 }
 
+/// One event in Chrome trace-event form (also the streaming sink's
+/// per-line format, so a streamed file is the `traceEvents` array, one
+/// element per line).
+#[must_use]
+pub fn event_json(e: &TraceEvent) -> Json {
+    let mut args = vec![("id", Json::from(e.id)), ("parent", Json::from(e.parent))];
+    for (k, v) in &e.args {
+        args.push((*k, Json::str(v.as_str())));
+    }
+    Json::obj([
+        ("name", Json::str(e.name)),
+        ("cat", Json::str("wf")),
+        ("ph", Json::str("X")),
+        ("ts", Json::from(e.ts_us)),
+        ("dur", Json::from(e.dur_us)),
+        ("pid", Json::Int(1)),
+        ("tid", Json::from(u64::from(e.tid))),
+        ("args", Json::obj(args)),
+    ])
+}
+
 /// Render events as a Chrome trace-event JSON document
 /// (`{"traceEvents": [...]}`; complete `"ph":"X"` events, microsecond
 /// timestamps). The `parent` span id rides in `args` so tools and tests
 /// can reconstruct the hierarchy exactly even across thread boundaries.
+/// A metrics snapshot and the solver-cost attribution table ride along
+/// so `wfc profile --trace FILE` can reconcile cells without re-running.
 #[must_use]
 pub fn trace_json(events: &[TraceEvent]) -> Json {
-    let evs: Vec<Json> = events
-        .iter()
-        .map(|e| {
-            let mut args = vec![("id", Json::from(e.id)), ("parent", Json::from(e.parent))];
-            for (k, v) in &e.args {
-                args.push((*k, Json::str(v.as_str())));
-            }
-            Json::obj([
-                ("name", Json::str(e.name)),
-                ("cat", Json::str("wf")),
-                ("ph", Json::str("X")),
-                ("ts", Json::from(e.ts_us)),
-                ("dur", Json::from(e.dur_us)),
-                ("pid", Json::Int(1)),
-                ("tid", Json::from(u64::from(e.tid))),
-                ("args", Json::obj(args)),
-            ])
-        })
-        .collect();
+    let evs: Vec<Json> = events.iter().map(event_json).collect();
     Json::obj([
         ("traceEvents", Json::Arr(evs)),
         ("displayTimeUnit", Json::str("ms")),
         ("metrics", metrics().to_json()),
+        ("attribution", crate::attr::snapshot().to_json()),
+        ("dropped", Json::from(dropped())),
     ])
 }
 
@@ -389,7 +552,10 @@ impl Histogram {
         HISTOGRAM_BOUNDS.partition_point(|&b| b < value)
     }
 
-    fn record(&mut self, value: u64) {
+    /// Record one observation (callers building ad-hoc histograms, e.g.
+    /// `wfc cache --stats --json` over spill entry sizes/ages; the
+    /// registry path goes through [`observe`]).
+    pub fn record(&mut self, value: u64) {
         self.counts[Histogram::bucket_index(value)] += 1;
         self.count += 1;
         self.sum += value;
@@ -409,8 +575,50 @@ impl Histogram {
         }
     }
 
-    /// JSON form: `{"count", "sum", "buckets": [{"le", "n"}, ...]}` with
-    /// zero buckets elided (`le` is `"inf"` for the overflow bucket).
+    /// The `q`-quantile (`0 < q <= 1`), linearly interpolated inside the
+    /// power-of-two bucket the rank lands in (bucket `i` spans
+    /// `(bound[i-1], bound[i]]`; the overflow bucket interpolates over
+    /// one further doubling). An estimate — exact only when the bucket
+    /// is a point — but monotone in `q` and deterministic in the counts.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let (prev, next) = (cum as f64, (cum + n) as f64);
+            cum += n;
+            if next >= rank {
+                let lo = if i == 0 { 0 } else { HISTOGRAM_BOUNDS[i - 1] };
+                let hi = HISTOGRAM_BOUNDS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(HISTOGRAM_BOUNDS[HISTOGRAM_BOUNDS.len() - 1] * 2);
+                #[allow(clippy::cast_precision_loss)]
+                let (lo, hi) = (lo as f64, hi as f64);
+                let frac = (rank - prev) / (next - prev);
+                return lo + frac * (hi - lo);
+            }
+        }
+        // Unreachable with a consistent histogram; be safe anyway.
+        #[allow(clippy::cast_precision_loss)]
+        let fallback = HISTOGRAM_BOUNDS[HISTOGRAM_BOUNDS.len() - 1] as f64;
+        fallback
+    }
+
+    /// JSON form: `{"count", "sum", "p50", "p95", "p99", "buckets":
+    /// [{"le", "n"}, ...]}` with zero buckets elided (`le` is `"inf"`
+    /// for the overflow bucket); the quantiles are interpolated from the
+    /// buckets ([`quantile`](Histogram::quantile)), rounded to 3
+    /// decimals so the rendering is stable.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
@@ -425,9 +633,13 @@ impl Histogram {
                 Json::obj([("le", le), ("n", Json::from(n))])
             })
             .collect();
+        let q = |p: f64| Json::Num((self.quantile(p) * 1000.0).round() / 1000.0);
         Json::obj([
             ("count", Json::from(self.count)),
             ("sum", Json::from(self.sum)),
+            ("p50", q(0.50)),
+            ("p95", q(0.95)),
+            ("p99", q(0.99)),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -659,6 +871,11 @@ pub fn decision(kind: &'static str, summary: String, data: Vec<(&'static str, St
     }
     let scope = SCOPE.with(|s| s.borrow().clone());
     let mut log = decision_log();
+    if log.entries.len() >= buffer_limit() {
+        drop(log);
+        drop_one();
+        return;
+    }
     let seq = log.next_seq.entry(scope.clone()).or_insert(0);
     let entry = Decision {
         scope,
@@ -731,6 +948,56 @@ mod tests {
         assert_eq!(d.sum, 3);
         assert_eq!(d.counts[Histogram::bucket_index(3)], 1);
         assert_eq!(d.counts[Histogram::bucket_index(100)], 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_from_buckets() {
+        let mut h = Histogram::default();
+        // 100 observations of exactly 8: the whole mass is in the
+        // (4, 8] bucket, so every quantile lands inside it.
+        for _ in 0..100 {
+            h.record(8);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let v = h.quantile(q);
+            assert!(v > 4.0 && v <= 8.0, "q{q} = {v}");
+        }
+        // Monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_split_across_buckets() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert!(h.quantile(0.5) <= 1.0);
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 512.0 && p99 <= 1024.0, "p99 = {p99}");
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_is_finite() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        let p50 = h.quantile(0.5);
+        assert!(p50.is_finite() && p50 > 1_048_576.0);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let mut h = Histogram::default();
+        h.record(8);
+        let j = h.to_json();
+        assert!(j.get("p50").unwrap().as_f64().unwrap() > 0.0);
+        assert!(j.get("p95").is_some() && j.get("p99").is_some());
+        assert!(Json::parse(&j.render()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! **profile** — fold a span forest into a critical-path profile.
+//!
+//! Input is the flat list of closed spans the tracer records (in memory
+//! via [`obs::take_events`], or parsed back from a Chrome trace file);
+//! output is a [`Profile`]: per-span-name inclusive/exclusive time, the
+//! pool-aware critical path, and total wall time, rendered as the
+//! deterministic `profile/v1` JSON behind `wfc profile`.
+//!
+//! **Pool-aware critical path.** Spans nest across threads (a pool
+//! worker's span parents under the span that *submitted* the job), so a
+//! span's children may overlap in time — that overlap is parallelism,
+//! not double-booked work. The critical path of a span is therefore
+//! computed fork/join style: children are clustered into maximal groups
+//! of time-overlapping siblings; within a cluster (parallel work) only
+//! the longest child path counts, across clusters (sequential work)
+//! paths add, and the span's own exclusive time (duration minus the
+//! union of child intervals) is added on top. Everything is clamped to
+//! the span's duration, so the profile's critical path never exceeds
+//! wall time — the invariant the CI smoke job asserts.
+//!
+//! **Determinism.** Span *counts* and attribution tallies are exact and
+//! machine-independent; timings are not. [`strip_timings`] removes every
+//! timing-dependent field (`*_us`, `*_pct`, and the critical-path chain,
+//! whose ordering depends on which sibling happened to be slowest) so a
+//! double run of `wfc profile` byte-compares equal after stripping.
+
+use crate::json::Json;
+use crate::obs::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One span as the profiler consumes it: like [`TraceEvent`] but with an
+/// owned name, so traces parsed back from disk (dynamic strings) and
+/// live events (static names) fold through the same code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfEvent {
+    /// Span name.
+    pub name: String,
+    /// Start, microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span id (0 = root); may live on another thread.
+    pub parent: u64,
+}
+
+impl From<&TraceEvent> for ProfEvent {
+    fn from(e: &TraceEvent) -> ProfEvent {
+        ProfEvent {
+            name: e.name.to_string(),
+            ts_us: e.ts_us,
+            dur_us: e.dur_us,
+            id: e.id,
+            parent: e.parent,
+        }
+    }
+}
+
+/// Parse the events out of a Chrome trace-event document produced by
+/// [`obs::trace_json`] (the `id`/`parent` hierarchy rides in `args`).
+///
+/// # Errors
+/// A human-readable message when the document is not a trace or an event
+/// is malformed.
+pub fn events_from_trace_json(doc: &Json) -> Result<Vec<ProfEvent>, String> {
+    let evs = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("not a trace document (missing traceEvents array)")?;
+    let mut out = Vec::with_capacity(evs.len());
+    for (i, e) in evs.iter().enumerate() {
+        let num = |v: Option<&Json>| {
+            v.and_then(Json::as_i128)
+                .and_then(|x| u64::try_from(x).ok())
+        };
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}]: missing name"))?;
+        let args = e.get("args");
+        out.push(ProfEvent {
+            name: name.to_string(),
+            ts_us: num(e.get("ts")).ok_or_else(|| format!("traceEvents[{i}]: bad ts"))?,
+            dur_us: num(e.get("dur")).unwrap_or(0),
+            id: num(args.and_then(|a| a.get("id")))
+                .ok_or_else(|| format!("traceEvents[{i}]: bad args.id"))?,
+            parent: num(args.and_then(|a| a.get("parent"))).unwrap_or(0),
+        });
+    }
+    Ok(out)
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations (nested same-name spans double-count, as in any
+    /// inclusive profile).
+    pub inclusive_us: u64,
+    /// Sum of durations minus each span's child-interval union — time
+    /// spent *in* the span, not in an instrumented callee.
+    pub exclusive_us: u64,
+}
+
+/// One step of the dominant critical-path chain, root → leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// Span name.
+    pub name: String,
+    /// The fork/join critical-path time attributed through this span.
+    pub cp_us: u64,
+}
+
+/// The folded profile of one span forest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Number of events folded.
+    pub n_events: u64,
+    /// `max(end) - min(start)` over all spans.
+    pub wall_us: u64,
+    /// Fork/join critical path over the whole forest (≤ `wall_us`).
+    pub critical_path_us: u64,
+    /// The dominant chain: at every level, the child cluster member with
+    /// the largest path time.
+    pub critical_path: Vec<PathStep>,
+    /// Per-name statistics, keyed by span name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// A span's children clustered into maximal groups of time-overlapping
+/// siblings. `children` must be sorted by `ts_us`. Returns `(cluster
+/// extent, member indices)` per cluster, in time order.
+fn clusters(children: &[&ProfEvent]) -> Vec<(u64, Vec<usize>)> {
+    let mut out: Vec<(u64, Vec<usize>)> = Vec::new();
+    let mut cluster_end = 0u64;
+    for (i, c) in children.iter().enumerate() {
+        let end = c.ts_us.saturating_add(c.dur_us);
+        match out.last_mut() {
+            Some((extent, members)) if c.ts_us < cluster_end => {
+                members.push(i);
+                cluster_end = cluster_end.max(end);
+                let start = children[members[0]].ts_us;
+                *extent = cluster_end.saturating_sub(start);
+            }
+            _ => {
+                out.push((c.dur_us, vec![i]));
+                cluster_end = end;
+            }
+        }
+    }
+    out
+}
+
+/// Recursive fork/join fold of one span: returns its critical-path time
+/// (≤ its duration) and appends per-name stats. `chain` collects the
+/// dominant path when `Some`.
+fn fold_span(
+    ev: &ProfEvent,
+    children_of: &BTreeMap<u64, Vec<&ProfEvent>>,
+    spans: &mut BTreeMap<String, SpanStat>,
+    chain: Option<&mut Vec<PathStep>>,
+) -> u64 {
+    let kids = children_of.get(&ev.id).map_or(&[][..], Vec::as_slice);
+    let groups = clusters(kids);
+    // Child-interval union (the cluster extents are disjoint by
+    // construction), clamped to this span's own interval.
+    let union: u64 = groups
+        .iter()
+        .map(|(extent, members)| {
+            let start = kids[members[0]].ts_us.max(ev.ts_us);
+            let end = kids[members[0]]
+                .ts_us
+                .saturating_add(*extent)
+                .min(ev.ts_us.saturating_add(ev.dur_us));
+            end.saturating_sub(start)
+        })
+        .sum();
+    let exclusive = ev.dur_us.saturating_sub(union);
+    let stat = spans.entry(ev.name.clone()).or_default();
+    stat.count += 1;
+    stat.inclusive_us += ev.dur_us;
+    stat.exclusive_us += exclusive;
+
+    // Each cluster contributes its best member's path; pick the overall
+    // dominant child to extend the chain through.
+    let mut cp = exclusive;
+    let mut dominant: Option<(u64, &ProfEvent)> = None;
+    for (extent, members) in &groups {
+        let mut best = 0u64;
+        for &m in members {
+            let child_cp = fold_span(kids[m], children_of, spans, None);
+            if child_cp > best {
+                best = child_cp;
+            }
+            if dominant.is_none_or(|(d, _)| child_cp > d) {
+                dominant = Some((child_cp, kids[m]));
+            }
+        }
+        cp = cp.saturating_add(best.min(*extent));
+    }
+    let cp = cp.min(ev.dur_us);
+    if let Some(chain) = chain {
+        chain.push(PathStep {
+            name: ev.name.clone(),
+            cp_us: cp,
+        });
+        if let Some((_, child)) = dominant {
+            fold_dominant_chain(child, children_of, chain);
+        }
+    }
+    cp
+}
+
+/// Extend the dominant chain below `ev` without re-accumulating stats.
+fn fold_dominant_chain(
+    ev: &ProfEvent,
+    children_of: &BTreeMap<u64, Vec<&ProfEvent>>,
+    chain: &mut Vec<PathStep>,
+) {
+    let mut scratch = BTreeMap::new();
+    let cp = fold_span(ev, children_of, &mut scratch, None);
+    chain.push(PathStep {
+        name: ev.name.clone(),
+        cp_us: cp,
+    });
+    let kids = children_of.get(&ev.id).map_or(&[][..], Vec::as_slice);
+    let mut dominant: Option<(u64, &ProfEvent)> = None;
+    for k in kids {
+        let child_cp = fold_span(k, children_of, &mut scratch, None);
+        if dominant.is_none_or(|(d, _)| child_cp > d) {
+            dominant = Some((child_cp, k));
+        }
+    }
+    if let Some((_, child)) = dominant {
+        fold_dominant_chain(child, children_of, chain);
+    }
+}
+
+/// Fold a span forest into a [`Profile`]. Spans whose recorded parent is
+/// absent from the set (e.g. the enclosing span had not closed when the
+/// trace was taken) are treated as roots.
+#[must_use]
+pub fn fold(events: &[ProfEvent]) -> Profile {
+    if events.is_empty() {
+        return Profile::default();
+    }
+    let ids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.id).collect();
+    let mut children_of: BTreeMap<u64, Vec<&ProfEvent>> = BTreeMap::new();
+    let mut roots: Vec<&ProfEvent> = Vec::new();
+    for e in events {
+        if e.parent != 0 && ids.contains(&e.parent) {
+            children_of.entry(e.parent).or_default().push(e);
+        } else {
+            roots.push(e);
+        }
+    }
+    for v in children_of.values_mut() {
+        v.sort_by_key(|e| (e.ts_us, e.id));
+    }
+    roots.sort_by_key(|e| (e.ts_us, e.id));
+
+    let start = events.iter().map(|e| e.ts_us).min().unwrap_or(0);
+    let end = events
+        .iter()
+        .map(|e| e.ts_us.saturating_add(e.dur_us))
+        .max()
+        .unwrap_or(0);
+    let wall_us = end.saturating_sub(start);
+
+    let mut spans = BTreeMap::new();
+    let groups = clusters(&roots);
+    let mut critical_path_us = 0u64;
+    let mut dominant: Option<(u64, &ProfEvent)> = None;
+    for (extent, members) in &groups {
+        let mut best = 0u64;
+        for &m in members {
+            let cp = fold_span(roots[m], &children_of, &mut spans, None);
+            if cp > best {
+                best = cp;
+            }
+            if dominant.is_none_or(|(d, _)| cp > d) {
+                dominant = Some((cp, roots[m]));
+            }
+        }
+        critical_path_us = critical_path_us.saturating_add(best.min(*extent));
+    }
+    let critical_path_us = critical_path_us.min(wall_us);
+    let mut critical_path = Vec::new();
+    if let Some((_, root)) = dominant {
+        fold_dominant_chain(root, &children_of, &mut critical_path);
+    }
+    Profile {
+        n_events: events.len() as u64,
+        wall_us,
+        critical_path_us,
+        critical_path,
+        spans,
+    }
+}
+
+impl Profile {
+    /// The `profile/v1` JSON document (before the CLI adds its
+    /// attribution and counter sections).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let spans: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                Json::obj([
+                    ("name", Json::str(name.as_str())),
+                    ("count", Json::from(s.count)),
+                    ("inclusive_us", Json::from(s.inclusive_us)),
+                    ("exclusive_us", Json::from(s.exclusive_us)),
+                ])
+            })
+            .collect();
+        let path: Vec<Json> = self
+            .critical_path
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("name", Json::str(p.name.as_str())),
+                    ("cp_us", Json::from(p.cp_us)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str("profile/v1")),
+            ("events", Json::from(self.n_events)),
+            ("wall_us", Json::from(self.wall_us)),
+            ("critical_path_us", Json::from(self.critical_path_us)),
+            ("critical_path", Json::Arr(path)),
+            ("spans", Json::Arr(spans)),
+        ])
+    }
+}
+
+/// Strip every timing-dependent field from a `profile/v1` document so a
+/// double run byte-compares equal: object keys ending in `_us`, `_pct`
+/// or `_seconds` are removed recursively, and the `critical_path` chain
+/// (whose membership depends on which sibling was slowest) is dropped
+/// wholesale. Mirrors bench-all's `strip_timings`.
+#[must_use]
+pub fn strip_timings(j: &Json) -> Json {
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| {
+                    !(k.ends_with("_us") || k.ends_with("_pct") || k.ends_with("_seconds"))
+                        && k != "critical_path"
+                })
+                .map(|(k, v)| (k.clone(), strip_timings(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timings).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: u64, dur: u64, id: u64, parent: u64) -> ProfEvent {
+        ProfEvent {
+            name: name.to_string(),
+            ts_us: ts,
+            dur_us: dur,
+            id,
+            parent,
+        }
+    }
+
+    #[test]
+    fn empty_forest() {
+        let p = fold(&[]);
+        assert_eq!(p.wall_us, 0);
+        assert_eq!(p.critical_path_us, 0);
+        assert!(p.spans.is_empty());
+    }
+
+    #[test]
+    fn serial_nesting_adds_exclusive() {
+        // root [0,100) > child [10,40) > grandchild [20,30)
+        let events = vec![
+            ev("root", 0, 100, 1, 0),
+            ev("child", 10, 30, 2, 1),
+            ev("grand", 20, 10, 3, 2),
+        ];
+        let p = fold(&events);
+        assert_eq!(p.wall_us, 100);
+        // Fully serial: the critical path is the whole root.
+        assert_eq!(p.critical_path_us, 100);
+        assert_eq!(p.spans["root"].exclusive_us, 70);
+        assert_eq!(p.spans["child"].exclusive_us, 20);
+        assert_eq!(p.spans["grand"].exclusive_us, 10);
+        // Exclusive times partition the root's duration.
+        let total_excl: u64 = p.spans.values().map(|s| s.exclusive_us).sum();
+        assert_eq!(total_excl, 100);
+        assert_eq!(
+            p.critical_path
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["root", "child", "grand"]
+        );
+    }
+
+    #[test]
+    fn parallel_children_count_once() {
+        // root [0,100); four parallel workers [10,90) on other threads.
+        let mut events = vec![ev("run_all", 0, 100, 1, 0)];
+        for i in 0..4 {
+            events.push(ev("model", 10, 80, 2 + i, 1));
+        }
+        let p = fold(&events);
+        assert_eq!(p.wall_us, 100);
+        // Exclusive of root = 100 - union(80) = 20; parallel cluster
+        // contributes max(80), not 4*80.
+        assert_eq!(p.critical_path_us, 100);
+        assert_eq!(p.spans["run_all"].exclusive_us, 20);
+        assert_eq!(p.spans["model"].count, 4);
+        assert_eq!(p.spans["model"].inclusive_us, 320);
+    }
+
+    #[test]
+    fn critical_path_never_exceeds_wall() {
+        // Pathological: child longer than parent (cross-thread job that
+        // outlived the submitting span). Clamped.
+        let events = vec![ev("a", 0, 10, 1, 0), ev("b", 5, 50, 2, 1)];
+        let p = fold(&events);
+        assert_eq!(p.wall_us, 55);
+        assert!(p.critical_path_us <= p.wall_us);
+    }
+
+    #[test]
+    fn sequential_root_clusters_add() {
+        let events = vec![ev("a", 0, 30, 1, 0), ev("b", 50, 40, 2, 0)];
+        let p = fold(&events);
+        assert_eq!(p.wall_us, 90);
+        assert_eq!(p.critical_path_us, 70); // 30 + 40, gap excluded
+    }
+
+    #[test]
+    fn orphan_parent_treated_as_root() {
+        let events = vec![ev("child", 0, 10, 5, 999)];
+        let p = fold(&events);
+        assert_eq!(p.critical_path_us, 10);
+        assert_eq!(p.spans["child"].count, 1);
+    }
+
+    #[test]
+    fn trace_json_round_trip() {
+        let te = TraceEvent {
+            name: "ilp.solve",
+            ts_us: 10,
+            dur_us: 5,
+            tid: 2,
+            id: 7,
+            parent: 3,
+            args: vec![],
+        };
+        let doc = crate::obs::trace_json(&[te]);
+        let evs = events_from_trace_json(&doc).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "ilp.solve");
+        assert_eq!(evs[0].id, 7);
+        assert_eq!(evs[0].parent, 3);
+    }
+
+    #[test]
+    fn strip_removes_timings_and_path() {
+        let p = fold(&[ev("a", 0, 10, 1, 0)]);
+        let stripped = strip_timings(&p.to_json());
+        assert!(stripped.get("wall_us").is_none());
+        assert!(stripped.get("critical_path_us").is_none());
+        assert!(stripped.get("critical_path").is_none());
+        let spans = stripped.get("spans").unwrap().as_arr().unwrap();
+        assert!(spans[0].get("inclusive_us").is_none());
+        assert_eq!(spans[0].get("count").unwrap().as_i128(), Some(1));
+        // Still a valid document after stripping.
+        assert!(Json::parse(&stripped.render()).is_ok());
+    }
+}

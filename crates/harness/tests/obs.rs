@@ -13,16 +13,19 @@ fn exclusive(f: impl FnOnce()) {
     let _guard = LOCK
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let reset = || {
+        obs::set_enabled(0);
+        let _ = obs::take_events();
+        let _ = obs::drain_decisions();
+        let _ = obs::stream_close();
+        obs::reset_metrics();
+        obs::set_buffer_limit(obs::DEFAULT_BUFFER_LIMIT);
+        wf_harness::attr::reset();
+    };
     let prev = obs::enabled();
-    obs::set_enabled(0);
-    let _ = obs::take_events();
-    let _ = obs::drain_decisions();
-    obs::reset_metrics();
+    reset();
     f();
-    obs::set_enabled(0);
-    let _ = obs::take_events();
-    let _ = obs::drain_decisions();
-    obs::reset_metrics();
+    reset();
     obs::set_enabled(prev);
 }
 
@@ -232,5 +235,129 @@ fn trace_json_round_trips_through_parser() {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].get("name").unwrap().as_str(), Some("phase"));
         assert!(parsed.get("metrics").is_some());
+    });
+}
+
+#[test]
+fn buffer_cap_drops_spans_and_counts_them() {
+    exclusive(|| {
+        obs::set_enabled(obs::TRACE | obs::METRICS);
+        obs::set_buffer_limit(4);
+        let d0 = obs::dropped();
+        for _ in 0..10 {
+            let _s = wf_harness::span!("burst");
+        }
+        let events = obs::take_events();
+        assert_eq!(events.len(), 4, "buffer is capped at the limit");
+        assert_eq!(obs::dropped() - d0, 6, "overflow is counted, not stored");
+        assert_eq!(
+            obs::metrics().counter("obs.dropped"),
+            6,
+            "drops surface as a counter"
+        );
+    });
+}
+
+#[test]
+fn decision_log_respects_the_buffer_cap() {
+    exclusive(|| {
+        obs::set_enabled(obs::DECISIONS | obs::METRICS);
+        obs::set_buffer_limit(2);
+        let d0 = obs::dropped();
+        let _scope = obs::scope("cap");
+        for i in 0..5 {
+            obs::decision("k", format!("d{i}"), Vec::new());
+        }
+        assert_eq!(obs::drain_decisions().len(), 2);
+        assert_eq!(obs::dropped() - d0, 3);
+    });
+}
+
+#[test]
+fn stream_sink_writes_jsonl_and_bypasses_memory() {
+    exclusive(|| {
+        obs::set_enabled(obs::TRACE);
+        let dir = std::env::temp_dir().join(format!("wf-obs-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        obs::stream_open(path.to_str().unwrap()).unwrap();
+        {
+            let _outer = wf_harness::span!("s-outer");
+            let _inner = wf_harness::span!("s-inner");
+        }
+        let lines = obs::stream_close().unwrap().expect("stream was open");
+        assert_eq!(lines, 2);
+        assert!(
+            obs::take_events().is_empty(),
+            "streamed spans must not also buffer in memory"
+        );
+        let content = std::fs::read_to_string(&path).unwrap();
+        let names: Vec<String> = content
+            .lines()
+            .map(|line| {
+                let j = wf_harness::json::Json::parse(line).expect("each line is valid JSON");
+                j.get("name").unwrap().as_str().unwrap().to_string()
+            })
+            .collect();
+        // Spans close innermost-first.
+        assert_eq!(names, ["s-inner", "s-outer"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn stream_sink_is_bounded() {
+    exclusive(|| {
+        obs::set_enabled(obs::TRACE);
+        // max lines = 64 x the in-memory cap.
+        obs::set_buffer_limit(1);
+        let dir = std::env::temp_dir().join(format!("wf-obs-sbound-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        obs::stream_open(path.to_str().unwrap()).unwrap();
+        let d0 = obs::dropped();
+        for _ in 0..70 {
+            let _s = wf_harness::span!("flood");
+        }
+        let lines = obs::stream_close().unwrap().expect("stream was open");
+        assert_eq!(lines, 64, "stream stops at 64x the buffer limit");
+        assert_eq!(obs::dropped() - d0, 6, "overflow past the bound is counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn pool_panic_unwinds_span_stack_cleanly() {
+    exclusive(|| {
+        obs::set_enabled(obs::TRACE);
+        let workers = pool::ThreadPool::new(2);
+        {
+            let _submit = wf_harness::span!("submit-panic");
+            // One job panics while holding an open span inside the
+            // propagated ctx; the pool contains it per-slot.
+            let slots = workers.try_scope(2, 4, |i| {
+                let _s = wf_harness::span!("doomed");
+                assert!(i != 2, "boom");
+                i
+            });
+            assert!(slots.iter().any(Result::is_err), "the panic surfaced");
+        }
+        let _ = obs::take_events();
+        // A fresh scope on the same workers must start from a clean span
+        // stack: no orphan ctx from the panicked job may leak in.
+        let slots = workers.try_scope(2, 4, |i| {
+            let _s = wf_harness::span!("clean");
+            i
+        });
+        assert!(slots.iter().all(Result::is_ok));
+        let events = obs::take_events();
+        let clean: Vec<_> = events.iter().filter(|e| e.name == "clean").collect();
+        assert_eq!(clean.len(), 4);
+        for e in clean {
+            assert_eq!(
+                e.parent, 0,
+                "span stack must unwind past the panic: no stale parent ctx"
+            );
+        }
     });
 }

@@ -14,12 +14,16 @@
 use crate::constraint::ConstraintSystem;
 use crate::simplex::{solve_lp_measured, LpResult, Sense};
 use std::time::Instant;
+use wf_harness::attr;
 use wf_harness::fault::{self, FaultKind};
 use wf_harness::obs;
 use wf_linalg::Rat;
 
-/// Feed one finished solve's accounting into the metrics registry
-/// (single atomic load when metrics are off).
+/// Feed one finished solve's accounting into the metrics registry and
+/// the cost-attribution table (single atomic load when metrics are
+/// off). The attribution tally receives the *same* `cells`/`pivots`
+/// values as the counters, from the same call — that is what makes the
+/// per-edge cost table reconcile exactly with `simplex.cells`.
 fn record_solve(nodes: usize, pivots: u64, cells: u64, err: Option<&IlpError>) {
     if !obs::metrics_on() {
         return;
@@ -28,6 +32,7 @@ fn record_solve(nodes: usize, pivots: u64, cells: u64, err: Option<&IlpError>) {
     obs::add("ilp.nodes", nodes as u64);
     obs::add("simplex.pivots", pivots);
     obs::add("simplex.cells", cells);
+    attr::record_solve(cells, pivots);
     obs::observe("ilp.nodes_per_solve", nodes as u64);
     obs::observe("ilp.pivots_per_solve", pivots);
     // Scaled to megacells so real solves (10^6..10^9 cells) land inside the
@@ -257,11 +262,14 @@ pub fn try_ilp_feasible(
     budget: &IlpBudget,
 ) -> Result<Option<Vec<i128>>, IlpError> {
     crate::memo::feasible_cached(cs, budget, || {
+        let mut span = wf_harness::span!("ilp.feasible");
+        attr::annotate_span(&mut span);
         let mut nodes = 0usize;
         let mut pivots = 0u64;
         let mut cells = 0u64;
         let out = feasible_counted(cs, budget, &mut nodes, &mut pivots, &mut cells);
         record_solve(nodes, pivots, cells, out.as_ref().err());
+        span.arg("cells", cells.to_string());
         out
     })
 }
@@ -349,6 +357,8 @@ pub fn lexmin_budgeted(
     budget: &IlpBudget,
 ) -> Result<LexMin, IlpError> {
     crate::memo::lexmin_cached(cs, objectives, budget, || {
+        let mut span = wf_harness::span!("ilp.lexmin");
+        attr::annotate_span(&mut span);
         let mut work = cs.clone();
         let mut values = Vec::with_capacity(objectives.len());
         let mut point = None;

@@ -143,6 +143,10 @@ impl SolverMemo {
                 e.last_used = tick;
                 self.stats.hits += 1;
                 obs::add("memo.hit", 1);
+                // Attribute avoided work to whoever holds the labels —
+                // `lookup` runs on the solving thread, so the caller's
+                // (bench, model, unit, dim) labels are still live.
+                wf_harness::attr::record_memo_hit();
                 Some(e.value.clone())
             }
             _ => {

@@ -21,7 +21,7 @@ use crate::fusion::FusionStrategy;
 use crate::transform::{DimKind, Schedule, StmtRow};
 use std::collections::BTreeSet;
 use wf_deps::{tarjan, Ddg, DepEdge, SccInfo};
-use wf_harness::obs;
+use wf_harness::{attr, obs};
 use wf_linalg::RatMat;
 use wf_polyhedra::poly::Extremum;
 use wf_polyhedra::ConstraintSystem;
@@ -385,6 +385,10 @@ pub fn schedule_scop(
     // Algorithm 1/2 callbacks) with the strategy name, so concurrent model
     // jobs drain to a deterministic per-scope order.
     let _scope = obs::scope(strategy.name());
+    // Solver cost incurred below is attributed to (benchmark, model): the
+    // search runs entirely on this thread, so RAII labels suffice.
+    let _bench_label = attr::label_fmt(attr::Slot::Bench, || scop.name.clone());
+    let _model_label = attr::label(attr::Slot::Model, strategy.name());
     let sccs = tarjan(ddg);
     let order = strategy.pre_fusion_order(scop, ddg, &sccs);
     validate_order(&order, &sccs, ddg)?;
@@ -766,7 +770,19 @@ fn solve_component(
     // either way). All-positive first; bail after a bounded number of
     // combinations.
     cs.simplify();
+    // Attribute every ILP solved for this component to the fused statement
+    // group and the schedule level being searched, so `wfc profile` can
+    // name the exact (component, dimension) a cell blow-up came from.
+    let _unit_label = attr::label_fmt(attr::Slot::Unit, || {
+        let names: Vec<&str> = members
+            .iter()
+            .map(|&s| scop.statements[s].name.as_str())
+            .collect();
+        format!("comp[{}]", names.join(","))
+    });
+    let _dim_label = attr::label_fmt(attr::Slot::Dim, || state.schedule.n_dims().to_string());
     let mut comp_span = wf_harness::span!("schedule.component");
+    attr::annotate_span(&mut comp_span);
     comp_span
         .arg("members", members.len().to_string())
         .arg("vars", n_sched.to_string())

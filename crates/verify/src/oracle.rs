@@ -112,7 +112,10 @@ fn schedule_delta(
     for (d, c) in delta.iter_mut().zip(&src_row.coeffs[..src_depth]) {
         *d -= *c;
     }
-    for (d, c) in delta[src_depth..].iter_mut().zip(&dst_row.coeffs[..dst_depth]) {
+    for (d, c) in delta[src_depth..]
+        .iter_mut()
+        .zip(&dst_row.coeffs[..dst_depth])
+    {
         *d += *c;
     }
     delta[n_vars] = dst_row.konst - src_row.konst;
@@ -139,6 +142,11 @@ fn well_formed(scop: &Scop, schedule: &Schedule) -> bool {
 #[must_use]
 pub fn check_schedule(scop: &Scop, ddg: &Ddg, schedule: &Schedule) -> Report {
     let _span = wf_harness::span!("verify.legality", "scop" => scop.name.clone());
+    // The oracle's emptiness tests go through the same budgeted ILP as the
+    // scheduler, so label them for cost attribution: benchmark here, the
+    // concrete edge and dimension inside the loop below.
+    let _bench_label =
+        wf_harness::attr::label_fmt(wf_harness::attr::Slot::Bench, || scop.name.clone());
     obs::add("verify.checks", 1);
     if fault::should_inject("verify.legality", FaultKind::Io) {
         obs::add("verify.rejects", 1);
@@ -170,10 +178,18 @@ pub fn check_schedule(scop: &Scop, ddg: &Ddg, schedule: &Schedule) -> Report {
     for (e, edge) in ddg.edges.iter().enumerate() {
         let nv = edge.poly.n_vars();
         let name = |s: usize| scop.statements[s].name.clone();
+        let _unit_label = wf_harness::attr::label_fmt(wf_harness::attr::Slot::Unit, || {
+            format!(
+                "edge({}->{})",
+                scop.statements[edge.src].name, scop.statements[edge.dst].name
+            )
+        });
         // Grow the "all earlier dimensions tie" prefix one level at a time.
         let mut prefix = edge.poly.cs.clone();
         let mut reordered = false;
         for dim in 0..schedule.n_dims() {
+            let _dim_label =
+                wf_harness::attr::label_fmt(wf_harness::attr::Slot::Dim, || dim.to_string());
             let delta = schedule_delta(
                 schedule,
                 dim,
