@@ -57,12 +57,16 @@ pub struct BenchAllOptions {
     /// Worker count for the parallel scheduling passes (≥ 2 to measure a
     /// speedup; the serial baseline always uses 1).
     pub threads: usize,
-    /// Restrict the catalog to benchmarks whose name contains this
-    /// substring (empty = whole catalog).
+    /// Restrict the catalog to benchmarks whose name contains any of
+    /// these comma-separated substrings (empty = whole catalog).
     pub filter: String,
     /// Re-verify every successfully scheduled model against the
     /// independent legality oracle (`wfc bench-all --check-legality`).
     pub check_legality: bool,
+    /// Run only this slice of the (filtered) catalog and emit a
+    /// `bench-shard/v1` report instead of `bench-all/v1`
+    /// (`wfc bench-all --shard I/N`); `None` = the whole catalog.
+    pub shard: Option<crate::shard::ShardSpec>,
 }
 
 impl Default for BenchAllOptions {
@@ -71,6 +75,7 @@ impl Default for BenchAllOptions {
             threads: pool::global().n_threads(),
             filter: String::new(),
             check_legality: false,
+            shard: None,
         }
     }
 }
@@ -133,10 +138,26 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     // Restored afterwards so library callers keep their own switchboard.
     let prev_flags = obs::enabled();
     obs::set_enabled(prev_flags | obs::METRICS);
-    let benchmarks: Vec<Benchmark> = catalog()
+    let matches_filter = |name: &str| {
+        opts.filter.is_empty()
+            || opts.filter.split(',').any(|f| {
+                let f = f.trim();
+                !f.is_empty() && name.contains(f)
+            })
+    };
+    let mut benchmarks: Vec<Benchmark> = catalog()
         .into_iter()
-        .filter(|b| opts.filter.is_empty() || b.name.contains(&opts.filter))
+        .filter(|b| matches_filter(b.name))
         .collect();
+    // Shard mode: keep only this run's deterministic slice. Sharding
+    // happens *after* filtering so `--workers` + `--filter` compose.
+    if let Some(spec) = opts.shard {
+        let range = crate::shard::plan_shards(benchmarks.len(), spec.count)
+            [spec.index.min(spec.count.saturating_sub(1))]
+        .clone();
+        benchmarks.truncate(range.end);
+        benchmarks.drain(..range.start);
+    }
 
     let mut determinism_ok = true;
     let mut rows = Vec::new();
@@ -407,9 +428,30 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
     let cache_stats = cache::stats();
     let memo_stats = memo::stats();
     let memo_run = delta_stats(&memo_before_all, &memo_stats);
-    let mut report = Json::obj([
-        ("schema", "bench-all/v1".into()),
-        ("threads", threads.into()),
+    // Shard runs emit their own schema tag plus a `shard` block right
+    // after `threads`; everything below it is laid out identically to
+    // the consolidated report so the merge layer can pass rows through
+    // verbatim and the stripped forms compare byte-for-byte.
+    let mut report = Json::obj([(
+        "schema",
+        if opts.shard.is_some() {
+            "bench-shard/v1"
+        } else {
+            "bench-all/v1"
+        }
+        .into(),
+    )]);
+    report.push("threads", threads.into());
+    if let Some(spec) = opts.shard {
+        report.push(
+            "shard",
+            Json::obj([
+                ("index", spec.display_index().into()),
+                ("count", spec.count.into()),
+            ]),
+        );
+    }
+    let mut tail = Json::obj([
         ("benchmarks", Json::Arr(rows)),
         (
             "totals",
@@ -440,7 +482,12 @@ pub fn run(opts: &BenchAllOptions) -> BenchAllOutcome {
         ("determinism_ok", determinism_ok.into()),
     ]);
     if opts.check_legality {
-        report.push("legality_rejections", legality_rejections.into());
+        tail.push("legality_rejections", legality_rejections.into());
+    }
+    if let Json::Obj(fields) = tail {
+        for (k, v) in fields {
+            report.push(k, v);
+        }
     }
     obs::set_enabled(prev_flags);
     BenchAllOutcome {

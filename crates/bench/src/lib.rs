@@ -3,6 +3,8 @@
 #![warn(missing_docs)]
 
 pub mod benchall;
+pub mod merge;
+pub mod shard;
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};

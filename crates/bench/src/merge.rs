@@ -1,0 +1,404 @@
+//! Deterministic folding of `bench-shard/v1` reports into one
+//! `bench-all/v1` report (`wfc merge-reports`, and the tail end of
+//! `wfc bench-all --workers N`).
+//!
+//! The contract is byte-level: `strip_timings(merge(shards))` must equal
+//! `strip_timings` of a single-process run over the same catalog. That
+//! pins down every choice here —
+//!
+//! * **rows** are passed through verbatim and re-sorted into catalog
+//!   order (each row was computed by exactly one shard, and the pipeline
+//!   is deterministic, so the bytes already agree);
+//! * **totals** re-sum the per-shard `*_seconds` columns and recompute
+//!   the speedup ratios and the solver hit rate *from the sums* — never
+//!   by averaging per-shard ratios;
+//! * **cache / solver_memo** counter blocks are summed field-wise and
+//!   re-emitted through the same [`cache::CacheStats`] /
+//!   [`memo::MemoStats`] serializers the single-process run uses, so key
+//!   order and derived rates stay identical;
+//! * **metrics** merge counters by addition and histograms on their raw
+//!   bucket counts ([`Histogram::from_json`] + [`Histogram::merge`]) —
+//!   quantiles of a union cannot be reconstructed from per-shard
+//!   quantiles, so those are recomputed from the merged buckets;
+//! * **gates** (`determinism_ok`) are AND-ed and `legality_rejections`
+//!   summed (present only when any shard carried it).
+//!
+//! Validation is strict: mismatched schemas, thread counts, shard
+//! counts, missing or duplicate shard indices, and duplicate benchmark
+//! rows are all [`WfError::Invalid`] — a merge over the wrong inputs
+//! must fail loudly, not produce a plausible report.
+
+use std::collections::BTreeMap;
+use wf_benchsuite::catalog;
+use wf_harness::json::Json;
+use wf_harness::obs::Histogram;
+use wf_harness::WfError;
+use wf_polyhedra::memo;
+use wf_wisefuse::cache;
+
+/// The schema tag shard runs emit.
+pub const SHARD_SCHEMA: &str = "bench-shard/v1";
+/// The schema tag of the consolidated report.
+pub const ALL_SCHEMA: &str = "bench-all/v1";
+
+fn invalid(msg: impl Into<String>) -> WfError {
+    WfError::invalid(msg)
+}
+
+fn schema_of(doc: &Json) -> &str {
+    doc.get("schema").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn as_u64(j: Option<&Json>) -> u64 {
+    j.and_then(Json::as_i128)
+        .and_then(|v| u64::try_from(v).ok())
+        .unwrap_or(0)
+}
+
+fn as_f64(j: Option<&Json>) -> f64 {
+    j.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Fold shard reports into one consolidated `bench-all/v1` document.
+/// As a convenience (the CLI's `merge-reports --strip` over an existing
+/// consolidated report), a *single* `bench-all/v1` input is returned
+/// unchanged.
+///
+/// # Errors
+/// [`WfError::Invalid`] on empty input, schema/thread mismatches, an
+/// incomplete or duplicated shard set, or duplicate benchmark rows.
+pub fn merge_reports(reports: &[Json]) -> Result<Json, WfError> {
+    match reports {
+        [] => Err(invalid("merge-reports: no input reports")),
+        [only] if schema_of(only) == ALL_SCHEMA => Ok(only.clone()),
+        _ => merge_shards(reports),
+    }
+}
+
+fn merge_shards(reports: &[Json]) -> Result<Json, WfError> {
+    // --- validation ---------------------------------------------------
+    for r in reports {
+        let s = schema_of(r);
+        if s != SHARD_SCHEMA {
+            return Err(invalid(format!(
+                "merge-reports: expected {SHARD_SCHEMA} inputs (or exactly one {ALL_SCHEMA}); got \"{s}\""
+            )));
+        }
+    }
+    let threads: Vec<u64> = reports.iter().map(|r| as_u64(r.get("threads"))).collect();
+    if threads.windows(2).any(|w| w[0] != w[1]) {
+        return Err(invalid(format!(
+            "merge-reports: shards ran with different thread counts {threads:?}"
+        )));
+    }
+    let mut indices = Vec::new();
+    let mut counts = Vec::new();
+    for r in reports {
+        let shard = r
+            .get("shard")
+            .ok_or_else(|| invalid("merge-reports: shard report missing its shard block"))?;
+        indices.push(as_u64(shard.get("index")));
+        counts.push(as_u64(shard.get("count")));
+    }
+    if counts.windows(2).any(|w| w[0] != w[1]) || counts[0] as usize != reports.len() {
+        return Err(invalid(format!(
+            "merge-reports: got {} report(s) but shard counts say {counts:?}",
+            reports.len()
+        )));
+    }
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    if sorted != (1..=counts[0]).collect::<Vec<u64>>() {
+        return Err(invalid(format!(
+            "merge-reports: shard indices {indices:?} do not cover 1..={}",
+            counts[0]
+        )));
+    }
+
+    // --- rows: verbatim pass-through, re-sorted into catalog order ----
+    let rank: BTreeMap<&str, usize> = catalog()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name, i))
+        .collect();
+    let mut rows: Vec<Json> = Vec::new();
+    for r in reports {
+        rows.extend(
+            r.get("benchmarks")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .cloned(),
+        );
+    }
+    let row_name = |row: &Json| {
+        row.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let mut seen: Vec<String> = rows.iter().map(&row_name).collect();
+    seen.sort();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return Err(invalid(
+            "merge-reports: the same benchmark appears in more than one shard",
+        ));
+    }
+    // Catalog benchmarks in catalog order; anything foreign after, by name.
+    rows.sort_by_key(|row| {
+        let name = row_name(row);
+        (rank.get(name.as_str()).copied().unwrap_or(usize::MAX), name)
+    });
+
+    // --- totals: sums, with ratios recomputed from the sums -----------
+    let sum_total = |key: &str| -> f64 {
+        reports
+            .iter()
+            .map(|r| as_f64(r.get("totals").and_then(|t| t.get(key))))
+            .sum()
+    };
+    let sum_block = |block: &str, key: &str| -> u64 {
+        reports
+            .iter()
+            .map(|r| as_u64(r.get(block).and_then(|b| b.get(key))))
+            .sum()
+    };
+    let memo_sum = memo::MemoStats {
+        hits: sum_block("solver_memo", "hits"),
+        misses: sum_block("solver_memo", "misses"),
+        stores: sum_block("solver_memo", "stores"),
+        evictions: sum_block("solver_memo", "evictions"),
+    };
+    let cache_sum = cache::CacheStats {
+        hits: sum_block("cache", "hits"),
+        misses: sum_block("cache", "misses"),
+        stores: sum_block("cache", "stores"),
+        evictions: sum_block("cache", "evictions"),
+        spill_hits: sum_block("cache", "spill_hits"),
+        spill_stores: sum_block("cache", "spill_stores"),
+        spill_quarantined: sum_block("cache", "spill_quarantined"),
+    };
+    let (tot_analysis_serial, tot_analysis_parallel) = (
+        sum_total("analysis_serial_seconds"),
+        sum_total("analysis_parallel_seconds"),
+    );
+    let (tot_serial, tot_parallel) = (
+        sum_total("ilp_serial_seconds"),
+        sum_total("ilp_parallel_seconds"),
+    );
+    let (tot_exec_scoped, tot_exec_pooled) = (
+        sum_total("exec_scoped_seconds"),
+        sum_total("exec_pooled_seconds"),
+    );
+    // Identical key order to the single-process report builder.
+    let totals = Json::obj([
+        ("analysis_serial_seconds", tot_analysis_serial.into()),
+        ("analysis_parallel_seconds", tot_analysis_parallel.into()),
+        (
+            "analysis_speedup",
+            (tot_analysis_serial / tot_analysis_parallel.max(1e-12)).into(),
+        ),
+        ("solver_hit_rate_pct", memo_sum.hit_rate_pct().into()),
+        ("ilp_serial_seconds", tot_serial.into()),
+        ("ilp_parallel_seconds", tot_parallel.into()),
+        ("ilp_speedup", (tot_serial / tot_parallel.max(1e-12)).into()),
+        ("codegen_seconds", sum_total("codegen_seconds").into()),
+        ("exec_scoped_seconds", tot_exec_scoped.into()),
+        ("exec_pooled_seconds", tot_exec_pooled.into()),
+        (
+            "exec_speedup",
+            (tot_exec_scoped / tot_exec_pooled.max(1e-12)).into(),
+        ),
+        (
+            "pool_replay_seconds",
+            sum_total("pool_replay_seconds").into(),
+        ),
+    ]);
+
+    // --- metrics: counters add, histograms merge raw buckets ----------
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    for r in reports {
+        let m = r.get("metrics");
+        if let Some(Json::Obj(fields)) = m.and_then(|m| m.get("counters")) {
+            for (k, v) in fields {
+                *counters.entry(k.clone()).or_insert(0) += as_u64(Some(v));
+            }
+        }
+        if let Some(Json::Obj(fields)) = m.and_then(|m| m.get("histograms")) {
+            for (k, v) in fields {
+                let h = Histogram::from_json(v).ok_or_else(|| {
+                    invalid(format!("merge-reports: malformed histogram \"{k}\""))
+                })?;
+                histograms.entry(k.clone()).or_default().merge(&h);
+            }
+        }
+    }
+    let metrics = Json::Obj(vec![
+        (
+            "counters".to_string(),
+            Json::Obj(
+                counters
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::from(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_string(),
+            Json::Obj(
+                histograms
+                    .into_iter()
+                    .map(|(k, h)| (k, h.to_json()))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    // --- gates --------------------------------------------------------
+    let determinism_ok = reports
+        .iter()
+        .all(|r| r.get("determinism_ok").and_then(Json::as_bool) == Some(true));
+    let any_legality = reports
+        .iter()
+        .any(|r| r.get("legality_rejections").is_some());
+    let legality_sum: u64 = reports
+        .iter()
+        .map(|r| as_u64(r.get("legality_rejections")))
+        .sum();
+
+    // --- assemble in the exact single-process key order ---------------
+    let mut merged = Json::obj([
+        ("schema", ALL_SCHEMA.into()),
+        ("threads", threads[0].into()),
+        ("benchmarks", Json::Arr(rows)),
+        ("totals", totals),
+        ("cache", cache_sum.to_json()),
+        ("solver_memo", memo_sum.to_json()),
+        ("metrics", metrics),
+        ("determinism_ok", determinism_ok.into()),
+    ]);
+    if any_legality {
+        merged.push("legality_rejections", legality_sum.into());
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(index: u64, count: u64, threads: u64, names: &[&str]) -> Json {
+        Json::obj([
+            ("schema", SHARD_SCHEMA.into()),
+            ("threads", threads.into()),
+            (
+                "shard",
+                Json::obj([("index", index.into()), ("count", count.into())]),
+            ),
+            (
+                "benchmarks",
+                Json::Arr(
+                    names
+                        .iter()
+                        .map(|n| Json::obj([("name", Json::str(*n))]))
+                        .collect(),
+                ),
+            ),
+            ("totals", Json::obj([])),
+            ("cache", Json::obj([])),
+            ("solver_memo", Json::obj([])),
+            (
+                "metrics",
+                Json::obj([("counters", Json::obj([])), ("histograms", Json::obj([]))]),
+            ),
+            ("determinism_ok", true.into()),
+        ])
+    }
+
+    #[test]
+    fn single_consolidated_report_passes_through() {
+        let doc = Json::obj([("schema", ALL_SCHEMA.into()), ("threads", 2u64.into())]);
+        assert_eq!(merge_reports(std::slice::from_ref(&doc)).unwrap(), doc);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(merge_reports(&[]).is_err(), "empty input");
+        let wrong = Json::obj([("schema", "profile/v1".into())]);
+        assert!(merge_reports(&[wrong]).is_err(), "foreign schema");
+        // Thread mismatch.
+        let a = shard(1, 2, 2, &["advect"]);
+        let b = shard(2, 2, 4, &["tce"]);
+        assert!(merge_reports(&[a.clone(), b]).is_err(), "thread mismatch");
+        // Missing shard 2/2.
+        assert!(
+            merge_reports(std::slice::from_ref(&a)).is_err(),
+            "incomplete shard set"
+        );
+        // Duplicate shard index.
+        assert!(
+            merge_reports(&[a.clone(), shard(1, 2, 2, &["tce"])]).is_err(),
+            "duplicate shard index"
+        );
+        // Duplicate benchmark row across shards.
+        assert!(
+            merge_reports(&[a, shard(2, 2, 2, &["advect"])]).is_err(),
+            "duplicate benchmark row"
+        );
+    }
+
+    #[test]
+    fn rows_are_resorted_into_catalog_order() {
+        // Shard 2 carries catalog-earlier benchmarks than shard 1.
+        let a = shard(1, 2, 2, &["gemver"]);
+        let b = shard(2, 2, 2, &["advect", "lu"]);
+        let merged = merge_reports(&[a, b]).unwrap();
+        let names: Vec<&str> = merged
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| r.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        // Catalog order: advect before lu before gemver.
+        assert_eq!(names, vec!["advect", "lu", "gemver"]);
+        assert_eq!(
+            merged.get("schema").and_then(Json::as_str),
+            Some(ALL_SCHEMA)
+        );
+        assert_eq!(
+            merged.get("determinism_ok").and_then(Json::as_bool),
+            Some(true)
+        );
+        // No shard carried legality info, so the merged report elides it.
+        assert!(merged.get("legality_rejections").is_none());
+    }
+
+    #[test]
+    fn gates_and_counters_fold() {
+        let mut a = shard(1, 2, 2, &["advect"]);
+        let mut b = shard(2, 2, 2, &["tce"]);
+        // One shard failed determinism; both carried legality counts.
+        if let Json::Obj(fields) = &mut b {
+            for (k, v) in fields.iter_mut() {
+                if k == "determinism_ok" {
+                    *v = false.into();
+                }
+            }
+        }
+        a.push("legality_rejections", 1u64.into());
+        b.push("legality_rejections", 2u64.into());
+        let merged = merge_reports(&[a, b]).unwrap();
+        assert_eq!(
+            merged.get("determinism_ok").and_then(Json::as_bool),
+            Some(false),
+            "gates AND"
+        );
+        assert_eq!(
+            merged.get("legality_rejections").and_then(Json::as_i128),
+            Some(3),
+            "rejections sum"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Catalog sharding for `wfc bench-all --shard I/N` / `--workers N`.
+//!
+//! A shard is a deterministic contiguous slice of the (filtered) catalog:
+//! [`plan_shards`] splits `len` benchmarks into `count` balanced ranges —
+//! disjoint, covering, stable across runs and processes — so a
+//! coordinator can hand shard `I` of `N` to a subprocess by index alone,
+//! with no work-list to serialize. Shard indices are **1-based** on every
+//! user-facing surface (`--shard 2/4`, `WF_SHARD=2/4`, report `shard`
+//! blocks, `BENCH_shard_2_of_4.json`) and 0-based internally.
+//!
+//! This module also owns the env-var grammar shared by the CLI: like
+//! every other `WF_*` knob, a malformed value is an invalid request
+//! (exit 2), never a silent default.
+
+use std::ops::Range;
+use wf_harness::WfError;
+
+/// Per-shard supervision deadline when `WF_SHARD_TIMEOUT_SECS` is unset.
+/// Generous: a shard that is merely slow restarts from the shared spill
+/// cache anyway, but a wedged one must not hang the coordinator forever.
+pub const DEFAULT_TIMEOUT_SECS: u64 = 900;
+
+/// Which slice of the catalog one `bench-all` run covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardSpec {
+    /// 0-based shard index (`< count`).
+    pub index: usize,
+    /// Total number of shards (≥ 1).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The 1-based index used on every user-facing surface.
+    #[must_use]
+    pub fn display_index(&self) -> usize {
+        self.index + 1
+    }
+
+    /// The `report::write_named` stem for this shard's report
+    /// (`shard_2_of_4` → `BENCH_shard_2_of_4.json`).
+    #[must_use]
+    pub fn report_name(&self) -> String {
+        format!("shard_{}_of_{}", self.display_index(), self.count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.display_index(), self.count)
+    }
+}
+
+/// Split `len` items into `count` contiguous balanced ranges: the first
+/// `len % count` shards get one extra item. The ranges are disjoint,
+/// cover `0..len` exactly, never differ in size by more than one, and
+/// depend only on `(len, count)` — the determinism the merge layer's
+/// byte-equality contract rests on.
+#[must_use]
+pub fn plan_shards(len: usize, count: usize) -> Vec<Range<usize>> {
+    let count = count.max(1);
+    let (base, extra) = (len / count, len % count);
+    let mut start = 0usize;
+    (0..count)
+        .map(|i| {
+            let size = base + usize::from(i < extra);
+            let r = start..start + size;
+            start += size;
+            r
+        })
+        .collect()
+}
+
+/// Parse the user-facing `I/N` grammar (1-based, `1 <= I <= N`).
+///
+/// # Errors
+/// [`WfError::Invalid`] with the offending text otherwise.
+pub fn parse_spec(s: &str) -> Result<ShardSpec, WfError> {
+    let bad = || {
+        WfError::invalid(format!(
+            "shard must be I/N with 1 <= I <= N (e.g. 2/4; got \"{s}\")"
+        ))
+    };
+    let (i, n) = s.trim().split_once('/').ok_or_else(bad)?;
+    let index: usize = i.trim().parse().map_err(|_| bad())?;
+    let count: usize = n.trim().parse().map_err(|_| bad())?;
+    if index == 0 || count == 0 || index > count {
+        return Err(bad());
+    }
+    Ok(ShardSpec {
+        index: index - 1,
+        count,
+    })
+}
+
+/// `WF_SHARD=I/N`: run this slice of the catalog (same grammar as
+/// `--shard`). `None` when unset.
+///
+/// # Errors
+/// [`WfError::Invalid`] on a malformed value (exit 2).
+pub fn spec_from_env() -> Result<Option<ShardSpec>, WfError> {
+    match std::env::var("WF_SHARD") {
+        Err(_) => Ok(None),
+        Ok(v) => parse_spec(&v)
+            .map(Some)
+            .map_err(|e| WfError::invalid(format!("WF_SHARD: {e}"))),
+    }
+}
+
+/// `WF_BENCH_WORKERS=N`: coordinate `N` shard subprocesses (same meaning
+/// as `--workers`). `None` when unset.
+///
+/// # Errors
+/// [`WfError::Invalid`] on a malformed or zero value (exit 2).
+pub fn workers_from_env() -> Result<Option<usize>, WfError> {
+    parse_positive("WF_BENCH_WORKERS", "worker-process count")
+}
+
+/// `WF_SHARD_TIMEOUT_SECS=S`: per-shard supervision deadline, defaulting
+/// to [`DEFAULT_TIMEOUT_SECS`].
+///
+/// # Errors
+/// [`WfError::Invalid`] on a malformed or zero value (exit 2).
+pub fn timeout_from_env() -> Result<u64, WfError> {
+    Ok(
+        parse_positive("WF_SHARD_TIMEOUT_SECS", "per-shard timeout in seconds")?
+            .map_or(DEFAULT_TIMEOUT_SECS, |v| v as u64),
+    )
+}
+
+/// `WF_SHARD_FAIL_ONCE=I`: fault drill for the supervision path — the
+/// coordinator kills shard `I`'s (1-based) first attempt right after
+/// spawning it, forcing the crash-retry path. CI uses this to prove the
+/// retried merge is byte-identical; never set it outside drills.
+///
+/// # Errors
+/// [`WfError::Invalid`] on a malformed or zero value (exit 2).
+pub fn fail_once_from_env() -> Result<Option<usize>, WfError> {
+    parse_positive("WF_SHARD_FAIL_ONCE", "1-based shard index to kill once")
+}
+
+fn parse_positive(var: &str, what: &str) -> Result<Option<usize>, WfError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(WfError::invalid(format!(
+                "{var} must be a positive integer ({what}; got \"{v}\")"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_disjoint_covering_balanced_stable() {
+        for len in 0..=40 {
+            for count in 1..=8 {
+                let plan = plan_shards(len, count);
+                assert_eq!(plan.len(), count);
+                // Covering and disjoint: the ranges concatenate to 0..len.
+                let mut cursor = 0usize;
+                for r in &plan {
+                    assert_eq!(r.start, cursor, "len={len} count={count}");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, len);
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = plan.iter().map(std::ops::Range::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "len={len} count={count} sizes={sizes:?}");
+                // Stable: a pure function of (len, count).
+                assert_eq!(plan, plan_shards(len, count));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let s = parse_spec("2/4").unwrap();
+        assert_eq!((s.index, s.count), (1, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!(s.report_name(), "shard_2_of_4");
+        assert_eq!(parse_spec(" 1/1 ").unwrap().count, 1);
+        for bad in ["", "3", "0/4", "5/4", "x/4", "2/y", "2/0", "-1/4", "1/4/2"] {
+            assert!(parse_spec(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

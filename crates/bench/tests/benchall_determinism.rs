@@ -12,7 +12,7 @@ fn benchall_is_deterministic_and_warm_runs_hit_the_cache() {
     let opts = BenchAllOptions {
         threads: 3,
         filter: "advect".into(),
-        check_legality: false,
+        ..BenchAllOptions::default()
     };
     let first = run(&opts);
     assert!(

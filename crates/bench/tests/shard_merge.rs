@@ -1,0 +1,62 @@
+//! The sharding acceptance gate: running the catalog slice-by-slice and
+//! folding the `bench-shard/v1` reports must reproduce the
+//! single-process consolidated report **byte-for-byte** once timings are
+//! stripped — at 2 and at 4 shards, including shards that get an empty
+//! slice. Runs against a cheap two-benchmark slice so the tripled ILP
+//! sweep stays test-suite friendly.
+
+use wf_bench::benchall::{run, strip_timings, BenchAllOptions};
+use wf_bench::merge::merge_reports;
+use wf_bench::shard::{plan_shards, ShardSpec};
+use wf_harness::json::Json;
+
+fn opts(shard: Option<ShardSpec>) -> BenchAllOptions {
+    BenchAllOptions {
+        threads: 2,
+        filter: "advect,wupwise".into(),
+        check_legality: false,
+        shard,
+    }
+}
+
+#[test]
+fn merged_shards_reproduce_the_unsharded_report_byte_for_byte() {
+    let single = run(&opts(None)).report;
+    assert_eq!(
+        single.get("schema").and_then(Json::as_str),
+        Some("bench-all/v1")
+    );
+    let want = strip_timings(&single).render();
+
+    // 2 shards split the two benchmarks one each; 4 shards additionally
+    // exercise empty slices (plan_shards(2, 4) leaves two shards bare).
+    for count in [2usize, 4] {
+        let mut row_total = 0;
+        let reports: Vec<Json> = (0..count)
+            .map(|index| {
+                let outcome = run(&opts(Some(ShardSpec { index, count })));
+                let r = outcome.report;
+                assert_eq!(
+                    r.get("schema").and_then(Json::as_str),
+                    Some("bench-shard/v1"),
+                    "shard {index}/{count} schema"
+                );
+                let rows = r.get("benchmarks").and_then(Json::as_arr).expect("rows");
+                assert_eq!(
+                    rows.len(),
+                    plan_shards(2, count)[index].len(),
+                    "shard {index}/{count} row count must follow the plan"
+                );
+                row_total += rows.len();
+                r
+            })
+            .collect();
+        assert_eq!(row_total, 2, "shards must cover the filtered catalog");
+        let merged = merge_reports(&reports).expect("merge");
+        assert_eq!(
+            strip_timings(&merged).render(),
+            want,
+            "merged {count}-shard report diverges from the single-process run"
+        );
+    }
+}

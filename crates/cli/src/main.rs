@@ -19,6 +19,7 @@
 //! `--strict`).
 
 mod fuzz;
+mod shards;
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -55,6 +56,10 @@ fn run() -> Result<(), WfError> {
     cache::SpillCaps::try_from_env()?;
     wf_verify::fuzz_seed_from_env()?;
     wf_verify::check_legality_from_env()?;
+    wf_bench::shard::spec_from_env()?;
+    wf_bench::shard::workers_from_env()?;
+    wf_bench::shard::timeout_from_env()?;
+    wf_bench::shard::fail_once_from_env()?;
     if let Some(limit) = obs_limit_from_env()? {
         obs::set_buffer_limit(limit);
     }
@@ -176,6 +181,11 @@ fn exit_class(result: &Result<(), WfError>) -> (&'static str, u8) {
     }
 }
 
+/// The value following `flag` in a finished command's argv, if any.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
 /// Build one `ledger/v1` provenance record for a finished command: what
 /// ran (argv + config/SCoP digests), under which knobs, what the solver
 /// did (counter deltas over the dispatch interval), the top cost
@@ -197,7 +207,7 @@ fn ledger_record(
         .and_then(by_name)
         .map(|b| wf_harness::fnv1a_64(wf_scop::text::to_text(&b.scop).as_bytes()));
     let argv_digest = wf_harness::fnv1a_64(args.join("\u{1f}").as_bytes());
-    const KEYS: [&str; 9] = [
+    const KEYS: [&str; 10] = [
         "simplex.cells",
         "simplex.pivots",
         "ilp.solves",
@@ -207,6 +217,7 @@ fn ledger_record(
         "verify.checks",
         "verify.rejects",
         "obs.dropped",
+        "bench.shard_retries",
     ];
     let counters = Json::Obj(
         KEYS.iter()
@@ -258,6 +269,22 @@ fn ledger_record(
                     cache::spill_dir()
                         .map_or(Json::Null, |d| Json::str(d.display().to_string().as_str())),
                 ),
+                // Flag-then-env, mirroring how bench-all itself resolves
+                // its shard role, so the record names what actually ran.
+                (
+                    "shard",
+                    flag_value(args, "--shard")
+                        .and_then(|v| wf_bench::shard::parse_spec(&v).ok())
+                        .or_else(|| wf_bench::shard::spec_from_env().ok().flatten())
+                        .map_or(Json::Null, |s| Json::str(s.to_string().as_str())),
+                ),
+                (
+                    "workers",
+                    flag_value(args, "--workers")
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .or_else(|| wf_bench::shard::workers_from_env().ok().flatten())
+                        .map_or(Json::Null, Json::from),
+                ),
             ]),
         ),
         ("counters", counters),
@@ -283,6 +310,7 @@ fn dispatch<'a>(
             let opts = Opts::parse(it, ctx)?;
             cmd_bench_all(&opts)
         }
+        "merge-reports" => cmd_merge_reports(it),
         "cache" => cmd_cache(it),
         "fuzz" => cmd_fuzz(it),
         "profile" => cmd_profile(it, ctx),
@@ -347,13 +375,26 @@ USAGE:
   wfc run <bench> [--model M] [--threads T] [--size N] [--cache] [--verify] [--tile S] [--json]
   wfc compare <bench> [--threads T] [--size N] [--json]
   wfc bench-all [--threads T] [--json] [--check-regressions]
-                                               # catalog × all models, one process;
-                                               # writes BENCH_all.json (incl. the
+                [--filter S] [--shard I/N]     # catalog × all models;
+                [--workers N]                  # writes BENCH_all.json (incl. the
                                                # executor's scoped-vs-pooled column),
                                                # fails on any parallel/cache/executor
                                                # determinism mismatch;
                                                # --check-regressions also fails when
-                                               # an ILP phase is >2x the previous run
+                                               # an ILP phase is >2x the previous run;
+                                               # --filter keeps names containing any
+                                               # comma-separated substring;
+                                               # --shard I/N runs slice I of N and
+                                               # writes BENCH_shard_I_of_N.json;
+                                               # --workers N coordinates N shard
+                                               # subprocesses (per-shard timeout, one
+                                               # retry on crash, merged BENCH_all.json
+                                               # byte-identical to one process after
+                                               # `merge-reports --strip`)
+  wfc merge-reports <report.json...>           # fold bench-shard/v1 reports into one
+                    [--strip] [--out P]        # bench-all/v1 document; --strip drops
+                                               # timing-dependent fields for CI
+                                               # byte-comparison
   wfc explain <bench> [--model M] [--json]     # why the scheduler fused what it
                       [--costs]                # fused: Algorithm 1 ordering choices
                                                # and Algorithm 2 cuts, with rationale;
@@ -411,6 +452,13 @@ ENVIRONMENT:
   WF_OBS_LIMIT           cap on the in-memory span/decision buffers, in
                          records (default 262144); overflow counts in the
                          obs.dropped counter
+  WF_SHARD               I/N: bench-all runs only catalog slice I of N
+                         (same grammar and meaning as --shard)
+  WF_BENCH_WORKERS       N: bench-all coordinates N shard subprocesses
+                         (same meaning as --workers)
+  WF_SHARD_TIMEOUT_SECS  per-shard supervision deadline under --workers,
+                         in seconds (default 900); a shard past it is
+                         killed and retried once
   WF_FAULT               fault-injection plan (seed=..,rate=..,kinds=..,site=..)
   WF_FUZZ_SEED           base seed for `wfc fuzz` (default 0)
   WF_CHECK_LEGALITY      1/true = behave as if --check-legality everywhere
@@ -447,6 +495,15 @@ struct Opts {
     /// `explain --costs`: append the solver-cost attribution table to the
     /// decision narrative.
     costs: bool,
+    /// `bench-all --filter S`: keep only catalog entries whose name
+    /// contains one of the comma-separated substrings.
+    filter: Option<String>,
+    /// `bench-all --shard I/N` (or `WF_SHARD`): run only shard I of the
+    /// (filtered) catalog and write `BENCH_shard_I_of_N.json`.
+    shard: Option<wf_bench::shard::ShardSpec>,
+    /// `bench-all --workers N` (or `WF_BENCH_WORKERS`): coordinate N
+    /// shard subprocesses and merge their reports.
+    workers: Option<usize>,
 }
 
 impl Opts {
@@ -470,6 +527,9 @@ impl Opts {
             // WF_CHECK_LEGALITY=0.
             check_legality: wf_verify::check_legality_from_env()?.unwrap_or(false),
             costs: false,
+            filter: None,
+            shard: None,
+            workers: None,
         };
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -512,6 +572,29 @@ impl Opts {
                             .parse()
                             .map_err(|e| WfError::invalid(format!("--max-nodes: {e}")))?,
                     );
+                }
+                "--filter" => {
+                    o.filter = Some(
+                        it.next()
+                            .ok_or_else(|| WfError::invalid("--filter needs a value"))?
+                            .clone(),
+                    );
+                }
+                "--shard" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| WfError::invalid("--shard needs I/N"))?;
+                    o.shard = Some(wf_bench::shard::parse_spec(v)?);
+                }
+                "--workers" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| WfError::invalid("--workers needs a value"))?;
+                    o.workers = Some(v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        WfError::invalid(format!(
+                            "--workers must be a positive worker-process count (got \"{v}\")"
+                        ))
+                    })?);
                 }
                 "--strict" => o.strict = true,
                 "--costs" => o.costs = true,
@@ -773,36 +856,81 @@ fn cmd_list() -> Result<(), WfError> {
 }
 
 fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
-    let ba = wf_bench::benchall::BenchAllOptions {
-        threads: opts.threads,
-        check_legality: opts.check_legality,
-        ..wf_bench::benchall::BenchAllOptions::default()
+    // Flags win over their env twins (`--shard`/WF_SHARD,
+    // `--workers`/WF_BENCH_WORKERS); combining the two roles is a
+    // contradiction, not a precedence puzzle.
+    let shard = match opts.shard {
+        Some(s) => Some(s),
+        None => wf_bench::shard::spec_from_env()?,
     };
+    let workers = match opts.workers {
+        Some(w) => Some(w),
+        None => wf_bench::shard::workers_from_env()?,
+    };
+    if shard.is_some() && workers.is_some() {
+        return Err(WfError::invalid(
+            "bench-all: --shard and --workers are mutually exclusive \
+             (the coordinator assigns shard slices itself)",
+        ));
+    }
+    if let Some(spec) = shard {
+        return cmd_bench_shard(opts, spec);
+    }
+    // Coordinated or in-process, the rest of this function judges one
+    // consolidated bench-all/v1 report; merging guarantees the two paths
+    // agree byte-for-byte once timings are stripped.
+    let mut merged = None;
+    if let Some(n) = workers {
+        let copts = shards::CoordinatorOptions {
+            workers: n,
+            threads: opts.threads,
+            check_legality: opts.check_legality,
+            filter: opts.filter.clone(),
+            timeout_secs: wf_bench::shard::timeout_from_env()?,
+            fail_once: wf_bench::shard::fail_once_from_env()?,
+        };
+        match shards::run_workers(&copts)? {
+            shards::WorkersOutcome::Merged(r) => merged = Some(r),
+            shards::WorkersOutcome::SpawnFailed(why) => {
+                eprintln!("warning: bench-all --workers degraded to one in-process run: {why}");
+            }
+        }
+    }
     // The previous run's report, read *before* write_named overwrites it —
     // the baseline the regression diff compares against.
     let previous =
         std::fs::read_to_string(wf_harness::report::results_dir().join("BENCH_all.json"))
             .ok()
             .and_then(|s| Json::parse(&s).ok());
-    let outcome = wf_bench::benchall::run(&ba);
-    let path = wf_harness::report::write_named("all", &outcome.report);
+    let report = match merged {
+        Some(r) => r,
+        None => {
+            let ba = wf_bench::benchall::BenchAllOptions {
+                threads: opts.threads,
+                check_legality: opts.check_legality,
+                filter: opts.filter.clone().unwrap_or_default(),
+                ..wf_bench::benchall::BenchAllOptions::default()
+            };
+            wf_bench::benchall::run(&ba).report
+        }
+    };
+    let path = wf_harness::report::write_named("all", &report);
     let regressions = previous
         .as_ref()
-        .map(|prev| wf_bench::benchall::ilp_regressions(prev, &outcome.report, 2.0, 0.005));
+        .map(|prev| wf_bench::benchall::ilp_regressions(prev, &report, 2.0, 0.005));
     if opts.json {
-        println!("{}", outcome.report.render());
+        println!("{}", report.render());
     } else {
-        let totals = outcome.report.get("totals").expect("totals");
+        let totals = report.get("totals").expect("totals");
         let f = |k: &str| totals.get(k).and_then(Json::as_f64).unwrap_or(0.0);
-        let n = outcome
-            .report
+        let n = report
             .get("benchmarks")
             .and_then(Json::as_arr)
             .map_or(0, <[Json]>::len);
         println!(
             "bench-all: {n} benchmarks x {} models on {} thread(s)",
             Model::ALL.len(),
-            ba.threads
+            opts.threads
         );
         println!(
             "  analysis serial {:.3}s   parallel {:.3}s ({:.2}x)   solver memo {:.1}% hits",
@@ -824,10 +952,18 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
             f("exec_pooled_seconds"),
             f("exec_speedup"),
         );
-        let s = &outcome.cache_stats;
+        let ci = |k: &str| {
+            report
+                .get("cache")
+                .and_then(|c| c.get(k))
+                .and_then(Json::as_i128)
+                .unwrap_or(0)
+        };
         println!(
             "  schedule cache: {} hits / {} misses, {} spill hits",
-            s.hits, s.misses, s.spill_hits
+            ci("hits"),
+            ci("misses"),
+            ci("spill_hits")
         );
         match &regressions {
             None => println!("  (no previous BENCH_all.json to diff ILP phases against)"),
@@ -853,28 +989,7 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
         }
         println!("  report: {}", path.display());
     }
-    if opts.check_legality {
-        if !opts.json {
-            println!(
-                "  legality oracle: {} rejection(s)",
-                outcome.legality_rejections
-            );
-        }
-        if outcome.legality_rejections > 0 {
-            return Err(WfError::IllegalSchedule {
-                model: "bench-all".to_string(),
-                detail: format!(
-                    "{} schedule(s) rejected by the legality oracle (see stderr)",
-                    outcome.legality_rejections
-                ),
-            });
-        }
-    }
-    if !outcome.determinism_ok {
-        return Err(WfError::Schedule {
-            message: "bench-all: determinism mismatch — a parallel/cached/memoized pass diverged from the serial baseline (see BENCH_all.json)".to_string(),
-        });
-    }
+    gate_report(&report, opts.check_legality, !opts.json, "BENCH_all.json")?;
     if opts.check_regressions {
         if let Some(r) = &regressions {
             if !r.is_empty() {
@@ -889,6 +1004,125 @@ fn cmd_bench_all(opts: &Opts) -> Result<(), WfError> {
                 });
             }
         }
+    }
+    Ok(())
+}
+
+/// The bench-all pass/fail gates, read off the report itself (shard,
+/// merged, or in-process) so every path judges identical evidence.
+fn gate_report(
+    report: &Json,
+    check_legality: bool,
+    print_legality: bool,
+    which: &str,
+) -> Result<(), WfError> {
+    let rejections = report
+        .get("legality_rejections")
+        .and_then(Json::as_i128)
+        .unwrap_or(0);
+    if check_legality {
+        if print_legality {
+            println!("  legality oracle: {rejections} rejection(s)");
+        }
+        if rejections > 0 {
+            return Err(WfError::IllegalSchedule {
+                model: "bench-all".to_string(),
+                detail: format!(
+                    "{rejections} schedule(s) rejected by the legality oracle (see stderr)"
+                ),
+            });
+        }
+    }
+    if report.get("determinism_ok").and_then(Json::as_bool) != Some(true) {
+        return Err(WfError::Schedule {
+            message: format!(
+                "bench-all: determinism mismatch — a parallel/cached/memoized pass \
+                 diverged from the serial baseline (see {which})"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// `bench-all --shard I/N`: run one deterministic slice of the (filtered)
+/// catalog and write its `bench-shard/v1` report to
+/// `BENCH_shard_I_of_N.json` for the coordinator (or a later
+/// `wfc merge-reports`) to fold.
+fn cmd_bench_shard(opts: &Opts, spec: wf_bench::shard::ShardSpec) -> Result<(), WfError> {
+    let ba = wf_bench::benchall::BenchAllOptions {
+        threads: opts.threads,
+        check_legality: opts.check_legality,
+        filter: opts.filter.clone().unwrap_or_default(),
+        shard: Some(spec),
+    };
+    let outcome = wf_bench::benchall::run(&ba);
+    let path = wf_harness::report::write_named(&spec.report_name(), &outcome.report);
+    if opts.json {
+        println!("{}", outcome.report.render());
+    } else {
+        let n = outcome
+            .report
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        println!(
+            "bench-all shard {spec}: {n} benchmark(s) x {} models on {} thread(s)",
+            Model::ALL.len(),
+            opts.threads
+        );
+        println!("  report: {}", path.display());
+    }
+    let which = format!("BENCH_{}.json", spec.report_name());
+    gate_report(&outcome.report, opts.check_legality, !opts.json, &which)
+}
+
+/// `wfc merge-reports <files...>`: fold `bench-shard/v1` reports (or pass
+/// one consolidated report through unchanged) into one `bench-all/v1`
+/// document — stdout by default, `--out` for a file, `--strip` for the
+/// timing-independent form CI byte-compares.
+fn cmd_merge_reports<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(), WfError> {
+    let mut files: Vec<String> = Vec::new();
+    let mut strip = false;
+    let mut out: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strip" => strip = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| WfError::invalid("--out needs a path"))?
+                        .clone(),
+                );
+            }
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => return Err(WfError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    if files.is_empty() {
+        return Err(WfError::invalid(
+            "merge-reports needs at least one BENCH_*.json report path",
+        ));
+    }
+    let mut docs = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| WfError::io(path.as_str(), &e))?;
+        docs.push(
+            Json::parse(&text)
+                .map_err(|e| WfError::invalid(format!("{path}: not a report: {e}")))?,
+        );
+    }
+    let mut merged = wf_bench::merge::merge_reports(&docs)?;
+    if strip {
+        merged = wf_bench::benchall::strip_timings(&merged);
+    }
+    match out {
+        Some(path) => {
+            let mut text = merged.render_pretty();
+            text.push('\n');
+            std::fs::write(&path, text).map_err(|e| WfError::io(path.as_str(), &e))?;
+            eprintln!("merged report written to {path}");
+        }
+        None => println!("{}", merged.render()),
     }
     Ok(())
 }

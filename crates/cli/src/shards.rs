@@ -1,0 +1,270 @@
+//! The `wfc bench-all --workers N` coordinator: spawn one `wfc bench-all
+//! --shard I/N` subprocess per shard, supervise them, and fold their
+//! `bench-shard/v1` reports into one consolidated document.
+//!
+//! Supervision policy, in order of preference:
+//!
+//! 1. **Per-shard timeout** — every attempt gets `WF_SHARD_TIMEOUT_SECS`
+//!    (default [`wf_bench::shard::DEFAULT_TIMEOUT_SECS`]) of wall clock;
+//!    a shard past its deadline is killed and treated like a crash.
+//! 2. **One retry** — a crashed, timed-out, or nonzero-exit shard is
+//!    respawned once. Shards share `WF_CACHE_DIR`, so the retry restarts
+//!    warm: schedules its first attempt already solved come back as
+//!    spill hits. The retry also re-runs after the drill kill
+//!    (`WF_SHARD_FAIL_ONCE=I` kills shard `I`'s first attempt right
+//!    after spawn, which is how CI proves retried merges are
+//!    byte-identical).
+//! 3. **Graceful degradation** — if the very first spawn round fails
+//!    (no `current_exe`, fork limits, a sandbox denying subprocesses),
+//!    already-spawned children are reaped and the caller falls back to
+//!    the ordinary in-process run; sharding is an optimization, never a
+//!    new way to lose the report.
+//!
+//! Children write their reports to `BENCH_shard_I_of_N.json` under the
+//! shared results dir rather than piping stdout — a multi-megabyte
+//! report must never deadlock on a full pipe while the coordinator is
+//! polling someone else. Stale report files are deleted before each
+//! attempt and re-validated (schema + shard block) after exit, so a
+//! crashed child can never smuggle last week's bytes into the merge.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use wf_bench::merge;
+use wf_bench::shard::ShardSpec;
+use wf_harness::json::Json;
+use wf_harness::{obs, WfError};
+
+/// How often the coordinator polls its children.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// What `bench-all --workers` needs to know to drive the fleet.
+pub struct CoordinatorOptions {
+    /// Number of shard subprocesses (= the shard count).
+    pub workers: usize,
+    /// `--threads` forwarded to every shard.
+    pub threads: usize,
+    /// Forward `--check-legality` to every shard.
+    pub check_legality: bool,
+    /// Forward `--filter` to every shard (sharding slices the *filtered*
+    /// catalog, so every shard must agree on the filter).
+    pub filter: Option<String>,
+    /// Per-attempt supervision deadline.
+    pub timeout_secs: u64,
+    /// Drill knob: kill this (1-based) shard's first attempt right after
+    /// spawning it, forcing the crash-retry path.
+    pub fail_once: Option<usize>,
+}
+
+/// How the coordinated run ended.
+pub enum WorkersOutcome {
+    /// Every shard succeeded; here is the consolidated `bench-all/v1`
+    /// report.
+    Merged(Json),
+    /// Subprocesses could not be spawned at all; the caller should fall
+    /// back to an in-process run (the string says why, for the warning).
+    SpawnFailed(String),
+}
+
+/// One supervised shard subprocess.
+struct Shard {
+    spec: ShardSpec,
+    child: Option<Child>,
+    deadline: Instant,
+    /// 0 = first attempt, 1 = the retry.
+    attempt: u32,
+    result: Option<Result<Json, String>>,
+}
+
+impl Shard {
+    fn done(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+fn report_path(spec: &ShardSpec) -> PathBuf {
+    wf_harness::report::results_dir().join(format!("BENCH_{}.json", spec.report_name()))
+}
+
+fn command_for(exe: &std::path::Path, o: &CoordinatorOptions, spec: ShardSpec) -> Command {
+    let mut c = Command::new(exe);
+    c.arg("bench-all")
+        .arg("--shard")
+        .arg(spec.to_string())
+        .arg("--threads")
+        .arg(o.threads.to_string());
+    if o.check_legality {
+        c.arg("--check-legality");
+    }
+    if let Some(f) = &o.filter {
+        c.arg("--filter").arg(f);
+    }
+    // The report travels through the results dir, not the pipe; stderr
+    // stays inherited so shard warnings reach the user's terminal.
+    c.stdin(Stdio::null()).stdout(Stdio::null());
+    // A child must never re-coordinate, re-shard itself, or re-run the
+    // drill; everything else (WF_CACHE_DIR, WF_THREADS, WF_LEDGER,
+    // WF_BENCH_DIR, …) is inherited deliberately.
+    c.env_remove("WF_BENCH_WORKERS")
+        .env_remove("WF_SHARD")
+        .env_remove("WF_SHARD_FAIL_ONCE");
+    c
+}
+
+/// Read back and validate one shard's report file. Stale or foreign
+/// bytes (wrong schema, wrong shard block) are failures, not inputs.
+fn read_shard_report(spec: &ShardSpec) -> Result<Json, String> {
+    let path = report_path(spec);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("report {} unreadable: {e}", path.display()))?;
+    let doc =
+        Json::parse(&text).map_err(|e| format!("report {} malformed: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+    let block = |k: &str| {
+        doc.get("shard")
+            .and_then(|s| s.get(k))
+            .and_then(Json::as_i128)
+    };
+    if schema != merge::SHARD_SCHEMA
+        || block("index") != Some(spec.display_index() as i128)
+        || block("count") != Some(spec.count as i128)
+    {
+        return Err(format!(
+            "report {} is not this run's shard {spec} output",
+            path.display()
+        ));
+    }
+    Ok(doc)
+}
+
+/// A shard attempt failed: retry once (respawning from the shared warm
+/// cache), or record the terminal failure.
+fn shard_failed(s: &mut Shard, why: &str, exe: &std::path::Path, o: &CoordinatorOptions) {
+    if s.attempt == 0 {
+        eprintln!("bench-all --workers: shard {} {why}; retrying once", s.spec);
+        obs::add("bench.shard_retries", 1);
+        s.attempt = 1;
+        let _ = std::fs::remove_file(report_path(&s.spec));
+        match command_for(exe, o, s.spec).spawn() {
+            Ok(child) => {
+                s.child = Some(child);
+                s.deadline = Instant::now() + Duration::from_secs(o.timeout_secs);
+            }
+            Err(e) => s.result = Some(Err(format!("{why}; respawn failed: {e}"))),
+        }
+    } else {
+        s.result = Some(Err(format!("{why} (after one retry)")));
+    }
+}
+
+/// Poll one live shard: reap exits, enforce the deadline.
+fn poll_shard(s: &mut Shard, exe: &std::path::Path, o: &CoordinatorOptions) {
+    let Some(child) = &mut s.child else { return };
+    match child.try_wait() {
+        Ok(Some(status)) => {
+            s.child = None;
+            if status.success() {
+                match read_shard_report(&s.spec) {
+                    Ok(doc) => s.result = Some(Ok(doc)),
+                    Err(why) => shard_failed(s, &why, exe, o),
+                }
+            } else {
+                shard_failed(s, &format!("failed ({status})"), exe, o);
+            }
+        }
+        Ok(None) if Instant::now() >= s.deadline => {
+            let _ = child.kill();
+            let _ = child.wait();
+            s.child = None;
+            obs::add("bench.shard_timeouts", 1);
+            shard_failed(s, &format!("timed out after {}s", o.timeout_secs), exe, o);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            s.child = None;
+            shard_failed(s, &format!("could not be waited on: {e}"), exe, o);
+        }
+    }
+}
+
+/// Run the whole catalog as `workers` shard subprocesses and merge their
+/// reports. See the module docs for the supervision policy.
+///
+/// # Errors
+/// [`WfError::Schedule`] when a shard still fails after its retry;
+/// [`WfError::Invalid`] when the merge rejects the collected reports.
+/// Spawn-layer failures are *not* errors — they come back as
+/// [`WorkersOutcome::SpawnFailed`] so the caller can degrade.
+pub fn run_workers(o: &CoordinatorOptions) -> Result<WorkersOutcome, WfError> {
+    let n = o.workers.max(1);
+    let exe = match std::env::current_exe() {
+        Ok(e) => e,
+        Err(e) => return Ok(WorkersOutcome::SpawnFailed(format!("no wfc path: {e}"))),
+    };
+    let timeout = Duration::from_secs(o.timeout_secs);
+    let mut shards: Vec<Shard> = (0..n)
+        .map(|index| Shard {
+            spec: ShardSpec { index, count: n },
+            child: None,
+            deadline: Instant::now() + timeout,
+            attempt: 0,
+            result: None,
+        })
+        .collect();
+    for s in &shards {
+        let _ = std::fs::remove_file(report_path(&s.spec));
+    }
+    // First spawn round. Any failure here aborts the whole fleet and
+    // degrades: if the OS can't give us one subprocess it is unlikely to
+    // give us a retry's, and the in-process path needs no processes.
+    for i in 0..shards.len() {
+        match command_for(&exe, o, shards[i].spec).spawn() {
+            Ok(child) => {
+                shards[i].child = Some(child);
+                shards[i].deadline = Instant::now() + timeout;
+                if o.fail_once == Some(shards[i].spec.display_index()) {
+                    // The drill: this shard's first attempt dies young.
+                    if let Some(c) = &mut shards[i].child {
+                        let _ = c.kill();
+                    }
+                }
+            }
+            Err(e) => {
+                let why = format!("could not spawn shard {}: {e}", shards[i].spec);
+                for s in &mut shards {
+                    if let Some(mut c) = s.child.take() {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                }
+                return Ok(WorkersOutcome::SpawnFailed(why));
+            }
+        }
+    }
+    eprintln!(
+        "bench-all --workers: supervising {n} shard subprocess(es), {}s timeout each",
+        o.timeout_secs
+    );
+    while shards.iter().any(|s| !s.done()) {
+        for s in &mut shards {
+            if !s.done() {
+                poll_shard(s, &exe, o);
+            }
+        }
+        if shards.iter().any(|s| !s.done()) {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+    let mut docs = Vec::with_capacity(n);
+    for s in &mut shards {
+        match s.result.take().expect("loop exits only when all done") {
+            Ok(doc) => docs.push(doc),
+            Err(why) => {
+                return Err(WfError::Schedule {
+                    message: format!("bench-all --workers: shard {} {why}", s.spec),
+                })
+            }
+        }
+    }
+    Ok(WorkersOutcome::Merged(merge::merge_reports(&docs)?))
+}

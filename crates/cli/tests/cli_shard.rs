@@ -1,0 +1,232 @@
+//! End-to-end acceptance for sharded `wfc bench-all`: env/flag
+//! validation exits 2 up front, the `--workers` coordinator's merged
+//! report is byte-identical (timings stripped) to a single-process run,
+//! and the crash-retry drill (`WF_SHARD_FAIL_ONCE`) still converges to
+//! the same bytes while leaving its footprints on stderr.
+//!
+//! Every test spawns the real binary via `CARGO_BIN_EXE_wfc`, so each
+//! run is a fresh process with exactly the environment the test sets.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The cheap one-benchmark slice every coordinated run here works on:
+/// the coordinator still spawns real shard subprocesses (the extras get
+/// empty slices), but the ILP sweep stays test-suite friendly.
+const FILTER: &str = "advect";
+
+fn wfc() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_wfc"));
+    cmd.env_remove("WF_TRACE_STREAM")
+        .env_remove("WF_LEDGER")
+        .env_remove("WF_OBS_LIMIT")
+        .env_remove("WF_CACHE_DIR")
+        .env_remove("WF_BENCH_DIR")
+        .env_remove("WF_SHARD")
+        .env_remove("WF_BENCH_WORKERS")
+        .env_remove("WF_SHARD_TIMEOUT_SECS")
+        .env_remove("WF_SHARD_FAIL_ONCE");
+    cmd
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wf-cli-shard-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn wfc");
+    assert!(
+        out.status.success(),
+        "wfc failed ({:?}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// `merge-reports --strip` of one consolidated report: the identity
+/// merge, used to put both sides of a comparison through the exact same
+/// stripping + rendering path.
+fn stripped(report: &Path) -> String {
+    let out = run_ok(wfc().args(["merge-reports", report.to_str().unwrap(), "--strip"]));
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Malformed shard env knobs are invalid requests (exit 2) for *any*
+/// command — validation happens at startup, not at first use.
+#[test]
+fn malformed_shard_env_exits_2_up_front() {
+    for (var, val) in [
+        ("WF_SHARD", "3"),
+        ("WF_SHARD", "0/4"),
+        ("WF_SHARD", "5/4"),
+        ("WF_SHARD", "x/y"),
+        ("WF_BENCH_WORKERS", "0"),
+        ("WF_BENCH_WORKERS", "two"),
+        ("WF_SHARD_TIMEOUT_SECS", "0"),
+        ("WF_SHARD_TIMEOUT_SECS", "-5"),
+        ("WF_SHARD_FAIL_ONCE", "0"),
+    ] {
+        let out = wfc()
+            .args(["list"])
+            .env(var, val)
+            .output()
+            .expect("spawn wfc");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={val} must exit 2, got {:?}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// Flag-level contradictions and grammar violations also exit 2.
+#[test]
+fn bad_shard_flags_exit_2() {
+    for args in [
+        vec!["bench-all", "--shard", "0/2"],
+        vec!["bench-all", "--shard", "3/2"],
+        vec!["bench-all", "--workers", "0"],
+        vec!["bench-all", "--shard", "1/2", "--workers", "2"],
+    ] {
+        let out = wfc().args(&args).output().expect("spawn wfc");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, got {:?}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// The tentpole acceptance: a coordinated `--workers 2` run produces a
+/// `BENCH_all.json` whose timing-stripped form is byte-identical to the
+/// single-process one, and the kill-one-shard drill converges to those
+/// same bytes after its retry.
+#[test]
+fn workers_report_matches_single_process_even_after_a_crash() {
+    let dir = scratch("workers");
+    let cache = dir.join("cache");
+    let single_dir = dir.join("single");
+    let report = |d: &Path| d.join("BENCH_all.json");
+
+    run_ok(
+        wfc()
+            .args(["bench-all", "--filter", FILTER, "--threads", "2"])
+            .env("WF_BENCH_DIR", &single_dir)
+            .env("WF_CACHE_DIR", &cache),
+    );
+    let want = stripped(&report(&single_dir));
+
+    let workers_dir = dir.join("workers");
+    run_ok(
+        wfc()
+            .args([
+                "bench-all",
+                "--filter",
+                FILTER,
+                "--threads",
+                "2",
+                "--workers",
+                "2",
+            ])
+            .env("WF_BENCH_DIR", &workers_dir)
+            .env("WF_CACHE_DIR", &cache),
+    );
+    assert_eq!(
+        stripped(&report(&workers_dir)),
+        want,
+        "coordinated report diverges from the single-process run"
+    );
+
+    // The drill: shard 1's first attempt is killed right after spawn; the
+    // coordinator must say so, retry, and still converge to the bytes.
+    let drill_dir = dir.join("drill");
+    let out = run_ok(
+        wfc()
+            .args([
+                "bench-all",
+                "--filter",
+                FILTER,
+                "--threads",
+                "2",
+                "--workers",
+                "2",
+            ])
+            .env("WF_BENCH_DIR", &drill_dir)
+            .env("WF_CACHE_DIR", &cache)
+            .env("WF_SHARD_FAIL_ONCE", "1"),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("retrying once"),
+        "drill left no retry message on stderr: {stderr}"
+    );
+    assert_eq!(
+        stripped(&report(&drill_dir)),
+        want,
+        "post-crash merged report diverges from the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A lone `--shard I/N` run writes `BENCH_shard_I_of_N.json` with the
+/// shard schema and its slice of the catalog, and `merge-reports` folds
+/// the full shard set back into a consolidated document.
+#[test]
+fn shard_reports_merge_via_the_subcommand() {
+    let dir = scratch("merge");
+    for spec in ["1/2", "2/2"] {
+        run_ok(
+            wfc()
+                .args([
+                    "bench-all",
+                    "--filter",
+                    FILTER,
+                    "--threads",
+                    "2",
+                    "--shard",
+                    spec,
+                ])
+                .env("WF_BENCH_DIR", &dir),
+        );
+    }
+    let shard1 = dir.join("BENCH_shard_1_of_2.json");
+    let shard2 = dir.join("BENCH_shard_2_of_2.json");
+    assert!(shard1.exists() && shard2.exists(), "shard reports missing");
+    let merged_path = dir.join("merged.json");
+    run_ok(wfc().args([
+        "merge-reports",
+        shard1.to_str().unwrap(),
+        shard2.to_str().unwrap(),
+        "--out",
+        merged_path.to_str().unwrap(),
+    ]));
+    let merged = std::fs::read_to_string(&merged_path).unwrap();
+    assert!(
+        merged.contains("\"schema\": \"bench-all/v1\""),
+        "merged document must carry the consolidated schema: {merged}"
+    );
+    assert!(
+        !merged.contains("\"shard\""),
+        "merged document must not keep a shard block"
+    );
+    // Folding half the set is a validation error, not a bogus document.
+    let out = wfc()
+        .args(["merge-reports", shard1.to_str().unwrap()])
+        .output()
+        .expect("spawn wfc");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "an incomplete shard set must be rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

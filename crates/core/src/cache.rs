@@ -465,7 +465,9 @@ fn spill_write_once(dir: &Path, key: &Fingerprint, t: &Transformed) -> std::io::
 /// parse or decode (torn by a crash predating atomic writes, truncated
 /// by a full disk, or hand-edited) is renamed aside without retrying —
 /// corruption is not transient — and reported as
-/// [`SpillOutcome::Quarantined`].
+/// [`SpillOutcome::Quarantined`]; if a concurrent process (another
+/// bench shard's amortized prune) deletes the file before the rename,
+/// the lookup is a clean [`SpillOutcome::Miss`] instead.
 #[must_use]
 pub fn spill_read(dir: &Path, key: &Fingerprint) -> SpillOutcome {
     let path = dir.join(format!("{}.json", key.file_stem()));
@@ -496,15 +498,27 @@ pub fn spill_read(dir: &Path, key: &Fingerprint) -> SpillOutcome {
         .and_then(|j| transformed_from_json(&j));
     match decoded {
         Some(t) => SpillOutcome::Hit(Box::new(t)),
-        None => {
-            // Move the corrupt entry aside (best-effort; delete if even
-            // the rename fails) so the decode cost is paid once.
-            let aside = path.with_extension("json.quarantined");
-            if std::fs::rename(&path, &aside).is_err() {
-                let _ = std::fs::remove_file(&path);
-            }
-            SpillOutcome::Quarantined
-        }
+        None => quarantine_corrupt(&path),
+    }
+}
+
+/// Move a corrupt entry aside (best-effort; delete if even the rename
+/// fails) so the decode cost is paid once. If the file is already gone
+/// when we try — a concurrent shard's prune or quarantine won the race
+/// between our read and the rename — the entry simply no longer exists:
+/// that is a clean [`SpillOutcome::Miss`], not a quarantine, exactly as
+/// if the prune had run a moment earlier.
+fn quarantine_corrupt(path: &Path) -> SpillOutcome {
+    let aside = path.with_extension("json.quarantined");
+    match std::fs::rename(path, &aside) {
+        Ok(()) => SpillOutcome::Quarantined,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => SpillOutcome::Miss,
+        Err(_) => match std::fs::remove_file(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => SpillOutcome::Miss,
+            // Deleted, or stuck in place (it may poison again, so the
+            // caller should still count it): either way it was corrupt.
+            _ => SpillOutcome::Quarantined,
+        },
     }
 }
 
@@ -1224,6 +1238,72 @@ mod tests {
         fault::install(spill_plan(7, 1000, site));
         assert_eq!(spill_read(&dir, &key(8)), SpillOutcome::Miss);
         fault::reset_to_env();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_entry_is_clean_miss_without_retry_or_quarantine() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-prace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // An entry another shard just validated…
+        let k = key(12);
+        spill_write(&dir, &k, &sample_transformed(12)).unwrap();
+        // …then its amortized prune deletes before our read gets there.
+        std::fs::remove_file(dir.join(format!("{}.json", k.file_stem()))).unwrap();
+        let prev = wf_harness::obs::enabled();
+        wf_harness::obs::set_enabled(prev | wf_harness::obs::METRICS);
+        let before = wf_harness::obs::metrics().counter("cache.spill_retry");
+        let mut c = ScheduleCache::new(4).with_spill_dir(dir.clone());
+        let hit = c.lookup(&k);
+        let after = wf_harness::obs::metrics().counter("cache.spill_retry");
+        wf_harness::obs::set_enabled(prev);
+        assert!(hit.is_none());
+        assert_eq!(after - before, 0, "ENOENT must not burn spill retries");
+        let s = c.stats();
+        assert_eq!(
+            (s.spill_quarantined, s.misses, s.spill_hits),
+            (0, 1, 0),
+            "a pruned entry is a clean miss, never a quarantine"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fault_then_prune_race_reads_as_clean_miss() {
+        let _gate = fault_gate();
+        let dir = std::env::temp_dir().join(format!("wf-cache-fprace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = key(13);
+        spill_write(&dir, &k, &sample_transformed(13)).unwrap();
+        let site = "cache.spill_read";
+        // Attempt 1 hits a transient fault; by the retry the file has
+        // been pruned by a sibling process. The retry must discover the
+        // ENOENT and stop cleanly rather than keep retrying or
+        // quarantine anything.
+        fault::install(spill_plan(one_shot_fault_seed(site, 500), 500, site));
+        std::fs::remove_file(dir.join(format!("{}.json", k.file_stem()))).unwrap();
+        let outcome = spill_read(&dir, &k);
+        fault::reset_to_env();
+        assert_eq!(outcome, SpillOutcome::Miss);
+        assert!(
+            !dir.join(format!("{}.json.quarantined", k.file_stem()))
+                .exists(),
+            "nothing to quarantine when the entry is simply gone"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_rename_race_is_clean_miss() {
+        let dir = std::env::temp_dir().join(format!("wf-cache-qrace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // The corrupt file vanished between our read and the quarantine
+        // rename (a sibling pruned or quarantined it first).
+        let path = dir.join("gone.json");
+        assert_eq!(quarantine_corrupt(&path), SpillOutcome::Miss);
+        assert!(!path.with_extension("json.quarantined").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,13 +10,21 @@
 //! *explain* a flagged regression against history instead of merely
 //! flagging it.
 //!
-//! Appends go through the same crash-safe idiom as the schedule spill
-//! cache: render the whole file to a `.tmp-<pid>` sibling, then
-//! atomically `rename` over the ledger, with a bounded 3-attempt retry
-//! (1 ms / 4 ms backoff). A torn write can therefore never corrupt
-//! existing records, and a reader never observes a half-written line.
-//! Malformed lines (e.g. from a foreign writer) are skipped and counted,
-//! never fatal.
+//! Appends must survive *concurrent writers*: sharded `bench-all` runs
+//! several `wfc` processes that all point at the same `WF_LEDGER`. Each
+//! record is rendered to a single line and written with one `write` call
+//! on an `O_APPEND` handle while holding an advisory exclusive lock
+//! ([`std::fs::File::lock`]), so lines from different processes can
+//! neither interleave nor overwrite each other (the old
+//! read-append-rename idiom lost whole records when two writers raced
+//! between the read and the rename). Records longer than
+//! [`APPEND_ATOMIC_BYTES`] — the `PIPE_BUF` bound the lock-free
+//! `O_APPEND` guarantee would cover — are still written (the lock makes
+//! them safe) but are counted on the `ledger.oversize` metric rather
+//! than silently trusted. A bounded 3-attempt retry (1 ms / 4 ms
+//! backoff) absorbs transient I/O errors. Malformed lines (e.g. from a
+//! foreign writer, or a line torn by a crash mid-write) are skipped and
+//! counted on read, never fatal.
 
 use crate::json::Json;
 use crate::WfError;
@@ -43,20 +51,32 @@ pub fn path_from_env() -> Result<Option<PathBuf>, WfError> {
     }
 }
 
-/// Append one record to the ledger at `path`, atomically: the whole file
-/// (existing content + the new line) is written to a `.tmp-<pid>`
-/// sibling and renamed into place, with a bounded retry, exactly like
-/// the spill cache's crash-safe writes. Parent directories are created.
+/// The size up to which a single `O_APPEND` write would be atomic even
+/// without the advisory lock (Linux `PIPE_BUF`). Records above this are
+/// still written whole — the lock serializes writers — but are counted
+/// on the `ledger.oversize` metric so the guarantee erosion is visible.
+pub const APPEND_ATOMIC_BYTES: usize = 4096;
+
+/// Append one record to the ledger at `path`, concurrency-safe: the
+/// rendered line goes out in a single `write` on an `O_APPEND` handle
+/// under an advisory exclusive lock, with a bounded retry. Parent
+/// directories are created. Safe to call from several processes (shard
+/// workers) or threads racing on the same path.
 ///
 /// # Errors
 /// The last I/O error after 3 attempts.
 pub fn append(path: &Path, record: &Json) -> io::Result<()> {
+    let mut line = record.render();
+    line.push('\n');
+    if line.len() > APPEND_ATOMIC_BYTES {
+        crate::obs::add("ledger.oversize", 1);
+    }
     let mut last = None;
     for (attempt, backoff_ms) in [(0u64, 0u64), (1, 1), (2, 4)] {
         if attempt > 0 {
             std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
         }
-        match append_once(path, record) {
+        match append_once(path, &line) {
             Ok(()) => return Ok(()),
             Err(e) => last = Some(e),
         }
@@ -64,29 +84,23 @@ pub fn append(path: &Path, record: &Json) -> io::Result<()> {
     Err(last.expect("three attempts ran"))
 }
 
-fn append_once(path: &Path, record: &Json) -> io::Result<()> {
+fn append_once(path: &Path, line: &str) -> io::Result<()> {
+    use std::io::Write;
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let mut content = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
-        Err(e) => return Err(e),
-    };
-    if !content.is_empty() && !content.ends_with('\n') {
-        content.push('\n');
-    }
-    content.push_str(&record.render());
-    content.push('\n');
-    let file_name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("ledger");
-    let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    // Advisory exclusive lock (flock); released when `file` drops. Other
+    // `wfc` processes block here for the microseconds one line takes —
+    // foreign writers that skip the lock still can't tear *our* line,
+    // since it leaves in one O_APPEND write.
+    file.lock()?;
+    file.write_all(line.as_bytes())
 }
 
 /// Every parseable record in the ledger, oldest first, plus the number
@@ -219,7 +233,7 @@ mod tests {
                 .and_then(Json::as_str),
             Some("bench-all")
         );
-        // No stray temp files remain after the atomic renames.
+        // The locked O_APPEND path never creates temp siblings.
         let stray = std::fs::read_dir(&dir)
             .unwrap()
             .filter(|e| {
@@ -231,6 +245,56 @@ mod tests {
             })
             .count();
         assert_eq!(stray, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_lose_no_records() {
+        let dir = tmp_dir("concurrent");
+        let path = dir.join("ledger.jsonl");
+        let (threads, per) = (8usize, 25usize);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let path = path.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        append(&path, &record(&format!("run-{t}-{i}"), i as u64)).unwrap();
+                    }
+                });
+            }
+        });
+        let (records, skipped) = read_all(&path).unwrap();
+        assert_eq!(skipped, 0, "no torn or interleaved lines");
+        assert_eq!(records.len(), threads * per, "no record silently lost");
+        let mut cmds: Vec<&str> = records
+            .iter()
+            .map(|r| r.get("cmd").and_then(Json::as_str).unwrap())
+            .collect();
+        cmds.sort_unstable();
+        cmds.dedup();
+        assert_eq!(cmds.len(), threads * per, "every (writer, seq) pair once");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversize_records_are_written_not_dropped() {
+        let dir = tmp_dir("oversize");
+        let path = dir.join("ledger.jsonl");
+        let blob = "x".repeat(2 * APPEND_ATOMIC_BYTES);
+        let big = Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("cmd", Json::str("run")),
+            ("blob", Json::str(blob.clone())),
+        ]);
+        append(&path, &big).unwrap();
+        append(&path, &record("fuzz", 3)).unwrap();
+        let (records, skipped) = read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            records[0].get("blob").and_then(Json::as_str).map(str::len),
+            Some(blob.len())
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

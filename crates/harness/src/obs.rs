@@ -614,11 +614,40 @@ impl Histogram {
         fallback
     }
 
+    /// The upper bound of bucket `i` (`2 * 2^20` for the overflow
+    /// bucket, matching [`quantile`](Histogram::quantile)'s one further
+    /// doubling).
+    fn bucket_bound(i: usize) -> u64 {
+        HISTOGRAM_BOUNDS
+            .get(i)
+            .copied()
+            .unwrap_or(HISTOGRAM_BOUNDS[HISTOGRAM_BOUNDS.len() - 1] * 2)
+    }
+
+    /// A quantile rendered for reports: `null` for an empty histogram
+    /// (there is no rank to estimate), the bucket's upper bound when
+    /// every observation sits in a single bucket (interpolating inside
+    /// one bucket invents sub-bucket precision that merging shard
+    /// histograms cannot reproduce), otherwise the interpolated
+    /// estimate rounded to 3 decimals so the rendering is stable.
+    #[must_use]
+    pub fn quantile_json(&self, q: f64) -> Json {
+        if self.count == 0 {
+            return Json::Null;
+        }
+        let mut nonzero = self.counts.iter().enumerate().filter(|(_, &n)| n > 0);
+        if let (Some((i, _)), None) = (nonzero.next(), nonzero.next()) {
+            #[allow(clippy::cast_precision_loss)]
+            return Json::Num(Histogram::bucket_bound(i) as f64);
+        }
+        Json::Num((self.quantile(q) * 1000.0).round() / 1000.0)
+    }
+
     /// JSON form: `{"count", "sum", "p50", "p95", "p99", "buckets":
     /// [{"le", "n"}, ...]}` with zero buckets elided (`le` is `"inf"`
-    /// for the overflow bucket); the quantiles are interpolated from the
-    /// buckets ([`quantile`](Histogram::quantile)), rounded to 3
-    /// decimals so the rendering is stable.
+    /// for the overflow bucket); the quantiles follow
+    /// [`quantile_json`](Histogram::quantile_json) (nulls when empty,
+    /// the bucket bound when only one bucket is populated).
     #[must_use]
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
@@ -633,15 +662,53 @@ impl Histogram {
                 Json::obj([("le", le), ("n", Json::from(n))])
             })
             .collect();
-        let q = |p: f64| Json::Num((self.quantile(p) * 1000.0).round() / 1000.0);
         Json::obj([
             ("count", Json::from(self.count)),
             ("sum", Json::from(self.sum)),
-            ("p50", q(0.50)),
-            ("p95", q(0.95)),
-            ("p99", q(0.99)),
+            ("p50", self.quantile_json(0.50)),
+            ("p95", self.quantile_json(0.95)),
+            ("p99", self.quantile_json(0.99)),
             ("buckets", Json::Arr(buckets)),
         ])
+    }
+
+    /// Parse a histogram back from its [`to_json`](Histogram::to_json)
+    /// form. Report merging must sum raw bucket counts — quantiles of a
+    /// union cannot be derived from per-shard quantiles — so this is
+    /// the inverse the merge layer round-trips through. Returns `None`
+    /// on shape mismatch, an unknown bucket bound, or bucket counts
+    /// that do not sum to `count`.
+    #[must_use]
+    pub fn from_json(doc: &Json) -> Option<Histogram> {
+        let as_u64 = |j: &Json| j.as_i128().and_then(|v| u64::try_from(v).ok());
+        let mut h = Histogram {
+            count: as_u64(doc.get("count")?)?,
+            sum: as_u64(doc.get("sum")?)?,
+            ..Histogram::default()
+        };
+        for bucket in doc.get("buckets")?.as_arr()? {
+            let n = as_u64(bucket.get("n")?)?;
+            let idx = match bucket.get("le")? {
+                Json::Str(s) if s == "inf" => HISTOGRAM_BOUNDS.len(),
+                le => HISTOGRAM_BOUNDS.binary_search(&as_u64(le)?).ok()?,
+            };
+            h.counts[idx] = h.counts[idx].checked_add(n)?;
+        }
+        if h.counts.iter().sum::<u64>() != h.count {
+            return None;
+        }
+        Some(h)
+    }
+
+    /// Fold another histogram's raw bucket counts into this one (shard
+    /// report merging; quantiles are then recomputed from the merged
+    /// buckets, never averaged across shards).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 }
 
@@ -934,6 +1001,101 @@ mod tests {
         assert_eq!(Histogram::bucket_index(1_048_576), 20);
         assert_eq!(Histogram::bucket_index(1_048_577), 21); // overflow
         assert_eq!(Histogram::bucket_index(u64::MAX), 21);
+    }
+
+    #[test]
+    fn empty_histogram_emits_null_quantiles() {
+        let h = Histogram::default();
+        let doc = h.to_json();
+        for key in ["p50", "p95", "p99"] {
+            assert_eq!(doc.get(key), Some(&Json::Null), "{key} of empty histogram");
+        }
+        assert_eq!(doc.get("count").unwrap().as_i128(), Some(0));
+        assert_eq!(doc.get("buckets").unwrap().as_arr().unwrap().len(), 0);
+        // Never NaN/garbage through the renderer either.
+        assert!(doc.render().contains("\"p50\": null") || doc.render().contains("\"p50\":null"));
+    }
+
+    #[test]
+    fn single_bucket_histogram_emits_bucket_bound() {
+        let mut h = Histogram::default();
+        h.record(5); // bucket (4, 8]
+        h.record(7);
+        h.record(8);
+        let doc = h.to_json();
+        for key in ["p50", "p95", "p99"] {
+            assert_eq!(doc.get(key).unwrap().as_f64(), Some(8.0), "{key}");
+        }
+        // Overflow-only histogram reports the overflow interpolation cap.
+        let mut o = Histogram::default();
+        o.record(5_000_000);
+        let cap = f64::from(2 * 1_048_576u32);
+        assert_eq!(o.to_json().get("p99").unwrap().as_f64(), Some(cap));
+    }
+
+    #[test]
+    fn multi_bucket_quantiles_still_interpolate() {
+        let mut h = Histogram::default();
+        for v in [1, 1, 1, 1000] {
+            h.record(v);
+        }
+        let p50 = h.to_json().get("p50").unwrap().as_f64().unwrap();
+        assert!(p50.is_finite() && p50 <= 1.0, "p50 {p50} in first bucket");
+        let p99 = h.to_json().get("p99").unwrap().as_f64().unwrap();
+        assert!(p99 > 512.0, "p99 {p99} lands in the 1000s bucket");
+    }
+
+    #[test]
+    fn histogram_json_round_trip_and_merge() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0, 1, 3, 9, 4096, 70_000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2, 9, 2_000_000, u64::MAX / 2] {
+            b.record(v);
+            whole.record(v);
+        }
+        let ra = Histogram::from_json(&a.to_json()).expect("round-trip a");
+        assert_eq!(ra, a);
+        let mut merged = ra;
+        merged.merge(&Histogram::from_json(&b.to_json()).expect("round-trip b"));
+        // Merging raw bucket counts is exactly observing the union.
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_json().render(), whole.to_json().render());
+    }
+
+    #[test]
+    fn histogram_from_json_rejects_malformed() {
+        assert!(Histogram::from_json(&Json::Null).is_none());
+        assert!(Histogram::from_json(&Json::obj([("count", Json::from(1u64))])).is_none());
+        // Bucket counts that don't sum to `count`.
+        let mut h = Histogram::default();
+        h.record(4);
+        let mut doc = h.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "count" {
+                    *v = Json::from(7u64);
+                }
+            }
+        }
+        assert!(Histogram::from_json(&doc).is_none());
+        // Unknown bucket bound.
+        let bad = Json::obj([
+            ("count", Json::from(1u64)),
+            ("sum", Json::from(3u64)),
+            (
+                "buckets",
+                Json::Arr(vec![Json::obj([
+                    ("le", Json::from(3u64)),
+                    ("n", Json::from(1u64)),
+                ])]),
+            ),
+        ]);
+        assert!(Histogram::from_json(&bad).is_none());
     }
 
     #[test]
